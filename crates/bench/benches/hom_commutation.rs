@@ -1,0 +1,67 @@
+//! Perf-5: Corollary 1 as an optimization knob. `H(p(v))` (evaluate
+//! with full ℕ\[X\] provenance, then specialize) vs `H(p)(H(v))`
+//! (specialize the source first, evaluate in the small semiring).
+//! Same result — the theorem — but very different cost: early
+//! specialization avoids polynomial arithmetic entirely. The measured
+//! gap is the price one pays to *keep* provenance around.
+
+use axml_bench::{relation_like_doc, FIG5_VIEW};
+use axml_core::run_query;
+use axml_semiring::{Clearance, NatPoly, Valuation, Var};
+use axml_uxml::hom::specialize_forest;
+use axml_uxml::Value;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn clearance_valuation() -> Valuation<Clearance> {
+    Valuation::from_pairs([
+        (Var::new("x0"), Clearance::C),
+        (Var::new("x3"), Clearance::S),
+        (Var::new("s1"), Clearance::T),
+    ])
+}
+
+fn hom_commutation(c: &mut Criterion) {
+    for rows in [4usize, 8, 16] {
+        let doc = relation_like_doc(rows);
+        let val = clearance_valuation();
+        let mut g = c.benchmark_group(format!("hom_commutation/rows={rows}"));
+
+        // late specialization: evaluate symbolically, then map H
+        g.bench_function(BenchmarkId::new("late_H_of_p_v", rows), |b| {
+            b.iter(|| {
+                let sym = run_query::<NatPoly>(
+                    FIG5_VIEW,
+                    &[("d", Value::Set(doc.clone()))],
+                )
+                .expect("evaluates");
+                let Value::Tree(t) = sym else { unreachable!() };
+                specialize_forest(&t.children().clone(), &val)
+            })
+        });
+
+        // early specialization: map H first, evaluate in Clearance
+        g.bench_function(BenchmarkId::new("early_Hp_of_Hv", rows), |b| {
+            b.iter(|| {
+                let small = specialize_forest(&doc, &val);
+                let out = run_query::<Clearance>(
+                    FIG5_VIEW,
+                    &[("d", Value::Set(small))],
+                )
+                .expect("evaluates");
+                let Value::Tree(t) = out else { unreachable!() };
+                t.children().clone()
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = hom_commutation
+}
+criterion_main!(benches);

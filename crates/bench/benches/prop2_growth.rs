@@ -1,0 +1,63 @@
+//! Perf-2: Prop 2's size bound, measured. Provenance-polynomial sizes
+//! (and evaluation time) as the query grows by one `descendant` step at
+//! a time over a fixed document: growth is exponential in |p| but each
+//! step stays polynomial in |v| — the O(|v|^|p|) shape.
+
+use axml_bench::random_annotated_forest;
+use axml_core::run_query;
+use axml_semiring::NatPoly;
+use axml_uxml::Value;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn prop2_growth(c: &mut Criterion) {
+    let forest = random_annotated_forest(11, 48);
+    let mut g = c.benchmark_group("prop2_growth");
+    for steps in 1..=4usize {
+        let mut q = String::from("$S");
+        for _ in 0..steps {
+            q.push_str("/descendant::*");
+        }
+        // report the measured polynomial size alongside the timing
+        let out =
+            run_query::<NatPoly>(&q, &[("S", Value::Set(forest.clone()))]).unwrap();
+        let Value::Set(f) = out else { unreachable!() };
+        let max_size = f.iter().map(|(_, k)| k.size()).max().unwrap_or(0);
+        let total_size: usize = f.iter().map(|(_, k)| k.size()).sum();
+        eprintln!(
+            "prop2: |p|={steps} steps → max poly size {max_size}, total {total_size}"
+        );
+        g.bench_function(BenchmarkId::new("descendant_steps", steps), |b| {
+            b.iter(|| {
+                run_query::<NatPoly>(&q, &[("S", Value::Set(forest.clone()))])
+                    .expect("evaluates")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn prop2_doc_scaling(c: &mut Criterion) {
+    // fixed |p| (2 steps), growing |v|: polynomial growth in |v|
+    let mut g = c.benchmark_group("prop2_doc_scaling");
+    for size in [16usize, 32, 64, 128] {
+        let forest = random_annotated_forest(13, size);
+        let q = "$S/descendant::*/descendant::*";
+        g.bench_function(BenchmarkId::new("doc_nodes", forest.size()), |b| {
+            b.iter(|| {
+                run_query::<NatPoly>(q, &[("S", Value::Set(forest.clone()))])
+                    .expect("evaluates")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = prop2_growth, prop2_doc_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Perf-6: semiring microbenchmarks and representation ablations.
+//!
+//! - raw `+`/`·` throughput per semiring (the per-annotation cost every
+//!   query operation pays);
+//! - ℕ\[X\] polynomial product scaling in term count;
+//! - ablation: `PosBool` (absorbing, canonical DNF) vs `Why`
+//!   (non-absorbing witness sets) on iterated union/product chains —
+//!   minimization costs per operation but keeps annotations small;
+//!   without it, witness sets grow and every later operation pays more.
+
+use axml_semiring::{Nat, NatPoly, PosBool, Semiring, Why};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn poly_with_terms(n: usize, prefix: &str) -> NatPoly {
+    let mut p = NatPoly::zero();
+    for i in 0..n {
+        p = p.plus(
+            &NatPoly::var_named(&format!("{prefix}{i}"))
+                .times(&NatPoly::var_named(&format!("{prefix}{}", (i + 1) % n))),
+        );
+    }
+    p
+}
+
+fn raw_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raw_ops");
+    let (na, nb) = (Nat(123456), Nat(654321));
+    g.bench_function("nat_times", |b| {
+        b.iter(|| black_box(na).times(&black_box(nb)))
+    });
+    let (pa, pb) = (poly_with_terms(8, "ra"), poly_with_terms(8, "rb"));
+    g.bench_function("natpoly8_times", |b| {
+        b.iter(|| black_box(&pa).times(black_box(&pb)))
+    });
+    g.bench_function("natpoly8_plus", |b| {
+        b.iter(|| black_box(&pa).plus(black_box(&pb)))
+    });
+    g.finish();
+}
+
+fn poly_product_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poly_product_scaling");
+    for n in [2usize, 8, 32] {
+        let a = poly_with_terms(n, "psa");
+        let b = poly_with_terms(n, "psb");
+        g.bench_function(BenchmarkId::new("terms", n), |bch| {
+            bch.iter(|| black_box(&a).times(black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+/// Build Σᵢ (xᵢ ∧ xᵢ₊₁) ∨ xᵢ chains where absorption fires constantly.
+fn chain<K: Semiring>(n: usize, var: impl Fn(usize) -> K) -> K {
+    let mut acc = K::zero();
+    for i in 0..n {
+        let a = var(i);
+        let b = var((i + 1) % n);
+        acc = acc.plus(&a.times(&b)).plus(&a);
+    }
+    acc
+}
+
+fn absorption_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("absorption_ablation");
+    for n in [8usize, 16, 32] {
+        g.bench_function(BenchmarkId::new("posbool_absorbing", n), |b| {
+            b.iter(|| {
+                chain(n, |i| PosBool::var_named(&format!("ab{i}")))
+            })
+        });
+        g.bench_function(BenchmarkId::new("why_nonabsorbing", n), |b| {
+            b.iter(|| {
+                chain(n, |i| Why::var(axml_semiring::Var::new(&format!("ab{i}"))))
+            })
+        });
+        // report representation sizes once per n
+        let pb = chain(n, |i| PosBool::var_named(&format!("ab{i}")));
+        let wy = chain(n, |i| Why::var(axml_semiring::Var::new(&format!("ab{i}"))));
+        eprintln!(
+            "absorption ablation n={n}: PosBool clauses={}, Why witnesses={}",
+            pb.num_clauses(),
+            wy.num_witnesses()
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = raw_ops, poly_product_scaling, absorption_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Perf-4: the §7 alternative semantics, costed. Direct evaluation of
+//! an XPath chain vs the full shredding pipeline (φ, Datalog fixpoint
+//! with Skolem functions, GC, decode). The paper positions shredding as
+//! proof-of-concept, "not on practicality": expect the Datalog route to
+//! lose by a large factor, with the gap widening on recursive
+//! (descendant) steps — that shape is the point of the measurement.
+
+use axml_bench::balanced_tree;
+use axml_core::ast::{Axis, NodeTest, Step};
+use axml_core::eval_step;
+use axml_relational::eval_steps_via_shredding;
+use axml_semiring::Nat;
+use axml_uxml::{Forest, Label};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn steps_child_child() -> Vec<Step> {
+    vec![
+        Step {
+            axis: Axis::Child,
+            test: NodeTest::Wildcard,
+        },
+        Step {
+            axis: Axis::Child,
+            test: NodeTest::Wildcard,
+        },
+    ]
+}
+
+fn steps_descendant() -> Vec<Step> {
+    vec![Step {
+        axis: Axis::Descendant,
+        test: NodeTest::Label(Label::new("c")),
+    }]
+}
+
+fn shred_vs_direct(c: &mut Criterion) {
+    for depth in [4u32, 6] {
+        let forest = Forest::unit(balanced_tree::<Nat>(depth, 2));
+        for (name, steps) in [
+            ("child_child", steps_child_child()),
+            ("descendant_c", steps_descendant()),
+        ] {
+            let mut g = c.benchmark_group(format!("shred_vs_direct/{name}"));
+            g.bench_function(BenchmarkId::new("direct", depth), |b| {
+                b.iter(|| {
+                    let mut cur = forest.clone();
+                    for s in &steps {
+                        cur = eval_step(&cur, *s);
+                    }
+                    cur
+                })
+            });
+            g.bench_function(BenchmarkId::new("shredded_datalog", depth), |b| {
+                b.iter(|| {
+                    eval_steps_via_shredding(&forest, &steps).expect("converges")
+                })
+            });
+            g.finish();
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = shred_vs_direct
+}
+criterion_main!(benches);

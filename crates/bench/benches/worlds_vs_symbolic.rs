@@ -1,0 +1,72 @@
+//! Perf-3: why §5's representation systems matter. Computing all query
+//! answers of an incomplete document by (a) enumerating the 2ⁿ worlds
+//! and querying each, vs (b) evaluating the query ONCE symbolically in
+//! ℕ\[X\] and specializing the answer per world (justified by Corollary
+//! 1). The crossover: (b) pays polynomial arithmetic once, (a) pays a
+//! full query per world — symbolic wins and the gap grows ~2ⁿ.
+
+use axml_core::run_query;
+use axml_semiring::NatPoly;
+use axml_uxml::hom::specialize_forest;
+use axml_uxml::{parse_forest, Forest, Value};
+use axml_worlds::{bool_valuations, forest_vars, mod_bool};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const QUERY: &str = "element r { $T//c }";
+
+/// An incomplete document with `n` independently-uncertain subtrees.
+fn uncertain_doc(n: usize) -> Forest<NatPoly> {
+    let mut inner = String::new();
+    for i in 0..n {
+        inner.push_str(&format!("<c {{u{i}}}> d{i} </c> "));
+    }
+    parse_forest(&format!("<root> {inner} </root>")).unwrap()
+}
+
+fn worlds_vs_symbolic(c: &mut Criterion) {
+    for n in [4usize, 6, 8, 10] {
+        let doc = uncertain_doc(n);
+        let mut g = c.benchmark_group(format!("worlds_vs_symbolic/n={n}"));
+
+        g.bench_function(BenchmarkId::new("enumerate_worlds", n), |b| {
+            b.iter(|| {
+                let mut answers = std::collections::BTreeSet::new();
+                for w in mod_bool(&doc) {
+                    let o = run_query::<bool>(QUERY, &[("T", Value::Set(w))])
+                        .expect("evaluates");
+                    answers.insert(o);
+                }
+                answers
+            })
+        });
+
+        g.bench_function(BenchmarkId::new("symbolic_then_specialize", n), |b| {
+            b.iter(|| {
+                let sym = run_query::<NatPoly>(
+                    QUERY,
+                    &[("T", Value::Set(doc.clone()))],
+                )
+                .expect("evaluates");
+                let Value::Tree(t) = sym else { unreachable!() };
+                let answer = Forest::unit(t);
+                let vars = forest_vars(&answer);
+                let mut answers = std::collections::BTreeSet::new();
+                for val in bool_valuations(&vars) {
+                    answers.insert(specialize_forest(&answer, &val));
+                }
+                answers
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = worlds_vs_symbolic
+}
+criterion_main!(benches);

@@ -1,0 +1,351 @@
+//! Abstract syntax for K-UXQuery (§3, Fig 2), in two layers:
+//!
+//! - [`SurfaceExpr`]: what the parser produces. Includes the paper's
+//!   *sugar* — multi-binder `for`, `where`-clauses, `<a>{…}</a>`
+//!   element syntax, `//` paths — and leaves implicit the
+//!   tree-vs-singleton-set coercions that the paper "often elides when
+//!   clear from context".
+//! - [`Query`]: the typed core language after
+//!   [`crate::typecheck::elaborate`] — exactly Fig 2's core constructs
+//!   with every coercion explicit ([`QueryNode::Singleton`]) and every
+//!   node annotated with its [`QType`].
+
+use axml_semiring::Semiring;
+use axml_uxml::Label;
+use std::fmt;
+
+/// XPath axes supported by UXQuery (Fig 2: `self`, `child`,
+/// `descendant`; the paper notes the other axes compile into this
+/// downward fragment).
+///
+/// **Faithfulness note:** the paper's `descendant` *includes the
+/// context node* — Fig 4's `//c` returns the top-level `c` tree itself,
+/// and the §7 Datalog rules seed the recursion with the roots. We keep
+/// the paper's semantics under the paper's name and offer the strict
+/// variant as an extension.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Axis {
+    /// `self::` — the context trees themselves.
+    SelfAxis,
+    /// `child::` — immediate subtrees.
+    Child,
+    /// `descendant::` — the context node and all nodes below it
+    /// (the paper's semantics; descendant-*or-self* in XPath terms).
+    Descendant,
+    /// `strict-descendant::` — strictly below the context node
+    /// (XPath's `descendant`; an extension for convenience).
+    StrictDescendant,
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Axis::SelfAxis => "self",
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::StrictDescendant => "strict-descendant",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A node test: a specific label or the wildcard `*`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum NodeTest {
+    /// Match a specific label.
+    Label(Label),
+    /// Match any label (`*`).
+    Wildcard,
+}
+
+impl NodeTest {
+    /// Does this test accept the given label?
+    pub fn matches(&self, l: Label) -> bool {
+        match self {
+            NodeTest::Label(t) => *t == l,
+            NodeTest::Wildcard => true,
+        }
+    }
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Label(l) => write!(f, "{l}"),
+            NodeTest::Wildcard => write!(f, "*"),
+        }
+    }
+}
+
+/// A navigation step `ax::nt`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}", self.axis, self.test)
+    }
+}
+
+/// The three UXQuery types (Fig 3): `label`, `tree`, `{tree}`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum QType {
+    /// Atomic labels.
+    Label,
+    /// A single tree.
+    Tree,
+    /// A K-set of trees.
+    TreeSet,
+}
+
+impl fmt::Display for QType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QType::Label => write!(f, "label"),
+            QType::Tree => write!(f, "tree"),
+            QType::TreeSet => write!(f, "{{tree}}"),
+        }
+    }
+}
+
+/// An element-name position: a static label or a computed label
+/// expression (`element p₁ {p₂}` allows any label-typed `p₁`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum ElementName<E> {
+    /// A fixed label.
+    Static(Label),
+    /// A computed (label-typed) expression.
+    Dynamic(Box<E>),
+}
+
+/// A `where lhs = rhs` pair (boxed operands).
+pub type WhereEq<K> = (Box<SurfaceExpr<K>>, Box<SurfaceExpr<K>>);
+
+/// Surface syntax as parsed (sugar included).
+#[derive(Clone, PartialEq, Debug)]
+pub enum SurfaceExpr<K: Semiring> {
+    /// A bare label literal `l`.
+    LabelLit(Label),
+    /// A variable `$x`.
+    Var(String),
+    /// The empty sequence `()`.
+    Empty,
+    /// Parentheses `(p)` — grouping *or* singleton construction,
+    /// resolved by elaboration ("we often elide the extra set
+    /// constructor when clear from context", §3).
+    Paren(Box<SurfaceExpr<K>>),
+    /// Sequence `p₁, p₂` (set union after coercion).
+    Seq(Box<SurfaceExpr<K>>, Box<SurfaceExpr<K>>),
+    /// `for $x₁ in p₁, … return body`, with an optional `where l = r`.
+    For {
+        /// `(variable, source)` binders, bound left to right.
+        binders: Vec<(String, SurfaceExpr<K>)>,
+        /// Optional `where lhs = rhs` clause.
+        where_eq: Option<WhereEq<K>>,
+        /// The return clause.
+        body: Box<SurfaceExpr<K>>,
+    },
+    /// `let $x₁ := p₁, … return body`.
+    Let {
+        /// `(variable, definition)` bindings, bound left to right.
+        bindings: Vec<(String, SurfaceExpr<K>)>,
+        /// The return clause.
+        body: Box<SurfaceExpr<K>>,
+    },
+    /// `if (l = r) then p₁ else p₂` (labels only — positivity).
+    If {
+        /// Left side of the equality.
+        l: Box<SurfaceExpr<K>>,
+        /// Right side of the equality.
+        r: Box<SurfaceExpr<K>>,
+        /// Then-branch.
+        then: Box<SurfaceExpr<K>>,
+        /// Else-branch.
+        els: Box<SurfaceExpr<K>>,
+    },
+    /// `element name {content}` (or the `<a>…</a>` sugar).
+    Element {
+        /// The element name.
+        name: ElementName<SurfaceExpr<K>>,
+        /// The content (defaults to `()`).
+        content: Box<SurfaceExpr<K>>,
+    },
+    /// `name(p)` — the root label of a tree.
+    Name(Box<SurfaceExpr<K>>),
+    /// `annot k p` — multiply the annotations of the set `p` by `k`.
+    Annot(K, Box<SurfaceExpr<K>>),
+    /// A navigation step `p/ax::nt`.
+    Path(Box<SurfaceExpr<K>>, Step),
+}
+
+/// A typed core-UXQuery node (see [`Query`]).
+#[derive(Clone, PartialEq, Debug)]
+pub enum QueryNode<K: Semiring> {
+    /// Label literal — type `label`.
+    LabelLit(Label),
+    /// Variable — type recorded in the enclosing [`Query`].
+    Var(String),
+    /// Empty set `()` — type `{tree}`.
+    Empty,
+    /// Explicit coercion of a `tree` (or, as an extension, a `label`,
+    /// read as a leaf element) into the singleton set containing it.
+    Singleton(Box<Query<K>>),
+    /// Union `p₁, p₂` — type `{tree}`.
+    Union(Box<Query<K>>, Box<Query<K>>),
+    /// Core single-binder `for $x in p₁ return p₂`.
+    For {
+        /// The bound variable (type `tree`).
+        var: String,
+        /// Source set.
+        source: Box<Query<K>>,
+        /// Body (type `{tree}`).
+        body: Box<Query<K>>,
+    },
+    /// `let $x := p₁ return p₂`.
+    Let {
+        /// The bound variable.
+        var: String,
+        /// Definition (any type).
+        def: Box<Query<K>>,
+        /// Body.
+        body: Box<Query<K>>,
+    },
+    /// `if (l = r) then p₁ else p₂` with label-typed `l`, `r`.
+    If {
+        /// Left label.
+        l: Box<Query<K>>,
+        /// Right label.
+        r: Box<Query<K>>,
+        /// Then-branch.
+        then: Box<Query<K>>,
+        /// Else-branch.
+        els: Box<Query<K>>,
+    },
+    /// `element name {content}` — type `tree`.
+    Element {
+        /// Label-typed name expression.
+        name: Box<Query<K>>,
+        /// `{tree}`-typed content.
+        content: Box<Query<K>>,
+    },
+    /// `name(p)` — type `label`.
+    Name(Box<Query<K>>),
+    /// `annot k p` — type `{tree}`.
+    Annot(K, Box<Query<K>>),
+    /// `p/ax::nt` — type `{tree}`.
+    Path(Box<Query<K>>, Step),
+}
+
+/// A typed core-UXQuery expression: a [`QueryNode`] plus its [`QType`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct Query<K: Semiring> {
+    /// The node.
+    pub node: QueryNode<K>,
+    /// Its type.
+    pub ty: QType,
+}
+
+impl<K: Semiring> Query<K> {
+    /// Construct (used by elaboration).
+    pub fn new(node: QueryNode<K>, ty: QType) -> Self {
+        Query { node, ty }
+    }
+
+    /// Node count — the `|p|` of Prop 2's size bound.
+    pub fn size(&self) -> usize {
+        1 + match &self.node {
+            QueryNode::LabelLit(_) | QueryNode::Var(_) | QueryNode::Empty => 0,
+            QueryNode::Singleton(q) | QueryNode::Name(q) | QueryNode::Annot(_, q) => {
+                q.size()
+            }
+            QueryNode::Union(a, b) => a.size() + b.size(),
+            QueryNode::For { source, body, .. } => source.size() + body.size(),
+            QueryNode::Let { def, body, .. } => def.size() + body.size(),
+            QueryNode::If { l, r, then, els } => {
+                l.size() + r.size() + then.size() + els.size()
+            }
+            QueryNode::Element { name, content } => name.size() + content.size(),
+            QueryNode::Path(q, _) => q.size(),
+        }
+    }
+}
+
+impl<K: Semiring> fmt::Display for Query<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.node {
+            QueryNode::LabelLit(l) => write!(f, "{l}"),
+            QueryNode::Var(x) => write!(f, "${x}"),
+            QueryNode::Empty => write!(f, "()"),
+            QueryNode::Singleton(q) => write!(f, "({q})"),
+            QueryNode::Union(a, b) => write!(f, "{a}, {b}"),
+            QueryNode::For { var, source, body } => {
+                write!(f, "for ${var} in {source} return {body}")
+            }
+            QueryNode::Let { var, def, body } => {
+                write!(f, "let ${var} := {def} return {body}")
+            }
+            QueryNode::If { l, r, then, els } => {
+                write!(f, "if ({l} = {r}) then {then} else {els}")
+            }
+            QueryNode::Element { name, content } => {
+                write!(f, "element {name} {{{content}}}")
+            }
+            QueryNode::Name(q) => write!(f, "name({q})"),
+            QueryNode::Annot(k, q) => write!(f, "annot {{{k:?}}} {q}"),
+            QueryNode::Path(q, s) => write!(f, "{q}/{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_semiring::Nat;
+
+    #[test]
+    fn node_test_matching() {
+        let a = Label::new("a");
+        let b = Label::new("b");
+        assert!(NodeTest::Wildcard.matches(a));
+        assert!(NodeTest::Label(a).matches(a));
+        assert!(!NodeTest::Label(a).matches(b));
+    }
+
+    #[test]
+    fn step_display() {
+        let s = Step {
+            axis: Axis::Descendant,
+            test: NodeTest::Label(Label::new("c")),
+        };
+        assert_eq!(s.to_string(), "descendant::c");
+        let s2 = Step {
+            axis: Axis::Child,
+            test: NodeTest::Wildcard,
+        };
+        assert_eq!(s2.to_string(), "child::*");
+    }
+
+    #[test]
+    fn query_size_counts_nodes() {
+        let q: Query<Nat> = Query::new(
+            QueryNode::Union(
+                Box::new(Query::new(QueryNode::Empty, QType::TreeSet)),
+                Box::new(Query::new(QueryNode::Empty, QType::TreeSet)),
+            ),
+            QType::TreeSet,
+        );
+        assert_eq!(q.size(), 3);
+    }
+
+    #[test]
+    fn qtype_display() {
+        assert_eq!(QType::Label.to_string(), "label");
+        assert_eq!(QType::Tree.to_string(), "tree");
+        assert_eq!(QType::TreeSet.to_string(), "{tree}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Lifting semiring homomorphisms over K-UXQuery — **Corollary 1**
+//! (§6.4): for `h : K₁ → K₂` lifted to `H`, any K₁-UXQuery `p` and
+//! K₁-UXML `v` satisfy `H(p(v)) = H(p)(H(v))`.
+//!
+//! The only place annotations occur in a query is `annot k p`, so the
+//! lifting on queries replaces those scalars. The lifting on values is
+//! [`axml_uxml::hom`]. Corollary 1 is verified by the workspace
+//! `theorems` tests over randomized queries, trees and homomorphisms.
+
+use crate::ast::{ElementName, Query, QueryNode, SurfaceExpr};
+use axml_semiring::{NatPoly, Semiring, SemiringHom, Valuation};
+
+/// Lift `h` over a typed core query.
+pub fn map_query<K1, K2, H>(h: &H, q: &Query<K1>) -> Query<K2>
+where
+    K1: Semiring,
+    K2: Semiring,
+    H: SemiringHom<K1, K2>,
+{
+    let node = match &q.node {
+        QueryNode::LabelLit(l) => QueryNode::LabelLit(*l),
+        QueryNode::Var(x) => QueryNode::Var(x.clone()),
+        QueryNode::Empty => QueryNode::Empty,
+        QueryNode::Singleton(a) => QueryNode::Singleton(Box::new(map_query(h, a))),
+        QueryNode::Union(a, b) => {
+            QueryNode::Union(Box::new(map_query(h, a)), Box::new(map_query(h, b)))
+        }
+        QueryNode::For { var, source, body } => QueryNode::For {
+            var: var.clone(),
+            source: Box::new(map_query(h, source)),
+            body: Box::new(map_query(h, body)),
+        },
+        QueryNode::Let { var, def, body } => QueryNode::Let {
+            var: var.clone(),
+            def: Box::new(map_query(h, def)),
+            body: Box::new(map_query(h, body)),
+        },
+        QueryNode::If { l, r, then, els } => QueryNode::If {
+            l: Box::new(map_query(h, l)),
+            r: Box::new(map_query(h, r)),
+            then: Box::new(map_query(h, then)),
+            els: Box::new(map_query(h, els)),
+        },
+        QueryNode::Element { name, content } => QueryNode::Element {
+            name: Box::new(map_query(h, name)),
+            content: Box::new(map_query(h, content)),
+        },
+        QueryNode::Name(a) => QueryNode::Name(Box::new(map_query(h, a))),
+        QueryNode::Annot(k, a) => QueryNode::Annot(h.apply(k), Box::new(map_query(h, a))),
+        QueryNode::Path(a, s) => QueryNode::Path(Box::new(map_query(h, a)), *s),
+    };
+    Query::new(node, q.ty)
+}
+
+/// Lift `h` over a surface query (before elaboration).
+pub fn map_surface<K1, K2, H>(h: &H, e: &SurfaceExpr<K1>) -> SurfaceExpr<K2>
+where
+    K1: Semiring,
+    K2: Semiring,
+    H: SemiringHom<K1, K2>,
+{
+    match e {
+        SurfaceExpr::LabelLit(l) => SurfaceExpr::LabelLit(*l),
+        SurfaceExpr::Var(x) => SurfaceExpr::Var(x.clone()),
+        SurfaceExpr::Empty => SurfaceExpr::Empty,
+        SurfaceExpr::Paren(a) => SurfaceExpr::Paren(Box::new(map_surface(h, a))),
+        SurfaceExpr::Seq(a, b) => SurfaceExpr::Seq(
+            Box::new(map_surface(h, a)),
+            Box::new(map_surface(h, b)),
+        ),
+        SurfaceExpr::For {
+            binders,
+            where_eq,
+            body,
+        } => SurfaceExpr::For {
+            binders: binders
+                .iter()
+                .map(|(v, s)| (v.clone(), map_surface(h, s)))
+                .collect(),
+            where_eq: where_eq.as_ref().map(|(l, r)| {
+                (
+                    Box::new(map_surface(h, l)),
+                    Box::new(map_surface(h, r)),
+                )
+            }),
+            body: Box::new(map_surface(h, body)),
+        },
+        SurfaceExpr::Let { bindings, body } => SurfaceExpr::Let {
+            bindings: bindings
+                .iter()
+                .map(|(v, d)| (v.clone(), map_surface(h, d)))
+                .collect(),
+            body: Box::new(map_surface(h, body)),
+        },
+        SurfaceExpr::If { l, r, then, els } => SurfaceExpr::If {
+            l: Box::new(map_surface(h, l)),
+            r: Box::new(map_surface(h, r)),
+            then: Box::new(map_surface(h, then)),
+            els: Box::new(map_surface(h, els)),
+        },
+        SurfaceExpr::Element { name, content } => SurfaceExpr::Element {
+            name: match name {
+                ElementName::Static(l) => ElementName::Static(*l),
+                ElementName::Dynamic(p) => ElementName::Dynamic(Box::new(map_surface(h, p))),
+            },
+            content: Box::new(map_surface(h, content)),
+        },
+        SurfaceExpr::Name(a) => SurfaceExpr::Name(Box::new(map_surface(h, a))),
+        SurfaceExpr::Annot(k, a) => {
+            SurfaceExpr::Annot(h.apply(k), Box::new(map_surface(h, a)))
+        }
+        SurfaceExpr::Path(a, s) => SurfaceExpr::Path(Box::new(map_surface(h, a)), *s),
+    }
+}
+
+/// Specialize an ℕ\[X\]-UXQuery under a valuation (the universality
+/// route of §2/§5 at the query level).
+pub fn specialize_query<K: Semiring>(q: &Query<NatPoly>, val: &Valuation<K>) -> Query<K> {
+    struct EvalHom<'a, K: Semiring>(&'a Valuation<K>);
+    impl<K: Semiring> SemiringHom<NatPoly, K> for EvalHom<'_, K> {
+        fn apply(&self, p: &NatPoly) -> K {
+            p.eval(self.0)
+        }
+    }
+    map_query(&EvalHom(val), q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_with;
+    use crate::parse::parse_query;
+    use crate::typecheck::elaborate;
+    use axml_semiring::{dup_elim, FnHom, Nat};
+    use axml_uxml::hom::map_value;
+    use axml_uxml::{parse_forest, Value};
+
+    #[test]
+    fn corollary1_single_case() {
+        // H(p(v)) = H(p)(H(v)) for † : ℕ → 𝔹 on a query with annot.
+        let v = parse_forest::<Nat>("<r> a {2} b {0} </r> <r> a {3} </r>").unwrap();
+        let s = parse_query::<Nat>("annot {2} ($S/*/self::a)").unwrap();
+        let p = elaborate(&s).unwrap();
+        let h = FnHom::new(dup_elim);
+
+        let lhs = map_value(
+            &h,
+            &eval_with(&p, &[("S", Value::Set(v.clone()))]).unwrap(),
+        );
+
+        let hp = map_query(&h, &p);
+        let hv = axml_uxml::hom::map_forest(&h, &v);
+        let rhs = eval_with(&hp, &[("S", Value::Set(hv))]).unwrap();
+
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn map_query_touches_only_annot() {
+        let s = parse_query::<Nat>("annot {3} (element a {()})").unwrap();
+        let p = elaborate(&s).unwrap();
+        let h = FnHom::new(dup_elim);
+        let p2 = map_query(&h, &p);
+        let crate::ast::QueryNode::Annot(k, _) = &p2.node else {
+            panic!()
+        };
+        assert!(*k);
+    }
+
+    #[test]
+    fn map_surface_covers_sugar() {
+        let s = parse_query::<Nat>(
+            "for $x in $R, $y in $S where $x/B = $y/B return <t> { annot {2} ($x/A) } </t>",
+        )
+        .unwrap();
+        let h = FnHom::new(dup_elim);
+        let s2 = map_surface(&h, &s);
+        // elaborates fine in the target semiring
+        assert!(elaborate(&s2).is_ok());
+    }
+
+    #[test]
+    fn specialize_query_evaluates_polynomials() {
+        use axml_semiring::{NatPoly, Valuation, Var};
+        let s = parse_query::<NatPoly>("annot {2*q} (element a {()})").unwrap();
+        let p = elaborate(&s).unwrap();
+        let val = Valuation::<Nat>::from_pairs([(Var::new("q"), Nat(5))]);
+        let pk = specialize_query(&p, &val);
+        let crate::ast::QueryNode::Annot(k, _) = &pk.node else { panic!() };
+        assert_eq!(*k, Nat(10));
+    }
+}

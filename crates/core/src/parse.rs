@@ -1,0 +1,692 @@
+//! Parsing K-UXQuery surface syntax.
+//!
+//! The concrete grammar follows the paper's Fig 2 plus the sugar used
+//! in its examples:
+//!
+//! ```text
+//! query   := seq
+//! seq     := single (',' single)*
+//! single  := 'for' $x 'in' single (',' $y 'in' single)*
+//!               ('where' single '=' single)? 'return' single
+//!          | 'let' $x ':=' single (',' $y ':=' single)* 'return' single
+//!          | 'if' '(' single '=' single ')' 'then' single 'else' single
+//!          | 'annot' '{' K '}' single
+//!          | path
+//! path    := primary (('/' step) | ('//' nametest))*
+//! step    := axis '::' nametest | nametest            -- default: child
+//! axis    := 'self' | 'child' | 'descendant' | 'strict-descendant'
+//! nametest:= NAME | '*'
+//! primary := '(' query? ')' | $x | NAME
+//!          | 'element' (NAME | '{' query '}') '{' query? '}'
+//!          | 'name' '(' query ')'
+//!          | '<' NAME '>' content* '</' NAME? '>'     -- element sugar
+//!          | '<' NAME '/>'
+//! content := '{' query '}' | element-sugar | NAME
+//! ```
+//!
+//! Deviations from the paper's abstract syntax, all cosmetic:
+//! `annot` takes its scalar in braces (`annot {k} p`) so any semiring's
+//! annotation text can appear (same [`ParseAnnotation`] hook as the
+//! document parser); `//nt` abbreviates `/descendant::nt` (the paper's
+//! descendant axis, which includes the context node).
+
+use crate::ast::{Axis, ElementName, NodeTest, Step, SurfaceExpr};
+use axml_semiring::Semiring;
+use axml_uxml::{Label, ParseAnnotation};
+use std::fmt;
+
+/// A parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset into the source.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UXQuery parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a K-UXQuery.
+///
+/// ```
+/// use axml_core::parse_query;
+/// use axml_semiring::NatPoly;
+/// let q = parse_query::<NatPoly>(
+///     "element p { for $t in $S return for $x in ($t)/child::* return ($x)/child::* }",
+/// ).unwrap();
+/// ```
+pub fn parse_query<K: Semiring + ParseAnnotation>(
+    src: &str,
+) -> Result<SurfaceExpr<K>, ParseError> {
+    let mut p = Parser::new(src);
+    let q = p.parse_seq()?;
+    p.skip_ws();
+    if p.pos < p.src.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(q)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+const KEYWORDS: &[&str] = &[
+    "for", "in", "where", "return", "let", "if", "then", "else", "element", "annot",
+];
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let rest = self.rest();
+        let trimmed = rest.trim_start();
+        self.pos += rest.len() - trimmed.len();
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek_char(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest().chars().next()
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    /// Peek an identifier without consuming.
+    fn peek_ident(&mut self) -> Option<&'a str> {
+        self.skip_ws();
+        let rest = self.rest();
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            let ok = if i == 0 {
+                c.is_alphabetic() || c == '_'
+            } else {
+                c.is_alphanumeric() || matches!(c, '_' | '.' | '-')
+            };
+            if ok {
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        // Exclude a trailing '-' so `strict-descendant` lexes whole but
+        // `a-` (unlikely) still works; names may contain '-' internally.
+        if end == 0 {
+            None
+        } else {
+            Some(&rest[..end])
+        }
+    }
+
+    fn eat_ident(&mut self) -> Option<&'a str> {
+        let id = self.peek_ident()?;
+        self.pos += id.len();
+        Some(id)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if self.peek_ident() == Some(kw) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<&'a str, ParseError> {
+        self.eat_ident().ok_or_else(|| self.err("expected a name"))
+    }
+
+    fn expect_var(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        if !self.eat("$") {
+            return Err(self.err("expected a variable ($name)"));
+        }
+        Ok(self.expect_ident()?.to_owned())
+    }
+
+    /// Read raw text between balanced braces (for annotations).
+    fn read_braced_raw(&mut self) -> Result<&'a str, ParseError> {
+        self.expect("{")?;
+        let start = self.pos;
+        let mut depth = 1usize;
+        for (i, c) in self.rest().char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let text = &self.src[start..start + i];
+                        self.pos = start + i + 1;
+                        return Ok(text);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Err(self.err("unterminated '{'"))
+    }
+
+    // -- grammar ------------------------------------------------------
+
+    fn parse_seq<K: Semiring + ParseAnnotation>(
+        &mut self,
+    ) -> Result<SurfaceExpr<K>, ParseError> {
+        let mut acc = self.parse_single()?;
+        while self.eat(",") {
+            let next = self.parse_single()?;
+            acc = SurfaceExpr::Seq(Box::new(acc), Box::new(next));
+        }
+        Ok(acc)
+    }
+
+    fn parse_single<K: Semiring + ParseAnnotation>(
+        &mut self,
+    ) -> Result<SurfaceExpr<K>, ParseError> {
+        self.skip_ws();
+        if self.eat_keyword("for") {
+            return self.parse_for();
+        }
+        if self.eat_keyword("let") {
+            return self.parse_let();
+        }
+        if self.eat_keyword("if") {
+            return self.parse_if();
+        }
+        if self.eat_keyword("annot") {
+            let text = self.read_braced_raw()?;
+            let k = K::parse_annotation(text).map_err(|msg| self.err(msg))?;
+            let body = self.parse_single()?;
+            return Ok(SurfaceExpr::Annot(k, Box::new(body)));
+        }
+        self.parse_path()
+    }
+
+    fn parse_for<K: Semiring + ParseAnnotation>(
+        &mut self,
+    ) -> Result<SurfaceExpr<K>, ParseError> {
+        let mut binders = Vec::new();
+        loop {
+            let v = self.expect_var()?;
+            if !self.eat_keyword("in") {
+                return Err(self.err("expected 'in' in for-binder"));
+            }
+            let src = self.parse_single()?;
+            binders.push((v, src));
+            if !self.eat(",") {
+                break;
+            }
+        }
+        let where_eq = if self.eat_keyword("where") {
+            let l = self.parse_single()?;
+            self.expect("=")?;
+            let r = self.parse_single()?;
+            Some((Box::new(l), Box::new(r)))
+        } else {
+            None
+        };
+        if !self.eat_keyword("return") {
+            return Err(self.err("expected 'return' in for-expression"));
+        }
+        let body = self.parse_single()?;
+        Ok(SurfaceExpr::For {
+            binders,
+            where_eq,
+            body: Box::new(body),
+        })
+    }
+
+    fn parse_let<K: Semiring + ParseAnnotation>(
+        &mut self,
+    ) -> Result<SurfaceExpr<K>, ParseError> {
+        let mut bindings = Vec::new();
+        loop {
+            let v = self.expect_var()?;
+            self.expect(":=")?;
+            let def = self.parse_single()?;
+            bindings.push((v, def));
+            if !self.eat(",") {
+                break;
+            }
+        }
+        if !self.eat_keyword("return") {
+            return Err(self.err("expected 'return' in let-expression"));
+        }
+        let body = self.parse_single()?;
+        Ok(SurfaceExpr::Let {
+            bindings,
+            body: Box::new(body),
+        })
+    }
+
+    fn parse_if<K: Semiring + ParseAnnotation>(
+        &mut self,
+    ) -> Result<SurfaceExpr<K>, ParseError> {
+        self.expect("(")?;
+        let l = self.parse_single()?;
+        self.expect("=")?;
+        let r = self.parse_single()?;
+        self.expect(")")?;
+        if !self.eat_keyword("then") {
+            return Err(self.err("expected 'then'"));
+        }
+        let then = self.parse_single()?;
+        if !self.eat_keyword("else") {
+            return Err(self.err("expected 'else'"));
+        }
+        let els = self.parse_single()?;
+        Ok(SurfaceExpr::If {
+            l: Box::new(l),
+            r: Box::new(r),
+            then: Box::new(then),
+            els: Box::new(els),
+        })
+    }
+
+    fn parse_path<K: Semiring + ParseAnnotation>(
+        &mut self,
+    ) -> Result<SurfaceExpr<K>, ParseError> {
+        let mut acc = self.parse_primary()?;
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("//") {
+                self.pos += 2;
+                let test = self.parse_nametest()?;
+                acc = SurfaceExpr::Path(
+                    Box::new(acc),
+                    Step {
+                        axis: Axis::Descendant,
+                        test,
+                    },
+                );
+            } else if self.rest().starts_with('/')
+                && !self.rest().starts_with("/>")
+            {
+                self.pos += 1;
+                let step = self.parse_step()?;
+                acc = SurfaceExpr::Path(Box::new(acc), step);
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn parse_step(&mut self) -> Result<Step, ParseError> {
+        self.skip_ws();
+        // axis::nametest?
+        for (name, axis) in [
+            ("self", Axis::SelfAxis),
+            ("child", Axis::Child),
+            ("strict-descendant", Axis::StrictDescendant),
+            ("descendant", Axis::Descendant),
+        ] {
+            if self.peek_ident() == Some(name) {
+                let save = self.pos;
+                self.pos += name.len();
+                if self.eat("::") {
+                    let test = self.parse_nametest()?;
+                    return Ok(Step { axis, test });
+                }
+                self.pos = save; // plain label that collides with an axis name
+                break;
+            }
+        }
+        let test = self.parse_nametest()?;
+        Ok(Step {
+            axis: Axis::Child,
+            test,
+        })
+    }
+
+    fn parse_nametest(&mut self) -> Result<NodeTest, ParseError> {
+        self.skip_ws();
+        if self.eat("*") {
+            return Ok(NodeTest::Wildcard);
+        }
+        let id = self.expect_ident()?;
+        Ok(NodeTest::Label(Label::new(id)))
+    }
+
+    fn parse_primary<K: Semiring + ParseAnnotation>(
+        &mut self,
+    ) -> Result<SurfaceExpr<K>, ParseError> {
+        self.skip_ws();
+        match self.peek_char() {
+            Some('(') => {
+                self.expect("(")?;
+                if self.eat(")") {
+                    return Ok(SurfaceExpr::Empty);
+                }
+                let inner = self.parse_seq()?;
+                self.expect(")")?;
+                Ok(SurfaceExpr::Paren(Box::new(inner)))
+            }
+            Some('$') => {
+                let v = self.expect_var()?;
+                Ok(SurfaceExpr::Var(v))
+            }
+            Some('<') => self.parse_element_sugar(),
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                // keywords handled by callers; here idents are either
+                // `element`, `name(…)`, or a bare label literal
+                let id = self.peek_ident().expect("peeked alphabetic");
+                if id == "element" {
+                    self.pos += id.len();
+                    return self.parse_element_keyword();
+                }
+                if id == "name" {
+                    let save = self.pos;
+                    self.pos += id.len();
+                    if self.eat("(") {
+                        let inner = self.parse_seq()?;
+                        self.expect(")")?;
+                        return Ok(SurfaceExpr::Name(Box::new(inner)));
+                    }
+                    self.pos = save;
+                }
+                if KEYWORDS.contains(&id) {
+                    return Err(self.err(format!("unexpected keyword `{id}`")));
+                }
+                self.pos += id.len();
+                Ok(SurfaceExpr::LabelLit(Label::new(id)))
+            }
+            Some(c) => Err(self.err(format!("unexpected character {c:?}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_element_keyword<K: Semiring + ParseAnnotation>(
+        &mut self,
+    ) -> Result<SurfaceExpr<K>, ParseError> {
+        self.skip_ws();
+        let name = if self.peek_char() == Some('{') {
+            self.expect("{")?;
+            let e = self.parse_seq()?;
+            self.expect("}")?;
+            ElementName::Dynamic(Box::new(e))
+        } else {
+            ElementName::Static(Label::new(self.expect_ident()?))
+        };
+        self.expect("{")?;
+        let content = if self.peek_char() == Some('}') {
+            SurfaceExpr::Empty
+        } else {
+            self.parse_seq()?
+        };
+        self.expect("}")?;
+        Ok(SurfaceExpr::Element {
+            name,
+            content: Box::new(content),
+        })
+    }
+
+    /// `<a> … </a>` sugar: content items are `{query}` blocks, nested
+    /// elements, or bare leaf labels; they are sequenced left to right.
+    fn parse_element_sugar<K: Semiring + ParseAnnotation>(
+        &mut self,
+    ) -> Result<SurfaceExpr<K>, ParseError> {
+        self.expect("<")?;
+        let name = Label::new(self.expect_ident()?);
+        self.skip_ws();
+        if self.eat("/>") {
+            return Ok(SurfaceExpr::Element {
+                name: ElementName::Static(name),
+                content: Box::new(SurfaceExpr::Empty),
+            });
+        }
+        self.expect(">")?;
+        let mut content: Option<SurfaceExpr<K>> = None;
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("</") {
+                self.pos += 2;
+                self.skip_ws();
+                if !self.eat(">") {
+                    let close = self.expect_ident()?;
+                    if close != name.name() {
+                        return Err(self.err(format!(
+                            "mismatched closing tag: expected </{name}>, found </{close}>"
+                        )));
+                    }
+                    self.expect(">")?;
+                }
+                break;
+            }
+            let item: SurfaceExpr<K> = match self.peek_char() {
+                Some('{') => {
+                    self.expect("{")?;
+                    let e = self.parse_seq()?;
+                    self.expect("}")?;
+                    e
+                }
+                Some('<') => self.parse_element_sugar()?,
+                Some(c) if c.is_alphabetic() || c == '_' => {
+                    let id = self.expect_ident()?;
+                    SurfaceExpr::LabelLit(Label::new(id))
+                }
+                Some(c) => return Err(self.err(format!("unexpected {c:?} in element content"))),
+                None => return Err(self.err("unterminated element")),
+            };
+            content = Some(match content {
+                None => item,
+                Some(prev) => SurfaceExpr::Seq(Box::new(prev), Box::new(item)),
+            });
+        }
+        Ok(SurfaceExpr::Element {
+            name: ElementName::Static(name),
+            content: Box::new(content.unwrap_or(SurfaceExpr::Empty)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_semiring::{Nat, NatPoly};
+
+    fn p(src: &str) -> SurfaceExpr<NatPoly> {
+        parse_query(src).unwrap_or_else(|e| panic!("parse of {src:?} failed: {e}"))
+    }
+
+    #[test]
+    fn fig1_query_parses() {
+        let q = p("element p { for $t in $S return for $x in ($t)/child::* return ($x)/child::* }");
+        let SurfaceExpr::Element { name, .. } = &q else {
+            panic!("expected element, got {q:?}")
+        };
+        assert_eq!(*name, ElementName::Static(Label::new("p")));
+    }
+
+    #[test]
+    fn fig4_query_parses() {
+        let q = p("element r { $T//c }");
+        let SurfaceExpr::Element { content, .. } = &q else {
+            panic!()
+        };
+        let SurfaceExpr::Path(_, step) = &**content else {
+            panic!("expected path, got {content:?}")
+        };
+        assert_eq!(step.axis, Axis::Descendant);
+        assert_eq!(step.test, NodeTest::Label(Label::new("c")));
+    }
+
+    #[test]
+    fn fig5_query_parses() {
+        let q = p(r#"
+            let $r := $d/R/*,
+                $rAB := for $t in $r return <t> { $t/A, $t/B } </t>,
+                $rBC := for $t in $r return <t> { $t/B, $t/C } </t>,
+                $s := $d/S/*
+            return
+              <Q> { for $x in $rAB, $y in ($rBC, $s)
+                    where $x/B = $y/B
+                    return <t> { $x/A, $y/C } </t> } </Q>"#);
+        let SurfaceExpr::Let { bindings, .. } = &q else {
+            panic!("expected let, got {q:?}")
+        };
+        assert_eq!(bindings.len(), 4);
+        assert_eq!(bindings[0].0, "r");
+        assert_eq!(bindings[3].0, "s");
+    }
+
+    #[test]
+    fn where_clause_structure() {
+        let q = p("for $x in $R, $y in $S where $x/B = $y/B return ($x)");
+        let SurfaceExpr::For {
+            binders, where_eq, ..
+        } = &q
+        else {
+            panic!()
+        };
+        assert_eq!(binders.len(), 2);
+        assert!(where_eq.is_some());
+    }
+
+    #[test]
+    fn default_axis_is_child() {
+        let q = p("$d/R/*");
+        let SurfaceExpr::Path(inner, s2) = &q else { panic!() };
+        assert_eq!(s2.axis, Axis::Child);
+        assert_eq!(s2.test, NodeTest::Wildcard);
+        let SurfaceExpr::Path(_, s1) = &**inner else { panic!() };
+        assert_eq!(s1.test, NodeTest::Label(Label::new("R")));
+    }
+
+    #[test]
+    fn axis_names_can_be_labels() {
+        // `self` not followed by `::` is an ordinary label
+        let q = p("$x/self");
+        let SurfaceExpr::Path(_, s) = &q else { panic!() };
+        assert_eq!(s.axis, Axis::Child);
+        assert_eq!(s.test, NodeTest::Label(Label::new("self")));
+        let q2 = p("$x/self::a");
+        let SurfaceExpr::Path(_, s2) = &q2 else { panic!() };
+        assert_eq!(s2.axis, Axis::SelfAxis);
+    }
+
+    #[test]
+    fn strict_descendant_extension() {
+        let q = p("$x/strict-descendant::c");
+        let SurfaceExpr::Path(_, s) = &q else { panic!() };
+        assert_eq!(s.axis, Axis::StrictDescendant);
+    }
+
+    #[test]
+    fn annot_with_braced_polynomial() {
+        let q = p("annot {x1 + 2*y} ($t)");
+        let SurfaceExpr::Annot(k, _) = &q else { panic!() };
+        assert_eq!(*k, "x1 + 2*y".parse::<NatPoly>().unwrap());
+    }
+
+    #[test]
+    fn annot_with_nat() {
+        let q: SurfaceExpr<Nat> = parse_query("annot {3} (a)").unwrap();
+        let SurfaceExpr::Annot(k, _) = &q else { panic!() };
+        assert_eq!(*k, Nat(3));
+    }
+
+    #[test]
+    fn empty_and_paren() {
+        assert_eq!(p("()"), SurfaceExpr::Empty);
+        let q = p("(a)");
+        assert!(matches!(q, SurfaceExpr::Paren(_)));
+    }
+
+    #[test]
+    fn sequences_fold_left() {
+        let q = p("a, b, c");
+        let SurfaceExpr::Seq(ab, _) = &q else { panic!() };
+        assert!(matches!(**ab, SurfaceExpr::Seq(..)));
+    }
+
+    #[test]
+    fn element_sugar_nested_and_leaves() {
+        let q = p("<t> <A> a </A> b { $x } </t>");
+        let SurfaceExpr::Element { content, .. } = &q else { panic!() };
+        // (((<A>a</A>), b), {$x}) as nested Seq
+        assert!(matches!(**content, SurfaceExpr::Seq(..)));
+    }
+
+    #[test]
+    fn self_closing_sugar() {
+        let q = p("<t/>");
+        let SurfaceExpr::Element { content, .. } = &q else { panic!() };
+        assert_eq!(**content, SurfaceExpr::Empty);
+    }
+
+    #[test]
+    fn anonymous_close() {
+        let q = p("<t> a </>");
+        assert!(matches!(q, SurfaceExpr::Element { .. }));
+    }
+
+    #[test]
+    fn dynamic_element_name() {
+        let q = p("element {name($x)} { () }");
+        let SurfaceExpr::Element { name, .. } = &q else { panic!() };
+        assert!(matches!(name, ElementName::Dynamic(_)));
+    }
+
+    #[test]
+    fn name_function_vs_label() {
+        let q = p("name($x)");
+        assert!(matches!(q, SurfaceExpr::Name(_)));
+        // `name` without parens is a label literal
+        let q2 = p("name");
+        assert_eq!(q2, SurfaceExpr::LabelLit(Label::new("name")));
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let e = parse_query::<Nat>("for $x in").unwrap_err();
+        assert!(e.msg.contains("end of input") || e.msg.contains("expected"), "{e}");
+        let e2 = parse_query::<Nat>("<a> b </c>").unwrap_err();
+        assert!(e2.msg.contains("mismatched"), "{e2}");
+        let e3 = parse_query::<Nat>("if ($x = $y) then a").unwrap_err();
+        assert!(e3.msg.contains("else"), "{e3}");
+        let e4 = parse_query::<Nat>("a b").unwrap_err();
+        assert!(e4.msg.contains("trailing"), "{e4}");
+    }
+
+    #[test]
+    fn keyword_cannot_be_label() {
+        let e = parse_query::<Nat>("for").unwrap_err();
+        assert!(!e.msg.is_empty());
+    }
+}

@@ -1,0 +1,531 @@
+//! Elaboration: typed translation of surface K-UXQuery into the core
+//! language (Fig 2/3), making coercions explicit and desugaring
+//! `where`-clauses and multi-binder `for`s.
+//!
+//! ## Coercions
+//!
+//! The paper does "not identify a value with the singleton set
+//! containing it" but "often elides the extra set constructor when it
+//! is clear from context" (§3). Elaboration inserts those elided
+//! constructors: wherever a `{tree}` is required,
+//!
+//! - a `tree` becomes the singleton set containing it (annotated `1`);
+//! - a `label` `l` becomes the singleton containing the leaf
+//!   `element l {()}` (a convenience extension — the paper's examples
+//!   write leaves this way in element content).
+//!
+//! `(p)` with `p : tree` *is* the paper's singleton constructor.
+//!
+//! ## `where` desugaring
+//!
+//! Exactly the paper's §3 example: `where p₁ = p₂` with set-typed sides
+//! becomes
+//!
+//! ```text
+//! for $a in p₁/child::* return for $b in p₂/child::* return
+//!   if (name($a) = name($b)) then … else ()
+//! ```
+//!
+//! (label-typed sides use `if` directly). Note the multiplicity
+//! consequences: every matching pair of children contributes a factor —
+//! this is what produces the `y2²·z1²` factors in Fig 6.
+
+use crate::ast::{
+    Axis, ElementName, NodeTest, QType, Query, QueryNode, Step, SurfaceExpr, WhereEq,
+};
+use axml_semiring::Semiring;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A typing/elaboration error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UXQuery type error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, TypeError> {
+    Err(TypeError { msg: msg.into() })
+}
+
+/// The typing context Γ.
+#[derive(Clone, Default, Debug)]
+pub struct Context {
+    bindings: Vec<(String, QType)>,
+}
+
+impl Context {
+    /// Empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(name, type)` pairs.
+    pub fn from_bindings<I: IntoIterator<Item = (String, QType)>>(iter: I) -> Self {
+        Context {
+            bindings: iter.into_iter().collect(),
+        }
+    }
+
+    fn push(&mut self, name: &str, ty: QType) {
+        self.bindings.push((name.to_owned(), ty));
+    }
+
+    fn pop(&mut self) {
+        self.bindings.pop();
+    }
+
+    fn lookup(&self, name: &str) -> Option<QType> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+    }
+}
+
+fn fresh(hint: &str) -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("{hint}%{n}")
+}
+
+/// Elaborate with all free variables defaulting to type `{tree}`
+/// (query inputs are sets of trees — the common case).
+pub fn elaborate<K: Semiring>(e: &SurfaceExpr<K>) -> Result<Query<K>, TypeError> {
+    elaborate_in(e, &mut Context::new())
+}
+
+/// Elaborate in an explicit context; unbound variables default to
+/// `{tree}`.
+pub fn elaborate_in<K: Semiring>(
+    e: &SurfaceExpr<K>,
+    ctx: &mut Context,
+) -> Result<Query<K>, TypeError> {
+    match e {
+        SurfaceExpr::LabelLit(l) => Ok(Query::new(QueryNode::LabelLit(*l), QType::Label)),
+        SurfaceExpr::Var(x) => {
+            let ty = ctx.lookup(x).unwrap_or(QType::TreeSet);
+            Ok(Query::new(QueryNode::Var(x.clone()), ty))
+        }
+        SurfaceExpr::Empty => Ok(Query::new(QueryNode::Empty, QType::TreeSet)),
+        SurfaceExpr::Paren(inner) => {
+            let q = elaborate_in(inner, ctx)?;
+            match q.ty {
+                // `(p)` on a tree is the paper's singleton constructor.
+                QType::Tree => Ok(singleton(q)),
+                _ => Ok(q),
+            }
+        }
+        SurfaceExpr::Seq(a, b) => {
+            let qa = coerce_set(elaborate_in(a, ctx)?)?;
+            let qb = coerce_set(elaborate_in(b, ctx)?)?;
+            Ok(Query::new(
+                QueryNode::Union(Box::new(qa), Box::new(qb)),
+                QType::TreeSet,
+            ))
+        }
+        SurfaceExpr::For {
+            binders,
+            where_eq,
+            body,
+        } => {
+            if binders.is_empty() {
+                return err("for-expression with no binders");
+            }
+            elaborate_for(binders, where_eq.as_ref(), body, ctx, 0)
+        }
+        SurfaceExpr::Let { bindings, body } => {
+            if bindings.is_empty() {
+                return err("let-expression with no bindings");
+            }
+            elaborate_let(bindings, body, ctx, 0)
+        }
+        SurfaceExpr::If { l, r, then, els } => {
+            let ql = elaborate_in(l, ctx)?;
+            let qr = elaborate_in(r, ctx)?;
+            if ql.ty != QType::Label || qr.ty != QType::Label {
+                return err(format!(
+                    "if compares {} and {}; only labels may be compared (positivity, §6.1)",
+                    ql.ty, qr.ty
+                ));
+            }
+            let qt = elaborate_in(then, ctx)?;
+            let qe = elaborate_in(els, ctx)?;
+            let (qt, qe, ty) = unify_branches(qt, qe)?;
+            Ok(Query::new(
+                QueryNode::If {
+                    l: Box::new(ql),
+                    r: Box::new(qr),
+                    then: Box::new(qt),
+                    els: Box::new(qe),
+                },
+                ty,
+            ))
+        }
+        SurfaceExpr::Element { name, content } => {
+            let qname = match name {
+                ElementName::Static(l) => Query::new(QueryNode::LabelLit(*l), QType::Label),
+                ElementName::Dynamic(p) => {
+                    let q = elaborate_in(p, ctx)?;
+                    if q.ty != QType::Label {
+                        return err(format!(
+                            "element name has type {}, expected label",
+                            q.ty
+                        ));
+                    }
+                    q
+                }
+            };
+            let qc = coerce_set(elaborate_in(content, ctx)?)?;
+            Ok(Query::new(
+                QueryNode::Element {
+                    name: Box::new(qname),
+                    content: Box::new(qc),
+                },
+                QType::Tree,
+            ))
+        }
+        SurfaceExpr::Name(p) => {
+            let q = elaborate_in(p, ctx)?;
+            if q.ty != QType::Tree {
+                return err(format!(
+                    "name() takes a single tree, got {} (bind it in a for-loop first)",
+                    q.ty
+                ));
+            }
+            Ok(Query::new(QueryNode::Name(Box::new(q)), QType::Label))
+        }
+        SurfaceExpr::Annot(k, p) => {
+            let q = coerce_set(elaborate_in(p, ctx)?)?;
+            Ok(Query::new(
+                QueryNode::Annot(k.clone(), Box::new(q)),
+                QType::TreeSet,
+            ))
+        }
+        SurfaceExpr::Path(p, step) => {
+            let q = coerce_set(elaborate_in(p, ctx)?)?;
+            Ok(Query::new(
+                QueryNode::Path(Box::new(q), *step),
+                QType::TreeSet,
+            ))
+        }
+    }
+}
+
+fn elaborate_for<K: Semiring>(
+    binders: &[(String, SurfaceExpr<K>)],
+    where_eq: Option<&WhereEq<K>>,
+    body: &SurfaceExpr<K>,
+    ctx: &mut Context,
+    i: usize,
+) -> Result<Query<K>, TypeError> {
+    if i == binders.len() {
+        // innermost: desugar the where-clause around the body
+        return match where_eq {
+            None => coerce_set(elaborate_in(body, ctx)?),
+            Some((lhs, rhs)) => {
+                let ql = elaborate_in(lhs, ctx)?;
+                let qr = elaborate_in(rhs, ctx)?;
+                let qbody = coerce_set(elaborate_in(body, ctx)?)?;
+                desugar_where(ql, qr, qbody)
+            }
+        };
+    }
+    let (v, src) = &binders[i];
+    let qsrc = coerce_set(elaborate_in(src, ctx)?)?;
+    ctx.push(v, QType::Tree);
+    let inner = elaborate_for(binders, where_eq, body, ctx, i + 1);
+    ctx.pop();
+    Ok(Query::new(
+        QueryNode::For {
+            var: v.clone(),
+            source: Box::new(qsrc),
+            body: Box::new(inner?),
+        },
+        QType::TreeSet,
+    ))
+}
+
+fn elaborate_let<K: Semiring>(
+    bindings: &[(String, SurfaceExpr<K>)],
+    body: &SurfaceExpr<K>,
+    ctx: &mut Context,
+    i: usize,
+) -> Result<Query<K>, TypeError> {
+    if i == bindings.len() {
+        return elaborate_in(body, ctx);
+    }
+    let (v, def) = &bindings[i];
+    let qdef = elaborate_in(def, ctx)?;
+    let def_ty = qdef.ty;
+    ctx.push(v, def_ty);
+    let inner = elaborate_let(bindings, body, ctx, i + 1);
+    ctx.pop();
+    let inner = inner?;
+    let ty = inner.ty;
+    Ok(Query::new(
+        QueryNode::Let {
+            var: v.clone(),
+            def: Box::new(qdef),
+            body: Box::new(inner),
+        },
+        ty,
+    ))
+}
+
+/// The paper's where-clause normalization (§3).
+fn desugar_where<K: Semiring>(
+    lhs: Query<K>,
+    rhs: Query<K>,
+    body: Query<K>,
+) -> Result<Query<K>, TypeError> {
+    if lhs.ty == QType::Label && rhs.ty == QType::Label {
+        let ty = body.ty;
+        return Ok(Query::new(
+            QueryNode::If {
+                l: Box::new(lhs),
+                r: Box::new(rhs),
+                then: Box::new(body),
+                els: Box::new(Query::new(QueryNode::Empty, QType::TreeSet)),
+            },
+            ty,
+        ));
+    }
+    let lset = coerce_set(lhs)?;
+    let rset = coerce_set(rhs)?;
+    let a = fresh("a");
+    let b = fresh("b");
+    let kids = |q: Query<K>| {
+        Query::new(
+            QueryNode::Path(
+                Box::new(q),
+                Step {
+                    axis: Axis::Child,
+                    test: NodeTest::Wildcard,
+                },
+            ),
+            QType::TreeSet,
+        )
+    };
+    let name_of = |v: &str| {
+        Query::new(
+            QueryNode::Name(Box::new(Query::new(
+                QueryNode::Var(v.to_owned()),
+                QType::Tree,
+            ))),
+            QType::Label,
+        )
+    };
+    let inner_if = Query::new(
+        QueryNode::If {
+            l: Box::new(name_of(&a)),
+            r: Box::new(name_of(&b)),
+            then: Box::new(body),
+            els: Box::new(Query::new(QueryNode::Empty, QType::TreeSet)),
+        },
+        QType::TreeSet,
+    );
+    let inner_for = Query::new(
+        QueryNode::For {
+            var: b.clone(),
+            source: Box::new(kids(rset)),
+            body: Box::new(inner_if),
+        },
+        QType::TreeSet,
+    );
+    Ok(Query::new(
+        QueryNode::For {
+            var: a,
+            source: Box::new(kids(lset)),
+            body: Box::new(inner_for),
+        },
+        QType::TreeSet,
+    ))
+}
+
+/// Wrap a tree (or label, as leaf) in its singleton set.
+fn singleton<K: Semiring>(q: Query<K>) -> Query<K> {
+    Query::new(QueryNode::Singleton(Box::new(q)), QType::TreeSet)
+}
+
+/// Coerce to `{tree}` (see module docs).
+fn coerce_set<K: Semiring>(q: Query<K>) -> Result<Query<K>, TypeError> {
+    match q.ty {
+        QType::TreeSet => Ok(q),
+        QType::Tree => Ok(singleton(q)),
+        QType::Label => {
+            // leaf-element convenience: `l` ↦ `(element l {()})`
+            let leaf = Query::new(
+                QueryNode::Element {
+                    name: Box::new(q),
+                    content: Box::new(Query::new(QueryNode::Empty, QType::TreeSet)),
+                },
+                QType::Tree,
+            );
+            Ok(singleton(leaf))
+        }
+    }
+}
+
+/// Unify if-branches: equal types, or both coerced to `{tree}`.
+fn unify_branches<K: Semiring>(
+    t: Query<K>,
+    e: Query<K>,
+) -> Result<(Query<K>, Query<K>, QType), TypeError> {
+    if t.ty == e.ty {
+        let ty = t.ty;
+        return Ok((t, e, ty));
+    }
+    if t.ty == QType::Label || e.ty == QType::Label {
+        return err(format!(
+            "if-branches have incompatible types {} and {}",
+            t.ty, e.ty
+        ));
+    }
+    let t2 = coerce_set(t)?;
+    let e2 = coerce_set(e)?;
+    Ok((t2, e2, QType::TreeSet))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+    use axml_semiring::{Nat, NatPoly};
+
+    fn elab(src: &str) -> Query<NatPoly> {
+        let s = parse_query::<NatPoly>(src).expect("parses");
+        elaborate(&s).unwrap_or_else(|e| panic!("elaboration of {src:?} failed: {e}"))
+    }
+
+    #[test]
+    fn paren_on_tree_is_singleton() {
+        let q = elab("(element a {()})");
+        assert_eq!(q.ty, QType::TreeSet);
+        assert!(matches!(q.node, QueryNode::Singleton(_)));
+    }
+
+    #[test]
+    fn paren_on_set_is_transparent() {
+        let q = elab("($S)");
+        assert!(matches!(q.node, QueryNode::Var(_)));
+        assert_eq!(q.ty, QType::TreeSet);
+    }
+
+    #[test]
+    fn free_vars_default_to_tree_set() {
+        let q = elab("$S");
+        assert_eq!(q.ty, QType::TreeSet);
+    }
+
+    #[test]
+    fn for_binds_tree() {
+        let q = elab("for $t in $S return ($t)");
+        let QueryNode::For { body, .. } = &q.node else { panic!() };
+        // ($t) with $t : tree elaborates to a singleton
+        assert!(matches!(body.node, QueryNode::Singleton(_)));
+    }
+
+    #[test]
+    fn multi_binders_nest() {
+        let q = elab("for $x in $R, $y in $S return ($x)");
+        let QueryNode::For { var, body, .. } = &q.node else { panic!() };
+        assert_eq!(var, "x");
+        assert!(matches!(
+            &body.node,
+            QueryNode::For { var, .. } if var == "y"
+        ));
+    }
+
+    #[test]
+    fn where_desugars_to_paper_form() {
+        let q = elab("for $x in $R, $y in $S where $x/B = $y/B return <t> {()} </t>");
+        // for x → for y → for a in x/B/* → for b in y/B/* → if name(a)=name(b)
+        let QueryNode::For { body: y_for, .. } = &q.node else { panic!() };
+        let QueryNode::For { body: a_for, .. } = &y_for.node else { panic!() };
+        let QueryNode::For { source, body: b_for, .. } = &a_for.node else {
+            panic!("expected where-generated for, got {a_for}")
+        };
+        // source is $x/B/child::*
+        let QueryNode::Path(_, step) = &source.node else { panic!() };
+        assert_eq!(step.test, NodeTest::Wildcard);
+        let QueryNode::For { body: if_q, .. } = &b_for.node else { panic!() };
+        assert!(matches!(if_q.node, QueryNode::If { .. }));
+    }
+
+    #[test]
+    fn where_on_labels_uses_if_directly() {
+        let q = elab("for $x in $R, $y in $S where name($x) = name($y) return ($x)");
+        let QueryNode::For { body, .. } = &q.node else { panic!() };
+        let QueryNode::For { body: inner, .. } = &body.node else { panic!() };
+        assert!(matches!(inner.node, QueryNode::If { .. }));
+    }
+
+    #[test]
+    fn element_content_coerced() {
+        let q = elab("element t { a }");
+        let QueryNode::Element { content, .. } = &q.node else { panic!() };
+        // bare label a became singleton(element a {()})
+        assert_eq!(content.ty, QType::TreeSet);
+        assert!(matches!(content.node, QueryNode::Singleton(_)));
+    }
+
+    #[test]
+    fn name_requires_tree() {
+        let s = parse_query::<Nat>("name($S)").unwrap();
+        let e = elaborate(&s).unwrap_err();
+        assert!(e.msg.contains("single tree"), "{e}");
+    }
+
+    #[test]
+    fn if_requires_labels() {
+        let s = parse_query::<Nat>("if ($S = $T) then a else b").unwrap();
+        let e = elaborate(&s).unwrap_err();
+        assert!(e.msg.contains("positivity"), "{e}");
+    }
+
+    #[test]
+    fn if_branches_unify_via_sets() {
+        // one branch tree, one branch set → both coerced
+        let q = elab("for $t in $S return if (name($t) = a) then element x {()} else ()");
+        let QueryNode::For { body, .. } = &q.node else { panic!() };
+        assert_eq!(body.ty, QType::TreeSet);
+    }
+
+    #[test]
+    fn if_label_branches_stay_labels() {
+        let q = elab("for $t in $S return (element {if (name($t) = a) then b else c} {()})");
+        assert_eq!(q.ty, QType::TreeSet);
+    }
+
+    #[test]
+    fn path_coerces_tree_source() {
+        // ($t)/A with $t : tree — the paper's elided coercion
+        let q = elab("for $t in $S return $t/A");
+        let QueryNode::For { body, .. } = &q.node else { panic!() };
+        let QueryNode::Path(src, _) = &body.node else { panic!() };
+        assert!(matches!(src.node, QueryNode::Singleton(_)));
+    }
+
+    #[test]
+    fn let_propagates_types() {
+        let q = elab("let $r := $d/R return for $t in $r return ($t)");
+        let QueryNode::Let { def, .. } = &q.node else { panic!() };
+        assert_eq!(def.ty, QType::TreeSet);
+    }
+
+    #[test]
+    fn annot_result_is_set() {
+        let q = elab("annot {2} (element a {()})");
+        assert_eq!(q.ty, QType::TreeSet);
+    }
+}

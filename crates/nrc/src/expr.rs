@@ -1,0 +1,571 @@
+//! The expression language of `NRC_K + srt` (§6.1), with builders,
+//! capture-avoiding substitution, and a calculus-style printer.
+
+use crate::types::Type;
+use axml_semiring::Semiring;
+use axml_uxml::Label;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Variable names in NRC expressions.
+pub type Name = String;
+
+/// An `NRC_K + srt` expression.
+///
+/// Use the builder functions ([`label`], [`var`], [`bigunion`], …) for
+/// readable construction; boxes are managed internally.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr<K: Semiring> {
+    /// A label constant `l`.
+    Label(Label),
+    /// A variable `x`.
+    Var(Name),
+    /// `let x := e₁ in e₂` (definable sugar at set type; primitive here
+    /// for all types — harmless and convenient for compilation).
+    Let {
+        /// Bound variable.
+        var: Name,
+        /// Definition.
+        def: Box<Expr<K>>,
+        /// Body.
+        body: Box<Expr<K>>,
+    },
+    /// Pairing `(e₁, e₂)`.
+    Pair(Box<Expr<K>>, Box<Expr<K>>),
+    /// First projection `π₁ e`.
+    Proj1(Box<Expr<K>>),
+    /// Second projection `π₂ e`.
+    Proj2(Box<Expr<K>>),
+    /// The empty collection `{}` at element type `elem`.
+    ///
+    /// The element type is carried explicitly so typechecking stays
+    /// syntax-directed (no unification needed).
+    Empty {
+        /// Element type of the empty collection.
+        elem: Type,
+    },
+    /// Singleton `{e}` — annotation `1`.
+    Singleton(Box<Expr<K>>),
+    /// Union `e₁ ∪ e₂` — pointwise annotation addition.
+    Union(Box<Expr<K>>, Box<Expr<K>>),
+    /// Big-union `∪(x ∈ source) body`.
+    BigUnion {
+        /// Bound variable.
+        var: Name,
+        /// The collection iterated over.
+        source: Box<Expr<K>>,
+        /// The body (a collection expression).
+        body: Box<Expr<K>>,
+    },
+    /// Positive conditional `if l = r then e₁ else e₂` — `l`, `r` are
+    /// **label**-typed (the positivity restriction of §6.1).
+    IfEq {
+        /// Left label.
+        l: Box<Expr<K>>,
+        /// Right label.
+        r: Box<Expr<K>>,
+        /// Taken when equal.
+        then: Box<Expr<K>>,
+        /// Taken when different.
+        els: Box<Expr<K>>,
+    },
+    /// Scalar annotation `k e` (multiplies every annotation in the
+    /// collection `e` by `k`; §6.2).
+    Scalar {
+        /// The scalar.
+        k: K,
+        /// The collection.
+        body: Box<Expr<K>>,
+    },
+    /// Tree constructor `Tree(e₁, e₂)` — label and child set.
+    Tree(Box<Expr<K>>, Box<Expr<K>>),
+    /// Root label observer `tag(e)`.
+    Tag(Box<Expr<K>>),
+    /// Children observer `kids(e)`.
+    Kids(Box<Expr<K>>),
+    /// Structural recursion `(srt(x, y). body) target` (§6.1/Fig 8).
+    ///
+    /// The result type `t` is annotated explicitly (as with
+    /// [`Expr::Empty`]) so typechecking stays syntax-directed: the rule
+    /// is `Γ, x:label, y:{t} ⊢ body : t` and the whole expression has
+    /// type `t`.
+    Srt {
+        /// Variable bound to the current node's label.
+        label_var: Name,
+        /// Variable bound to the K-set of recursive results.
+        acc_var: Name,
+        /// The declared result type `t`.
+        result: Type,
+        /// The recursion body.
+        body: Box<Expr<K>>,
+        /// The tree to recurse over.
+        target: Box<Expr<K>>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------
+
+/// A label constant.
+pub fn label<K: Semiring>(name: &str) -> Expr<K> {
+    Expr::Label(Label::new(name))
+}
+
+/// A variable reference.
+pub fn var<K: Semiring>(name: &str) -> Expr<K> {
+    Expr::Var(name.to_owned())
+}
+
+/// `let x := def in body`.
+pub fn let_<K: Semiring>(x: &str, def: Expr<K>, body: Expr<K>) -> Expr<K> {
+    Expr::Let {
+        var: x.to_owned(),
+        def: Box::new(def),
+        body: Box::new(body),
+    }
+}
+
+/// Pairing.
+pub fn pair<K: Semiring>(a: Expr<K>, b: Expr<K>) -> Expr<K> {
+    Expr::Pair(Box::new(a), Box::new(b))
+}
+
+/// First projection.
+pub fn proj1<K: Semiring>(e: Expr<K>) -> Expr<K> {
+    Expr::Proj1(Box::new(e))
+}
+
+/// Second projection.
+pub fn proj2<K: Semiring>(e: Expr<K>) -> Expr<K> {
+    Expr::Proj2(Box::new(e))
+}
+
+/// The empty collection at element type `elem`.
+pub fn empty<K: Semiring>(elem: Type) -> Expr<K> {
+    Expr::Empty { elem }
+}
+
+/// The empty `{tree}` collection (the UXQuery `()`).
+pub fn empty_trees<K: Semiring>() -> Expr<K> {
+    empty(Type::Tree)
+}
+
+/// Singleton `{e}`.
+pub fn singleton<K: Semiring>(e: Expr<K>) -> Expr<K> {
+    Expr::Singleton(Box::new(e))
+}
+
+/// Union `a ∪ b`.
+pub fn union<K: Semiring>(a: Expr<K>, b: Expr<K>) -> Expr<K> {
+    Expr::Union(Box::new(a), Box::new(b))
+}
+
+/// Big-union `∪(x ∈ source) body`.
+pub fn bigunion<K: Semiring>(x: &str, source: Expr<K>, body: Expr<K>) -> Expr<K> {
+    Expr::BigUnion {
+        var: x.to_owned(),
+        source: Box::new(source),
+        body: Box::new(body),
+    }
+}
+
+/// Conditional `if l = r then t else e`.
+pub fn if_eq<K: Semiring>(l: Expr<K>, r: Expr<K>, then: Expr<K>, els: Expr<K>) -> Expr<K> {
+    Expr::IfEq {
+        l: Box::new(l),
+        r: Box::new(r),
+        then: Box::new(then),
+        els: Box::new(els),
+    }
+}
+
+/// Scalar annotation `k e`.
+pub fn scalar<K: Semiring>(k: K, body: Expr<K>) -> Expr<K> {
+    Expr::Scalar {
+        k,
+        body: Box::new(body),
+    }
+}
+
+/// Tree constructor.
+pub fn tree_expr<K: Semiring>(lab: Expr<K>, kids: Expr<K>) -> Expr<K> {
+    Expr::Tree(Box::new(lab), Box::new(kids))
+}
+
+/// `tag(e)`.
+pub fn tag<K: Semiring>(e: Expr<K>) -> Expr<K> {
+    Expr::Tag(Box::new(e))
+}
+
+/// `kids(e)`.
+pub fn kids<K: Semiring>(e: Expr<K>) -> Expr<K> {
+    Expr::Kids(Box::new(e))
+}
+
+/// Structural recursion `(srt(x, y). body) target` with declared
+/// result type `t` (see [`Expr::Srt`]).
+pub fn srt<K: Semiring>(
+    x: &str,
+    y: &str,
+    result: Type,
+    body: Expr<K>,
+    target: Expr<K>,
+) -> Expr<K> {
+    Expr::Srt {
+        label_var: x.to_owned(),
+        acc_var: y.to_owned(),
+        result,
+        body: Box::new(body),
+        target: Box::new(target),
+    }
+}
+
+/// `flatten W ≜ ∪(w ∈ W) w` (§6.1).
+pub fn flatten<K: Semiring>(w: Expr<K>) -> Expr<K> {
+    let fresh = fresh_name("w");
+    bigunion(&fresh, w, var(&fresh))
+}
+
+// ---------------------------------------------------------------------
+// Free variables & substitution
+// ---------------------------------------------------------------------
+
+/// Generate a fresh variable name (process-unique) with a hint prefix.
+pub fn fresh_name(hint: &str) -> Name {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("{hint}%{n}")
+}
+
+impl<K: Semiring> Expr<K> {
+    /// The free variables of this expression.
+    pub fn free_vars(&self) -> BTreeSet<Name> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<Name>, out: &mut BTreeSet<Name>) {
+        match self {
+            Expr::Label(_) | Expr::Empty { .. } => {}
+            Expr::Var(x) => {
+                if !bound.iter().any(|b| b == x) {
+                    out.insert(x.clone());
+                }
+            }
+            Expr::Let { var, def, body } => {
+                def.collect_free(bound, out);
+                bound.push(var.clone());
+                body.collect_free(bound, out);
+                bound.pop();
+            }
+            Expr::Pair(a, b) | Expr::Union(a, b) | Expr::Tree(a, b) => {
+                a.collect_free(bound, out);
+                b.collect_free(bound, out);
+            }
+            Expr::Proj1(e)
+            | Expr::Proj2(e)
+            | Expr::Singleton(e)
+            | Expr::Tag(e)
+            | Expr::Kids(e)
+            | Expr::Scalar { body: e, .. } => e.collect_free(bound, out),
+            Expr::BigUnion { var, source, body } => {
+                source.collect_free(bound, out);
+                bound.push(var.clone());
+                body.collect_free(bound, out);
+                bound.pop();
+            }
+            Expr::IfEq { l, r, then, els } => {
+                l.collect_free(bound, out);
+                r.collect_free(bound, out);
+                then.collect_free(bound, out);
+                els.collect_free(bound, out);
+            }
+            Expr::Srt {
+                label_var,
+                acc_var,
+                body,
+                target,
+                ..
+            } => {
+                target.collect_free(bound, out);
+                bound.push(label_var.clone());
+                bound.push(acc_var.clone());
+                body.collect_free(bound, out);
+                bound.pop();
+                bound.pop();
+            }
+        }
+    }
+
+    /// Capture-avoiding substitution `self[x := e]`.
+    pub fn subst(&self, x: &str, e: &Expr<K>) -> Expr<K> {
+        match self {
+            Expr::Label(_) | Expr::Empty { .. } => self.clone(),
+            Expr::Var(y) => {
+                if y == x {
+                    e.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Let { var, def, body } => {
+                let def2 = def.subst(x, e);
+                if var == x {
+                    Expr::Let {
+                        var: var.clone(),
+                        def: Box::new(def2),
+                        body: body.clone(),
+                    }
+                } else if e.free_vars().contains(var) {
+                    let fresh = fresh_name(var);
+                    let body2 = body.subst(var, &Expr::Var(fresh.clone()));
+                    Expr::Let {
+                        var: fresh,
+                        def: Box::new(def2),
+                        body: Box::new(body2.subst(x, e)),
+                    }
+                } else {
+                    Expr::Let {
+                        var: var.clone(),
+                        def: Box::new(def2),
+                        body: Box::new(body.subst(x, e)),
+                    }
+                }
+            }
+            Expr::Pair(a, b) => pair(a.subst(x, e), b.subst(x, e)),
+            Expr::Proj1(a) => proj1(a.subst(x, e)),
+            Expr::Proj2(a) => proj2(a.subst(x, e)),
+            Expr::Singleton(a) => singleton(a.subst(x, e)),
+            Expr::Union(a, b) => union(a.subst(x, e), b.subst(x, e)),
+            Expr::BigUnion { var, source, body } => {
+                let source2 = source.subst(x, e);
+                if var == x {
+                    Expr::BigUnion {
+                        var: var.clone(),
+                        source: Box::new(source2),
+                        body: body.clone(),
+                    }
+                } else if e.free_vars().contains(var) {
+                    let fresh = fresh_name(var);
+                    let body2 = body.subst(var, &Expr::Var(fresh.clone()));
+                    Expr::BigUnion {
+                        var: fresh,
+                        source: Box::new(source2),
+                        body: Box::new(body2.subst(x, e)),
+                    }
+                } else {
+                    Expr::BigUnion {
+                        var: var.clone(),
+                        source: Box::new(source2),
+                        body: Box::new(body.subst(x, e)),
+                    }
+                }
+            }
+            Expr::IfEq { l, r, then, els } => if_eq(
+                l.subst(x, e),
+                r.subst(x, e),
+                then.subst(x, e),
+                els.subst(x, e),
+            ),
+            Expr::Scalar { k, body } => scalar(k.clone(), body.subst(x, e)),
+            Expr::Tree(a, b) => tree_expr(a.subst(x, e), b.subst(x, e)),
+            Expr::Tag(a) => tag(a.subst(x, e)),
+            Expr::Kids(a) => kids(a.subst(x, e)),
+            Expr::Srt {
+                label_var,
+                acc_var,
+                result,
+                body,
+                target,
+            } => {
+                let target2 = target.subst(x, e);
+                if label_var == x || acc_var == x {
+                    Expr::Srt {
+                        label_var: label_var.clone(),
+                        acc_var: acc_var.clone(),
+                        result: result.clone(),
+                        body: body.clone(),
+                        target: Box::new(target2),
+                    }
+                } else {
+                    let efv = e.free_vars();
+                    let (lv, av, body) = if efv.contains(label_var) || efv.contains(acc_var)
+                    {
+                        let lv = fresh_name(label_var);
+                        let av = fresh_name(acc_var);
+                        let b = body
+                            .subst(label_var, &Expr::Var(lv.clone()))
+                            .subst(acc_var, &Expr::Var(av.clone()));
+                        (lv, av, b)
+                    } else {
+                        (label_var.clone(), acc_var.clone(), (**body).clone())
+                    };
+                    Expr::Srt {
+                        label_var: lv,
+                        acc_var: av,
+                        result: result.clone(),
+                        body: Box::new(body.subst(x, e)),
+                        target: Box::new(target2),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Node count of the expression — the `|p|` of Prop 2's bound.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Label(_) | Expr::Var(_) | Expr::Empty { .. } => 1,
+            Expr::Let { def, body, .. } => 1 + def.size() + body.size(),
+            Expr::Pair(a, b) | Expr::Union(a, b) | Expr::Tree(a, b) => {
+                1 + a.size() + b.size()
+            }
+            Expr::Proj1(e)
+            | Expr::Proj2(e)
+            | Expr::Singleton(e)
+            | Expr::Tag(e)
+            | Expr::Kids(e)
+            | Expr::Scalar { body: e, .. } => 1 + e.size(),
+            Expr::BigUnion { source, body, .. } => 1 + source.size() + body.size(),
+            Expr::IfEq { l, r, then, els } => {
+                1 + l.size() + r.size() + then.size() + els.size()
+            }
+            Expr::Srt { body, target, .. } => 1 + body.size() + target.size(),
+        }
+    }
+}
+
+impl<K: Semiring> fmt::Display for Expr<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Label(l) => write!(f, "'{l}'"),
+            Expr::Var(x) => write!(f, "{x}"),
+            Expr::Let { var, def, body } => {
+                write!(f, "let {var} := {def} in {body}")
+            }
+            Expr::Pair(a, b) => write!(f, "({a}, {b})"),
+            Expr::Proj1(e) => write!(f, "π1({e})"),
+            Expr::Proj2(e) => write!(f, "π2({e})"),
+            Expr::Empty { elem } => write!(f, "{{}}:{elem}"),
+            Expr::Singleton(e) => write!(f, "{{{e}}}"),
+            Expr::Union(a, b) => write!(f, "({a} ∪ {b})"),
+            Expr::BigUnion { var, source, body } => {
+                write!(f, "∪({var} ∈ {source}) {body}")
+            }
+            Expr::IfEq { l, r, then, els } => {
+                write!(f, "if {l} = {r} then {then} else {els}")
+            }
+            Expr::Scalar { k, body } => write!(f, "scalar{{{k:?}}} {body}"),
+            Expr::Tree(a, b) => write!(f, "Tree({a}, {b})"),
+            Expr::Tag(e) => write!(f, "tag({e})"),
+            Expr::Kids(e) => write!(f, "kids({e})"),
+            Expr::Srt {
+                label_var,
+                acc_var,
+                result,
+                body,
+                target,
+            } => write!(
+                f,
+                "(srt({label_var}, {acc_var}):{result}. {body}) {target}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_semiring::Nat;
+
+    type E = Expr<Nat>;
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let e: E = bigunion("x", var("R"), singleton(pair(var("x"), var("y"))));
+        let fv = e.free_vars();
+        assert!(fv.contains("R"));
+        assert!(fv.contains("y"));
+        assert!(!fv.contains("x"));
+    }
+
+    #[test]
+    fn let_binds_only_in_body() {
+        let e: E = let_("x", var("x"), var("x"));
+        assert_eq!(e.free_vars(), BTreeSet::from(["x".to_owned()]));
+    }
+
+    #[test]
+    fn srt_binds_two_vars() {
+        let e: E = srt(
+            "b",
+            "s",
+            Type::pair_of(Type::Label, Type::Label.set_of().set_of()),
+            pair(var("b"), var("s")),
+            var("t"),
+        );
+        assert_eq!(e.free_vars(), BTreeSet::from(["t".to_owned()]));
+    }
+
+    #[test]
+    fn subst_basic() {
+        let e: E = singleton(var("x"));
+        let r = e.subst("x", &label("a"));
+        assert_eq!(r, singleton(label("a")));
+    }
+
+    #[test]
+    fn subst_shadowing_stops() {
+        let e: E = bigunion("x", var("x"), singleton(var("x")));
+        // outer free x in source replaced; bound body occurrence kept
+        let r = e.subst("x", &var("R"));
+        match r {
+            Expr::BigUnion { var: v, source, body } => {
+                assert_eq!(*source, Expr::Var("R".into()));
+                assert_eq!(*body, singleton(Expr::Var(v)));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn subst_avoids_capture() {
+        // (∪(y ∈ R) {x})[x := y]  must NOT capture y
+        let e: E = bigunion("y", var("R"), singleton(var("x")));
+        let r = e.subst("x", &var("y"));
+        match &r {
+            Expr::BigUnion { var: v, body, .. } => {
+                assert_ne!(v, "y", "binder must be renamed");
+                assert_eq!(**body, singleton::<Nat>(var("y")));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e: E = union(singleton(label("a")), empty_trees());
+        assert_eq!(e.size(), 4);
+    }
+
+    #[test]
+    fn display_is_calculus_style() {
+        let e: E = bigunion("x", var("R"), singleton(var("x")));
+        assert_eq!(e.to_string(), "∪(x ∈ R) {x}");
+        let e2: E = if_eq(tag(var("t")), label("a"), singleton(var("t")), empty_trees());
+        assert_eq!(
+            e2.to_string(),
+            "if tag(t) = 'a' then {t} else {}:tree"
+        );
+    }
+
+    #[test]
+    fn fresh_names_are_unique() {
+        let a = fresh_name("x");
+        let b = fresh_name("x");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,61 @@
+//! `NRC_K + srt`: the positive Nested Relational Calculus over
+//! semiring-annotated complex values, extended with a recursive tree
+//! type and structural recursion (§6 of Foster, Green & Tannen,
+//! PODS 2008).
+//!
+//! This calculus is the semantic target of K-UXQuery: `axml-core`
+//! compiles queries into [`Expr`]s which are evaluated here over
+//! [`CValue`]s (K-complex values). It is also of independent interest —
+//! the paper notes NRC is used by itself in various contexts.
+//!
+//! # The calculus
+//!
+//! Types: `label | t × t | {t} | tree` ([`Type`]).
+//!
+//! Expressions ([`Expr`]): labels, variables, pairing/projections, the
+//! set constructors `{}` / `{e}` / `e ∪ e`, the **big-union**
+//! `∪(x ∈ e₁) e₂`, positive conditionals on labels, scalar annotation
+//! `k e`, the tree constructor `Tree(e₁, e₂)` with observers `tag`/
+//! `kids`, and structural recursion `(srt(x, y). e₁) e₂` obeying
+//! Equation (1) of the paper:
+//!
+//! ```text
+//! (srt(x,y).e₁) Tree(e₂,e₃) = e₁[x := e₂, y := ∪(z ∈ e₃) {(srt(x,y).e₁) z}]
+//! ```
+//!
+//! # Semantics (Fig 8)
+//!
+//! `[[{t}]]_K` is the free K-semimodule ([`axml_semiring::KSet`]); the
+//! big-union is its monadic bind, multiplying inner annotations by the
+//! annotation of the bound element. See [`eval()`].
+//!
+//! # Theorems carried by this crate
+//!
+//! - **Theorem 1** (commutation with homomorphisms): [`hom`] lifts any
+//!   semiring homomorphism over expressions and values; the property
+//!   `H(e(v)) = H(e)(H(v))` is tested in this crate and at workspace
+//!   level.
+//! - **Prop 5** (equational axioms): [`axioms`] implements the
+//!   Appendix-A equations as a semantics-preserving rewriter.
+//! - **Prop 4** (agreement with RA⁺ on K-relations): [`ra`] gives the
+//!   standard NRC encoding of the positive relational algebra.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod axioms;
+pub mod eval;
+pub mod expr;
+pub mod hom;
+pub mod parse;
+pub mod ra;
+pub mod typecheck;
+pub mod types;
+pub mod value;
+
+pub use eval::{eval, eval_closed, Env, EvalError};
+pub use parse::{parse_expr, parse_type};
+pub use expr::Expr;
+pub use typecheck::{typecheck, typecheck_closed, TypeContext, TypeError};
+pub use types::Type;
+pub use value::CValue;

@@ -1,0 +1,526 @@
+//! A text syntax for `NRC_K + srt` expressions and types.
+//!
+//! The grammar accepts exactly what the [`std::fmt::Display`]
+//! implementation of [`Expr`] prints (plus ASCII equivalents), so
+//! `parse(e.to_string()) == e` for every expression — a property
+//! round-trip-tested below. The calculus syntax follows the paper:
+//!
+//! ```text
+//! e ::= 'l'                       label constant
+//!     | x                         variable
+//!     | let x := e in e
+//!     | (e, e) | π1(e) | π2(e)    (ASCII: p1/p2)
+//!     | {}:t | {e} | (e ∪ e)      (ASCII: e \/ e)
+//!     | ∪(x ∈ e) e                (ASCII: U(x in e) e)
+//!     | if e = e then e else e
+//!     | k·e                       scalar annotation (ASCII: k . e is NOT
+//!                                 used; write k·e with the middle dot,
+//!                                 or `scalar{K-text} e`)
+//!     | Tree(e, e) | tag(e) | kids(e)
+//!     | (srt(x, y):t. e) e        structural recursion
+//!     | (e)                       grouping
+//! t ::= label | tree | {t} | (t × t)   (ASCII: (t * t))
+//! ```
+//!
+//! Scalars parse through the same [`ParseAnnotation`] hook as document
+//! annotations, so `ℕ[X]` expressions accept polynomial text:
+//! `scalar{x1 + 2} {…}` or `3·{…}` (the `Debug` form printed by
+//! `Display` is accepted back for the built-in semirings).
+
+use crate::expr::{self, Expr};
+use crate::types::Type;
+use axml_semiring::Semiring;
+use axml_uxml::{Label, ParseAnnotation};
+use std::fmt;
+
+/// A parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description.
+    pub msg: String,
+    /// Byte offset into the source.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NRC parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse an NRC expression.
+///
+/// ```
+/// use axml_nrc::parse::parse_expr;
+/// use axml_semiring::Nat;
+/// let e = parse_expr::<Nat>("∪(x ∈ R) {π1(x)}").unwrap();
+/// assert_eq!(e.to_string(), "∪(x ∈ R) {π1(x)}");
+/// ```
+pub fn parse_expr<K: Semiring + ParseAnnotation>(src: &str) -> Result<Expr<K>, ParseError> {
+    let mut p = Parser { src, pos: 0 };
+    let e = p.parse_expr()?;
+    p.skip_ws();
+    if p.pos < src.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(e)
+}
+
+/// Parse a type.
+pub fn parse_type(src: &str) -> Result<Type, ParseError> {
+    let mut p = Parser { src, pos: 0 };
+    let t = p.parse_type()?;
+    p.skip_ws();
+    if p.pos < src.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(t)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let r = self.rest();
+        let t = r.trim_start();
+        self.pos += r.len() - t.len();
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    fn peek_ident(&mut self) -> Option<&'a str> {
+        self.skip_ws();
+        let r = self.rest();
+        let mut end = 0;
+        for (i, c) in r.char_indices() {
+            let ok = if i == 0 {
+                c.is_alphabetic() || c == '_'
+            } else {
+                c.is_alphanumeric() || matches!(c, '_' | '%')
+            };
+            if ok {
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        (end > 0).then(|| &r[..end])
+    }
+
+    fn eat_ident(&mut self) -> Option<&'a str> {
+        let id = self.peek_ident()?;
+        self.pos += id.len();
+        Some(id)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_ident() == Some(kw) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn read_braced_raw(&mut self) -> Result<&'a str, ParseError> {
+        self.expect("{")?;
+        let start = self.pos;
+        let mut depth = 1usize;
+        for (i, c) in self.rest().char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let text = &self.src[start..start + i];
+                        self.pos = start + i + 1;
+                        return Ok(text);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Err(self.err("unterminated '{'"))
+    }
+
+    // -- types --------------------------------------------------------
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        self.skip_ws();
+        if self.eat("{") {
+            let inner = self.parse_type()?;
+            self.expect("}")?;
+            return Ok(inner.set_of());
+        }
+        if self.eat("(") {
+            let a = self.parse_type()?;
+            if self.eat("×") || self.eat("*") {
+                let b = self.parse_type()?;
+                self.expect(")")?;
+                return Ok(Type::pair_of(a, b));
+            }
+            self.expect(")")?;
+            return Ok(a);
+        }
+        if self.eat_keyword("label") {
+            return Ok(Type::Label);
+        }
+        if self.eat_keyword("tree") {
+            return Ok(Type::Tree);
+        }
+        Err(self.err("expected a type (label, tree, {t}, (t × t))"))
+    }
+
+    // -- expressions ----------------------------------------------------
+
+    /// expr := unionExpr
+    fn parse_expr<K: Semiring + ParseAnnotation>(&mut self) -> Result<Expr<K>, ParseError> {
+        let mut acc = self.parse_prefix()?;
+        loop {
+            self.skip_ws();
+            if self.eat("∪") || self.eat("\\/") {
+                // binary union (the big-union form is handled in prefix
+                // position; after an operand `∪` must be binary)
+                let rhs = self.parse_prefix()?;
+                acc = expr::union(acc, rhs);
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn parse_prefix<K: Semiring + ParseAnnotation>(&mut self) -> Result<Expr<K>, ParseError> {
+        self.skip_ws();
+        // big-union: ∪(x ∈ e) e  /  U(x in e) e
+        if self.rest().starts_with("∪(") || self.rest().starts_with("U(") {
+            let sigil = if self.rest().starts_with('∪') { "∪" } else { "U" };
+            self.expect(sigil)?;
+            self.expect("(")?;
+            let x = self
+                .eat_ident()
+                .ok_or_else(|| self.err("expected a variable"))?
+                .to_owned();
+            if !(self.eat("∈") || self.eat_keyword("in")) {
+                return Err(self.err("expected '∈' or 'in'"));
+            }
+            let source = self.parse_expr()?;
+            self.expect(")")?;
+            let body = self.parse_prefix()?;
+            return Ok(expr::bigunion(&x, source, body));
+        }
+        if self.eat_keyword("let") {
+            let x = self
+                .eat_ident()
+                .ok_or_else(|| self.err("expected a variable"))?
+                .to_owned();
+            self.expect(":=")?;
+            // Trailing sub-expression positions parse at prefix level:
+            // Display always parenthesizes binary unions, so a bare
+            // `∪` after this position belongs to an enclosing union.
+            let def = self.parse_prefix()?;
+            if !self.eat_keyword("in") {
+                return Err(self.err("expected 'in'"));
+            }
+            let body = self.parse_prefix()?;
+            return Ok(expr::let_(&x, def, body));
+        }
+        if self.eat_keyword("if") {
+            let l = self.parse_prefix()?;
+            self.expect("=")?;
+            let r = self.parse_prefix()?;
+            if !self.eat_keyword("then") {
+                return Err(self.err("expected 'then'"));
+            }
+            let t = self.parse_prefix()?;
+            if !self.eat_keyword("else") {
+                return Err(self.err("expected 'else'"));
+            }
+            let e = self.parse_prefix()?;
+            return Ok(expr::if_eq(l, r, t, e));
+        }
+        if self.eat_keyword("scalar") {
+            let text = self.read_braced_raw()?;
+            let k = K::parse_annotation(text).map_err(|m| self.err(m))?;
+            let body = self.parse_prefix()?;
+            return Ok(expr::scalar(k, body));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix<K: Semiring + ParseAnnotation>(&mut self) -> Result<Expr<K>, ParseError> {
+        let e = self.parse_primary()?;
+        Ok(e)
+    }
+
+    fn parse_primary<K: Semiring + ParseAnnotation>(&mut self) -> Result<Expr<K>, ParseError> {
+        self.skip_ws();
+        let r = self.rest();
+
+        // label constant 'l'
+        if r.starts_with('\'') {
+            self.pos += 1;
+            let rest = self.rest();
+            let Some(endq) = rest.find('\'') else {
+                return Err(self.err("unterminated label quote"));
+            };
+            let name = &rest[..endq];
+            self.pos += endq + 1;
+            return Ok(Expr::Label(Label::new(name)));
+        }
+
+        // {}:t  or  {e}
+        if r.starts_with('{') {
+            // try empty-with-type first
+            let save = self.pos;
+            self.pos += 1;
+            self.skip_ws();
+            if self.eat("}") {
+                self.expect(":")?;
+                let t = self.parse_type()?;
+                return Ok(expr::empty(t));
+            }
+            self.pos = save;
+            self.expect("{")?;
+            let inner = self.parse_expr()?;
+            self.expect("}")?;
+            return Ok(expr::singleton(inner));
+        }
+
+        // projections and observers
+        for (names, build) in [
+            (
+                &["π1", "p1"][..],
+                expr::proj1 as fn(Expr<K>) -> Expr<K>,
+            ),
+            (&["π2", "p2"][..], expr::proj2 as fn(Expr<K>) -> Expr<K>),
+            (&["tag"][..], expr::tag as fn(Expr<K>) -> Expr<K>),
+            (&["kids"][..], expr::kids as fn(Expr<K>) -> Expr<K>),
+        ] {
+            for name in names {
+                let is_word = name.chars().next().is_some_and(|c| c.is_ascii_alphabetic());
+                let matches = if is_word {
+                    self.peek_ident() == Some(*name)
+                } else {
+                    self.rest().starts_with(name)
+                };
+                if matches {
+                    let save = self.pos;
+                    self.pos += name.len();
+                    if self.eat("(") {
+                        let inner = self.parse_expr()?;
+                        self.expect(")")?;
+                        return Ok(build(inner));
+                    }
+                    self.pos = save;
+                }
+            }
+        }
+
+        // Tree(e, e)
+        if self.peek_ident() == Some("Tree") {
+            let save = self.pos;
+            self.pos += 4;
+            if self.eat("(") {
+                let a = self.parse_expr()?;
+                self.expect(",")?;
+                let b = self.parse_expr()?;
+                self.expect(")")?;
+                return Ok(expr::tree_expr(a, b));
+            }
+            self.pos = save;
+        }
+
+        // ( … ): group, pair, or srt application
+        if r.starts_with('(') {
+            self.pos += 1;
+            self.skip_ws();
+            // (srt(x, y):t. body) target
+            if self.peek_ident() == Some("srt") {
+                self.pos += 3;
+                self.expect("(")?;
+                let x = self
+                    .eat_ident()
+                    .ok_or_else(|| self.err("expected srt label variable"))?
+                    .to_owned();
+                self.expect(",")?;
+                let y = self
+                    .eat_ident()
+                    .ok_or_else(|| self.err("expected srt accumulator variable"))?
+                    .to_owned();
+                self.expect(")")?;
+                self.expect(":")?;
+                let t = self.parse_type()?;
+                self.expect(".")?;
+                let body = self.parse_expr()?;
+                self.expect(")")?;
+                let target = self.parse_prefix()?;
+                return Ok(expr::srt(&x, &y, t, body, target));
+            }
+            let a = self.parse_expr()?;
+            if self.eat(",") {
+                let b = self.parse_expr()?;
+                self.expect(")")?;
+                return Ok(expr::pair(a, b));
+            }
+            self.expect(")")?;
+            return Ok(a);
+        }
+
+        // scalar written as Debug·expr, e.g. `3·{…}` or `x1 + 1·…` is
+        // ambiguous, so only a simple token before `·` is accepted:
+        // try to lex a scalar token up to '·'
+        if let Some(dot) = r.find('·') {
+            let candidate = &r[..dot];
+            if !candidate.is_empty()
+                && !candidate.contains(|c: char| c.is_whitespace() || "(){}".contains(c))
+            {
+                if let Ok(k) = K::parse_annotation(candidate) {
+                    self.pos += dot + '·'.len_utf8();
+                    let body = self.parse_prefix()?;
+                    return Ok(expr::scalar(k, body));
+                }
+            }
+        }
+
+        // variable
+        if let Some(id) = self.eat_ident() {
+            return Ok(expr::var(id));
+        }
+
+        Err(self.err("expected an expression"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::*;
+    use axml_semiring::{Nat, NatPoly};
+
+    fn roundtrip<K: Semiring + ParseAnnotation>(e: &Expr<K>) {
+        let printed = e.to_string();
+        let parsed = parse_expr::<K>(&printed)
+            .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+        assert_eq!(&parsed, e, "roundtrip through `{printed}`");
+    }
+
+    #[test]
+    fn parse_basics() {
+        let e = parse_expr::<Nat>("∪(x ∈ R) {π1(x)}").unwrap();
+        assert_eq!(
+            e,
+            bigunion("x", var("R"), singleton(proj1(var("x"))))
+        );
+        let e2 = parse_expr::<Nat>("U(x in R) {p1(x)}").unwrap();
+        assert_eq!(e, e2, "ASCII spellings accepted");
+    }
+
+    #[test]
+    fn parse_types() {
+        assert_eq!(parse_type("label").unwrap(), Type::Label);
+        assert_eq!(parse_type("{tree}").unwrap(), Type::tree_set());
+        assert_eq!(
+            parse_type("({tree} × tree)").unwrap(),
+            Type::pair_of(Type::tree_set(), Type::Tree)
+        );
+        assert_eq!(
+            parse_type("({tree} * tree)").unwrap(),
+            Type::pair_of(Type::tree_set(), Type::Tree)
+        );
+        assert!(parse_type("nope").is_err());
+    }
+
+    #[test]
+    fn roundtrip_representative_expressions() {
+        let exprs: Vec<Expr<Nat>> = vec![
+            label("a"),
+            var("x"),
+            pair(label("a"), singleton(label("b"))),
+            proj1(pair(var("x"), var("y"))),
+            empty(Type::Tree),
+            empty(Type::pair_of(Type::Label, Type::tree_set())),
+            union(singleton(label("a")), empty(Type::Label)),
+            bigunion("x", var("R"), singleton(var("x"))),
+            if_eq(tag(var("t")), label("a"), singleton(var("t")), empty(Type::Tree)),
+            scalar(Nat(3), singleton(label("a"))),
+            tree_expr(label("a"), empty(Type::Tree)),
+            kids(var("t")),
+            let_("w", var("R"), union(var("w"), var("w"))),
+            srt(
+                "b",
+                "s",
+                Type::pair_of(Type::tree_set(), Type::Tree),
+                pair(bigunion("v", var("s"), proj1(var("v"))), tree_expr(var("b"), empty(Type::Tree))),
+                var("t"),
+            ),
+            flatten(var("W")),
+        ];
+        for e in &exprs {
+            roundtrip(e);
+        }
+    }
+
+    #[test]
+    fn scalar_spellings() {
+        let a = parse_expr::<NatPoly>("scalar{x1 + 2} {x}").unwrap();
+        // `(x1 + 2)·…` has parens, which the short `k·e` form rejects —
+        // the braced form is the general syntax:
+        assert!(parse_expr::<NatPoly>("(x1 + 2)·{x}").is_err());
+        let Expr::Scalar { k, .. } = &a else { panic!() };
+        assert_eq!(k, &"x1 + 2".parse::<NatPoly>().unwrap());
+        // the short form covers Display's Debug rendering
+        let c = parse_expr::<Nat>("3·{x}").unwrap();
+        assert_eq!(c, scalar(Nat(3), singleton(var("x"))));
+    }
+
+    #[test]
+    fn error_positions() {
+        assert!(parse_expr::<Nat>("∪(x ∈ R)").is_err());
+        assert!(parse_expr::<Nat>("{a").is_err());
+        assert!(parse_expr::<Nat>("{}:").is_err());
+        assert!(parse_expr::<Nat>("let x := y").is_err());
+        assert!(parse_expr::<Nat>("π1(x) garbage").is_err());
+        assert!(parse_expr::<Nat>("'unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_then_eval() {
+        use crate::eval::eval_closed;
+        let e = parse_expr::<Nat>("∪(x ∈ {'a'} ∪ scalar{2} {'b'}) {(x, x)}").unwrap();
+        let v = eval_closed(&e).unwrap();
+        let s = v.as_set().unwrap();
+        assert_eq!(s.support_len(), 2);
+    }
+}

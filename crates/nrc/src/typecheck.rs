@@ -1,0 +1,357 @@
+//! Typechecking `NRC_K + srt` (§6.1).
+//!
+//! The positive fragment is enforced here: the conditional compares
+//! **labels only** (comparing sets would let queries express
+//! non-monotonic operations, which semirings cannot interpret — §6.1).
+
+use crate::expr::{Expr, Name};
+use crate::types::Type;
+use axml_semiring::Semiring;
+use std::fmt;
+
+/// A typing context Γ: a stack of `(name, type)` bindings.
+#[derive(Clone, Default, Debug)]
+pub struct TypeContext {
+    bindings: Vec<(Name, Type)>,
+}
+
+impl TypeContext {
+    /// The empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from bindings.
+    pub fn from_bindings<I: IntoIterator<Item = (Name, Type)>>(iter: I) -> Self {
+        TypeContext {
+            bindings: iter.into_iter().collect(),
+        }
+    }
+
+    /// Push a binding (shadowing earlier ones).
+    pub fn push(&mut self, name: &str, ty: Type) {
+        self.bindings.push((name.to_owned(), ty));
+    }
+
+    /// Pop the most recent binding.
+    pub fn pop(&mut self) {
+        self.bindings.pop();
+    }
+
+    /// Look up the innermost binding of `name`.
+    pub fn lookup(&self, name: &str) -> Option<&Type> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+}
+
+/// A type error with the offending sub-expression rendered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Description of the failure.
+    pub msg: String,
+    /// Rendering of the subexpression where it occurred.
+    pub at: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {} (at `{}`)", self.msg, self.at)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+fn err<T, K: Semiring>(e: &Expr<K>, msg: impl Into<String>) -> Result<T, TypeError> {
+    Err(TypeError {
+        msg: msg.into(),
+        at: e.to_string(),
+    })
+}
+
+/// Typecheck a closed expression.
+pub fn typecheck_closed<K: Semiring>(e: &Expr<K>) -> Result<Type, TypeError> {
+    typecheck(e, &mut TypeContext::new())
+}
+
+/// Typecheck `e` in context `ctx`, returning its type.
+pub fn typecheck<K: Semiring>(
+    e: &Expr<K>,
+    ctx: &mut TypeContext,
+) -> Result<Type, TypeError> {
+    match e {
+        Expr::Label(_) => Ok(Type::Label),
+        Expr::Var(x) => match ctx.lookup(x) {
+            Some(t) => Ok(t.clone()),
+            None => err(e, format!("unbound variable `{x}`")),
+        },
+        Expr::Let { var, def, body } => {
+            let td = typecheck(def, ctx)?;
+            ctx.push(var, td);
+            let tb = typecheck(body, ctx);
+            ctx.pop();
+            tb
+        }
+        Expr::Pair(a, b) => {
+            let ta = typecheck(a, ctx)?;
+            let tb = typecheck(b, ctx)?;
+            Ok(Type::pair_of(ta, tb))
+        }
+        Expr::Proj1(inner) => match typecheck(inner, ctx)? {
+            Type::Pair(a, _) => Ok(*a),
+            other => err(e, format!("π1 applied to non-pair type {other}")),
+        },
+        Expr::Proj2(inner) => match typecheck(inner, ctx)? {
+            Type::Pair(_, b) => Ok(*b),
+            other => err(e, format!("π2 applied to non-pair type {other}")),
+        },
+        Expr::Empty { elem } => Ok(elem.clone().set_of()),
+        Expr::Singleton(inner) => Ok(typecheck(inner, ctx)?.set_of()),
+        Expr::Union(a, b) => {
+            let ta = typecheck(a, ctx)?;
+            let tb = typecheck(b, ctx)?;
+            if !matches!(ta, Type::Set(_)) {
+                return err(e, format!("∪ on non-set type {ta}"));
+            }
+            if ta != tb {
+                return err(e, format!("∪ of mismatched types {ta} and {tb}"));
+            }
+            Ok(ta)
+        }
+        Expr::BigUnion { var, source, body } => {
+            let ts = typecheck(source, ctx)?;
+            let Type::Set(elem) = ts else {
+                return err(e, format!("big-union source has non-set type {ts}"));
+            };
+            ctx.push(var, *elem);
+            let tb = typecheck(body, ctx);
+            ctx.pop();
+            let tb = tb?;
+            if !matches!(tb, Type::Set(_)) {
+                return err(e, format!("big-union body has non-set type {tb}"));
+            }
+            Ok(tb)
+        }
+        Expr::IfEq { l, r, then, els } => {
+            let tl = typecheck(l, ctx)?;
+            let tr = typecheck(r, ctx)?;
+            if tl != Type::Label || tr != Type::Label {
+                // §6.1: "we only compare label values" — positivity.
+                return err(
+                    e,
+                    format!("conditional compares {tl} and {tr}; only labels may be compared"),
+                );
+            }
+            let tt = typecheck(then, ctx)?;
+            let te = typecheck(els, ctx)?;
+            if tt != te {
+                return err(e, format!("branches have different types {tt} and {te}"));
+            }
+            Ok(tt)
+        }
+        Expr::Scalar { body, .. } => {
+            let tb = typecheck(body, ctx)?;
+            if !matches!(tb, Type::Set(_)) {
+                return err(e, format!("scalar annotation on non-set type {tb}"));
+            }
+            Ok(tb)
+        }
+        Expr::Tree(lab, children) => {
+            let tl = typecheck(lab, ctx)?;
+            if tl != Type::Label {
+                return err(e, format!("Tree label has type {tl}, expected label"));
+            }
+            let tc = typecheck(children, ctx)?;
+            if tc != Type::tree_set() {
+                return err(e, format!("Tree children have type {tc}, expected {{tree}}"));
+            }
+            Ok(Type::Tree)
+        }
+        Expr::Tag(inner) => {
+            let t = typecheck(inner, ctx)?;
+            if t != Type::Tree {
+                return err(e, format!("tag of non-tree type {t}"));
+            }
+            Ok(Type::Label)
+        }
+        Expr::Kids(inner) => {
+            let t = typecheck(inner, ctx)?;
+            if t != Type::Tree {
+                return err(e, format!("kids of non-tree type {t}"));
+            }
+            Ok(Type::tree_set())
+        }
+        Expr::Srt {
+            label_var,
+            acc_var,
+            result,
+            body,
+            target,
+        } => {
+            let tt = typecheck(target, ctx)?;
+            if tt != Type::Tree {
+                return err(e, format!("srt target has type {tt}, expected tree"));
+            }
+            // Γ, x:label, y:{t} ⊢ body : t  (t = the declared result).
+            ctx.push(label_var, Type::Label);
+            ctx.push(acc_var, result.clone().set_of());
+            let tb = typecheck(body, ctx);
+            ctx.pop();
+            ctx.pop();
+            let tb = tb?;
+            if tb != *result {
+                return err(
+                    e,
+                    format!("srt body has type {tb}, declared result is {result}"),
+                );
+            }
+            Ok(tb)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::*;
+    use axml_semiring::Nat;
+
+    type E = Expr<Nat>;
+
+    fn check(e: &E) -> Result<Type, TypeError> {
+        typecheck_closed(e)
+    }
+
+    #[test]
+    fn basic_types() {
+        assert_eq!(check(&label("a")).unwrap(), Type::Label);
+        assert_eq!(
+            check(&singleton(label("a"))).unwrap(),
+            Type::Label.set_of()
+        );
+        assert_eq!(check(&empty_trees::<Nat>()).unwrap(), Type::tree_set());
+        assert_eq!(
+            check(&pair(label("a"), label("b"))).unwrap(),
+            Type::pair_of(Type::Label, Type::Label)
+        );
+    }
+
+    #[test]
+    fn projections() {
+        let p: E = pair(label("a"), singleton(label("b")));
+        assert_eq!(check(&proj1(p.clone())).unwrap(), Type::Label);
+        assert_eq!(check(&proj2(p)).unwrap(), Type::Label.set_of());
+        assert!(check(&proj1(label("a"))).is_err());
+    }
+
+    #[test]
+    fn union_requires_same_set_type() {
+        let ok: E = union(singleton(label("a")), singleton(label("b")));
+        assert!(check(&ok).is_ok());
+        let bad: E = union(singleton(label("a")), empty_trees());
+        assert!(check(&bad).is_err());
+        let bad2: E = union(label("a"), label("b"));
+        assert!(check(&bad2).is_err());
+    }
+
+    #[test]
+    fn bigunion_typing() {
+        // project1 R ≜ ∪(x ∈ R) {π1 x} from §6.1
+        let mut ctx = TypeContext::from_bindings([(
+            "R".to_owned(),
+            Type::pair_of(Type::Label, Type::Label).set_of(),
+        )]);
+        let e: E = bigunion("x", var("R"), singleton(proj1(var("x"))));
+        assert_eq!(typecheck(&e, &mut ctx).unwrap(), Type::Label.set_of());
+    }
+
+    #[test]
+    fn bigunion_body_must_be_set() {
+        let e: E = bigunion("x", singleton(label("a")), var("x"));
+        assert!(check(&e).is_err());
+    }
+
+    #[test]
+    fn conditional_only_compares_labels() {
+        let ok: E = if_eq(label("a"), label("b"), singleton(label("c")), empty(Type::Label));
+        assert!(check(&ok).is_ok());
+        // comparing sets is rejected — the positivity restriction
+        let bad: E = if_eq(
+            singleton(label("a")),
+            singleton(label("a")),
+            label("x"),
+            label("y"),
+        );
+        let e = check(&bad).unwrap_err();
+        assert!(e.msg.contains("only labels"), "{e}");
+    }
+
+    #[test]
+    fn conditional_branches_must_agree() {
+        let bad: E = if_eq(label("a"), label("b"), label("c"), singleton(label("d")));
+        assert!(check(&bad).is_err());
+    }
+
+    #[test]
+    fn tree_constructor_and_observers() {
+        let t: E = tree_expr(label("a"), empty_trees());
+        assert_eq!(check(&t).unwrap(), Type::Tree);
+        assert_eq!(check(&tag(t.clone())).unwrap(), Type::Label);
+        assert_eq!(check(&kids(t.clone())).unwrap(), Type::tree_set());
+        let bad: E = tree_expr(label("a"), singleton(label("b")));
+        assert!(check(&bad).is_err());
+    }
+
+    #[test]
+    fn scalar_requires_set() {
+        let ok: E = scalar(Nat(2), singleton(label("a")));
+        assert!(check(&ok).is_ok());
+        let bad: E = scalar(Nat(2), label("a"));
+        assert!(check(&bad).is_err());
+    }
+
+    #[test]
+    fn srt_atoms_example() {
+        // (srt(x, y). {x} ∪ flatten y) t — the set-of-atoms query (§6.1)
+        let mut ctx = TypeContext::from_bindings([("t".to_owned(), Type::Tree)]);
+        let body: E = union(singleton(var("x")), flatten(var("y")));
+        let e: E = srt("x", "y", Type::Label.set_of(), body, var("t"));
+        assert_eq!(typecheck(&e, &mut ctx).unwrap(), Type::Label.set_of());
+    }
+
+    #[test]
+    fn srt_descendant_pair_type() {
+        // body type {tree} × tree as in the descendant compilation
+        let mut ctx = TypeContext::from_bindings([("t".to_owned(), Type::Tree)]);
+        let ty = Type::pair_of(Type::tree_set(), Type::Tree);
+        let self_tree: E = tree_expr(var("b"), bigunion("x", var("s"), singleton(proj2(var("x")))));
+        let matches: E = bigunion("x", var("s"), proj1(var("x")));
+        let body: E = pair(union(matches, singleton(self_tree.clone())), self_tree);
+        let e: E = srt("b", "s", ty.clone(), body, var("t"));
+        assert_eq!(typecheck(&e, &mut ctx).unwrap(), ty);
+    }
+
+    #[test]
+    fn srt_wrong_declared_type_rejected() {
+        let mut ctx = TypeContext::from_bindings([("t".to_owned(), Type::Tree)]);
+        let body: E = singleton(var("x"));
+        let e: E = srt("x", "y", Type::Tree, body, var("t"));
+        let msg = typecheck(&e, &mut ctx).unwrap_err();
+        assert!(msg.msg.contains("declared result"), "{msg}");
+    }
+
+    #[test]
+    fn unbound_variable_reported() {
+        let e = check(&var("nope"));
+        assert!(e.unwrap_err().msg.contains("unbound"));
+    }
+
+    #[test]
+    fn let_types_body_under_binding() {
+        let e: E = let_("x", singleton(label("a")), flatten(singleton(var("x"))));
+        assert_eq!(check(&e).unwrap(), Type::Label.set_of());
+    }
+}

@@ -1,0 +1,84 @@
+//! The type language of `NRC_K + srt` (§6.1).
+
+use std::fmt;
+
+/// Types: `label | t × t | {t} | tree`.
+///
+/// The `tree` type is recursive — semantically isomorphic to
+/// `label × {tree}` (the isomorphism is witnessed by
+/// `Tree(π₁ P, π₂ P)` one way and `(tag T, kids T)` the other; tested
+/// in `axml-nrc::eval`).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Type {
+    /// Atomic labels.
+    Label,
+    /// Binary products `t₁ × t₂`.
+    Pair(Box<Type>, Box<Type>),
+    /// K-collections `{t}` (free K-semimodules over `[[t]]`).
+    Set(Box<Type>),
+    /// Unordered annotated trees.
+    Tree,
+}
+
+impl Type {
+    /// `{t}` for this `t`.
+    pub fn set_of(self) -> Type {
+        Type::Set(Box::new(self))
+    }
+
+    /// `t₁ × t₂`.
+    pub fn pair_of(a: Type, b: Type) -> Type {
+        Type::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// The element type if this is a set type.
+    pub fn elem(&self) -> Option<&Type> {
+        match self {
+            Type::Set(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The `{tree}` type, ubiquitous in the UXQuery compilation.
+    pub fn tree_set() -> Type {
+        Type::Tree.set_of()
+    }
+}
+
+impl fmt::Debug for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Label => write!(f, "label"),
+            Type::Pair(a, b) => write!(f, "({a} × {b})"),
+            Type::Set(t) => write!(f, "{{{t}}}"),
+            Type::Tree => write!(f, "tree"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::Label.to_string(), "label");
+        assert_eq!(Type::tree_set().to_string(), "{tree}");
+        assert_eq!(
+            Type::pair_of(Type::tree_set(), Type::Tree).to_string(),
+            "({tree} × tree)"
+        );
+    }
+
+    #[test]
+    fn elem_access() {
+        assert_eq!(Type::tree_set().elem(), Some(&Type::Tree));
+        assert_eq!(Type::Label.elem(), None);
+    }
+}

@@ -1,0 +1,196 @@
+//! K-complex values: the value domain of `NRC_K + srt` (§6.2).
+
+use axml_semiring::{KSet, Semiring};
+use axml_uxml::{Forest, Label, Tree, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// A K-complex value: labels, pairs and K-collections nested
+/// arbitrarily, plus trees (which embed K-UXML).
+///
+/// Pairs hold `Arc`s so cloning (which set operations do liberally) is
+/// cheap; equality/ordering remain by value.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CValue<K: Semiring> {
+    /// A label.
+    Label(Label),
+    /// A pair.
+    Pair(Arc<CValue<K>>, Arc<CValue<K>>),
+    /// A K-collection.
+    Set(KSet<CValue<K>, K>),
+    /// An annotated unordered tree (shared with `axml-uxml`).
+    Tree(Tree<K>),
+}
+
+impl<K: Semiring> CValue<K> {
+    /// A label value.
+    pub fn label(name: &str) -> Self {
+        CValue::Label(Label::new(name))
+    }
+
+    /// A pair value.
+    pub fn pair(a: CValue<K>, b: CValue<K>) -> Self {
+        CValue::Pair(Arc::new(a), Arc::new(b))
+    }
+
+    /// An empty collection.
+    pub fn empty_set() -> Self {
+        CValue::Set(KSet::new())
+    }
+
+    /// A singleton collection annotated `1`.
+    pub fn singleton(v: CValue<K>) -> Self {
+        CValue::Set(KSet::unit(v))
+    }
+
+    /// The label, if this is one.
+    pub fn as_label(&self) -> Option<Label> {
+        match self {
+            CValue::Label(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// The collection, if this is one.
+    pub fn as_set(&self) -> Option<&KSet<CValue<K>, K>> {
+        match self {
+            CValue::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The tree, if this is one.
+    pub fn as_tree(&self) -> Option<&Tree<K>> {
+        match self {
+            CValue::Tree(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Convert a K-UXML forest into a `{tree}`-typed collection value.
+    pub fn from_forest(f: &Forest<K>) -> Self {
+        CValue::Set(KSet::from_pairs(
+            f.iter().map(|(t, k)| (CValue::Tree(t.clone()), k.clone())),
+        ))
+    }
+
+    /// Convert a `{tree}`-typed collection value back into a forest.
+    /// Returns `None` if any member is not a tree.
+    pub fn to_forest(&self) -> Option<Forest<K>> {
+        let s = self.as_set()?;
+        let mut f = Forest::new();
+        for (v, k) in s.iter() {
+            f.insert(v.as_tree()?.clone(), k.clone());
+        }
+        Some(f)
+    }
+
+    /// Convert a K-UXML [`Value`] into a complex value.
+    pub fn from_uxml(v: &Value<K>) -> Self {
+        match v {
+            Value::Label(l) => CValue::Label(*l),
+            Value::Tree(t) => CValue::Tree(t.clone()),
+            Value::Set(f) => CValue::from_forest(f),
+        }
+    }
+
+    /// Convert back to a K-UXML [`Value`] when the shape allows
+    /// (labels, trees, and `{tree}` collections).
+    pub fn to_uxml(&self) -> Option<Value<K>> {
+        match self {
+            CValue::Label(l) => Some(Value::Label(*l)),
+            CValue::Tree(t) => Some(Value::Tree(t.clone())),
+            CValue::Set(_) => self.to_forest().map(Value::Set),
+            CValue::Pair(..) => None,
+        }
+    }
+}
+
+impl<K: Semiring> fmt::Debug for CValue<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CValue::Label(l) => write!(f, "'{l}'"),
+            CValue::Pair(a, b) => write!(f, "({a:?}, {b:?})"),
+            CValue::Set(s) => {
+                write!(f, "{{")?;
+                let mut first = true;
+                for (v, k) in s.iter() {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    first = false;
+                    if k.is_one() {
+                        write!(f, "{v:?}")?;
+                    } else {
+                        write!(f, "{v:?}^{k:?}")?;
+                    }
+                }
+                write!(f, "}}")
+            }
+            CValue::Tree(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl<K: Semiring> fmt::Display for CValue<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_semiring::Nat;
+    use axml_uxml::{leaf, tree};
+
+    #[test]
+    fn forest_roundtrip() {
+        let f = Forest::from_pairs([
+            (leaf::<Nat>("a"), Nat(2)),
+            (tree("b", [(leaf("c"), Nat(1))]), Nat(3)),
+        ]);
+        let cv = CValue::from_forest(&f);
+        assert_eq!(cv.to_forest().unwrap(), f);
+    }
+
+    #[test]
+    fn to_forest_rejects_non_trees() {
+        let s = CValue::<Nat>::Set(KSet::unit(CValue::label("x")));
+        assert!(s.to_forest().is_none());
+    }
+
+    #[test]
+    fn uxml_roundtrip() {
+        let v = Value::Set(Forest::from_pairs([(leaf::<Nat>("a"), Nat(2))]));
+        let cv = CValue::from_uxml(&v);
+        assert_eq!(cv.to_uxml().unwrap(), v);
+        let lv = Value::<Nat>::Label(Label::new("lbl"));
+        assert_eq!(CValue::from_uxml(&lv).to_uxml().unwrap(), lv);
+    }
+
+    #[test]
+    fn pairs_have_no_uxml_form() {
+        let p = CValue::<Nat>::pair(CValue::label("a"), CValue::label("b"));
+        assert!(p.to_uxml().is_none());
+    }
+
+    #[test]
+    fn set_elements_merge_by_value() {
+        let mut s = KSet::new();
+        s.insert(CValue::<Nat>::label("a"), Nat(1));
+        s.insert(CValue::<Nat>::label("a"), Nat(2));
+        assert_eq!(s.get(&CValue::label("a")), Nat(3));
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = CValue::<Nat>::Set(KSet::from_pairs([
+            (CValue::label("a"), Nat(1)),
+            (CValue::label("b"), Nat(2)),
+        ]));
+        assert_eq!(format!("{s:?}"), "{'a', 'b'^2}");
+        let p = CValue::<Nat>::pair(CValue::label("x"), CValue::empty_set());
+        assert_eq!(format!("{p:?}"), "('x', {})");
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests for `NRC_K + srt`: random well-typed expressions are
+//! generated, then (1) the typechecker accepts them, (2) evaluation
+//! never hits a runtime error, (3) Theorem 1 commutation holds, (4) the
+//! equational rewriter preserves semantics and never grows terms, and
+//! (5) the printer/parser round-trips.
+
+use axml_nrc::expr::{self, Expr};
+use axml_nrc::types::Type;
+use axml_nrc::{axioms, eval, hom, parse_expr, typecheck, CValue, Env, TypeContext};
+use axml_semiring::{dup_elim, FnHom, KSet, Nat, NatPoly, Semiring, Valuation, Var};
+use proptest::prelude::*;
+
+const NVARS: [&str; 3] = ["nv1", "nv2", "nv3"];
+
+fn arb_scalar() -> impl Strategy<Value = NatPoly> {
+    prop_oneof![
+        2 => proptest::sample::select(&NVARS[..]).prop_map(NatPoly::var_named),
+        1 => Just(NatPoly::one()),
+        1 => (0u64..3).prop_map(NatPoly::from),
+    ]
+}
+
+/// Random expressions of type `{label}` over a free variable `R` of
+/// type `{label}` (kept mono-typed so generation stays simple while
+/// still exercising every collection operator).
+fn arb_label_set_expr(depth: u32) -> BoxedStrategy<Expr<NatPoly>> {
+    let leaf = prop_oneof![
+        3 => Just(expr::var("R")),
+        2 => proptest::sample::select(&["la", "lb", "lc"][..])
+            .prop_map(|l| expr::singleton(expr::label(l))),
+        1 => Just(expr::empty(Type::Label)),
+    ];
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            2 => (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| expr::union(a, b)),
+            2 => (arb_scalar(), inner.clone())
+                .prop_map(|(k, e)| expr::scalar(k, e)),
+            // ∪(x ∈ e) {x}-with-a-twist: conditional keep
+            2 => (inner.clone(), proptest::sample::select(&["la", "lb"][..]))
+                .prop_map(|(e, l)| {
+                    let x = expr::fresh_name("px");
+                    expr::bigunion(
+                        &x,
+                        e,
+                        expr::if_eq(
+                            expr::var(&x),
+                            expr::label(l),
+                            expr::singleton(expr::var(&x)),
+                            expr::empty(Type::Label),
+                        ),
+                    )
+                }),
+            // let-binding
+            1 => (inner.clone(), inner.clone()).prop_map(|(d, b)| {
+                let w = expr::fresh_name("pw");
+                // use the binding in a union with the body
+                expr::let_(&w, d, expr::union(expr::var(&w), b))
+            }),
+        ]
+    })
+    .boxed()
+}
+
+fn sample_env() -> Env<NatPoly> {
+    let r: KSet<CValue<NatPoly>, NatPoly> = KSet::from_pairs([
+        (CValue::label("la"), NatPoly::var_named("nv1")),
+        (CValue::label("lb"), NatPoly::var_named("nv2")),
+        (
+            CValue::label("lc"),
+            NatPoly::var_named("nv1").plus(&NatPoly::var_named("nv3")),
+        ),
+    ]);
+    Env::from_bindings([("R".to_owned(), CValue::Set(r))])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_expressions_typecheck(e in arb_label_set_expr(3)) {
+        let mut ctx = TypeContext::from_bindings([(
+            "R".to_owned(),
+            Type::Label.set_of(),
+        )]);
+        let t = typecheck(&e, &mut ctx).expect("generated expr typechecks");
+        prop_assert_eq!(t, Type::Label.set_of());
+    }
+
+    #[test]
+    fn evaluation_never_fails(e in arb_label_set_expr(3)) {
+        let mut env = sample_env();
+        let v = eval(&e, &mut env).expect("well-typed exprs evaluate");
+        prop_assert!(v.as_set().is_some());
+    }
+
+    /// Theorem 1 at the NRC level, with a valuation hom and dup-elim.
+    #[test]
+    fn theorem1_commutation(e in arb_label_set_expr(3),
+                            vals in proptest::collection::vec(0u64..3, 3)) {
+        let val = Valuation::<Nat>::from_pairs(
+            NVARS.iter()
+                .zip(vals.iter())
+                .map(|(n, &v)| (Var::new(n), Nat::from(v))),
+        );
+        let h = FnHom::new(move |p: &NatPoly| p.eval(&val));
+
+        // H(e(v))
+        let mut env = sample_env();
+        let out = eval(&e, &mut env).unwrap();
+        let lhs = hom::map_cvalue(&h, &out);
+
+        // H(e)(H(v))
+        let he = hom::map_expr(&h, &e);
+        let hr = {
+            let mut env = sample_env();
+            let CValue::Set(r) = env.lookup("R").unwrap().clone() else {
+                unreachable!()
+            };
+            let _ = &mut env;
+            CValue::Set(r.map_annotations(|k| h.apply_ref(k), |t| hom::map_cvalue(&h, t)))
+        };
+        let mut env2 = Env::from_bindings([("R".to_owned(), hr)]);
+        let rhs = eval(&he, &mut env2).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// simplify: semantics-preserving and non-growing.
+    #[test]
+    fn simplify_sound_and_shrinking(e in arb_label_set_expr(3)) {
+        let s = axioms::simplify(&e);
+        prop_assert!(s.size() <= e.size(), "{} grew to {}", e.size(), s.size());
+        let mut env1 = sample_env();
+        let mut env2 = sample_env();
+        prop_assert_eq!(
+            eval(&e, &mut env1).unwrap(),
+            eval(&s, &mut env2).unwrap()
+        );
+    }
+
+    /// Display → parse identity.
+    #[test]
+    fn display_parse_roundtrip(e in arb_label_set_expr(3)) {
+        let printed = e.to_string();
+        let back = parse_expr::<NatPoly>(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed}"));
+        prop_assert_eq!(back, e);
+    }
+
+    /// Duplicate elimination factors through ℕ (the †-application the
+    /// paper highlights in §6.4).
+    #[test]
+    fn dup_elim_defers(e in arb_label_set_expr(3)) {
+        // evaluate in ℕ[X], specialize all vars to 1 (→ ℕ), then †
+        let all_ones = Valuation::<Nat>::new();
+        let to_nat = FnHom::new(move |p: &NatPoly| p.eval(&all_ones));
+        let to_bool_late = FnHom::new(dup_elim);
+
+        let mut env = sample_env();
+        let sym = eval(&e, &mut env).unwrap();
+        let via_bags = hom::map_cvalue(&to_bool_late, &hom::map_cvalue(&to_nat, &sym));
+
+        // versus evaluating directly in 𝔹
+        let all_true = Valuation::<bool>::new();
+        let to_bool = FnHom::new(move |p: &NatPoly| p.eval(&all_true));
+        let he = hom::map_expr(&to_bool, &e);
+        let mut env2 = Env::from_bindings([(
+            "R".to_owned(),
+            hom::map_cvalue(&to_bool, sample_env().lookup("R").unwrap()),
+        )]);
+        let direct = eval(&he, &mut env2).unwrap();
+        prop_assert_eq!(via_bags, direct);
+    }
+}
+
+/// Helper so `FnHom` works by reference inside `map_annotations`.
+trait ApplyRef<A, B> {
+    fn apply_ref(&self, a: &A) -> B;
+}
+
+impl<A: Semiring, B: Semiring, F: Fn(&A) -> B> ApplyRef<A, B> for FnHom<A, B, F> {
+    fn apply_ref(&self, a: &A) -> B {
+        use axml_semiring::SemiringHom;
+        self.apply(a)
+    }
+}

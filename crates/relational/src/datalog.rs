@@ -1,0 +1,491 @@
+//! Positive Datalog over K-relations, extended with Skolem functions in
+//! rule heads (§7).
+//!
+//! Facts carry semiring annotations. The annotation of a derived fact
+//! under one rule and one substitution is the *product* of the body
+//! facts' annotations; alternatives (different rules or substitutions)
+//! *add*. Evaluation is a naïve fixpoint: IDB relations are recomputed
+//! from the previous iterate until nothing changes. On tree-shaped data
+//! (like the §7 edge encoding) every derivation is finite and the
+//! fixpoint is reached in at most `depth` iterations even for ℕ\[X\]; a
+//! configurable iteration cap guards against non-converging inputs
+//! (cyclic data with a non-idempotent semiring).
+
+use crate::krel::{KRelation, RelValue, Schema, Tuple};
+use crate::ra::Database;
+use axml_semiring::Semiring;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A term in a rule: variable, constant, or Skolem application.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Term {
+    /// A variable.
+    Var(String),
+    /// A constant value.
+    Const(RelValue),
+    /// A Skolem function applied to terms (head positions only).
+    Skolem(String, Vec<Term>),
+}
+
+/// Variable term.
+pub fn v(name: &str) -> Term {
+    Term::Var(name.into())
+}
+
+/// Label-constant term.
+pub fn lbl(name: &str) -> Term {
+    Term::Const(RelValue::label(name))
+}
+
+/// Node-id constant term.
+pub fn node(n: u64) -> Term {
+    Term::Const(RelValue::Node(n))
+}
+
+/// Skolem application term.
+pub fn sk<I: IntoIterator<Item = Term>>(f: &str, args: I) -> Term {
+    Term::Skolem(f.into(), args.into_iter().collect())
+}
+
+/// An atom `P(t₁, …, tₙ)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Atom {
+    /// Predicate name.
+    pub pred: String,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+/// Build an atom.
+pub fn atom<I: IntoIterator<Item = Term>>(pred: &str, args: I) -> Atom {
+    Atom {
+        pred: pred.into(),
+        args: args.into_iter().collect(),
+    }
+}
+
+/// A rule `head :- body₁, …, bodyₙ` (positive bodies only).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// The head atom (may contain Skolem terms).
+    pub head: Atom,
+    /// The body atoms (no Skolem terms).
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Build a rule.
+    pub fn new<I: IntoIterator<Item = Atom>>(head: Atom, body: I) -> Self {
+        Rule {
+            head,
+            body: body.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_atom(&self.head))?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            let mut first = true;
+            for a in &self.body {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "{}", fmt_atom(a))?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+fn fmt_atom(a: &Atom) -> String {
+    let args: Vec<String> = a.args.iter().map(fmt_term).collect();
+    format!("{}({})", a.pred, args.join(","))
+}
+
+fn fmt_term(t: &Term) -> String {
+    match t {
+        Term::Var(x) => x.clone(),
+        Term::Const(c) => c.to_string(),
+        Term::Skolem(f, args) => {
+            let inner: Vec<String> = args.iter().map(fmt_term).collect();
+            format!("{f}({})", inner.join(","))
+        }
+    }
+}
+
+/// A Datalog program: rules plus the declared arity of each IDB
+/// predicate (needed to create empty relations).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Program {
+    /// The rules.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Build from rules.
+    pub fn new<I: IntoIterator<Item = Rule>>(rules: I) -> Self {
+        Program {
+            rules: rules.into_iter().collect(),
+        }
+    }
+
+    /// IDB predicate names (those appearing in heads) with arities.
+    pub fn idb_preds(&self) -> BTreeMap<String, usize> {
+        self.rules
+            .iter()
+            .map(|r| (r.head.pred.clone(), r.head.args.len()))
+            .collect()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluation error (non-convergence or malformed rules).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatalogError {
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "datalog error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+/// Default iteration cap (far above any tree depth in this workspace).
+pub const DEFAULT_MAX_ITERS: usize = 10_000;
+
+/// Evaluate `prog` over the EDB `db`, returning EDB ∪ IDB.
+pub fn eval_datalog<K: Semiring>(
+    prog: &Program,
+    db: &Database<K>,
+) -> Result<Database<K>, DatalogError> {
+    eval_datalog_capped(prog, db, DEFAULT_MAX_ITERS)
+}
+
+/// Evaluate with an explicit iteration cap.
+pub fn eval_datalog_capped<K: Semiring>(
+    prog: &Program,
+    edb: &Database<K>,
+    max_iters: usize,
+) -> Result<Database<K>, DatalogError> {
+    let idb_arities = prog.idb_preds();
+    for pred in idb_arities.keys() {
+        if edb.get(pred).is_some() {
+            return Err(DatalogError {
+                msg: format!("predicate {pred:?} is both EDB and IDB"),
+            });
+        }
+    }
+
+    // IDB iterate: start empty.
+    let mut idb: BTreeMap<String, KRelation<K>> = idb_arities
+        .iter()
+        .map(|(p, &n)| (p.clone(), KRelation::new(anon_schema(n))))
+        .collect();
+
+    for _ in 0..max_iters {
+        let mut next: BTreeMap<String, KRelation<K>> = idb_arities
+            .iter()
+            .map(|(p, &n)| (p.clone(), KRelation::new(anon_schema(n))))
+            .collect();
+        for rule in &prog.rules {
+            apply_rule(rule, edb, &idb, next.get_mut(&rule.head.pred).expect("idb pred"))?;
+        }
+        if next == idb {
+            let mut out = edb.clone();
+            for (p, r) in idb {
+                out.insert(&p, r);
+            }
+            return Ok(out);
+        }
+        idb = next;
+    }
+    Err(DatalogError {
+        msg: format!("no fixpoint after {max_iters} iterations (cyclic data with a non-idempotent semiring?)"),
+    })
+}
+
+/// Positional schema `c0, c1, …` for IDB relations.
+fn anon_schema(arity: usize) -> Schema {
+    Schema::new((0..arity).map(|i| format!("c{i}")))
+}
+
+type Subst = BTreeMap<String, RelValue>;
+
+fn apply_rule<K: Semiring>(
+    rule: &Rule,
+    edb: &Database<K>,
+    idb: &BTreeMap<String, KRelation<K>>,
+    out: &mut KRelation<K>,
+) -> Result<(), DatalogError> {
+    let mut subst = Subst::new();
+    search(rule, 0, edb, idb, &mut subst, K::one(), out)
+}
+
+/// Depth-first join over the body atoms.
+fn search<K: Semiring>(
+    rule: &Rule,
+    i: usize,
+    edb: &Database<K>,
+    idb: &BTreeMap<String, KRelation<K>>,
+    subst: &mut Subst,
+    ann: K,
+    out: &mut KRelation<K>,
+) -> Result<(), DatalogError> {
+    if i == rule.body.len() {
+        let tuple: Result<Tuple, DatalogError> = rule
+            .head
+            .args
+            .iter()
+            .map(|t| ground(t, subst))
+            .collect();
+        out.insert(tuple?, ann);
+        return Ok(());
+    }
+    let body_atom = &rule.body[i];
+    let rel = idb
+        .get(&body_atom.pred)
+        .or_else(|| edb.get(&body_atom.pred))
+        .ok_or_else(|| DatalogError {
+            msg: format!("unknown predicate {:?}", body_atom.pred),
+        })?;
+    // clone the rows (cheap: Arc’d labels) to release the borrow on idb
+    for (tuple, k) in rel.iter() {
+        if tuple.len() != body_atom.args.len() {
+            return Err(DatalogError {
+                msg: format!("arity mismatch on {:?}", body_atom.pred),
+            });
+        }
+        let mut bound: Vec<String> = Vec::new();
+        let mut ok = true;
+        for (term, value) in body_atom.args.iter().zip(tuple.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(x) => match subst.get(x) {
+                    Some(existing) => {
+                        if existing != value {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        subst.insert(x.clone(), value.clone());
+                        bound.push(x.clone());
+                    }
+                },
+                Term::Skolem(..) => {
+                    return Err(DatalogError {
+                        msg: "Skolem terms may appear only in rule heads".into(),
+                    })
+                }
+            }
+        }
+        if ok {
+            search(rule, i + 1, edb, idb, subst, ann.times(k), out)?;
+        }
+        for x in bound {
+            subst.remove(&x);
+        }
+    }
+    Ok(())
+}
+
+fn ground(t: &Term, subst: &Subst) -> Result<RelValue, DatalogError> {
+    match t {
+        Term::Const(c) => Ok(c.clone()),
+        Term::Var(x) => subst.get(x).cloned().ok_or_else(|| DatalogError {
+            msg: format!("unsafe rule: head variable {x:?} not bound by the body"),
+        }),
+        Term::Skolem(f, args) => {
+            let inner: Result<Vec<RelValue>, DatalogError> =
+                args.iter().map(|a| ground(a, subst)).collect();
+            Ok(RelValue::Skolem(f.clone(), inner?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_semiring::{Nat, NatPoly, PosBool};
+
+    fn np(s: &str) -> NatPoly {
+        s.parse().unwrap()
+    }
+
+    fn edge_db() -> Database<NatPoly> {
+        // chain 1 →y1 2 →y2 3, annotated edges
+        let mut e = KRelation::new(Schema::new(["src", "dst"]));
+        e.insert(vec![RelValue::Node(1), RelValue::Node(2)], np("y1"));
+        e.insert(vec![RelValue::Node(2), RelValue::Node(3)], np("y2"));
+        Database::new().with("E", e)
+    }
+
+    #[test]
+    fn transitive_closure_annotations() {
+        // T(x,y) :- E(x,y).  T(x,z) :- T(x,y), E(y,z).
+        let prog = Program::new([
+            Rule::new(atom("T", [v("x"), v("y")]), [atom("E", [v("x"), v("y")])]),
+            Rule::new(
+                atom("T", [v("x"), v("z")]),
+                [atom("T", [v("x"), v("y")]), atom("E", [v("y"), v("z")])],
+            ),
+        ]);
+        let out = eval_datalog(&prog, &edge_db()).unwrap();
+        let t = out.get("T").unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(
+            t.get(&vec![RelValue::Node(1), RelValue::Node(3)]),
+            np("y1*y2")
+        );
+    }
+
+    #[test]
+    fn alternatives_add() {
+        // two edges between the same nodes via different relations
+        let mut e = KRelation::new(Schema::new(["src", "dst"]));
+        e.insert(vec![RelValue::Node(1), RelValue::Node(2)], np("p"));
+        let mut f = KRelation::new(Schema::new(["src", "dst"]));
+        f.insert(vec![RelValue::Node(1), RelValue::Node(2)], np("q"));
+        let db = Database::new().with("E", e).with("F", f);
+        let prog = Program::new([
+            Rule::new(atom("T", [v("x"), v("y")]), [atom("E", [v("x"), v("y")])]),
+            Rule::new(atom("T", [v("x"), v("y")]), [atom("F", [v("x"), v("y")])]),
+        ]);
+        let out = eval_datalog(&prog, &db).unwrap();
+        assert_eq!(
+            out.get("T").unwrap().get(&vec![RelValue::Node(1), RelValue::Node(2)]),
+            np("p + q")
+        );
+    }
+
+    #[test]
+    fn skolem_heads_invent_values() {
+        let prog = Program::new([Rule::new(
+            atom("Out", [sk("f", [v("x")]), v("y")]),
+            [atom("E", [v("x"), v("y")])],
+        )]);
+        let out = eval_datalog(&prog, &edge_db()).unwrap();
+        let o = out.get("Out").unwrap();
+        assert_eq!(
+            o.get(&vec![
+                RelValue::Skolem("f".into(), vec![RelValue::Node(1)]),
+                RelValue::Node(2)
+            ]),
+            np("y1")
+        );
+    }
+
+    #[test]
+    fn skolem_in_body_rejected() {
+        let prog = Program::new([Rule::new(
+            atom("Out", [v("x")]),
+            [atom("E", [sk("f", [v("x")]), v("x")])],
+        )]);
+        let e = eval_datalog(&prog, &edge_db()).unwrap_err();
+        assert!(e.msg.contains("only in rule heads"), "{e}");
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let prog = Program::new([Rule::new(
+            atom("Out", [v("zzz")]),
+            [atom("E", [v("x"), v("y")])],
+        )]);
+        let e = eval_datalog(&prog, &edge_db()).unwrap_err();
+        assert!(e.msg.contains("unsafe"), "{e}");
+    }
+
+    #[test]
+    fn cyclic_data_converges_for_idempotent_semirings() {
+        // cycle 1 → 2 → 1 in PosBool: closure converges (idempotence)
+        let mut e = KRelation::new(Schema::new(["src", "dst"]));
+        e.insert(
+            vec![RelValue::Node(1), RelValue::Node(2)],
+            PosBool::var_named("dl_a"),
+        );
+        e.insert(
+            vec![RelValue::Node(2), RelValue::Node(1)],
+            PosBool::var_named("dl_b"),
+        );
+        let db = Database::new().with("E", e);
+        let prog = Program::new([
+            Rule::new(atom("T", [v("x"), v("y")]), [atom("E", [v("x"), v("y")])]),
+            Rule::new(
+                atom("T", [v("x"), v("z")]),
+                [atom("T", [v("x"), v("y")]), atom("E", [v("y"), v("z")])],
+            ),
+        ]);
+        let out = eval_datalog(&prog, &db).unwrap();
+        assert_eq!(out.get("T").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn cyclic_data_hits_cap_for_nat() {
+        // cycle with ℕ annotations: derivation count diverges
+        let mut e = KRelation::new(Schema::new(["src", "dst"]));
+        e.insert(vec![RelValue::Node(1), RelValue::Node(1)], Nat(2));
+        let db = Database::new().with("E", e);
+        let prog = Program::new([
+            Rule::new(atom("T", [v("x"), v("y")]), [atom("E", [v("x"), v("y")])]),
+            Rule::new(
+                atom("T", [v("x"), v("z")]),
+                [atom("T", [v("x"), v("y")]), atom("E", [v("y"), v("z")])],
+            ),
+        ]);
+        let err = eval_datalog_capped(&prog, &db, 50).unwrap_err();
+        assert!(err.msg.contains("fixpoint"), "{err}");
+    }
+
+    #[test]
+    fn edb_idb_overlap_rejected() {
+        let prog = Program::new([Rule::new(
+            atom("E", [v("x"), v("y")]),
+            [atom("E", [v("x"), v("y")])],
+        )]);
+        let e = eval_datalog(&prog, &edge_db()).unwrap_err();
+        assert!(e.msg.contains("both EDB and IDB"), "{e}");
+    }
+
+    #[test]
+    fn constants_filter() {
+        let prog = Program::new([Rule::new(
+            atom("FromOne", [v("y")]),
+            [atom("E", [node(1), v("y")])],
+        )]);
+        let out = eval_datalog(&prog, &edge_db()).unwrap();
+        let r = out.get("FromOne").unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(&vec![RelValue::Node(2)]), np("y1"));
+    }
+
+    #[test]
+    fn display_rules() {
+        let r = Rule::new(
+            atom("E2", [sk("f", [v("p")]), sk("f", [v("n")]), v("l")]),
+            [atom("E", [v("p"), v("n"), v("l")])],
+        );
+        assert_eq!(r.to_string(), "E2(f(p),f(n),l) :- E(p,n,l).");
+    }
+}

@@ -1,0 +1,483 @@
+//! Encoding K-relations as K-UXML and translating RA⁺ into K-UXQuery
+//! (Prop 1): "Let Q be a query in positive relational algebra, and I a
+//! K-relational database instance. Let v be the K-UXML encoding of I,
+//! and p the translation of Q into K-UXQuery. Then p(v) encodes Q(I)."
+//!
+//! The encoding is the Fig 5 layout:
+//!
+//! ```text
+//! <D> <R> <t {x1}> <A> a </A> <B> b </B> <C> c </C> </t> … </R>
+//!     <S> … </S> </D>
+//! ```
+//!
+//! — one `t`-node per tuple carrying the tuple's annotation; attribute
+//! nodes and value leaves carry `1` (the richer Fig 6 annotations are a
+//! feature of UXML the relational model cannot express; Prop 1 concerns
+//! the standard encoding).
+
+use crate::krel::KRelation;
+use crate::ra::{Database, RaExpr};
+use axml_core::ast::{
+    Axis, ElementName, NodeTest, Step, SurfaceExpr,
+};
+use axml_semiring::Semiring;
+use axml_uxml::{Forest, Label, Tree};
+use std::fmt;
+
+/// Encode one K-relation as the forest of its `t`-nodes.
+pub fn encode_relation<K: Semiring>(rel: &KRelation<K>) -> Forest<K> {
+    let mut out = Forest::new();
+    for (tuple, k) in rel.iter() {
+        let mut fields = Forest::new();
+        for (attr, value) in rel.schema().attrs().iter().zip(tuple.iter()) {
+            let leaf = Tree::leaf(Label::new(&value.to_string()));
+            fields.insert(
+                Tree::new(Label::new(attr), Forest::unit(leaf)),
+                K::one(),
+            );
+        }
+        out.insert(Tree::new("t", fields), k.clone());
+    }
+    out
+}
+
+/// Encode a database as the singleton forest `{<D> <R1>…</R1> … </D>}`.
+pub fn encode_database<K: Semiring>(db: &Database<K>) -> Forest<K> {
+    let mut rels = Forest::new();
+    for (name, rel) in db.iter() {
+        rels.insert(Tree::new(Label::new(name), encode_relation(rel)), K::one());
+    }
+    Forest::unit(Tree::new("D", rels))
+}
+
+/// Errors from reading a UXML value back as a K-relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "relation decode error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decode a forest of `t`-nodes back into a K-relation with the given
+/// attribute order. Each `t`-node must have exactly the schema's
+/// attribute children, each wrapping one leaf value annotated `1`.
+pub fn decode_relation<K: Semiring>(
+    forest: &Forest<K>,
+    attrs: &[&str],
+) -> Result<KRelation<K>, DecodeError> {
+    let schema = crate::krel::Schema::new(attrs.iter().map(|s| s.to_string()));
+    let mut rel = KRelation::new(schema);
+    for (t, k) in forest.iter() {
+        if t.label().name() != "t" {
+            return Err(DecodeError {
+                msg: format!("expected a t-node, found <{}>", t.label()),
+            });
+        }
+        let mut tuple = Vec::with_capacity(attrs.len());
+        for attr in attrs {
+            let attr_label = Label::new(attr);
+            let mut found = None;
+            for (field, fk) in t.children().iter() {
+                if field.label() == attr_label {
+                    if !fk.is_one() {
+                        return Err(DecodeError {
+                            msg: format!("attribute {attr} carries a non-1 annotation"),
+                        });
+                    }
+                    let mut values = field.children().iter();
+                    match (values.next(), values.next()) {
+                        (Some((leafv, vk)), None) if vk.is_one() && leafv.is_leaf() => {
+                            found = Some(crate::krel::RelValue::Label(leafv.label()));
+                        }
+                        _ => {
+                            return Err(DecodeError {
+                                msg: format!("attribute {attr} is not a single plain leaf"),
+                            })
+                        }
+                    }
+                }
+            }
+            match found {
+                Some(v) => tuple.push(v),
+                None => {
+                    return Err(DecodeError {
+                        msg: format!("tuple is missing attribute {attr}"),
+                    })
+                }
+            }
+        }
+        rel.insert(tuple, k.clone());
+    }
+    Ok(rel)
+}
+
+/// Translate an RA⁺ expression into a K-UXQuery over the encoded
+/// database bound to `$d`. The result query produces the forest of
+/// `t`-nodes encoding the result relation (annotations included).
+pub fn ra_to_uxquery<K: Semiring>(e: &RaExpr, db: &Database<K>) -> Result<SurfaceExpr<K>, DecodeError> {
+    let (q, _schema) = translate(e, db)?;
+    Ok(q)
+}
+
+/// The output schema of an RA⁺ expression (attribute names in order).
+pub fn ra_schema<K: Semiring>(e: &RaExpr, db: &Database<K>) -> Result<Vec<String>, DecodeError> {
+    translate(e, db).map(|(_, s)| s)
+}
+
+fn translate<K: Semiring>(
+    e: &RaExpr,
+    db: &Database<K>,
+) -> Result<(SurfaceExpr<K>, Vec<String>), DecodeError> {
+    use SurfaceExpr as S;
+    let fresh = |hint: &str| -> String {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static C: AtomicU64 = AtomicU64::new(0);
+        format!("{hint}%r{}", C.fetch_add(1, Ordering::Relaxed))
+    };
+    let path = |e: S<K>, axis: Axis, test: NodeTest| {
+        S::Path(Box::new(e), Step { axis, test })
+    };
+    let child = |e: S<K>, name: &str| {
+        path(e, Axis::Child, NodeTest::Label(Label::new(name)))
+    };
+    let kids = |e: S<K>| path(e, Axis::Child, NodeTest::Wildcard);
+    let var = |x: &str| S::Var(x.to_owned());
+    // rebuild <t>{ $x/A1, …, $y/B1, … }</t> from attr sources
+    let t_node = |parts: Vec<S<K>>| {
+        let content = parts
+            .into_iter()
+            .reduce(|a, b| S::Seq(Box::new(a), Box::new(b)))
+            .unwrap_or(S::Empty);
+        S::Element {
+            name: ElementName::Static(Label::new("t")),
+            content: Box::new(content),
+        }
+    };
+
+    match e {
+        RaExpr::Rel(name) => {
+            let rel = db.get(name).ok_or_else(|| DecodeError {
+                msg: format!("unknown relation {name:?}"),
+            })?;
+            // $d/R/*
+            let q = kids(child(var("d"), name));
+            Ok((q, rel.schema().attrs().to_vec()))
+        }
+        RaExpr::Project { input, attrs } => {
+            let (src, in_schema) = translate(input, db)?;
+            for a in attrs {
+                if !in_schema.contains(a) {
+                    return Err(DecodeError {
+                        msg: format!("unknown attribute {a:?} in projection"),
+                    });
+                }
+            }
+            let t = fresh("t");
+            let parts: Vec<S<K>> = attrs
+                .iter()
+                .map(|a| child(S::Paren(Box::new(var(&t))), a))
+                .collect();
+            let q = S::For {
+                binders: vec![(t.clone(), src)],
+                where_eq: None,
+                body: Box::new(S::Paren(Box::new(t_node(parts)))),
+            };
+            Ok((q, attrs.clone()))
+        }
+        RaExpr::Union(l, r) => {
+            let (ql, sl) = translate(l, db)?;
+            let (qr, sr) = translate(r, db)?;
+            if sl != sr {
+                return Err(DecodeError {
+                    msg: format!("union of incompatible schemas {sl:?} / {sr:?}"),
+                });
+            }
+            Ok((S::Seq(Box::new(ql), Box::new(qr)), sl))
+        }
+        RaExpr::SelectConst { input, attr, value } => {
+            let (src, schema) = translate(input, db)?;
+            if !schema.contains(attr) {
+                return Err(DecodeError {
+                    msg: format!("unknown attribute {attr:?} in selection"),
+                });
+            }
+            let t = fresh("t");
+            let a = fresh("a");
+            // for $t in src return for $a in $t/attr/* return
+            //   if (name($a) = value) then ($t) else ()
+            let inner = S::For {
+                binders: vec![(
+                    a.clone(),
+                    kids(child(S::Paren(Box::new(var(&t))), attr)),
+                )],
+                where_eq: None,
+                body: Box::new(S::If {
+                    l: Box::new(S::Name(Box::new(var(&a)))),
+                    r: Box::new(S::LabelLit(Label::new(&value.to_string()))),
+                    then: Box::new(S::Paren(Box::new(var(&t)))),
+                    els: Box::new(S::Empty),
+                }),
+            };
+            let q = S::For {
+                binders: vec![(t, src)],
+                where_eq: None,
+                body: Box::new(inner),
+            };
+            Ok((q, schema))
+        }
+        RaExpr::SelectEq { input, a1, a2 } => {
+            let (src, schema) = translate(input, db)?;
+            for a in [a1, a2] {
+                if !schema.contains(a) {
+                    return Err(DecodeError {
+                        msg: format!("unknown attribute {a:?} in selection"),
+                    });
+                }
+            }
+            let t = fresh("t");
+            let q = S::For {
+                binders: vec![(t.clone(), src)],
+                where_eq: Some((
+                    Box::new(child(S::Paren(Box::new(var(&t))), a1)),
+                    Box::new(child(S::Paren(Box::new(var(&t))), a2)),
+                )),
+                body: Box::new(S::Paren(Box::new(var(&t)))),
+            };
+            Ok((q, schema))
+        }
+        RaExpr::Join(l, r) => {
+            let (ql, sl) = translate(l, db)?;
+            let (qr, sr) = translate(r, db)?;
+            let common: Vec<String> =
+                sl.iter().filter(|a| sr.contains(a)).cloned().collect();
+            let r_only: Vec<String> = sr
+                .iter()
+                .filter(|a| !common.contains(a))
+                .cloned()
+                .collect();
+            let mut out_schema = sl.clone();
+            out_schema.extend(r_only.iter().cloned());
+
+            let x = fresh("x");
+            let y = fresh("y");
+            let mut parts: Vec<S<K>> = sl
+                .iter()
+                .map(|a| child(S::Paren(Box::new(var(&x))), a))
+                .collect();
+            parts.extend(
+                r_only
+                    .iter()
+                    .map(|a| child(S::Paren(Box::new(var(&y))), a)),
+            );
+            // innermost body
+            let mut body = S::Paren(Box::new(t_node(parts)));
+            // one where-style equality wrapper per common attribute,
+            // generated in the paper's desugared form
+            for attr in common.iter().rev() {
+                let a = fresh("a");
+                let b = fresh("b");
+                body = S::For {
+                    binders: vec![(
+                        a.clone(),
+                        kids(child(S::Paren(Box::new(var(&x))), attr)),
+                    )],
+                    where_eq: None,
+                    body: Box::new(S::For {
+                        binders: vec![(
+                            b.clone(),
+                            kids(child(S::Paren(Box::new(var(&y))), attr)),
+                        )],
+                        where_eq: None,
+                        body: Box::new(S::If {
+                            l: Box::new(S::Name(Box::new(var(&a)))),
+                            r: Box::new(S::Name(Box::new(var(&b)))),
+                            then: Box::new(body),
+                            els: Box::new(S::Empty),
+                        }),
+                    }),
+                };
+            }
+            let q = S::For {
+                binders: vec![(x, ql), (y, qr)],
+                where_eq: None,
+                body: Box::new(body),
+            };
+            Ok((q, out_schema))
+        }
+        RaExpr::Rename { input, from, to } => {
+            let (src, schema) = translate(input, db)?;
+            if !schema.contains(from) {
+                return Err(DecodeError {
+                    msg: format!("unknown attribute {from:?} in rename"),
+                });
+            }
+            let out_schema: Vec<String> = schema
+                .iter()
+                .map(|a| if a == from { to.clone() } else { a.clone() })
+                .collect();
+            let t = fresh("t");
+            let parts: Vec<S<K>> = schema
+                .iter()
+                .zip(out_schema.iter())
+                .map(|(old, new)| {
+                    if old == new {
+                        child(S::Paren(Box::new(var(&t))), old)
+                    } else {
+                        // element NEW { $t/OLD/* } — rebuild under the new name
+                        S::Element {
+                            name: ElementName::Static(Label::new(new)),
+                            content: Box::new(kids(child(
+                                S::Paren(Box::new(var(&t))),
+                                old,
+                            ))),
+                        }
+                    }
+                })
+                .collect();
+            let q = S::For {
+                binders: vec![(t.clone(), src)],
+                where_eq: None,
+                body: Box::new(S::Paren(Box::new(t_node(parts)))),
+            };
+            Ok((q, out_schema))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::krel::Schema;
+    use crate::ra::{eval_ra, fig5_query};
+    use axml_core::eval_query;
+    use axml_semiring::{Nat, NatPoly};
+    use axml_uxml::Value;
+
+    fn np(s: &str) -> NatPoly {
+        s.parse().unwrap()
+    }
+
+    fn fig5_db() -> Database<NatPoly> {
+        let r = KRelation::from_label_rows(
+            Schema::new(["A", "B", "C"]),
+            [
+                (vec!["a", "b", "c"], np("x1")),
+                (vec!["d", "b", "e"], np("x2")),
+                (vec!["f", "g", "e"], np("x3")),
+            ],
+        );
+        let s = KRelation::from_label_rows(
+            Schema::new(["B", "C"]),
+            [(vec!["b", "c"], np("x4")), (vec!["g", "c"], np("x5"))],
+        );
+        Database::new().with("R", r).with("S", s)
+    }
+
+    /// Run the Prop-1 round: translate Q, evaluate over the encoding,
+    /// decode, compare with RA⁺ evaluation.
+    fn check_prop1(q: &RaExpr, db: &Database<NatPoly>) {
+        let expected = eval_ra(q, db).expect("RA+ evaluates");
+        let v = encode_database(db);
+        let uxq = ra_to_uxquery(q, db).expect("translates");
+        let out = eval_query(&uxq, &[("d", Value::Set(v))]).expect("UXQuery evaluates");
+        let Value::Set(forest) = out else { panic!("expected a set") };
+        let attrs: Vec<&str> = expected
+            .schema()
+            .attrs()
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
+        let decoded = decode_relation(&forest, &attrs).expect("decodes");
+        assert_eq!(
+            decoded, expected,
+            "Prop 1 violated for {q:?}:\nUXQuery gave\n{decoded}\nRA+ gave\n{expected}"
+        );
+    }
+
+    #[test]
+    fn prop1_fig5() {
+        check_prop1(&fig5_query(), &fig5_db());
+    }
+
+    #[test]
+    fn prop1_projections_and_selections() {
+        let db = fig5_db();
+        check_prop1(&RaExpr::rel("R").project(["A"]), &db);
+        check_prop1(&RaExpr::rel("R").project(["B", "C"]), &db);
+        check_prop1(&RaExpr::rel("R").select_label("B", "b"), &db);
+        check_prop1(
+            &RaExpr::rel("R").select_label("B", "nonexistent"),
+            &db,
+        );
+    }
+
+    #[test]
+    fn prop1_join_on_two_attrs() {
+        let db = fig5_db();
+        // R ⋈ R' where R' = ρ duplicates — join on B and C simultaneously
+        let q = RaExpr::rel("R")
+            .project(["B", "C"])
+            .join(RaExpr::rel("S"));
+        check_prop1(&q, &db);
+    }
+
+    #[test]
+    fn prop1_rename_and_union() {
+        let db = fig5_db();
+        let q = RaExpr::rel("R")
+            .project(["B", "C"])
+            .union(RaExpr::rel("S"));
+        check_prop1(&q, &db);
+        check_prop1(&RaExpr::rel("S").rename("B", "X"), &db);
+    }
+
+    #[test]
+    fn prop1_select_eq() {
+        // build a relation with two comparable columns
+        let r = KRelation::from_label_rows(
+            Schema::new(["A", "B"]),
+            [
+                (vec!["u", "u"], np("k1")),
+                (vec!["u", "w"], np("k2")),
+            ],
+        );
+        let db = Database::new().with("T", r);
+        check_prop1(&RaExpr::rel("T").select_eq("A", "B"), &db);
+    }
+
+    #[test]
+    fn encode_database_shape() {
+        let db = fig5_db();
+        let f = encode_database(&db);
+        assert_eq!(f.len(), 1);
+        let d = f.trees().next().unwrap();
+        assert_eq!(d.label().name(), "D");
+        assert_eq!(d.children().len(), 2); // R and S
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let f = axml_uxml::parse_forest::<Nat>("<x> </x>").unwrap();
+        assert!(decode_relation(&f, &["A"]).is_err());
+        let f2 = axml_uxml::parse_forest::<Nat>("<t> <A> a b </A> </t>").unwrap();
+        assert!(decode_relation(&f2, &["A"]).is_err());
+        let f3 = axml_uxml::parse_forest::<Nat>("<t> <B> b </B> </t>").unwrap();
+        assert!(decode_relation(&f3, &["A"]).is_err());
+    }
+
+    #[test]
+    fn relation_encode_decode_roundtrip() {
+        let db = fig5_db();
+        let rel = db.get("R").unwrap();
+        let f = encode_relation(rel);
+        let back = decode_relation(&f, &["A", "B", "C"]).unwrap();
+        assert_eq!(&back, rel);
+    }
+}

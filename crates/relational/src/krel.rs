@@ -1,0 +1,267 @@
+//! K-relations: relations whose tuples are annotated with elements of a
+//! commutative semiring (Green, Karvounarakis & Tannen, PODS 2007 —
+//! the substrate the paper builds on and compares against in §3/§7).
+
+use axml_semiring::{KSet, Semiring};
+use axml_uxml::Label;
+use std::fmt;
+use std::sync::Arc;
+
+/// A value in a relational tuple: a label, a node id, or a Skolem term
+/// (§7 uses Skolem functions to invent node ids in query results).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RelValue {
+    /// An atomic label.
+    Label(Label),
+    /// A node identifier (0 is reserved for "root of a top-level
+    /// tree"; see §7).
+    Node(u64),
+    /// A Skolem term `f(v₁, …, vₙ)`.
+    Skolem(String, Vec<RelValue>),
+}
+
+impl RelValue {
+    /// Label constructor.
+    pub fn label(name: &str) -> Self {
+        RelValue::Label(Label::new(name))
+    }
+
+    /// The label, if this is one.
+    pub fn as_label(&self) -> Option<Label> {
+        match self {
+            RelValue::Label(l) => Some(*l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RelValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelValue::Label(l) => write!(f, "{l}"),
+            RelValue::Node(n) => write!(f, "{n}"),
+            RelValue::Skolem(name, args) => {
+                write!(f, "{name}(")?;
+                let mut first = true;
+                for a in args {
+                    if !first {
+                        write!(f, ",")?;
+                    }
+                    first = false;
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A tuple of relational values.
+pub type Tuple = Vec<RelValue>;
+
+/// A named-attribute schema. Shared (`Arc`) because every row operation
+/// consults it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schema {
+    attrs: Arc<Vec<String>>,
+}
+
+impl Schema {
+    /// Build from attribute names (must be distinct).
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(attrs: I) -> Self {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        for (i, a) in attrs.iter().enumerate() {
+            assert!(
+                !attrs[..i].contains(a),
+                "duplicate attribute {a:?} in schema"
+            );
+        }
+        Schema {
+            attrs: Arc::new(attrs),
+        }
+    }
+
+    /// Attribute names in order.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Index of an attribute.
+    pub fn index_of(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+
+    /// Attributes shared with another schema (in this schema's order).
+    pub fn common(&self, other: &Schema) -> Vec<String> {
+        self.attrs
+            .iter()
+            .filter(|a| other.index_of(a).is_some())
+            .cloned()
+            .collect()
+    }
+}
+
+/// A K-relation: a schema plus a [`KSet`] of tuples. Zero-annotated
+/// tuples are never stored (the tuple "is not in the relation").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KRelation<K: Semiring> {
+    schema: Schema,
+    rows: KSet<Tuple, K>,
+}
+
+impl<K: Semiring> KRelation<K> {
+    /// An empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        KRelation {
+            schema,
+            rows: KSet::new(),
+        }
+    }
+
+    /// Build from rows of labels (convenience for tests/figures).
+    pub fn from_label_rows<I>(schema: Schema, rows: I) -> Self
+    where
+        I: IntoIterator<Item = (Vec<&'static str>, K)>,
+    {
+        let mut rel = KRelation::new(schema);
+        for (cols, k) in rows {
+            let tuple: Tuple = cols.iter().map(|c| RelValue::label(c)).collect();
+            rel.insert(tuple, k);
+        }
+        rel
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Add `k` to the annotation of `tuple`.
+    pub fn insert(&mut self, tuple: Tuple, k: K) {
+        assert_eq!(
+            tuple.len(),
+            self.schema.arity(),
+            "tuple arity does not match schema"
+        );
+        self.rows.insert(tuple, k);
+    }
+
+    /// The annotation of a tuple (0 if absent).
+    pub fn get(&self, tuple: &Tuple) -> K {
+        self.rows.get(tuple)
+    }
+
+    /// Annotation lookup by labels (convenience).
+    pub fn get_labels(&self, cols: &[&str]) -> K {
+        let tuple: Tuple = cols.iter().map(|c| RelValue::label(c)).collect();
+        self.get(&tuple)
+    }
+
+    /// Number of tuples with nonzero annotation.
+    pub fn len(&self) -> usize {
+        self.rows.support_len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate `(tuple, annotation)` in tuple order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &K)> + '_ {
+        self.rows.iter()
+    }
+
+    /// The underlying K-set of rows.
+    pub fn rows(&self) -> &KSet<Tuple, K> {
+        &self.rows
+    }
+
+    /// Project a tuple onto attribute indices.
+    pub(crate) fn project_tuple(tuple: &[RelValue], idxs: &[usize]) -> Tuple {
+        idxs.iter().map(|&i| tuple[i].clone()).collect()
+    }
+
+    /// Apply a semiring homomorphism to every annotation.
+    pub fn map_annotations<K2: Semiring>(&self, mut h: impl FnMut(&K) -> K2) -> KRelation<K2> {
+        KRelation {
+            schema: self.schema.clone(),
+            rows: self.rows.map_annotations(&mut h, |t| t.clone()),
+        }
+    }
+}
+
+impl<K: Semiring> fmt::Display for KRelation<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema.attrs().join(" | "))?;
+        for (t, k) in self.iter() {
+            let cells: Vec<String> = t.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}  @ {k:?}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_semiring::Nat;
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(["A", "B", "C"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("B"), Some(1));
+        assert_eq!(s.index_of("Z"), None);
+        let t = Schema::new(["B", "D"]);
+        assert_eq!(s.common(&t), vec!["B".to_owned()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn schema_rejects_duplicates() {
+        let _ = Schema::new(["A", "A"]);
+    }
+
+    #[test]
+    fn insert_merges_and_prunes() {
+        let mut r = KRelation::<Nat>::new(Schema::new(["A"]));
+        r.insert(vec![RelValue::label("x")], Nat(2));
+        r.insert(vec![RelValue::label("x")], Nat(3));
+        r.insert(vec![RelValue::label("y")], Nat(0));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get_labels(&["x"]), Nat(5));
+        assert_eq!(r.get_labels(&["y"]), Nat(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut r = KRelation::<Nat>::new(Schema::new(["A", "B"]));
+        r.insert(vec![RelValue::label("x")], Nat(1));
+    }
+
+    #[test]
+    fn skolem_values_display() {
+        let v = RelValue::Skolem(
+            "f".into(),
+            vec![RelValue::Node(2), RelValue::label("c")],
+        );
+        assert_eq!(v.to_string(), "f(2,c)");
+    }
+
+    #[test]
+    fn map_annotations_hom() {
+        let mut r = KRelation::<Nat>::new(Schema::new(["A"]));
+        r.insert(vec![RelValue::label("x")], Nat(2));
+        r.insert(vec![RelValue::label("z")], Nat(0));
+        let b = r.map_annotations(axml_semiring::dup_elim);
+        assert_eq!(b.len(), 1);
+        assert!(b.get_labels(&["x"]));
+    }
+}

@@ -1,0 +1,38 @@
+//! K-relations, the positive relational algebra, semiring Datalog with
+//! Skolem functions, and the shredding semantics of §7 of Foster,
+//! Green & Tannen (PODS 2008).
+//!
+//! This crate provides the *relational* side of the paper:
+//!
+//! - [`krel`]: K-relations (tuples annotated with semiring elements) —
+//!   the model of Green–Karvounarakis–Tannen \[16\] that the paper
+//!   extends to XML.
+//! - [`ra`]: the positive relational algebra RA⁺ over K-relations (the
+//!   baseline for Prop 1/Prop 4 and Fig 5).
+//! - [`datalog`]: positive Datalog with semiring-annotated facts and
+//!   Skolem functions in heads (the §7 machinery).
+//! - [mod@shred]: the encoding φ of K-UXML into an edge K-relation, the
+//!   translation ψ of XPath into Datalog, garbage collection, and
+//!   decoding — Theorem 2 end to end.
+//! - [`encode`]: the Fig 5 encoding of K-relations as K-UXML and the
+//!   RA⁺ → UXQuery translation — Prop 1 end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datalog;
+pub mod datalog_parse;
+pub mod encode;
+pub mod krel;
+pub mod ra;
+pub mod shred;
+
+pub use datalog::{eval_datalog, Program, Rule};
+pub use datalog_parse::parse_program;
+pub use encode::{encode_database, encode_relation, ra_to_uxquery};
+pub use krel::{KRelation, RelValue, Schema, Tuple};
+pub use ra::{eval_ra, Database, RaExpr};
+pub use shred::{
+    decode, eval_steps_via_shredding, garbage_collect, shred, shredded_eval,
+    xpath_to_datalog,
+};

@@ -1,0 +1,489 @@
+//! Shredding: the relational semantics of §7.
+//!
+//! - [`shred`] is the paper's φ: encode a K-UXML forest as a single
+//!   K-relation `E(pid, nid, label)`, one tuple per node, carrying the
+//!   node's annotation; `pid = 0` marks top-level roots.
+//! - [`xpath_to_datalog`] is ψ: translate an XPath step chain into a
+//!   Datalog program with Skolem functions, whose `E'` relation encodes
+//!   the result forest (the fresh `f(·)` ids keep result nodes distinct
+//!   from source nodes).
+//! - [`garbage_collect`] removes the tuples unreachable from any root
+//!   ("an additional step is required to remove these tuples").
+//! - [`decode`] inverts φ, merging value-identical siblings (relational
+//!   node identity is *by id*; UXML identity is *by value* — decoding
+//!   is where the two reconcile).
+//!
+//! Theorem 2 — `φ(p(v)) = ψ(φ(p))` up to node-id renaming, i.e.
+//! `decode(ψ-result) =` direct evaluation — is verified in this
+//! module's tests on Fig 4 and in `tests/theorems.rs` on random
+//! forests and step chains.
+
+use crate::datalog::{atom, lbl, node, sk, v, DatalogError, Program, Rule};
+use crate::krel::{KRelation, RelValue, Schema};
+use crate::ra::Database;
+use axml_core::ast::{Axis, NodeTest, Step};
+use axml_semiring::Semiring;
+use axml_uxml::{Forest, Tree};
+use std::collections::BTreeMap;
+
+/// The schema of the edge relation `E(pid, nid, label)`.
+pub fn edge_schema() -> Schema {
+    Schema::new(["pid", "nid", "label"])
+}
+
+/// φ: encode a forest as the edge relation. Node ids are assigned in
+/// depth-first document order starting at 1 (0 is the virtual root).
+pub fn shred<K: Semiring>(forest: &Forest<K>) -> KRelation<K> {
+    let mut rel = KRelation::new(edge_schema());
+    let mut next_id = 1u64;
+    for (t, k) in forest.iter() {
+        shred_tree(t, k, 0, &mut next_id, &mut rel);
+    }
+    rel
+}
+
+fn shred_tree<K: Semiring>(
+    t: &Tree<K>,
+    ann: &K,
+    pid: u64,
+    next_id: &mut u64,
+    rel: &mut KRelation<K>,
+) {
+    let nid = *next_id;
+    *next_id += 1;
+    rel.insert(
+        vec![
+            RelValue::Node(pid),
+            RelValue::Node(nid),
+            RelValue::Label(t.label()),
+        ],
+        ann.clone(),
+    );
+    for (c, k) in t.children().iter() {
+        shred_tree(c, k, nid, next_id, rel);
+    }
+}
+
+/// ψ: translate a chain of XPath steps into a Datalog program.
+///
+/// The program defines context predicates `C0 … Cn(nid, label)` — `C0`
+/// holds the top-level roots with their annotations, each step extends
+/// the chain — and the output relation:
+///
+/// ```text
+/// E'(f(p), f(n), l) :- E(p, n, l).          (copy the structure)
+/// E'(0, f(n), l)    :- Cn(n, l).            (matched nodes become roots)
+/// ```
+///
+/// exactly the shape of the paper's `descendant::a` example.
+pub fn xpath_to_datalog(steps: &[Step]) -> Program {
+    let mut rules = Vec::new();
+    // C0(n, l) :- E(0, n, l).
+    rules.push(Rule::new(
+        atom("C0", [v("n"), v("l")]),
+        [atom("E", [node(0), v("n"), v("l")])],
+    ));
+    let mut ctx = "C0".to_owned();
+    for (i, step) in steps.iter().enumerate() {
+        let next = format!("C{}", i + 1);
+        let test_term = match step.test {
+            NodeTest::Wildcard => v("l"),
+            NodeTest::Label(l) => lbl(l.name()),
+        };
+        match step.axis {
+            Axis::SelfAxis => {
+                // Ci+1(n, a) :- Ci(n, a).
+                rules.push(Rule::new(
+                    atom(&next, [v("n"), test_term.clone()]),
+                    [atom(&ctx, [v("n"), test_term])],
+                ));
+            }
+            Axis::Child => {
+                // Ci+1(n, a) :- Ci(p, _), E(p, n, a).
+                rules.push(Rule::new(
+                    atom(&next, [v("n"), test_term.clone()]),
+                    [
+                        atom(&ctx, [v("p"), v("pl")]),
+                        atom("E", [v("p"), v("n"), test_term]),
+                    ],
+                ));
+            }
+            Axis::Descendant => {
+                // D(n,l) :- Ci(n,l).    D(n,l) :- D(p,_), E(p,n,l).
+                // Ci+1(n,a) :- D(n,a).
+                let d = format!("D{}", i + 1);
+                rules.push(Rule::new(
+                    atom(&d, [v("n"), v("l")]),
+                    [atom(&ctx, [v("n"), v("l")])],
+                ));
+                rules.push(Rule::new(
+                    atom(&d, [v("n"), v("l")]),
+                    [
+                        atom(&d, [v("p"), v("pl")]),
+                        atom("E", [v("p"), v("n"), v("l")]),
+                    ],
+                ));
+                rules.push(Rule::new(
+                    atom(&next, [v("n"), test_term.clone()]),
+                    [atom(&d, [v("n"), test_term])],
+                ));
+            }
+            Axis::StrictDescendant => {
+                // seed with the children, then the same recursion
+                let d = format!("D{}", i + 1);
+                rules.push(Rule::new(
+                    atom(&d, [v("n"), v("l")]),
+                    [
+                        atom(&ctx, [v("p"), v("pl")]),
+                        atom("E", [v("p"), v("n"), v("l")]),
+                    ],
+                ));
+                rules.push(Rule::new(
+                    atom(&d, [v("n"), v("l")]),
+                    [
+                        atom(&d, [v("p"), v("pl")]),
+                        atom("E", [v("p"), v("n"), v("l")]),
+                    ],
+                ));
+                rules.push(Rule::new(
+                    atom(&next, [v("n"), test_term.clone()]),
+                    [atom(&d, [v("n"), test_term])],
+                ));
+            }
+        }
+        ctx = next;
+    }
+    // E'(f(p), f(n), l) :- E(p, n, l).
+    rules.push(Rule::new(
+        atom("E2", [sk("f", [v("p")]), sk("f", [v("n")]), v("l")]),
+        [atom("E", [v("p"), v("n"), v("l")])],
+    ));
+    // E'(0, f(n), l) :- Cn(n, l).
+    rules.push(Rule::new(
+        atom("E2", [node(0), sk("f", [v("n")]), v("l")]),
+        [atom(&ctx, [v("n"), v("l")])],
+    ));
+    Program::new(rules)
+}
+
+/// Run ψ(φ(v)) for a step chain: shred, evaluate the program, return
+/// the raw `E'` relation (including garbage, as in the paper's table).
+pub fn shredded_eval<K: Semiring>(
+    forest: &Forest<K>,
+    steps: &[Step],
+) -> Result<KRelation<K>, DatalogError> {
+    let e = shred(forest);
+    let db = Database::new().with("E", e);
+    let prog = xpath_to_datalog(steps);
+    let out = crate::datalog::eval_datalog(&prog, &db)?;
+    Ok(out.get("E2").cloned().unwrap_or_else(|| KRelation::new(edge_schema())))
+}
+
+/// Remove tuples not reachable from a root (pid 0) tuple.
+pub fn garbage_collect<K: Semiring>(rel: &KRelation<K>) -> KRelation<K> {
+    // children-by-pid index over the support
+    let mut by_pid: BTreeMap<&RelValue, Vec<&Vec<RelValue>>> = BTreeMap::new();
+    for (t, _) in rel.iter() {
+        by_pid.entry(&t[0]).or_default().push(t);
+    }
+    let mut reachable: std::collections::BTreeSet<&RelValue> =
+        std::collections::BTreeSet::new();
+    let zero = RelValue::Node(0);
+    let mut stack: Vec<&RelValue> = vec![&zero];
+    while let Some(pid) = stack.pop() {
+        if let Some(children) = by_pid.get(pid) {
+            for t in children {
+                if reachable.insert(&t[1]) {
+                    stack.push(&t[1]);
+                }
+            }
+        }
+    }
+    let mut out = KRelation::new(rel.schema().clone());
+    for (t, k) in rel.iter() {
+        if t[0] == zero || reachable.contains(&t[0]) {
+            out.insert(t.clone(), k.clone());
+        }
+    }
+    out
+}
+
+/// Invert φ: rebuild the forest from an edge relation. Value-identical
+/// siblings merge (their annotations add). A node id reachable through
+/// several parents is *duplicated* at each occurrence (the ψ output is
+/// a DAG: a matched node appears both as a result root and inside any
+/// enclosing match's copied subtree). Returns `None` on a cycle or a
+/// non-label in the label column. An empty relation decodes to the
+/// empty forest.
+pub fn decode<K: Semiring>(rel: &KRelation<K>) -> Option<Forest<K>> {
+    let mut children: BTreeMap<RelValue, Vec<(RelValue, axml_uxml::Label, K)>> =
+        BTreeMap::new();
+    for (t, k) in rel.iter() {
+        let (pid, nid, label) = (&t[0], &t[1], t[2].as_label()?);
+        children
+            .entry(pid.clone())
+            .or_default()
+            .push((nid.clone(), label, k.clone()));
+    }
+    let mut out = Forest::new();
+    let Some(roots) = children.get(&RelValue::Node(0)) else {
+        return Some(out);
+    };
+    let mut on_path = std::collections::BTreeSet::new();
+    for (nid, label, k) in roots.clone() {
+        let t = decode_tree(&nid, label, &children, &mut on_path)?;
+        out.insert(t, k);
+    }
+    Some(out)
+}
+
+fn decode_tree<K: Semiring>(
+    nid: &RelValue,
+    label: axml_uxml::Label,
+    children: &BTreeMap<RelValue, Vec<(RelValue, axml_uxml::Label, K)>>,
+    on_path: &mut std::collections::BTreeSet<RelValue>,
+) -> Option<Tree<K>> {
+    if !on_path.insert(nid.clone()) {
+        return None; // cycle through nid
+    }
+    let mut forest = Forest::new();
+    if let Some(kids) = children.get(nid) {
+        for (cid, clabel, k) in kids.clone() {
+            let sub = decode_tree(&cid, clabel, children, on_path)?;
+            forest.insert(sub, k);
+        }
+    }
+    on_path.remove(nid);
+    Some(Tree::new(label, forest))
+}
+
+/// End-to-end shredded evaluation of a step chain, GC'd and decoded to
+/// a forest — the object Theorem 2 equates with direct evaluation.
+pub fn eval_steps_via_shredding<K: Semiring>(
+    forest: &Forest<K>,
+    steps: &[Step],
+) -> Result<Forest<K>, DatalogError> {
+    let raw = shredded_eval(forest, steps)?;
+    let clean = garbage_collect(&raw);
+    decode(&clean).ok_or_else(|| DatalogError {
+        msg: "shredded result is not forest-shaped".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_core::ast::{Axis, NodeTest, Step};
+    use axml_semiring::{NatPoly, Var};
+    use axml_uxml::{parse_forest, Label};
+
+    fn np(s: &str) -> NatPoly {
+        s.parse().unwrap()
+    }
+
+    fn fig4_source() -> Forest<NatPoly> {
+        parse_forest(
+            "<a> <b {x1}> <a> c {y3} d </a> </b> <c {y1}> <d> <a> c {y2} b {x2} </a> </d> </c> </a>",
+        )
+        .unwrap()
+    }
+
+    fn dsc(l: &str) -> Step {
+        Step {
+            axis: Axis::Descendant,
+            test: NodeTest::Label(Label::new(l)),
+        }
+    }
+
+    #[test]
+    fn shred_assigns_dfs_ids() {
+        let f = parse_forest::<NatPoly>("<a> b {q} </a> c {r}").unwrap();
+        let e = shred(&f);
+        assert_eq!(e.len(), 3);
+        // root a = nid 1 (pid 0), child b = nid 2, root c = nid 3
+        assert_eq!(
+            e.get(&vec![
+                RelValue::Node(0),
+                RelValue::Node(1),
+                RelValue::label("a")
+            ]),
+            NatPoly::one()
+        );
+        assert_eq!(
+            e.get(&vec![
+                RelValue::Node(1),
+                RelValue::Node(2),
+                RelValue::label("b")
+            ]),
+            np("q")
+        );
+        assert_eq!(
+            e.get(&vec![
+                RelValue::Node(0),
+                RelValue::Node(3),
+                RelValue::label("c")
+            ]),
+            np("r")
+        );
+    }
+
+    #[test]
+    fn paper_section7_table_with_x1_zero() {
+        // The paper evaluates //c on the Fig 4 source with x1 := 0 and
+        // lists the E′ tuples (up to its node numbering). We substitute
+        // x1 ↦ 0 (keeping y1, y2 symbolic) and check the two root
+        // tuples and the overall counts.
+        let subst = std::collections::BTreeMap::from([(Var::new("x1"), NatPoly::zero())]);
+        let f = axml_uxml::hom::substitute_forest(&fig4_source(), &subst);
+        let e2 = shredded_eval(&f, &[dsc("c")]).unwrap();
+
+        // Root tuples: (0, f(nc), c)^{y1} and (0, f(nc2), c)^{y1·y2}.
+        let roots: Vec<(&Vec<RelValue>, &NatPoly)> = e2
+            .iter()
+            .filter(|(t, _)| t[0] == RelValue::Node(0))
+            .collect();
+        assert_eq!(roots.len(), 2);
+        let anns: Vec<String> = roots.iter().map(|(_, k)| k.to_string()).collect();
+        assert!(anns.contains(&"y1".to_owned()), "{anns:?}");
+        assert!(anns.contains(&"y1*y2".to_owned()), "{anns:?}");
+
+        // Copied structure: with the b-branch zeroed at its root edge,
+        // E retains the b-subtree's inner tuples but drops the b tuple
+        // itself; after GC only the c{y1}-subtree copies survive.
+        let clean = garbage_collect(&e2);
+        assert!(clean.len() < e2.len(), "garbage must exist and be removed");
+    }
+
+    #[test]
+    fn theorem2_on_fig4() {
+        // decode(ψ(φ(v))) equals direct evaluation of //c (Fig 4).
+        let f = fig4_source();
+        let shredded = eval_steps_via_shredding(&f, &[dsc("c")]).unwrap();
+        let direct = axml_core::eval_step(&f, dsc("c"));
+        assert_eq!(shredded, direct);
+        // and the Fig 4 annotation q1 = x1·y3 + y1·y2 on the leaf c
+        assert_eq!(
+            shredded.get(&axml_uxml::leaf("c")),
+            np("x1*y3 + y1*y2")
+        );
+    }
+
+    #[test]
+    fn theorem2_on_step_chains() {
+        let f = fig4_source();
+        let chains: Vec<Vec<Step>> = vec![
+            vec![Step { axis: Axis::Child, test: NodeTest::Wildcard }],
+            vec![
+                Step { axis: Axis::Child, test: NodeTest::Wildcard },
+                Step { axis: Axis::Child, test: NodeTest::Wildcard },
+            ],
+            vec![dsc("a"), Step { axis: Axis::Child, test: NodeTest::Label(Label::new("c")) }],
+            vec![Step { axis: Axis::SelfAxis, test: NodeTest::Label(Label::new("a")) }],
+            vec![Step { axis: Axis::StrictDescendant, test: NodeTest::Label(Label::new("c")) }],
+            vec![dsc("c"), dsc("b")],
+        ];
+        for steps in chains {
+            let shredded = eval_steps_via_shredding(&f, &steps).unwrap();
+            let mut direct = f.clone();
+            for s in &steps {
+                direct = axml_core::eval_step(&direct, *s);
+            }
+            assert_eq!(shredded, direct, "mismatch on {steps:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_collect_keeps_reachable_only() {
+        let mut rel = KRelation::<NatPoly>::new(edge_schema());
+        rel.insert(
+            vec![RelValue::Node(0), RelValue::Node(1), RelValue::label("a")],
+            NatPoly::one(),
+        );
+        rel.insert(
+            vec![RelValue::Node(1), RelValue::Node(2), RelValue::label("b")],
+            NatPoly::one(),
+        );
+        // orphan: parent 99 never reachable
+        rel.insert(
+            vec![RelValue::Node(99), RelValue::Node(100), RelValue::label("z")],
+            NatPoly::one(),
+        );
+        let clean = garbage_collect(&rel);
+        assert_eq!(clean.len(), 2);
+    }
+
+    #[test]
+    fn decode_merges_value_identical_siblings() {
+        // two distinct nodes, same value, same parent → one UXML child
+        let mut rel = KRelation::<NatPoly>::new(edge_schema());
+        rel.insert(
+            vec![RelValue::Node(0), RelValue::Node(1), RelValue::label("r")],
+            NatPoly::one(),
+        );
+        rel.insert(
+            vec![RelValue::Node(1), RelValue::Node(2), RelValue::label("c")],
+            np("p"),
+        );
+        rel.insert(
+            vec![RelValue::Node(1), RelValue::Node(3), RelValue::label("c")],
+            np("q"),
+        );
+        let f = decode(&rel).unwrap();
+        let root = f.trees().next().unwrap();
+        assert_eq!(root.children().len(), 1);
+        assert_eq!(root.children().get(&axml_uxml::leaf("c")), np("p + q"));
+    }
+
+    #[test]
+    fn decode_duplicates_shared_nodes() {
+        // nid 1 is both a root and a child of node 2 (the ψ-output DAG
+        // shape): the subtree is materialized at both positions.
+        let mut rel = KRelation::<NatPoly>::new(edge_schema());
+        rel.insert(
+            vec![RelValue::Node(0), RelValue::Node(1), RelValue::label("a")],
+            np("p"),
+        );
+        rel.insert(
+            vec![RelValue::Node(0), RelValue::Node(2), RelValue::label("b")],
+            NatPoly::one(),
+        );
+        rel.insert(
+            vec![RelValue::Node(2), RelValue::Node(1), RelValue::label("a")],
+            np("q"),
+        );
+        let f = decode(&rel).unwrap();
+        assert_eq!(f.get(&axml_uxml::leaf("a")), np("p"));
+        let b = parse_forest::<NatPoly>("<b> a {q} </b>")
+            .unwrap()
+            .trees()
+            .next()
+            .unwrap()
+            .clone();
+        assert_eq!(f.get(&b), NatPoly::one());
+    }
+
+    #[test]
+    fn decode_rejects_cycles() {
+        let mut rel = KRelation::<NatPoly>::new(edge_schema());
+        rel.insert(
+            vec![RelValue::Node(0), RelValue::Node(1), RelValue::label("a")],
+            NatPoly::one(),
+        );
+        rel.insert(
+            vec![RelValue::Node(1), RelValue::Node(2), RelValue::label("b")],
+            NatPoly::one(),
+        );
+        rel.insert(
+            vec![RelValue::Node(2), RelValue::Node(1), RelValue::label("a")],
+            NatPoly::one(),
+        );
+        assert!(decode(&rel).is_none());
+    }
+
+    #[test]
+    fn shred_decode_roundtrip() {
+        let f = fig4_source();
+        let rt = decode(&shred(&f)).unwrap();
+        assert_eq!(rt, f);
+    }
+}

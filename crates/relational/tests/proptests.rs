@@ -1,0 +1,213 @@
+//! Property tests for the relational layer: the classical algebraic
+//! laws of RA⁺ hold *with annotations* (they are consequences of the
+//! semiring axioms — this is the \[16\] observation the paper builds on),
+//! and the shredding encode/decode pair is lossless.
+
+use axml_relational::ra::RaExpr;
+use axml_relational::{
+    decode, eval_ra, shred, Database, KRelation, RelValue, Schema,
+};
+use axml_semiring::{NatPoly, Semiring};
+use axml_uxml::{Forest, Tree};
+use proptest::prelude::*;
+
+const VALS: [&str; 4] = ["ra", "rb", "rc", "rd"];
+
+fn arb_ann() -> impl Strategy<Value = NatPoly> {
+    prop_oneof![
+        3 => proptest::sample::select(&["rp1", "rp2", "rp3"][..]).prop_map(NatPoly::var_named),
+        1 => Just(NatPoly::one()),
+        1 => (1u64..3).prop_map(NatPoly::from),
+    ]
+}
+
+fn arb_rel(attrs: &'static [&'static str]) -> impl Strategy<Value = KRelation<NatPoly>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(proptest::sample::select(&VALS[..]), attrs.len()),
+            arb_ann(),
+        ),
+        0..5,
+    )
+    .prop_map(move |rows| {
+        let mut rel = KRelation::new(Schema::new(attrs.iter().copied()));
+        for (cols, k) in rows {
+            rel.insert(cols.iter().map(|c| RelValue::label(c)).collect(), k);
+        }
+        rel
+    })
+}
+
+/// Compare relations up to attribute order.
+fn rel_eq_mod_order(a: &KRelation<NatPoly>, b: &KRelation<NatPoly>) -> bool {
+    let attrs_a = a.schema().attrs();
+    if attrs_a.len() != b.schema().attrs().len() {
+        return false;
+    }
+    let Some(perm): Option<Vec<usize>> = attrs_a
+        .iter()
+        .map(|x| b.schema().index_of(x))
+        .collect()
+    else {
+        return false;
+    };
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().all(|(t, k)| {
+        let mut bt = vec![RelValue::Node(0); t.len()];
+        for (i, &j) in perm.iter().enumerate() {
+            bt[j] = t[i].clone();
+        }
+        b.get(&bt) == *k
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Join is commutative and associative (up to column order), with
+    /// annotation products commuting — a semiring-law consequence.
+    #[test]
+    fn join_commutative_associative(
+        r in arb_rel(&["A", "B"]),
+        s in arb_rel(&["B", "C"]),
+        t in arb_rel(&["C", "D"]),
+    ) {
+        let db = Database::new().with("R", r).with("S", s).with("T", t);
+        let rs = eval_ra(&RaExpr::rel("R").join(RaExpr::rel("S")), &db).unwrap();
+        let sr = eval_ra(&RaExpr::rel("S").join(RaExpr::rel("R")), &db).unwrap();
+        prop_assert!(rel_eq_mod_order(&rs, &sr), "⋈ commutes\n{rs}\n{sr}");
+
+        let left = eval_ra(
+            &RaExpr::rel("R").join(RaExpr::rel("S")).join(RaExpr::rel("T")),
+            &db,
+        )
+        .unwrap();
+        let right = eval_ra(
+            &RaExpr::rel("R").join(RaExpr::rel("S").join(RaExpr::rel("T"))),
+            &db,
+        )
+        .unwrap();
+        prop_assert!(rel_eq_mod_order(&left, &right), "⋈ associates");
+    }
+
+    /// Union is commutative/associative; join distributes over union.
+    #[test]
+    fn union_laws_and_distributivity(
+        r in arb_rel(&["A", "B"]),
+        s1 in arb_rel(&["B", "C"]),
+        s2 in arb_rel(&["B", "C"]),
+    ) {
+        let db = Database::new()
+            .with("R", r)
+            .with("S1", s1)
+            .with("S2", s2);
+        let u12 = eval_ra(&RaExpr::rel("S1").union(RaExpr::rel("S2")), &db).unwrap();
+        let u21 = eval_ra(&RaExpr::rel("S2").union(RaExpr::rel("S1")), &db).unwrap();
+        prop_assert_eq!(&u12, &u21);
+
+        // R ⋈ (S1 ∪ S2) = (R ⋈ S1) ∪ (R ⋈ S2): semiring distributivity
+        let lhs = eval_ra(
+            &RaExpr::rel("R").join(RaExpr::rel("S1").union(RaExpr::rel("S2"))),
+            &db,
+        )
+        .unwrap();
+        let rhs = eval_ra(
+            &RaExpr::rel("R")
+                .join(RaExpr::rel("S1"))
+                .union(RaExpr::rel("R").join(RaExpr::rel("S2"))),
+            &db,
+        )
+        .unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Cascading projections compose; selection commutes with join when
+    /// it mentions only one side's attributes.
+    #[test]
+    fn projection_and_selection_laws(
+        r in arb_rel(&["A", "B", "C"]),
+        s in arb_rel(&["C", "D"]),
+    ) {
+        let db = Database::new().with("R", r).with("S", s);
+        let p1 = eval_ra(
+            &RaExpr::rel("R").project(["A", "B"]).project(["A"]),
+            &db,
+        )
+        .unwrap();
+        let p2 = eval_ra(&RaExpr::rel("R").project(["A"]), &db).unwrap();
+        prop_assert_eq!(p1, p2, "π composes");
+
+        // σ_{A=ra}(R ⋈ S) = σ_{A=ra}(R) ⋈ S
+        let lhs = eval_ra(
+            &RaExpr::rel("R")
+                .join(RaExpr::rel("S"))
+                .select_label("A", "ra"),
+            &db,
+        )
+        .unwrap();
+        let rhs = eval_ra(
+            &RaExpr::rel("R")
+                .select_label("A", "ra")
+                .join(RaExpr::rel("S")),
+            &db,
+        )
+        .unwrap();
+        prop_assert_eq!(lhs, rhs, "σ pushes through ⋈");
+    }
+
+    /// shred → decode is the identity on forests.
+    #[test]
+    fn shred_decode_roundtrip(
+        trees in proptest::collection::vec(
+            (
+                proptest::sample::select(&["sa", "sb", "sc"][..]),
+                proptest::collection::vec(
+                    (proptest::sample::select(&["sx", "sy"][..]), arb_ann()),
+                    0..3,
+                ),
+                arb_ann(),
+            ),
+            0..4,
+        )
+    ) {
+        let mut forest: Forest<NatPoly> = Forest::new();
+        for (root, kids, k) in trees {
+            let children = Forest::from_pairs(
+                kids.into_iter().map(|(l, ka)| (Tree::leaf(l), ka))
+            );
+            forest.insert(Tree::new(root, children), k);
+        }
+        let rel = shred(&forest);
+        let back = decode(&rel).expect("decodes");
+        prop_assert_eq!(back, forest);
+    }
+
+    /// The edge relation has exactly one tuple per distinct node and
+    /// carries the same annotations the forest does.
+    #[test]
+    fn shred_preserves_annotations(
+        kids in proptest::collection::vec(
+            (proptest::sample::select(&["ka", "kb", "kc"][..]), arb_ann()),
+            1..4,
+        )
+    ) {
+        let children = Forest::from_pairs(
+            kids.iter().cloned().map(|(l, k)| (Tree::leaf(l), k)),
+        );
+        let expected: Vec<(Tree<NatPoly>, NatPoly)> =
+            children.iter().map(|(t, k)| (t.clone(), k.clone())).collect();
+        let forest = Forest::unit(Tree::new("root", children));
+        let rel = shred(&forest);
+        prop_assert_eq!(rel.len(), 1 + expected.len());
+        for (leaf_tree, k) in expected {
+            let found = rel
+                .iter()
+                .any(|(t, ann)| {
+                    t[2] == RelValue::Label(leaf_tree.label()) && ann == &k
+                });
+            prop_assert!(found, "annotation for {} missing", leaf_tree);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Semiring homomorphisms and valuations (§2, §6.4).
+//!
+//! A homomorphism `h : K₁ → K₂` preserves `0`, `1`, `+` and `·`. The
+//! paper's central structural result (Theorem 1 / Corollary 1) is that
+//! query evaluation *commutes* with applying homomorphisms to the
+//! annotations of the input: `H(e(v)) = H(e)(H(v))`. Every application
+//! in §4 and §5 is an instance of this commutation.
+//!
+//! The workhorse is [`Valuation`], a finite map `X → K` which induces
+//! the unique homomorphism `ℕ[X] → K` via [`crate::NatPoly::eval`].
+
+use crate::nat::Nat;
+use crate::semiring::Semiring;
+use crate::var::Var;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A homomorphism of commutative semirings.
+///
+/// Implementations must satisfy (property-tested in `tests/`):
+/// `h(0)=0`, `h(1)=1`, `h(a+b)=h(a)+h(b)`, `h(a·b)=h(a)·h(b)`.
+pub trait SemiringHom<A: Semiring, B: Semiring> {
+    /// Apply the homomorphism to one annotation.
+    fn apply(&self, a: &A) -> B;
+}
+
+/// The identity homomorphism `K → K`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityHom;
+
+impl<K: Semiring> SemiringHom<K, K> for IdentityHom {
+    fn apply(&self, a: &K) -> K {
+        a.clone()
+    }
+}
+
+/// Wrap any function as a homomorphism. The caller asserts the
+/// homomorphism laws; use the `hom_laws` helpers in tests to check.
+pub struct FnHom<A, B, F: Fn(&A) -> B> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(&A) -> B>,
+}
+
+impl<A, B, F: Fn(&A) -> B> FnHom<A, B, F> {
+    /// Wrap `f` as a [`SemiringHom`].
+    pub fn new(f: F) -> Self {
+        FnHom {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<A: Semiring, B: Semiring, F: Fn(&A) -> B> SemiringHom<A, B> for FnHom<A, B, F> {
+    fn apply(&self, a: &A) -> B {
+        (self.f)(a)
+    }
+}
+
+/// The "duplicate elimination" homomorphism `† : ℕ → 𝔹` (§6.4):
+/// `†(0) = false`, `†(n+1) = true`. Lifted over values it factors
+/// set-semantics evaluation through bag-semantics evaluation, with
+/// duplicate elimination deferred to the end — the way commercial
+/// RDBMSs treat `DISTINCT`.
+pub fn dup_elim(n: &Nat) -> bool {
+    !n.is_zero()
+}
+
+/// A finite map `X → K` assigning semiring values to provenance
+/// variables. Extends uniquely to the homomorphism `ℕ[X] → K`
+/// ([`crate::NatPoly::eval`]); variables not in the map default to
+/// `K::one()` (the paper's "set the other indeterminates to 1").
+#[derive(Clone, PartialEq, Eq)]
+pub struct Valuation<K: Semiring> {
+    map: BTreeMap<Var, K>,
+}
+
+impl<K: Semiring> Default for Valuation<K> {
+    fn default() -> Self {
+        Valuation {
+            map: BTreeMap::new(),
+        }
+    }
+}
+
+impl<K: Semiring> Valuation<K> {
+    /// The empty valuation (every variable ↦ 1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(variable, value)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (Var, K)>>(pairs: I) -> Self {
+        Valuation {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Bind `v ↦ k` (overwriting any previous binding).
+    pub fn set(&mut self, v: Var, k: K) -> &mut Self {
+        self.map.insert(v, k);
+        self
+    }
+
+    /// Look up a variable; unbound variables are `1` (see type docs).
+    pub fn get(&self, v: Var) -> K {
+        self.map.get(&v).cloned().unwrap_or_else(K::one)
+    }
+
+    /// Is the variable explicitly bound?
+    pub fn binds(&self, v: Var) -> bool {
+        self.map.contains_key(&v)
+    }
+
+    /// Iterate explicit bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &K)> + '_ {
+        self.map.iter().map(|(&v, k)| (v, k))
+    }
+
+    /// Number of explicit bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no variable is explicitly bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl<K: Semiring> fmt::Debug for Valuation<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_map();
+        for (v, k) in &self.map {
+            d.entry(&v.name(), k);
+        }
+        d.finish()
+    }
+}
+
+impl<K: Semiring> FromIterator<(Var, K)> for Valuation<K> {
+    fn from_iter<I: IntoIterator<Item = (Var, K)>>(iter: I) -> Self {
+        Valuation::from_pairs(iter)
+    }
+}
+
+/// Test helper: assert the homomorphism laws for `h` on given samples.
+/// Available outside `cfg(test)` so downstream crates' tests can reuse it.
+pub fn assert_hom_laws<A: Semiring, B: Semiring, H: SemiringHom<A, B>>(
+    h: &H,
+    samples: &[A],
+) {
+    assert_eq!(h.apply(&A::zero()), B::zero(), "h(0) = 0");
+    assert_eq!(h.apply(&A::one()), B::one(), "h(1) = 1");
+    for a in samples {
+        for b in samples {
+            assert_eq!(
+                h.apply(&a.plus(b)),
+                h.apply(a).plus(&h.apply(b)),
+                "h(a+b) = h(a)+h(b) for {a:?}, {b:?}"
+            );
+            assert_eq!(
+                h.apply(&a.times(b)),
+                h.apply(a).times(&h.apply(b)),
+                "h(a·b) = h(a)·h(b) for {a:?}, {b:?}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::NatPoly;
+    use crate::var::vars;
+
+    #[test]
+    fn dup_elim_is_a_hom() {
+        let h = FnHom::new(dup_elim);
+        assert_hom_laws(&h, &[Nat(0), Nat(1), Nat(2), Nat(5)]);
+        assert!(!dup_elim(&Nat(0)));
+        assert!(dup_elim(&Nat(3)));
+    }
+
+    #[test]
+    fn identity_hom() {
+        let h = IdentityHom;
+        assert_hom_laws::<Nat, Nat, _>(&h, &[Nat(0), Nat(1), Nat(9)]);
+    }
+
+    #[test]
+    fn valuation_defaults_to_one() {
+        let [x, y] = vars(["vt_x", "vt_y"]);
+        let val = Valuation::<Nat>::from_pairs([(x, Nat(7))]);
+        assert_eq!(val.get(x), Nat(7));
+        assert_eq!(val.get(y), Nat(1));
+        assert!(val.binds(x));
+        assert!(!val.binds(y));
+        assert_eq!(val.len(), 1);
+        assert!(!val.is_empty());
+    }
+
+    #[test]
+    fn valuation_induces_hom_on_polys() {
+        // f*: ℕ[X] → ℕ is a homomorphism for any valuation f.
+        let [x, y] = vars(["vh_p", "vh_q"]);
+        let val = Valuation::<Nat>::from_pairs([(x, Nat(2)), (y, Nat(3))]);
+        let h = FnHom::new(move |p: &NatPoly| p.eval(&val));
+        let samples = [
+            NatPoly::zero_poly(),
+            NatPoly::one(),
+            NatPoly::var(x),
+            NatPoly::var(x).plus(&NatPoly::var(y)),
+            NatPoly::var(y).times(&NatPoly::var(y)),
+        ];
+        assert_hom_laws(&h, &samples);
+    }
+
+    #[test]
+    fn valuation_debug_is_readable() {
+        let [x] = vars(["dbg_v"]);
+        let val = Valuation::<Nat>::from_pairs([(x, Nat(2))]);
+        assert_eq!(format!("{val:?}"), "{\"dbg_v\": 2}");
+    }
+}

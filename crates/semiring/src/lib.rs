@@ -1,0 +1,78 @@
+//! Commutative semirings, homomorphisms, and free semimodules.
+//!
+//! This crate implements §2 and Appendix A of Foster, Green & Tannen,
+//! *Annotated XML: Queries and Provenance* (PODS 2008): the algebraic
+//! substrate on which every other crate in this workspace is built.
+//!
+//! A commutative semiring `(K, +, ·, 0, 1)` is a set with two commutative
+//! monoid structures where `·` distributes over `+` and `0` annihilates.
+//! Annotations drawn from a semiring decorate data items; intuitively
+//! `k1 + k2` models *alternative* uses of data and `k1 · k2` models
+//! *joint* use (see [`Semiring`]).
+//!
+//! # Provided semirings
+//!
+//! | Type | Semiring | Models |
+//! |------|----------|--------|
+//! | [`bool`] | (𝔹, ∨, ∧, false, true) | set semantics |
+//! | [`Nat`] | (ℕ, +, ·, 0, 1) | bag semantics / multiplicities |
+//! | [`NatPoly`] | (ℕ\[X\], +, ·, 0, 1) | **provenance polynomials** (universal) |
+//! | [`PosBool`] | positive boolean expressions | incomplete data (c-tables) |
+//! | [`BoolPoly`] | 𝔹\[X\] | polynomials with boolean coefficients |
+//! | [`Trio`] | Trio(X) | bags of witness sets (lineage with multiplicity) |
+//! | [`Why`] | Why(X) | why-provenance (witness bases) |
+//! | [`Lineage`] | Lin(X) | lineage (set of contributing tokens) |
+//! | [`Clearance`] | (C, min, max, Never, Public) | §4 security clearances |
+//! | [`MinMax`] | total-order min/max | generic distributive-lattice annotations |
+//! | [`Tropical`] | (ℕ ∪ {∞}, min, +, ∞, 0) | cost / cheapest derivation |
+//! | [`Arctic`] | (ℕ ∪ {-∞}, max, +, -∞, 0) | cost / costliest derivation |
+//! | [`Fuzzy`] | (\[0,1\], max, min, 0, 1) | Gödel fuzzy membership |
+//! | [`Prob`] | (\[0,1\], max, ·, 0, 1) | Viterbi / most-likely derivation |
+//! | [`Product`] | K₁ × K₂ | joint annotations (§9) |
+//!
+//! # Universality of ℕ\[X\]
+//!
+//! Any map `X → K` (a [`Valuation`]) extends uniquely to a semiring
+//! homomorphism `ℕ[X] → K` ([`NatPoly::eval`]). Query semantics commutes
+//! with homomorphisms (the paper's Theorem 1 / Corollary 1), so computing
+//! once with provenance polynomials and evaluating later is equivalent to
+//! computing directly in `K` — the foundation of the security (§4) and
+//! incomplete/probabilistic (§5) applications.
+//!
+//! # Free semimodules
+//!
+//! [`KSet`] implements the free `K`-semimodule on a set of values: a
+//! function to `K` with finite support. It carries the collection-monad
+//! structure of Appendix A (`unit` = singleton, `bind` = big-union with
+//! scalar multiplication) and is the semantics of the `{t}` type in
+//! `NRC_K` and of element sets in K-UXML.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clearance;
+pub mod hom;
+pub mod nat;
+pub mod poly;
+pub mod posbool;
+pub mod product;
+pub mod semimodule;
+#[allow(clippy::module_inception)]
+pub mod semiring;
+pub mod trio;
+pub mod tropical;
+pub mod var;
+pub mod why;
+
+pub use clearance::{Clearance, MinMax, TotalOrderBounds};
+pub use hom::{dup_elim, FnHom, IdentityHom, SemiringHom, Valuation};
+pub use nat::Nat;
+pub use poly::{Monomial, NatPoly};
+pub use posbool::PosBool;
+pub use product::Product;
+pub use semimodule::KSet;
+pub use semiring::Semiring;
+pub use trio::{BoolPoly, Trio};
+pub use tropical::{Arctic, Fuzzy, Prob, Tropical};
+pub use var::Var;
+pub use why::{Lineage, Why};

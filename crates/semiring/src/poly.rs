@@ -1,0 +1,706 @@
+//! Provenance polynomials: the universal semiring ℕ\[X\] (§2, §3).
+//!
+//! `ℕ[X]` is the semiring of multivariate polynomials with natural-number
+//! coefficients over indeterminates X (the "provenance tokens"). It is
+//! *universal* among commutative semirings: any valuation `X → K`
+//! extends uniquely to a homomorphism `ℕ[X] → K` ([`NatPoly::eval`]).
+//! Combined with the commutation-with-homomorphisms theorem this makes
+//! ℕ\[X\] "a good representation for implementations": compute provenance
+//! once, specialize to any semiring later.
+
+use crate::hom::Valuation;
+use crate::nat::Nat;
+use crate::semiring::Semiring;
+use crate::var::Var;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monomial: a finite multiset of variables, e.g. `x1²·y3`.
+///
+/// Represented canonically as a sorted map from variable to a strictly
+/// positive exponent. The empty monomial is the constant `1`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial {
+    exps: BTreeMap<Var, u32>,
+}
+
+impl Monomial {
+    /// The empty monomial (the constant term's key).
+    pub fn unit() -> Self {
+        Monomial::default()
+    }
+
+    /// The monomial consisting of a single variable.
+    pub fn var(v: Var) -> Self {
+        let mut exps = BTreeMap::new();
+        exps.insert(v, 1);
+        Monomial { exps }
+    }
+
+    /// Build from `(variable, exponent)` pairs; zero exponents are dropped.
+    pub fn from_pairs<I: IntoIterator<Item = (Var, u32)>>(pairs: I) -> Self {
+        let mut exps = BTreeMap::new();
+        for (v, e) in pairs {
+            if e > 0 {
+                *exps.entry(v).or_insert(0) += e;
+            }
+        }
+        Monomial { exps }
+    }
+
+    /// Multiply two monomials (add exponents).
+    pub fn times(&self, other: &Monomial) -> Monomial {
+        if self.exps.is_empty() {
+            return other.clone();
+        }
+        if other.exps.is_empty() {
+            return self.clone();
+        }
+        let mut exps = self.exps.clone();
+        for (&v, &e) in &other.exps {
+            *exps.entry(v).or_insert(0) += e;
+        }
+        Monomial { exps }
+    }
+
+    /// Is this the empty monomial (constant 1)?
+    pub fn is_unit(&self) -> bool {
+        self.exps.is_empty()
+    }
+
+    /// Total degree (sum of exponents).
+    pub fn degree(&self) -> u32 {
+        self.exps.values().sum()
+    }
+
+    /// Iterate `(variable, exponent)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, u32)> + '_ {
+        self.exps.iter().map(|(&v, &e)| (v, e))
+    }
+
+    /// The set of variables occurring in this monomial.
+    pub fn variables(&self) -> impl Iterator<Item = Var> + '_ {
+        self.exps.keys().copied()
+    }
+
+    /// Evaluate under a valuation into any semiring.
+    pub fn eval<K: Semiring>(&self, val: &Valuation<K>) -> K {
+        K::product(self.iter().map(|(v, e)| val.get(v).pow(e)))
+    }
+
+    /// Drop exponents: the *set* of variables (used by the ℕ\[X\] → Trio /
+    /// Why collapses of the provenance hierarchy).
+    pub fn support_set(&self) -> std::collections::BTreeSet<Var> {
+        self.exps.keys().copied().collect()
+    }
+}
+
+impl fmt::Debug for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.exps.is_empty() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (v, e) in &self.exps {
+            if !first {
+                write!(f, "*")?;
+            }
+            first = false;
+            if *e == 1 {
+                write!(f, "{v}")?;
+            } else {
+                write!(f, "{v}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A provenance polynomial in ℕ\[X\]: a canonical (sorted) map from
+/// monomials to nonzero natural coefficients.
+///
+/// ```
+/// use axml_semiring::{NatPoly, Semiring, Var};
+/// let x1 = NatPoly::var(Var::new("x1"));
+/// let x4 = NatPoly::var(Var::new("x4"));
+/// // The Fig. 5 annotation of tuple (a,c): x1² + x1·x4
+/// let ann = x1.times(&x1).plus(&x1.times(&x4));
+/// assert_eq!(ann.to_string(), "x1^2 + x1*x4");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NatPoly {
+    terms: BTreeMap<Monomial, Nat>,
+}
+
+impl NatPoly {
+    /// The zero polynomial.
+    pub fn zero_poly() -> Self {
+        NatPoly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(n: impl Into<Nat>) -> Self {
+        let n = n.into();
+        let mut terms = BTreeMap::new();
+        if !n.is_zero() {
+            terms.insert(Monomial::unit(), n);
+        }
+        NatPoly { terms }
+    }
+
+    /// The polynomial consisting of a single variable.
+    pub fn var(v: Var) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(Monomial::var(v), Nat::ONE);
+        NatPoly { terms }
+    }
+
+    /// The polynomial consisting of a single variable, interned by name.
+    pub fn var_named(name: &str) -> Self {
+        NatPoly::var(Var::new(name))
+    }
+
+    /// A single monomial term with coefficient.
+    pub fn term(m: Monomial, coeff: impl Into<Nat>) -> Self {
+        let c = coeff.into();
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(m, c);
+        }
+        NatPoly { terms }
+    }
+
+    /// Number of monomials with nonzero coefficient.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Is this polynomial identically zero?
+    pub fn is_zero_poly(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Maximum total degree over all monomials (0 for constants/zero).
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// A size measure for Prop 2's `O(|v|^|p|)` bound: the total number
+    /// of symbols — for each term, its coefficient plus each
+    /// variable-with-exponent counts 1.
+    pub fn size(&self) -> usize {
+        self.terms.keys().map(|m| 1 + m.iter().count()).sum()
+    }
+
+    /// Iterate `(monomial, coefficient)` pairs in monomial order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, Nat)> + '_ {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// All variables occurring in the polynomial, in order.
+    pub fn variables(&self) -> std::collections::BTreeSet<Var> {
+        self.terms
+            .keys()
+            .flat_map(|m| m.variables())
+            .collect()
+    }
+
+    /// Evaluate under a valuation `X → K`: the unique homomorphism
+    /// extension `ℕ[X] → K` (universality, §2/§5). Variables missing
+    /// from the valuation default to `K::one()` — the paper's convention
+    /// for "setting the other indeterminates to 1" (§3).
+    pub fn eval<K: Semiring>(&self, val: &Valuation<K>) -> K {
+        K::sum(self.iter().map(|(m, c)| {
+            // coefficient n maps to 1 + 1 + ... + 1 (n times) in K
+            let coeff = nat_to_semiring::<K>(c);
+            coeff.times(&m.eval(val))
+        }))
+    }
+
+    /// Substitute polynomials for variables (endo-homomorphism
+    /// `ℕ[X] → ℕ[X]`); missing variables are left untouched.
+    pub fn substitute(&self, subst: &BTreeMap<Var, NatPoly>) -> NatPoly {
+        let mut acc = NatPoly::zero_poly();
+        for (m, c) in self.iter() {
+            let mut t = NatPoly::constant(c);
+            for (v, e) in m.iter() {
+                let base = subst
+                    .get(&v)
+                    .cloned()
+                    .unwrap_or_else(|| NatPoly::var(v));
+                t = t.times(&base.pow(e));
+            }
+            acc = acc.plus(&t);
+        }
+        acc
+    }
+
+    fn insert_term(terms: &mut BTreeMap<Monomial, Nat>, m: Monomial, c: Nat) {
+        if c.is_zero() {
+            return;
+        }
+        use std::collections::btree_map::Entry;
+        match terms.entry(m) {
+            Entry::Vacant(e) => {
+                e.insert(c);
+            }
+            Entry::Occupied(mut e) => {
+                let merged = e.get().plus(&c);
+                *e.get_mut() = merged;
+            }
+        }
+    }
+}
+
+/// Embed a natural number into any semiring as `1 + 1 + ... + 1`.
+///
+/// This is the canonical (unique) homomorphism ℕ → K. Uses binary
+/// expansion (`n = Σ bᵢ·2ⁱ` with repeated doubling) so it is `O(log n)`
+/// semiring operations rather than `O(n)`.
+pub fn nat_to_semiring<K: Semiring>(n: Nat) -> K {
+    let mut n = n.value();
+    if n == 0 {
+        return K::zero();
+    }
+    let one = K::one();
+    let mut power = one.clone(); // 2^i in K
+    let mut acc = K::zero();
+    loop {
+        if n & 1 == 1 {
+            acc = acc.plus(&power);
+        }
+        n >>= 1;
+        if n == 0 {
+            return acc;
+        }
+        power = power.plus(&power);
+    }
+}
+
+impl Semiring for NatPoly {
+    fn zero() -> Self {
+        NatPoly::zero_poly()
+    }
+
+    fn one() -> Self {
+        NatPoly::constant(Nat::ONE)
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        if self.terms.is_empty() {
+            return other.clone();
+        }
+        if other.terms.is_empty() {
+            return self.clone();
+        }
+        let mut terms = self.terms.clone();
+        for (m, &c) in &other.terms {
+            NatPoly::insert_term(&mut terms, m.clone(), c);
+        }
+        NatPoly { terms }
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        if self.terms.is_empty() || other.terms.is_empty() {
+            return NatPoly::zero_poly();
+        }
+        let mut terms = BTreeMap::new();
+        for (ma, &ca) in &self.terms {
+            for (mb, &cb) in &other.terms {
+                NatPoly::insert_term(&mut terms, ma.times(mb), ca.times(&cb));
+            }
+        }
+        NatPoly { terms }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    fn is_one(&self) -> bool {
+        self.terms.len() == 1
+            && self
+                .terms
+                .get(&Monomial::unit())
+                .is_some_and(|c| c.is_one())
+    }
+}
+
+impl From<Var> for NatPoly {
+    fn from(v: Var) -> Self {
+        NatPoly::var(v)
+    }
+}
+
+impl From<u64> for NatPoly {
+    fn from(n: u64) -> Self {
+        NatPoly::constant(Nat::from(n))
+    }
+}
+
+impl fmt::Debug for NatPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for NatPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        // Print in descending monomial order so constants come last,
+        // matching the paper's style (e.g. "x1^2 + x1*x4", "2*w1 + 3").
+        let mut first = true;
+        for (m, c) in self.terms.iter().rev() {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            if m.is_unit() {
+                write!(f, "{c}")?;
+            } else if c.is_one() {
+                write!(f, "{m}")?;
+            } else {
+                write!(f, "{c}*{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse a polynomial from text, e.g. `"z*x1*y1 + z*x2*y2"`, `"x1^2 +
+/// 3"`, `"2*w1^2*x1"`. Grammar: `poly := term ('+' term)*`, `term :=
+/// factor ('*' factor)*`, `factor := NUMBER | IDENT ('^' NUMBER)? |
+/// '(' poly ')'`. Identifiers start with a letter or `_` and may contain
+/// alphanumerics, `_`, `.`.
+impl std::str::FromStr for NatPoly {
+    type Err = PolyParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut p = PolyParser {
+            chars: s.char_indices().peekable(),
+            src: s,
+        };
+        let poly = p.parse_poly()?;
+        p.skip_ws();
+        if let Some(&(i, c)) = p.chars.peek() {
+            return Err(PolyParseError {
+                msg: format!("unexpected character {c:?}"),
+                offset: i,
+            });
+        }
+        Ok(poly)
+    }
+}
+
+/// Error from parsing a polynomial annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolyParseError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for PolyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "polynomial parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for PolyParseError {}
+
+struct PolyParser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+}
+
+impl<'a> PolyParser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(&(_, c)) if c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn parse_poly(&mut self) -> Result<NatPoly, PolyParseError> {
+        let mut acc = self.parse_term()?;
+        loop {
+            self.skip_ws();
+            if matches!(self.chars.peek(), Some(&(_, '+'))) {
+                self.chars.next();
+                let t = self.parse_term()?;
+                acc = acc.plus(&t);
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<NatPoly, PolyParseError> {
+        let mut acc = self.parse_factor()?;
+        loop {
+            self.skip_ws();
+            match self.chars.peek() {
+                Some(&(_, '*')) => {
+                    self.chars.next();
+                    let f = self.parse_factor()?;
+                    acc = acc.times(&f);
+                }
+                // Juxtaposition also multiplies ("x1 y2" is x1*y2,
+                // "2(x+1)" is 2*(x+1)) — convenient for figure input.
+                Some(&(_, c)) if c.is_alphabetic() || c == '_' || c == '(' => {
+                    let f = self.parse_factor()?;
+                    acc = acc.times(&f);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_factor(&mut self) -> Result<NatPoly, PolyParseError> {
+        self.skip_ws();
+        match self.chars.peek().copied() {
+            Some((_, '(')) => {
+                self.chars.next();
+                let inner = self.parse_poly()?;
+                self.skip_ws();
+                match self.chars.next() {
+                    Some((_, ')')) => Ok(inner),
+                    other => Err(PolyParseError {
+                        msg: "expected ')'".into(),
+                        offset: other.map_or(self.src.len(), |(i, _)| i),
+                    }),
+                }
+            }
+            Some((start, c)) if c.is_ascii_digit() => {
+                let n = self.lex_number(start)?;
+                Ok(NatPoly::constant(Nat(n)))
+            }
+            Some((start, c)) if c.is_alphabetic() || c == '_' => {
+                let name = self.lex_ident(start);
+                let v = Var::new(name);
+                self.skip_ws();
+                if matches!(self.chars.peek(), Some(&(_, '^'))) {
+                    self.chars.next();
+                    self.skip_ws();
+                    let (ei, ec) = self.chars.peek().copied().ok_or(PolyParseError {
+                        msg: "expected exponent".into(),
+                        offset: self.src.len(),
+                    })?;
+                    if !ec.is_ascii_digit() {
+                        return Err(PolyParseError {
+                            msg: "expected numeric exponent".into(),
+                            offset: ei,
+                        });
+                    }
+                    let e = self.lex_number(ei)? as u32;
+                    Ok(NatPoly::term(Monomial::from_pairs([(v, e)]), Nat::ONE))
+                } else {
+                    Ok(NatPoly::var(v))
+                }
+            }
+            Some((i, c)) => Err(PolyParseError {
+                msg: format!("unexpected character {c:?}"),
+                offset: i,
+            }),
+            None => Err(PolyParseError {
+                msg: "unexpected end of input".into(),
+                offset: self.src.len(),
+            }),
+        }
+    }
+
+    fn lex_number(&mut self, start: usize) -> Result<u128, PolyParseError> {
+        let mut end = start;
+        while let Some(&(i, c)) = self.chars.peek() {
+            if c.is_ascii_digit() {
+                end = i + c.len_utf8();
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        self.src[start..end].parse().map_err(|_| PolyParseError {
+            msg: "number too large".into(),
+            offset: start,
+        })
+    }
+
+    fn lex_ident(&mut self, start: usize) -> &'a str {
+        let mut end = start;
+        while let Some(&(i, c)) = self.chars.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '.' {
+                end = i + c.len_utf8();
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        &self.src[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::laws::check_laws;
+    use crate::var::vars;
+
+    fn p(s: &str) -> NatPoly {
+        s.parse().expect("polynomial should parse")
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in [
+            "0",
+            "1",
+            "42",
+            "x1",
+            "x1^2",
+            "x1^2 + x1*x4",
+            "2*w1^2*x1 + 3",
+            "z*x1*y1 + z*x2*y2",
+        ] {
+            let poly = p(s);
+            assert_eq!(p(&poly.to_string()), poly, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn parse_juxtaposition_and_parens() {
+        assert_eq!(p("x1 y2"), p("x1*y2"));
+        assert_eq!(p("(x1 + y2) * z"), p("x1*z + y2*z"));
+        assert_eq!(p("2(x1 + 1)").to_string(), p("2*x1 + 2").to_string());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<NatPoly>().is_err());
+        assert!("x1 +".parse::<NatPoly>().is_err());
+        assert!("(x1".parse::<NatPoly>().is_err());
+        assert!("x1^".parse::<NatPoly>().is_err());
+        assert!("@".parse::<NatPoly>().is_err());
+    }
+
+    #[test]
+    fn semiring_laws_on_samples() {
+        let samples = [
+            p("0"),
+            p("1"),
+            p("x1"),
+            p("x1 + y1"),
+            p("2*x1^2 + y1*z1"),
+            p("3"),
+        ];
+        for a in &samples {
+            for b in &samples {
+                for c in &samples {
+                    check_laws(a, b, c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_forms_merge() {
+        // x + x = 2x, and zero coefficients vanish
+        let x = NatPoly::var_named("cf_x");
+        let two_x = x.plus(&x);
+        assert_eq!(two_x.num_terms(), 1);
+        assert_eq!(two_x.to_string(), "2*cf_x");
+        let zero = NatPoly::zero_poly().times(&x);
+        assert!(zero.is_zero_poly());
+        assert_eq!(NatPoly::constant(0u32).num_terms(), 0);
+    }
+
+    #[test]
+    fn fig5_tuple_ac_annotation() {
+        // Fig 5: annotation of (a,c) in Q is x1² + x1·x4.
+        let [x1, x4] = vars(["x1", "x4"]);
+        let (px1, px4) = (NatPoly::var(x1), NatPoly::var(x4));
+        let ann = px1.times(&px1).plus(&px1.times(&px4));
+        assert_eq!(ann, p("x1^2 + x1*x4"));
+        assert_eq!(ann.degree(), 2);
+        assert_eq!(ann.num_terms(), 2);
+    }
+
+    #[test]
+    fn eval_universality_into_nat() {
+        // p = 2·x² + x·y evaluated at x=3, y=5 is 18 + 15 = 33.
+        let [x, y] = vars(["ev_x", "ev_y"]);
+        let poly = p("2*ev_x^2 + ev_x*ev_y");
+        let val = Valuation::<Nat>::from_pairs([(x, Nat(3)), (y, Nat(5))]);
+        assert_eq!(poly.eval(&val), Nat(33));
+    }
+
+    #[test]
+    fn eval_missing_vars_default_to_one() {
+        // Setting "the other indeterminates to 1" (§3).
+        let poly = p("dm_x*dm_y + dm_x");
+        let val =
+            Valuation::<Nat>::from_pairs([(Var::new("dm_x"), Nat(2))]);
+        // 2·1 + 2 = 4
+        assert_eq!(poly.eval(&val), Nat(4));
+    }
+
+    #[test]
+    fn eval_into_bool_is_dup_elim_composed() {
+        let poly = p("eb_x + eb_y");
+        let val = Valuation::<bool>::from_pairs([
+            (Var::new("eb_x"), false),
+            (Var::new("eb_y"), false),
+        ]);
+        assert!(!poly.eval(&val));
+        let val2 = Valuation::<bool>::from_pairs([
+            (Var::new("eb_x"), true),
+            (Var::new("eb_y"), false),
+        ]);
+        assert!(poly.eval(&val2));
+    }
+
+    #[test]
+    fn nat_embedding_binary() {
+        assert_eq!(nat_to_semiring::<Nat>(Nat(0)), Nat(0));
+        assert_eq!(nat_to_semiring::<Nat>(Nat(1)), Nat(1));
+        assert_eq!(nat_to_semiring::<Nat>(Nat(13)), Nat(13));
+        assert!(!nat_to_semiring::<bool>(Nat(0)));
+        assert!(nat_to_semiring::<bool>(Nat(7)));
+    }
+
+    #[test]
+    fn substitution_is_homomorphic() {
+        let [x, y] = vars(["sub_x", "sub_y"]);
+        let a = p("sub_x + 1");
+        let b = p("sub_y^2");
+        let mut subst = BTreeMap::new();
+        subst.insert(x, p("sub_y + 1"));
+        // (x+1)·y² under x := y+1  ==  (y+2)·y²
+        let lhs = a.times(&b).substitute(&subst);
+        let rhs = a.substitute(&subst).times(&b.substitute(&subst));
+        assert_eq!(lhs, rhs);
+        assert_eq!(lhs, p("sub_y^3 + 2*sub_y^2"));
+        let _ = y;
+    }
+
+    #[test]
+    fn size_measure() {
+        assert_eq!(p("0").size(), 0);
+        assert_eq!(p("5").size(), 1);
+        // x1² + x1·x4: term1 = coeff + x1 → 2; term2 = coeff + x1 + x4 → 3
+        assert_eq!(p("x1^2 + x1*x4").size(), 5);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(p("w1 * x1 * x4 * y2 * y5 * z1 * z6").to_string(), "w1*x1*x4*y2*y5*z1*z6");
+        assert_eq!(p("w1^2 x1^2 y2^2 z1^2").to_string(), "w1^2*x1^2*y2^2*z1^2");
+    }
+}

@@ -1,0 +1,162 @@
+//! Interned provenance variables ("provenance tokens", §3).
+//!
+//! Provenance polynomials ℕ\[X\] are polynomials over a set X of
+//! indeterminates. Variables are interned into a process-global pool so
+//! that a [`Var`] is a `Copy` 4-byte id: polynomial arithmetic compares
+//! and hashes ids instead of strings (a large constant-factor win, per
+//! the perf-book guidance on hashing and allocation).
+//!
+//! Interning is append-only; ids are stable for the life of the process.
+//! [`Var`]'s `Ord` sorts by *name* (not id) so every printed polynomial
+//! and every `BTreeMap` iteration order is deterministic regardless of
+//! interning order — figure regeneration must be byte-stable.
+
+use parking_lot::RwLock;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// A provenance variable (indeterminate) such as `x1`, `y2`, `w1`.
+///
+/// Create with [`Var::new`]; two `Var`s with the same name are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(u32);
+
+struct Pool {
+    names: Vec<&'static str>,
+    index: std::collections::HashMap<&'static str, u32>,
+}
+
+fn pool() -> &'static RwLock<Pool> {
+    static POOL: OnceLock<RwLock<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        RwLock::new(Pool {
+            names: Vec::new(),
+            index: std::collections::HashMap::new(),
+        })
+    })
+}
+
+impl Var {
+    /// Intern a variable by name.
+    pub fn new(name: &str) -> Var {
+        {
+            let p = pool().read();
+            if let Some(&id) = p.index.get(name) {
+                return Var(id);
+            }
+        }
+        let mut p = pool().write();
+        if let Some(&id) = p.index.get(name) {
+            return Var(id);
+        }
+        let id = u32::try_from(p.names.len()).expect("variable pool exhausted");
+        // Names live for the process lifetime; leaking makes lookups
+        // allocation-free and lets Var be Copy.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        p.names.push(leaked);
+        p.index.insert(leaked, id);
+        Var(id)
+    }
+
+    /// The variable's name.
+    pub fn name(self) -> &'static str {
+        pool().read().names[self.0 as usize]
+    }
+
+    /// The raw interned id (stable within a process; for debugging).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Var {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Var {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.0 == other.0 {
+            return Ordering::Equal;
+        }
+        // Order by name for deterministic, human-meaningful output.
+        self.name().cmp(other.name())
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+/// Convenience: intern several variables at once.
+///
+/// ```
+/// use axml_semiring::var::vars;
+/// let [x, y, z] = vars(["x", "y", "z"]);
+/// assert_eq!(x.name(), "x");
+/// assert!(x < y && y < z);
+/// ```
+pub fn vars<const N: usize>(names: [&str; N]) -> [Var; N] {
+    names.map(Var::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        let a = Var::new("x1");
+        let b = Var::new("x1");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.name(), "x1");
+    }
+
+    #[test]
+    fn distinct_names_distinct_vars() {
+        let a = Var::new("alpha");
+        let b = Var::new("beta");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ordering_is_by_name() {
+        // Intern in reverse order to show Ord ignores interning order.
+        let z = Var::new("zzz_order");
+        let a = Var::new("aaa_order");
+        assert!(a < z);
+        let same = Var::new("aaa_order");
+        assert_eq!(a.cmp(&same), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn display_and_from() {
+        let v: Var = "w1".into();
+        assert_eq!(v.to_string(), "w1");
+        assert_eq!(format!("{v:?}"), "w1");
+    }
+
+    #[test]
+    fn vars_helper() {
+        let [x, y] = vars(["vh_x", "vh_y"]);
+        assert_eq!(x.name(), "vh_x");
+        assert_eq!(y.name(), "vh_y");
+    }
+}

@@ -1,0 +1,230 @@
+//! Property-based law checking for the semiring instances on *random*
+//! elements (the unit tests check hand-picked samples; these sweep the
+//! space). Every instance must satisfy the commutative-semiring laws,
+//! every collapse must be a homomorphism, and PosBool's canonical form
+//! must coincide with truth-table equivalence.
+
+use axml_semiring::trio::collapse;
+use axml_semiring::{
+    Arctic, BoolPoly, Clearance, Fuzzy, KSet, Lineage, Nat, NatPoly, PosBool,
+    Product, Semiring, Trio, Tropical, Valuation, Var, Why,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const VARS: [&str; 4] = ["pp_a", "pp_b", "pp_c", "pp_d"];
+
+fn arb_poly() -> impl Strategy<Value = NatPoly> {
+    // random sums of random monomials with small coefficients
+    proptest::collection::vec(
+        (
+            proptest::collection::vec((0usize..VARS.len(), 1u32..3), 0..3),
+            1u64..4,
+        ),
+        0..4,
+    )
+    .prop_map(|terms| {
+        let mut acc = NatPoly::zero();
+        for (vars, coeff) in terms {
+            let mono = axml_semiring::Monomial::from_pairs(
+                vars.into_iter().map(|(i, e)| (Var::new(VARS[i]), e)),
+            );
+            acc = acc.plus(&NatPoly::term(mono, Nat(coeff as u128)));
+        }
+        acc
+    })
+}
+
+fn check_semiring_laws<K: Semiring>(a: &K, b: &K, c: &K) {
+    assert_eq!(a.plus(b), b.plus(a));
+    assert_eq!(a.plus(&b.plus(c)), a.plus(b).plus(c));
+    assert_eq!(a.plus(&K::zero()), *a);
+    assert_eq!(a.times(b), b.times(a));
+    assert_eq!(a.times(&b.times(c)), a.times(b).times(c));
+    assert_eq!(a.times(&K::one()), *a);
+    assert_eq!(a.times(&b.plus(c)), a.times(b).plus(&a.times(c)));
+    assert_eq!(a.times(&K::zero()), K::zero());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn natpoly_laws(a in arb_poly(), b in arb_poly(), c in arb_poly()) {
+        check_semiring_laws(&a, &b, &c);
+    }
+
+    #[test]
+    fn collapsed_semiring_laws(a in arb_poly(), b in arb_poly(), c in arb_poly()) {
+        check_semiring_laws(
+            &collapse::natpoly_to_posbool(&a),
+            &collapse::natpoly_to_posbool(&b),
+            &collapse::natpoly_to_posbool(&c),
+        );
+        check_semiring_laws(
+            &collapse::natpoly_to_why(&a),
+            &collapse::natpoly_to_why(&b),
+            &collapse::natpoly_to_why(&c),
+        );
+        check_semiring_laws(
+            &collapse::natpoly_to_trio(&a),
+            &collapse::natpoly_to_trio(&b),
+            &collapse::natpoly_to_trio(&c),
+        );
+        check_semiring_laws(
+            &collapse::natpoly_to_boolpoly(&a),
+            &collapse::natpoly_to_boolpoly(&b),
+            &collapse::natpoly_to_boolpoly(&c),
+        );
+        check_semiring_laws(
+            &collapse::natpoly_to_lineage(&a),
+            &collapse::natpoly_to_lineage(&b),
+            &collapse::natpoly_to_lineage(&c),
+        );
+    }
+
+    #[test]
+    fn every_collapse_is_a_hom(a in arb_poly(), b in arb_poly()) {
+        macro_rules! hom_check {
+            ($f:expr) => {{
+                let f = $f;
+                prop_assert_eq!(f(&a.plus(&b)), f(&a).plus(&f(&b)));
+                prop_assert_eq!(f(&a.times(&b)), f(&a).times(&f(&b)));
+            }};
+        }
+        hom_check!(collapse::natpoly_to_posbool);
+        hom_check!(collapse::natpoly_to_why);
+        hom_check!(collapse::natpoly_to_trio);
+        hom_check!(collapse::natpoly_to_boolpoly);
+        hom_check!(collapse::natpoly_to_lineage);
+        let _ : (Why, Trio, BoolPoly, Lineage, PosBool);
+    }
+
+    #[test]
+    fn valuations_are_homs(a in arb_poly(), b in arb_poly(),
+                           vals in proptest::collection::vec(0u64..4, 4)) {
+        let val = Valuation::<Nat>::from_pairs(
+            VARS.iter()
+                .zip(vals.iter())
+                .map(|(n, &v)| (Var::new(n), Nat::from(v))),
+        );
+        prop_assert_eq!(a.plus(&b).eval(&val), a.eval(&val).plus(&b.eval(&val)));
+        prop_assert_eq!(a.times(&b).eval(&val), a.eval(&val).times(&b.eval(&val)));
+    }
+
+    #[test]
+    fn hierarchy_diamond_commutes(a in arb_poly()) {
+        prop_assert_eq!(
+            collapse::boolpoly_to_why(&collapse::natpoly_to_boolpoly(&a)),
+            collapse::natpoly_to_why(&a)
+        );
+        prop_assert_eq!(
+            collapse::trio_to_why(&collapse::natpoly_to_trio(&a)),
+            collapse::natpoly_to_why(&a)
+        );
+        prop_assert_eq!(
+            collapse::why_to_posbool(&collapse::natpoly_to_why(&a)),
+            collapse::natpoly_to_posbool(&a)
+        );
+    }
+
+    /// PosBool's canonical equality = truth-table equivalence.
+    #[test]
+    fn posbool_canonical_iff_semantic(a in arb_poly(), b in arb_poly()) {
+        let pa = collapse::natpoly_to_posbool(&a);
+        let pb = collapse::natpoly_to_posbool(&b);
+        let mut all_vars: BTreeSet<Var> = pa.variables();
+        all_vars.extend(pb.variables());
+        let vars: Vec<Var> = all_vars.into_iter().collect();
+        let mut semantically_equal = true;
+        for bits in 0..(1u32 << vars.len()) {
+            let tv: BTreeSet<Var> = vars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| bits & (1 << i) != 0)
+                .map(|(_, &v)| v)
+                .collect();
+            if pa.eval_assignment(&tv) != pb.eval_assignment(&tv) {
+                semantically_equal = false;
+                break;
+            }
+        }
+        prop_assert_eq!(pa == pb, semantically_equal);
+    }
+
+    /// Evaluating ℕ\[X\] in 𝔹 factors through PosBool (a homomorphism
+    /// triangle the incomplete-data application relies on).
+    #[test]
+    fn bool_eval_factors_through_posbool(a in arb_poly(), bits in 0u8..16) {
+        let tv: BTreeSet<Var> = VARS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bits & (1 << i) != 0)
+            .map(|(_, n)| Var::new(n))
+            .collect();
+        let val = Valuation::<bool>::from_pairs(
+            VARS.iter().map(|n| (Var::new(n), tv.contains(&Var::new(n)))),
+        );
+        prop_assert_eq!(
+            a.eval(&val),
+            collapse::natpoly_to_posbool(&a).eval_assignment(&tv)
+        );
+    }
+
+    #[test]
+    fn product_semiring_laws(a1 in 0u64..6, a2 in 0u64..6, b1 in 0u64..6,
+                             b2 in 0u64..6, c1 in 0u64..6, c2 in 0u64..6) {
+        let a = Product::new(Nat::from(a1), Tropical::Cost(a2));
+        let b = Product::new(Nat::from(b1), Tropical::Cost(b2));
+        let c = Product::new(Nat::from(c1), Tropical::Cost(c2));
+        check_semiring_laws(&a, &b, &c);
+    }
+
+    #[test]
+    fn numeric_lattice_laws(a in 0u64..50, b in 0u64..50, c in 0u64..50) {
+        check_semiring_laws(&Tropical::Cost(a), &Tropical::Cost(b), &Tropical::Cost(c));
+        check_semiring_laws(&Arctic::Value(a), &Arctic::Value(b), &Arctic::Value(c));
+        let f = |x: u64| Fuzzy::new(x as f64 / 50.0);
+        check_semiring_laws(&f(a), &f(b), &f(c));
+    }
+
+    #[test]
+    fn clearance_valuation_respects_order(picks in proptest::collection::vec(0usize..5, 4)) {
+        let levels = [
+            Clearance::P,
+            Clearance::C,
+            Clearance::S,
+            Clearance::T,
+            Clearance::NEVER,
+        ];
+        let chosen: Vec<Clearance> = picks.iter().map(|&i| levels[i]).collect();
+        // plus = min of clearances, times = max — on any subset
+        let total_plus = Clearance::sum(chosen.iter().copied());
+        let total_times = Clearance::product(chosen.iter().copied());
+        for c in &chosen {
+            assert!(total_plus.0 <= c.0, "+ takes the minimum");
+            assert!(total_times.0 >= c.0, "· takes the maximum");
+        }
+    }
+
+    /// Free-semimodule (KSet) laws on random annotated bags.
+    #[test]
+    fn kset_bind_monad_laws(
+        items in proptest::collection::vec((0u32..6, arb_poly()), 0..5)
+    ) {
+        let s: KSet<u32, NatPoly> = KSet::from_pairs(items);
+        // right identity
+        prop_assert_eq!(s.bind(|x| KSet::unit(*x)), s.clone());
+        // associativity with two fixed continuations
+        let f = |x: &u32| {
+            KSet::from_pairs([(x + 1, NatPoly::var_named("kb_f"))])
+        };
+        let g = |x: &u32| {
+            KSet::from_pairs([
+                (x % 3, NatPoly::one()),
+                (x + 10, NatPoly::var_named("kb_g")),
+            ])
+        };
+        prop_assert_eq!(s.bind(f).bind(g), s.bind(|x| f(x).bind(g)));
+    }
+}

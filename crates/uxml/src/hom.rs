@@ -1,0 +1,169 @@
+//! Lifting semiring homomorphisms over K-UXML values (§6.4).
+//!
+//! A homomorphism `h : K₁ → K₂` lifts to a transformation `H` from
+//! K₁-UXML to K₂-UXML by applying `h` to every annotation in every
+//! K-set, recursively. Because K-sets prune zeros, subtrees whose
+//! annotation maps to `0` *disappear* — e.g. specializing Fig 4's
+//! source under `x1 ↦ 0` (𝔹: `false`) removes the whole `b` branch,
+//! exactly as §5's possible-worlds semantics requires.
+//!
+//! Corollary 1 (tested in `tests/theorems.rs`): for any K₁-UXQuery `p`
+//! and K₁-UXML `v`, `H(p(v)) = H(p)(H(v))`.
+
+use crate::tree::{Forest, Tree, Value};
+use axml_semiring::{NatPoly, Semiring, SemiringHom, Valuation};
+
+/// Apply `h` to every annotation of a tree (the children's sets,
+/// recursively; the tree itself carries no annotation).
+pub fn map_tree<K1, K2, H>(h: &H, t: &Tree<K1>) -> Tree<K2>
+where
+    K1: Semiring,
+    K2: Semiring,
+    H: SemiringHom<K1, K2>,
+{
+    Tree::new(t.label(), map_forest(h, t.children()))
+}
+
+/// Apply `h` to every annotation of a forest. Trees that become
+/// identified after the transformation have their annotations summed;
+/// trees whose annotation maps to `0` vanish.
+pub fn map_forest<K1, K2, H>(h: &H, f: &Forest<K1>) -> Forest<K2>
+where
+    K1: Semiring,
+    K2: Semiring,
+    H: SemiringHom<K1, K2>,
+{
+    Forest::from_pairs(f.iter().map(|(t, k)| (map_tree(h, t), h.apply(k))))
+}
+
+/// Apply `h` to every annotation of a value.
+pub fn map_value<K1, K2, H>(h: &H, v: &Value<K1>) -> Value<K2>
+where
+    K1: Semiring,
+    K2: Semiring,
+    H: SemiringHom<K1, K2>,
+{
+    match v {
+        Value::Label(l) => Value::Label(*l),
+        Value::Tree(t) => Value::Tree(map_tree(h, t)),
+        Value::Set(f) => Value::Set(map_forest(h, f)),
+    }
+}
+
+/// Specialize an ℕ\[X\]-annotated forest under a valuation — the
+/// universality route: parse once with provenance tokens, instantiate
+/// into any semiring (§2, §5).
+pub fn specialize_forest<K: Semiring>(
+    f: &Forest<NatPoly>,
+    val: &Valuation<K>,
+) -> Forest<K> {
+    struct EvalHom<'a, K: Semiring>(&'a Valuation<K>);
+    impl<K: Semiring> SemiringHom<NatPoly, K> for EvalHom<'_, K> {
+        fn apply(&self, p: &NatPoly) -> K {
+            p.eval(self.0)
+        }
+    }
+    map_forest(&EvalHom(val), f)
+}
+
+/// Specialize an ℕ\[X\]-annotated tree under a valuation.
+pub fn specialize_tree<K: Semiring>(t: &Tree<NatPoly>, val: &Valuation<K>) -> Tree<K> {
+    struct EvalHom<'a, K: Semiring>(&'a Valuation<K>);
+    impl<K: Semiring> SemiringHom<NatPoly, K> for EvalHom<'_, K> {
+        fn apply(&self, p: &NatPoly) -> K {
+            p.eval(self.0)
+        }
+    }
+    map_tree(&EvalHom(val), t)
+}
+
+/// *Partial* specialization within ℕ\[X\]: substitute polynomials for
+/// some variables, leaving the others symbolic. (Contrast with
+/// [`specialize_forest`], whose valuation sends unbound variables to
+/// `1` — the right tool when leaving ℕ\[X\]; this one is the right tool
+/// for, e.g., §7's "with x1 := 0".)
+pub fn substitute_forest(
+    f: &Forest<NatPoly>,
+    subst: &std::collections::BTreeMap<axml_semiring::Var, NatPoly>,
+) -> Forest<NatPoly> {
+    struct SubstHom<'a>(&'a std::collections::BTreeMap<axml_semiring::Var, NatPoly>);
+    impl SemiringHom<NatPoly, NatPoly> for SubstHom<'_> {
+        fn apply(&self, p: &NatPoly) -> NatPoly {
+            p.substitute(self.0)
+        }
+    }
+    map_forest(&SubstHom(subst), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_forest;
+    use axml_semiring::{dup_elim, FnHom, Nat, Var};
+
+    #[test]
+    fn zero_mapped_subtrees_vanish() {
+        // Fig 4 source with x1 ↦ false: the whole b-branch disappears.
+        let f = parse_forest::<NatPoly>(
+            "<a> <b {x1}> <a> c {y3} d </a> </b> <c {y1}> <d> <a> c {y2} b {x2} </a> </d> </c> </a>",
+        )
+        .unwrap();
+        let val = Valuation::<bool>::from_pairs([(Var::new("x1"), false)]);
+        let spec = specialize_forest(&f, &val);
+        // The top-level b child of a must be gone; only the c-branch
+        // remains (b still occurs deep inside it, via x2 ↦ true).
+        let top = spec.trees().next().unwrap();
+        assert_eq!(top.children().len(), 1);
+        assert_eq!(
+            top.children().trees().next().unwrap().label().name(),
+            "c"
+        );
+    }
+
+    #[test]
+    fn identified_trees_merge_annotations() {
+        // Distinct trees b{z1}, b{z2} become identical when z1,z2 ↦ 1
+        // and their annotations (x1, x2) must then sum.
+        let f = parse_forest::<NatPoly>(
+            "<t {x1}> b {z1} </t> <t {x2}> b {z2} </t>",
+        )
+        .unwrap();
+        assert_eq!(f.len(), 2);
+        let val = Valuation::<Nat>::from_pairs([
+            (Var::new("x1"), Nat(2)),
+            (Var::new("x2"), Nat(3)),
+        ]);
+        let spec = specialize_forest(&f, &val);
+        assert_eq!(spec.len(), 1, "trees identified after specialization");
+        let (_, k) = spec.iter().next().unwrap();
+        assert_eq!(*k, Nat(5));
+    }
+
+    #[test]
+    fn dup_elim_lifts_bags_to_sets() {
+        let f = parse_forest::<Nat>("a {3} b {0} c").unwrap();
+        let h = FnHom::new(dup_elim);
+        let b = map_forest(&h, &f);
+        assert_eq!(b.len(), 2);
+        assert!(b.get(&crate::tree::leaf("a")));
+        assert!(b.get(&crate::tree::leaf("c")));
+    }
+
+    #[test]
+    fn map_value_covers_all_variants() {
+        let h = FnHom::new(dup_elim);
+        let l = Value::<Nat>::Label(crate::label::Label::new("mv"));
+        assert_eq!(map_value(&h, &l), Value::Label(crate::label::Label::new("mv")));
+        let t = Value::Tree(crate::tree::leaf::<Nat>("mt"));
+        assert_eq!(map_value(&h, &t), Value::Tree(crate::tree::leaf("mt")));
+    }
+
+    #[test]
+    fn specialize_tree_applies_inside() {
+        let f = parse_forest::<NatPoly>("<r> a {q} </r>").unwrap();
+        let t = f.trees().next().unwrap().clone();
+        let val = Valuation::<Nat>::from_pairs([(Var::new("q"), Nat(4))]);
+        let st = specialize_tree(&t, &val);
+        assert_eq!(st.children().get(&crate::tree::leaf("a")), Nat(4));
+    }
+}

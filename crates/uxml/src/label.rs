@@ -1,0 +1,126 @@
+//! Interned element labels.
+//!
+//! Labels are the only atoms of the model: the paper "models atomic
+//! values as the labels on trees having no children" (§3, footnote 3).
+//! Like provenance variables, labels are interned process-globally so a
+//! [`Label`] is a `Copy` 4-byte id with O(1) equality; ordering is by
+//! *name* so all printed forests and map iterations are deterministic
+//! regardless of interning order (tests run concurrently and share the
+//! pool).
+
+use parking_lot::RwLock;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned element label (tag name or atomic value).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+struct Pool {
+    names: Vec<&'static str>,
+    index: std::collections::HashMap<&'static str, u32>,
+}
+
+fn pool() -> &'static RwLock<Pool> {
+    static POOL: OnceLock<RwLock<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        RwLock::new(Pool {
+            names: Vec::new(),
+            index: std::collections::HashMap::new(),
+        })
+    })
+}
+
+impl Label {
+    /// Intern a label by name.
+    pub fn new(name: &str) -> Label {
+        {
+            let p = pool().read();
+            if let Some(&id) = p.index.get(name) {
+                return Label(id);
+            }
+        }
+        let mut p = pool().write();
+        if let Some(&id) = p.index.get(name) {
+            return Label(id);
+        }
+        let id = u32::try_from(p.names.len()).expect("label pool exhausted");
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        p.names.push(leaked);
+        p.index.insert(leaked, id);
+        Label(id)
+    }
+
+    /// The label's text.
+    pub fn name(self) -> &'static str {
+        pool().read().names[self.0 as usize]
+    }
+
+    /// The raw interned id (stable within a process; for debugging).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Label {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.0 == other.0 {
+            return Ordering::Equal;
+        }
+        self.name().cmp(other.name())
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        let a = Label::new("item");
+        let b = Label::new("item");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.name(), "item");
+    }
+
+    #[test]
+    fn order_is_by_name() {
+        let z = Label::new("zlabel_ord");
+        let a = Label::new("alabel_ord");
+        assert!(a < z);
+        assert_eq!(a.cmp(&Label::new("alabel_ord")), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_and_from() {
+        let l: Label = "B".into();
+        assert_eq!(l.to_string(), "B");
+        assert_eq!(format!("{l:?}"), "B");
+    }
+}

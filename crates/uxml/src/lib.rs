@@ -1,0 +1,60 @@
+//! K-annotated unordered XML (K-UXML), §3 of Foster, Green & Tannen,
+//! *Annotated XML: Queries and Provenance* (PODS 2008).
+//!
+//! Fixing a commutative semiring `K`, the data model replaces the
+//! sibling *lists* of standard XML with K-annotated *sets*:
+//!
+//! - a **value** is a label, a tree, or a K-set of trees;
+//! - a **tree** is a label together with a finite (possibly empty)
+//!   K-set of trees as its children;
+//! - a **finite K-set of trees** is a function from trees to `K` such
+//!   that all but finitely many trees map to `0`.
+//!
+//! With `K = 𝔹` this is plain unordered XML (UXML); with `K = ℕ` it is
+//! unordered XML with repetitions; with `K = ℕ[X]` every subtree carries
+//! a provenance polynomial.
+//!
+//! # Identity is by value
+//!
+//! A `K`-set is a *function from trees*: two structurally equal subtrees
+//! under the same parent are the **same** element and their annotations
+//! add. This is the source of the sums in the paper's figures (e.g. the
+//! `z·x1·y1 + z·x2·y2` annotation in Figure 1 arises because the two
+//! `d` leaves are one value). [`Tree`] therefore compares, orders and
+//! hashes by value, with an `Arc` pointer fast path.
+//!
+//! # Parsing and printing
+//!
+//! [`parse::parse_forest`] reads a document-style syntax with optional
+//! `{…}` annotations:
+//!
+//! ```text
+//! <a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>
+//! ```
+//!
+//! Annotations are parsed by the target semiring (via
+//! [`parse::ParseAnnotation`]); for ℕ\[X\] any polynomial expression is
+//! accepted, so a document parsed in ℕ\[X\] can be pushed into *any*
+//! semiring with a valuation — the paper's universality recipe.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hom;
+pub mod label;
+pub mod parse;
+pub mod print;
+#[cfg(feature = "serde")]
+mod serde_impl;
+pub mod tree;
+
+pub use label::Label;
+pub use parse::{parse_forest, parse_tree, parse_value, ParseAnnotation};
+pub use tree::{leaf, tree, Forest, Tree, Value};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::label::Label;
+    pub use crate::parse::{parse_forest, parse_tree, parse_value, ParseAnnotation};
+    pub use crate::tree::{leaf, tree, Forest, Tree, Value};
+}

@@ -1,0 +1,532 @@
+//! Parsing annotated documents.
+//!
+//! The grammar mirrors the paper's document style (§3) extended with
+//! `{…}` annotations:
+//!
+//! ```text
+//! forest  := item*
+//! item    := '<' NAME annot? '>' forest '</' NAME? '>'     element
+//!          | '<' NAME annot? '/>'                          empty element
+//!          | NAME annot?                                   leaf shorthand
+//! annot   := '{' <semiring-specific text> '}'
+//! NAME    := [A-Za-z_][A-Za-z0-9_.-]* | '"' ... '"'
+//! ```
+//!
+//! Whitespace separates items; a comma between items is also accepted
+//! (the forest printer emits `", "`, making print→parse the identity).
+//! Closing tags may be anonymous (`</>`, as in the paper's figures) or
+//! must match the opening tag. A missing annotation means the neutral
+//! element `1 ∈ K`.
+//!
+//! The annotation text between `{` and `}` is handed to the target
+//! semiring via [`ParseAnnotation`]: ℕ\[X\] accepts polynomial
+//! expressions (making this parser the entry point for provenance-
+//! annotated documents), `bool` accepts `true/false`, [`Nat`] decimal
+//! integers, and [`Clearance`] the letters `P/C/S/T/0`.
+
+use crate::label::Label;
+use crate::tree::{Forest, Tree, Value};
+use axml_semiring::{Clearance, Nat, NatPoly, PosBool, Semiring, Var};
+use std::fmt;
+
+/// Semirings whose annotations can appear in document text.
+pub trait ParseAnnotation: Semiring {
+    /// Parse one annotation from the text between `{` and `}`.
+    fn parse_annotation(text: &str) -> Result<Self, String>;
+}
+
+impl ParseAnnotation for NatPoly {
+    fn parse_annotation(text: &str) -> Result<Self, String> {
+        text.parse().map_err(|e| format!("{e}"))
+    }
+}
+
+impl ParseAnnotation for bool {
+    fn parse_annotation(text: &str) -> Result<Self, String> {
+        match text.trim() {
+            "true" | "1" => Ok(true),
+            "false" | "0" => Ok(false),
+            other => Err(format!("expected boolean annotation, got {other:?}")),
+        }
+    }
+}
+
+impl ParseAnnotation for Nat {
+    fn parse_annotation(text: &str) -> Result<Self, String> {
+        text.trim()
+            .parse::<u128>()
+            .map(Nat)
+            .map_err(|e| format!("expected natural-number annotation: {e}"))
+    }
+}
+
+impl ParseAnnotation for Clearance {
+    fn parse_annotation(text: &str) -> Result<Self, String> {
+        text.parse()
+    }
+}
+
+/// Product annotations parse as `(left, right)` with each side in its
+/// component's syntax, e.g. `(2, S)` for ℕ × Clearance. The split is at
+/// the top-level comma (components may themselves be products).
+impl<K1: ParseAnnotation, K2: ParseAnnotation> ParseAnnotation
+    for axml_semiring::Product<K1, K2>
+{
+    fn parse_annotation(text: &str) -> Result<Self, String> {
+        let t = text.trim();
+        let inner = t
+            .strip_prefix('(')
+            .and_then(|r| r.strip_suffix(')'))
+            .ok_or_else(|| format!("expected (left, right) product annotation, got {t:?}"))?;
+        let mut depth = 0usize;
+        let mut split = None;
+        for (i, c) in inner.char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    split = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let split = split.ok_or("product annotation needs a top-level comma")?;
+        let a = K1::parse_annotation(&inner[..split])?;
+        let b = K2::parse_annotation(&inner[split + 1..])?;
+        Ok(axml_semiring::Product::new(a, b))
+    }
+}
+
+impl ParseAnnotation for PosBool {
+    /// Accepts the ℕ\[X\] polynomial grammar and collapses it through the
+    /// ℕ\[X\] → PosBool homomorphism (`+` reads as ∨, `*` as ∧).
+    fn parse_annotation(text: &str) -> Result<Self, String> {
+        let p: NatPoly = text.parse().map_err(|e| format!("{e}"))?;
+        Ok(axml_semiring::trio::collapse::natpoly_to_posbool(&p))
+    }
+}
+
+/// A parse error with byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UXML parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a whole document as a K-set of trees (the paper's top-level
+/// "source" values are sets).
+///
+/// ```
+/// use axml_uxml::parse_forest;
+/// use axml_semiring::NatPoly;
+/// let f = parse_forest::<NatPoly>(
+///     "<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>",
+/// ).unwrap();
+/// assert_eq!(f.len(), 1);
+/// ```
+pub fn parse_forest<K: ParseAnnotation>(src: &str) -> Result<Forest<K>, ParseError> {
+    let mut p = Parser::new(src);
+    let forest = p.parse_forest()?;
+    p.skip_ws();
+    if let Some((i, c)) = p.peek() {
+        return Err(ParseError {
+            msg: format!("unexpected character {c:?} after document"),
+            offset: i,
+        });
+    }
+    Ok(forest)
+}
+
+/// Parse a single tree; the input must contain exactly one item, whose
+/// top-level annotation (if any) must be `1` (trees are only annotated
+/// as members of sets — §3).
+pub fn parse_tree<K: ParseAnnotation>(src: &str) -> Result<Tree<K>, ParseError> {
+    let f = parse_forest::<K>(src)?;
+    let mut it = f.iter();
+    match (it.next(), it.next()) {
+        (Some((t, k)), None) if k.is_one() => Ok(t.clone()),
+        (Some(_), None) => Err(ParseError {
+            msg: "a bare tree cannot carry an annotation (wrap it in a set)".into(),
+            offset: 0,
+        }),
+        _ => Err(ParseError {
+            msg: "expected exactly one tree".into(),
+            offset: 0,
+        }),
+    }
+}
+
+/// Parse a value: a forest (default), or convenience forms for a single
+/// tree. Provided for API symmetry with [`Value`].
+pub fn parse_value<K: ParseAnnotation>(src: &str) -> Result<Value<K>, ParseError> {
+    parse_forest::<K>(src).map(Value::Set)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src,
+            chars: src.char_indices().peekable(),
+        }
+    }
+
+    fn peek(&mut self) -> Option<(usize, char)> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<(usize, char)> {
+        self.chars.next()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some((_, c)) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn err(&mut self, msg: impl Into<String>) -> ParseError {
+        let offset = self.peek().map_or(self.src.len(), |(i, _)| i);
+        ParseError {
+            msg: msg.into(),
+            offset,
+        }
+    }
+
+    fn parse_forest<K: ParseAnnotation>(&mut self) -> Result<Forest<K>, ParseError> {
+        let mut forest = Forest::new();
+        let mut first = true;
+        loop {
+            self.skip_ws();
+            // optional comma separators between items
+            if !first {
+                if let Some((_, ',')) = self.peek() {
+                    self.bump();
+                    self.skip_ws();
+                }
+            }
+            first = false;
+            match self.peek() {
+                None => return Ok(forest),
+                Some((_, '<')) => {
+                    // stop at a closing tag; the caller consumes it
+                    let mut ahead = self.chars.clone();
+                    ahead.next();
+                    if matches!(ahead.peek(), Some(&(_, '/'))) {
+                        return Ok(forest);
+                    }
+                    let (t, k) = self.parse_element::<K>()?;
+                    forest.insert(t, k);
+                }
+                Some((_, c)) if is_name_start(c) || c == '"' => {
+                    let label = self.parse_name()?;
+                    let k = self.parse_optional_annot::<K>()?;
+                    forest.insert(Tree::leaf(label), k);
+                }
+                Some((i, c)) => {
+                    return Err(ParseError {
+                        msg: format!("unexpected character {c:?}"),
+                        offset: i,
+                    })
+                }
+            }
+        }
+    }
+
+    fn parse_element<K: ParseAnnotation>(&mut self) -> Result<(Tree<K>, K), ParseError> {
+        // consume '<'
+        self.bump();
+        let label = self.parse_name()?;
+        let k = self.parse_optional_annot::<K>()?;
+        self.skip_ws();
+        match self.peek() {
+            Some((_, '/')) => {
+                // self-closing <a/>
+                self.bump();
+                match self.bump() {
+                    Some((_, '>')) => Ok((Tree::leaf(label), k)),
+                    _ => Err(self.err("expected '>' after '/'")),
+                }
+            }
+            Some((_, '>')) => {
+                self.bump();
+                let children = self.parse_forest::<K>()?;
+                self.expect_close(label)?;
+                Ok((Tree::new(label, children), k))
+            }
+            _ => Err(self.err("expected '>' or '/>' in opening tag")),
+        }
+    }
+
+    fn expect_close(&mut self, open: Label) -> Result<(), ParseError> {
+        self.skip_ws();
+        match (self.bump(), self.bump()) {
+            (Some((_, '<')), Some((_, '/'))) => {}
+            _ => return Err(self.err(format!("expected closing tag for <{open}>"))),
+        }
+        self.skip_ws();
+        // anonymous close `</>` or named close `</a>`
+        if matches!(self.peek(), Some((_, '>'))) {
+            self.bump();
+            return Ok(());
+        }
+        let name = self.parse_name()?;
+        if name != open {
+            return Err(self.err(format!(
+                "mismatched closing tag: expected </{open}>, found </{name}>"
+            )));
+        }
+        self.skip_ws();
+        match self.bump() {
+            Some((_, '>')) => Ok(()),
+            _ => Err(self.err("expected '>' in closing tag")),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<Label, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some((start, '"')) => {
+                self.bump();
+                let mut end = start + 1;
+                loop {
+                    match self.bump() {
+                        Some((i, '"')) => {
+                            return Ok(Label::new(&self.src[start + 1..i]));
+                        }
+                        Some((i, c)) => end = i + c.len_utf8(),
+                        None => {
+                            return Err(ParseError {
+                                msg: "unterminated quoted name".into(),
+                                offset: end,
+                            })
+                        }
+                    }
+                }
+            }
+            Some((start, c)) if is_name_start(c) => {
+                let mut end = start;
+                while let Some((i, c)) = self.peek() {
+                    if is_name_continue(c) {
+                        end = i + c.len_utf8();
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Label::new(&self.src[start..end]))
+            }
+            _ => Err(self.err("expected a name")),
+        }
+    }
+
+    fn parse_optional_annot<K: ParseAnnotation>(&mut self) -> Result<K, ParseError> {
+        self.skip_ws();
+        if !matches!(self.peek(), Some((_, '{'))) {
+            return Ok(K::one());
+        }
+        let (open, _) = self.bump().expect("peeked '{'");
+        let mut depth = 1usize;
+        let mut end = open + 1;
+        loop {
+            match self.bump() {
+                Some((i, '{')) => {
+                    depth += 1;
+                    end = i;
+                }
+                Some((i, '}')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let text = &self.src[open + 1..i];
+                        return K::parse_annotation(text).map_err(|msg| ParseError {
+                            msg,
+                            offset: open + 1,
+                        });
+                    }
+                    end = i;
+                }
+                Some((i, _)) => end = i,
+                None => {
+                    return Err(ParseError {
+                        msg: "unterminated annotation".into(),
+                        offset: end,
+                    })
+                }
+            }
+        }
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_continue(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '.' | '-')
+}
+
+/// Convenience: intern a variable per label-like name (used by tests
+/// and examples that build valuations for parsed documents).
+pub fn var(name: &str) -> Var {
+    Var::new(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{leaf, tree};
+
+    fn np(s: &str) -> NatPoly {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn fig1_source_parses() {
+        let f = parse_forest::<NatPoly>(
+            "<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>",
+        )
+        .unwrap();
+        let expected = Forest::singleton(
+            tree(
+                "a",
+                [
+                    (tree("b", [(leaf("d"), np("y1"))]), np("x1")),
+                    (
+                        tree("c", [(leaf("d"), np("y2")), (leaf("e"), np("y3"))]),
+                        np("x2"),
+                    ),
+                ],
+            ),
+            np("z"),
+        );
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        let src = "<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>";
+        let f = parse_forest::<NatPoly>(src).unwrap();
+        let printed = f.to_string();
+        // strip the surrounding parens of forest display
+        let inner = &printed[1..printed.len() - 1];
+        let f2 = parse_forest::<NatPoly>(inner).unwrap();
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn anonymous_closing_tags() {
+        let f = parse_forest::<Nat>("<a> <b> c </> </>").unwrap();
+        let expected = Forest::unit(tree(
+            "a",
+            [(tree("b", [(leaf("c"), Nat(1))]), Nat(1))],
+        ));
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn self_closing_and_quoted_names() {
+        let f = parse_forest::<Nat>(r#"<a {2}/> "weird name" {3}"#).unwrap();
+        assert_eq!(f.get(&leaf("a")), Nat(2));
+        assert_eq!(f.get(&leaf("weird name")), Nat(3));
+    }
+
+    #[test]
+    fn duplicate_items_merge() {
+        let f = parse_forest::<Nat>("d {2} d {3}").unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.get(&leaf("d")), Nat(5));
+    }
+
+    #[test]
+    fn zero_annotations_vanish() {
+        let f = parse_forest::<Nat>("d {0} e").unwrap();
+        assert_eq!(f.len(), 1);
+        assert!(f.contains(&leaf("e")));
+    }
+
+    #[test]
+    fn boolean_and_clearance_annotations() {
+        let f = parse_forest::<bool>("a {true} b {false} c").unwrap();
+        assert_eq!(f.len(), 2);
+        let g = parse_forest::<Clearance>("a {S} b {P} c {0}").unwrap();
+        assert_eq!(g.get(&leaf("a")), Clearance::S);
+        assert_eq!(g.get(&leaf("b")), Clearance::P);
+        assert!(!g.contains(&leaf("c")));
+    }
+
+    #[test]
+    fn posbool_annotations_via_polynomial_grammar() {
+        let f = parse_forest::<PosBool>("a {x + x*y} b").unwrap();
+        // x + x·y minimizes to x
+        assert_eq!(f.get(&leaf("a")), PosBool::var_named("x"));
+    }
+
+    #[test]
+    fn parse_tree_wrapper() {
+        let t = parse_tree::<Nat>("<a> b </a>").unwrap();
+        assert_eq!(t.label().name(), "a");
+        assert!(parse_tree::<Nat>("a b").is_err(), "two items");
+        assert!(parse_tree::<Nat>("a {2}").is_err(), "annotated bare tree");
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse_forest::<Nat>("<a> b").unwrap_err();
+        assert!(e.msg.contains("closing tag"), "{e}");
+        let e = parse_forest::<Nat>("<a></b>").unwrap_err();
+        assert!(e.msg.contains("mismatched"), "{e}");
+        let e = parse_forest::<Nat>("a } b").unwrap_err();
+        assert!(e.msg.contains("unexpected character"), "{e}");
+        let e = parse_forest::<Nat>("a {nope}").unwrap_err();
+        assert!(e.msg.contains("natural-number"), "{e}");
+        let e = parse_forest::<Nat>("a {2").unwrap_err();
+        assert!(e.msg.contains("unterminated"), "{e}");
+    }
+
+    #[test]
+    fn nested_braces_in_annotations() {
+        // PosBool via polynomial text has no braces, but the lexer must
+        // still balance them for future semirings.
+        let e = parse_forest::<Nat>("a {{2}}").unwrap_err();
+        assert!(e.msg.contains("natural-number"), "{e}");
+    }
+
+    #[test]
+    fn product_annotations() {
+        use axml_semiring::Product;
+        type K = Product<Nat, Clearance>;
+        let f = parse_forest::<K>("a {(2, S)} b").unwrap();
+        assert_eq!(f.get(&leaf("a")), Product::new(Nat(2), Clearance::S));
+        assert_eq!(f.get(&leaf("b")), Product::new(Nat(1), Clearance::P));
+        // nested products split at the top-level comma
+        type K3 = Product<Nat, Product<bool, Clearance>>;
+        let g = parse_forest::<K3>("x {(3, (true, T))}").unwrap();
+        assert_eq!(
+            g.get(&leaf("x")),
+            Product::new(Nat(3), Product::new(true, Clearance::T))
+        );
+        assert!(parse_forest::<K>("a {2}").is_err());
+        assert!(parse_forest::<K>("a {(2)}").is_err());
+    }
+
+    #[test]
+    fn empty_document_is_empty_forest() {
+        assert!(parse_forest::<Nat>("").unwrap().is_empty());
+        assert!(parse_forest::<Nat>("   \n ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Pretty-printing K-UXML in the paper's document style.
+//!
+//! Two renderings are provided:
+//!
+//! - **document style** ([`Display`] on [`Tree`]/[`Forest`]/[`Value`]):
+//!   one line, `<a {z}> <b {x1}> d {y1} </b> ... </a>`, leaves printed
+//!   bare (the paper's "we have abbreviated leaves `<l></>` as `l`"),
+//!   neutral (`1`) annotations elided exactly as in the figures;
+//! - **indented style** ([`pretty`]): one node per line with
+//!   2-space indentation, convenient for diffing larger answers.
+//!
+//! Output is deterministic: forests iterate in tree order and labels /
+//! annotations order by name.
+
+use crate::tree::{Forest, Tree, Value};
+use axml_semiring::Semiring;
+use std::fmt::{self, Display, Write as _};
+
+impl<K: Semiring> Display for Tree<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_tree(f, self, None)
+    }
+}
+
+impl<K: Semiring> Display for Forest<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        let mut first = true;
+        for (t, k) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write_tree(f, t, Some(k))?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<K: Semiring> Display for Value<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Label(l) => write!(f, "{l}"),
+            Value::Tree(t) => write!(f, "{t}"),
+            Value::Set(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+fn write_annot<K: Semiring>(f: &mut fmt::Formatter<'_>, k: &K) -> fmt::Result {
+    if !k.is_one() {
+        write!(f, " {{{k:?}}}")?;
+    }
+    Ok(())
+}
+
+fn write_tree<K: Semiring>(
+    f: &mut fmt::Formatter<'_>,
+    t: &Tree<K>,
+    annot: Option<&K>,
+) -> fmt::Result {
+    if t.is_leaf() {
+        write!(f, "{}", t.label())?;
+        if let Some(k) = annot {
+            write_annot(f, k)?;
+        }
+        return Ok(());
+    }
+    write!(f, "<{}", t.label())?;
+    if let Some(k) = annot {
+        write_annot(f, k)?;
+    }
+    write!(f, ">")?;
+    for (c, k) in t.children().iter() {
+        write!(f, " ")?;
+        write_tree(f, c, Some(k))?;
+    }
+    write!(f, " </{}>", t.label())
+}
+
+/// Render a forest as a document body: the members separated by
+/// spaces, without the surrounding parentheses of the `Display` form.
+/// `parse_forest(to_document_string(f)) == f` for the semirings whose
+/// `Debug` output their [`crate::parse::ParseAnnotation`] accepts
+/// (all built-ins).
+pub fn to_document_string<K: Semiring>(forest: &Forest<K>) -> String {
+    let printed = forest.to_string();
+    printed[1..printed.len() - 1].to_owned()
+}
+
+/// Render a forest in indented style, one node per line:
+///
+/// ```text
+/// a {z}
+///   b {x1}
+///     d {y1}
+/// ```
+pub fn pretty<K: Semiring>(forest: &Forest<K>) -> String {
+    let mut out = String::new();
+    for (t, k) in forest.iter() {
+        pretty_tree_into(&mut out, t, k, 0);
+    }
+    out
+}
+
+/// Render a single tree (annotated `1`) in indented style.
+pub fn pretty_tree<K: Semiring>(t: &Tree<K>) -> String {
+    let mut out = String::new();
+    pretty_tree_into(&mut out, t, &K::one(), 0);
+    out
+}
+
+fn pretty_tree_into<K: Semiring>(out: &mut String, t: &Tree<K>, k: &K, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    let _ = write!(out, "{}", t.label());
+    if !k.is_one() {
+        let _ = write!(out, " {{{k:?}}}");
+    }
+    out.push('\n');
+    for (c, ck) in t.children().iter() {
+        pretty_tree_into(out, c, ck, indent + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tree::{leaf, tree, Forest, Value};
+    use axml_semiring::{Nat, NatPoly};
+
+    fn np(s: &str) -> NatPoly {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn leaf_prints_bare() {
+        assert_eq!(leaf::<Nat>("d").to_string(), "d");
+    }
+
+    #[test]
+    fn neutral_annotations_elided() {
+        let f = Forest::from_pairs([(leaf::<Nat>("d"), Nat(1))]);
+        assert_eq!(f.to_string(), "(d)");
+        let f2 = Forest::from_pairs([(leaf::<Nat>("d"), Nat(3))]);
+        assert_eq!(f2.to_string(), "(d {3})");
+    }
+
+    #[test]
+    fn document_style_nested() {
+        let t = tree::<NatPoly, _>(
+            "a",
+            [
+                (tree("b", [(leaf("d"), np("y1"))]), np("x1")),
+                (tree("c", [(leaf("d"), np("y2")), (leaf("e"), np("y3"))]), np("x2")),
+            ],
+        );
+        let f = Forest::singleton(t, np("z"));
+        assert_eq!(
+            f.to_string(),
+            "(<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>)"
+        );
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(
+            Value::<Nat>::Label(crate::label::Label::new("lbl")).to_string(),
+            "lbl"
+        );
+        assert_eq!(Value::<Nat>::Tree(leaf("t")).to_string(), "t");
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let t = tree::<NatPoly, _>("a", [(tree("b", [(leaf("d"), np("y1"))]), np("x1"))]);
+        let f = Forest::singleton(t, np("z"));
+        assert_eq!(super::pretty(&f), "a {z}\n  b {x1}\n    d {y1}\n");
+        let t2 = leaf::<Nat>("only");
+        assert_eq!(super::pretty_tree(&t2), "only\n");
+    }
+
+    #[test]
+    fn deterministic_sibling_order() {
+        // Siblings print in label order regardless of insertion order.
+        let t1 = tree::<Nat, _>("r", [(leaf("b"), Nat(1)), (leaf("a"), Nat(1))]);
+        let t2 = tree::<Nat, _>("r", [(leaf("a"), Nat(1)), (leaf("b"), Nat(1))]);
+        assert_eq!(t1.to_string(), t2.to_string());
+        assert_eq!(t1.to_string(), "<r> a b </r>");
+    }
+}

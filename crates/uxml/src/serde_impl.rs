@@ -1,0 +1,81 @@
+//! Serde support (feature `serde`): forests serialize as their
+//! document-text form, the same syntax [`crate::parse_forest`] reads.
+//!
+//! This representation is human-readable, diff-friendly, and — because
+//! annotations print via `Debug` and re-parse via
+//! [`crate::ParseAnnotation`] — works uniformly for every built-in
+//! semiring. Round-trips are tested for ℕ, 𝔹, ℕ\[X\] and Clearance.
+
+#![cfg(feature = "serde")]
+
+use crate::parse::{parse_forest, ParseAnnotation};
+use crate::print::to_document_string;
+use crate::tree::{Forest, Tree};
+use axml_semiring::Semiring;
+use serde::{de, Deserialize, Deserializer, Serialize, Serializer};
+
+impl<K: Semiring + ParseAnnotation> Serialize for Forest<K> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&to_document_string(self))
+    }
+}
+
+impl<'de, K: Semiring + ParseAnnotation> Deserialize<'de> for Forest<K> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let text = String::deserialize(deserializer)?;
+        parse_forest::<K>(&text).map_err(de::Error::custom)
+    }
+}
+
+impl<K: Semiring + ParseAnnotation> Serialize for Tree<K> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de, K: Semiring + ParseAnnotation> Deserialize<'de> for Tree<K> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let text = String::deserialize(deserializer)?;
+        crate::parse::parse_tree::<K>(&text).map_err(de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_forest;
+    use crate::print::to_document_string;
+    use crate::tree::Forest;
+    use axml_semiring::{Clearance, Nat, NatPoly};
+    use serde::de::{value::StrDeserializer, IntoDeserializer};
+
+    /// The Serialize impl is a thin wrapper over `to_document_string`;
+    /// check that function's round-trip for each built-in semiring, and
+    /// the Deserialize impl through a string deserializer.
+    fn text_roundtrip<K>(src: &str)
+    where
+        K: axml_semiring::Semiring + crate::ParseAnnotation,
+    {
+        let f = parse_forest::<K>(src).expect("parses");
+        let text = to_document_string(&f);
+        let de: StrDeserializer<serde::de::value::Error> =
+            text.as_str().into_deserializer();
+        let back: Forest<K> = serde::Deserialize::deserialize(de).expect("deserializes");
+        assert_eq!(back, f, "through text {text:?}");
+    }
+
+    #[test]
+    fn roundtrips_per_semiring() {
+        text_roundtrip::<NatPoly>("<a {z}> <b {x1}> d {y1} </b> c {x2 + 1} </a>");
+        text_roundtrip::<Nat>("a {2} <b {3}> c </b>");
+        text_roundtrip::<bool>("a {true} <b> c </b>");
+        text_roundtrip::<Clearance>("a {S} b {T} <c {C}> d </c>");
+    }
+
+    #[test]
+    fn deserialize_rejects_bad_text() {
+        let de: StrDeserializer<serde::de::value::Error> =
+            "<a> unclosed".into_deserializer();
+        let out: Result<Forest<Nat>, _> = serde::Deserialize::deserialize(de);
+        assert!(out.is_err());
+    }
+}

@@ -1,0 +1,455 @@
+//! Trees, forests and values — the K-UXML data model (§3).
+
+use crate::label::Label;
+use axml_semiring::{KSet, Semiring};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+// Display impls live in `print`; Debug delegates to Display so that
+// test-assertion failures show document-style output.
+macro_rules! fmt_via_display {
+    () => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Display::fmt(self, f)
+        }
+    };
+}
+
+/// The node payload: a label and a K-set of child trees.
+///
+/// Users normally work with [`Tree`] (a cheap-to-clone shared handle);
+/// `Node` is exposed for pattern-style access via [`Tree::label`] and
+/// [`Tree::children`].
+#[derive(PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+struct Node<K: Semiring> {
+    label: Label,
+    children: Forest<K>,
+}
+
+/// A K-UXML tree: a label with a finite K-set of children.
+///
+/// `Tree` is a shared, immutable handle (`Arc` inside): cloning is O(1)
+/// and equality/ordering/hashing are **by value** (two structurally
+/// identical trees are equal even if separately built), with a pointer
+/// fast path for the common case of comparing shared subtrees.
+///
+/// Note (paper, §3): "a tree gets an annotation only as a member of a
+/// K-set" — a `Tree` by itself carries no annotation; annotations live
+/// in the [`Forest`] containing it.
+pub struct Tree<K: Semiring>(Arc<Node<K>>);
+
+impl<K: Semiring> Tree<K> {
+    /// Build a tree from a label and its children.
+    pub fn new(label: impl Into<Label>, children: Forest<K>) -> Self {
+        Tree(Arc::new(Node {
+            label: label.into(),
+            children,
+        }))
+    }
+
+    /// A leaf: a label with no children (also how atomic values are
+    /// modelled, per the paper's footnote 3).
+    pub fn leaf(label: impl Into<Label>) -> Self {
+        Tree::new(label, Forest::new())
+    }
+
+    /// The root label.
+    pub fn label(&self) -> Label {
+        self.0.label
+    }
+
+    /// The K-set of children.
+    pub fn children(&self) -> &Forest<K> {
+        &self.0.children
+    }
+
+    /// Is this a leaf (no children with nonzero annotation)?
+    pub fn is_leaf(&self) -> bool {
+        self.0.children.is_empty()
+    }
+
+    /// Number of nodes (distinct positions in the value; multiplicities
+    /// in annotations do not multiply the count). This is the `|v|` of
+    /// Prop 2's size bound.
+    pub fn size(&self) -> usize {
+        1 + self
+            .0
+            .children
+            .iter()
+            .map(|(t, _)| t.size())
+            .sum::<usize>()
+    }
+
+    /// Height of the tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .0
+            .children
+            .iter()
+            .map(|(t, _)| t.depth())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl<K: Semiring> Clone for Tree<K> {
+    fn clone(&self) -> Self {
+        Tree(Arc::clone(&self.0))
+    }
+}
+
+impl<K: Semiring> PartialEq for Tree<K> {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl<K: Semiring> Eq for Tree<K> {}
+
+impl<K: Semiring> PartialOrd for Tree<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Semiring> Ord for Tree<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return Ordering::Equal;
+        }
+        self.0.cmp(&other.0)
+    }
+}
+
+impl<K: Semiring> Hash for Tree<K> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl<K: Semiring> fmt::Debug for Tree<K> {
+    fmt_via_display!();
+}
+
+/// Shorthand for [`Tree::leaf`].
+pub fn leaf<K: Semiring>(label: &str) -> Tree<K> {
+    Tree::leaf(label)
+}
+
+/// Shorthand for [`Tree::new`] from `(subtree, annotation)` pairs.
+pub fn tree<K: Semiring, I: IntoIterator<Item = (Tree<K>, K)>>(
+    label: &str,
+    children: I,
+) -> Tree<K> {
+    Tree::new(label, Forest::from_pairs(children))
+}
+
+/// A finite K-set of trees: the paper's "function from trees to K such
+/// that all but finitely many trees map to 0".
+///
+/// Wraps [`KSet`] and inherits its invariant: zero-annotated trees are
+/// never stored. Union adds annotations pointwise; structurally equal
+/// trees merge.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Forest<K: Semiring>(KSet<Tree<K>, K>);
+
+impl<K: Semiring> Default for Forest<K> {
+    fn default() -> Self {
+        Forest(KSet::new())
+    }
+}
+
+impl<K: Semiring> Forest<K> {
+    /// The empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A singleton forest annotated `1` (the query `(p)` of §3).
+    pub fn unit(tree: Tree<K>) -> Self {
+        Forest(KSet::unit(tree))
+    }
+
+    /// A singleton forest with an explicit annotation.
+    pub fn singleton(tree: Tree<K>, k: K) -> Self {
+        Forest(KSet::singleton(tree, k))
+    }
+
+    /// Build from `(tree, annotation)` pairs; duplicates merge with `+`.
+    pub fn from_pairs<I: IntoIterator<Item = (Tree<K>, K)>>(pairs: I) -> Self {
+        Forest(KSet::from_pairs(pairs))
+    }
+
+    /// Build from trees, each annotated `1`.
+    pub fn of_units<I: IntoIterator<Item = Tree<K>>>(trees: I) -> Self {
+        Forest(KSet::from_pairs(
+            trees.into_iter().map(|t| (t, K::one())),
+        ))
+    }
+
+    /// Add `k` to the annotation of `tree`.
+    pub fn insert(&mut self, tree: Tree<K>, k: K) {
+        self.0.insert(tree, k);
+    }
+
+    /// The annotation of `tree` (`0` if absent).
+    pub fn get(&self, tree: &Tree<K>) -> K {
+        self.0.get(tree)
+    }
+
+    /// Does `tree` occur with nonzero annotation?
+    pub fn contains(&self, tree: &Tree<K>) -> bool {
+        self.0.contains(tree)
+    }
+
+    /// Number of distinct trees.
+    pub fn len(&self) -> usize {
+        self.0.support_len()
+    }
+
+    /// Is the forest empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate `(tree, annotation)` pairs in tree order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tree<K>, &K)> + '_ {
+        self.0.iter()
+    }
+
+    /// Iterate the distinct trees.
+    pub fn trees(&self) -> impl Iterator<Item = &Tree<K>> + '_ {
+        self.0.support()
+    }
+
+    /// Pointwise union (annotations add): the query `p1, p2`.
+    pub fn union(&self, other: &Self) -> Self {
+        Forest(self.0.union(&other.0))
+    }
+
+    /// Scalar multiplication: the query `annot k p`.
+    pub fn scalar_mul(&self, k: &K) -> Self {
+        Forest(self.0.scalar_mul(k))
+    }
+
+    /// Big-union over the forest: `∪(t ∈ self) f(t)`, multiplying each
+    /// produced forest by the annotation of the tree it came from. This
+    /// is the semantic engine of `for`-iteration (§3's examples).
+    pub fn bind<F: FnMut(&Tree<K>) -> Forest<K>>(&self, mut f: F) -> Forest<K> {
+        Forest(self.0.bind(|t| f(t).0))
+    }
+
+    /// Keep trees whose root label satisfies the predicate
+    /// (annotations unchanged) — node tests of XPath steps.
+    pub fn filter_label<F: FnMut(Label) -> bool>(&self, mut f: F) -> Self {
+        Forest(self.0.filter(|t| f(t.label())))
+    }
+
+    /// Access the underlying [`KSet`].
+    pub fn as_kset(&self) -> &KSet<Tree<K>, K> {
+        &self.0
+    }
+
+    /// Total number of nodes across distinct member trees.
+    pub fn size(&self) -> usize {
+        self.iter().map(|(t, _)| t.size()).sum()
+    }
+
+    /// Maximum member depth.
+    pub fn depth(&self) -> usize {
+        self.iter().map(|(t, _)| t.depth()).max().unwrap_or(0)
+    }
+}
+
+impl<K: Semiring> FromIterator<(Tree<K>, K)> for Forest<K> {
+    fn from_iter<I: IntoIterator<Item = (Tree<K>, K)>>(iter: I) -> Self {
+        Forest::from_pairs(iter)
+    }
+}
+
+impl<K: Semiring> IntoIterator for Forest<K> {
+    type Item = (Tree<K>, K);
+    type IntoIter = <KSet<Tree<K>, K> as IntoIterator>::IntoIter;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<K: Semiring> fmt::Debug for Forest<K> {
+    fmt_via_display!();
+}
+
+/// A K-UXML value: a label, a tree, or a K-set of trees (§3).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value<K: Semiring> {
+    /// A label (atomic value).
+    Label(Label),
+    /// A single tree.
+    Tree(Tree<K>),
+    /// A K-set of trees.
+    Set(Forest<K>),
+}
+
+impl<K: Semiring> Value<K> {
+    /// The label, if this value is one.
+    pub fn as_label(&self) -> Option<Label> {
+        match self {
+            Value::Label(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// The tree, if this value is one.
+    pub fn as_tree(&self) -> Option<&Tree<K>> {
+        match self {
+            Value::Tree(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The forest, if this value is one.
+    pub fn as_set(&self) -> Option<&Forest<K>> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Coerce to a forest: a tree becomes the singleton `{t ↦ 1}`.
+    /// (The paper elides this coercion in examples like `$x/A`; §3.)
+    pub fn coerce_set(&self) -> Option<Forest<K>> {
+        match self {
+            Value::Tree(t) => Some(Forest::unit(t.clone())),
+            Value::Set(s) => Some(s.clone()),
+            Value::Label(_) => None,
+        }
+    }
+}
+
+impl<K: Semiring> fmt::Debug for Value<K> {
+    fmt_via_display!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_semiring::{Nat, NatPoly};
+
+    fn np(s: &str) -> NatPoly {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn value_equality_merges_duplicate_children() {
+        // Two separately built "d" leaves are the same set element.
+        let f = Forest::from_pairs([
+            (leaf::<Nat>("d"), Nat(2)),
+            (leaf::<Nat>("d"), Nat(3)),
+        ]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.get(&leaf("d")), Nat(5));
+    }
+
+    #[test]
+    fn zero_annotated_trees_are_absent() {
+        let f = Forest::from_pairs([(leaf::<Nat>("a"), Nat(0))]);
+        assert!(f.is_empty());
+        assert!(!f.contains(&leaf("a")));
+    }
+
+    #[test]
+    fn tree_equality_is_structural() {
+        let t1 = tree::<Nat, _>("a", [(leaf("b"), Nat(1)), (leaf("c"), Nat(2))]);
+        let t2 = tree::<Nat, _>("a", [(leaf("c"), Nat(2)), (leaf("b"), Nat(1))]);
+        assert_eq!(t1, t2, "children are unordered");
+        let t3 = tree::<Nat, _>("a", [(leaf("b"), Nat(1))]);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn annotations_distinguish_trees() {
+        // Same shape, different *internal* annotation ⇒ different trees
+        // (this is why Fig 6 has 8 tuples where Fig 5 has 6).
+        let t1 = tree::<NatPoly, _>("t", [(leaf("b"), np("z1"))]);
+        let t2 = tree::<NatPoly, _>("t", [(leaf("b"), np("z2"))]);
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn clone_is_shallow_and_equal() {
+        let t = tree::<Nat, _>("a", [(leaf("b"), Nat(1))]);
+        let u = t.clone();
+        assert_eq!(t, u);
+        assert_eq!(t.cmp(&u), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let t = tree::<Nat, _>(
+            "a",
+            [
+                (tree("b", [(leaf("d"), Nat(1))]), Nat(1)),
+                (leaf("c"), Nat(1)),
+            ],
+        );
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(leaf::<Nat>("x").size(), 1);
+        assert_eq!(leaf::<Nat>("x").depth(), 1);
+        assert!(leaf::<Nat>("x").is_leaf());
+        assert!(!t.is_leaf());
+    }
+
+    #[test]
+    fn forest_union_adds() {
+        let f1 = Forest::from_pairs([(leaf::<Nat>("a"), Nat(1))]);
+        let f2 = Forest::from_pairs([(leaf::<Nat>("a"), Nat(2)), (leaf("b"), Nat(1))]);
+        let u = f1.union(&f2);
+        assert_eq!(u.get(&leaf("a")), Nat(3));
+        assert_eq!(u.get(&leaf("b")), Nat(1));
+    }
+
+    #[test]
+    fn forest_bind_multiplies_annotations() {
+        // ∪(t ∈ {b↦x1}) children(t): Fig 1's inner iteration shape.
+        let b = tree::<NatPoly, _>("b", [(leaf("d"), np("y1"))]);
+        let f = Forest::singleton(b, np("x1"));
+        let kids = f.bind(|t| t.children().clone());
+        assert_eq!(kids.get(&leaf("d")), np("x1*y1"));
+    }
+
+    #[test]
+    fn filter_label() {
+        let f = Forest::from_pairs([
+            (leaf::<Nat>("a"), Nat(1)),
+            (leaf::<Nat>("b"), Nat(2)),
+        ]);
+        let only_a = f.filter_label(|l| l.name() == "a");
+        assert_eq!(only_a.len(), 1);
+        assert!(only_a.contains(&leaf("a")));
+    }
+
+    #[test]
+    fn value_coercions() {
+        let t = leaf::<Nat>("a");
+        let v = Value::Tree(t.clone());
+        assert_eq!(v.coerce_set().unwrap(), Forest::unit(t.clone()));
+        assert_eq!(v.as_tree(), Some(&t));
+        assert!(v.as_label().is_none());
+        let l = Value::<Nat>::Label(Label::new("x"));
+        assert!(l.coerce_set().is_none());
+        assert_eq!(l.as_label(), Some(Label::new("x")));
+    }
+
+    #[test]
+    fn of_units_and_scalar_mul() {
+        let f = Forest::<Nat>::of_units([leaf("a"), leaf("b"), leaf("a")]);
+        assert_eq!(f.get(&leaf("a")), Nat(2));
+        let doubled = f.scalar_mul(&Nat(2));
+        assert_eq!(doubled.get(&leaf("a")), Nat(4));
+        assert_eq!(doubled.get(&leaf("b")), Nat(2));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the K-UXML data model: set-semantics invariants,
+//! homomorphism lifting, and parser/printer agreement on random data.
+
+use axml_semiring::{dup_elim, FnHom, Nat, NatPoly, Semiring, SemiringHom, Valuation, Var};
+use axml_uxml::hom::{map_forest, specialize_forest};
+use axml_uxml::{parse_forest, Forest, Tree};
+use proptest::prelude::*;
+
+const LABELS: [&str; 4] = ["ua", "ub", "uc", "ud"];
+const VARS: [&str; 3] = ["uv1", "uv2", "uv3"];
+
+fn arb_annotation() -> impl Strategy<Value = NatPoly> {
+    prop_oneof![
+        3 => proptest::sample::select(&VARS[..]).prop_map(NatPoly::var_named),
+        1 => Just(NatPoly::one()),
+        1 => (1u64..3).prop_map(NatPoly::from),
+        1 => (proptest::sample::select(&VARS[..]), proptest::sample::select(&VARS[..]))
+            .prop_map(|(a, b)| NatPoly::var_named(a).times(&NatPoly::var_named(b))),
+    ]
+}
+
+fn arb_tree(depth: u32) -> BoxedStrategy<Tree<NatPoly>> {
+    if depth == 0 {
+        proptest::sample::select(&LABELS[..])
+            .prop_map(Tree::leaf)
+            .boxed()
+    } else {
+        (
+            proptest::sample::select(&LABELS[..]),
+            proptest::collection::vec((arb_tree(depth - 1), arb_annotation()), 0..3),
+        )
+            .prop_map(|(l, kids)| Tree::new(l, Forest::from_pairs(kids)))
+            .boxed()
+    }
+}
+
+fn arb_forest() -> impl Strategy<Value = Forest<NatPoly>> {
+    proptest::collection::vec((arb_tree(3), arb_annotation()), 0..4)
+        .prop_map(Forest::from_pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Forest union is commutative, associative, with the empty forest
+    /// as unit (the K-semimodule structure of the data model).
+    #[test]
+    fn forest_union_laws(a in arb_forest(), b in arb_forest(), c in arb_forest()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&Forest::new()), a.clone());
+    }
+
+    /// Scalar multiplication distributes over union and composes.
+    #[test]
+    fn forest_scalar_laws(a in arb_forest(), b in arb_forest(),
+                          k1 in arb_annotation(), k2 in arb_annotation()) {
+        prop_assert_eq!(
+            a.union(&b).scalar_mul(&k1),
+            a.scalar_mul(&k1).union(&b.scalar_mul(&k1))
+        );
+        prop_assert_eq!(
+            a.scalar_mul(&k1).scalar_mul(&k2),
+            a.scalar_mul(&k2.times(&k1))
+        );
+        prop_assert_eq!(a.scalar_mul(&NatPoly::one()), a.clone());
+        prop_assert_eq!(a.scalar_mul(&NatPoly::zero()), Forest::new());
+    }
+
+    /// bind is linear: bind over a union = union of binds, and scalars
+    /// factor out — exactly what `for`-iteration needs.
+    #[test]
+    fn forest_bind_linearity(a in arb_forest(), b in arb_forest(), k in arb_annotation()) {
+        let f = |t: &Tree<NatPoly>| t.children().clone();
+        prop_assert_eq!(
+            a.union(&b).bind(f),
+            a.bind(f).union(&b.bind(f))
+        );
+        prop_assert_eq!(
+            a.scalar_mul(&k).bind(f),
+            a.bind(f).scalar_mul(&k)
+        );
+    }
+
+    /// Lifted homomorphisms preserve union and scalar structure
+    /// (the value half of Theorem 1).
+    #[test]
+    fn hom_lifting_is_structural(a in arb_forest(), b in arb_forest(),
+                                 k in arb_annotation(), bits in 0u8..8) {
+        let val = Valuation::<bool>::from_pairs(
+            VARS.iter()
+                .enumerate()
+                .map(|(i, n)| (Var::new(n), bits & (1 << i) != 0)),
+        );
+        let h = FnHom::new(move |p: &NatPoly| p.eval(&val));
+        prop_assert_eq!(
+            map_forest(&h, &a.union(&b)),
+            map_forest(&h, &a).union(&map_forest(&h, &b))
+        );
+        prop_assert_eq!(
+            map_forest(&h, &a.scalar_mul(&k)),
+            map_forest(&h, &a).scalar_mul(&h.apply(&k))
+        );
+    }
+
+    /// Composition of homomorphisms = homomorphism of the composition:
+    /// specializing ℕ\[X\] → ℕ → 𝔹 equals ℕ\[X\] → 𝔹 directly.
+    #[test]
+    fn hom_composition(a in arb_forest(), vals in proptest::collection::vec(0u64..3, 3)) {
+        let nat_val = Valuation::<Nat>::from_pairs(
+            VARS.iter()
+                .zip(vals.iter())
+                .map(|(n, &v)| (Var::new(n), Nat::from(v))),
+        );
+        let bool_val = Valuation::<bool>::from_pairs(
+            VARS.iter()
+                .zip(vals.iter())
+                .map(|(n, &v)| (Var::new(n), v != 0)),
+        );
+        let via_nat = map_forest(
+            &FnHom::new(dup_elim),
+            &specialize_forest(&a, &nat_val),
+        );
+        let direct = specialize_forest(&a, &bool_val);
+        prop_assert_eq!(via_nat, direct);
+    }
+
+    /// Structural size/depth behave sanely under construction.
+    #[test]
+    fn size_depth_invariants(t in arb_tree(3)) {
+        prop_assert!(t.size() >= 1);
+        prop_assert!(t.depth() >= 1);
+        prop_assert!(t.depth() <= t.size());
+        let child_sizes: usize = t.children().iter().map(|(c, _)| c.size()).sum();
+        prop_assert_eq!(t.size(), 1 + child_sizes);
+    }
+
+    /// print → parse identity on arbitrary forests (document body form).
+    #[test]
+    fn document_text_roundtrip(f in arb_forest()) {
+        let text = axml_uxml::print::to_document_string(&f);
+        let back = parse_forest::<NatPoly>(&text).expect("round-trip parses");
+        prop_assert_eq!(back, f);
+    }
+
+    /// Specialization to ℕ (all 1) preserves support when no annotation
+    /// evaluates to zero.
+    #[test]
+    fn all_ones_specialization_preserves_shape(f in arb_forest()) {
+        let spec: Forest<Nat> = specialize_forest(&f, &Valuation::new());
+        // every distinct tree maps somewhere; counts can only merge
+        prop_assert!(spec.len() <= f.len());
+        let total_nodes_before = f.size();
+        let total_nodes_after = spec.size();
+        prop_assert!(total_nodes_after <= total_nodes_before);
+    }
+}

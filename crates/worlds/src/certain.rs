@@ -1,0 +1,228 @@
+//! Certain and possible answers over incomplete K-UXML.
+//!
+//! Classic incomplete-database notions:
+//!
+//! - a tree is a **possible** answer if it occurs in *some* world;
+//! - a tree is a **certain** answer if it occurs in *every* world.
+//!
+//! When the answer's member trees are **ground** (no variables in their
+//! internal annotations), membership of a tree is *monotone* in the
+//! event variables and its condition is exactly the PosBool collapse of
+//! the tree's annotation — giving O(1) certain/possible checks on the
+//! canonical DNF ([`membership_condition`]).
+//!
+//! When inner structure is itself uncertain, exact-tree membership is
+//! **non-monotone** (e.g. the childless `<a/>` exists only while its
+//! uncertain child is *absent*), so no positive condition exists; the
+//! checks then fall back to world enumeration. This asymmetry is a
+//! small but real observation about the paper's representation systems,
+//! pinned by the tests below.
+
+use crate::modk::mod_bool;
+use axml_semiring::trio::collapse::natpoly_to_posbool;
+use axml_semiring::{NatPoly, PosBool, Semiring};
+use axml_uxml::{Forest, Tree};
+use std::collections::BTreeSet;
+
+/// The (positive) membership condition of `tree` among the answer's
+/// members — `Some` only when the answer is ground (see module docs).
+pub fn membership_condition(
+    answer: &Forest<NatPoly>,
+    tree: &Tree<bool>,
+) -> Option<PosBool> {
+    if !answer_is_ground(answer) {
+        return None;
+    }
+    let as_poly = ground_to_natpoly(tree);
+    Some(natpoly_to_posbool(&answer.get(&as_poly)))
+}
+
+/// Is `tree` an answer in **every** world?
+pub fn is_certain(answer: &Forest<NatPoly>, tree: &Tree<bool>) -> bool {
+    match membership_condition(answer, tree) {
+        Some(cond) => cond.is_one(),
+        None => mod_bool(answer).iter().all(|w| w.contains(tree)),
+    }
+}
+
+/// Is `tree` an answer in **some** world?
+pub fn is_possible(answer: &Forest<NatPoly>, tree: &Tree<bool>) -> bool {
+    match membership_condition(answer, tree) {
+        Some(cond) => !cond.is_zero(),
+        None => mod_bool(answer).iter().any(|w| w.contains(tree)),
+    }
+}
+
+/// All certain answer trees.
+pub fn certain_answers(answer: &Forest<NatPoly>) -> Vec<Tree<bool>> {
+    if answer_is_ground(answer) {
+        return answer
+            .iter()
+            .filter(|(_, k)| natpoly_to_posbool(k).is_one())
+            .map(|(t, _)| ground_to_bool(t))
+            .collect();
+    }
+    // intersection over worlds
+    let mut worlds = mod_bool(answer).into_iter();
+    let Some(first) = worlds.next() else {
+        return Vec::new();
+    };
+    let mut certain: BTreeSet<Tree<bool>> = first.trees().cloned().collect();
+    for w in worlds {
+        certain.retain(|t| w.contains(t));
+    }
+    certain.into_iter().collect()
+}
+
+/// All possible answer trees. For ground answers the accompanying
+/// condition is the exact (positive) membership condition; for
+/// non-ground answers membership can be non-monotone and no positive
+/// condition exists, so `None` is returned alongside each tree.
+pub fn possible_answers(
+    answer: &Forest<NatPoly>,
+) -> Vec<(Tree<bool>, Option<PosBool>)> {
+    if answer_is_ground(answer) {
+        return answer
+            .iter()
+            .map(|(t, k)| (ground_to_bool(t), Some(natpoly_to_posbool(k))))
+            .collect();
+    }
+    let mut seen: BTreeSet<Tree<bool>> = BTreeSet::new();
+    for w in mod_bool(answer) {
+        seen.extend(w.trees().cloned());
+    }
+    seen.into_iter().map(|t| (t, None)).collect()
+}
+
+/// Do all member trees have constant (variable-free) inner annotations?
+/// (The top-level annotations may be arbitrary polynomials.)
+pub fn answer_is_ground(answer: &Forest<NatPoly>) -> bool {
+    fn tree_ground(t: &Tree<NatPoly>) -> bool {
+        t.children()
+            .iter()
+            .all(|(c, k)| k.variables().is_empty() && tree_ground(c))
+    }
+    answer.trees().all(tree_ground)
+}
+
+fn ground_to_bool(t: &Tree<NatPoly>) -> Tree<bool> {
+    let val = axml_semiring::Valuation::<bool>::new();
+    axml_uxml::hom::specialize_tree(t, &val)
+}
+
+fn ground_to_natpoly(t: &Tree<bool>) -> Tree<NatPoly> {
+    struct H;
+    impl axml_semiring::SemiringHom<bool, NatPoly> for H {
+        fn apply(&self, b: &bool) -> NatPoly {
+            if *b {
+                NatPoly::one()
+            } else {
+                NatPoly::zero()
+            }
+        }
+    }
+    axml_uxml::hom::map_tree(&H, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_core::run_query;
+    use axml_uxml::{leaf, parse_forest, Value};
+
+    fn answer_of(doc: &str, q: &str) -> Forest<NatPoly> {
+        let f = parse_forest::<NatPoly>(doc).unwrap();
+        let out = run_query::<NatPoly>(q, &[("S", Value::Set(f))]).unwrap();
+        match out {
+            Value::Set(f) => f,
+            Value::Tree(t) => t.children().clone(),
+            Value::Label(_) => panic!("label result"),
+        }
+    }
+
+    #[test]
+    fn certain_iff_in_all_worlds() {
+        // leaf d is certain (annotation 1); leaf c is merely possible
+        let ans = answer_of("<r> c {cw_u} d </r>", "$S/*");
+        assert!(answer_is_ground(&ans));
+        assert!(is_certain(&ans, &leaf("d")));
+        assert!(is_possible(&ans, &leaf("d")));
+        assert!(!is_certain(&ans, &leaf("c")));
+        assert!(is_possible(&ans, &leaf("c")));
+        assert!(!is_possible(&ans, &leaf("nope")));
+    }
+
+    #[test]
+    fn alternative_derivations_can_make_certainty() {
+        // c derivable via v OR via the always-present second copy
+        let ans = answer_of("<r> c {cw_v} </r> <q> c </q>", "$S/*, $S/self::q/*");
+        assert!(is_certain(&ans, &leaf("c")));
+        assert_eq!(
+            membership_condition(&ans, &leaf("c")),
+            Some(PosBool::tt())
+        );
+    }
+
+    #[test]
+    fn agrees_with_world_enumeration() {
+        let doc = "<r> <a {ce_p}> x </a> <b {ce_q}> x </b> y </r>";
+        let ans = answer_of(doc, "$S//x, $S//y");
+        let worlds = mod_bool(&ans);
+        for t in [leaf::<bool>("x"), leaf("y"), leaf("z")] {
+            let in_all = worlds.iter().all(|w| w.contains(&t));
+            let in_some = worlds.iter().any(|w| w.contains(&t));
+            assert_eq!(is_certain(&ans, &t), in_all, "certain({t})");
+            assert_eq!(is_possible(&ans, &t), in_some, "possible({t})");
+        }
+    }
+
+    #[test]
+    fn certain_and_possible_listings() {
+        let ans = answer_of("<r> c {cl_u} d </r>", "$S/*");
+        let certain = certain_answers(&ans);
+        assert_eq!(certain, vec![leaf::<bool>("d")]);
+        let possible = possible_answers(&ans);
+        assert_eq!(possible.len(), 2);
+        let c_cond = possible
+            .iter()
+            .find(|(t, _)| *t == leaf("c"))
+            .unwrap()
+            .1
+            .clone();
+        assert_eq!(c_cond, Some(PosBool::var_named("cl_u")));
+    }
+
+    #[test]
+    fn non_ground_membership_is_non_monotone() {
+        // the answer tree itself contains an uncertain child: <a>w{z}</a>
+        let ans = answer_of("<r> <a> w {ng_z} </a> </r>", "$S/*");
+        assert!(!answer_is_ground(&ans));
+        let with_w = parse_forest::<bool>("<a> w </a>")
+            .unwrap()
+            .trees()
+            .next()
+            .unwrap()
+            .clone();
+        let without_w = leaf::<bool>("a");
+        // <a>w</a> needs ng_z; the childless <a/> needs ¬ng_z — both
+        // possible, neither certain. No positive condition exists:
+        assert!(membership_condition(&ans, &with_w).is_none());
+        assert!(is_possible(&ans, &with_w));
+        assert!(is_possible(&ans, &without_w));
+        assert!(!is_certain(&ans, &with_w));
+        assert!(!is_certain(&ans, &without_w));
+        // listings agree
+        assert!(certain_answers(&ans).is_empty());
+        let possible = possible_answers(&ans);
+        assert_eq!(possible.len(), 2);
+        assert!(possible.iter().all(|(_, c)| c.is_none()));
+    }
+
+    #[test]
+    fn certain_answers_of_non_ground_intersection() {
+        // one certain member alongside the uncertain-structure one
+        let ans = answer_of("<r> <a> w {ni_z} </a> k </r>", "$S/*");
+        assert!(!answer_is_ground(&ans));
+        assert_eq!(certain_answers(&ans), vec![leaf::<bool>("k")]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Incomplete and probabilistic K-UXML (§5 of Foster, Green & Tannen,
+//! PODS 2008): possible-world semantics, strong representation systems,
+//! and probabilistic evaluation over independent event variables.
+//!
+//! - [`modk`]: `Mod_K(v)` possible worlds of an ℕ\[X\] (or PosBool)
+//!   representation; strong-representation checks
+//!   `p(Mod_K(v)) = Mod_K(p(v))`.
+//! - [`prob`]: probabilistic XML — Bernoulli event variables, exact
+//!   answer distributions and marginals via the symbolic answer
+//!   (Corollary 1), and Monte-Carlo estimation; the geometric law for
+//!   ℕ-multiplicities.
+//! - [`pattern`]: tree-pattern queries compiled to UXQuery, recovering
+//!   the Senellart–Abiteboul evaluation algorithm as a special case.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certain;
+pub mod modk;
+pub mod pattern;
+pub mod prob;
+
+pub use certain::{certain_answers, is_certain, is_possible, membership_condition, possible_answers};
+pub use modk::{
+    bool_valuations, forest_vars, mod_bool, mod_k, mod_nat, mod_posbool,
+    nat_valuations, to_posbool_repr,
+};
+pub use pattern::{PatternEdge, TreePattern};
+pub use prob::{
+    answer_distribution, estimate_marginal, marginal_prob, sample_geometric_nat,
+    ProbSpace,
+};

@@ -1,0 +1,279 @@
+//! Possible-world semantics for incomplete K-UXML (§5).
+//!
+//! An ℕ\[X\]-UXML value `v` *represents* the set of K-UXML instances
+//! obtained by applying valuations to its variables:
+//! `Mod_K(v) = { f*(v) : f : X → K }`. Querying commutes with taking
+//! worlds — `p(Mod_K(v)) = Mod_K(p(v))` (a consequence of Corollary 1)
+//! — which makes ℕ\[X\]-UXML a **strong representation system**: the
+//! symbolic answer `p(v)` represents all per-world answers.
+//!
+//! For `K = 𝔹` the worlds are ordinary UXML instances and the variable
+//! space is finite (2ⁿ valuations); for `K = ℕ` multiplicities are
+//! unbounded and we enumerate up to a cap. `PosBool(B)`-UXML suffices
+//! for 𝔹 (and any distributive lattice): the Boolean-c-table analogue.
+
+use axml_semiring::trio::collapse::natpoly_to_posbool;
+use axml_semiring::{Nat, NatPoly, PosBool, Semiring, Valuation, Var};
+use axml_uxml::hom::{map_forest, specialize_forest};
+use axml_uxml::{Forest, Tree};
+use std::collections::BTreeSet;
+
+/// All variables occurring in the annotations of a forest (recursively).
+pub fn forest_vars(f: &Forest<NatPoly>) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    collect_forest_vars(f, &mut out);
+    out
+}
+
+fn collect_forest_vars(f: &Forest<NatPoly>, out: &mut BTreeSet<Var>) {
+    for (t, k) in f.iter() {
+        out.extend(k.variables());
+        collect_tree_vars(t, out);
+    }
+}
+
+fn collect_tree_vars(t: &Tree<NatPoly>, out: &mut BTreeSet<Var>) {
+    collect_forest_vars(t.children(), out);
+}
+
+/// Guard for exhaustive enumeration: 2²⁰ worlds is the sanity limit.
+const MAX_ENUM_VARS: usize = 20;
+
+/// All Boolean valuations of a variable set (2ⁿ of them).
+///
+/// # Panics
+/// If more than 20 variables are given (enumeration would not finish).
+pub fn bool_valuations(vars: &BTreeSet<Var>) -> Vec<Valuation<bool>> {
+    assert!(
+        vars.len() <= MAX_ENUM_VARS,
+        "refusing to enumerate 2^{} Boolean valuations",
+        vars.len()
+    );
+    let vars: Vec<Var> = vars.iter().copied().collect();
+    let mut out = Vec::with_capacity(1 << vars.len());
+    for bits in 0..(1u64 << vars.len()) {
+        out.push(Valuation::from_pairs(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, bits & (1 << i) != 0)),
+        ));
+    }
+    out
+}
+
+/// All ℕ-valuations assigning each variable a multiplicity in
+/// `0..=max` ((max+1)ⁿ of them).
+pub fn nat_valuations(vars: &BTreeSet<Var>, max: u64) -> Vec<Valuation<Nat>> {
+    let n = vars.len() as u32;
+    let count = (max + 1).pow(n);
+    assert!(
+        count <= 1 << MAX_ENUM_VARS,
+        "refusing to enumerate {count} ℕ-valuations"
+    );
+    let vars: Vec<Var> = vars.iter().copied().collect();
+    let mut out = Vec::with_capacity(count as usize);
+    for mut idx in 0..count {
+        let mut val = Valuation::new();
+        for &v in &vars {
+            val.set(v, Nat::from(idx % (max + 1)));
+            idx /= max + 1;
+        }
+        out.push(val);
+    }
+    out
+}
+
+/// `Mod_K(v)` over an explicit set of valuations: the (deduplicated)
+/// set of specialized instances.
+pub fn mod_k<K: Semiring, I: IntoIterator<Item = Valuation<K>>>(
+    repr: &Forest<NatPoly>,
+    valuations: I,
+) -> BTreeSet<Forest<K>> {
+    valuations
+        .into_iter()
+        .map(|val| specialize_forest(repr, &val))
+        .collect()
+}
+
+/// `Mod_B(v)`: all worlds under every Boolean valuation of the
+/// representation's variables.
+pub fn mod_bool(repr: &Forest<NatPoly>) -> BTreeSet<Forest<bool>> {
+    mod_k(repr, bool_valuations(&forest_vars(repr)))
+}
+
+/// `Mod_ℕ(v)` with multiplicities capped at `max` (the full world set
+/// is infinite; the cap gives a finite under-approximation that is
+/// exact for queries distinguishing only multiplicities ≤ max).
+pub fn mod_nat(repr: &Forest<NatPoly>, max: u64) -> BTreeSet<Forest<Nat>> {
+    mod_k(repr, nat_valuations(&forest_vars(repr), max))
+}
+
+/// The possible worlds of a `PosBool`-annotated forest (the XML
+/// analogue of Boolean c-tables): one world per assignment of the
+/// condition variables.
+pub fn mod_posbool(repr: &Forest<PosBool>) -> BTreeSet<Forest<bool>> {
+    let mut vars = BTreeSet::new();
+    collect_posbool_vars(repr, &mut vars);
+    assert!(
+        vars.len() <= MAX_ENUM_VARS,
+        "refusing to enumerate 2^{} assignments",
+        vars.len()
+    );
+    let vars: Vec<Var> = vars.into_iter().collect();
+    let mut out = BTreeSet::new();
+    for bits in 0..(1u64 << vars.len()) {
+        let tv: BTreeSet<Var> = vars
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bits & (1 << i) != 0)
+            .map(|(_, &v)| v)
+            .collect();
+        struct AssignHom<'a>(&'a BTreeSet<Var>);
+        impl axml_semiring::SemiringHom<PosBool, bool> for AssignHom<'_> {
+            fn apply(&self, p: &PosBool) -> bool {
+                p.eval_assignment(self.0)
+            }
+        }
+        out.insert(map_forest(&AssignHom(&tv), repr));
+    }
+    out
+}
+
+fn collect_posbool_vars(f: &Forest<PosBool>, out: &mut BTreeSet<Var>) {
+    for (t, k) in f.iter() {
+        out.extend(k.variables());
+        collect_posbool_vars(t.children(), out);
+    }
+}
+
+/// Collapse an ℕ\[X\] representation to the `PosBool(B)` representation
+/// ("we can transform an ℕ\[B\]-UXML representation into a
+/// PosBool(B)-UXML representation by applying the obvious
+/// homomorphism", §5).
+pub fn to_posbool_repr(repr: &Forest<NatPoly>) -> Forest<PosBool> {
+    struct H;
+    impl axml_semiring::SemiringHom<NatPoly, PosBool> for H {
+        fn apply(&self, p: &NatPoly) -> PosBool {
+            natpoly_to_posbool(p)
+        }
+    }
+    map_forest(&H, repr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_core::run_query;
+    use axml_uxml::{parse_forest, Value};
+
+    /// The §5 representation: the Fig 4 source with x1, x2 set to 1,
+    /// leaving y1, y2, y3 on the subtrees labeled c.
+    fn section5_repr() -> Forest<NatPoly> {
+        parse_forest(
+            "<a> <b> <a> c {wy3} d </a> </b> <c {wy1}> <d> <a> c {wy2} b </a> </d> </c> </a>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mod_b_has_six_worlds() {
+        // 8 valuations of {y1,y2,y3} collapse to 6 distinct worlds
+        // (y2 is irrelevant once y1 = false).
+        let worlds = mod_bool(&section5_repr());
+        assert_eq!(worlds.len(), 6);
+    }
+
+    #[test]
+    fn mod_b_contains_the_full_and_empty_variants() {
+        let worlds = mod_bool(&section5_repr());
+        let all_true = parse_forest::<bool>(
+            "<a> <b> <a> c d </a> </b> <c> <d> <a> c b </a> </d> </c> </a>",
+        )
+        .unwrap();
+        assert!(worlds.contains(&all_true));
+        // y1 = false, y3 = false: both c-subtrees gone
+        let min = parse_forest::<bool>("<a> <b> <a> d </a> </b> </a>").unwrap();
+        assert!(worlds.contains(&min));
+    }
+
+    #[test]
+    fn strong_representation_for_the_section5_query() {
+        // p(Mod_B(v)) = Mod_B(p(v)) for p = element r { $T//c }.
+        let repr = section5_repr();
+        // worlds of the symbolic answer
+        let sym_answer = run_query::<NatPoly>(
+            "element r { $T//c }",
+            &[("T", Value::Set(repr.clone()))],
+        )
+        .unwrap();
+        let Value::Tree(answer_tree) = sym_answer else { panic!() };
+        let answer_repr = Forest::unit(answer_tree);
+        let rhs = mod_bool(&answer_repr);
+
+        // per-world answers
+        let mut lhs = BTreeSet::new();
+        for w in mod_bool(&repr) {
+            let out = run_query::<bool>(
+                "element r { $T//c }",
+                &[("T", Value::Set(w))],
+            )
+            .unwrap();
+            let Value::Tree(t) = out else { panic!() };
+            lhs.insert(Forest::unit(t));
+        }
+        assert_eq!(lhs, rhs);
+        // Note: the set has 5 distinct answers, not the 6 the paper
+        // displays. The paper's 4th display Q[c[d[a[c b]]]] (the
+        // matched c-subtree *without* the top-level leaf c) is
+        // unrealizable: keeping the inner c requires y1 = y2 = true,
+        // and then the leaf c is present via the y1·y2 term of its
+        // annotation y3 + y1·y2. Applying p to the 6 input worlds
+        // yields two coincident answers (TTT and TTF), so both sides
+        // of the strong-representation equation have 5 elements.
+        assert_eq!(rhs.len(), 5);
+    }
+
+    #[test]
+    fn mod_nat_worlds_have_repetitions() {
+        // §5: with K = ℕ a child can be repeated (y ↦ 2 duplicates c).
+        let repr = parse_forest::<NatPoly>("<a> c {wn_y} </a>").unwrap();
+        let worlds = mod_nat(&repr, 2);
+        assert_eq!(worlds.len(), 3); // y ∈ {0, 1, 2}
+        let doubled = parse_forest::<Nat>("<a> c {2} </a>").unwrap();
+        assert!(worlds.contains(&doubled));
+    }
+
+    #[test]
+    fn posbool_representation_agrees_with_natpoly() {
+        // Mod_B through PosBool(B) equals Mod_B through ℕ[X].
+        let repr = section5_repr();
+        let via_posbool = mod_posbool(&to_posbool_repr(&repr));
+        let direct = mod_bool(&repr);
+        assert_eq!(via_posbool, direct);
+    }
+
+    #[test]
+    fn forest_vars_collects_nested() {
+        let repr = section5_repr();
+        let vars = forest_vars(&repr);
+        assert_eq!(vars.len(), 3);
+        assert!(vars.contains(&Var::new("wy1")));
+        assert!(vars.contains(&Var::new("wy2")));
+        assert!(vars.contains(&Var::new("wy3")));
+    }
+
+    #[test]
+    fn valuation_counts() {
+        let vars: BTreeSet<Var> =
+            [Var::new("vc_a"), Var::new("vc_b")].into_iter().collect();
+        assert_eq!(bool_valuations(&vars).len(), 4);
+        assert_eq!(nat_valuations(&vars, 2).len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing")]
+    fn enumeration_guard() {
+        let vars: BTreeSet<Var> = (0..25).map(|i| Var::new(&format!("g{i}"))).collect();
+        let _ = bool_valuations(&vars);
+    }
+}

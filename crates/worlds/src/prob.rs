@@ -1,0 +1,298 @@
+//! Probabilistic K-UXML (§5).
+//!
+//! A valuation is read as a conjunction of independent events
+//! `{f(x) = k}`, one per variable. For `K = 𝔹` each variable is an
+//! independent Bernoulli event (the hidden-web model of
+//! Senellart–Abiteboul \[27\]); for `K = ℕ` the paper uses the
+//! geometric law `Pr[f(x) = n] = 2⁻ⁿ for n > 0`.
+//!
+//! Three evaluation routes are provided, all justified by Corollary 1:
+//!
+//! - [`answer_distribution`]: exact — specialize the *symbolic* answer
+//!   `p(v)` under every Boolean valuation (evaluating the query once,
+//!   not once per world) and aggregate world probabilities;
+//! - [`marginal_prob`]: exact probability that a given tree occurs in
+//!   the answer set;
+//! - [`estimate_marginal`]: Monte-Carlo estimation, for variable
+//!   spaces too large to enumerate.
+
+use crate::modk::{bool_valuations, forest_vars};
+use axml_semiring::{NatPoly, PosBool, Semiring, Valuation, Var};
+use axml_uxml::hom::specialize_forest;
+use axml_uxml::{Forest, Tree};
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An assignment of independent Bernoulli probabilities to event
+/// variables. Variables not mentioned default to probability 1
+/// (certainly present), mirroring the `Valuation` convention.
+#[derive(Clone, Debug, Default)]
+pub struct ProbSpace {
+    probs: BTreeMap<Var, f64>,
+}
+
+impl ProbSpace {
+    /// Empty space (every variable certain).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(variable, probability)` pairs.
+    ///
+    /// # Panics
+    /// If a probability is outside `[0, 1]`.
+    pub fn from_pairs<I: IntoIterator<Item = (Var, f64)>>(pairs: I) -> Self {
+        let probs: BTreeMap<Var, f64> = pairs.into_iter().collect();
+        for (v, p) in &probs {
+            assert!(
+                (0.0..=1.0).contains(p),
+                "probability {p} for {v} outside [0,1]"
+            );
+        }
+        ProbSpace { probs }
+    }
+
+    /// `Pr[v = true]`.
+    pub fn prob(&self, v: Var) -> f64 {
+        self.probs.get(&v).copied().unwrap_or(1.0)
+    }
+
+    /// Probability of a specific Boolean valuation (independence).
+    pub fn world_prob(&self, val: &Valuation<bool>, vars: &BTreeSet<Var>) -> f64 {
+        vars.iter()
+            .map(|&v| {
+                if val.get(v) {
+                    self.prob(v)
+                } else {
+                    1.0 - self.prob(v)
+                }
+            })
+            .product()
+    }
+
+    /// Probability that a positive Boolean condition holds, by exact
+    /// enumeration over the condition's own variables (monotone DNF,
+    /// so only the mentioned variables matter).
+    pub fn prob_of_condition(&self, cond: &PosBool) -> f64 {
+        if cond.is_zero() {
+            return 0.0;
+        }
+        if cond.is_one() {
+            return 1.0;
+        }
+        let vars: Vec<Var> = cond.variables().into_iter().collect();
+        assert!(
+            vars.len() <= 24,
+            "condition mentions {} variables; use estimate_marginal instead",
+            vars.len()
+        );
+        let mut total = 0.0;
+        for bits in 0..(1u64 << vars.len()) {
+            let tv: BTreeSet<Var> = vars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| bits & (1 << i) != 0)
+                .map(|(_, &v)| v)
+                .collect();
+            if cond.eval_assignment(&tv) {
+                let p: f64 = vars
+                    .iter()
+                    .map(|&v| if tv.contains(&v) { self.prob(v) } else { 1.0 - self.prob(v) })
+                    .product();
+                total += p;
+            }
+        }
+        total
+    }
+
+    /// Sample a Boolean valuation of `vars`.
+    pub fn sample<R: Rng>(&self, vars: &BTreeSet<Var>, rng: &mut R) -> Valuation<bool> {
+        Valuation::from_pairs(
+            vars.iter()
+                .map(|&v| (v, rng.gen_bool(self.prob(v)))),
+        )
+    }
+}
+
+/// Sample an ℕ-valuation under the paper's geometric law
+/// `Pr[f(x) = n] = 2⁻ⁿ (n ≥ 1)`.
+pub fn sample_geometric_nat<R: Rng>(
+    vars: &BTreeSet<Var>,
+    rng: &mut R,
+) -> Valuation<axml_semiring::Nat> {
+    Valuation::from_pairs(vars.iter().map(|&v| {
+        let mut n = 1u64;
+        while rng.gen_bool(0.5) {
+            n += 1;
+        }
+        (v, axml_semiring::Nat::from(n))
+    }))
+}
+
+/// Exact distribution over answer worlds: evaluate the query *once*
+/// symbolically, then specialize the answer under every Boolean
+/// valuation (Corollary 1 justifies the swap). Returns each distinct
+/// world with its total probability.
+pub fn answer_distribution(
+    symbolic_answer: &Forest<NatPoly>,
+    space: &ProbSpace,
+) -> Vec<(Forest<bool>, f64)> {
+    let vars = forest_vars(symbolic_answer);
+    let mut acc: BTreeMap<Forest<bool>, f64> = BTreeMap::new();
+    for val in bool_valuations(&vars) {
+        let w = specialize_forest(symbolic_answer, &val);
+        *acc.entry(w).or_insert(0.0) += space.world_prob(&val, &vars);
+    }
+    acc.into_iter().collect()
+}
+
+/// Exact probability that `tree` occurs (annotation `true`) among the
+/// top-level members of the answer, by enumeration over the answer's
+/// variables.
+pub fn marginal_prob(
+    symbolic_answer: &Forest<NatPoly>,
+    tree: &Tree<bool>,
+    space: &ProbSpace,
+) -> f64 {
+    let vars = forest_vars(symbolic_answer);
+    let mut total = 0.0;
+    for val in bool_valuations(&vars) {
+        let w = specialize_forest(symbolic_answer, &val);
+        if w.contains(tree) {
+            total += space.world_prob(&val, &vars);
+        }
+    }
+    total
+}
+
+/// Monte-Carlo estimate of the same marginal (for large variable
+/// spaces). Returns the fraction of `samples` worlds containing `tree`.
+pub fn estimate_marginal<R: Rng>(
+    symbolic_answer: &Forest<NatPoly>,
+    tree: &Tree<bool>,
+    space: &ProbSpace,
+    samples: u32,
+    rng: &mut R,
+) -> f64 {
+    let vars = forest_vars(symbolic_answer);
+    let mut hits = 0u32;
+    for _ in 0..samples {
+        let val = space.sample(&vars, rng);
+        let w = specialize_forest(symbolic_answer, &val);
+        if w.contains(tree) {
+            hits += 1;
+        }
+    }
+    f64::from(hits) / f64::from(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_core::run_query;
+    use axml_uxml::{leaf, parse_forest, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn repr() -> Forest<NatPoly> {
+        parse_forest(
+            "<a> <b> <a> c {pe3} d </a> </b> <c {pe1}> <d> <a> c {pe2} b </a> </d> </c> </a>",
+        )
+        .unwrap()
+    }
+
+    fn answer() -> Forest<NatPoly> {
+        let out = run_query::<NatPoly>(
+            "element r { $T//c }",
+            &[("T", Value::Set(repr()))],
+        )
+        .unwrap();
+        let Value::Tree(t) = out else { panic!() };
+        t.children().clone()
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let space = ProbSpace::from_pairs([
+            (Var::new("pe1"), 0.5),
+            (Var::new("pe2"), 0.25),
+            (Var::new("pe3"), 0.75),
+        ]);
+        let dist = answer_distribution(&answer(), &space);
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        // 5 distinct answer worlds (see modk::tests for why the
+        // paper's displayed 6th is unrealizable)
+        assert_eq!(dist.len(), 5);
+    }
+
+    #[test]
+    fn marginal_of_leaf_c_matches_hand_computation() {
+        // leaf c occurs iff pe3 ∨ (pe1 ∧ pe2); with p3=0.75, p1=0.5,
+        // p2=0.25: Pr = p3 + (1-p3)·p1·p2 = 0.75 + 0.25·0.125 = 0.78125
+        let space = ProbSpace::from_pairs([
+            (Var::new("pe1"), 0.5),
+            (Var::new("pe2"), 0.25),
+            (Var::new("pe3"), 0.75),
+        ]);
+        let m = marginal_prob(&answer(), &leaf("c"), &space);
+        assert!((m - 0.781_25).abs() < 1e-9, "got {m}");
+    }
+
+    #[test]
+    fn marginal_agrees_with_posbool_condition() {
+        // The leaf-c annotation pe3 + pe1·pe2 collapses to the PosBool
+        // condition pe3 ∨ (pe1∧pe2); its probability is the marginal.
+        let space = ProbSpace::from_pairs([
+            (Var::new("pe1"), 0.5),
+            (Var::new("pe2"), 0.25),
+            (Var::new("pe3"), 0.75),
+        ]);
+        let ann = answer().get(&leaf("c"));
+        let cond = axml_semiring::trio::collapse::natpoly_to_posbool(&ann);
+        let p1 = space.prob_of_condition(&cond);
+        let p2 = marginal_prob(&answer(), &leaf("c"), &space);
+        assert!((p1 - p2).abs() < 1e-9, "{p1} vs {p2}");
+    }
+
+    #[test]
+    fn monte_carlo_converges() {
+        let space = ProbSpace::from_pairs([
+            (Var::new("pe1"), 0.5),
+            (Var::new("pe2"), 0.25),
+            (Var::new("pe3"), 0.75),
+        ]);
+        let mut rng = StdRng::seed_from_u64(42);
+        let est = estimate_marginal(&answer(), &leaf("c"), &space, 20_000, &mut rng);
+        assert!((est - 0.781_25).abs() < 0.02, "estimate {est} too far");
+    }
+
+    #[test]
+    fn prob_of_condition_corner_cases() {
+        let space = ProbSpace::new();
+        assert_eq!(space.prob_of_condition(&PosBool::ff()), 0.0);
+        assert_eq!(space.prob_of_condition(&PosBool::tt()), 1.0);
+        // default probability is 1
+        assert_eq!(
+            space.prob_of_condition(&PosBool::var_named("pc_unset")),
+            1.0
+        );
+    }
+
+    #[test]
+    fn geometric_sampler_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let vars: BTreeSet<Var> = [Var::new("ge_a")].into_iter().collect();
+        for _ in 0..50 {
+            let val = sample_geometric_nat(&vars, &mut rng);
+            let n = val.get(Var::new("ge_a"));
+            assert!(n.value() >= 1, "geometric law has support n ≥ 1");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn prob_space_validates() {
+        let _ = ProbSpace::from_pairs([(Var::new("bad_p"), 1.5)]);
+    }
+}

@@ -1,0 +1,57 @@
+//! ℕ-UXML: unordered XML with repetitions (bag semantics), and §6.4's
+//! practical corollary — duplicate elimination can be *deferred*: the
+//! homomorphism † : ℕ → 𝔹 lifted over values factors set-semantics
+//! evaluation through bag-semantics evaluation, exactly the way an
+//! RDBMS applies DISTINCT at the end of a pipeline.
+//!
+//! Run with: `cargo run --example bag_semantics`
+
+use annotated_xml::prelude::*;
+use annotated_xml::uxml::hom::map_forest;
+use axml_core::run_query;
+use axml_semiring::{dup_elim, FnHom};
+use axml_uxml::{parse_forest, Value};
+
+fn main() {
+    // An inventory where annotations are multiplicities: three crates
+    // of apples on shelf 1, two on shelf 2, one box of pears.
+    let inventory = parse_forest::<Nat>(
+        r#"<warehouse>
+             <shelf> <crate {3}> apples </crate> <box> pears </box> </shelf>
+             <shelf> <crate {2}> apples </crate> </shelf>
+           </warehouse>"#,
+    )
+    .unwrap();
+
+    // How many crates of apples in total? The query collects every
+    // crate; value-identical crates merge and their multiplicities add.
+    let q = "for $c in $W//crate return ($c)/*";
+    let bags = run_query::<Nat>(q, &[("W", Value::Set(inventory.clone()))]).unwrap();
+    let Value::Set(bag_result) = &bags else { unreachable!() };
+    println!("bag answer: {bag_result}");
+    for (item, count) in bag_result.iter() {
+        println!("  {count} × {item}");
+    }
+
+    // Set semantics, two ways that Corollary 1 says must agree:
+    // (1) evaluate in 𝔹 from the start;
+    let as_sets = map_forest(&FnHom::new(dup_elim), &inventory);
+    let direct = run_query::<bool>(q, &[("W", Value::Set(as_sets))]).unwrap();
+
+    // (2) evaluate in ℕ and duplicate-eliminate afterwards.
+    let deferred = Value::Set(map_forest(&FnHom::new(dup_elim), bag_result));
+
+    assert_eq!(direct, deferred, "†(p_ℕ(v)) = p_𝔹(†(v))  (Corollary 1)");
+    println!("\nset answer (either route): {deferred}");
+
+    // Repetition-aware queries: a join counts *pairs*, so multiplicities
+    // multiply — 5 apple-crates joined with themselves give 25 pairs.
+    let self_join = run_query::<Nat>(
+        "for $a in $W//crate/*, $b in $W//crate/* \
+           where name($a) = name($b) return ($a)",
+        &[("W", Value::Set(inventory))],
+    )
+    .unwrap();
+    let Value::Set(pairs) = self_join else { unreachable!() };
+    println!("\nself-join multiplicities: {pairs}");
+}

@@ -1,0 +1,106 @@
+//! Probabilistic XML for "hidden web" data (§5, after
+//! Senellart–Abiteboul): a crawler probes query forms and records
+//! uncertain facts as event-annotated XML. Tree-pattern queries are
+//! answered with exact probabilities computed from the symbolic
+//! (provenance-polynomial) answer — the query runs once, not once per
+//! world.
+//!
+//! Run with: `cargo run --example probabilistic_hidden_web`
+
+use annotated_xml::prelude::*;
+use annotated_xml::worlds::{
+    answer_distribution, estimate_marginal, marginal_prob, mod_bool, ProbSpace,
+    TreePattern,
+};
+use axml_core::run_query;
+use axml_uxml::{parse_forest, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Facts extracted by probing a directory service. Each subtree is
+    // guarded by an independent Bernoulli event variable.
+    let extracted = parse_forest::<NatPoly>(
+        r#"<directory>
+             <person {e1}>
+               <name> alice </name>
+               <phone {e2}> p5551 </phone>
+               <email {e3}> al </email>
+             </person>
+             <person {e4}>
+               <name> bob </name>
+               <phone {e5}> p5551 </phone>
+             </person>
+           </directory>"#,
+    )
+    .unwrap();
+
+    // How many distinct worlds does this represent?
+    let worlds = mod_bool(&extracted);
+    println!("the representation has {} possible worlds", worlds.len());
+
+    // Query: all phone subtrees, via XPath.
+    let sym = run_query::<NatPoly>(
+        "element phones { $doc//phone }",
+        &[("doc", Value::Set(extracted.clone()))],
+    )
+    .unwrap();
+    let Value::Tree(answer) = sym else { unreachable!() };
+    println!("\nsymbolic answer: {answer}");
+
+    // Event probabilities from the extractor's confidence scores.
+    let space = ProbSpace::from_pairs([
+        (Var::new("e1"), 0.9),
+        (Var::new("e2"), 0.7),
+        (Var::new("e3"), 0.6),
+        (Var::new("e4"), 0.8),
+        (Var::new("e5"), 0.5),
+    ]);
+
+    // Exact world distribution of the answer (Corollary 1 lets us
+    // specialize the symbolic answer instead of re-querying per world).
+    let dist = answer_distribution(&answer.children().clone(), &space);
+    println!("\nanswer distribution ({} distinct worlds):", dist.len());
+    for (world, p) in &dist {
+        println!("  {p:.4}  {world}");
+    }
+
+    // Marginal: is the number p5551 listed (for anyone)?
+    let phone_tree = parse_forest::<bool>("<phone> p5551 </phone>")
+        .unwrap()
+        .trees()
+        .next()
+        .unwrap()
+        .clone();
+    let exact = marginal_prob(&answer.children().clone(), &phone_tree, &space);
+    println!("\nPr[<phone>p5551</phone> in answer] = {exact:.4} (exact)");
+    // = Pr[e1·e2 ∨ e4·e5] = 0.63 + 0.4 − 0.63·0.4 = 0.778
+
+    let mut rng = StdRng::seed_from_u64(2008);
+    let mc = estimate_marginal(
+        &answer.children().clone(),
+        &phone_tree,
+        &space,
+        10_000,
+        &mut rng,
+    );
+    println!("Pr[…] ≈ {mc:.4} (Monte-Carlo, 10k samples)");
+
+    // Tree-pattern query (the [27] special case): person[phone][email]
+    let pattern = TreePattern::label("person")
+        .child(TreePattern::label("phone"))
+        .child(TreePattern::label("email"));
+    let out = axml_core::eval_query(
+        &pattern.to_query::<NatPoly>(),
+        &[("doc", Value::Set(extracted))],
+    )
+    .unwrap();
+    let Value::Set(matches) = out else { unreachable!() };
+    println!("\npattern person[phone][email]:");
+    for (m, evidence) in matches.iter() {
+        let cond = annotated_xml::semiring::trio::collapse::natpoly_to_posbool(evidence);
+        let p = space.prob_of_condition(&cond);
+        println!("  Pr = {p:.4} under condition {cond} at {}", m.label());
+    }
+
+}

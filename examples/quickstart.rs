@@ -1,0 +1,50 @@
+//! Quickstart: annotate a document with provenance tokens, query it,
+//! and read the provenance of every answer.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use annotated_xml::prelude::*;
+use annotated_xml::uxml::hom::specialize_forest;
+use axml_core::run_query;
+use axml_uxml::{parse_forest, Value};
+
+fn main() {
+    // 1. Parse a document. Annotations in `{…}` are ℕ[X] provenance
+    //    polynomials; absent annotations mean the neutral 1.
+    //    This is Figure 1 of the paper.
+    let source = parse_forest::<NatPoly>(
+        "<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>",
+    )
+    .expect("document parses");
+    println!("source:\n{}", annotated_xml::uxml::print::pretty(&source));
+
+    // 2. Run a query: all grandchildren of the root.
+    let answer = run_query::<NatPoly>(
+        "element p { for $t in $S return \
+           for $x in ($t)/child::* return ($x)/child::* }",
+        &[("S", Value::Set(source))],
+    )
+    .expect("query runs");
+    println!("answer: {answer}");
+
+    // 3. Each answer item carries a provenance polynomial: a sum over
+    //    derivations of the product of the source annotations used.
+    let Value::Tree(tree) = &answer else { unreachable!() };
+    for (child, provenance) in tree.children().iter() {
+        println!("  {child}  ⇐  {provenance}");
+    }
+
+    // 4. Universality: specialize the SAME symbolic answer into any
+    //    semiring with a valuation (Corollary 1 guarantees this equals
+    //    re-running the query there).
+    //    Bag semantics — how many derivations?
+    let val = Valuation::<Nat>::new();
+    let as_bags = specialize_forest(tree.children(), &val);
+    println!("multiplicities (all tokens ↦ 1): {as_bags}");
+
+    //    What survives if source item x1 is deleted?
+    let mut deleted = Valuation::<bool>::new();
+    deleted.set(Var::new("x1"), false);
+    let after_delete = specialize_forest(tree.children(), &deleted);
+    println!("after deleting x1: {after_delete}");
+}

@@ -1,0 +1,224 @@
+//! `axml` — command-line runner for K-UXQuery over annotated documents.
+//!
+//! ```console
+//! axml query  --semiring natpoly --doc data.axml  'element r { $S//c }'
+//! axml parse  --semiring nat     --doc data.axml
+//! axml shred  --doc data.axml    '//c'
+//! axml worlds --doc data.axml
+//! ```
+//!
+//! Documents use the annotated text format (`<a {x1}> b {y} </a>`);
+//! the document is bound to `$S` (and also to `$T`, `$d`, `$doc` for
+//! convenience with the paper's variable names).
+
+use annotated_xml::prelude::*;
+use annotated_xml::uxml::print::pretty;
+use axml_core::run_query;
+use axml_uxml::{parse_forest, ParseAnnotation, Value};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("axml: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  axml query  [--semiring S] (--doc FILE | --text DOC) QUERY
+  axml parse  [--semiring S] (--doc FILE | --text DOC)
+  axml shred  (--doc FILE | --text DOC) PATH     # //c or /a/b style
+  axml worlds (--doc FILE | --text DOC)          # possible worlds (ℕ[X] docs)
+
+semirings: natpoly (default) | nat | bool | clearance | posbool";
+
+struct Opts {
+    semiring: String,
+    doc: String,
+    rest: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut semiring = "natpoly".to_owned();
+    let mut doc: Option<String> = None;
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--semiring" => {
+                semiring = args
+                    .get(i + 1)
+                    .ok_or("--semiring needs a value")?
+                    .clone();
+                i += 2;
+            }
+            "--doc" => {
+                let path = args.get(i + 1).ok_or("--doc needs a file path")?;
+                doc = Some(
+                    std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?,
+                );
+                i += 2;
+            }
+            "--text" => {
+                doc = Some(args.get(i + 1).ok_or("--text needs a document")?.clone());
+                i += 2;
+            }
+            other => {
+                rest.push(other.to_owned());
+                i += 1;
+            }
+        }
+    }
+    Ok(Opts {
+        semiring,
+        doc: doc.ok_or("a document is required (--doc FILE or --text DOC)")?,
+        rest,
+    })
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, tail)) = args.split_first() else {
+        return Err("no command given".into());
+    };
+    match cmd.as_str() {
+        "query" => {
+            let opts = parse_opts(tail)?;
+            let q = opts.rest.join(" ");
+            if q.is_empty() {
+                return Err("query text required".into());
+            }
+            dispatch_semiring(&opts.semiring, &opts.doc, QueryCmd(&q))
+        }
+        "parse" => {
+            let opts = parse_opts(tail)?;
+            dispatch_semiring(&opts.semiring, &opts.doc, ParseCmd)
+        }
+        "shred" => {
+            let opts = parse_opts(tail)?;
+            let path = opts.rest.join("");
+            shred_cmd(&opts.doc, &path)
+        }
+        "worlds" => {
+            let opts = parse_opts(tail)?;
+            worlds_cmd(&opts.doc)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn dispatch_semiring(
+    name: &str,
+    doc: &str,
+    f: impl SemiringDispatch,
+) -> Result<(), String> {
+    match name {
+        "natpoly" => f.call::<NatPoly>(doc),
+        "nat" => f.call::<Nat>(doc),
+        "bool" => f.call::<bool>(doc),
+        "clearance" => f.call::<Clearance>(doc),
+        "posbool" => f.call::<PosBool>(doc),
+        other => Err(format!("unknown semiring {other:?} (see usage)")),
+    }
+}
+
+/// Closure-with-generic-method pattern: the command body runs at the
+/// semiring chosen at runtime.
+trait SemiringDispatch {
+    fn call<K: Semiring + ParseAnnotation>(self, doc: &str) -> Result<(), String>;
+}
+
+struct QueryCmd<'a>(&'a str);
+impl SemiringDispatch for QueryCmd<'_> {
+    fn call<K: Semiring + ParseAnnotation>(self, doc: &str) -> Result<(), String> {
+        let forest = parse_forest::<K>(doc).map_err(|e| e.to_string())?;
+        let bindings: Vec<(&str, Value<K>)> = ["S", "T", "d", "doc"]
+            .iter()
+            .map(|n| (*n, Value::Set(forest.clone())))
+            .collect();
+        let out = run_query::<K>(self.0, &bindings).map_err(|e| e.to_string())?;
+        println!("{out}");
+        Ok(())
+    }
+}
+
+struct ParseCmd;
+impl SemiringDispatch for ParseCmd {
+    fn call<K: Semiring + ParseAnnotation>(self, doc: &str) -> Result<(), String> {
+        let forest = parse_forest::<K>(doc).map_err(|e| e.to_string())?;
+        print!("{}", pretty(&forest));
+        Ok(())
+    }
+}
+
+fn shred_cmd(doc: &str, path: &str) -> Result<(), String> {
+    let forest = parse_forest::<NatPoly>(doc).map_err(|e| e.to_string())?;
+    let steps = parse_path_steps(path)?;
+    let raw =
+        annotated_xml::relational::shredded_eval(&forest, &steps).map_err(|e| e.to_string())?;
+    println!("E' (raw, with garbage):\n{raw}");
+    let clean = annotated_xml::relational::garbage_collect(&raw);
+    let decoded = annotated_xml::relational::decode(&clean)
+        .ok_or("result is not forest-shaped")?;
+    println!("decoded:\n{}", pretty(&decoded));
+    Ok(())
+}
+
+fn worlds_cmd(doc: &str) -> Result<(), String> {
+    let forest = parse_forest::<NatPoly>(doc).map_err(|e| e.to_string())?;
+    let worlds = annotated_xml::worlds::mod_bool(&forest);
+    println!("{} possible world(s):", worlds.len());
+    for (i, w) in worlds.iter().enumerate() {
+        println!("--- world {} ---", i + 1);
+        print!("{}", pretty(w));
+    }
+    Ok(())
+}
+
+/// Parse an XPath-ish step chain: `//c`, `/a/b`, `/descendant::x/...`.
+fn parse_path_steps(src: &str) -> Result<Vec<axml_core::Step>, String> {
+    use axml_core::{Axis, NodeTest, Step};
+    let mut steps = Vec::new();
+    let mut rest = src.trim();
+    while !rest.is_empty() {
+        let (axis_default, after) = if let Some(r) = rest.strip_prefix("//") {
+            (Axis::Descendant, r)
+        } else if let Some(r) = rest.strip_prefix('/') {
+            (Axis::Child, r)
+        } else {
+            return Err(format!("expected '/' or '//' at {rest:?}"));
+        };
+        let end = after
+            .find('/')
+            .unwrap_or(after.len());
+        let (token, next) = after.split_at(end);
+        let (axis, test_txt) = match token.split_once("::") {
+            Some(("self", t)) => (Axis::SelfAxis, t),
+            Some(("child", t)) => (Axis::Child, t),
+            Some(("descendant", t)) => (Axis::Descendant, t),
+            Some(("strict-descendant", t)) => (Axis::StrictDescendant, t),
+            Some((ax, _)) => return Err(format!("unknown axis {ax:?}")),
+            None => (axis_default, token),
+        };
+        let test = if test_txt == "*" {
+            NodeTest::Wildcard
+        } else if !test_txt.is_empty() {
+            NodeTest::Label(axml_uxml::Label::new(test_txt))
+        } else {
+            return Err("empty node test".into());
+        };
+        steps.push(Step { axis, test });
+        rest = next;
+    }
+    if steps.is_empty() {
+        return Err("empty path".into());
+    }
+    Ok(steps)
+}

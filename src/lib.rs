@@ -1,0 +1,57 @@
+//! # annotated-xml
+//!
+//! A comprehensive Rust reproduction of Foster, Green & Tannen,
+//! *Annotated XML: Queries and Provenance* (PODS 2008): unordered XML
+//! annotated with commutative-semiring elements, the UXQuery language,
+//! its semantics via `NRC_K + srt` and via relational shredding, and the
+//! provenance / security / incomplete-data applications.
+//!
+//! This facade crate re-exports the workspace crates under one roof:
+//!
+//! - [`semiring`] — commutative semirings, homomorphisms, ℕ\[X\]
+//!   provenance polynomials, free semimodules (`axml-semiring`).
+//! - [`uxml`] — the K-UXML data model (`axml-uxml`).
+//! - [`nrc`] — `NRC_K + srt` complex-value calculus (`axml-nrc`).
+//! - [`uxquery`] — K-UXQuery: parsing, typing, compilation, evaluation
+//!   (`axml-core`, the paper's primary contribution).
+//! - [`relational`] — K-relations, RA⁺, Datalog, shredding
+//!   (`axml-relational`).
+//! - [`worlds`] — incomplete and probabilistic K-UXML (`axml-worlds`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use annotated_xml::prelude::*;
+//!
+//! // Parse a document whose annotations are ℕ\[X\] provenance tokens.
+//! let doc: Forest<NatPoly> = parse_forest(
+//!     "<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>",
+//! ).unwrap();
+//!
+//! // The paper's Figure 1 query: all grandchildren.
+//! let q = parse_query(
+//!     "element p { for $t in $S return \
+//!        for $x in ($t)/child::* return ($x)/child::* }",
+//! ).unwrap();
+//!
+//! let out = eval_query(&q, &[("S", Value::Set(doc))]).unwrap();
+//! // Answer: p[ d^{z·x1·y1 + z·x2·y2}, e^{z·x2·y3} ]
+//! println!("{out}");
+//! ```
+
+pub use axml_core as uxquery;
+pub use axml_nrc as nrc;
+pub use axml_relational as relational;
+pub use axml_semiring as semiring;
+pub use axml_uxml as uxml;
+pub use axml_worlds as worlds;
+
+/// Commonly used items, re-exported for one-line imports.
+pub mod prelude {
+    pub use axml_core::prelude::*;
+    pub use axml_semiring::{
+        Clearance, KSet, Lineage, Nat, NatPoly, PosBool, Prob, Product,
+        Semiring, SemiringHom, Tropical, Valuation, Var, Why,
+    };
+    pub use axml_uxml::prelude::*;
+}
