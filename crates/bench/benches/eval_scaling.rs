@@ -25,10 +25,7 @@ fn bench_semiring<K: Semiring + axml_uxml::ParseAnnotation>(
     let mut g = c.benchmark_group(group);
     g.bench_function(BenchmarkId::new(name, format!("depth={depth}")), |b| {
         b.iter(|| {
-            let mut env = QueryEnv::from_bindings([(
-                "S".to_owned(),
-                Value::Set(forest.clone()),
-            )]);
+            let mut env = QueryEnv::from_bindings([("S".to_owned(), Value::Set(forest.clone()))]);
             eval_core(&q, &mut env).expect("evaluates")
         })
     });
@@ -55,18 +52,12 @@ fn direct_vs_compiled(c: &mut Criterion) {
     let mut g = c.benchmark_group("semantics_route");
     g.bench_function("direct", |b| {
         b.iter(|| {
-            let mut env = QueryEnv::from_bindings([(
-                "S".to_owned(),
-                Value::Set(forest.clone()),
-            )]);
+            let mut env = QueryEnv::from_bindings([("S".to_owned(), Value::Set(forest.clone()))]);
             eval_core(&core, &mut env).expect("evaluates")
         })
     });
     g.bench_function("via_nrc_srt", |b| {
-        b.iter(|| {
-            axml_nrc::eval::eval_with_forests(&expr, &[("S", &forest)])
-                .expect("evaluates")
-        })
+        b.iter(|| axml_nrc::eval::eval_with_forests(&expr, &[("S", &forest)]).expect("evaluates"))
     });
     g.finish();
 }
@@ -88,14 +79,11 @@ fn optimizer_ablation(c: &mut Criterion) {
     );
     let mut g = c.benchmark_group("optimizer_ablation");
     g.bench_function("raw_compiled", |b| {
-        b.iter(|| {
-            axml_nrc::eval::eval_with_forests(&raw, &[("S", &forest)]).expect("evaluates")
-        })
+        b.iter(|| axml_nrc::eval::eval_with_forests(&raw, &[("S", &forest)]).expect("evaluates"))
     });
     g.bench_function("simplified", |b| {
         b.iter(|| {
-            axml_nrc::eval::eval_with_forests(&optimized, &[("S", &forest)])
-                .expect("evaluates")
+            axml_nrc::eval::eval_with_forests(&optimized, &[("S", &forest)]).expect("evaluates")
         })
     });
     g.finish();

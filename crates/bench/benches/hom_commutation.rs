@@ -29,11 +29,8 @@ fn hom_commutation(c: &mut Criterion) {
         // late specialization: evaluate symbolically, then map H
         g.bench_function(BenchmarkId::new("late_H_of_p_v", rows), |b| {
             b.iter(|| {
-                let sym = run_query::<NatPoly>(
-                    FIG5_VIEW,
-                    &[("d", Value::Set(doc.clone()))],
-                )
-                .expect("evaluates");
+                let sym = run_query::<NatPoly>(FIG5_VIEW, &[("d", Value::Set(doc.clone()))])
+                    .expect("evaluates");
                 let Value::Tree(t) = sym else { unreachable!() };
                 specialize_forest(&t.children().clone(), &val)
             })
@@ -43,11 +40,8 @@ fn hom_commutation(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("early_Hp_of_Hv", rows), |b| {
             b.iter(|| {
                 let small = specialize_forest(&doc, &val);
-                let out = run_query::<Clearance>(
-                    FIG5_VIEW,
-                    &[("d", Value::Set(small))],
-                )
-                .expect("evaluates");
+                let out = run_query::<Clearance>(FIG5_VIEW, &[("d", Value::Set(small))])
+                    .expect("evaluates");
                 let Value::Tree(t) = out else { unreachable!() };
                 t.children().clone()
             })

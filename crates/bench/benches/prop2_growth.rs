@@ -18,18 +18,14 @@ fn prop2_growth(c: &mut Criterion) {
             q.push_str("/descendant::*");
         }
         // report the measured polynomial size alongside the timing
-        let out =
-            run_query::<NatPoly>(&q, &[("S", Value::Set(forest.clone()))]).unwrap();
+        let out = run_query::<NatPoly>(&q, &[("S", Value::Set(forest.clone()))]).unwrap();
         let Value::Set(f) = out else { unreachable!() };
         let max_size = f.iter().map(|(_, k)| k.size()).max().unwrap_or(0);
         let total_size: usize = f.iter().map(|(_, k)| k.size()).sum();
-        eprintln!(
-            "prop2: |p|={steps} steps → max poly size {max_size}, total {total_size}"
-        );
+        eprintln!("prop2: |p|={steps} steps → max poly size {max_size}, total {total_size}");
         g.bench_function(BenchmarkId::new("descendant_steps", steps), |b| {
             b.iter(|| {
-                run_query::<NatPoly>(&q, &[("S", Value::Set(forest.clone()))])
-                    .expect("evaluates")
+                run_query::<NatPoly>(&q, &[("S", Value::Set(forest.clone()))]).expect("evaluates")
             })
         });
     }
@@ -44,8 +40,7 @@ fn prop2_doc_scaling(c: &mut Criterion) {
         let q = "$S/descendant::*/descendant::*";
         g.bench_function(BenchmarkId::new("doc_nodes", forest.size()), |b| {
             b.iter(|| {
-                run_query::<NatPoly>(q, &[("S", Value::Set(forest.clone()))])
-                    .expect("evaluates")
+                run_query::<NatPoly>(q, &[("S", Value::Set(forest.clone()))]).expect("evaluates")
             })
         });
     }

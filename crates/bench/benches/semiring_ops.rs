@@ -66,14 +66,10 @@ fn absorption_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("absorption_ablation");
     for n in [8usize, 16, 32] {
         g.bench_function(BenchmarkId::new("posbool_absorbing", n), |b| {
-            b.iter(|| {
-                chain(n, |i| PosBool::var_named(&format!("ab{i}")))
-            })
+            b.iter(|| chain(n, |i| PosBool::var_named(&format!("ab{i}"))))
         });
         g.bench_function(BenchmarkId::new("why_nonabsorbing", n), |b| {
-            b.iter(|| {
-                chain(n, |i| Why::var(axml_semiring::Var::new(&format!("ab{i}"))))
-            })
+            b.iter(|| chain(n, |i| Why::var(axml_semiring::Var::new(&format!("ab{i}")))))
         });
         // report representation sizes once per n
         let pb = chain(n, |i| PosBool::var_named(&format!("ab{i}")));

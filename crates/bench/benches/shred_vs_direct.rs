@@ -51,9 +51,7 @@ fn shred_vs_direct(c: &mut Criterion) {
                 })
             });
             g.bench_function(BenchmarkId::new("shredded_datalog", depth), |b| {
-                b.iter(|| {
-                    eval_steps_via_shredding(&forest, &steps).expect("converges")
-                })
+                b.iter(|| eval_steps_via_shredding(&forest, &steps).expect("converges"))
             });
             g.finish();
         }

@@ -32,8 +32,7 @@ fn worlds_vs_symbolic(c: &mut Criterion) {
             b.iter(|| {
                 let mut answers = std::collections::BTreeSet::new();
                 for w in mod_bool(&doc) {
-                    let o = run_query::<bool>(QUERY, &[("T", Value::Set(w))])
-                        .expect("evaluates");
+                    let o = run_query::<bool>(QUERY, &[("T", Value::Set(w))]).expect("evaluates");
                     answers.insert(o);
                 }
                 answers
@@ -42,11 +41,8 @@ fn worlds_vs_symbolic(c: &mut Criterion) {
 
         g.bench_function(BenchmarkId::new("symbolic_then_specialize", n), |b| {
             b.iter(|| {
-                let sym = run_query::<NatPoly>(
-                    QUERY,
-                    &[("T", Value::Set(doc.clone()))],
-                )
-                .expect("evaluates");
+                let sym = run_query::<NatPoly>(QUERY, &[("T", Value::Set(doc.clone()))])
+                    .expect("evaluates");
                 let Value::Tree(t) = sym else { unreachable!() };
                 let answer = Forest::unit(t);
                 let vars = forest_vars(&answer);

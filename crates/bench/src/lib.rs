@@ -61,10 +61,8 @@ pub fn fig6_source() -> Forest<NatPoly> {
 
 /// The §5 representation: Fig 4's source with x1, x2 set to 1.
 pub fn section5_repr() -> Forest<NatPoly> {
-    parse_forest(
-        "<a> <b> <a> c {y3} d </a> </b> <c {y1}> <d> <a> c {y2} b </a> </d> </c> </a>",
-    )
-    .expect("section 5 representation parses")
+    parse_forest("<a> <b> <a> c {y3} d </a> </b> <c {y1}> <d> <a> c {y2} b </a> </d> </c> </a>")
+        .expect("section 5 representation parses")
 }
 
 /// A balanced tree of the given depth and branching factor with `1`
@@ -145,10 +143,8 @@ pub fn relation_like_doc(rows: usize) -> Forest<NatPoly> {
     for i in 0..rows.div_ceil(2) {
         let b = values[i % 5];
         let c = values[(i / 5) % 5];
-        let t = parse_forest::<NatPoly>(&format!(
-            "<t {{s{i}}}> <B> {b} </B> <C> {c} </C> </t>"
-        ))
-        .expect("tuple parses");
+        let t = parse_forest::<NatPoly>(&format!("<t {{s{i}}}> <B> {b} </B> <C> {c} </C> </t>"))
+            .expect("tuple parses");
         let (tree, k) = t.into_iter().next().expect("one tuple");
         s_tuples.insert(tree, k);
     }

@@ -260,15 +260,11 @@ impl<K: Semiring> Query<K> {
     pub fn size(&self) -> usize {
         1 + match &self.node {
             QueryNode::LabelLit(_) | QueryNode::Var(_) | QueryNode::Empty => 0,
-            QueryNode::Singleton(q) | QueryNode::Name(q) | QueryNode::Annot(_, q) => {
-                q.size()
-            }
+            QueryNode::Singleton(q) | QueryNode::Name(q) | QueryNode::Annot(_, q) => q.size(),
             QueryNode::Union(a, b) => a.size() + b.size(),
             QueryNode::For { source, body, .. } => source.size() + body.size(),
             QueryNode::Let { def, body, .. } => def.size() + body.size(),
-            QueryNode::If { l, r, then, els } => {
-                l.size() + r.size() + then.size() + els.size()
-            }
+            QueryNode::If { l, r, then, els } => l.size() + r.size() + then.size() + els.size(),
             QueryNode::Element { name, content } => name.size() + content.size(),
             QueryNode::Path(q, _) => q.size(),
         }

@@ -43,16 +43,12 @@ pub fn compile<K: Semiring>(q: &Query<K>) -> Expr<K> {
             _ => nx::singleton(compile(inner)),
         },
         QueryNode::Union(a, b) => nx::union(compile(a), compile(b)),
-        QueryNode::For { var, source, body } => {
-            nx::bigunion(var, compile(source), compile(body))
-        }
+        QueryNode::For { var, source, body } => nx::bigunion(var, compile(source), compile(body)),
         QueryNode::Let { var, def, body } => nx::let_(var, compile(def), compile(body)),
         QueryNode::If { l, r, then, els } => {
             nx::if_eq(compile(l), compile(r), compile(then), compile(els))
         }
-        QueryNode::Element { name, content } => {
-            nx::tree_expr(compile(name), compile(content))
-        }
+        QueryNode::Element { name, content } => nx::tree_expr(compile(name), compile(content)),
         QueryNode::Name(inner) => nx::tag(compile(inner)),
         QueryNode::Annot(k, inner) => nx::scalar(k.clone(), compile(inner)),
         QueryNode::Path(inner, step) => compile_step(compile(inner), *step),
@@ -169,9 +165,7 @@ mod tests {
         ] {
             let e = compile_src(src);
             let mut ctx = TypeContext::from_bindings(
-                e.free_vars()
-                    .into_iter()
-                    .map(|v| (v, Type::tree_set())),
+                e.free_vars().into_iter().map(|v| (v, Type::tree_set())),
             );
             let ty = typecheck(&e, &mut ctx)
                 .unwrap_or_else(|err| panic!("compiled {src:?} ill-typed: {err}"));
@@ -192,7 +186,9 @@ mod tests {
             "element p { for $t in $S return for $x in ($t)/child::* return ($x)/child::* }",
             &[("S", &src)],
         );
-        let CValue::Tree(t) = out else { panic!("expected tree") };
+        let CValue::Tree(t) = out else {
+            panic!("expected tree")
+        };
         assert_eq!(t.children().get(&leaf("d")), np("z*x1*y1 + z*x2*y2"));
         assert_eq!(t.children().get(&leaf("e")), np("z*x2*y3"));
     }
@@ -226,8 +222,7 @@ mod tests {
         ] {
             let s = parse_query::<NatPoly>(qsrc).unwrap();
             let q = elaborate(&s).unwrap();
-            let direct = crate::eval::eval_with(&q, &[("S", Value::Set(src.clone()))])
-                .unwrap();
+            let direct = crate::eval::eval_with(&q, &[("S", Value::Set(src.clone()))]).unwrap();
             let compiled = eval_with_forests(&compile(&q), &[("S", &src)]).unwrap();
             assert_eq!(
                 CValue::from_uxml(&direct),

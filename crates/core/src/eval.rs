@@ -26,7 +26,11 @@ pub struct EvalError {
 
 impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "UXQuery evaluation error: {} (at `{}`)", self.msg, self.at)
+        write!(
+            f,
+            "UXQuery evaluation error: {} (at `{}`)",
+            self.msg, self.at
+        )
     }
 }
 
@@ -87,10 +91,7 @@ impl<K: Semiring> QueryEnv<K> {
 }
 
 /// Evaluate a typed core query.
-pub fn eval_core<K: Semiring>(
-    q: &Query<K>,
-    env: &mut QueryEnv<K>,
-) -> Result<Value<K>, EvalError> {
+pub fn eval_core<K: Semiring>(q: &Query<K>, env: &mut QueryEnv<K>) -> Result<Value<K>, EvalError> {
     match &q.node {
         QueryNode::LabelLit(l) => Ok(Value::Label(*l)),
         QueryNode::Var(x) => match env.lookup(x) {
@@ -107,9 +108,10 @@ pub fn eval_core<K: Semiring>(
             }
         }
         QueryNode::Union(a, b) => {
-            let va = eval_set(a, env)?;
+            let mut va = eval_set(a, env)?;
             let vb = eval_set(b, env)?;
-            Ok(Value::Set(va.union(&vb)))
+            va.union_with(vb);
+            Ok(Value::Set(va))
         }
         QueryNode::For { var, source, body } => {
             let src = eval_set(source, env)?;
@@ -118,7 +120,9 @@ pub fn eval_core<K: Semiring>(
                 env.push(var, Value::Tree(t.clone()));
                 let inner = eval_set(body, env);
                 env.pop();
-                out = out.union(&inner?.scalar_mul(k));
+                // out += k · inner, reusing the accumulator instead of
+                // rebuilding it (the old out = out ∪ k·inner was O(n²)).
+                out.extend_scaled(inner?, k);
             }
             Ok(Value::Set(out))
         }
@@ -159,8 +163,9 @@ pub fn eval_core<K: Semiring>(
             }
         }
         QueryNode::Annot(k, inner) => {
-            let f = eval_set(inner, env)?;
-            Ok(Value::Set(f.scalar_mul(k)))
+            let mut f = eval_set(inner, env)?;
+            f.scalar_mul_in_place(k);
+            Ok(Value::Set(f))
         }
         QueryNode::Path(inner, step) => {
             let f = eval_set(inner, env)?;
@@ -169,10 +174,7 @@ pub fn eval_core<K: Semiring>(
     }
 }
 
-fn eval_set<K: Semiring>(
-    q: &Query<K>,
-    env: &mut QueryEnv<K>,
-) -> Result<Forest<K>, EvalError> {
+fn eval_set<K: Semiring>(q: &Query<K>, env: &mut QueryEnv<K>) -> Result<Forest<K>, EvalError> {
     match eval_core(q, env)? {
         Value::Set(f) => Ok(f),
         other => err(q, format!("expected a set, got {other}")),
@@ -192,9 +194,36 @@ pub fn eval_step<K: Semiring>(f: &Forest<K>, step: Step) -> Forest<K> {
     match step.axis {
         Axis::SelfAxis => filtered(f.clone()),
         Axis::Child => filtered(f.bind(|t| t.children().clone())),
-        Axis::Descendant => filtered(f.bind(descendant_or_self)),
+        Axis::Descendant => {
+            let mut out = Forest::new();
+            for (t, k) in f.iter() {
+                descend_into(t, k, &mut out);
+            }
+            filtered(out)
+        }
         Axis::StrictDescendant => {
-            filtered(f.bind(|t| t.children().bind(descendant_or_self)))
+            let mut out = Forest::new();
+            for (t, k) in f.iter() {
+                for (c, kc) in t.children().iter() {
+                    descend_into(c, &k.times(kc), &mut out);
+                }
+            }
+            filtered(out)
+        }
+    }
+}
+
+/// Accumulate every subtree of `t` (including `t`) into `out`, each
+/// annotated `k_path ·` the product of annotations along the path from
+/// `t`. One shared accumulator for the whole descendant sweep — the
+/// recursion allocates no intermediate forests.
+fn descend_into<K: Semiring>(t: &Tree<K>, k_path: &K, out: &mut Forest<K>) {
+    out.insert(t.clone(), k_path.clone());
+    for (c, kc) in t.children().iter() {
+        if k_path.is_one() {
+            descend_into(c, kc, out);
+        } else {
+            descend_into(c, &k_path.times(kc), out);
         }
     }
 }
@@ -202,9 +231,8 @@ pub fn eval_step<K: Semiring>(f: &Forest<K>, step: Step) -> Forest<K> {
 /// All subtrees of `t` (including `t`), each annotated with the sum
 /// over occurrences of the product of annotations along the path.
 pub fn descendant_or_self<K: Semiring>(t: &Tree<K>) -> Forest<K> {
-    let mut out = Forest::unit(t.clone());
-    let rec = t.children().bind(descendant_or_self);
-    out = out.union(&rec);
+    let mut out = Forest::new();
+    descend_into(t, &K::one(), &mut out);
     out
 }
 
@@ -214,11 +242,7 @@ pub fn eval_with<K: Semiring>(
     q: &Query<K>,
     inputs: &[(&str, Value<K>)],
 ) -> Result<Value<K>, EvalError> {
-    let mut env = QueryEnv::from_bindings(
-        inputs
-            .iter()
-            .map(|(n, v)| ((*n).to_owned(), v.clone())),
-    );
+    let mut env = QueryEnv::from_bindings(inputs.iter().map(|(n, v)| ((*n).to_owned(), v.clone())));
     eval_core(q, &mut env)
 }
 
@@ -250,7 +274,9 @@ mod tests {
             "element p { for $t in $S return for $x in ($t)/child::* return ($x)/child::* }",
             &[("S", Value::Set(src))],
         );
-        let Value::Tree(t) = out else { panic!("expected tree") };
+        let Value::Tree(t) = out else {
+            panic!("expected tree")
+        };
         assert_eq!(t.label().name(), "p");
         assert_eq!(t.children().get(&leaf("d")), np("z*x1*y1 + z*x2*y2"));
         assert_eq!(t.children().get(&leaf("e")), np("z*x2*y3"));
@@ -337,7 +363,12 @@ mod tests {
         // only the inner c, not the root
         assert_eq!(f.len(), 1);
         assert!(f.contains(
-            &parse_forest::<Nat>("<c> d </c>").unwrap().trees().next().unwrap().clone()
+            &parse_forest::<Nat>("<c> d </c>")
+                .unwrap()
+                .trees()
+                .next()
+                .unwrap()
+                .clone()
         ));
         // paper's descendant includes the root too
         let s2 = parse_query::<Nat>("$S/descendant::c").unwrap();

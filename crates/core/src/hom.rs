@@ -64,10 +64,9 @@ where
         SurfaceExpr::Var(x) => SurfaceExpr::Var(x.clone()),
         SurfaceExpr::Empty => SurfaceExpr::Empty,
         SurfaceExpr::Paren(a) => SurfaceExpr::Paren(Box::new(map_surface(h, a))),
-        SurfaceExpr::Seq(a, b) => SurfaceExpr::Seq(
-            Box::new(map_surface(h, a)),
-            Box::new(map_surface(h, b)),
-        ),
+        SurfaceExpr::Seq(a, b) => {
+            SurfaceExpr::Seq(Box::new(map_surface(h, a)), Box::new(map_surface(h, b)))
+        }
         SurfaceExpr::For {
             binders,
             where_eq,
@@ -77,12 +76,9 @@ where
                 .iter()
                 .map(|(v, s)| (v.clone(), map_surface(h, s)))
                 .collect(),
-            where_eq: where_eq.as_ref().map(|(l, r)| {
-                (
-                    Box::new(map_surface(h, l)),
-                    Box::new(map_surface(h, r)),
-                )
-            }),
+            where_eq: where_eq
+                .as_ref()
+                .map(|(l, r)| (Box::new(map_surface(h, l)), Box::new(map_surface(h, r)))),
             body: Box::new(map_surface(h, body)),
         },
         SurfaceExpr::Let { bindings, body } => SurfaceExpr::Let {
@@ -106,9 +102,7 @@ where
             content: Box::new(map_surface(h, content)),
         },
         SurfaceExpr::Name(a) => SurfaceExpr::Name(Box::new(map_surface(h, a))),
-        SurfaceExpr::Annot(k, a) => {
-            SurfaceExpr::Annot(h.apply(k), Box::new(map_surface(h, a)))
-        }
+        SurfaceExpr::Annot(k, a) => SurfaceExpr::Annot(h.apply(k), Box::new(map_surface(h, a))),
         SurfaceExpr::Path(a, s) => SurfaceExpr::Path(Box::new(map_surface(h, a)), *s),
     }
 }
@@ -143,10 +137,7 @@ mod tests {
         let p = elaborate(&s).unwrap();
         let h = FnHom::new(dup_elim);
 
-        let lhs = map_value(
-            &h,
-            &eval_with(&p, &[("S", Value::Set(v.clone()))]).unwrap(),
-        );
+        let lhs = map_value(&h, &eval_with(&p, &[("S", Value::Set(v.clone()))]).unwrap());
 
         let hp = map_query(&h, &p);
         let hv = axml_uxml::hom::map_forest(&h, &v);
@@ -186,7 +177,9 @@ mod tests {
         let p = elaborate(&s).unwrap();
         let val = Valuation::<Nat>::from_pairs([(Var::new("q"), Nat(5))]);
         let pk = specialize_query(&p, &val);
-        let crate::ast::QueryNode::Annot(k, _) = &pk.node else { panic!() };
+        let crate::ast::QueryNode::Annot(k, _) = &pk.node else {
+            panic!()
+        };
         assert_eq!(*k, Nat(10));
     }
 }

@@ -137,9 +137,7 @@ pub fn run_query<K: Semiring + axml_uxml::ParseAnnotation>(
 /// Commonly used items.
 pub mod prelude {
     pub use crate::ast::{Axis, NodeTest, QType, Query, Step, SurfaceExpr};
-    pub use crate::{
-        compile, elaborate, eval_query, eval_query_nrc, parse_query, run_query,
-    };
+    pub use crate::{compile, elaborate, eval_query, eval_query_nrc, parse_query, run_query};
 }
 
 #[cfg(test)]

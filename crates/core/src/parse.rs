@@ -46,7 +46,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "UXQuery parse error at byte {}: {}", self.offset, self.msg)
+        write!(
+            f,
+            "UXQuery parse error at byte {}: {}",
+            self.offset, self.msg
+        )
     }
 }
 
@@ -61,9 +65,7 @@ impl std::error::Error for ParseError {}
 ///     "element p { for $t in $S return for $x in ($t)/child::* return ($x)/child::* }",
 /// ).unwrap();
 /// ```
-pub fn parse_query<K: Semiring + ParseAnnotation>(
-    src: &str,
-) -> Result<SurfaceExpr<K>, ParseError> {
+pub fn parse_query<K: Semiring + ParseAnnotation>(src: &str) -> Result<SurfaceExpr<K>, ParseError> {
     let mut p = Parser::new(src);
     let q = p.parse_seq()?;
     p.skip_ws();
@@ -205,9 +207,7 @@ impl<'a> Parser<'a> {
 
     // -- grammar ------------------------------------------------------
 
-    fn parse_seq<K: Semiring + ParseAnnotation>(
-        &mut self,
-    ) -> Result<SurfaceExpr<K>, ParseError> {
+    fn parse_seq<K: Semiring + ParseAnnotation>(&mut self) -> Result<SurfaceExpr<K>, ParseError> {
         let mut acc = self.parse_single()?;
         while self.eat(",") {
             let next = self.parse_single()?;
@@ -238,9 +238,7 @@ impl<'a> Parser<'a> {
         self.parse_path()
     }
 
-    fn parse_for<K: Semiring + ParseAnnotation>(
-        &mut self,
-    ) -> Result<SurfaceExpr<K>, ParseError> {
+    fn parse_for<K: Semiring + ParseAnnotation>(&mut self) -> Result<SurfaceExpr<K>, ParseError> {
         let mut binders = Vec::new();
         loop {
             let v = self.expect_var()?;
@@ -272,9 +270,7 @@ impl<'a> Parser<'a> {
         })
     }
 
-    fn parse_let<K: Semiring + ParseAnnotation>(
-        &mut self,
-    ) -> Result<SurfaceExpr<K>, ParseError> {
+    fn parse_let<K: Semiring + ParseAnnotation>(&mut self) -> Result<SurfaceExpr<K>, ParseError> {
         let mut bindings = Vec::new();
         loop {
             let v = self.expect_var()?;
@@ -295,9 +291,7 @@ impl<'a> Parser<'a> {
         })
     }
 
-    fn parse_if<K: Semiring + ParseAnnotation>(
-        &mut self,
-    ) -> Result<SurfaceExpr<K>, ParseError> {
+    fn parse_if<K: Semiring + ParseAnnotation>(&mut self) -> Result<SurfaceExpr<K>, ParseError> {
         self.expect("(")?;
         let l = self.parse_single()?;
         self.expect("=")?;
@@ -319,9 +313,7 @@ impl<'a> Parser<'a> {
         })
     }
 
-    fn parse_path<K: Semiring + ParseAnnotation>(
-        &mut self,
-    ) -> Result<SurfaceExpr<K>, ParseError> {
+    fn parse_path<K: Semiring + ParseAnnotation>(&mut self) -> Result<SurfaceExpr<K>, ParseError> {
         let mut acc = self.parse_primary()?;
         loop {
             self.skip_ws();
@@ -335,9 +327,7 @@ impl<'a> Parser<'a> {
                         test,
                     },
                 );
-            } else if self.rest().starts_with('/')
-                && !self.rest().starts_with("/>")
-            {
+            } else if self.rest().starts_with('/') && !self.rest().starts_with("/>") {
                 self.pos += 1;
                 let step = self.parse_step()?;
                 acc = SurfaceExpr::Path(Box::new(acc), step);
@@ -581,10 +571,14 @@ mod tests {
     #[test]
     fn default_axis_is_child() {
         let q = p("$d/R/*");
-        let SurfaceExpr::Path(inner, s2) = &q else { panic!() };
+        let SurfaceExpr::Path(inner, s2) = &q else {
+            panic!()
+        };
         assert_eq!(s2.axis, Axis::Child);
         assert_eq!(s2.test, NodeTest::Wildcard);
-        let SurfaceExpr::Path(_, s1) = &**inner else { panic!() };
+        let SurfaceExpr::Path(_, s1) = &**inner else {
+            panic!()
+        };
         assert_eq!(s1.test, NodeTest::Label(Label::new("R")));
     }
 
@@ -592,32 +586,42 @@ mod tests {
     fn axis_names_can_be_labels() {
         // `self` not followed by `::` is an ordinary label
         let q = p("$x/self");
-        let SurfaceExpr::Path(_, s) = &q else { panic!() };
+        let SurfaceExpr::Path(_, s) = &q else {
+            panic!()
+        };
         assert_eq!(s.axis, Axis::Child);
         assert_eq!(s.test, NodeTest::Label(Label::new("self")));
         let q2 = p("$x/self::a");
-        let SurfaceExpr::Path(_, s2) = &q2 else { panic!() };
+        let SurfaceExpr::Path(_, s2) = &q2 else {
+            panic!()
+        };
         assert_eq!(s2.axis, Axis::SelfAxis);
     }
 
     #[test]
     fn strict_descendant_extension() {
         let q = p("$x/strict-descendant::c");
-        let SurfaceExpr::Path(_, s) = &q else { panic!() };
+        let SurfaceExpr::Path(_, s) = &q else {
+            panic!()
+        };
         assert_eq!(s.axis, Axis::StrictDescendant);
     }
 
     #[test]
     fn annot_with_braced_polynomial() {
         let q = p("annot {x1 + 2*y} ($t)");
-        let SurfaceExpr::Annot(k, _) = &q else { panic!() };
+        let SurfaceExpr::Annot(k, _) = &q else {
+            panic!()
+        };
         assert_eq!(*k, "x1 + 2*y".parse::<NatPoly>().unwrap());
     }
 
     #[test]
     fn annot_with_nat() {
         let q: SurfaceExpr<Nat> = parse_query("annot {3} (a)").unwrap();
-        let SurfaceExpr::Annot(k, _) = &q else { panic!() };
+        let SurfaceExpr::Annot(k, _) = &q else {
+            panic!()
+        };
         assert_eq!(*k, Nat(3));
     }
 
@@ -631,14 +635,18 @@ mod tests {
     #[test]
     fn sequences_fold_left() {
         let q = p("a, b, c");
-        let SurfaceExpr::Seq(ab, _) = &q else { panic!() };
+        let SurfaceExpr::Seq(ab, _) = &q else {
+            panic!()
+        };
         assert!(matches!(**ab, SurfaceExpr::Seq(..)));
     }
 
     #[test]
     fn element_sugar_nested_and_leaves() {
         let q = p("<t> <A> a </A> b { $x } </t>");
-        let SurfaceExpr::Element { content, .. } = &q else { panic!() };
+        let SurfaceExpr::Element { content, .. } = &q else {
+            panic!()
+        };
         // (((<A>a</A>), b), {$x}) as nested Seq
         assert!(matches!(**content, SurfaceExpr::Seq(..)));
     }
@@ -646,7 +654,9 @@ mod tests {
     #[test]
     fn self_closing_sugar() {
         let q = p("<t/>");
-        let SurfaceExpr::Element { content, .. } = &q else { panic!() };
+        let SurfaceExpr::Element { content, .. } = &q else {
+            panic!()
+        };
         assert_eq!(**content, SurfaceExpr::Empty);
     }
 
@@ -659,7 +669,9 @@ mod tests {
     #[test]
     fn dynamic_element_name() {
         let q = p("element {name($x)} { () }");
-        let SurfaceExpr::Element { name, .. } = &q else { panic!() };
+        let SurfaceExpr::Element { name, .. } = &q else {
+            panic!()
+        };
         assert!(matches!(name, ElementName::Dynamic(_)));
     }
 
@@ -675,7 +687,10 @@ mod tests {
     #[test]
     fn errors_are_positioned() {
         let e = parse_query::<Nat>("for $x in").unwrap_err();
-        assert!(e.msg.contains("end of input") || e.msg.contains("expected"), "{e}");
+        assert!(
+            e.msg.contains("end of input") || e.msg.contains("expected"),
+            "{e}"
+        );
         let e2 = parse_query::<Nat>("<a> b </c>").unwrap_err();
         assert!(e2.msg.contains("mismatched"), "{e2}");
         let e3 = parse_query::<Nat>("if ($x = $y) then a").unwrap_err();

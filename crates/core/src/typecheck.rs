@@ -177,10 +177,7 @@ pub fn elaborate_in<K: Semiring>(
                 ElementName::Dynamic(p) => {
                     let q = elaborate_in(p, ctx)?;
                     if q.ty != QType::Label {
-                        return err(format!(
-                            "element name has type {}, expected label",
-                            q.ty
-                        ));
+                        return err(format!("element name has type {}, expected label", q.ty));
                     }
                     q
                 }
@@ -430,7 +427,9 @@ mod tests {
     #[test]
     fn for_binds_tree() {
         let q = elab("for $t in $S return ($t)");
-        let QueryNode::For { body, .. } = &q.node else { panic!() };
+        let QueryNode::For { body, .. } = &q.node else {
+            panic!()
+        };
         // ($t) with $t : tree elaborates to a singleton
         assert!(matches!(body.node, QueryNode::Singleton(_)));
     }
@@ -438,7 +437,9 @@ mod tests {
     #[test]
     fn multi_binders_nest() {
         let q = elab("for $x in $R, $y in $S return ($x)");
-        let QueryNode::For { var, body, .. } = &q.node else { panic!() };
+        let QueryNode::For { var, body, .. } = &q.node else {
+            panic!()
+        };
         assert_eq!(var, "x");
         assert!(matches!(
             &body.node,
@@ -450,30 +451,49 @@ mod tests {
     fn where_desugars_to_paper_form() {
         let q = elab("for $x in $R, $y in $S where $x/B = $y/B return <t> {()} </t>");
         // for x → for y → for a in x/B/* → for b in y/B/* → if name(a)=name(b)
-        let QueryNode::For { body: y_for, .. } = &q.node else { panic!() };
-        let QueryNode::For { body: a_for, .. } = &y_for.node else { panic!() };
-        let QueryNode::For { source, body: b_for, .. } = &a_for.node else {
+        let QueryNode::For { body: y_for, .. } = &q.node else {
+            panic!()
+        };
+        let QueryNode::For { body: a_for, .. } = &y_for.node else {
+            panic!()
+        };
+        let QueryNode::For {
+            source,
+            body: b_for,
+            ..
+        } = &a_for.node
+        else {
             panic!("expected where-generated for, got {a_for}")
         };
         // source is $x/B/child::*
-        let QueryNode::Path(_, step) = &source.node else { panic!() };
+        let QueryNode::Path(_, step) = &source.node else {
+            panic!()
+        };
         assert_eq!(step.test, NodeTest::Wildcard);
-        let QueryNode::For { body: if_q, .. } = &b_for.node else { panic!() };
+        let QueryNode::For { body: if_q, .. } = &b_for.node else {
+            panic!()
+        };
         assert!(matches!(if_q.node, QueryNode::If { .. }));
     }
 
     #[test]
     fn where_on_labels_uses_if_directly() {
         let q = elab("for $x in $R, $y in $S where name($x) = name($y) return ($x)");
-        let QueryNode::For { body, .. } = &q.node else { panic!() };
-        let QueryNode::For { body: inner, .. } = &body.node else { panic!() };
+        let QueryNode::For { body, .. } = &q.node else {
+            panic!()
+        };
+        let QueryNode::For { body: inner, .. } = &body.node else {
+            panic!()
+        };
         assert!(matches!(inner.node, QueryNode::If { .. }));
     }
 
     #[test]
     fn element_content_coerced() {
         let q = elab("element t { a }");
-        let QueryNode::Element { content, .. } = &q.node else { panic!() };
+        let QueryNode::Element { content, .. } = &q.node else {
+            panic!()
+        };
         // bare label a became singleton(element a {()})
         assert_eq!(content.ty, QType::TreeSet);
         assert!(matches!(content.node, QueryNode::Singleton(_)));
@@ -497,7 +517,9 @@ mod tests {
     fn if_branches_unify_via_sets() {
         // one branch tree, one branch set → both coerced
         let q = elab("for $t in $S return if (name($t) = a) then element x {()} else ()");
-        let QueryNode::For { body, .. } = &q.node else { panic!() };
+        let QueryNode::For { body, .. } = &q.node else {
+            panic!()
+        };
         assert_eq!(body.ty, QType::TreeSet);
     }
 
@@ -511,15 +533,21 @@ mod tests {
     fn path_coerces_tree_source() {
         // ($t)/A with $t : tree — the paper's elided coercion
         let q = elab("for $t in $S return $t/A");
-        let QueryNode::For { body, .. } = &q.node else { panic!() };
-        let QueryNode::Path(src, _) = &body.node else { panic!() };
+        let QueryNode::For { body, .. } = &q.node else {
+            panic!()
+        };
+        let QueryNode::Path(src, _) = &body.node else {
+            panic!()
+        };
         assert!(matches!(src.node, QueryNode::Singleton(_)));
     }
 
     #[test]
     fn let_propagates_types() {
         let q = elab("let $r := $d/R return for $t in $r return ($t)");
-        let QueryNode::Let { def, .. } = &q.node else { panic!() };
+        let QueryNode::Let { def, .. } = &q.node else {
+            panic!()
+        };
         assert_eq!(def.ty, QType::TreeSet);
     }
 

@@ -224,8 +224,7 @@ fn count_uses<K: Semiring>(e: &Expr<K>, x: &str) -> usize {
         Expr::Var(y) => usize::from(y == x),
         Expr::Label(_) | Expr::Empty { .. } => 0,
         Expr::Let { var, def, body } => {
-            count_uses(def, x)
-                + if var == x { 0 } else { count_uses(body, x) }
+            count_uses(def, x) + if var == x { 0 } else { count_uses(body, x) }
         }
         Expr::Pair(a, b) | Expr::Union(a, b) | Expr::Tree(a, b) => {
             count_uses(a, x) + count_uses(b, x)
@@ -237,8 +236,7 @@ fn count_uses<K: Semiring>(e: &Expr<K>, x: &str) -> usize {
         | Expr::Kids(a)
         | Expr::Scalar { body: a, .. } => count_uses(a, x),
         Expr::BigUnion { var, source, body } => {
-            count_uses(source, x)
-                + if var == x { 0 } else { count_uses(body, x) }
+            count_uses(source, x) + if var == x { 0 } else { count_uses(body, x) }
         }
         Expr::IfEq { l, r, then, els } => {
             count_uses(l, x) + count_uses(r, x) + count_uses(then, x) + count_uses(els, x)
@@ -297,9 +295,8 @@ mod tests {
 
     fn assert_same_semantics(e: &E, env_pairs: &[(&str, CValue<Nat>)]) {
         let s = simplify(e);
-        let mut env1 = Env::from_bindings(
-            env_pairs.iter().map(|(n, v)| ((*n).to_owned(), v.clone())),
-        );
+        let mut env1 =
+            Env::from_bindings(env_pairs.iter().map(|(n, v)| ((*n).to_owned(), v.clone())));
         let mut env2 = env1.clone();
         assert_eq!(
             eval(e, &mut env1).unwrap(),
@@ -326,9 +323,10 @@ mod tests {
         let e: E = bigunion("x", var("S"), singleton(var("x")));
         let s = simplify(&e);
         assert_eq!(s, var("S"));
-        let sample = CValue::Set(axml_semiring::KSet::from_pairs([
-            (CValue::label("a"), Nat(2)),
-        ]));
+        let sample = CValue::Set(axml_semiring::KSet::from_pairs([(
+            CValue::label("a"),
+            Nat(2),
+        )]));
         assert_same_semantics(&e, &[("S", sample)]);
     }
 
@@ -430,7 +428,11 @@ mod tests {
                 singleton(var("x")),
             ),
             scalar(Nat(2), union(empty_trees(), var("S"))),
-            let_("a", label("l"), if_eq(var("a"), label("l"), var("T"), var("F"))),
+            let_(
+                "a",
+                label("l"),
+                if_eq(var("a"), label("l"), var("T"), var("F")),
+            ),
         ];
         for e in exprs {
             let once = simplify(&e);

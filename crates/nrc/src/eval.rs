@@ -133,7 +133,10 @@ pub fn eval<K: Semiring>(e: &Expr<K>, env: &mut Env<K>) -> Result<CValue<K>, Eva
             let va = eval(a, env)?;
             let vb = eval(b, env)?;
             match (va, vb) {
-                (CValue::Set(sa), CValue::Set(sb)) => Ok(CValue::Set(sa.union(&sb))),
+                (CValue::Set(mut sa), CValue::Set(sb)) => {
+                    sa.union_with(sb);
+                    Ok(CValue::Set(sa))
+                }
                 (va, vb) => err(e, format!("∪ of non-sets {va:?}, {vb:?}")),
             }
         }
@@ -149,14 +152,10 @@ pub fn eval<K: Semiring>(e: &Expr<K>, env: &mut Env<K>) -> Result<CValue<K>, Eva
                 let inner = eval(body, env);
                 env.pop();
                 match inner? {
-                    CValue::Set(si) => {
-                        for (u, ki) in si {
-                            out.insert(u, k.times(&ki));
-                        }
-                    }
-                    other => {
-                        return err(e, format!("big-union body is not a set: {other:?}"))
-                    }
+                    // out += k · si with a reused accumulator (and no
+                    // per-item product when k = 1, the common case).
+                    CValue::Set(si) => out.extend_scaled(si, k),
+                    other => return err(e, format!("big-union body is not a set: {other:?}")),
                 }
             }
             Ok(CValue::Set(out))
@@ -176,7 +175,10 @@ pub fn eval<K: Semiring>(e: &Expr<K>, env: &mut Env<K>) -> Result<CValue<K>, Eva
             }
         }
         Expr::Scalar { k, body } => match eval(body, env)? {
-            CValue::Set(s) => Ok(CValue::Set(s.scalar_mul(k))),
+            CValue::Set(mut s) => {
+                s.scalar_mul_in_place(k);
+                Ok(CValue::Set(s))
+            }
             other => err(e, format!("scalar annotation on non-set {other:?}")),
         },
         Expr::Tree(lab, children) => {
@@ -270,10 +272,7 @@ mod tests {
         let e: E = pair(label("a"), label("b"));
         let v = eval_closed(&e).unwrap();
         assert_eq!(v, CValue::pair(CValue::label("a"), CValue::label("b")));
-        assert_eq!(
-            eval_closed(&proj1(e.clone())).unwrap(),
-            CValue::label("a")
-        );
+        assert_eq!(eval_closed(&proj1(e.clone())).unwrap(), CValue::label("a"));
         assert_eq!(eval_closed(&proj2(e)).unwrap(), CValue::label("b"));
     }
 
@@ -303,12 +302,19 @@ mod tests {
 
     #[test]
     fn conditional_takes_right_branch() {
-        let t: E = if_eq(label("a"), label("a"), singleton(label("y")), empty(Type::Label));
-        assert_eq!(
-            eval_closed(&t).unwrap().as_set().unwrap().support_len(),
-            1
+        let t: E = if_eq(
+            label("a"),
+            label("a"),
+            singleton(label("y")),
+            empty(Type::Label),
         );
-        let f: E = if_eq(label("a"), label("b"), singleton(label("y")), empty(Type::Label));
+        assert_eq!(eval_closed(&t).unwrap().as_set().unwrap().support_len(), 1);
+        let f: E = if_eq(
+            label("a"),
+            label("b"),
+            singleton(label("y")),
+            empty(Type::Label),
+        );
         assert!(eval_closed(&f).unwrap().as_set().unwrap().is_empty());
     }
 
@@ -331,10 +337,7 @@ mod tests {
             scalar(r, singleton(label("b"))),
         );
         let inner2: E = scalar(s, singleton(label("b")));
-        let outer: E = union(
-            scalar(u, singleton(inner1)),
-            scalar(v, singleton(inner2)),
-        );
+        let outer: E = union(scalar(u, singleton(inner1)), scalar(v, singleton(inner2)));
         let v_out = eval_closed(&flatten(outer)).unwrap();
         let set = v_out.as_set().unwrap();
         assert_eq!(set.get(&CValue::label("a")), u.times(&p));
@@ -344,8 +347,7 @@ mod tests {
     #[test]
     fn srt_atoms_of_tree() {
         // (srt(x, y). {x} ∪ flatten y) t returns the set of labels in t.
-        let f = parse_forest::<NatPoly>("<a {z}> <b {x1}> d {y1} </b> c {x2} </a>")
-            .unwrap();
+        let f = parse_forest::<NatPoly>("<a {z}> <b {x1}> d {y1} </b> c {x2} </a>").unwrap();
         let t = f.trees().next().unwrap().clone();
         let body = union(singleton(var("x")), flatten(var("y")));
         let e = srt("x", "y", Type::Label.set_of(), body, var("t"));
@@ -366,13 +368,7 @@ mod tests {
         let f = parse_forest::<Nat>("<a> b {2} b {3} </a>").unwrap();
         // note: the parser already merges; build explicitly to be sure
         let t = f.trees().next().unwrap().clone();
-        let e = srt(
-            "x",
-            "y",
-            Type::Label.set_of(),
-            flatten(var("y")),
-            var("t"),
-        );
+        let e = srt("x", "y", Type::Label.set_of(), flatten(var("y")), var("t"));
         let mut env = Env::from_bindings([("t".into(), CValue::Tree(t))]);
         // children: b^5 → recursive result for b = flatten {} = {};
         // wait: leaves have body = flatten y = {} so result {}^5 merged;
@@ -386,10 +382,7 @@ mod tests {
         let f = parse_forest::<Nat>("a {2} b").unwrap();
         let e: Expr<Nat> = bigunion("x", var("S"), singleton(var("x")));
         let v = eval_with_forests(&e, &[("S", &f)]).unwrap();
-        assert_eq!(
-            v.as_set().unwrap().get(&CValue::Tree(leaf("a"))),
-            Nat(2)
-        );
+        assert_eq!(v.as_set().unwrap().get(&CValue::Tree(leaf("a"))), Nat(2));
     }
 
     #[test]

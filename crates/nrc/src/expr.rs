@@ -206,13 +206,7 @@ pub fn kids<K: Semiring>(e: Expr<K>) -> Expr<K> {
 
 /// Structural recursion `(srt(x, y). body) target` with declared
 /// result type `t` (see [`Expr::Srt`]).
-pub fn srt<K: Semiring>(
-    x: &str,
-    y: &str,
-    result: Type,
-    body: Expr<K>,
-    target: Expr<K>,
-) -> Expr<K> {
+pub fn srt<K: Semiring>(x: &str, y: &str, result: Type, body: Expr<K>, target: Expr<K>) -> Expr<K> {
     Expr::Srt {
         label_var: x.to_owned(),
         acc_var: y.to_owned(),
@@ -392,8 +386,7 @@ impl<K: Semiring> Expr<K> {
                     }
                 } else {
                     let efv = e.free_vars();
-                    let (lv, av, body) = if efv.contains(label_var) || efv.contains(acc_var)
-                    {
+                    let (lv, av, body) = if efv.contains(label_var) || efv.contains(acc_var) {
                         let lv = fresh_name(label_var);
                         let av = fresh_name(acc_var);
                         let b = body
@@ -420,9 +413,7 @@ impl<K: Semiring> Expr<K> {
         match self {
             Expr::Label(_) | Expr::Var(_) | Expr::Empty { .. } => 1,
             Expr::Let { def, body, .. } => 1 + def.size() + body.size(),
-            Expr::Pair(a, b) | Expr::Union(a, b) | Expr::Tree(a, b) => {
-                1 + a.size() + b.size()
-            }
+            Expr::Pair(a, b) | Expr::Union(a, b) | Expr::Tree(a, b) => 1 + a.size() + b.size(),
             Expr::Proj1(e)
             | Expr::Proj2(e)
             | Expr::Singleton(e)
@@ -430,9 +421,7 @@ impl<K: Semiring> Expr<K> {
             | Expr::Kids(e)
             | Expr::Scalar { body: e, .. } => 1 + e.size(),
             Expr::BigUnion { source, body, .. } => 1 + source.size() + body.size(),
-            Expr::IfEq { l, r, then, els } => {
-                1 + l.size() + r.size() + then.size() + els.size()
-            }
+            Expr::IfEq { l, r, then, els } => 1 + l.size() + r.size() + then.size() + els.size(),
             Expr::Srt { body, target, .. } => 1 + body.size() + target.size(),
         }
     }
@@ -468,10 +457,7 @@ impl<K: Semiring> fmt::Display for Expr<K> {
                 result,
                 body,
                 target,
-            } => write!(
-                f,
-                "(srt({label_var}, {acc_var}):{result}. {body}) {target}"
-            ),
+            } => write!(f, "(srt({label_var}, {acc_var}):{result}. {body}) {target}"),
         }
     }
 }
@@ -523,7 +509,11 @@ mod tests {
         // outer free x in source replaced; bound body occurrence kept
         let r = e.subst("x", &var("R"));
         match r {
-            Expr::BigUnion { var: v, source, body } => {
+            Expr::BigUnion {
+                var: v,
+                source,
+                body,
+            } => {
                 assert_eq!(*source, Expr::Var("R".into()));
                 assert_eq!(*body, singleton(Expr::Var(v)));
             }
@@ -555,11 +545,13 @@ mod tests {
     fn display_is_calculus_style() {
         let e: E = bigunion("x", var("R"), singleton(var("x")));
         assert_eq!(e.to_string(), "∪(x ∈ R) {x}");
-        let e2: E = if_eq(tag(var("t")), label("a"), singleton(var("t")), empty_trees());
-        assert_eq!(
-            e2.to_string(),
-            "if tag(t) = 'a' then {t} else {}:tree"
+        let e2: E = if_eq(
+            tag(var("t")),
+            label("a"),
+            singleton(var("t")),
+            empty_trees(),
         );
+        assert_eq!(e2.to_string(), "if tag(t) = 'a' then {t} else {}:tree");
     }
 
     #[test]

@@ -33,9 +33,7 @@ where
         Expr::Proj2(a) => Expr::Proj2(Box::new(map_expr(h, a))),
         Expr::Empty { elem } => Expr::Empty { elem: elem.clone() },
         Expr::Singleton(a) => Expr::Singleton(Box::new(map_expr(h, a))),
-        Expr::Union(a, b) => {
-            Expr::Union(Box::new(map_expr(h, a)), Box::new(map_expr(h, b)))
-        }
+        Expr::Union(a, b) => Expr::Union(Box::new(map_expr(h, a)), Box::new(map_expr(h, b))),
         Expr::BigUnion { var, source, body } => Expr::BigUnion {
             var: var.clone(),
             source: Box::new(map_expr(h, source)),

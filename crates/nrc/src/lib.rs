@@ -54,8 +54,8 @@ pub mod types;
 pub mod value;
 
 pub use eval::{eval, eval_closed, Env, EvalError};
-pub use parse::{parse_expr, parse_type};
 pub use expr::Expr;
+pub use parse::{parse_expr, parse_type};
 pub use typecheck::{typecheck, typecheck_closed, TypeContext, TypeError};
 pub use types::Type;
 pub use value::CValue;

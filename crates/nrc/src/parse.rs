@@ -225,7 +225,11 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         // big-union: ∪(x ∈ e) e  /  U(x in e) e
         if self.rest().starts_with("∪(") || self.rest().starts_with("U(") {
-            let sigil = if self.rest().starts_with('∪') { "∪" } else { "U" };
+            let sigil = if self.rest().starts_with('∪') {
+                "∪"
+            } else {
+                "U"
+            };
             self.expect(sigil)?;
             self.expect("(")?;
             let x = self
@@ -320,10 +324,7 @@ impl<'a> Parser<'a> {
 
         // projections and observers
         for (names, build) in [
-            (
-                &["π1", "p1"][..],
-                expr::proj1 as fn(Expr<K>) -> Expr<K>,
-            ),
+            (&["π1", "p1"][..], expr::proj1 as fn(Expr<K>) -> Expr<K>),
             (&["π2", "p2"][..], expr::proj2 as fn(Expr<K>) -> Expr<K>),
             (&["tag"][..], expr::tag as fn(Expr<K>) -> Expr<K>),
             (&["kids"][..], expr::kids as fn(Expr<K>) -> Expr<K>),
@@ -439,10 +440,7 @@ mod tests {
     #[test]
     fn parse_basics() {
         let e = parse_expr::<Nat>("∪(x ∈ R) {π1(x)}").unwrap();
-        assert_eq!(
-            e,
-            bigunion("x", var("R"), singleton(proj1(var("x"))))
-        );
+        assert_eq!(e, bigunion("x", var("R"), singleton(proj1(var("x")))));
         let e2 = parse_expr::<Nat>("U(x in R) {p1(x)}").unwrap();
         assert_eq!(e, e2, "ASCII spellings accepted");
     }
@@ -473,7 +471,12 @@ mod tests {
             empty(Type::pair_of(Type::Label, Type::tree_set())),
             union(singleton(label("a")), empty(Type::Label)),
             bigunion("x", var("R"), singleton(var("x"))),
-            if_eq(tag(var("t")), label("a"), singleton(var("t")), empty(Type::Tree)),
+            if_eq(
+                tag(var("t")),
+                label("a"),
+                singleton(var("t")),
+                empty(Type::Tree),
+            ),
             scalar(Nat(3), singleton(label("a"))),
             tree_expr(label("a"), empty(Type::Tree)),
             kids(var("t")),
@@ -482,7 +485,10 @@ mod tests {
                 "b",
                 "s",
                 Type::pair_of(Type::tree_set(), Type::Tree),
-                pair(bigunion("v", var("s"), proj1(var("v"))), tree_expr(var("b"), empty(Type::Tree))),
+                pair(
+                    bigunion("v", var("s"), proj1(var("v"))),
+                    tree_expr(var("b"), empty(Type::Tree)),
+                ),
                 var("t"),
             ),
             flatten(var("W")),

@@ -119,10 +119,7 @@ pub fn select<K: Semiring>(r: Expr<K>, pred: &Pred, arity: usize) -> Expr<K> {
     let x = expr::fresh_name("x");
     let (l, rhs) = match pred {
         Pred::EqConst(i, name) => (col(expr::var(&x), *i, arity), expr::label(name)),
-        Pred::EqCols(i, j) => (
-            col(expr::var(&x), *i, arity),
-            col(expr::var(&x), *j, arity),
-        ),
+        Pred::EqCols(i, j) => (col(expr::var(&x), *i, arity), col(expr::var(&x), *j, arity)),
     };
     // NB: the `{}` in the else-branch is label-tuple-typed; we use the
     // tuple type's emptiness by building Empty with a best-effort elem
@@ -133,22 +130,12 @@ pub fn select<K: Semiring>(r: Expr<K>, pred: &Pred, arity: usize) -> Expr<K> {
     expr::bigunion(
         &x,
         r,
-        expr::if_eq(
-            l,
-            rhs,
-            expr::singleton(expr::var(&x)),
-            expr::empty(elem_ty),
-        ),
+        expr::if_eq(l, rhs, expr::singleton(expr::var(&x)), expr::empty(elem_ty)),
     )
 }
 
 /// `R × S`: cartesian product (tuples concatenate).
-pub fn product<K: Semiring>(
-    r: Expr<K>,
-    arity_r: usize,
-    s: Expr<K>,
-    arity_s: usize,
-) -> Expr<K> {
+pub fn product<K: Semiring>(r: Expr<K>, arity_r: usize, s: Expr<K>, arity_s: usize) -> Expr<K> {
     let x = expr::fresh_name("x");
     let y = expr::fresh_name("y");
     let mut cols_out = Vec::with_capacity(arity_r + arity_s);
@@ -192,13 +179,8 @@ mod tests {
         s.parse().unwrap()
     }
 
-    fn eval_rel<K: Semiring>(
-        e: &Expr<K>,
-        rels: &[(&str, CValue<K>)],
-    ) -> CValue<K> {
-        let mut env = Env::from_bindings(
-            rels.iter().map(|(n, v)| ((*n).to_owned(), v.clone())),
-        );
+    fn eval_rel<K: Semiring>(e: &Expr<K>, rels: &[(&str, CValue<K>)]) -> CValue<K> {
+        let mut env = Env::from_bindings(rels.iter().map(|(n, v)| ((*n).to_owned(), v.clone())));
         eval(e, &mut env).expect("well-typed RA encoding evaluates")
     }
 
@@ -215,10 +197,7 @@ mod tests {
 
     #[test]
     fn col_accessors_typecheck() {
-        let mut ctx = TypeContext::from_bindings([(
-            "R".to_owned(),
-            tuple_type(3).set_of(),
-        )]);
+        let mut ctx = TypeContext::from_bindings([("R".to_owned(), tuple_type(3).set_of())]);
         for i in 0..3 {
             let e: Expr<Nat> = project(expr::var("R"), &[i], 3);
             assert!(
@@ -237,10 +216,8 @@ mod tests {
             (vec!["d", "b", "e"], np("x2")),
             (vec!["f", "g", "e"], np("x3")),
         ]);
-        let s = encode_relation::<NatPoly>(&[
-            (vec!["b", "c"], np("x4")),
-            (vec!["g", "c"], np("x5")),
-        ]);
+        let s =
+            encode_relation::<NatPoly>(&[(vec!["b", "c"], np("x4")), (vec!["g", "c"], np("x5"))]);
 
         let pi_ab = project(expr::var("R"), &[0, 1], 3); // (A,B)
         let pi_bc = project(expr::var("R"), &[1, 2], 3); // (B,C)
@@ -268,10 +245,7 @@ mod tests {
 
     #[test]
     fn select_const_filters_with_annotations() {
-        let r = encode_relation::<Nat>(&[
-            (vec!["a", "x"], Nat(2)),
-            (vec!["b", "x"], Nat(3)),
-        ]);
+        let r = encode_relation::<Nat>(&[(vec!["a", "x"], Nat(2)), (vec!["b", "x"], Nat(3))]);
         let q = select(expr::var("R"), &Pred::EqConst(0, "a".into()), 2);
         let out = eval_rel(&q, &[("R", r)]);
         let rows = decode_relation(&out, 2).unwrap();
@@ -293,10 +267,7 @@ mod tests {
     #[test]
     fn projection_merges_with_plus() {
         // bag semantics: projecting away a distinguishing column sums
-        let r = encode_relation::<Nat>(&[
-            (vec!["a", "1"], Nat(2)),
-            (vec!["a", "2"], Nat(3)),
-        ]);
+        let r = encode_relation::<Nat>(&[(vec!["a", "1"], Nat(2)), (vec!["a", "2"], Nat(3))]);
         let q = project(expr::var("R"), &[0], 2);
         let out = eval_rel(&q, &[("R", r)]);
         let rows = decode_relation(&out, 1).unwrap();

@@ -78,10 +78,7 @@ pub fn typecheck_closed<K: Semiring>(e: &Expr<K>) -> Result<Type, TypeError> {
 }
 
 /// Typecheck `e` in context `ctx`, returning its type.
-pub fn typecheck<K: Semiring>(
-    e: &Expr<K>,
-    ctx: &mut TypeContext,
-) -> Result<Type, TypeError> {
+pub fn typecheck<K: Semiring>(e: &Expr<K>, ctx: &mut TypeContext) -> Result<Type, TypeError> {
     match e {
         Expr::Label(_) => Ok(Type::Label),
         Expr::Var(x) => match ctx.lookup(x) {
@@ -166,7 +163,10 @@ pub fn typecheck<K: Semiring>(
             }
             let tc = typecheck(children, ctx)?;
             if tc != Type::tree_set() {
-                return err(e, format!("Tree children have type {tc}, expected {{tree}}"));
+                return err(
+                    e,
+                    format!("Tree children have type {tc}, expected {{tree}}"),
+                );
             }
             Ok(Type::Tree)
         }
@@ -228,10 +228,7 @@ mod tests {
     #[test]
     fn basic_types() {
         assert_eq!(check(&label("a")).unwrap(), Type::Label);
-        assert_eq!(
-            check(&singleton(label("a"))).unwrap(),
-            Type::Label.set_of()
-        );
+        assert_eq!(check(&singleton(label("a"))).unwrap(), Type::Label.set_of());
         assert_eq!(check(&empty_trees::<Nat>()).unwrap(), Type::tree_set());
         assert_eq!(
             check(&pair(label("a"), label("b"))).unwrap(),
@@ -276,7 +273,12 @@ mod tests {
 
     #[test]
     fn conditional_only_compares_labels() {
-        let ok: E = if_eq(label("a"), label("b"), singleton(label("c")), empty(Type::Label));
+        let ok: E = if_eq(
+            label("a"),
+            label("b"),
+            singleton(label("c")),
+            empty(Type::Label),
+        );
         assert!(check(&ok).is_ok());
         // comparing sets is rejected — the positivity restriction
         let bad: E = if_eq(
@@ -327,7 +329,10 @@ mod tests {
         // body type {tree} × tree as in the descendant compilation
         let mut ctx = TypeContext::from_bindings([("t".to_owned(), Type::Tree)]);
         let ty = Type::pair_of(Type::tree_set(), Type::Tree);
-        let self_tree: E = tree_expr(var("b"), bigunion("x", var("s"), singleton(proj2(var("x")))));
+        let self_tree: E = tree_expr(
+            var("b"),
+            bigunion("x", var("s"), singleton(proj2(var("x")))),
+        );
         let matches: E = bigunion("x", var("s"), proj1(var("x")));
         let body: E = pair(union(matches, singleton(self_tree.clone())), self_tree);
         let e: E = srt("b", "s", ty.clone(), body, var("t"));

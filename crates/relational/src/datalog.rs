@@ -205,7 +205,12 @@ pub fn eval_datalog_capped<K: Semiring>(
             .map(|(p, &n)| (p.clone(), KRelation::new(anon_schema(n))))
             .collect();
         for rule in &prog.rules {
-            apply_rule(rule, edb, &idb, next.get_mut(&rule.head.pred).expect("idb pred"))?;
+            apply_rule(
+                rule,
+                edb,
+                &idb,
+                next.get_mut(&rule.head.pred).expect("idb pred"),
+            )?;
         }
         if next == idb {
             let mut out = edb.clone();
@@ -249,12 +254,8 @@ fn search<K: Semiring>(
     out: &mut KRelation<K>,
 ) -> Result<(), DatalogError> {
     if i == rule.body.len() {
-        let tuple: Result<Tuple, DatalogError> = rule
-            .head
-            .args
-            .iter()
-            .map(|t| ground(t, subst))
-            .collect();
+        let tuple: Result<Tuple, DatalogError> =
+            rule.head.args.iter().map(|t| ground(t, subst)).collect();
         out.insert(tuple?, ann);
         return Ok(());
     }
@@ -375,7 +376,9 @@ mod tests {
         ]);
         let out = eval_datalog(&prog, &db).unwrap();
         assert_eq!(
-            out.get("T").unwrap().get(&vec![RelValue::Node(1), RelValue::Node(2)]),
+            out.get("T")
+                .unwrap()
+                .get(&vec![RelValue::Node(1), RelValue::Node(2)]),
             np("p + q")
         );
     }

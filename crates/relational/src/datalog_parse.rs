@@ -30,7 +30,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "datalog parse error at byte {}: {}", self.offset, self.msg)
+        write!(
+            f,
+            "datalog parse error at byte {}: {}",
+            self.offset, self.msg
+        )
     }
 }
 
@@ -169,9 +173,7 @@ impl<'a> Parser<'a> {
         let r = self.rest();
         // number → node id
         if r.starts_with(|c: char| c.is_ascii_digit()) {
-            let end = r
-                .find(|c: char| !c.is_ascii_digit())
-                .unwrap_or(r.len());
+            let end = r.find(|c: char| !c.is_ascii_digit()).unwrap_or(r.len());
             let n: u64 = r[..end].parse().map_err(|_| self.err("number too large"))?;
             self.pos += end;
             return Ok(Term::Const(RelValue::Node(n)));
@@ -233,14 +235,8 @@ mod tests {
 
         // run it over an annotated edge relation
         let mut e = KRelation::new(Schema::new(["s", "d"]));
-        e.insert(
-            vec![RelValue::Node(1), RelValue::Node(2)],
-            np("dp_a"),
-        );
-        e.insert(
-            vec![RelValue::Node(2), RelValue::Node(3)],
-            np("dp_b"),
-        );
+        e.insert(vec![RelValue::Node(1), RelValue::Node(2)], np("dp_a"));
+        e.insert(vec![RelValue::Node(2), RelValue::Node(3)], np("dp_b"));
         let db = Database::new().with("E", e);
         let out = eval_datalog(&prog, &db).unwrap();
         assert_eq!(
@@ -259,10 +255,7 @@ mod tests {
         )
         .unwrap();
         let r2 = &prog.rules[1];
-        assert_eq!(
-            r2.head.args[0],
-            Term::Const(RelValue::Node(0))
-        );
+        assert_eq!(r2.head.args[0], Term::Const(RelValue::Node(0)));
         assert!(matches!(&r2.head.args[1], Term::Skolem(f, _) if f == "f"));
         assert_eq!(r2.head.args[2], Term::Const(RelValue::label("c")));
     }
@@ -271,8 +264,12 @@ mod tests {
     fn anonymous_vars_are_fresh() {
         let prog = parse_program("P(X) :- E(X, _), F(X, _).").unwrap();
         let body = &prog.rules[0].body;
-        let Term::Var(a) = &body[0].args[1] else { panic!() };
-        let Term::Var(b) = &body[1].args[1] else { panic!() };
+        let Term::Var(a) = &body[0].args[1] else {
+            panic!()
+        };
+        let Term::Var(b) = &body[1].args[1] else {
+            panic!()
+        };
         assert_ne!(a, b, "each _ must be a distinct variable");
     }
 

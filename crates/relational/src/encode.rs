@@ -17,9 +17,7 @@
 
 use crate::krel::KRelation;
 use crate::ra::{Database, RaExpr};
-use axml_core::ast::{
-    Axis, ElementName, NodeTest, Step, SurfaceExpr,
-};
+use axml_core::ast::{Axis, ElementName, NodeTest, Step, SurfaceExpr};
 use axml_semiring::Semiring;
 use axml_uxml::{Forest, Label, Tree};
 use std::fmt;
@@ -31,10 +29,7 @@ pub fn encode_relation<K: Semiring>(rel: &KRelation<K>) -> Forest<K> {
         let mut fields = Forest::new();
         for (attr, value) in rel.schema().attrs().iter().zip(tuple.iter()) {
             let leaf = Tree::leaf(Label::new(&value.to_string()));
-            fields.insert(
-                Tree::new(Label::new(attr), Forest::unit(leaf)),
-                K::one(),
-            );
+            fields.insert(Tree::new(Label::new(attr), Forest::unit(leaf)), K::one());
         }
         out.insert(Tree::new("t", fields), k.clone());
     }
@@ -121,7 +116,10 @@ pub fn decode_relation<K: Semiring>(
 /// Translate an RA⁺ expression into a K-UXQuery over the encoded
 /// database bound to `$d`. The result query produces the forest of
 /// `t`-nodes encoding the result relation (annotations included).
-pub fn ra_to_uxquery<K: Semiring>(e: &RaExpr, db: &Database<K>) -> Result<SurfaceExpr<K>, DecodeError> {
+pub fn ra_to_uxquery<K: Semiring>(
+    e: &RaExpr,
+    db: &Database<K>,
+) -> Result<SurfaceExpr<K>, DecodeError> {
     let (q, _schema) = translate(e, db)?;
     Ok(q)
 }
@@ -141,12 +139,8 @@ fn translate<K: Semiring>(
         static C: AtomicU64 = AtomicU64::new(0);
         format!("{hint}%r{}", C.fetch_add(1, Ordering::Relaxed))
     };
-    let path = |e: S<K>, axis: Axis, test: NodeTest| {
-        S::Path(Box::new(e), Step { axis, test })
-    };
-    let child = |e: S<K>, name: &str| {
-        path(e, Axis::Child, NodeTest::Label(Label::new(name)))
-    };
+    let path = |e: S<K>, axis: Axis, test: NodeTest| S::Path(Box::new(e), Step { axis, test });
+    let child = |e: S<K>, name: &str| path(e, Axis::Child, NodeTest::Label(Label::new(name)));
     let kids = |e: S<K>| path(e, Axis::Child, NodeTest::Wildcard);
     let var = |x: &str| S::Var(x.to_owned());
     // rebuild <t>{ $x/A1, …, $y/B1, … }</t> from attr sources
@@ -213,10 +207,7 @@ fn translate<K: Semiring>(
             // for $t in src return for $a in $t/attr/* return
             //   if (name($a) = value) then ($t) else ()
             let inner = S::For {
-                binders: vec![(
-                    a.clone(),
-                    kids(child(S::Paren(Box::new(var(&t))), attr)),
-                )],
+                binders: vec![(a.clone(), kids(child(S::Paren(Box::new(var(&t))), attr)))],
                 where_eq: None,
                 body: Box::new(S::If {
                     l: Box::new(S::Name(Box::new(var(&a)))),
@@ -255,13 +246,8 @@ fn translate<K: Semiring>(
         RaExpr::Join(l, r) => {
             let (ql, sl) = translate(l, db)?;
             let (qr, sr) = translate(r, db)?;
-            let common: Vec<String> =
-                sl.iter().filter(|a| sr.contains(a)).cloned().collect();
-            let r_only: Vec<String> = sr
-                .iter()
-                .filter(|a| !common.contains(a))
-                .cloned()
-                .collect();
+            let common: Vec<String> = sl.iter().filter(|a| sr.contains(a)).cloned().collect();
+            let r_only: Vec<String> = sr.iter().filter(|a| !common.contains(a)).cloned().collect();
             let mut out_schema = sl.clone();
             out_schema.extend(r_only.iter().cloned());
 
@@ -271,11 +257,7 @@ fn translate<K: Semiring>(
                 .iter()
                 .map(|a| child(S::Paren(Box::new(var(&x))), a))
                 .collect();
-            parts.extend(
-                r_only
-                    .iter()
-                    .map(|a| child(S::Paren(Box::new(var(&y))), a)),
-            );
+            parts.extend(r_only.iter().map(|a| child(S::Paren(Box::new(var(&y))), a)));
             // innermost body
             let mut body = S::Paren(Box::new(t_node(parts)));
             // one where-style equality wrapper per common attribute,
@@ -284,16 +266,10 @@ fn translate<K: Semiring>(
                 let a = fresh("a");
                 let b = fresh("b");
                 body = S::For {
-                    binders: vec![(
-                        a.clone(),
-                        kids(child(S::Paren(Box::new(var(&x))), attr)),
-                    )],
+                    binders: vec![(a.clone(), kids(child(S::Paren(Box::new(var(&x))), attr)))],
                     where_eq: None,
                     body: Box::new(S::For {
-                        binders: vec![(
-                            b.clone(),
-                            kids(child(S::Paren(Box::new(var(&y))), attr)),
-                        )],
+                        binders: vec![(b.clone(), kids(child(S::Paren(Box::new(var(&y))), attr)))],
                         where_eq: None,
                         body: Box::new(S::If {
                             l: Box::new(S::Name(Box::new(var(&a)))),
@@ -333,10 +309,7 @@ fn translate<K: Semiring>(
                         // element NEW { $t/OLD/* } — rebuild under the new name
                         S::Element {
                             name: ElementName::Static(Label::new(new)),
-                            content: Box::new(kids(child(
-                                S::Paren(Box::new(var(&t))),
-                                old,
-                            ))),
+                            content: Box::new(kids(child(S::Paren(Box::new(var(&t))), old))),
                         }
                     }
                 })
@@ -387,7 +360,9 @@ mod tests {
         let v = encode_database(db);
         let uxq = ra_to_uxquery(q, db).expect("translates");
         let out = eval_query(&uxq, &[("d", Value::Set(v))]).expect("UXQuery evaluates");
-        let Value::Set(forest) = out else { panic!("expected a set") };
+        let Value::Set(forest) = out else {
+            panic!("expected a set")
+        };
         let attrs: Vec<&str> = expected
             .schema()
             .attrs()
@@ -412,28 +387,21 @@ mod tests {
         check_prop1(&RaExpr::rel("R").project(["A"]), &db);
         check_prop1(&RaExpr::rel("R").project(["B", "C"]), &db);
         check_prop1(&RaExpr::rel("R").select_label("B", "b"), &db);
-        check_prop1(
-            &RaExpr::rel("R").select_label("B", "nonexistent"),
-            &db,
-        );
+        check_prop1(&RaExpr::rel("R").select_label("B", "nonexistent"), &db);
     }
 
     #[test]
     fn prop1_join_on_two_attrs() {
         let db = fig5_db();
         // R ⋈ R' where R' = ρ duplicates — join on B and C simultaneously
-        let q = RaExpr::rel("R")
-            .project(["B", "C"])
-            .join(RaExpr::rel("S"));
+        let q = RaExpr::rel("R").project(["B", "C"]).join(RaExpr::rel("S"));
         check_prop1(&q, &db);
     }
 
     #[test]
     fn prop1_rename_and_union() {
         let db = fig5_db();
-        let q = RaExpr::rel("R")
-            .project(["B", "C"])
-            .union(RaExpr::rel("S"));
+        let q = RaExpr::rel("R").project(["B", "C"]).union(RaExpr::rel("S"));
         check_prop1(&q, &db);
         check_prop1(&RaExpr::rel("S").rename("B", "X"), &db);
     }
@@ -443,10 +411,7 @@ mod tests {
         // build a relation with two comparable columns
         let r = KRelation::from_label_rows(
             Schema::new(["A", "B"]),
-            [
-                (vec!["u", "u"], np("k1")),
-                (vec!["u", "w"], np("k2")),
-            ],
+            [(vec!["u", "u"], np("k1")), (vec!["u", "w"], np("k2"))],
         );
         let db = Database::new().with("T", r);
         check_prop1(&RaExpr::rel("T").select_eq("A", "B"), &db);

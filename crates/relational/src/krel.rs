@@ -156,6 +156,13 @@ impl<K: Semiring> KRelation<K> {
         self.rows.get(tuple)
     }
 
+    /// Pointwise union in place, consuming `other` (annotations add).
+    /// Schemas must agree; callers check and report, this asserts.
+    pub fn union_with(&mut self, other: KRelation<K>) {
+        assert_eq!(self.schema, other.schema, "union of incompatible schemas");
+        self.rows.union_with(other.rows);
+    }
+
     /// Annotation lookup by labels (convenience).
     pub fn get_labels(&self, cols: &[&str]) -> K {
         let tuple: Tuple = cols.iter().map(|c| RelValue::label(c)).collect();
@@ -248,10 +255,7 @@ mod tests {
 
     #[test]
     fn skolem_values_display() {
-        let v = RelValue::Skolem(
-            "f".into(),
-            vec![RelValue::Node(2), RelValue::label("c")],
-        );
+        let v = RelValue::Skolem("f".into(), vec![RelValue::Node(2), RelValue::label("c")]);
         assert_eq!(v.to_string(), "f(2,c)");
     }
 

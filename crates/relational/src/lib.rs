@@ -33,6 +33,5 @@ pub use encode::{encode_database, encode_relation, ra_to_uxquery};
 pub use krel::{KRelation, RelValue, Schema, Tuple};
 pub use ra::{eval_ra, Database, RaExpr};
 pub use shred::{
-    decode, eval_steps_via_shredding, garbage_collect, shred, shredded_eval,
-    xpath_to_datalog,
+    decode, eval_steps_via_shredding, garbage_collect, shred, shredded_eval, xpath_to_datalog,
 };

@@ -170,17 +170,11 @@ fn err<T>(msg: impl Into<String>) -> Result<T, RaError> {
 }
 
 /// Evaluate an RA⁺ expression over a database.
-pub fn eval_ra<K: Semiring>(
-    e: &RaExpr,
-    db: &Database<K>,
-) -> Result<KRelation<K>, RaError> {
+pub fn eval_ra<K: Semiring>(e: &RaExpr, db: &Database<K>) -> Result<KRelation<K>, RaError> {
     match e {
-        RaExpr::Rel(name) => db
-            .get(name)
-            .cloned()
-            .ok_or_else(|| RaError {
-                msg: format!("unknown relation {name:?}"),
-            }),
+        RaExpr::Rel(name) => db.get(name).cloned().ok_or_else(|| RaError {
+            msg: format!("unknown relation {name:?}"),
+        }),
         RaExpr::SelectConst { input, attr, value } => {
             let r = eval_ra(input, db)?;
             let Some(i) = r.schema().index_of(attr) else {
@@ -196,9 +190,7 @@ pub fn eval_ra<K: Semiring>(
         }
         RaExpr::SelectEq { input, a1, a2 } => {
             let r = eval_ra(input, db)?;
-            let (Some(i), Some(j)) =
-                (r.schema().index_of(a1), r.schema().index_of(a2))
-            else {
+            let (Some(i), Some(j)) = (r.schema().index_of(a1), r.schema().index_of(a2)) else {
                 return err(format!("unknown attribute in σ_{{{a1}={a2}}}"));
             };
             let mut out = KRelation::new(r.schema().clone());
@@ -230,7 +222,7 @@ pub fn eval_ra<K: Semiring>(
             Ok(natural_join(&rl, &rr))
         }
         RaExpr::Union(l, r) => {
-            let rl = eval_ra(l, db)?;
+            let mut rl = eval_ra(l, db)?;
             let rr = eval_ra(r, db)?;
             if rl.schema() != rr.schema() {
                 return err(format!(
@@ -239,11 +231,8 @@ pub fn eval_ra<K: Semiring>(
                     rr.schema().attrs()
                 ));
             }
-            let mut out = rl.clone();
-            for (t, k) in rr.iter() {
-                out.insert(t.clone(), k.clone());
-            }
-            Ok(out)
+            rl.union_with(rr);
+            Ok(rl)
         }
         RaExpr::Rename { input, from, to } => {
             let r = eval_ra(input, db)?;
@@ -395,11 +384,7 @@ mod tests {
         let db = fig5_db();
         let by_const = eval_ra(&RaExpr::rel("R").select_label("B", "b"), &db).unwrap();
         assert_eq!(by_const.len(), 2);
-        let eq = eval_ra(
-            &RaExpr::rel("R").rename("A", "X").select_eq("X", "X"),
-            &db,
-        )
-        .unwrap();
+        let eq = eval_ra(&RaExpr::rel("R").rename("A", "X").select_eq("X", "X"), &db).unwrap();
         assert_eq!(eq.len(), 3);
     }
 

@@ -36,7 +36,9 @@ pub fn edge_schema() -> Schema {
 pub fn shred<K: Semiring>(forest: &Forest<K>) -> KRelation<K> {
     let mut rel = KRelation::new(edge_schema());
     let mut next_id = 1u64;
-    for (t, k) in forest.iter() {
+    // Document order keeps the assigned ids stable across processes
+    // (the forest's internal order is fingerprint-based).
+    for (t, k) in forest.iter_document() {
         shred_tree(t, k, 0, &mut next_id, &mut rel);
     }
     rel
@@ -59,7 +61,7 @@ fn shred_tree<K: Semiring>(
         ],
         ann.clone(),
     );
-    for (c, k) in t.children().iter() {
+    for (c, k) in t.children_document() {
         shred_tree(c, k, nid, next_id, rel);
     }
 }
@@ -176,7 +178,10 @@ pub fn shredded_eval<K: Semiring>(
     let db = Database::new().with("E", e);
     let prog = xpath_to_datalog(steps);
     let out = crate::datalog::eval_datalog(&prog, &db)?;
-    Ok(out.get("E2").cloned().unwrap_or_else(|| KRelation::new(edge_schema())))
+    Ok(out
+        .get("E2")
+        .cloned()
+        .unwrap_or_else(|| KRelation::new(edge_schema())))
 }
 
 /// Remove tuples not reachable from a root (pid 0) tuple.
@@ -186,8 +191,7 @@ pub fn garbage_collect<K: Semiring>(rel: &KRelation<K>) -> KRelation<K> {
     for (t, _) in rel.iter() {
         by_pid.entry(&t[0]).or_default().push(t);
     }
-    let mut reachable: std::collections::BTreeSet<&RelValue> =
-        std::collections::BTreeSet::new();
+    let mut reachable: std::collections::BTreeSet<&RelValue> = std::collections::BTreeSet::new();
     let zero = RelValue::Node(0);
     let mut stack: Vec<&RelValue> = vec![&zero];
     while let Some(pid) = stack.pop() {
@@ -216,8 +220,7 @@ pub fn garbage_collect<K: Semiring>(rel: &KRelation<K>) -> KRelation<K> {
 /// non-label in the label column. An empty relation decodes to the
 /// empty forest.
 pub fn decode<K: Semiring>(rel: &KRelation<K>) -> Option<Forest<K>> {
-    let mut children: BTreeMap<RelValue, Vec<(RelValue, axml_uxml::Label, K)>> =
-        BTreeMap::new();
+    let mut children: BTreeMap<RelValue, Vec<(RelValue, axml_uxml::Label, K)>> = BTreeMap::new();
     for (t, k) in rel.iter() {
         let (pid, nid, label) = (&t[0], &t[1], t[2].as_label()?);
         children
@@ -362,24 +365,42 @@ mod tests {
         let direct = axml_core::eval_step(&f, dsc("c"));
         assert_eq!(shredded, direct);
         // and the Fig 4 annotation q1 = x1·y3 + y1·y2 on the leaf c
-        assert_eq!(
-            shredded.get(&axml_uxml::leaf("c")),
-            np("x1*y3 + y1*y2")
-        );
+        assert_eq!(shredded.get(&axml_uxml::leaf("c")), np("x1*y3 + y1*y2"));
     }
 
     #[test]
     fn theorem2_on_step_chains() {
         let f = fig4_source();
         let chains: Vec<Vec<Step>> = vec![
-            vec![Step { axis: Axis::Child, test: NodeTest::Wildcard }],
+            vec![Step {
+                axis: Axis::Child,
+                test: NodeTest::Wildcard,
+            }],
             vec![
-                Step { axis: Axis::Child, test: NodeTest::Wildcard },
-                Step { axis: Axis::Child, test: NodeTest::Wildcard },
+                Step {
+                    axis: Axis::Child,
+                    test: NodeTest::Wildcard,
+                },
+                Step {
+                    axis: Axis::Child,
+                    test: NodeTest::Wildcard,
+                },
             ],
-            vec![dsc("a"), Step { axis: Axis::Child, test: NodeTest::Label(Label::new("c")) }],
-            vec![Step { axis: Axis::SelfAxis, test: NodeTest::Label(Label::new("a")) }],
-            vec![Step { axis: Axis::StrictDescendant, test: NodeTest::Label(Label::new("c")) }],
+            vec![
+                dsc("a"),
+                Step {
+                    axis: Axis::Child,
+                    test: NodeTest::Label(Label::new("c")),
+                },
+            ],
+            vec![Step {
+                axis: Axis::SelfAxis,
+                test: NodeTest::Label(Label::new("a")),
+            }],
+            vec![Step {
+                axis: Axis::StrictDescendant,
+                test: NodeTest::Label(Label::new("c")),
+            }],
             vec![dsc("c"), dsc("b")],
         ];
         for steps in chains {
@@ -405,7 +426,11 @@ mod tests {
         );
         // orphan: parent 99 never reachable
         rel.insert(
-            vec![RelValue::Node(99), RelValue::Node(100), RelValue::label("z")],
+            vec![
+                RelValue::Node(99),
+                RelValue::Node(100),
+                RelValue::label("z"),
+            ],
             NatPoly::one(),
         );
         let clean = garbage_collect(&rel);

@@ -4,9 +4,7 @@
 //! and the shredding encode/decode pair is lossless.
 
 use axml_relational::ra::RaExpr;
-use axml_relational::{
-    decode, eval_ra, shred, Database, KRelation, RelValue, Schema,
-};
+use axml_relational::{decode, eval_ra, shred, Database, KRelation, RelValue, Schema};
 use axml_semiring::{NatPoly, Semiring};
 use axml_uxml::{Forest, Tree};
 use proptest::prelude::*;
@@ -44,10 +42,7 @@ fn rel_eq_mod_order(a: &KRelation<NatPoly>, b: &KRelation<NatPoly>) -> bool {
     if attrs_a.len() != b.schema().attrs().len() {
         return false;
     }
-    let Some(perm): Option<Vec<usize>> = attrs_a
-        .iter()
-        .map(|x| b.schema().index_of(x))
-        .collect()
+    let Some(perm): Option<Vec<usize>> = attrs_a.iter().map(|x| b.schema().index_of(x)).collect()
     else {
         return false;
     };

@@ -146,10 +146,7 @@ impl<K: Semiring> FromIterator<(Var, K)> for Valuation<K> {
 
 /// Test helper: assert the homomorphism laws for `h` on given samples.
 /// Available outside `cfg(test)` so downstream crates' tests can reuse it.
-pub fn assert_hom_laws<A: Semiring, B: Semiring, H: SemiringHom<A, B>>(
-    h: &H,
-    samples: &[A],
-) {
+pub fn assert_hom_laws<A: Semiring, B: Semiring, H: SemiringHom<A, B>>(h: &H, samples: &[A]) {
     assert_eq!(h.apply(&A::zero()), B::zero(), "h(0) = 0");
     assert_eq!(h.apply(&A::one()), B::one(), "h(1) = 1");
     for a in samples {

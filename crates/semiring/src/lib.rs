@@ -46,12 +46,37 @@
 //! structure of Appendix A (`unit` = singleton, `bind` = big-union with
 //! scalar multiplication) and is the semantics of the `{t}` type in
 //! `NRC_K` and of element sets in K-UXML.
+//!
+//! # Performance kernels
+//!
+//! Every semantics route (direct evaluation, the `NRC_K` compilation,
+//! relational shredding) bottoms out in this crate, so its two hot
+//! kernels are built for accumulation rather than rebuilding:
+//!
+//! - **In-place semimodule ops.** [`KSet::union_with`] consumes its
+//!   argument and merges the smaller operand into the larger;
+//!   [`KSet::scalar_mul_in_place`] rewrites annotations without
+//!   reallocating; [`KSet::extend_scaled`] and [`KSet::bind_into`]
+//!   accumulate one iteration step directly into a reused accumulator.
+//!   Evaluator loops use these instead of the quadratic
+//!   `out = out.union(&inner)` pattern. Property tests
+//!   (`tests/inplace_ops.rs`) pin each one to its functional
+//!   counterpart across `Nat`, `PosBool`, `Tropical` and `NatPoly`.
+//! - **Flat polynomial arithmetic.** A [`Monomial`] is a flat sorted
+//!   `Vec<(Var, u32)>` whose product is a two-pointer merge of `Copy`
+//!   pairs, and [`NatPoly`] stores a flat sorted term vector: `plus`
+//!   is a capacity-exact two-run merge (with a consuming `add`
+//!   override that moves monomials instead of cloning), and `times`
+//!   accumulates all cross products
+//!   into one preallocated vector canonicalized by a single
+//!   sort-and-coalesce pass.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clearance;
 pub mod hom;
+pub mod intern;
 pub mod nat;
 pub mod poly;
 pub mod posbool;

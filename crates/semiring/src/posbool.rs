@@ -136,8 +136,7 @@ impl Semiring for PosBool {
         if other.clauses.is_empty() {
             return self.clone();
         }
-        let union: BTreeSet<Clause> =
-            self.clauses.union(&other.clauses).cloned().collect();
+        let union: BTreeSet<Clause> = self.clauses.union(&other.clauses).cloned().collect();
         PosBool {
             clauses: minimize(union),
         }
@@ -256,10 +255,7 @@ mod tests {
         let [x, y, z] = vars(["cde_x", "cde_y", "cde_z"]);
         let (px, py, pz) = (PosBool::var(x), PosBool::var(y), PosBool::var(z));
         // x∧(y∨z) == (x∧y)∨(x∧z) structurally
-        assert_eq!(
-            px.times(&py.plus(&pz)),
-            px.times(&py).plus(&px.times(&pz))
-        );
+        assert_eq!(px.times(&py.plus(&pz)), px.times(&py).plus(&px.times(&pz)));
     }
 
     #[test]

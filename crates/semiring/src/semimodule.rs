@@ -150,6 +150,76 @@ impl<T: Ord + Clone, K: Semiring> KSet<T, K> {
         out
     }
 
+    /// Pointwise addition in place, consuming `other`: `self += other`.
+    ///
+    /// Merges the smaller operand into the larger one (union is
+    /// commutative), so folding a sequence of unions into an
+    /// accumulator is `O(total · log)` instead of the `O(n²)` cost of
+    /// rebuilding the accumulator with [`KSet::union`] at every step.
+    pub fn union_with(&mut self, mut other: Self) {
+        if other.entries.is_empty() {
+            return;
+        }
+        if self.entries.is_empty() {
+            *self = other;
+            return;
+        }
+        if other.entries.len() > self.entries.len() {
+            std::mem::swap(&mut self.entries, &mut other.entries);
+        }
+        for (t, k) in other.entries {
+            self.insert(t, k);
+        }
+    }
+
+    /// Scalar multiplication in place: `self = k · self`, reusing the
+    /// allocation instead of rebuilding a new map per call.
+    pub fn scalar_mul_in_place(&mut self, k: &K) {
+        if k.is_one() {
+            return;
+        }
+        if k.is_zero() {
+            self.entries.clear();
+            return;
+        }
+        self.entries.retain(|_, ann| {
+            *ann = k.times(ann);
+            !ann.is_zero()
+        });
+    }
+
+    /// Bulk insert of scaled entries: `self += k · other`, consuming
+    /// `other`. This is one bind step with a reused accumulator — the
+    /// loops of `for`-iteration and big-union call it once per binding
+    /// instead of allocating an inner collection and unioning it in.
+    pub fn extend_scaled(&mut self, other: Self, k: &K) {
+        if k.is_zero() || other.entries.is_empty() {
+            return;
+        }
+        if k.is_one() {
+            self.union_with(other);
+            return;
+        }
+        for (t, ann) in other.entries {
+            self.insert(t, k.times(&ann));
+        }
+    }
+
+    /// The monad bind accumulated into an existing collection:
+    /// `out += ∪(x ∈ self) f(x)`. Equivalent to
+    /// `out.union_with(self.bind(f))` without the intermediate
+    /// allocation.
+    pub fn bind_into<U: Ord + Clone, F: FnMut(&T) -> KSet<U, K>>(
+        &self,
+        mut f: F,
+        out: &mut KSet<U, K>,
+    ) {
+        for (t, k) in &self.entries {
+            let inner = f(t);
+            out.extend_scaled(inner, k);
+        }
+    }
+
     /// Scalar multiplication `k · e` (the paper's `k e`, §6.2).
     pub fn scalar_mul(&self, k: &K) -> Self {
         if k.is_zero() {
@@ -167,17 +237,9 @@ impl<T: Ord + Clone, K: Semiring> KSet<T, K> {
 
     /// The monad bind / big-union `∪(x ∈ self) f(x)`:
     /// `result(y) = Σ_x self(x) · f(x)(y)`.
-    pub fn bind<U: Ord + Clone, F: FnMut(&T) -> KSet<U, K>>(
-        &self,
-        mut f: F,
-    ) -> KSet<U, K> {
+    pub fn bind<U: Ord + Clone, F: FnMut(&T) -> KSet<U, K>>(&self, f: F) -> KSet<U, K> {
         let mut out = KSet::new();
-        for (t, k) in &self.entries {
-            let inner = f(t);
-            for (u, kk) in inner.entries {
-                out.insert(u, k.times(&kk));
-            }
-        }
+        self.bind_into(f, &mut out);
         out
     }
 
@@ -306,8 +368,7 @@ mod tests {
         let [p, r, u, s, v] = [Nat(2), Nat(3), Nat(5), Nat(7), Nat(11)];
         let inner1: Bag = KSet::from_pairs([("a", p), ("b", r)]);
         let inner2: Bag = KSet::from_pairs([("b", s)]);
-        let outer: KSet<Bag, Nat> =
-            KSet::from_pairs([(inner1, u), (inner2, v)]);
+        let outer: KSet<Bag, Nat> = KSet::from_pairs([(inner1, u), (inner2, v)]);
         let flat = outer.bind(|w| w.clone());
         assert_eq!(flat.get(&"a"), u.times(&p));
         assert_eq!(flat.get(&"b"), u.times(&r).plus(&v.times(&s)));
@@ -400,10 +461,7 @@ mod tests {
                         );
                     }
                     // k·0 = 0, 0·x = 0, 1·x = x
-                    assert_eq!(
-                        KSet::<u32, NatPoly>::new().scalar_mul(&k1),
-                        KSet::new()
-                    );
+                    assert_eq!(KSet::<u32, NatPoly>::new().scalar_mul(&k1), KSet::new());
                 }
             }
         }
@@ -420,13 +478,16 @@ mod tests {
             assert_eq!(s.bind(|x| KSet::unit(*x)), s);
         }
         // ∪(x ∈ {e}) S = S[x := e]   (left identity)
-        let f = |x: &u32| {
-            KSet::from_pairs([(x + 1, NatPoly::var_named("sm_b"))])
-        };
+        let f = |x: &u32| KSet::from_pairs([(x + 1, NatPoly::var_named("sm_b"))]);
         assert_eq!(KSet::<u32, NatPoly>::unit(7).bind(f), f(&7));
         // associativity: ∪(x ∈ ∪(y ∈ R) S) T = ∪(y ∈ R) ∪(x ∈ S) T
         for r in sample_sets() {
-            let s = |y: &u32| KSet::from_pairs([(y * 2, NatPoly::one()), (y * 2 + 1, NatPoly::var_named("sm_s"))]);
+            let s = |y: &u32| {
+                KSet::from_pairs([
+                    (y * 2, NatPoly::one()),
+                    (y * 2 + 1, NatPoly::var_named("sm_s")),
+                ])
+            };
             let t = |x: &u32| KSet::from_pairs([(x % 3, NatPoly::var_named("sm_t"))]);
             assert_eq!(r.bind(s).bind(t), r.bind(|y| s(y).bind(t)));
         }
@@ -437,10 +498,7 @@ mod tests {
         for r1 in sample_sets() {
             for r2 in sample_sets() {
                 let s = |x: &u32| KSet::from_pairs([(x + 10, NatPoly::one())]);
-                let lhs = r1
-                    .scalar_mul(&k1)
-                    .union(&r2.scalar_mul(&k2))
-                    .bind(s);
+                let lhs = r1.scalar_mul(&k1).union(&r2.scalar_mul(&k2)).bind(s);
                 let rhs = r1
                     .bind(s)
                     .scalar_mul(&k1)
@@ -453,8 +511,7 @@ mod tests {
         for r in sample_sets() {
             let s1 = |x: &u32| KSet::from_pairs([(x + 1, NatPoly::one())]);
             let s2 = |x: &u32| KSet::from_pairs([(x + 2, NatPoly::var_named("sm_w"))]);
-            let lhs =
-                r.bind(|x| s1(x).scalar_mul(&k1).union(&s2(x).scalar_mul(&k2)));
+            let lhs = r.bind(|x| s1(x).scalar_mul(&k1).union(&s2(x).scalar_mul(&k2)));
             let rhs = r
                 .bind(s1)
                 .scalar_mul(&k1)
@@ -468,9 +525,7 @@ mod tests {
         // ∪(x ∈ R) ∪(y ∈ S) T = ∪(y ∈ S) ∪(x ∈ R) T (independent sources)
         for r in sample_sets() {
             for s in sample_sets() {
-                let t = |x: &u32, y: &u32| {
-                    KSet::from_pairs([(x * 100 + y, NatPoly::one())])
-                };
+                let t = |x: &u32, y: &u32| KSet::from_pairs([(x * 100 + y, NatPoly::one())]);
                 let lhs = r.bind(|x| s.bind(|y| t(x, y)));
                 let rhs = s.bind(|y| r.bind(|x| t(x, y)));
                 assert_eq!(lhs, rhs);

@@ -47,8 +47,7 @@ pub trait Semiring: Clone + Eq + Ord + Hash + Debug + Send + Sync + 'static {
 
     /// `Σ` of an iterator of elements (0 for the empty iterator).
     fn sum<I: IntoIterator<Item = Self>>(iter: I) -> Self {
-        iter.into_iter()
-            .fold(Self::zero(), |acc, k| acc.plus(&k))
+        iter.into_iter().fold(Self::zero(), |acc, k| acc.plus(&k))
     }
 
     /// `Π` of an iterator of elements (1 for the empty iterator).

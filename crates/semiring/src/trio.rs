@@ -330,8 +330,7 @@ mod tests {
 
     #[test]
     fn boolpoly_is_a_semiring() {
-        let samples: Vec<BoolPoly> =
-            poly_samples().iter().map(natpoly_to_boolpoly).collect();
+        let samples: Vec<BoolPoly> = poly_samples().iter().map(natpoly_to_boolpoly).collect();
         for a in &samples {
             for b in &samples {
                 for c in &samples {

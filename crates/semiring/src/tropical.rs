@@ -92,10 +92,7 @@ impl Prob {
     /// (these values annotate data — an out-of-range probability is a
     /// caller bug, not a recoverable state).
     pub fn new(p: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "probability {p} outside [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
         Prob(p)
     }
 
@@ -120,7 +117,11 @@ impl Ord for Prob {
 impl std::hash::Hash for Prob {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         // 0.0 and -0.0 compare equal; normalize before hashing.
-        let bits = if self.0 == 0.0 { 0u64 } else { self.0.to_bits() };
+        let bits = if self.0 == 0.0 {
+            0u64
+        } else {
+            self.0.to_bits()
+        };
         bits.hash(state);
     }
 }
@@ -255,7 +256,11 @@ impl Ord for Fuzzy {
 
 impl std::hash::Hash for Fuzzy {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        let bits = if self.0 == 0.0 { 0u64 } else { self.0.to_bits() };
+        let bits = if self.0 == 0.0 {
+            0u64
+        } else {
+            self.0.to_bits()
+        };
         bits.hash(state);
     }
 }
@@ -380,7 +385,12 @@ mod tests {
 
     #[test]
     fn fuzzy_is_a_distributive_lattice_semiring() {
-        let samples = [Fuzzy::new(0.0), Fuzzy::new(0.3), Fuzzy::new(0.7), Fuzzy::new(1.0)];
+        let samples = [
+            Fuzzy::new(0.0),
+            Fuzzy::new(0.3),
+            Fuzzy::new(0.7),
+            Fuzzy::new(1.0),
+        ];
         for a in &samples {
             for b in &samples {
                 for c in &samples {

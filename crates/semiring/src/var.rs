@@ -11,10 +11,8 @@
 //! and every `BTreeMap` iteration order is deterministic regardless of
 //! interning order — figure regeneration must be byte-stable.
 
-use parking_lot::RwLock;
 use std::cmp::Ordering;
 use std::fmt;
-use std::sync::OnceLock;
 
 /// A provenance variable (indeterminate) such as `x1`, `y2`, `w1`.
 ///
@@ -22,46 +20,17 @@ use std::sync::OnceLock;
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Var(u32);
 
-struct Pool {
-    names: Vec<&'static str>,
-    index: std::collections::HashMap<&'static str, u32>,
-}
-
-fn pool() -> &'static RwLock<Pool> {
-    static POOL: OnceLock<RwLock<Pool>> = OnceLock::new();
-    POOL.get_or_init(|| {
-        RwLock::new(Pool {
-            names: Vec::new(),
-            index: std::collections::HashMap::new(),
-        })
-    })
-}
+crate::define_intern_pool!();
 
 impl Var {
     /// Intern a variable by name.
     pub fn new(name: &str) -> Var {
-        {
-            let p = pool().read();
-            if let Some(&id) = p.index.get(name) {
-                return Var(id);
-            }
-        }
-        let mut p = pool().write();
-        if let Some(&id) = p.index.get(name) {
-            return Var(id);
-        }
-        let id = u32::try_from(p.names.len()).expect("variable pool exhausted");
-        // Names live for the process lifetime; leaking makes lookups
-        // allocation-free and lets Var be Copy.
-        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
-        p.names.push(leaked);
-        p.index.insert(leaked, id);
-        Var(id)
+        Var(intern_name(name))
     }
 
     /// The variable's name.
     pub fn name(self) -> &'static str {
-        pool().read().names[self.0 as usize]
+        interned_name(self.0)
     }
 
     /// The raw interned id (stable within a process; for debugging).

@@ -268,10 +268,7 @@ mod tests {
         let a = Why::var(x).plus(&Why::var(y));
         let b = Why::var(z);
         let prod = a.times(&b);
-        assert_eq!(
-            prod,
-            Why::from_witnesses([vec![x, z], vec![y, z]])
-        );
+        assert_eq!(prod, Why::from_witnesses([vec![x, z], vec![y, z]]));
     }
 
     fn lineage_samples() -> Vec<Lineage> {
@@ -322,10 +319,7 @@ mod tests {
         let [x, y] = vars(["ds_x", "ds_y"]);
         assert_eq!(Why::zero().to_string(), "{}");
         assert_eq!(Why::one().to_string(), "{{}}");
-        assert_eq!(
-            Why::var(x).times(&Why::var(y)).to_string(),
-            "{{ds_x,ds_y}}"
-        );
+        assert_eq!(Why::var(x).times(&Why::var(y)).to_string(), "{{ds_x,ds_y}}");
         assert_eq!(Lineage::bottom().to_string(), "⊥");
         assert_eq!(Lineage::one().to_string(), "{}");
         assert_eq!(Lineage::var(x).to_string(), "{ds_x}");

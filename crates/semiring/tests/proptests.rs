@@ -6,8 +6,8 @@
 
 use axml_semiring::trio::collapse;
 use axml_semiring::{
-    Arctic, BoolPoly, Clearance, Fuzzy, KSet, Lineage, Nat, NatPoly, PosBool,
-    Product, Semiring, Trio, Tropical, Valuation, Var, Why,
+    Arctic, BoolPoly, Clearance, Fuzzy, KSet, Lineage, Nat, NatPoly, PosBool, Product, Semiring,
+    Trio, Tropical, Valuation, Var, Why,
 };
 use proptest::prelude::*;
 use std::collections::BTreeSet;

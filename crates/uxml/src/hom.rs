@@ -53,10 +53,7 @@ where
 /// Specialize an ℕ\[X\]-annotated forest under a valuation — the
 /// universality route: parse once with provenance tokens, instantiate
 /// into any semiring (§2, §5).
-pub fn specialize_forest<K: Semiring>(
-    f: &Forest<NatPoly>,
-    val: &Valuation<K>,
-) -> Forest<K> {
+pub fn specialize_forest<K: Semiring>(f: &Forest<NatPoly>, val: &Valuation<K>) -> Forest<K> {
     struct EvalHom<'a, K: Semiring>(&'a Valuation<K>);
     impl<K: Semiring> SemiringHom<NatPoly, K> for EvalHom<'_, K> {
         fn apply(&self, p: &NatPoly) -> K {
@@ -114,25 +111,17 @@ mod tests {
         // remains (b still occurs deep inside it, via x2 ↦ true).
         let top = spec.trees().next().unwrap();
         assert_eq!(top.children().len(), 1);
-        assert_eq!(
-            top.children().trees().next().unwrap().label().name(),
-            "c"
-        );
+        assert_eq!(top.children().trees().next().unwrap().label().name(), "c");
     }
 
     #[test]
     fn identified_trees_merge_annotations() {
         // Distinct trees b{z1}, b{z2} become identical when z1,z2 ↦ 1
         // and their annotations (x1, x2) must then sum.
-        let f = parse_forest::<NatPoly>(
-            "<t {x1}> b {z1} </t> <t {x2}> b {z2} </t>",
-        )
-        .unwrap();
+        let f = parse_forest::<NatPoly>("<t {x1}> b {z1} </t> <t {x2}> b {z2} </t>").unwrap();
         assert_eq!(f.len(), 2);
-        let val = Valuation::<Nat>::from_pairs([
-            (Var::new("x1"), Nat(2)),
-            (Var::new("x2"), Nat(3)),
-        ]);
+        let val =
+            Valuation::<Nat>::from_pairs([(Var::new("x1"), Nat(2)), (Var::new("x2"), Nat(3))]);
         let spec = specialize_forest(&f, &val);
         assert_eq!(spec.len(), 1, "trees identified after specialization");
         let (_, k) = spec.iter().next().unwrap();
@@ -153,7 +142,10 @@ mod tests {
     fn map_value_covers_all_variants() {
         let h = FnHom::new(dup_elim);
         let l = Value::<Nat>::Label(crate::label::Label::new("mv"));
-        assert_eq!(map_value(&h, &l), Value::Label(crate::label::Label::new("mv")));
+        assert_eq!(
+            map_value(&h, &l),
+            Value::Label(crate::label::Label::new("mv"))
+        );
         let t = Value::Tree(crate::tree::leaf::<Nat>("mt"));
         assert_eq!(map_value(&h, &t), Value::Tree(crate::tree::leaf("mt")));
     }

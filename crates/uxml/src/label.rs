@@ -8,53 +8,24 @@
 //! regardless of interning order (tests run concurrently and share the
 //! pool).
 
-use parking_lot::RwLock;
 use std::cmp::Ordering;
 use std::fmt;
-use std::sync::OnceLock;
 
 /// An interned element label (tag name or atomic value).
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Label(u32);
 
-struct Pool {
-    names: Vec<&'static str>,
-    index: std::collections::HashMap<&'static str, u32>,
-}
-
-fn pool() -> &'static RwLock<Pool> {
-    static POOL: OnceLock<RwLock<Pool>> = OnceLock::new();
-    POOL.get_or_init(|| {
-        RwLock::new(Pool {
-            names: Vec::new(),
-            index: std::collections::HashMap::new(),
-        })
-    })
-}
+axml_semiring::define_intern_pool!();
 
 impl Label {
     /// Intern a label by name.
     pub fn new(name: &str) -> Label {
-        {
-            let p = pool().read();
-            if let Some(&id) = p.index.get(name) {
-                return Label(id);
-            }
-        }
-        let mut p = pool().write();
-        if let Some(&id) = p.index.get(name) {
-            return Label(id);
-        }
-        let id = u32::try_from(p.names.len()).expect("label pool exhausted");
-        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
-        p.names.push(leaked);
-        p.index.insert(leaked, id);
-        Label(id)
+        Label(intern_name(name))
     }
 
     /// The label's text.
     pub fn name(self) -> &'static str {
-        pool().read().names[self.0 as usize]
+        interned_name(self.0)
     }
 
     /// The raw interned id (stable within a process; for debugging).

@@ -23,6 +23,22 @@
 //! `d` leaves are one value). [`Tree`] therefore compares, orders and
 //! hashes by value, with an `Arc` pointer fast path.
 //!
+//! # Performance: cached structural fingerprints
+//!
+//! Value identity makes every `BTreeMap<Tree, K>` operation compare
+//! trees, so each `Arc`'d node caches a structural hash and its
+//! subtree size at construction. `Tree`'s `Ord` leads with the cached
+//! `(size, hash)` pair — map lookups resolve almost every comparison
+//! in O(1) instead of an O(|v|) walk — and falls back to structure
+//! only on fingerprint collisions, staying consistent with `Eq`.
+//! User-facing orders (printing, DFS numbering in the shredder) use
+//! [`Tree::cmp_document`] / [`tree::Forest::iter_document`], which
+//! sort by label name and structure and are stable across processes.
+//! Forests also carry the in-place accumulator ops
+//! ([`tree::Forest::union_with`], [`tree::Forest::scalar_mul_in_place`],
+//! [`tree::Forest::extend_scaled`]) that the evaluators use instead of
+//! functional rebuilds.
+//!
 //! # Parsing and printing
 //!
 //! [`parse::parse_forest`] reads a document-style syntax with optional

@@ -69,9 +69,7 @@ impl ParseAnnotation for Clearance {
 /// Product annotations parse as `(left, right)` with each side in its
 /// component's syntax, e.g. `(2, S)` for ℕ × Clearance. The split is at
 /// the top-level comma (components may themselves be products).
-impl<K1: ParseAnnotation, K2: ParseAnnotation> ParseAnnotation
-    for axml_semiring::Product<K1, K2>
-{
+impl<K1: ParseAnnotation, K2: ParseAnnotation> ParseAnnotation for axml_semiring::Product<K1, K2> {
     fn parse_annotation(text: &str) -> Result<Self, String> {
         let t = text.trim();
         let inner = t
@@ -431,10 +429,7 @@ mod tests {
     #[test]
     fn anonymous_closing_tags() {
         let f = parse_forest::<Nat>("<a> <b> c </> </>").unwrap();
-        let expected = Forest::unit(tree(
-            "a",
-            [(tree("b", [(leaf("c"), Nat(1))]), Nat(1))],
-        ));
+        let expected = Forest::unit(tree("a", [(tree("b", [(leaf("c"), Nat(1))]), Nat(1))]));
         assert_eq!(f, expected);
     }
 

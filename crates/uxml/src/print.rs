@@ -9,8 +9,10 @@
 //! - **indented style** ([`pretty`]): one node per line with
 //!   2-space indentation, convenient for diffing larger answers.
 //!
-//! Output is deterministic: forests iterate in tree order and labels /
-//! annotations order by name.
+//! Output is deterministic: forests print in *document order*
+//! ([`Forest::iter_document`]: label name, then structure), which is
+//! stable across processes regardless of the fingerprint-based
+//! internal map order; labels / annotations order by name.
 
 use crate::tree::{Forest, Tree, Value};
 use axml_semiring::Semiring;
@@ -26,7 +28,7 @@ impl<K: Semiring> Display for Forest<K> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
         let mut first = true;
-        for (t, k) in self.iter() {
+        for (t, k) in self.iter_document() {
             if !first {
                 write!(f, ", ")?;
             }
@@ -71,7 +73,7 @@ fn write_tree<K: Semiring>(
         write_annot(f, k)?;
     }
     write!(f, ">")?;
-    for (c, k) in t.children().iter() {
+    for (c, k) in t.children_document() {
         write!(f, " ")?;
         write_tree(f, c, Some(k))?;
     }
@@ -97,7 +99,7 @@ pub fn to_document_string<K: Semiring>(forest: &Forest<K>) -> String {
 /// ```
 pub fn pretty<K: Semiring>(forest: &Forest<K>) -> String {
     let mut out = String::new();
-    for (t, k) in forest.iter() {
+    for (t, k) in forest.iter_document() {
         pretty_tree_into(&mut out, t, k, 0);
     }
     out
@@ -119,7 +121,7 @@ fn pretty_tree_into<K: Semiring>(out: &mut String, t: &Tree<K>, k: &K, indent: u
         let _ = write!(out, " {{{k:?}}}");
     }
     out.push('\n');
-    for (c, ck) in t.children().iter() {
+    for (c, ck) in t.children_document() {
         pretty_tree_into(out, c, ck, indent + 1);
     }
 }
@@ -152,7 +154,10 @@ mod tests {
             "a",
             [
                 (tree("b", [(leaf("d"), np("y1"))]), np("x1")),
-                (tree("c", [(leaf("d"), np("y2")), (leaf("e"), np("y3"))]), np("x2")),
+                (
+                    tree("c", [(leaf("d"), np("y2")), (leaf("e"), np("y3"))]),
+                    np("x2"),
+                ),
             ],
         );
         let f = Forest::singleton(t, np("z"));

@@ -57,8 +57,7 @@ mod tests {
     {
         let f = parse_forest::<K>(src).expect("parses");
         let text = to_document_string(&f);
-        let de: StrDeserializer<serde::de::value::Error> =
-            text.as_str().into_deserializer();
+        let de: StrDeserializer<serde::de::value::Error> = text.as_str().into_deserializer();
         let back: Forest<K> = serde::Deserialize::deserialize(de).expect("deserializes");
         assert_eq!(back, f, "through text {text:?}");
     }
@@ -73,8 +72,7 @@ mod tests {
 
     #[test]
     fn deserialize_rejects_bad_text() {
-        let de: StrDeserializer<serde::de::value::Error> =
-            "<a> unclosed".into_deserializer();
+        let de: StrDeserializer<serde::de::value::Error> = "<a> unclosed".into_deserializer();
         let out: Result<Forest<Nat>, _> = serde::Deserialize::deserialize(de);
         assert!(out.is_err());
     }

@@ -17,35 +17,93 @@ macro_rules! fmt_via_display {
     };
 }
 
-/// The node payload: a label and a K-set of child trees.
+/// The node payload: a label, a K-set of child trees, and metadata
+/// cached at construction.
 ///
-/// Users normally work with [`Tree`] (a cheap-to-clone shared handle);
-/// `Node` is exposed for pattern-style access via [`Tree::label`] and
-/// [`Tree::children`].
-#[derive(PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+/// `hash` is a structural fingerprint of the whole subtree and `size`
+/// its node count; both are computed once in [`Tree::new`] (children
+/// already carry theirs, so construction stays O(children)). They make
+/// the [`Tree`] comparisons that every `BTreeMap<Tree, K>` operation
+/// performs O(1) in the common case instead of O(|subtree|): `Ord`
+/// leads with `(size, hash)` and only walks the structure on a
+/// collision, and `Eq` rejects on the first fingerprint mismatch.
 struct Node<K: Semiring> {
+    hash: u64,
+    size: usize,
     label: Label,
     children: Forest<K>,
+    /// Children sorted in document order, computed lazily on first use
+    /// (printing / DFS numbering) and then shared: sorting siblings
+    /// with [`Tree::cmp_document`] would otherwise re-sort every
+    /// node's children once per comparison. Not part of the value —
+    /// excluded from `Eq`/`Ord`/`Hash`.
+    doc_children: std::sync::OnceLock<DocChildren<K>>,
 }
+
+/// Cached document-ordered `(child, annotation)` pairs of one node.
+type DocChildren<K> = Box<[(Tree<K>, K)]>;
 
 /// A K-UXML tree: a label with a finite K-set of children.
 ///
 /// `Tree` is a shared, immutable handle (`Arc` inside): cloning is O(1)
 /// and equality/ordering/hashing are **by value** (two structurally
 /// identical trees are equal even if separately built), with a pointer
-/// fast path for the common case of comparing shared subtrees.
+/// fast path for the common case of comparing shared subtrees. Each
+/// node caches a structural fingerprint and its subtree size at
+/// construction, so comparisons are O(1) unless fingerprints collide;
+/// see [`Tree::cmp_document`] for the cross-process-stable display
+/// order.
 ///
 /// Note (paper, §3): "a tree gets an annotation only as a member of a
 /// K-set" — a `Tree` by itself carries no annotation; annotations live
 /// in the [`Forest`] containing it.
 pub struct Tree<K: Semiring>(Arc<Node<K>>);
 
+/// A fast deterministic structural hasher (FNV-1a over 64-bit words);
+/// used for the cached per-node fingerprints. Not a `std` hasher so the
+/// fingerprint stays independent of any `RandomState` seeding.
+struct Fnv(u64);
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 ^= n;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+}
+
 impl<K: Semiring> Tree<K> {
     /// Build a tree from a label and its children.
     pub fn new(label: impl Into<Label>, children: Forest<K>) -> Self {
+        let label = label.into();
+        let mut h = Fnv::new();
+        h.write_u64(u64::from(label.id()));
+        let mut size = 1usize;
+        for (child, k) in children.iter() {
+            h.write_u64(child.0.hash);
+            k.hash(&mut h);
+            size += child.0.size;
+        }
         Tree(Arc::new(Node {
-            label: label.into(),
+            hash: h.finish(),
+            size,
+            label,
             children,
+            doc_children: std::sync::OnceLock::new(),
         }))
     }
 
@@ -72,14 +130,63 @@ impl<K: Semiring> Tree<K> {
 
     /// Number of nodes (distinct positions in the value; multiplicities
     /// in annotations do not multiply the count). This is the `|v|` of
-    /// Prop 2's size bound.
+    /// Prop 2's size bound. O(1): cached at construction.
     pub fn size(&self) -> usize {
-        1 + self
-            .0
-            .children
-            .iter()
-            .map(|(t, _)| t.size())
-            .sum::<usize>()
+        self.0.size
+    }
+
+    /// The cached structural fingerprint of this subtree. Two equal
+    /// trees always have equal fingerprints; unequal trees collide only
+    /// with hash probability. Stable within a process (annotation and
+    /// label interning make it process-dependent).
+    pub fn structural_hash(&self) -> u64 {
+        self.0.hash
+    }
+
+    /// Document-order comparison: by label name, then subtree size,
+    /// then lexicographically over the children in document order
+    /// (annotations tie-break). This is the human-meaningful,
+    /// cross-process-stable order used for printing and DFS numbering
+    /// — in contrast to [`Ord`], which leads with the cached
+    /// `(size, hash)` fingerprint so that collection operations avoid
+    /// structural walks. Equal under this comparison iff the trees are
+    /// equal. The cached-size tiebreak keeps the expensive recursive
+    /// child sort off the path whenever same-label siblings differ in
+    /// shape.
+    pub fn cmp_document(&self, other: &Self) -> Ordering {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return Ordering::Equal;
+        }
+        self.label()
+            .cmp(&other.label())
+            .then_with(|| self.0.size.cmp(&other.0.size))
+            .then_with(|| {
+                let a = self.children_document();
+                let b = other.children_document();
+                for ((ta, ka), (tb, kb)) in a.iter().zip(b.iter()) {
+                    match ta.cmp_document(tb).then_with(|| ka.cmp(kb)) {
+                        Ordering::Equal => {}
+                        o => return o,
+                    }
+                }
+                a.len().cmp(&b.len())
+            })
+    }
+
+    /// The children in document order (see [`Tree::cmp_document`]),
+    /// computed once per node and cached — printing, DFS numbering and
+    /// sibling sorts all share the same slice.
+    pub fn children_document(&self) -> &[(Tree<K>, K)] {
+        self.0.doc_children.get_or_init(|| {
+            let mut v: Vec<(Tree<K>, K)> = self
+                .0
+                .children
+                .iter()
+                .map(|(t, k)| (t.clone(), k.clone()))
+                .collect();
+            v.sort_by(|(ta, ka), (tb, kb)| ta.cmp_document(tb).then_with(|| ka.cmp(kb)));
+            v.into_boxed_slice()
+        })
     }
 
     /// Height of the tree (a leaf has depth 1).
@@ -102,7 +209,14 @@ impl<K: Semiring> Clone for Tree<K> {
 
 impl<K: Semiring> PartialEq for Tree<K> {
     fn eq(&self, other: &Self) -> bool {
-        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return true;
+        }
+        // Cheap rejection on the cached fingerprint before any walk.
+        self.0.hash == other.0.hash
+            && self.0.size == other.0.size
+            && self.0.label == other.0.label
+            && self.0.children == other.0.children
     }
 }
 
@@ -115,17 +229,28 @@ impl<K: Semiring> PartialOrd for Tree<K> {
 }
 
 impl<K: Semiring> Ord for Tree<K> {
+    /// Total order with the cached `(size, hash)` fingerprint as the
+    /// leading key: `BTreeMap<Tree, K>` lookups resolve almost every
+    /// comparison in O(1) and only walk structure on fingerprint
+    /// collisions. Consistent with [`PartialEq`] (the structural
+    /// fallback decides collisions). Deterministic within a process;
+    /// use [`Tree::cmp_document`] where cross-process order matters.
     fn cmp(&self, other: &Self) -> Ordering {
         if Arc::ptr_eq(&self.0, &other.0) {
             return Ordering::Equal;
         }
-        self.0.cmp(&other.0)
+        self.0
+            .size
+            .cmp(&other.0.size)
+            .then_with(|| self.0.hash.cmp(&other.0.hash))
+            .then_with(|| self.0.label.cmp(&other.0.label))
+            .then_with(|| self.0.children.cmp(&other.0.children))
     }
 }
 
 impl<K: Semiring> Hash for Tree<K> {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.0.hash(state);
+        state.write_u64(self.0.hash);
     }
 }
 
@@ -184,9 +309,7 @@ impl<K: Semiring> Forest<K> {
 
     /// Build from trees, each annotated `1`.
     pub fn of_units<I: IntoIterator<Item = Tree<K>>>(trees: I) -> Self {
-        Forest(KSet::from_pairs(
-            trees.into_iter().map(|t| (t, K::one())),
-        ))
+        Forest(KSet::from_pairs(trees.into_iter().map(|t| (t, K::one()))))
     }
 
     /// Add `k` to the annotation of `tree`.
@@ -229,9 +352,27 @@ impl<K: Semiring> Forest<K> {
         Forest(self.0.union(&other.0))
     }
 
+    /// Pointwise union in place, consuming `other`: `self += other`.
+    /// Merges the smaller side into the larger; the accumulator pattern
+    /// for `for`-loops (see [`axml_semiring::KSet::union_with`]).
+    pub fn union_with(&mut self, other: Self) {
+        self.0.union_with(other.0);
+    }
+
     /// Scalar multiplication: the query `annot k p`.
     pub fn scalar_mul(&self, k: &K) -> Self {
         Forest(self.0.scalar_mul(k))
+    }
+
+    /// Scalar multiplication in place: `self = k · self`.
+    pub fn scalar_mul_in_place(&mut self, k: &K) {
+        self.0.scalar_mul_in_place(k);
+    }
+
+    /// Bulk insert of scaled members: `self += k · other`, consuming
+    /// `other` — one `for`-iteration step with a reused accumulator.
+    pub fn extend_scaled(&mut self, other: Self, k: &K) {
+        self.0.extend_scaled(other.0, k);
     }
 
     /// Big-union over the forest: `∪(t ∈ self) f(t)`, multiplying each
@@ -239,6 +380,16 @@ impl<K: Semiring> Forest<K> {
     /// is the semantic engine of `for`-iteration (§3's examples).
     pub fn bind<F: FnMut(&Tree<K>) -> Forest<K>>(&self, mut f: F) -> Forest<K> {
         Forest(self.0.bind(|t| f(t).0))
+    }
+
+    /// The members in document order (label name, then structure): the
+    /// deterministic, cross-process-stable order used for printing and
+    /// DFS numbering. O(n log n) per call — meant for output paths, not
+    /// hot loops.
+    pub fn iter_document(&self) -> Vec<(&Tree<K>, &K)> {
+        let mut v: Vec<(&Tree<K>, &K)> = self.0.iter().collect();
+        v.sort_by(|(ta, ka), (tb, kb)| ta.cmp_document(tb).then_with(|| ka.cmp(kb)));
+        v
     }
 
     /// Keep trees whose root label satisfies the predicate
@@ -345,10 +496,7 @@ mod tests {
     #[test]
     fn value_equality_merges_duplicate_children() {
         // Two separately built "d" leaves are the same set element.
-        let f = Forest::from_pairs([
-            (leaf::<Nat>("d"), Nat(2)),
-            (leaf::<Nat>("d"), Nat(3)),
-        ]);
+        let f = Forest::from_pairs([(leaf::<Nat>("d"), Nat(2)), (leaf::<Nat>("d"), Nat(3))]);
         assert_eq!(f.len(), 1);
         assert_eq!(f.get(&leaf("d")), Nat(5));
     }
@@ -423,10 +571,7 @@ mod tests {
 
     #[test]
     fn filter_label() {
-        let f = Forest::from_pairs([
-            (leaf::<Nat>("a"), Nat(1)),
-            (leaf::<Nat>("b"), Nat(2)),
-        ]);
+        let f = Forest::from_pairs([(leaf::<Nat>("a"), Nat(1)), (leaf::<Nat>("b"), Nat(2))]);
         let only_a = f.filter_label(|l| l.name() == "a");
         assert_eq!(only_a.len(), 1);
         assert!(only_a.contains(&leaf("a")));

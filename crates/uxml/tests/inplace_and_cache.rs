@@ -1,0 +1,114 @@
+//! Property tests for the forest-level in-place operations and the
+//! cached per-node metadata:
+//!
+//! - `Forest::union_with` / `scalar_mul_in_place` / `extend_scaled`
+//!   agree with their functional counterparts;
+//! - the cached `Tree::size` equals a recomputation from scratch;
+//! - the fingerprint-leading `Ord` is consistent with `Eq`, and the
+//!   document-order comparator is too;
+//! - structurally equal trees built separately share fingerprints.
+
+use axml_semiring::{NatPoly, Semiring};
+use axml_uxml::{Forest, Tree};
+use proptest::prelude::*;
+
+const LABELS: [&str; 4] = ["ia", "ib", "ic", "id"];
+const VARS: [&str; 3] = ["iv1", "iv2", "iv3"];
+
+fn arb_annotation() -> impl Strategy<Value = NatPoly> {
+    prop_oneof![
+        3 => proptest::sample::select(&VARS[..]).prop_map(NatPoly::var_named),
+        1 => Just(NatPoly::one()),
+        1 => (1u64..3).prop_map(NatPoly::from),
+    ]
+}
+
+fn arb_tree(depth: u32) -> BoxedStrategy<Tree<NatPoly>> {
+    if depth == 0 {
+        proptest::sample::select(&LABELS[..])
+            .prop_map(Tree::leaf)
+            .boxed()
+    } else {
+        (
+            proptest::sample::select(&LABELS[..]),
+            proptest::collection::vec((arb_tree(depth - 1), arb_annotation()), 0..3),
+        )
+            .prop_map(|(l, kids)| Tree::new(l, Forest::from_pairs(kids)))
+            .boxed()
+    }
+}
+
+fn arb_forest() -> impl Strategy<Value = Forest<NatPoly>> {
+    proptest::collection::vec((arb_tree(3), arb_annotation()), 0..4).prop_map(Forest::from_pairs)
+}
+
+/// Recompute the node count without the cache.
+fn slow_size(t: &Tree<NatPoly>) -> usize {
+    1 + t
+        .children()
+        .iter()
+        .map(|(c, _)| slow_size(c))
+        .sum::<usize>()
+}
+
+/// Rebuild a structurally identical tree from fresh allocations.
+fn rebuild(t: &Tree<NatPoly>) -> Tree<NatPoly> {
+    Tree::new(
+        t.label(),
+        Forest::from_pairs(t.children().iter().map(|(c, k)| (rebuild(c), k.clone()))),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn forest_inplace_ops_agree(a in arb_forest(), b in arb_forest(), k in arb_annotation()) {
+        let functional = a.union(&b);
+        let mut in_place = a.clone();
+        in_place.union_with(b.clone());
+        prop_assert_eq!(&in_place, &functional);
+
+        let functional = a.scalar_mul(&k);
+        let mut in_place = a.clone();
+        in_place.scalar_mul_in_place(&k);
+        prop_assert_eq!(&in_place, &functional);
+
+        let functional = a.union(&b.scalar_mul(&k));
+        let mut in_place = a.clone();
+        in_place.extend_scaled(b.clone(), &k);
+        prop_assert_eq!(&in_place, &functional);
+    }
+
+    #[test]
+    fn cached_size_matches_recomputation(t in arb_tree(3)) {
+        prop_assert_eq!(t.size(), slow_size(&t));
+    }
+
+    #[test]
+    fn rebuilt_trees_share_fingerprint_and_compare_equal(t in arb_tree(3)) {
+        let u = rebuild(&t);
+        prop_assert_eq!(&t, &u);
+        prop_assert_eq!(t.structural_hash(), u.structural_hash());
+        prop_assert_eq!(t.cmp(&u), std::cmp::Ordering::Equal);
+        prop_assert_eq!(t.cmp_document(&u), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn orderings_are_consistent_with_equality(a in arb_tree(2), b in arb_tree(2)) {
+        prop_assert_eq!(a.cmp(&b) == std::cmp::Ordering::Equal, a == b);
+        prop_assert_eq!(a.cmp_document(&b) == std::cmp::Ordering::Equal, a == b);
+        // antisymmetry of both orders
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        prop_assert_eq!(a.cmp_document(&b), b.cmp_document(&a).reverse());
+    }
+
+    /// Document order is what printing uses: equal forests print
+    /// identically even when built in different orders.
+    #[test]
+    fn printing_is_insertion_order_independent(pairs in proptest::collection::vec((arb_tree(2), arb_annotation()), 0..4)) {
+        let forward = Forest::from_pairs(pairs.clone());
+        let reversed = Forest::from_pairs(pairs.into_iter().rev());
+        prop_assert_eq!(forward.to_string(), reversed.to_string());
+    }
+}

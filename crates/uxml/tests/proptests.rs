@@ -35,8 +35,7 @@ fn arb_tree(depth: u32) -> BoxedStrategy<Tree<NatPoly>> {
 }
 
 fn arb_forest() -> impl Strategy<Value = Forest<NatPoly>> {
-    proptest::collection::vec((arb_tree(3), arb_annotation()), 0..4)
-        .prop_map(Forest::from_pairs)
+    proptest::collection::vec((arb_tree(3), arb_annotation()), 0..4).prop_map(Forest::from_pairs)
 }
 
 proptest! {

@@ -1,0 +1,388 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the benchmark surface the workspace uses is reimplemented here:
+//! `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `BenchmarkId`, and a `Bencher::iter` that warms up, picks an
+//! iteration count to fill the measurement window, and reports
+//! mean/median/min/max per iteration.
+//!
+//! Differences from upstream criterion, by design:
+//!
+//! - no statistical regression analysis or HTML reports;
+//! - `--test` runs every benchmark exactly once (the CI smoke mode);
+//! - a JSON summary of all results is written to the path named by the
+//!   `CRITERION_JSON` environment variable (used to capture
+//!   `BENCH_baseline.json`), and always printed to stdout.
+
+#![forbid(unsafe_code)]
+
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id, e.g. `eval_scaling/natpoly/depth=8`.
+    pub id: String,
+    /// Mean ns/iter.
+    pub mean_ns: f64,
+    /// Median ns/iter.
+    pub median_ns: f64,
+    /// Fastest sample ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample ns/iter.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+fn results() -> &'static Mutex<Vec<BenchResult>> {
+    static RESULTS: OnceLock<Mutex<Vec<BenchResult>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Harness configuration and entry point, mirroring `criterion::Criterion`.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the closure before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Apply CLI arguments (`--test` smoke mode, name substring filter).
+    /// Called by the `criterion_group!` expansion.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // flags cargo-bench forwards that the shim can ignore
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_owned()),
+            }
+        }
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        run_bench(self, &id, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a function within this group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_bench(self.criterion, &id, f);
+        self
+    }
+
+    /// Finish the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark id.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name with a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Conversion into a benchmark id string (`&str`, `String`, or
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The id rendering.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Measure `f`, storing per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.config.test_mode {
+            black_box(f());
+            self.samples_ns.push(0.0);
+            return;
+        }
+        // Warm-up: run until the warm-up window elapses, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(f());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters.max(1) as f64;
+        // Pick iterations per sample so all samples fit the window.
+        let budget = self.config.measurement_time.as_secs_f64();
+        let per_sample = budget / self.config.sample_size as f64;
+        let iters_per_sample = ((per_sample / per_iter.max(1e-9)) as u64).max(1);
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, mut f: F) {
+    if let Some(filter) = &c.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        config: c,
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    let mut s = b.samples_ns;
+    if s.is_empty() {
+        return;
+    }
+    s.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let min = s[0];
+    let max = s[s.len() - 1];
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    let median = s[s.len() / 2];
+    if c.test_mode {
+        println!("{id}: ok (smoke)");
+    } else {
+        println!(
+            "{id:<50} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+    }
+    results()
+        .lock()
+        .expect("results poisoned")
+        .push(BenchResult {
+            id: id.to_owned(),
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: min,
+            max_ns: max,
+            samples: s.len(),
+        });
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Emit the JSON summary; invoked by `criterion_main!` after all groups
+/// have run. Appends one JSON object per line (JSON Lines, so several
+/// bench binaries can share one file) to `$CRITERION_JSON` when set.
+pub fn finalize() {
+    let all = results().lock().expect("results poisoned");
+    if all.is_empty() {
+        return;
+    }
+    let mut out = String::new();
+    for r in all.iter() {
+        out.push_str(&format!(
+            "{{\"id\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}\n",
+            json_escape(&r.id),
+            r.mean_ns,
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples
+        ));
+    }
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        use std::io::Write as _;
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path);
+        match file {
+            Ok(mut fh) => {
+                let _ = fh.write_all(out.as_bytes());
+            }
+            Err(e) => eprintln!("criterion shim: cannot write {path}: {e}"),
+        }
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::new("f", "depth=8").to_string(), "f/depth=8");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut calls = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("one", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measurement_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("tiny", |b| b.iter(|| black_box(1 + 1)));
+        let all = results().lock().unwrap();
+        let r = all.iter().find(|r| r.id == "tiny").expect("recorded");
+        assert_eq!(r.samples, 3);
+        assert!(r.mean_ns >= 0.0);
+    }
+}

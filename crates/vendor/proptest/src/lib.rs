@@ -1,0 +1,563 @@
+//! Offline, API-compatible subset of the `proptest` property-testing
+//! crate.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the exact surface the workspace's property tests use is
+//! reimplemented here from scratch:
+//!
+//! - the [`strategy::Strategy`] trait with `prop_map`, `prop_recursive`
+//!   and `boxed`;
+//! - range, tuple, [`strategy::Just`], [`collection::vec`] and
+//!   [`sample::select`] strategies;
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_assume!`] macros;
+//! - [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Inputs are generated from a deterministic per-test, per-case seed so
+//! failures reproduce exactly. There is **no shrinking**: a failing
+//! case reports the panic from the assertion macros directly. Each
+//! test's RNG stream is a pure function of its module path, name and
+//! case index, so runs are stable across processes.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic case generation: config and RNG.
+
+    /// How many cases to run per property.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic generator (SplitMix64) used for all strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed the stream; equal seeds give equal streams.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value below `n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+        }
+    }
+
+    /// FNV-1a of a string — used to derive per-test seeds from names.
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Build a recursive strategy: `self` generates leaves and
+        /// `recurse` wraps an inner strategy into one more level.
+        /// `depth` bounds the nesting; `_desired_size` and
+        /// `_expected_branch_size` are accepted for API compatibility.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                // Mix leaves back in at every level so generated depths
+                // vary instead of always reaching the maximum.
+                strat = WeightedUnion::new(vec![(1, leaf.clone()), (3, recurse(strat).boxed())])
+                    .boxed();
+            }
+            strat
+        }
+    }
+
+    /// Object-safe face of [`Strategy`] used by [`BoxedStrategy`].
+    trait DynStrategy {
+        type Value;
+        fn dyn_new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            self.0.dyn_new_value(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Weighted choice between boxed strategies (`prop_oneof!`).
+    pub struct WeightedUnion<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> WeightedUnion<V> {
+        /// Build from `(weight, strategy)` arms (weights must sum > 0).
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            WeightedUnion { arms, total }
+        }
+    }
+
+    impl<V> Clone for WeightedUnion<V> {
+        fn clone(&self) -> Self {
+            WeightedUnion {
+                arms: self.arms.clone(),
+                total: self.total,
+            }
+        }
+    }
+
+    impl<V> Strategy for WeightedUnion<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < u64::from(*w) {
+                    return s.new_value(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("weights covered the whole range")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + rng.below(span) as $t
+                }
+            }
+        )+};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An (inclusive-min, exclusive-max) element-count range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_excl: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Generate `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_excl - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies (`select`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a fixed list of options.
+    pub fn select<T: Clone>(options: impl Into<Vec<T>>) -> Select<T> {
+        let options = options.into();
+        assert!(!options.is_empty(), "select: empty options");
+        Select { options }
+    }
+
+    /// The strategy returned by [`select`].
+    #[derive(Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual single-import surface.
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Weighted or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Assert inside a property (maps to `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(());
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __strategies = ( $($strat,)+ );
+            let __seed_base = $crate::test_runner::fnv1a(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..u64::from(__config.cases) {
+                let mut __rng = $crate::test_runner::TestRng::from_seed(
+                    __seed_base ^ __case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let ($(ref $arg,)+) = __strategies;
+                $(
+                    let $arg = $crate::strategy::Strategy::new_value($arg, &mut __rng);
+                )+
+                // The closure lets prop_assume! skip a case via `return`.
+                let __outcome: ::core::result::Result<(), ()> = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                let _ = __outcome;
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        let s = (3u32..7).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((6..14).contains(&v) && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_arms() {
+        let mut rng = TestRng::from_seed(2);
+        let s = prop_oneof![2 => Just(1u8), 1 => Just(9u8)];
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            match s.new_value(&mut rng) {
+                1 => seen[0] = true,
+                9 => seen[1] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn vec_and_select_compose() {
+        let mut rng = TestRng::from_seed(3);
+        let s = crate::collection::vec(crate::sample::select(&["a", "b"][..]), 1..4);
+        for _ in 0..50 {
+            let v = s.new_value(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|x| *x == "a" || *x == "b"));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf => 1,
+                T::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = Just(T::Leaf).prop_recursive(3, 16, 3, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(T::Node)
+        });
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..100 {
+            assert!(depth(&s.new_value(&mut rng)) <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0u32..10, v in crate::collection::vec(0u8..4, 2)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(v.len(), 2);
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = (0u64..1000, 0u64..1000);
+        let mut a = TestRng::from_seed(99);
+        let mut b = TestRng::from_seed(99);
+        for _ in 0..20 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+}

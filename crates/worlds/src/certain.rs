@@ -26,10 +26,7 @@ use std::collections::BTreeSet;
 
 /// The (positive) membership condition of `tree` among the answer's
 /// members — `Some` only when the answer is ground (see module docs).
-pub fn membership_condition(
-    answer: &Forest<NatPoly>,
-    tree: &Tree<bool>,
-) -> Option<PosBool> {
+pub fn membership_condition(answer: &Forest<NatPoly>, tree: &Tree<bool>) -> Option<PosBool> {
     if !answer_is_ground(answer) {
         return None;
     }
@@ -53,45 +50,49 @@ pub fn is_possible(answer: &Forest<NatPoly>, tree: &Tree<bool>) -> bool {
     }
 }
 
-/// All certain answer trees.
+/// All certain answer trees, in document order.
 pub fn certain_answers(answer: &Forest<NatPoly>) -> Vec<Tree<bool>> {
-    if answer_is_ground(answer) {
-        return answer
+    let mut out: Vec<Tree<bool>> = if answer_is_ground(answer) {
+        answer
             .iter()
             .filter(|(_, k)| natpoly_to_posbool(k).is_one())
             .map(|(t, _)| ground_to_bool(t))
-            .collect();
-    }
-    // intersection over worlds
-    let mut worlds = mod_bool(answer).into_iter();
-    let Some(first) = worlds.next() else {
-        return Vec::new();
+            .collect()
+    } else {
+        // intersection over worlds
+        let mut worlds = mod_bool(answer).into_iter();
+        let Some(first) = worlds.next() else {
+            return Vec::new();
+        };
+        let mut certain: BTreeSet<Tree<bool>> = first.trees().cloned().collect();
+        for w in worlds {
+            certain.retain(|t| w.contains(t));
+        }
+        certain.into_iter().collect()
     };
-    let mut certain: BTreeSet<Tree<bool>> = first.trees().cloned().collect();
-    for w in worlds {
-        certain.retain(|t| w.contains(t));
-    }
-    certain.into_iter().collect()
+    out.sort_by(|a, b| a.cmp_document(b));
+    out
 }
 
 /// All possible answer trees. For ground answers the accompanying
 /// condition is the exact (positive) membership condition; for
 /// non-ground answers membership can be non-monotone and no positive
 /// condition exists, so `None` is returned alongside each tree.
-pub fn possible_answers(
-    answer: &Forest<NatPoly>,
-) -> Vec<(Tree<bool>, Option<PosBool>)> {
-    if answer_is_ground(answer) {
-        return answer
+pub fn possible_answers(answer: &Forest<NatPoly>) -> Vec<(Tree<bool>, Option<PosBool>)> {
+    let mut out: Vec<(Tree<bool>, Option<PosBool>)> = if answer_is_ground(answer) {
+        answer
             .iter()
             .map(|(t, k)| (ground_to_bool(t), Some(natpoly_to_posbool(k))))
-            .collect();
-    }
-    let mut seen: BTreeSet<Tree<bool>> = BTreeSet::new();
-    for w in mod_bool(answer) {
-        seen.extend(w.trees().cloned());
-    }
-    seen.into_iter().map(|t| (t, None)).collect()
+            .collect()
+    } else {
+        let mut seen: BTreeSet<Tree<bool>> = BTreeSet::new();
+        for w in mod_bool(answer) {
+            seen.extend(w.trees().cloned());
+        }
+        seen.into_iter().map(|t| (t, None)).collect()
+    };
+    out.sort_by(|(a, _), (b, _)| a.cmp_document(b));
+    out
 }
 
 /// Do all member trees have constant (variable-free) inner annotations?
@@ -157,10 +158,7 @@ mod tests {
         // c derivable via v OR via the always-present second copy
         let ans = answer_of("<r> c {cw_v} </r> <q> c </q>", "$S/*, $S/self::q/*");
         assert!(is_certain(&ans, &leaf("c")));
-        assert_eq!(
-            membership_condition(&ans, &leaf("c")),
-            Some(PosBool::tt())
-        );
+        assert_eq!(membership_condition(&ans, &leaf("c")), Some(PosBool::tt()));
     }
 
     #[test]

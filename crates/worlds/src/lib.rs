@@ -20,13 +20,14 @@ pub mod modk;
 pub mod pattern;
 pub mod prob;
 
-pub use certain::{certain_answers, is_certain, is_possible, membership_condition, possible_answers};
+pub use certain::{
+    certain_answers, is_certain, is_possible, membership_condition, possible_answers,
+};
 pub use modk::{
-    bool_valuations, forest_vars, mod_bool, mod_k, mod_nat, mod_posbool,
-    nat_valuations, to_posbool_repr,
+    bool_valuations, forest_vars, mod_bool, mod_k, mod_nat, mod_posbool, nat_valuations,
+    to_posbool_repr,
 };
 pub use pattern::{PatternEdge, TreePattern};
 pub use prob::{
-    answer_distribution, estimate_marginal, marginal_prob, sample_geometric_nat,
-    ProbSpace,
+    answer_distribution, estimate_marginal, marginal_prob, sample_geometric_nat, ProbSpace,
 };

@@ -186,10 +186,9 @@ mod tests {
     #[test]
     fn mod_b_contains_the_full_and_empty_variants() {
         let worlds = mod_bool(&section5_repr());
-        let all_true = parse_forest::<bool>(
-            "<a> <b> <a> c d </a> </b> <c> <d> <a> c b </a> </d> </c> </a>",
-        )
-        .unwrap();
+        let all_true =
+            parse_forest::<bool>("<a> <b> <a> c d </a> </b> <c> <d> <a> c b </a> </d> </c> </a>")
+                .unwrap();
         assert!(worlds.contains(&all_true));
         // y1 = false, y3 = false: both c-subtrees gone
         let min = parse_forest::<bool>("<a> <b> <a> d </a> </b> </a>").unwrap();
@@ -201,23 +200,19 @@ mod tests {
         // p(Mod_B(v)) = Mod_B(p(v)) for p = element r { $T//c }.
         let repr = section5_repr();
         // worlds of the symbolic answer
-        let sym_answer = run_query::<NatPoly>(
-            "element r { $T//c }",
-            &[("T", Value::Set(repr.clone()))],
-        )
-        .unwrap();
-        let Value::Tree(answer_tree) = sym_answer else { panic!() };
+        let sym_answer =
+            run_query::<NatPoly>("element r { $T//c }", &[("T", Value::Set(repr.clone()))])
+                .unwrap();
+        let Value::Tree(answer_tree) = sym_answer else {
+            panic!()
+        };
         let answer_repr = Forest::unit(answer_tree);
         let rhs = mod_bool(&answer_repr);
 
         // per-world answers
         let mut lhs = BTreeSet::new();
         for w in mod_bool(&repr) {
-            let out = run_query::<bool>(
-                "element r { $T//c }",
-                &[("T", Value::Set(w))],
-            )
-            .unwrap();
+            let out = run_query::<bool>("element r { $T//c }", &[("T", Value::Set(w))]).unwrap();
             let Value::Tree(t) = out else { panic!() };
             lhs.insert(Forest::unit(t));
         }
@@ -264,8 +259,7 @@ mod tests {
 
     #[test]
     fn valuation_counts() {
-        let vars: BTreeSet<Var> =
-            [Var::new("vc_a"), Var::new("vc_b")].into_iter().collect();
+        let vars: BTreeSet<Var> = [Var::new("vc_a"), Var::new("vc_b")].into_iter().collect();
         assert_eq!(bool_valuations(&vars).len(), 4);
         assert_eq!(nat_valuations(&vars, 2).len(), 9);
     }

@@ -171,13 +171,15 @@ mod tests {
         let doc = parse_forest::<NatPoly>("<a> <b> c </b> </a>").unwrap();
         // a / c : no match (c is not an immediate child of a)
         let p1 = TreePattern::label("a").child(TreePattern::label("c"));
-        let out1 = eval_query(&p1.to_query::<NatPoly>(), &[("doc", Value::Set(doc.clone()))])
-            .unwrap();
+        let out1 = eval_query(
+            &p1.to_query::<NatPoly>(),
+            &[("doc", Value::Set(doc.clone()))],
+        )
+        .unwrap();
         assert!(out1.as_set().unwrap().is_empty());
         // a // c : matches
         let p2 = TreePattern::label("a").descendant(TreePattern::label("c"));
-        let out2 = eval_query(&p2.to_query::<NatPoly>(), &[("doc", Value::Set(doc))])
-            .unwrap();
+        let out2 = eval_query(&p2.to_query::<NatPoly>(), &[("doc", Value::Set(doc))]).unwrap();
         assert_eq!(out2.as_set().unwrap().len(), 1);
     }
 
@@ -197,8 +199,7 @@ mod tests {
     fn wildcard_root() {
         let doc = parse_forest::<PosBool>("<a> b </a>").unwrap();
         let pat = TreePattern::any();
-        let out =
-            eval_query(&pat.to_query::<PosBool>(), &[("doc", Value::Set(doc))]).unwrap();
+        let out = eval_query(&pat.to_query::<PosBool>(), &[("doc", Value::Set(doc))]).unwrap();
         // matches every node: a and b
         assert_eq!(out.as_set().unwrap().len(), 2);
         // all annotated true (no uncertainty)
@@ -214,8 +215,7 @@ mod tests {
         let pat = TreePattern::label("a")
             .child(TreePattern::label("b"))
             .child(TreePattern::label("c"));
-        let out =
-            eval_query(&pat.to_query::<PosBool>(), &[("doc", Value::Set(doc))]).unwrap();
+        let out = eval_query(&pat.to_query::<PosBool>(), &[("doc", Value::Set(doc))]).unwrap();
         assert_eq!(out.as_set().unwrap().len(), 1);
     }
 }

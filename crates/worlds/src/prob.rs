@@ -97,7 +97,13 @@ impl ProbSpace {
             if cond.eval_assignment(&tv) {
                 let p: f64 = vars
                     .iter()
-                    .map(|&v| if tv.contains(&v) { self.prob(v) } else { 1.0 - self.prob(v) })
+                    .map(|&v| {
+                        if tv.contains(&v) {
+                            self.prob(v)
+                        } else {
+                            1.0 - self.prob(v)
+                        }
+                    })
                     .product();
                 total += p;
             }
@@ -107,10 +113,7 @@ impl ProbSpace {
 
     /// Sample a Boolean valuation of `vars`.
     pub fn sample<R: Rng>(&self, vars: &BTreeSet<Var>, rng: &mut R) -> Valuation<bool> {
-        Valuation::from_pairs(
-            vars.iter()
-                .map(|&v| (v, rng.gen_bool(self.prob(v)))),
-        )
+        Valuation::from_pairs(vars.iter().map(|&v| (v, rng.gen_bool(self.prob(v)))))
     }
 }
 
@@ -143,7 +146,14 @@ pub fn answer_distribution(
         let w = specialize_forest(symbolic_answer, &val);
         *acc.entry(w).or_insert(0.0) += space.world_prob(&val, &vars);
     }
-    acc.into_iter().collect()
+    let mut out: Vec<(Forest<bool>, f64)> = acc.into_iter().collect();
+    // Deterministic, cross-process-stable order (the map's internal
+    // order is fingerprint-based). Sorting on the rendered form costs
+    // one document-order render per world instead of re-sorting both
+    // forests inside every comparison; Forest<bool> renders injectively
+    // (structure and labels shown, `true` annotations elided).
+    out.sort_by_cached_key(|(w, _)| w.to_string());
+    out
 }
 
 /// Exact probability that `tree` occurs (annotation `true`) among the
@@ -202,11 +212,8 @@ mod tests {
     }
 
     fn answer() -> Forest<NatPoly> {
-        let out = run_query::<NatPoly>(
-            "element r { $T//c }",
-            &[("T", Value::Set(repr()))],
-        )
-        .unwrap();
+        let out =
+            run_query::<NatPoly>("element r { $T//c }", &[("T", Value::Set(repr()))]).unwrap();
         let Value::Tree(t) = out else { panic!() };
         t.children().clone()
     }

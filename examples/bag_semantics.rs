@@ -27,9 +27,11 @@ fn main() {
     // crate; value-identical crates merge and their multiplicities add.
     let q = "for $c in $W//crate return ($c)/*";
     let bags = run_query::<Nat>(q, &[("W", Value::Set(inventory.clone()))]).unwrap();
-    let Value::Set(bag_result) = &bags else { unreachable!() };
+    let Value::Set(bag_result) = &bags else {
+        unreachable!()
+    };
     println!("bag answer: {bag_result}");
-    for (item, count) in bag_result.iter() {
+    for (item, count) in bag_result.iter_document() {
         println!("  {count} × {item}");
     }
 
@@ -52,6 +54,8 @@ fn main() {
         &[("W", Value::Set(inventory))],
     )
     .unwrap();
-    let Value::Set(pairs) = self_join else { unreachable!() };
+    let Value::Set(pairs) = self_join else {
+        unreachable!()
+    };
     println!("\nself-join multiplicities: {pairs}");
 }

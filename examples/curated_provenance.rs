@@ -44,10 +44,12 @@ fn main() {
         ],
     )
     .expect("view evaluates");
-    let Value::Set(result) = out else { unreachable!() };
+    let Value::Set(result) = out else {
+        unreachable!()
+    };
 
     println!("integrated view with provenance:");
-    for (tree, provenance) in result.iter() {
+    for (tree, provenance) in result.iter_document() {
         println!("  {tree}");
         println!("    provenance: {provenance}");
         // lineage: the flat set of contributing source records
@@ -74,7 +76,7 @@ fn main() {
     ]);
     let scored = specialize_forest(&result, &trust);
     println!("\ntrust scores (Viterbi semiring):");
-    for (tree, score) in scored.iter() {
+    for (tree, score) in scored.iter_document() {
         println!("  {score}  {tree}");
     }
 }

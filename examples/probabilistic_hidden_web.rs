@@ -9,8 +9,7 @@
 
 use annotated_xml::prelude::*;
 use annotated_xml::worlds::{
-    answer_distribution, estimate_marginal, marginal_prob, mod_bool, ProbSpace,
-    TreePattern,
+    answer_distribution, estimate_marginal, marginal_prob, mod_bool, ProbSpace, TreePattern,
 };
 use axml_core::run_query;
 use axml_uxml::{parse_forest, Value};
@@ -45,7 +44,9 @@ fn main() {
         &[("doc", Value::Set(extracted.clone()))],
     )
     .unwrap();
-    let Value::Tree(answer) = sym else { unreachable!() };
+    let Value::Tree(answer) = sym else {
+        unreachable!()
+    };
     println!("\nsymbolic answer: {answer}");
 
     // Event probabilities from the extractor's confidence scores.
@@ -95,12 +96,13 @@ fn main() {
         &[("doc", Value::Set(extracted))],
     )
     .unwrap();
-    let Value::Set(matches) = out else { unreachable!() };
+    let Value::Set(matches) = out else {
+        unreachable!()
+    };
     println!("\npattern person[phone][email]:");
-    for (m, evidence) in matches.iter() {
+    for (m, evidence) in matches.iter_document() {
         let cond = annotated_xml::semiring::trio::collapse::natpoly_to_posbool(evidence);
         let p = space.prob_of_condition(&cond);
         println!("  Pr = {p:.4} under condition {cond} at {}", m.label());
     }
-
 }

@@ -12,10 +12,9 @@ fn main() {
     // 1. Parse a document. Annotations in `{…}` are ℕ[X] provenance
     //    polynomials; absent annotations mean the neutral 1.
     //    This is Figure 1 of the paper.
-    let source = parse_forest::<NatPoly>(
-        "<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>",
-    )
-    .expect("document parses");
+    let source =
+        parse_forest::<NatPoly>("<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>")
+            .expect("document parses");
     println!("source:\n{}", annotated_xml::uxml::print::pretty(&source));
 
     // 2. Run a query: all grandchildren of the root.
@@ -29,8 +28,10 @@ fn main() {
 
     // 3. Each answer item carries a provenance polynomial: a sum over
     //    derivations of the product of the source annotations used.
-    let Value::Tree(tree) = &answer else { unreachable!() };
-    for (child, provenance) in tree.children().iter() {
+    let Value::Tree(tree) = &answer else {
+        unreachable!()
+    };
+    for (child, provenance) in tree.children().iter_document() {
         println!("  {child}  ⇐  {provenance}");
     }
 

@@ -46,7 +46,7 @@ fn main() {
     let sym = run_query::<NatPoly>(view, &[("d", Value::Set(source))]).unwrap();
     let Value::Tree(q) = sym else { unreachable!() };
     println!("symbolic view (Fig 6): 8 tuples");
-    for (t, provenance) in q.children().iter() {
+    for (t, provenance) in q.children().iter_document() {
         println!("  {t}\n    ⇐ {provenance}");
     }
 
@@ -62,7 +62,7 @@ fn main() {
     // policy gives the clearance of each view item.
     let cleared = specialize_forest(q.children(), &policy);
     println!("\nview clearances (Fig 7):");
-    for (t, clearance) in cleared.iter() {
+    for (t, clearance) in cleared.iter_document() {
         println!("  [{clearance}] {t}");
     }
 
@@ -73,10 +73,7 @@ fn main() {
         ClearanceLevel::Secret,
         ClearanceLevel::TopSecret,
     ] {
-        let visible = cleared
-            .iter()
-            .filter(|(_, c)| c.visible_at(level))
-            .count();
+        let visible = cleared.iter().filter(|(_, c)| c.visible_at(level)).count();
         println!("principal with {level} clearance sees {visible}/6 tuples");
     }
 

@@ -6,9 +6,7 @@
 //! Run with: `cargo run --example shredding_pipeline`
 
 use annotated_xml::prelude::*;
-use annotated_xml::relational::{
-    decode, garbage_collect, shred, shredded_eval, xpath_to_datalog,
-};
+use annotated_xml::relational::{decode, garbage_collect, shred, shredded_eval, xpath_to_datalog};
 use axml_core::ast::{Axis, NodeTest, Step};
 use axml_uxml::{parse_forest, Label};
 

@@ -53,10 +53,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     while i < args.len() {
         match args[i].as_str() {
             "--semiring" => {
-                semiring = args
-                    .get(i + 1)
-                    .ok_or("--semiring needs a value")?
-                    .clone();
+                semiring = args.get(i + 1).ok_or("--semiring needs a value")?.clone();
                 i += 2;
             }
             "--doc" => {
@@ -114,11 +111,7 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn dispatch_semiring(
-    name: &str,
-    doc: &str,
-    f: impl SemiringDispatch,
-) -> Result<(), String> {
+fn dispatch_semiring(name: &str, doc: &str, f: impl SemiringDispatch) -> Result<(), String> {
     match name {
         "natpoly" => f.call::<NatPoly>(doc),
         "nat" => f.call::<Nat>(doc),
@@ -165,15 +158,19 @@ fn shred_cmd(doc: &str, path: &str) -> Result<(), String> {
         annotated_xml::relational::shredded_eval(&forest, &steps).map_err(|e| e.to_string())?;
     println!("E' (raw, with garbage):\n{raw}");
     let clean = annotated_xml::relational::garbage_collect(&raw);
-    let decoded = annotated_xml::relational::decode(&clean)
-        .ok_or("result is not forest-shaped")?;
+    let decoded = annotated_xml::relational::decode(&clean).ok_or("result is not forest-shaped")?;
     println!("decoded:\n{}", pretty(&decoded));
     Ok(())
 }
 
 fn worlds_cmd(doc: &str) -> Result<(), String> {
     let forest = parse_forest::<NatPoly>(doc).map_err(|e| e.to_string())?;
-    let worlds = annotated_xml::worlds::mod_bool(&forest);
+    let mut worlds: Vec<_> = annotated_xml::worlds::mod_bool(&forest)
+        .into_iter()
+        .collect();
+    // deterministic display order (the set's internal order is
+    // process-dependent); one render per world, reused for sorting
+    worlds.sort_by_cached_key(|w| w.to_string());
     println!("{} possible world(s):", worlds.len());
     for (i, w) in worlds.iter().enumerate() {
         println!("--- world {} ---", i + 1);
@@ -195,9 +192,7 @@ fn parse_path_steps(src: &str) -> Result<Vec<axml_core::Step>, String> {
         } else {
             return Err(format!("expected '/' or '//' at {rest:?}"));
         };
-        let end = after
-            .find('/')
-            .unwrap_or(after.len());
+        let end = after.find('/').unwrap_or(after.len());
         let (token, next) = after.split_at(end);
         let (axis, test_txt) = match token.split_once("::") {
             Some(("self", t)) => (Axis::SelfAxis, t),

@@ -50,8 +50,8 @@ pub use axml_worlds as worlds;
 pub mod prelude {
     pub use axml_core::prelude::*;
     pub use axml_semiring::{
-        Clearance, KSet, Lineage, Nat, NatPoly, PosBool, Prob, Product,
-        Semiring, SemiringHom, Tropical, Valuation, Var, Why,
+        Clearance, KSet, Lineage, Nat, NatPoly, PosBool, Prob, Product, Semiring, SemiringHom,
+        Tropical, Valuation, Var, Why,
     };
     pub use axml_uxml::prelude::*;
 }

@@ -91,10 +91,9 @@ fn compiled_paper_queries_roundtrip_through_nrc_text() {
 
 #[test]
 fn optimizer_preserves_all_paper_queries() {
-    let doc = parse_forest::<NatPoly>(
-        "<a {z}> <b {x1}> d {y1} c </b> <c {x2}> d {y2} e {y3} </c> </a>",
-    )
-    .unwrap();
+    let doc =
+        parse_forest::<NatPoly>("<a {z}> <b {x1}> d {y1} c </b> <c {x2}> d {y2} e {y3} </c> </a>")
+            .unwrap();
     for q in [
         "element p { for $t in $S return for $x in ($t)/child::* return ($x)/child::* }",
         "element r { $S//c }",
@@ -105,10 +104,8 @@ fn optimizer_preserves_all_paper_queries() {
         let core = elaborate(&parse_query::<NatPoly>(q).unwrap()).unwrap();
         let e = compile(&core);
         let s = axml_nrc::axioms::simplify(&e);
-        let mut env1 = axml_nrc::Env::from_bindings([(
-            "S".to_owned(),
-            axml_nrc::CValue::from_forest(&doc),
-        )]);
+        let mut env1 =
+            axml_nrc::Env::from_bindings([("S".to_owned(), axml_nrc::CValue::from_forest(&doc))]);
         let mut env2 = env1.clone();
         assert_eq!(
             axml_nrc::eval(&e, &mut env1).unwrap(),
@@ -177,10 +174,7 @@ fn deep_chain_tree() {
 fn wide_flat_tree() {
     let mut kids: Forest<Nat> = Forest::new();
     for i in 0..2_000 {
-        kids.insert(
-            Tree::leaf(axml_uxml::Label::new(&format!("w{i}"))),
-            Nat(1),
-        );
+        kids.insert(Tree::leaf(axml_uxml::Label::new(&format!("w{i}"))), Nat(1));
     }
     let f = Forest::unit(Tree::new("root", kids));
     let q = parse_query::<Nat>("$S/*").unwrap();
@@ -216,10 +210,7 @@ fn huge_multiplicities_stay_exact() {
 fn shadowing_across_nested_fors() {
     // $x rebound in the inner for must shadow the outer binding
     let f = parse_forest::<Nat>("<a> <b> c </b> </a>").unwrap();
-    let q = parse_query::<Nat>(
-        "for $x in $S return for $x in ($x)/child::* return ($x)",
-    )
-    .unwrap();
+    let q = parse_query::<Nat>("for $x in $S return for $x in ($x)/child::* return ($x)").unwrap();
     let out = eval_query(&q, &[("S", Value::Set(f))]).unwrap();
     let Value::Set(r) = out else { panic!() };
     assert_eq!(r.len(), 1);

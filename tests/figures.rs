@@ -22,8 +22,7 @@ fn np(s: &str) -> NatPoly {
 // ---------------------------------------------------------------------
 
 fn fig1_source() -> Forest<NatPoly> {
-    parse_forest("<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>")
-        .unwrap()
+    parse_forest("<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>").unwrap()
 }
 
 const FIG1_QUERY: &str =
@@ -31,9 +30,10 @@ const FIG1_QUERY: &str =
 
 #[test]
 fn fig1_simple_for_example() {
-    let out = run_query::<NatPoly>(FIG1_QUERY, &[("S", Value::Set(fig1_source()))])
-        .unwrap();
-    let Value::Tree(t) = out else { panic!("expected tree") };
+    let out = run_query::<NatPoly>(FIG1_QUERY, &[("S", Value::Set(fig1_source()))]).unwrap();
+    let Value::Tree(t) = out else {
+        panic!("expected tree")
+    };
     assert_eq!(t.label().name(), "p");
     assert_eq!(t.children().len(), 2);
     // d^{z·x1·y1 + z·x2·y2}, e^{z·x2·y3}
@@ -103,11 +103,8 @@ fn fig4_source() -> Forest<NatPoly> {
 
 #[test]
 fn fig4_xpath_example() {
-    let out = run_query::<NatPoly>(
-        "element r { $T//c }",
-        &[("T", Value::Set(fig4_source()))],
-    )
-    .unwrap();
+    let out =
+        run_query::<NatPoly>("element r { $T//c }", &[("T", Value::Set(fig4_source()))]).unwrap();
     let Value::Tree(t) = out else { panic!() };
     assert_eq!(t.children().len(), 2);
     // q1 = x1·y3 + y1·y2 on the leaf c
@@ -179,8 +176,7 @@ fn fig5_relational_side() {
 fn fig5_uxquery_side_matches_paper_and_prop1() {
     // run the paper's hand-written UXQuery over the encoded database
     let v = encode_database(&fig5_db());
-    let out = run_query::<NatPoly>(FIG5_UXQUERY, &[("d", Value::Set(v.clone()))])
-        .unwrap();
+    let out = run_query::<NatPoly>(FIG5_UXQUERY, &[("d", Value::Set(v.clone()))]).unwrap();
     let Value::Tree(q) = out else { panic!() };
     assert_eq!(q.label().name(), "Q");
     let decoded = decode_relation(q.children(), &["A", "C"]).unwrap();
@@ -217,9 +213,7 @@ fn fig6_source() -> Forest<NatPoly> {
 
 /// Build the expected Fig 6 answer tuple `<t>{<A{y1}>α</A>, <C{yc}>γ</C>}</t>`.
 fn fig6_tuple(a: &str, c_ann: &str, c_val: &str, c_val_ann: &str) -> axml_uxml::Tree<NatPoly> {
-    let src = format!(
-        "<t> <A {{y1}}> {a} </A> <C {{{c_ann}}}> {c_val} {{{c_val_ann}}} </C> </t>"
-    );
+    let src = format!("<t> <A {{y1}}> {a} </A> <C {{{c_ann}}}> {c_val} {{{c_val_ann}}} </C> </t>");
     parse_forest::<NatPoly>(&src)
         .unwrap()
         .trees()
@@ -230,11 +224,7 @@ fn fig6_tuple(a: &str, c_ann: &str, c_val: &str, c_val_ann: &str) -> axml_uxml::
 
 #[test]
 fn fig6_extended_annotations() {
-    let out = run_query::<NatPoly>(
-        FIG5_UXQUERY,
-        &[("d", Value::Set(fig6_source()))],
-    )
-    .unwrap();
+    let out = run_query::<NatPoly>(FIG5_UXQUERY, &[("d", Value::Set(fig6_source()))]).unwrap();
     let Value::Tree(q) = out else { panic!() };
     assert_eq!(q.label().name(), "Q");
     let answers = q.children();
@@ -266,16 +256,14 @@ fn fig6_extended_annotations() {
 fn fig6_collapses_to_fig5_when_extra_annotations_are_one() {
     // "we can obtain the answer shown in Figure 5 simply by setting all
     // the indeterminates except for x1..x5 to 1"
-    let out = run_query::<NatPoly>(FIG5_UXQUERY, &[("d", Value::Set(fig6_source()))])
-        .unwrap();
+    let out = run_query::<NatPoly>(FIG5_UXQUERY, &[("d", Value::Set(fig6_source()))]).unwrap();
     let Value::Tree(q) = out else { panic!() };
     let keep = ["x1", "x2", "x3", "x4", "x5"];
-    let subst: std::collections::BTreeMap<Var, NatPoly> =
-        axml_worlds::forest_vars(q.children())
-            .into_iter()
-            .filter(|v| !keep.contains(&v.name()))
-            .map(|v| (v, NatPoly::one()))
-            .collect();
+    let subst: std::collections::BTreeMap<Var, NatPoly> = axml_worlds::forest_vars(q.children())
+        .into_iter()
+        .filter(|v| !keep.contains(&v.name()))
+        .map(|v| (v, NatPoly::one()))
+        .collect();
     let collapsed = axml_uxml::hom::substitute_forest(q.children(), &subst);
     let decoded = decode_relation(&collapsed, &["A", "C"]).unwrap();
     let expected = eval_ra(&fig5_query(), &fig5_db()).unwrap();
@@ -295,15 +283,13 @@ fn fig7_security_clearances() {
         (Var::new("y5"), Clearance::T),
     ]);
     // Route 1 (Corollary 1): evaluate symbolically, then specialize.
-    let sym = run_query::<NatPoly>(FIG5_UXQUERY, &[("d", Value::Set(fig6_source()))])
-        .unwrap();
+    let sym = run_query::<NatPoly>(FIG5_UXQUERY, &[("d", Value::Set(fig6_source()))]).unwrap();
     let Value::Tree(q) = sym else { panic!() };
     let specialized = axml_uxml::hom::specialize_forest(q.children(), &val);
 
     // Route 2: specialize the source, evaluate in the clearance semiring.
     let source_c = axml_uxml::hom::specialize_forest(&fig6_source(), &val);
-    let direct = run_query::<Clearance>(FIG5_UXQUERY, &[("d", Value::Set(source_c))])
-        .unwrap();
+    let direct = run_query::<Clearance>(FIG5_UXQUERY, &[("d", Value::Set(source_c))]).unwrap();
     let Value::Tree(qc) = direct else { panic!() };
     assert_eq!(specialized, qc.children().clone(), "Corollary 1 (Fig 7)");
 
@@ -340,9 +326,7 @@ fn fig7_visibility_consequences() {
         Clearance::T, // (f,c)
         Clearance::C, // (f,e)
     ];
-    let visible_at = |lvl: ClearanceLevel| {
-        clearances.iter().filter(|c| c.visible_at(lvl)).count()
-    };
+    let visible_at = |lvl: ClearanceLevel| clearances.iter().filter(|c| c.visible_at(lvl)).count();
     assert_eq!(visible_at(ClearanceLevel::Confidential), 2);
     assert_eq!(visible_at(ClearanceLevel::Secret), 5);
     assert_eq!(visible_at(ClearanceLevel::TopSecret), 6);
@@ -361,8 +345,7 @@ fn section7_shredding_agrees_with_fig4() {
         axis: Axis::Descendant,
         test: NodeTest::Label(axml_uxml::Label::new("c")),
     }];
-    let via_shred =
-        axml_relational::eval_steps_via_shredding(&fig4_source(), &steps).unwrap();
+    let via_shred = axml_relational::eval_steps_via_shredding(&fig4_source(), &steps).unwrap();
     let direct = axml_core::eval_step(&fig4_source(), steps[0]);
     assert_eq!(via_shred, direct);
     assert_eq!(via_shred.get(&leaf("c")), np("x1*y3 + y1*y2"));
@@ -376,14 +359,13 @@ fn section5_worlds_roundtrip_through_query() {
         "<a> <b> <a> c {fy3} d </a> </b> <c {fy1}> <d> <a> c {fy2} b </a> </d> </c> </a>",
     )
     .unwrap();
-    let sym = run_query::<NatPoly>("element r { $T//c }", &[("T", Value::Set(repr.clone()))])
-        .unwrap();
+    let sym =
+        run_query::<NatPoly>("element r { $T//c }", &[("T", Value::Set(repr.clone()))]).unwrap();
     let Value::Tree(t) = sym else { panic!() };
     let rhs = axml_worlds::mod_bool(&Forest::unit(t));
     let mut lhs = std::collections::BTreeSet::new();
     for w in axml_worlds::mod_bool(&repr) {
-        let o = run_query::<bool>("element r { $T//c }", &[("T", Value::Set(w))])
-            .unwrap();
+        let o = run_query::<bool>("element r { $T//c }", &[("T", Value::Set(w))]).unwrap();
         let Value::Tree(t) = o else { panic!() };
         lhs.insert(Forest::unit(t));
     }

@@ -14,9 +14,7 @@
 use axml_core::ast::{Axis, NodeTest, Step, SurfaceExpr};
 use axml_core::{eval_query, eval_query_nrc, parse_query};
 use axml_semiring::trio::collapse;
-use axml_semiring::{
-    Clearance, FnHom, Nat, NatPoly, PosBool, Semiring, Trio, Valuation, Var, Why,
-};
+use axml_semiring::{Clearance, FnHom, Nat, NatPoly, PosBool, Semiring, Trio, Valuation, Var, Why};
 use axml_uxml::hom::{map_forest, map_value};
 use axml_uxml::{Forest, Label, Tree, Value};
 use proptest::prelude::*;
@@ -46,10 +44,7 @@ fn arb_tree(depth: u32) -> BoxedStrategy<Tree<NatPoly>> {
     } else {
         (
             proptest::sample::select(&LABELS[..]),
-            proptest::collection::vec(
-                (arb_tree(depth - 1), arb_annotation()),
-                0..3,
-            ),
+            proptest::collection::vec((arb_tree(depth - 1), arb_annotation()), 0..3),
         )
             .prop_map(|(l, kids)| Tree::new(l, Forest::from_pairs(kids)))
             .boxed()
@@ -57,8 +52,7 @@ fn arb_tree(depth: u32) -> BoxedStrategy<Tree<NatPoly>> {
 }
 
 fn arb_forest() -> impl Strategy<Value = Forest<NatPoly>> {
-    proptest::collection::vec((arb_tree(3), arb_annotation()), 1..3)
-        .prop_map(Forest::from_pairs)
+    proptest::collection::vec((arb_tree(3), arb_annotation()), 1..3).prop_map(Forest::from_pairs)
 }
 
 fn arb_step() -> impl Strategy<Value = Step> {
@@ -135,10 +129,7 @@ fn arb_query(depth: u32) -> BoxedStrategy<SurfaceExpr<NatPoly>> {
     .boxed()
 }
 
-fn run_nat_poly(
-    q: &SurfaceExpr<NatPoly>,
-    v: &Forest<NatPoly>,
-) -> Value<NatPoly> {
+fn run_nat_poly(q: &SurfaceExpr<NatPoly>, v: &Forest<NatPoly>) -> Value<NatPoly> {
     eval_query(q, &[("S", Value::Set(v.clone()))]).expect("evaluates")
 }
 
