@@ -1,0 +1,170 @@
+//! Runtime → static dispatch: the bridge between [`SemiringKind`]
+//! values and the workspace's compile-time `K: Semiring` generics.
+//!
+//! Each selectable kind implements [`KindDispatch`]: the canonical
+//! homomorphism out of ℕ\[X\] (documents and prepared queries are
+//! stored symbolically, once), plus the per-kind cache slots on
+//! prepared queries and stored documents. The facade monomorphizes one
+//! evaluator per kind; choosing a semiring at runtime is a `match`
+//! followed by `OnceLock` reads.
+
+use crate::options::SemiringKind;
+use crate::result::AxmlResult;
+use axml_core::{compile_optimized, Query};
+use axml_semiring::trio::collapse::{natpoly_to_posbool, natpoly_to_trio, natpoly_to_why};
+use axml_semiring::{FnHom, Nat, NatPoly, PosBool, Prob, Semiring, Trio, Tropical, Valuation, Why};
+use axml_uxml::{Forest, Value};
+use std::sync::{Arc, OnceLock};
+
+/// Everything `prepare` produces for one semiring: the typed core
+/// query (direct route) and the normalized `NRC_K + srt` term
+/// (compilation route).
+pub(crate) struct Artifacts<K: Semiring> {
+    pub core: Query<K>,
+    pub nrc: axml_nrc::Expr<K>,
+}
+
+impl<K: Semiring> Artifacts<K> {
+    /// Build both artifacts from an elaborated core query.
+    pub fn from_core(core: Query<K>) -> Self {
+        let nrc = compile_optimized(&core);
+        Artifacts { core, nrc }
+    }
+}
+
+impl Artifacts<NatPoly> {
+    /// Push the ℕ\[X\] artifacts through a homomorphism. The query is
+    /// small (annotations occur only under `annot`), so this is cheap;
+    /// it still runs at most once per kind per prepared query.
+    pub fn specialize<S: KindDispatch>(&self) -> Artifacts<S> {
+        let h = FnHom::new(S::from_poly);
+        Artifacts {
+            core: axml_core::hom::map_query(&h, &self.core),
+            nrc: axml_nrc::hom::map_expr(&h, &self.nrc),
+        }
+    }
+}
+
+/// Per-kind artifact cache on a prepared query. `NatPoly` is not here:
+/// the symbolic artifacts are stored eagerly as the source of truth.
+#[derive(Default)]
+pub(crate) struct KindCaches {
+    pub nat: OnceLock<Artifacts<Nat>>,
+    pub posbool: OnceLock<Artifacts<PosBool>>,
+    pub tropical: OnceLock<Artifacts<Tropical>>,
+    pub why: OnceLock<Artifacts<Why>>,
+    pub trio: OnceLock<Artifacts<Trio>>,
+    pub prob: OnceLock<Artifacts<Prob>>,
+}
+
+/// Per-kind specialized copies of a loaded document, filled on first
+/// use by each kind and shared by every query thereafter.
+#[derive(Debug, Default)]
+pub(crate) struct DocCaches {
+    pub nat: OnceLock<Arc<Forest<Nat>>>,
+    pub posbool: OnceLock<Arc<Forest<PosBool>>>,
+    pub tropical: OnceLock<Arc<Forest<Tropical>>>,
+    pub why: OnceLock<Arc<Forest<Why>>>,
+    pub trio: OnceLock<Arc<Forest<Trio>>>,
+    pub prob: OnceLock<Arc<Forest<Prob>>>,
+}
+
+/// A runtime-selectable semiring: the canonical homomorphism from
+/// ℕ\[X\] plus the cache slots and result constructor for this kind.
+pub(crate) trait KindDispatch: Semiring {
+    /// The runtime tag.
+    const KIND: SemiringKind;
+    /// The canonical homomorphism ℕ\[X\] → Self (see
+    /// [`SemiringKind`]'s table).
+    fn from_poly(p: &NatPoly) -> Self;
+    /// This kind's artifact slot on a prepared query.
+    fn artifact_cache(c: &KindCaches) -> &OnceLock<Artifacts<Self>>;
+    /// This kind's document slot on a stored document.
+    fn doc_cache(d: &DocCaches) -> &OnceLock<Arc<Forest<Self>>>;
+    /// Tag a typed value as an [`AxmlResult`].
+    fn wrap(v: Value<Self>) -> AxmlResult;
+}
+
+macro_rules! dispatch_kind {
+    ($k:ty, $kind:expr, $slot:ident, $wrap:expr, $from:expr) => {
+        impl KindDispatch for $k {
+            const KIND: SemiringKind = $kind;
+            fn from_poly(p: &NatPoly) -> Self {
+                ($from)(p)
+            }
+            fn artifact_cache(c: &KindCaches) -> &OnceLock<Artifacts<Self>> {
+                &c.$slot
+            }
+            fn doc_cache(d: &DocCaches) -> &OnceLock<Arc<Forest<Self>>> {
+                &d.$slot
+            }
+            fn wrap(v: Value<Self>) -> AxmlResult {
+                ($wrap)(v)
+            }
+        }
+    };
+}
+
+dispatch_kind!(
+    Nat,
+    SemiringKind::Nat,
+    nat,
+    AxmlResult::Nat,
+    |p: &NatPoly| { p.eval(&Valuation::<Nat>::new()) }
+);
+dispatch_kind!(
+    PosBool,
+    SemiringKind::PosBool,
+    posbool,
+    AxmlResult::PosBool,
+    natpoly_to_posbool
+);
+dispatch_kind!(
+    Tropical,
+    SemiringKind::Tropical,
+    tropical,
+    AxmlResult::Tropical,
+    |p: &NatPoly| p.eval(&Valuation::<Tropical>::new())
+);
+dispatch_kind!(Why, SemiringKind::Why, why, AxmlResult::Why, natpoly_to_why);
+dispatch_kind!(
+    Trio,
+    SemiringKind::Trio,
+    trio,
+    AxmlResult::Trio,
+    natpoly_to_trio
+);
+dispatch_kind!(
+    Prob,
+    SemiringKind::Prob,
+    prob,
+    AxmlResult::Prob,
+    |p: &NatPoly| p.eval(&Valuation::<Prob>::new())
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_homs_preserve_units() {
+        // The dispatch homomorphisms must map 0 ↦ 0 and 1 ↦ 1 — the
+        // full hom laws are property-tested in `axml-semiring`.
+        fn check<S: KindDispatch>() {
+            assert_eq!(S::from_poly(&NatPoly::zero()), S::zero());
+            assert_eq!(S::from_poly(&NatPoly::one()), S::one());
+        }
+        check::<Nat>();
+        check::<PosBool>();
+        check::<Tropical>();
+        check::<Why>();
+        check::<Trio>();
+        check::<Prob>();
+    }
+
+    #[test]
+    fn nat_hom_counts_derivations() {
+        let p: NatPoly = "x*y + 2*z".parse().unwrap();
+        assert_eq!(Nat::from_poly(&p), Nat(3));
+    }
+}

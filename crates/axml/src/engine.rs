@@ -1,0 +1,170 @@
+//! The [`Engine`]: a named store of parsed documents plus the
+//! `prepare` entry point.
+//!
+//! Documents are parsed **once**, into ℕ\[X\] — the universal
+//! annotation semiring — and shared via `Arc`. When a query asks for a
+//! different [`SemiringKind`], the engine pushes the document through
+//! the canonical homomorphism the first time and caches the
+//! specialized copy, so steady-state evaluation never re-parses or
+//! re-specializes anything.
+
+use crate::dispatch::{DocCaches, KindDispatch};
+use crate::error::AxmlError;
+use crate::options::EvalOptions;
+use crate::prepared::PreparedQuery;
+use crate::result::AxmlResult;
+use axml_semiring::{FnHom, NatPoly};
+use axml_uxml::{hom::map_forest, parse_forest, Forest};
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// One stored document: the symbolic original plus per-kind
+/// specializations, filled lazily.
+#[derive(Debug)]
+pub(crate) struct StoredDoc {
+    pub poly: Arc<Forest<NatPoly>>,
+    pub kinds: DocCaches,
+}
+
+impl StoredDoc {
+    fn new(poly: Forest<NatPoly>) -> Arc<Self> {
+        Arc::new(StoredDoc {
+            poly: Arc::new(poly),
+            kinds: DocCaches::default(),
+        })
+    }
+
+    /// The document specialized to `S`, computing and caching it on
+    /// first use.
+    pub(crate) fn in_kind<S: KindDispatch>(&self) -> Arc<Forest<S>> {
+        S::doc_cache(&self.kinds)
+            .get_or_init(|| Arc::new(map_forest(&FnHom::new(S::from_poly), &self.poly)))
+            .clone()
+    }
+}
+
+/// The facade's entry point: a document store and a query compiler.
+///
+/// All methods take `&self`; the store is internally synchronized, so
+/// one `Engine` can be shared across threads (`Engine: Send + Sync`)
+/// and serve concurrent `eval` calls on the same prepared queries.
+///
+/// ```
+/// use axml::{Engine, EvalOptions};
+/// let engine = Engine::new();
+/// engine.load_document("S", "<a> b {2*x} </a>").unwrap();
+/// let q = engine.prepare("$S/b").unwrap();
+/// let out = q.eval(&engine, EvalOptions::new()).unwrap();
+/// assert_eq!(out.to_string(), "(b {2*x})");
+/// ```
+#[derive(Debug, Default)]
+pub struct Engine {
+    docs: RwLock<BTreeMap<String, Arc<StoredDoc>>>,
+}
+
+type DocMap = BTreeMap<String, Arc<StoredDoc>>;
+
+impl Engine {
+    /// An engine with an empty document store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // The store holds only fully-constructed `Arc`s, so a panic while
+    // holding the lock cannot leave it in a torn state — recover from
+    // poisoning instead of propagating the panic.
+    fn read_docs(&self) -> RwLockReadGuard<'_, DocMap> {
+        self.docs.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_docs(&self) -> RwLockWriteGuard<'_, DocMap> {
+        self.docs.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Parse `xml` (the annotated document syntax, annotations read as
+    /// ℕ\[X\] polynomials) and store it under `name`. The name is also
+    /// the query variable the document binds: loading under `"S"`
+    /// makes `$S` resolvable. Re-loading a name replaces the document
+    /// (already-running evaluations keep their `Arc` snapshot).
+    pub fn load_document(&self, name: &str, xml: &str) -> Result<(), AxmlError> {
+        let forest =
+            parse_forest::<NatPoly>(xml).map_err(|e| AxmlError::document_parse(name, xml, e))?;
+        self.insert_forest(name, forest);
+        Ok(())
+    }
+
+    /// Store an already-built symbolic forest under `name`.
+    pub fn insert_forest(&self, name: &str, forest: Forest<NatPoly>) {
+        self.write_docs()
+            .insert(name.to_owned(), StoredDoc::new(forest));
+    }
+
+    /// Remove a document; returns whether it was present.
+    pub fn remove_document(&self, name: &str) -> bool {
+        self.write_docs().remove(name).is_some()
+    }
+
+    /// The stored symbolic document, if loaded.
+    pub fn document(&self, name: &str) -> Option<Arc<Forest<NatPoly>>> {
+        self.stored(name).map(|d| d.poly.clone())
+    }
+
+    /// Names of all loaded documents, sorted.
+    pub fn document_names(&self) -> Vec<String> {
+        self.read_docs().keys().cloned().collect()
+    }
+
+    pub(crate) fn stored(&self, name: &str) -> Option<Arc<StoredDoc>> {
+        self.read_docs().get(name).cloned()
+    }
+
+    pub(crate) fn stored_or_err(&self, name: &str) -> Result<Arc<StoredDoc>, AxmlError> {
+        self.stored(name).ok_or_else(|| AxmlError::UnknownDocument {
+            name: name.to_owned(),
+            available: self.document_names(),
+        })
+    }
+
+    /// Parse, elaborate, and compile `query_src` exactly once. The
+    /// returned [`PreparedQuery`] can be evaluated any number of
+    /// times, in any [`crate::SemiringKind`] and over any
+    /// [`crate::Route`], paying only evaluation cost per call.
+    pub fn prepare(&self, query_src: &str) -> Result<PreparedQuery, AxmlError> {
+        PreparedQuery::compile(query_src)
+    }
+
+    /// One-shot convenience: `prepare` + `eval`. Prefer holding a
+    /// [`PreparedQuery`] when the same query runs more than once.
+    pub fn run(&self, query_src: &str, opts: EvalOptions) -> Result<AxmlResult, AxmlError> {
+        self.prepare(query_src)?.eval(self, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_replaces_and_removes() {
+        let e = Engine::new();
+        e.load_document("S", "a {x}").unwrap();
+        e.load_document("S", "b {y}").unwrap();
+        assert_eq!(e.document_names(), ["S"]);
+        let doc = e.document("S").unwrap();
+        assert_eq!(doc.len(), 1);
+        assert!(e.remove_document("S"));
+        assert!(!e.remove_document("S"));
+        assert!(e.document("S").is_none());
+    }
+
+    #[test]
+    fn bad_document_reports_name_and_span() {
+        let e = Engine::new();
+        let err = e.load_document("bad", "<a> <b </a>").unwrap_err();
+        let AxmlError::DocumentParse { name, span, .. } = &err else {
+            panic!("expected DocumentParse, got {err:?}");
+        };
+        assert_eq!(name, "bad");
+        assert_eq!(span.line, 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! # axml — the engine facade for annotated-XML query evaluation
+//!
+//! One front door for the whole workspace: parse documents **once**,
+//! compile queries **once**, then evaluate any number of times with the
+//! semiring and the evaluation route chosen **per call** — the
+//! "one annotated evaluation, many interpretations" shape that
+//! Prop. 2 / Corollary 1 of Foster, Green & Tannen (PODS 2008) make
+//! sound.
+//!
+//! ```text
+//!                ┌───────────────── Engine ─────────────────┐
+//!  xml text ──▶  │ load_document: parse once → ℕ[X] forest  │
+//!                │         (Arc-shared, per-kind caches)    │
+//!                └──────────────────┬───────────────────────┘
+//!                                   │ bind $X ↦ document "X"
+//!  query text ─▶ prepare ──────────▶│◀────────── EvalOptions
+//!   parse → elaborate → compile     │    SemiringKind × Route × EvalMode
+//!   (once, symbolically in ℕ[X])    ▼
+//!                          PreparedQuery::eval
+//!                   ┌───────────┼─────────────┬──────────────┐
+//!                   ▼           ▼             ▼              ▼
+//!                Direct      ViaNrc        Shredded      Differential
+//!             (big-step    (NRC_K + srt  (§7: shred →   (run 2–3 routes,
+//!              K-UXML       compilation   Datalog →      assert agreement)
+//!              evaluator)   semantics)    decode)
+//!                   └───────────┴─────────────┴──────────────┘
+//!                                   │
+//!                                   ▼
+//!                    AxmlResult (value in the chosen semiring)
+//! ```
+//!
+//! Two ways to reach a semiring (`EvalMode`): specialize inputs first
+//! and evaluate natively (`InSemiring`), or evaluate once over ℕ\[X\]
+//! and push the *result* through the homomorphism
+//! (`ProvenanceFirst`) — Theorem 1 says they agree, and
+//! `Route::Differential` will check it on demand.
+//!
+//! ## The direct route
+//!
+//! ```
+//! use axml::{Engine, EvalOptions, SemiringKind};
+//!
+//! let engine = Engine::new();
+//! // Figure 1 of the paper; annotations are ℕ[X] provenance tokens.
+//! engine
+//!     .load_document("S", "<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>")
+//!     .unwrap();
+//!
+//! // Compiled once; evaluated twice, in two different semirings.
+//! let grandchildren = engine
+//!     .prepare("element p { for $t in $S return for $x in ($t)/child::* return ($x)/child::* }")
+//!     .unwrap();
+//!
+//! let sym = grandchildren.eval(&engine, EvalOptions::new()).unwrap();
+//! assert!(sym.to_string().contains("x2*y2*z + x1*y1*z"));
+//!
+//! let bags = grandchildren
+//!     .eval(&engine, EvalOptions::new().semiring(SemiringKind::Nat))
+//!     .unwrap();
+//! assert_eq!(bags.to_string(), "<p> d {2} e </p>");
+//! ```
+//!
+//! ## The compilation route (`NRC_K + srt`)
+//!
+//! ```
+//! use axml::{Engine, EvalOptions, Route};
+//!
+//! let engine = Engine::new();
+//! engine.load_document("S", "<r> a {x} a {y} </r>").unwrap();
+//! let q = engine.prepare("$S/*").unwrap();
+//!
+//! // §6.3: elaborate → compile to NRC_K+srt → evaluate there.
+//! let via_nrc = q
+//!     .eval(&engine, EvalOptions::new().route(Route::ViaNrc))
+//!     .unwrap();
+//! assert_eq!(via_nrc.to_string(), "(a {y + x})");
+//! ```
+//!
+//! ## The relational route (§7 shredding)
+//!
+//! ```
+//! use axml::{Engine, EvalOptions, Route};
+//!
+//! let engine = Engine::new();
+//! engine
+//!     .load_document("T", "<a> <b {x1}> c {y3} </b> c {y1} </a>")
+//!     .unwrap();
+//!
+//! // Navigation chains have a relational translation: shred to an
+//! // edge K-relation, run the Datalog program, decode.
+//! let q = engine.prepare("$T//c").unwrap();
+//! assert!(q.is_step_chain());
+//! let shredded = q
+//!     .eval(&engine, EvalOptions::new().route(Route::Shredded))
+//!     .unwrap();
+//! assert_eq!(shredded.to_string(), "(c {y1 + x1*y3})");
+//! ```
+//!
+//! ## The differential route (debugging tool)
+//!
+//! ```
+//! use axml::{Engine, EvalOptions, Route, SemiringKind};
+//!
+//! let engine = Engine::new();
+//! engine.load_document("S", "<a> b {w} b {w} </a>").unwrap();
+//!
+//! // Evaluate by several independent semantics and assert they agree
+//! // (Route::Shredded joins in because this is a step chain); any
+//! // disagreement surfaces as AxmlError::RouteDisagreement.
+//! let q = engine.prepare("$S/b").unwrap();
+//! let out = q
+//!     .eval(
+//!         &engine,
+//!         EvalOptions::new()
+//!             .route(Route::Differential)
+//!             .semiring(SemiringKind::Trio),
+//!     )
+//!     .unwrap();
+//! assert_eq!(out.kind(), SemiringKind::Trio);
+//! ```
+//!
+//! The statically-generic layers stay public (`axml-core`,
+//! `axml-nrc`, `axml-relational`, …) for compile-time-`K` callers;
+//! this crate is the runtime face the examples, the CLI and future
+//! server front ends build on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dispatch;
+mod engine;
+mod error;
+mod options;
+mod prepared;
+mod result;
+
+pub use engine::Engine;
+pub use error::{AxmlError, SourceSpan};
+pub use options::{EvalMode, EvalOptions, Route, SemiringKind};
+pub use prepared::PreparedQuery;
+pub use result::AxmlResult;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::{
+        AxmlError, AxmlResult, Engine, EvalMode, EvalOptions, PreparedQuery, Route, SemiringKind,
+    };
+}

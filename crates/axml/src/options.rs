@@ -1,0 +1,252 @@
+//! Runtime evaluation options: which semiring, which route, which
+//! mode.
+//!
+//! The rest of the workspace is statically generic over `K: Semiring`;
+//! these enums are the runtime face of that genericity. `Engine`
+//! dispatches each [`SemiringKind`] to the corresponding monomorphized
+//! evaluator, so selecting a semiring per request costs one `match`.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The semirings selectable at runtime.
+///
+/// Documents are stored once as ℕ\[X\] (provenance-polynomial) values —
+/// the *universal* annotation per §2 of the paper — and pushed into the
+/// requested semiring through the canonical homomorphism:
+///
+/// | kind | semiring | homomorphism from ℕ\[X\] |
+/// |------|----------|--------------------------|
+/// | `Nat` | (ℕ, +, ·) bag semantics | every variable ↦ 1 |
+/// | `PosBool` | positive boolean expressions | x ↦ x (polynomial read as a DNF) |
+/// | `Tropical` | (ℕ∪{∞}, min, +) cost | every variable ↦ cost 0 |
+/// | `NatPoly` | ℕ\[X\] itself | identity |
+/// | `Why` | why-provenance (witness bases) | x ↦ {{x}} |
+/// | `Trio` | lineage with multiplicity | drop exponents, keep counts |
+/// | `Prob` | (\[0,1\], max, ·) Viterbi | every variable ↦ 1.0 |
+///
+/// For data-dependent valuations (event probabilities, per-token
+/// costs), evaluate in `NatPoly` and specialize the symbolic answer
+/// with [`axml_semiring::Valuation`] — Corollary 1 guarantees the two
+/// orders agree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SemiringKind {
+    /// ℕ — multiplicities / bag semantics.
+    Nat,
+    /// Positive boolean expressions — incomplete data (c-tables).
+    PosBool,
+    /// (ℕ ∪ {∞}, min, +) — cheapest-derivation cost.
+    Tropical,
+    /// ℕ\[X\] provenance polynomials (the default; universal).
+    #[default]
+    NatPoly,
+    /// Why-provenance: witness bases.
+    Why,
+    /// Trio-style lineage: bags of witness sets.
+    Trio,
+    /// (\[0,1\], max, ·) — most-likely-derivation probability.
+    Prob,
+}
+
+impl SemiringKind {
+    /// All selectable kinds, in declaration order.
+    pub const ALL: [SemiringKind; 7] = [
+        SemiringKind::Nat,
+        SemiringKind::PosBool,
+        SemiringKind::Tropical,
+        SemiringKind::NatPoly,
+        SemiringKind::Why,
+        SemiringKind::Trio,
+        SemiringKind::Prob,
+    ];
+
+    /// The lowercase name (`nat`, `posbool`, …) accepted by [`FromStr`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SemiringKind::Nat => "nat",
+            SemiringKind::PosBool => "posbool",
+            SemiringKind::Tropical => "tropical",
+            SemiringKind::NatPoly => "natpoly",
+            SemiringKind::Why => "why",
+            SemiringKind::Trio => "trio",
+            SemiringKind::Prob => "prob",
+        }
+    }
+}
+
+impl fmt::Display for SemiringKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SemiringKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SemiringKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<_> = SemiringKind::ALL.iter().map(|k| k.name()).collect();
+                format!(
+                    "unknown semiring {s:?} (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
+/// Which evaluation pipeline answers the query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Route {
+    /// The direct big-step evaluator over K-UXML (`axml-core::eval`).
+    #[default]
+    Direct,
+    /// The §6.3 compilation semantics: the prepared `NRC_K + srt` term
+    /// (already normalized by the Prop 5 axioms) evaluated by
+    /// `axml-nrc`.
+    ViaNrc,
+    /// The §7 relational route: shred to an edge K-relation, run the
+    /// Datalog translation, decode. Only step-chain queries
+    /// (`$X/ax::nt/…`) have a relational translation; anything else
+    /// reports [`crate::AxmlError::UnsupportedRoute`].
+    Shredded,
+    /// Run `Direct` *and* `ViaNrc` (and `Shredded` too when the query
+    /// is a step chain), assert they agree, and return the result —
+    /// the workspace's differential tests as a user-facing debugging
+    /// tool. Disagreement reports
+    /// [`crate::AxmlError::RouteDisagreement`].
+    Differential,
+}
+
+impl Route {
+    /// The lowercase name accepted by [`FromStr`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Route::Direct => "direct",
+            Route::ViaNrc => "via-nrc",
+            Route::Shredded => "shredded",
+            Route::Differential => "differential",
+        }
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Route {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        [
+            Route::Direct,
+            Route::ViaNrc,
+            Route::Shredded,
+            Route::Differential,
+        ]
+        .into_iter()
+        .find(|r| r.name() == s)
+        .ok_or_else(|| {
+            format!("unknown route {s:?} (expected direct, via-nrc, shredded or differential)")
+        })
+    }
+}
+
+/// How the requested semiring is reached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EvalMode {
+    /// Specialize inputs and query into the target semiring first,
+    /// then evaluate there (cheapest per call: annotations are small).
+    #[default]
+    InSemiring,
+    /// Evaluate once over ℕ\[X\] and push the *result* through the
+    /// homomorphism — Prop 2 / Corollary 1 as an API feature. One
+    /// symbolic evaluation can serve every [`SemiringKind`]; the two
+    /// modes agree by Theorem 1 (differentially tested).
+    ProvenanceFirst,
+}
+
+/// Per-call evaluation options for [`crate::PreparedQuery::eval`].
+///
+/// ```
+/// use axml::{EvalOptions, Route, SemiringKind};
+/// let opts = EvalOptions::new()
+///     .semiring(SemiringKind::Nat)
+///     .route(Route::ViaNrc)
+///     .provenance_first();
+/// assert_eq!(opts.semiring, SemiringKind::Nat);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct EvalOptions {
+    /// Target semiring (default: `NatPoly`).
+    pub semiring: SemiringKind,
+    /// Evaluation route (default: `Direct`).
+    pub route: Route,
+    /// Specialize-then-evaluate, or evaluate-then-specialize.
+    pub mode: EvalMode,
+}
+
+impl EvalOptions {
+    /// The defaults: provenance polynomials, direct route.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Select the target semiring.
+    pub fn semiring(mut self, k: SemiringKind) -> Self {
+        self.semiring = k;
+        self
+    }
+
+    /// Select the evaluation route.
+    pub fn route(mut self, r: Route) -> Self {
+        self.route = r;
+        self
+    }
+
+    /// Evaluate symbolically in ℕ\[X\] and specialize the result
+    /// (see [`EvalMode::ProvenanceFirst`]).
+    pub fn provenance_first(mut self) -> Self {
+        self.mode = EvalMode::ProvenanceFirst;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in SemiringKind::ALL {
+            assert_eq!(k.name().parse::<SemiringKind>(), Ok(k));
+        }
+        assert!("frobnitz".parse::<SemiringKind>().is_err());
+    }
+
+    #[test]
+    fn route_names_roundtrip() {
+        for r in [
+            Route::Direct,
+            Route::ViaNrc,
+            Route::Shredded,
+            Route::Differential,
+        ] {
+            assert_eq!(r.name().parse::<Route>(), Ok(r));
+        }
+        assert!("sideways".parse::<Route>().is_err());
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let o = EvalOptions::new()
+            .semiring(SemiringKind::Why)
+            .route(Route::Differential)
+            .provenance_first();
+        assert_eq!(o.semiring, SemiringKind::Why);
+        assert_eq!(o.route, Route::Differential);
+        assert_eq!(o.mode, EvalMode::ProvenanceFirst);
+    }
+}

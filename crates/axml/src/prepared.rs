@@ -1,0 +1,429 @@
+//! [`PreparedQuery`]: parse + elaborate + compile once, evaluate many
+//! times.
+//!
+//! `compile` runs the whole front half of the pipeline — surface
+//! parse, elaboration to the typed core, compilation to `NRC_K + srt`,
+//! normalization by the Prop 5 axioms, free-variable analysis, and
+//! step-chain extraction for the relational route — over ℕ\[X\], the
+//! universal semiring. Per-kind copies of the two evaluation artifacts
+//! are produced on first use through the canonical homomorphisms and
+//! cached (`OnceLock`), so steady-state `eval` does no per-call
+//! translation work in any semiring.
+
+use crate::dispatch::{Artifacts, KindCaches, KindDispatch};
+use crate::engine::Engine;
+use crate::error::AxmlError;
+use crate::options::{EvalMode, EvalOptions, Route, SemiringKind};
+use crate::result::AxmlResult;
+use axml_core::ast::{QueryNode, Step, SurfaceExpr};
+use axml_core::eval::{eval_core, QueryEnv};
+use axml_core::{elaborate, parse_query, Query};
+use axml_semiring::{FnHom, Nat, NatPoly, PosBool, Prob, Semiring, Trio, Tropical, Why};
+use axml_uxml::{hom::map_value, Forest, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+struct PreparedInner {
+    source: String,
+    free_vars: Vec<String>,
+    /// The symbolic artifacts — the source of truth every other kind
+    /// is derived from.
+    poly: Artifacts<NatPoly>,
+    /// Lazily specialized per-kind artifacts.
+    caches: KindCaches,
+    /// `Some((input var, steps))` when the whole query is a navigation
+    /// chain `$X/s₁/…/sₙ` — the fragment the §7 relational route can
+    /// evaluate.
+    steps: Option<(String, Vec<Step>)>,
+}
+
+/// A compiled query, cheap to clone and safe to share across threads.
+#[derive(Clone)]
+pub struct PreparedQuery {
+    inner: Arc<PreparedInner>,
+}
+
+impl std::fmt::Debug for PreparedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("source", &self.inner.source)
+            .field("free_vars", &self.inner.free_vars)
+            .field("step_chain", &self.inner.steps.is_some())
+            .finish()
+    }
+}
+
+impl PreparedQuery {
+    pub(crate) fn compile(src: &str) -> Result<Self, AxmlError> {
+        let surface = parse_query::<NatPoly>(src).map_err(|e| AxmlError::query_parse(src, e))?;
+        let core = elaborate(&surface)?;
+        let steps = extract_steps(&core);
+        let free_vars = free_vars(&surface);
+        Ok(PreparedQuery {
+            inner: Arc::new(PreparedInner {
+                source: src.to_owned(),
+                free_vars,
+                poly: Artifacts::from_core(core),
+                caches: KindCaches::default(),
+                steps,
+            }),
+        })
+    }
+
+    /// The query text this was prepared from.
+    pub fn source(&self) -> &str {
+        &self.inner.source
+    }
+
+    /// The free variables, i.e. the document names `eval` will bind,
+    /// sorted.
+    pub fn free_vars(&self) -> &[String] {
+        &self.inner.free_vars
+    }
+
+    /// Whether the relational (`Route::Shredded`) route applies: the
+    /// query is a single navigation chain over one input.
+    pub fn is_step_chain(&self) -> bool {
+        self.inner.steps.is_some()
+    }
+
+    /// Rendering of the elaborated core query.
+    pub fn core_display(&self) -> String {
+        self.inner.poly.core.to_string()
+    }
+
+    /// Rendering of the compiled, axiom-normalized NRC term.
+    pub fn nrc_display(&self) -> String {
+        self.inner.poly.nrc.to_string()
+    }
+
+    /// Evaluate against the engine's documents: every free variable
+    /// `$X` binds the document loaded as `"X"`.
+    pub fn eval(&self, engine: &Engine, opts: EvalOptions) -> Result<AxmlResult, AxmlError> {
+        self.eval_bound(engine, opts, &[])
+    }
+
+    /// Like [`eval`](Self::eval), with query-variable → document-name
+    /// aliases: `("S", "inventory_v2")` binds `$S` to the document
+    /// loaded as `"inventory_v2"`. Variables not aliased bind their
+    /// own name.
+    pub fn eval_bound(
+        &self,
+        engine: &Engine,
+        opts: EvalOptions,
+        aliases: &[(&str, &str)],
+    ) -> Result<AxmlResult, AxmlError> {
+        match opts.mode {
+            EvalMode::ProvenanceFirst => {
+                let sym = self.eval_poly(engine, opts, aliases)?;
+                Ok(match opts.semiring {
+                    SemiringKind::NatPoly => AxmlResult::NatPoly(sym),
+                    SemiringKind::Nat => specialize_result::<Nat>(&sym),
+                    SemiringKind::PosBool => specialize_result::<PosBool>(&sym),
+                    SemiringKind::Tropical => specialize_result::<Tropical>(&sym),
+                    SemiringKind::Why => specialize_result::<Why>(&sym),
+                    SemiringKind::Trio => specialize_result::<Trio>(&sym),
+                    SemiringKind::Prob => specialize_result::<Prob>(&sym),
+                })
+            }
+            EvalMode::InSemiring => match opts.semiring {
+                SemiringKind::NatPoly => self
+                    .eval_poly(engine, opts, aliases)
+                    .map(AxmlResult::NatPoly),
+                SemiringKind::Nat => self.eval_in::<Nat>(engine, opts, aliases),
+                SemiringKind::PosBool => self.eval_in::<PosBool>(engine, opts, aliases),
+                SemiringKind::Tropical => self.eval_in::<Tropical>(engine, opts, aliases),
+                SemiringKind::Why => self.eval_in::<Why>(engine, opts, aliases),
+                SemiringKind::Trio => self.eval_in::<Trio>(engine, opts, aliases),
+                SemiringKind::Prob => self.eval_in::<Prob>(engine, opts, aliases),
+            },
+        }
+    }
+
+    /// Evaluate in ℕ\[X\] (no specialization on either side).
+    fn eval_poly(
+        &self,
+        engine: &Engine,
+        opts: EvalOptions,
+        aliases: &[(&str, &str)],
+    ) -> Result<Value<NatPoly>, AxmlError> {
+        let inputs = self.bind_inputs(engine, aliases, |d| d.poly.clone())?;
+        eval_route(
+            &self.inner.poly,
+            &self.inner.steps,
+            &inputs,
+            opts.route,
+            SemiringKind::NatPoly,
+        )
+    }
+
+    /// Evaluate natively in `S`, specializing (and caching) the
+    /// artifacts and documents on first use.
+    fn eval_in<S: KindDispatch>(
+        &self,
+        engine: &Engine,
+        opts: EvalOptions,
+        aliases: &[(&str, &str)],
+    ) -> Result<AxmlResult, AxmlError> {
+        let arts =
+            S::artifact_cache(&self.inner.caches).get_or_init(|| self.inner.poly.specialize::<S>());
+        let inputs = self.bind_inputs(engine, aliases, |d| d.in_kind::<S>())?;
+        eval_route(arts, &self.inner.steps, &inputs, opts.route, S::KIND).map(S::wrap)
+    }
+
+    /// Resolve every free variable to a document, applying aliases.
+    fn bind_inputs<K: Semiring>(
+        &self,
+        engine: &Engine,
+        aliases: &[(&str, &str)],
+        project: impl Fn(&crate::engine::StoredDoc) -> Arc<Forest<K>>,
+    ) -> Result<BoundInputs<K>, AxmlError> {
+        self.inner
+            .free_vars
+            .iter()
+            .map(|var| {
+                let doc_name = aliases
+                    .iter()
+                    .find(|(v, _)| v == var)
+                    .map(|(_, d)| *d)
+                    .unwrap_or(var);
+                let stored = engine.stored_or_err(doc_name)?;
+                Ok((var.clone(), project(&stored)))
+            })
+            .collect()
+    }
+}
+
+/// `(query variable, document)` bindings resolved for one evaluation.
+type BoundInputs<K> = Vec<(String, Arc<Forest<K>>)>;
+
+/// Evaluate prepared artifacts over bound inputs along one route.
+fn eval_route<K: Semiring>(
+    arts: &Artifacts<K>,
+    steps: &Option<(String, Vec<Step>)>,
+    inputs: &[(String, Arc<Forest<K>>)],
+    route: Route,
+    kind: SemiringKind,
+) -> Result<Value<K>, AxmlError> {
+    match route {
+        Route::Direct => eval_direct(arts, inputs),
+        Route::ViaNrc => eval_nrc(arts, inputs),
+        Route::Shredded => eval_shredded(steps, inputs, route),
+        Route::Differential => {
+            let direct = eval_direct(arts, inputs)?;
+            let nrc = eval_nrc(arts, inputs)?;
+            if direct != nrc {
+                return Err(disagreement(
+                    kind,
+                    Route::Direct,
+                    &direct,
+                    Route::ViaNrc,
+                    &nrc,
+                ));
+            }
+            if steps.is_some() {
+                let shredded = eval_shredded(steps, inputs, route)?;
+                if direct != shredded {
+                    return Err(disagreement(
+                        kind,
+                        Route::Direct,
+                        &direct,
+                        Route::Shredded,
+                        &shredded,
+                    ));
+                }
+            }
+            Ok(direct)
+        }
+    }
+}
+
+fn disagreement<K: Semiring>(
+    semiring: SemiringKind,
+    left_route: Route,
+    left: &Value<K>,
+    right_route: Route,
+    right: &Value<K>,
+) -> AxmlError {
+    AxmlError::RouteDisagreement {
+        semiring,
+        left_route,
+        left: left.to_string(),
+        right_route,
+        right: right.to_string(),
+    }
+}
+
+fn eval_direct<K: Semiring>(
+    arts: &Artifacts<K>,
+    inputs: &[(String, Arc<Forest<K>>)],
+) -> Result<Value<K>, AxmlError> {
+    // The env needs owned Values; this clone is shallow — a Forest is
+    // a map over Arc'd trees, so only the top-level roots (usually
+    // one) and their annotations are copied, never the document body.
+    let mut env = QueryEnv::from_bindings(
+        inputs
+            .iter()
+            .map(|(n, f)| (n.clone(), Value::Set((**f).clone()))),
+    );
+    Ok(eval_core(&arts.core, &mut env)?)
+}
+
+fn eval_nrc<K: Semiring>(
+    arts: &Artifacts<K>,
+    inputs: &[(String, Arc<Forest<K>>)],
+) -> Result<Value<K>, AxmlError> {
+    let mut env = axml_nrc::Env::from_bindings(
+        inputs
+            .iter()
+            .map(|(n, f)| (n.clone(), axml_nrc::CValue::from_forest(f))),
+    );
+    let out = axml_nrc::eval(&arts.nrc, &mut env)?;
+    out.to_uxml().ok_or_else(|| AxmlError::Nrc {
+        msg: "query produced a non-UXML complex value".into(),
+        at: arts.nrc.to_string(),
+    })
+}
+
+fn eval_shredded<K: Semiring>(
+    steps: &Option<(String, Vec<Step>)>,
+    inputs: &[(String, Arc<Forest<K>>)],
+    route: Route,
+) -> Result<Value<K>, AxmlError> {
+    let Some((var, chain)) = steps else {
+        return Err(AxmlError::UnsupportedRoute {
+            route,
+            reason: "only navigation chains `$X/step/…` have a §7 relational translation".into(),
+        });
+    };
+    let Some((_, forest)) = inputs.iter().find(|(n, _)| n == var) else {
+        return Err(AxmlError::UnknownDocument {
+            name: var.clone(),
+            available: inputs.iter().map(|(n, _)| n.clone()).collect(),
+        });
+    };
+    let out = axml_relational::eval_steps_via_shredding(forest, chain)?;
+    Ok(Value::Set(out))
+}
+
+/// Free variables of a surface query, in sorted order.
+fn free_vars<K: Semiring>(e: &SurfaceExpr<K>) -> Vec<String> {
+    fn walk<K: Semiring>(e: &SurfaceExpr<K>, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+        match e {
+            SurfaceExpr::LabelLit(_) | SurfaceExpr::Empty => {}
+            SurfaceExpr::Var(x) => {
+                if !bound.iter().any(|b| b == x) {
+                    out.insert(x.clone());
+                }
+            }
+            SurfaceExpr::Paren(a) | SurfaceExpr::Name(a) | SurfaceExpr::Annot(_, a) => {
+                walk(a, bound, out)
+            }
+            SurfaceExpr::Path(a, _) => walk(a, bound, out),
+            SurfaceExpr::Seq(a, b) => {
+                walk(a, bound, out);
+                walk(b, bound, out);
+            }
+            SurfaceExpr::For {
+                binders,
+                where_eq,
+                body,
+            } => {
+                let depth = bound.len();
+                for (v, src) in binders {
+                    walk(src, bound, out);
+                    bound.push(v.clone());
+                }
+                if let Some((l, r)) = where_eq {
+                    walk(l, bound, out);
+                    walk(r, bound, out);
+                }
+                walk(body, bound, out);
+                bound.truncate(depth);
+            }
+            SurfaceExpr::Let { bindings, body } => {
+                let depth = bound.len();
+                for (v, def) in bindings {
+                    walk(def, bound, out);
+                    bound.push(v.clone());
+                }
+                walk(body, bound, out);
+                bound.truncate(depth);
+            }
+            SurfaceExpr::If { l, r, then, els } => {
+                walk(l, bound, out);
+                walk(r, bound, out);
+                walk(then, bound, out);
+                walk(els, bound, out);
+            }
+            SurfaceExpr::Element { name, content } => {
+                if let axml_core::ast::ElementName::Dynamic(n) = name {
+                    walk(n, bound, out);
+                }
+                walk(content, bound, out);
+            }
+        }
+    }
+    let mut out = BTreeSet::new();
+    walk(e, &mut Vec::new(), &mut out);
+    out.into_iter().collect()
+}
+
+/// `Some((x, [s₁ … sₙ]))` iff the core query is exactly
+/// `$x/s₁/…/sₙ` with n ≥ 1.
+fn extract_steps<K: Semiring>(q: &Query<K>) -> Option<(String, Vec<Step>)> {
+    fn spine<K: Semiring>(q: &Query<K>, acc: &mut Vec<Step>) -> Option<String> {
+        match &q.node {
+            QueryNode::Var(x) => Some(x.clone()),
+            QueryNode::Path(inner, s) => {
+                let var = spine(inner, acc)?;
+                acc.push(*s);
+                Some(var)
+            }
+            _ => None,
+        }
+    }
+    let mut steps = Vec::new();
+    let var = spine(q, &mut steps)?;
+    if steps.is_empty() {
+        return None;
+    }
+    Some((var, steps))
+}
+
+/// Push a symbolic result through the canonical homomorphism into `S`.
+fn specialize_result<S: KindDispatch>(sym: &Value<NatPoly>) -> AxmlResult {
+    S::wrap(map_value(&FnHom::new(S::from_poly), sym))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn surf(src: &str) -> SurfaceExpr<NatPoly> {
+        parse_query(src).unwrap()
+    }
+
+    #[test]
+    fn free_vars_respect_binders_and_shadowing() {
+        let q = surf("for $x in $S return for $y in ($x)/child::* return ($y, $T)");
+        assert_eq!(free_vars(&q), ["S", "T"]);
+        let q2 = surf("let $S := $R return $S");
+        assert_eq!(free_vars(&q2), ["R"]);
+        let q3 = surf("for $a in $R, $b in ($a)/* where name($a) = name($c) return ($b)");
+        assert_eq!(free_vars(&q3), ["R", "c"]);
+    }
+
+    #[test]
+    fn step_chains_are_recognized() {
+        let chain = elaborate(&surf("$S/a//b/self::c")).unwrap();
+        let (var, steps) = extract_steps(&chain).expect("is a chain");
+        assert_eq!(var, "S");
+        assert_eq!(steps.len(), 3);
+
+        let not_chain = elaborate(&surf("element r { $S/a }")).unwrap();
+        assert!(extract_steps(&not_chain).is_none());
+        let bare = elaborate(&surf("$S")).unwrap();
+        assert!(extract_steps(&bare).is_none());
+    }
+}

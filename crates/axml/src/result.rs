@@ -1,0 +1,130 @@
+//! [`AxmlResult`]: one result type across the runtime-selected
+//! semirings.
+//!
+//! The statically-typed layer returns `Value<K>` for a compile-time
+//! `K`; the facade returns this enum, tagged by the [`SemiringKind`]
+//! that was requested. Accessors give back the typed value so callers
+//! that know their kind lose nothing.
+
+use crate::options::SemiringKind;
+use axml_semiring::{Nat, NatPoly, PosBool, Prob, Trio, Tropical, Why};
+use axml_uxml::Value;
+use std::fmt;
+
+/// A query result in the semiring selected at call time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AxmlResult {
+    /// Result under bag semantics.
+    Nat(Value<Nat>),
+    /// Result with positive-boolean (c-table) annotations.
+    PosBool(Value<PosBool>),
+    /// Result with cheapest-derivation costs.
+    Tropical(Value<Tropical>),
+    /// Result with provenance polynomials (symbolic — can be
+    /// specialized to any other kind afterwards).
+    NatPoly(Value<NatPoly>),
+    /// Result with why-provenance witness bases.
+    Why(Value<Why>),
+    /// Result with Trio-style lineage.
+    Trio(Value<Trio>),
+    /// Result with most-likely-derivation probabilities.
+    Prob(Value<Prob>),
+}
+
+macro_rules! accessor {
+    ($(#[$doc:meta])* $name:ident, $variant:ident, $k:ty) => {
+        $(#[$doc])*
+        pub fn $name(&self) -> Option<&Value<$k>> {
+            match self {
+                AxmlResult::$variant(v) => Some(v),
+                _ => None,
+            }
+        }
+    };
+}
+
+impl AxmlResult {
+    /// Which semiring this result is annotated in.
+    pub fn kind(&self) -> SemiringKind {
+        match self {
+            AxmlResult::Nat(_) => SemiringKind::Nat,
+            AxmlResult::PosBool(_) => SemiringKind::PosBool,
+            AxmlResult::Tropical(_) => SemiringKind::Tropical,
+            AxmlResult::NatPoly(_) => SemiringKind::NatPoly,
+            AxmlResult::Why(_) => SemiringKind::Why,
+            AxmlResult::Trio(_) => SemiringKind::Trio,
+            AxmlResult::Prob(_) => SemiringKind::Prob,
+        }
+    }
+
+    accessor!(
+        /// The ℕ-annotated value, if this is a `Nat` result.
+        as_nat,
+        Nat,
+        Nat
+    );
+    accessor!(
+        /// The PosBool-annotated value, if this is a `PosBool` result.
+        as_posbool,
+        PosBool,
+        PosBool
+    );
+    accessor!(
+        /// The cost-annotated value, if this is a `Tropical` result.
+        as_tropical,
+        Tropical,
+        Tropical
+    );
+    accessor!(
+        /// The symbolic (ℕ\[X\]) value, if this is a `NatPoly` result.
+        as_natpoly,
+        NatPoly,
+        NatPoly
+    );
+    accessor!(
+        /// The why-provenance value, if this is a `Why` result.
+        as_why,
+        Why,
+        Why
+    );
+    accessor!(
+        /// The lineage value, if this is a `Trio` result.
+        as_trio,
+        Trio,
+        Trio
+    );
+    accessor!(
+        /// The probability-annotated value, if this is a `Prob` result.
+        as_prob,
+        Prob,
+        Prob
+    );
+}
+
+impl fmt::Display for AxmlResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxmlResult::Nat(v) => v.fmt(f),
+            AxmlResult::PosBool(v) => v.fmt(f),
+            AxmlResult::Tropical(v) => v.fmt(f),
+            AxmlResult::NatPoly(v) => v.fmt(f),
+            AxmlResult::Why(v) => v.fmt(f),
+            AxmlResult::Trio(v) => v.fmt(f),
+            AxmlResult::Prob(v) => v.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_uxml::Forest;
+
+    #[test]
+    fn kind_and_accessors_agree() {
+        let r = AxmlResult::Nat(Value::Set(Forest::new()));
+        assert_eq!(r.kind(), SemiringKind::Nat);
+        assert!(r.as_nat().is_some());
+        assert!(r.as_natpoly().is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! The facade's value proposition, measured: `prepare` once and
+//! `eval` N times vs. re-parsing + re-elaborating per call, against
+//! the floor of direct evaluation over a pre-built core query.
+//!
+//! Acceptance shape: `prepared/engine_eval` must sit within noise of
+//! `raw/eval_prebuilt` — a prepared evaluation pays no per-call
+//! parse/elaborate/compile cost, only the evaluator itself plus one
+//! document-store lookup. `fresh/parse_eval` shows what every call
+//! would cost without the facade.
+
+use axml_bench::{balanced_tree, fig1_source, FIG1_QUERY};
+use axml_core::{elaborate, eval_core, parse_query, QueryEnv};
+use axml_semiring::NatPoly;
+use axml_uxml::{Forest, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const CHAIN_QUERY: &str = "element out { $S//c }";
+
+fn bench_workload(c: &mut Criterion, name: &str, query: &str, forest: Forest<NatPoly>) {
+    // -- fresh: parse + elaborate + evaluate, every call ------------
+    let mut g = c.benchmark_group("prepared_vs_fresh");
+    g.bench_function(BenchmarkId::new("fresh_parse_eval", name), |b| {
+        b.iter(|| {
+            let q = parse_query::<NatPoly>(query).unwrap();
+            let core = elaborate(&q).unwrap();
+            let mut env = QueryEnv::from_bindings([("S".to_owned(), Value::Set(forest.clone()))]);
+            eval_core(&core, &mut env).expect("evaluates")
+        })
+    });
+
+    // -- prepared: engine facade, compile once ----------------------
+    let engine = axml::Engine::new();
+    engine.insert_forest("S", forest.clone());
+    let prepared = engine.prepare(query).unwrap();
+    // Warm the per-kind caches so the measurement is steady state.
+    prepared.eval(&engine, axml::EvalOptions::new()).unwrap();
+    g.bench_function(BenchmarkId::new("prepared_engine_eval", name), |b| {
+        b.iter(|| {
+            prepared
+                .eval(&engine, axml::EvalOptions::new())
+                .expect("evaluates")
+        })
+    });
+
+    // -- floor: direct evaluation over the pre-built core -----------
+    let core = elaborate(&parse_query::<NatPoly>(query).unwrap()).unwrap();
+    g.bench_function(BenchmarkId::new("raw_eval_prebuilt", name), |b| {
+        b.iter(|| {
+            let mut env = QueryEnv::from_bindings([("S".to_owned(), Value::Set(forest.clone()))]);
+            eval_core(&core, &mut env).expect("evaluates")
+        })
+    });
+
+    // -- runtime semiring dispatch on the same prepared query -------
+    let nat_opts = axml::EvalOptions::new().semiring(axml::SemiringKind::Nat);
+    prepared.eval(&engine, nat_opts).unwrap(); // warm the Nat caches
+    g.bench_function(BenchmarkId::new("prepared_eval_nat", name), |b| {
+        b.iter(|| prepared.eval(&engine, nat_opts).expect("evaluates"))
+    });
+    g.finish();
+}
+
+fn prepared_vs_fresh(c: &mut Criterion) {
+    bench_workload(c, "fig1", FIG1_QUERY, fig1_source());
+    for depth in [4, 6] {
+        bench_workload(
+            c,
+            &format!("chain_depth{depth}"),
+            CHAIN_QUERY,
+            Forest::unit(balanced_tree::<NatPoly>(depth, 2)),
+        );
+    }
+}
+
+criterion_group!(benches, prepared_vs_fresh);
+criterion_main!(benches);

@@ -183,6 +183,120 @@ pub enum SurfaceExpr<K: Semiring> {
     Path(Box<SurfaceExpr<K>>, Step),
 }
 
+impl<K: Semiring + fmt::Display> fmt::Display for SurfaceExpr<K> {
+    /// Print in the concrete surface syntax accepted by
+    /// [`crate::parse_query`].
+    ///
+    /// Where the grammar needs a single operand, compound
+    /// sub-expressions are parenthesized. Added parentheses show up as
+    /// [`SurfaceExpr::Paren`] nodes on re-parse, so print → parse is
+    /// not the AST identity in general; it *is* elaboration-preserving
+    /// (`Paren` is transparent except on tree-typed operands, which
+    /// only get wrapped in positions that coerce to sets anyway — the
+    /// `surface_roundtrip` property tests pin this down), and it is
+    /// the exact AST identity when no parentheses need inserting.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // A sequence `a, b` in an operand slot would be split by the
+        // surrounding construct, and a `for` in a non-final binder
+        // slot would swallow the following `, $y in …` as its own
+        // binder; parenthesize both (they are set-typed, so the wrap
+        // is elaboration-transparent). Hand-built `let`/`if` nodes of
+        // *tree* type in non-final binder/binding slots are the one
+        // shape this printer cannot disambiguate — the parser never
+        // produces them without explicit `Paren` nodes.
+        let arg = |f: &mut fmt::Formatter<'_>, e: &SurfaceExpr<K>| {
+            if matches!(e, SurfaceExpr::Seq(..) | SurfaceExpr::For { .. }) {
+                write!(f, "({e})")
+            } else {
+                write!(f, "{e}")
+            }
+        };
+        match self {
+            SurfaceExpr::LabelLit(l) => write!(f, "{l}"),
+            SurfaceExpr::Var(x) => write!(f, "${x}"),
+            SurfaceExpr::Empty => write!(f, "()"),
+            SurfaceExpr::Paren(a) => write!(f, "({a})"),
+            SurfaceExpr::Seq(a, b) => {
+                write!(f, "{a}, ")?;
+                arg(f, b)
+            }
+            SurfaceExpr::For {
+                binders,
+                where_eq,
+                body,
+            } => {
+                write!(f, "for ")?;
+                for (i, (v, src)) in binders.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "${v} in ")?;
+                    arg(f, src)?;
+                }
+                if let Some((l, r)) = where_eq {
+                    write!(f, " where ")?;
+                    arg(f, l)?;
+                    write!(f, " = ")?;
+                    arg(f, r)?;
+                }
+                write!(f, " return ")?;
+                arg(f, body)
+            }
+            SurfaceExpr::Let { bindings, body } => {
+                write!(f, "let ")?;
+                for (i, (v, def)) in bindings.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "${v} := ")?;
+                    arg(f, def)?;
+                }
+                write!(f, " return ")?;
+                arg(f, body)
+            }
+            SurfaceExpr::If { l, r, then, els } => {
+                write!(f, "if (")?;
+                arg(f, l)?;
+                write!(f, " = ")?;
+                arg(f, r)?;
+                write!(f, ") then ")?;
+                arg(f, then)?;
+                write!(f, " else ")?;
+                arg(f, els)
+            }
+            SurfaceExpr::Element { name, content } => {
+                match name {
+                    ElementName::Static(l) => write!(f, "element {l} {{")?,
+                    ElementName::Dynamic(e) => write!(f, "element {{{e}}} {{")?,
+                }
+                write!(f, "{content}}}")
+            }
+            SurfaceExpr::Name(a) => write!(f, "name({a})"),
+            SurfaceExpr::Annot(k, a) => {
+                write!(f, "annot {{{k}}} ")?;
+                arg(f, a)
+            }
+            SurfaceExpr::Path(p, step) => {
+                // The path base must be a primary; `p₁/s₁/s₂` itself
+                // re-parses left-associated, and path sources are
+                // coerced to sets, so a wrap is always
+                // elaboration-safe here.
+                match &**p {
+                    SurfaceExpr::LabelLit(_)
+                    | SurfaceExpr::Var(_)
+                    | SurfaceExpr::Empty
+                    | SurfaceExpr::Paren(_)
+                    | SurfaceExpr::Element { .. }
+                    | SurfaceExpr::Name(_)
+                    | SurfaceExpr::Path(..) => write!(f, "{p}")?,
+                    compound => write!(f, "({compound})")?,
+                }
+                write!(f, "/{step}")
+            }
+        }
+    }
+}
+
 /// A typed core-UXQuery node (see [`Query`]).
 #[derive(Clone, PartialEq, Debug)]
 pub enum QueryNode<K: Semiring> {

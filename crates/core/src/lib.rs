@@ -17,7 +17,19 @@
 //! evaluator** over K-UXML. A third, the relational shredding of §7,
 //! lives in `axml-relational`.
 //!
-//! # Quickstart
+//! # This crate is the statically-generic layer
+//!
+//! Everything here is generic over a compile-time `K: Semiring`.
+//! Applications that want to choose the semiring (and the evaluation
+//! route) *at runtime* — and to parse documents and compile queries
+//! once rather than per call — should use the `axml` facade crate
+//! instead: its `Engine`/`PreparedQuery` API dispatches to the
+//! functions in this crate and caches every per-semiring artifact.
+//! The helpers below ([`eval_query`], [`eval_query_nrc`],
+//! [`run_query`]) remain the one-call entry points for code that
+//! already knows its `K` — tests, benchmarks and embedded uses.
+//!
+//! # Quickstart (compile-time `K`)
 //!
 //! ```
 //! use axml_core::{eval_query, parse_query};
@@ -37,6 +49,25 @@
 //! // canonical (name) order:
 //! assert!(answer.to_string().contains("x2*y2*z + x1*y1*z"));
 //! ```
+//!
+//! The same query through the facade (one parse, one compile, any
+//! number of evaluations in any semiring):
+//!
+//! ```text
+//! let engine = axml::Engine::new();
+//! engine.load_document("S", "<a {z}> … </a>")?;
+//! let q = engine.prepare("element p { for $t in $S return … }")?;
+//! let symbolic = q.eval(&engine, EvalOptions::new())?;                    // ℕ[X]
+//! let bags = q.eval(&engine, EvalOptions::new().semiring(SemiringKind::Nat))?;
+//! ```
+//!
+//! # Robustness
+//!
+//! [`parse_query`] and [`elaborate`] never panic on malformed input:
+//! parse errors carry byte offsets, nesting depth is capped (a
+//! recursive-descent parser would otherwise be stack-overflowable by
+//! `((((…`), and elaboration guards its own recursion so even
+//! hand-built pathological ASTs fail with a [`TypeError`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

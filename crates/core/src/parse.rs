@@ -78,15 +78,52 @@ pub fn parse_query<K: Semiring + ParseAnnotation>(src: &str) -> Result<SurfaceEx
 struct Parser<'a> {
     src: &'a str,
     pos: usize,
+    depth: usize,
 }
 
 const KEYWORDS: &[&str] = &[
     "for", "in", "where", "return", "let", "if", "then", "else", "element", "annot",
 ];
 
+/// Maximum nesting depth of a query. The parser is recursive-descent
+/// (several frames per nesting level), so without a cap adversarial
+/// input like `((((…` would exhaust the stack and abort the process
+/// instead of returning a `ParseError`; 128 is far beyond any
+/// legitimate query and keeps peak stack use well inside a 2 MiB
+/// test-thread stack even in debug builds.
+const MAX_DEPTH: usize = 128;
+
+/// Maximum length of the *iterative* left spines: items in one
+/// comma-sequence, steps in one path chain, and binders/bindings in
+/// one `for`/`let`. These loops don't recurse while parsing, but the
+/// left-nested AST they build is dropped (and elaborated, printed,
+/// evaluated) recursively — an unbounded `a,a,a,…` would abort the
+/// process in drop glue even though parsing itself is flat. Shared
+/// with `typecheck` (which applies the same cap to hand-built ASTs)
+/// so the two layers cannot drift apart.
+pub(crate) const MAX_SPINE: usize = 512;
+
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
-        Parser { src, pos: 0 }
+        Parser {
+            src,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    /// Enter one nesting level; errors instead of overflowing the
+    /// stack on pathologically nested input. Paired with `ascend`.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("query nesting exceeds {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
     }
 
     fn rest(&self) -> &'a str {
@@ -209,7 +246,12 @@ impl<'a> Parser<'a> {
 
     fn parse_seq<K: Semiring + ParseAnnotation>(&mut self) -> Result<SurfaceExpr<K>, ParseError> {
         let mut acc = self.parse_single()?;
+        let mut items = 1usize;
         while self.eat(",") {
+            items += 1;
+            if items > MAX_SPINE {
+                return Err(self.err(format!("sequence exceeds {MAX_SPINE} items")));
+            }
             let next = self.parse_single()?;
             acc = SurfaceExpr::Seq(Box::new(acc), Box::new(next));
         }
@@ -217,6 +259,15 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_single<K: Semiring + ParseAnnotation>(
+        &mut self,
+    ) -> Result<SurfaceExpr<K>, ParseError> {
+        self.descend()?;
+        let out = self.parse_single_inner();
+        self.ascend();
+        out
+    }
+
+    fn parse_single_inner<K: Semiring + ParseAnnotation>(
         &mut self,
     ) -> Result<SurfaceExpr<K>, ParseError> {
         self.skip_ws();
@@ -241,6 +292,9 @@ impl<'a> Parser<'a> {
     fn parse_for<K: Semiring + ParseAnnotation>(&mut self) -> Result<SurfaceExpr<K>, ParseError> {
         let mut binders = Vec::new();
         loop {
+            if binders.len() >= MAX_SPINE {
+                return Err(self.err(format!("for-expression exceeds {MAX_SPINE} binders")));
+            }
             let v = self.expect_var()?;
             if !self.eat_keyword("in") {
                 return Err(self.err("expected 'in' in for-binder"));
@@ -273,6 +327,9 @@ impl<'a> Parser<'a> {
     fn parse_let<K: Semiring + ParseAnnotation>(&mut self) -> Result<SurfaceExpr<K>, ParseError> {
         let mut bindings = Vec::new();
         loop {
+            if bindings.len() >= MAX_SPINE {
+                return Err(self.err(format!("let-expression exceeds {MAX_SPINE} bindings")));
+            }
             let v = self.expect_var()?;
             self.expect(":=")?;
             let def = self.parse_single()?;
@@ -315,8 +372,15 @@ impl<'a> Parser<'a> {
 
     fn parse_path<K: Semiring + ParseAnnotation>(&mut self) -> Result<SurfaceExpr<K>, ParseError> {
         let mut acc = self.parse_primary()?;
+        let mut steps = 0usize;
         loop {
             self.skip_ws();
+            if self.rest().starts_with('/') && !self.rest().starts_with("/>") {
+                steps += 1;
+                if steps > MAX_SPINE {
+                    return Err(self.err(format!("path exceeds {MAX_SPINE} steps")));
+                }
+            }
             if self.rest().starts_with("//") {
                 self.pos += 2;
                 let test = self.parse_nametest()?;
@@ -395,7 +459,9 @@ impl<'a> Parser<'a> {
             Some(c) if c.is_alphabetic() || c == '_' => {
                 // keywords handled by callers; here idents are either
                 // `element`, `name(…)`, or a bare label literal
-                let id = self.peek_ident().expect("peeked alphabetic");
+                let id = self
+                    .peek_ident()
+                    .ok_or_else(|| self.err("expected a name"))?;
                 if id == "element" {
                     self.pos += id.len();
                     return self.parse_element_keyword();
@@ -449,6 +515,15 @@ impl<'a> Parser<'a> {
     /// `<a> … </a>` sugar: content items are `{query}` blocks, nested
     /// elements, or bare leaf labels; they are sequenced left to right.
     fn parse_element_sugar<K: Semiring + ParseAnnotation>(
+        &mut self,
+    ) -> Result<SurfaceExpr<K>, ParseError> {
+        self.descend()?;
+        let out = self.parse_element_sugar_inner();
+        self.ascend();
+        out
+    }
+
+    fn parse_element_sugar_inner<K: Semiring + ParseAnnotation>(
         &mut self,
     ) -> Result<SurfaceExpr<K>, ParseError> {
         self.expect("<")?;
@@ -703,5 +778,58 @@ mod tests {
     fn keyword_cannot_be_label() {
         let e = parse_query::<Nat>("for").unwrap_err();
         assert!(!e.msg.is_empty());
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        // parens, element sugar, and for-chains must all hit the depth
+        // cap and report a ParseError; any of these used to exhaust
+        // the stack and abort the process.
+        let parens = format!("{}a{}", "(".repeat(100_000), ")".repeat(100_000));
+        let e = parse_query::<Nat>(&parens).unwrap_err();
+        assert!(e.msg.contains("nesting"), "{e}");
+
+        let elements = "<a> ".repeat(100_000);
+        let e2 = parse_query::<Nat>(&elements).unwrap_err();
+        assert!(e2.msg.contains("nesting"), "{e2}");
+
+        let fors = format!("{}()", "for $x in () return ".repeat(100_000));
+        let e3 = parse_query::<Nat>(&fors).unwrap_err();
+        assert!(e3.msg.contains("nesting"), "{e3}");
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        let q = format!("{}a{}", "(".repeat(100), ")".repeat(100));
+        assert!(parse_query::<Nat>(&q).is_ok());
+    }
+
+    #[test]
+    fn flat_spine_bombs_error_instead_of_overflowing() {
+        // These build left-nested ASTs in a *loop*, so the nesting cap
+        // never fires — without a spine cap the megabyte-deep AST
+        // would abort the process in recursive drop glue.
+        let seq_bomb = vec!["a"; 100_000].join(",");
+        let e = parse_query::<Nat>(&seq_bomb).unwrap_err();
+        assert!(e.msg.contains("items"), "{e}");
+
+        let path_bomb = format!("$S{}", "/a".repeat(100_000));
+        let e2 = parse_query::<Nat>(&path_bomb).unwrap_err();
+        assert!(e2.msg.contains("steps"), "{e2}");
+
+        let for_bomb = format!("for {} return ()", vec!["$x in ()"; 100_000].join(", "));
+        let e3 = parse_query::<Nat>(&for_bomb).unwrap_err();
+        assert!(e3.msg.contains("binders"), "{e3}");
+
+        // flat-but-reasonable spines still parse
+        assert!(parse_query::<Nat>(&vec!["a"; 400].join(", ")).is_ok());
+        assert!(parse_query::<Nat>(&format!("$S{}", "/a".repeat(400))).is_ok());
+    }
+
+    #[test]
+    fn bare_punctuation_is_an_error() {
+        for bad in ["/", "$", "<", "<a", "{", "element", "annot {1}"] {
+            assert!(parse_query::<Nat>(bad).is_err(), "{bad:?} should not parse");
+        }
     }
 }

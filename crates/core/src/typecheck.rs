@@ -35,7 +35,6 @@ use crate::ast::{
 };
 use axml_semiring::Semiring;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A typing/elaboration error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,10 +55,41 @@ fn err<T>(msg: impl Into<String>) -> Result<T, TypeError> {
     Err(TypeError { msg: msg.into() })
 }
 
+/// Elaboration stack budget, in weighted units. Every recursion that
+/// can stack up charges the shared budget before descending:
+///
+/// - one *nesting* level ([`Context::enter`], the
+///   `elaborate_in`/`elaborate_node` pair) costs [`NODE_COST`] units —
+///   those frames are large in debug builds (the `elaborate_node`
+///   match keeps many `Query` temporaries live, ~2 KiB/level);
+/// - one *binder* ([`Context::enter_binder`], the small
+///   `elaborate_for`/`elaborate_let` self-recursion) costs 1 unit.
+///
+/// Charging binders is load-bearing: binder lists are flat in the
+/// surface AST but produce one nested core `For` each, and a query of
+/// nested `for`s with [`MAX_SPINE`] binders apiece passes every
+/// per-construct cap while stacking binders × nesting frames. The
+/// budget keeps the *product* bounded — and with it the output
+/// `Query`'s depth, which downstream recursion (evaluation, printing,
+/// drop glue) inherits. Left-nested `Seq`/`Path` spines cost one
+/// level total (elaborated iteratively). Sized for a 2 MiB
+/// test-thread stack: 600 units ≈ 150 pure nesting levels (above the
+/// parser's 128 cap) or 600 in-scope binders (a flat 400-binder `for`
+/// still elaborates); only pathological combinations get the clean
+/// `TypeError`.
+const MAX_DEPTH_UNITS: usize = 600;
+
+/// Stack-budget cost of one nesting level relative to one binder.
+const NODE_COST: usize = 4;
+
+use crate::parse::MAX_SPINE;
+
 /// The typing context Γ.
 #[derive(Clone, Default, Debug)]
 pub struct Context {
     bindings: Vec<(String, QType)>,
+    depth: usize,
+    fresh_counter: u64,
 }
 
 impl Context {
@@ -72,7 +102,20 @@ impl Context {
     pub fn from_bindings<I: IntoIterator<Item = (String, QType)>>(iter: I) -> Self {
         Context {
             bindings: iter.into_iter().collect(),
+            depth: 0,
+            fresh_counter: 0,
         }
+    }
+
+    /// A fresh variable name for `where`-desugaring. The counter is
+    /// per-elaboration (not global), so elaborating the same query
+    /// twice yields identical output — `print → parse → elaborate`
+    /// round-trips and cross-process runs stay comparable. The `%` is
+    /// not a name character, so user variables can never collide.
+    fn fresh(&mut self, hint: &str) -> String {
+        let n = self.fresh_counter;
+        self.fresh_counter += 1;
+        format!("{hint}%{n}")
     }
 
     fn push(&mut self, name: &str, ty: QType) {
@@ -90,12 +133,34 @@ impl Context {
             .find(|(n, _)| n == name)
             .map(|(_, t)| *t)
     }
-}
 
-fn fresh(hint: &str) -> String {
-    static COUNTER: AtomicU64 = AtomicU64::new(0);
-    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    format!("{hint}%{n}")
+    fn charge(&mut self, units: usize) -> Result<(), TypeError> {
+        self.depth += units;
+        if self.depth > MAX_DEPTH_UNITS {
+            return Err(TypeError {
+                msg: "query nesting exceeds the elaboration depth budget \
+                      (too many nested constructs and/or in-scope binders)"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn enter(&mut self) -> Result<(), TypeError> {
+        self.charge(NODE_COST)
+    }
+
+    fn exit(&mut self) {
+        self.depth -= NODE_COST;
+    }
+
+    fn enter_binder(&mut self) -> Result<(), TypeError> {
+        self.charge(1)
+    }
+
+    fn exit_binder(&mut self) {
+        self.depth -= 1;
+    }
 }
 
 /// Elaborate with all free variables defaulting to type `{tree}`
@@ -107,6 +172,16 @@ pub fn elaborate<K: Semiring>(e: &SurfaceExpr<K>) -> Result<Query<K>, TypeError>
 /// Elaborate in an explicit context; unbound variables default to
 /// `{tree}`.
 pub fn elaborate_in<K: Semiring>(
+    e: &SurfaceExpr<K>,
+    ctx: &mut Context,
+) -> Result<Query<K>, TypeError> {
+    ctx.enter()?;
+    let out = elaborate_node(e, ctx);
+    ctx.exit();
+    out
+}
+
+fn elaborate_node<K: Semiring>(
     e: &SurfaceExpr<K>,
     ctx: &mut Context,
 ) -> Result<Query<K>, TypeError> {
@@ -125,14 +200,11 @@ pub fn elaborate_in<K: Semiring>(
                 _ => Ok(q),
             }
         }
-        SurfaceExpr::Seq(a, b) => {
-            let qa = coerce_set(elaborate_in(a, ctx)?)?;
-            let qb = coerce_set(elaborate_in(b, ctx)?)?;
-            Ok(Query::new(
-                QueryNode::Union(Box::new(qa), Box::new(qb)),
-                QType::TreeSet,
-            ))
-        }
+        // Seq and Path spines go to dedicated helpers — both to treat
+        // an N-item spine as one nesting level and to keep their Vec
+        // locals out of elaborate_node's (recursive, debug-mode)
+        // stack frame.
+        SurfaceExpr::Seq(..) => elaborate_seq_spine(e, ctx),
         SurfaceExpr::For {
             binders,
             where_eq,
@@ -141,11 +213,20 @@ pub fn elaborate_in<K: Semiring>(
             if binders.is_empty() {
                 return err("for-expression with no binders");
             }
+            // Binder count drives elaborate_for's recursion; cap it
+            // here (one check, not one depth charge per binder) so a
+            // 500-binder `for` still elaborates.
+            if binders.len() > MAX_SPINE {
+                return err(format!("for-expression exceeds {MAX_SPINE} binders"));
+            }
             elaborate_for(binders, where_eq.as_ref(), body, ctx, 0)
         }
         SurfaceExpr::Let { bindings, body } => {
             if bindings.is_empty() {
                 return err("let-expression with no bindings");
+            }
+            if bindings.len() > MAX_SPINE {
+                return err(format!("let-expression exceeds {MAX_SPINE} bindings"));
             }
             elaborate_let(bindings, body, ctx, 0)
         }
@@ -208,14 +289,57 @@ pub fn elaborate_in<K: Semiring>(
                 QType::TreeSet,
             ))
         }
-        SurfaceExpr::Path(p, step) => {
-            let q = coerce_set(elaborate_in(p, ctx)?)?;
-            Ok(Query::new(
-                QueryNode::Path(Box::new(q), *step),
-                QType::TreeSet,
-            ))
-        }
+        SurfaceExpr::Path(..) => elaborate_path_spine(e, ctx),
     }
+}
+
+/// Elaborate a left-nested `Seq` spine iteratively: `a, b, c` parses
+/// as `Seq(Seq(a,b),c)` and an N-item sequence must cost one nesting
+/// level, not N (and must not recurse N deep).
+fn elaborate_seq_spine<K: Semiring>(
+    e: &SurfaceExpr<K>,
+    ctx: &mut Context,
+) -> Result<Query<K>, TypeError> {
+    let mut rights = Vec::new();
+    let mut cur = e;
+    while let SurfaceExpr::Seq(a, b) = cur {
+        rights.push(&**b);
+        if rights.len() > MAX_SPINE {
+            return err(format!("sequence exceeds {MAX_SPINE} items"));
+        }
+        cur = a;
+    }
+    let mut acc = coerce_set(elaborate_in(cur, ctx)?)?;
+    for b in rights.into_iter().rev() {
+        let qb = coerce_set(elaborate_in(b, ctx)?)?;
+        acc = Query::new(
+            QueryNode::Union(Box::new(acc), Box::new(qb)),
+            QType::TreeSet,
+        );
+    }
+    Ok(acc)
+}
+
+/// Elaborate a `Path` chain iteratively: `$S/a/b/…` is flat, not
+/// nested (same spine treatment as [`elaborate_seq_spine`]).
+fn elaborate_path_spine<K: Semiring>(
+    e: &SurfaceExpr<K>,
+    ctx: &mut Context,
+) -> Result<Query<K>, TypeError> {
+    let mut steps = Vec::new();
+    let mut cur = e;
+    while let SurfaceExpr::Path(p, step) = cur {
+        steps.push(*step);
+        if steps.len() > MAX_SPINE {
+            return err(format!("path exceeds {MAX_SPINE} steps"));
+        }
+        cur = p;
+    }
+    let mut acc = coerce_set(elaborate_in(cur, ctx)?)?;
+    for step in steps.into_iter().rev() {
+        acc = Query::new(QueryNode::Path(Box::new(acc), step), QType::TreeSet);
+    }
+    Ok(acc)
 }
 
 fn elaborate_for<K: Semiring>(
@@ -233,15 +357,17 @@ fn elaborate_for<K: Semiring>(
                 let ql = elaborate_in(lhs, ctx)?;
                 let qr = elaborate_in(rhs, ctx)?;
                 let qbody = coerce_set(elaborate_in(body, ctx)?)?;
-                desugar_where(ql, qr, qbody)
+                desugar_where(ql, qr, qbody, ctx)
             }
         };
     }
     let (v, src) = &binders[i];
     let qsrc = coerce_set(elaborate_in(src, ctx)?)?;
+    ctx.enter_binder()?;
     ctx.push(v, QType::Tree);
     let inner = elaborate_for(binders, where_eq, body, ctx, i + 1);
     ctx.pop();
+    ctx.exit_binder();
     Ok(Query::new(
         QueryNode::For {
             var: v.clone(),
@@ -264,9 +390,11 @@ fn elaborate_let<K: Semiring>(
     let (v, def) = &bindings[i];
     let qdef = elaborate_in(def, ctx)?;
     let def_ty = qdef.ty;
+    ctx.enter_binder()?;
     ctx.push(v, def_ty);
     let inner = elaborate_let(bindings, body, ctx, i + 1);
     ctx.pop();
+    ctx.exit_binder();
     let inner = inner?;
     let ty = inner.ty;
     Ok(Query::new(
@@ -284,6 +412,7 @@ fn desugar_where<K: Semiring>(
     lhs: Query<K>,
     rhs: Query<K>,
     body: Query<K>,
+    ctx: &mut Context,
 ) -> Result<Query<K>, TypeError> {
     if lhs.ty == QType::Label && rhs.ty == QType::Label {
         let ty = body.ty;
@@ -299,8 +428,8 @@ fn desugar_where<K: Semiring>(
     }
     let lset = coerce_set(lhs)?;
     let rset = coerce_set(rhs)?;
-    let a = fresh("a");
-    let b = fresh("b");
+    let a = ctx.fresh("a");
+    let b = ctx.fresh("b");
     let kids = |q: Query<K>| {
         Query::new(
             QueryNode::Path(
@@ -555,5 +684,98 @@ mod tests {
     fn annot_result_is_set() {
         let q = elab("annot {2} (element a {()})");
         assert_eq!(q.ty, QType::TreeSet);
+    }
+
+    #[test]
+    fn programmatic_deep_ast_errors_instead_of_overflowing() {
+        // Deeper than the budget allows but shallow enough that
+        // dropping the AST itself (recursive drop glue) stays within
+        // the stack.
+        let mut e: SurfaceExpr<Nat> = SurfaceExpr::Var("S".into());
+        for _ in 0..MAX_DEPTH_UNITS {
+            e = SurfaceExpr::Paren(Box::new(e));
+        }
+        let err = elaborate(&e).unwrap_err();
+        assert!(err.msg.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn many_binders_error_instead_of_overflowing() {
+        // Binder count drives elaborate_for's recursion, which the
+        // parser's nesting cap does not bound.
+        let binders: Vec<(String, SurfaceExpr<Nat>)> = (0..10_000)
+            .map(|i| (format!("v{i}"), SurfaceExpr::Empty))
+            .collect();
+        let e = SurfaceExpr::For {
+            binders,
+            where_eq: None,
+            body: Box::new(SurfaceExpr::Empty),
+        };
+        let err = elaborate(&e).unwrap_err();
+        assert!(err.msg.contains("binders"), "{err}");
+    }
+
+    #[test]
+    fn flat_spines_do_not_count_as_nesting() {
+        // A flat 400-item sequence, 400-step path, and 400-binder for
+        // are all legitimate queries: spines are elaborated
+        // iteratively and must not trip the nesting-depth cap.
+        let seq = vec!["a"; 400].join(", ");
+        assert_eq!(elab(&seq).ty, QType::TreeSet);
+
+        let path = format!("$S{}", "/a".repeat(400));
+        assert_eq!(elab(&path).ty, QType::TreeSet);
+
+        let fors = format!(
+            "for {} return ()",
+            (0..400)
+                .map(|i| format!("$v{i} in $S"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        assert_eq!(elab(&fors).ty, QType::TreeSet);
+    }
+
+    #[test]
+    fn nested_fors_times_binders_error_instead_of_overflowing() {
+        // Parser-accepted: every per-construct cap holds (nesting ≤
+        // 128, binders per for ≤ 512), but binders × nesting would
+        // stack ~10k elaborate_for frames without the shared budget.
+        let binders = (0..500)
+            .map(|i| format!("$v{i} in $S"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mut q = "()".to_owned();
+        for _ in 0..20 {
+            q = format!("for {binders} return {q}");
+        }
+        let parsed = parse_query::<Nat>(&q).expect("parser accepts it");
+        let err = elaborate(&parsed).unwrap_err();
+        assert!(err.msg.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn programmatic_spine_bombs_error_instead_of_overflowing() {
+        // Hand-built left spines beyond MAX_SPINE get a TypeError from
+        // the iterative walk, long before any recursion could build up.
+        let mut e: SurfaceExpr<Nat> = SurfaceExpr::Empty;
+        for _ in 0..MAX_SPINE + 100 {
+            e = SurfaceExpr::Seq(Box::new(e), Box::new(SurfaceExpr::Empty));
+        }
+        let err = elaborate(&e).unwrap_err();
+        assert!(err.msg.contains("items"), "{err}");
+
+        let mut p: SurfaceExpr<Nat> = SurfaceExpr::Var("S".into());
+        for _ in 0..MAX_SPINE + 100 {
+            p = SurfaceExpr::Path(
+                Box::new(p),
+                Step {
+                    axis: Axis::Child,
+                    test: NodeTest::Wildcard,
+                },
+            );
+        }
+        let err2 = elaborate(&p).unwrap_err();
+        assert!(err2.msg.contains("steps"), "{err2}");
     }
 }

@@ -1,0 +1,278 @@
+//! Round-trip property tests for the query surface syntax:
+//!
+//! - **exact**: `parse(print(q)) == q` over ASTs whose printing needs
+//!   no inserted parentheses;
+//! - **elaboration-preserving**: `elaborate(parse(print(q))) ==
+//!   elaborate(q)` over cases where the printer must add parentheses
+//!   (which re-parse as transparent `Paren` nodes);
+//! - both over `Nat`, `PosBool` and `NatPoly` annotations (the
+//!   `annot {…}` scalar is the only semiring-dependent token).
+
+use axml_core::ast::{Axis, ElementName, NodeTest, Step, SurfaceExpr};
+use axml_core::{elaborate, parse_query};
+use axml_semiring::{Nat, NatPoly, PosBool, Semiring, Var};
+use axml_uxml::{Label, ParseAnnotation};
+use proptest::prelude::*;
+
+const NAMES: [&str; 5] = ["alpha", "beta", "gx", "d1", "e.ext"];
+const VARS: [&str; 4] = ["S", "T", "doc", "v2"];
+
+fn arb_step() -> BoxedStrategy<Step> {
+    (
+        prop_oneof![
+            Just(Axis::SelfAxis),
+            Just(Axis::Child),
+            Just(Axis::Descendant),
+            Just(Axis::StrictDescendant),
+        ],
+        prop_oneof![
+            Just(NodeTest::Wildcard),
+            proptest::sample::select(&NAMES[..]).prop_map(|n| NodeTest::Label(Label::new(n))),
+        ],
+    )
+        .prop_map(|(axis, test)| Step { axis, test })
+        .boxed()
+}
+
+/// Atoms: printed forms are primaries, never need parenthesizing.
+fn arb_atom<K: Semiring>() -> BoxedStrategy<SurfaceExpr<K>> {
+    prop_oneof![
+        proptest::sample::select(&NAMES[..]).prop_map(|n| SurfaceExpr::LabelLit(Label::new(n))),
+        proptest::sample::select(&VARS[..]).prop_map(|v| SurfaceExpr::Var(v.to_owned())),
+        Just(SurfaceExpr::Empty),
+    ]
+    .boxed()
+}
+
+/// Label-typed operands for `if`/`where` comparisons.
+fn arb_label_ish<K: Semiring>() -> BoxedStrategy<SurfaceExpr<K>> {
+    prop_oneof![
+        proptest::sample::select(&NAMES[..]).prop_map(|n| SurfaceExpr::LabelLit(Label::new(n))),
+        proptest::sample::select(&VARS[..])
+            .prop_map(|v| SurfaceExpr::Name(Box::new(SurfaceExpr::Var(v.to_owned())))),
+    ]
+    .boxed()
+}
+
+/// Operand-position expressions: everything except `Seq` and `For`
+/// (which the printer parenthesizes in operand slots).
+fn arb_operand<K: Semiring + ParseAnnotation + std::fmt::Display + 'static>(
+    annot: BoxedStrategy<K>,
+    depth: u32,
+) -> BoxedStrategy<SurfaceExpr<K>> {
+    if depth == 0 {
+        return arb_atom::<K>();
+    }
+    let op = arb_operand::<K>(annot.clone(), depth - 1);
+    let full = arb_exact::<K>(annot.clone(), depth - 1);
+    prop_oneof![
+        3 => arb_atom::<K>(),
+        1 => op.clone().prop_map(|e| SurfaceExpr::Paren(Box::new(e))),
+        1 => (proptest::sample::select(&VARS[..]), op.clone(), op.clone()).prop_map(
+            |(v, def, body)| SurfaceExpr::Let {
+                bindings: vec![(v.to_owned(), def)],
+                body: Box::new(body),
+            }
+        ),
+        1 => (arb_label_ish::<K>(), arb_label_ish::<K>(), op.clone(), op.clone()).prop_map(
+            |(l, r, t, e)| SurfaceExpr::If {
+                l: Box::new(l),
+                r: Box::new(r),
+                then: Box::new(t),
+                els: Box::new(e),
+            }
+        ),
+        1 => (proptest::sample::select(&NAMES[..]), full).prop_map(|(n, content)| {
+            SurfaceExpr::Element {
+                name: ElementName::Static(Label::new(n)),
+                content: Box::new(content),
+            }
+        }),
+        1 => op.clone().prop_map(|e| SurfaceExpr::Name(Box::new(e))),
+        1 => (annot, op.clone()).prop_map(|(k, e)| SurfaceExpr::Annot(k, Box::new(e))),
+        1 => (arb_atom::<K>(), arb_step())
+            .prop_map(|(p, s)| SurfaceExpr::Path(Box::new(p), s)),
+    ]
+    .boxed()
+}
+
+/// Expressions whose printed form re-parses to the identical AST:
+/// `Seq`/`For` appear only where the printer leaves them bare.
+fn arb_exact<K: Semiring + ParseAnnotation + std::fmt::Display + 'static>(
+    annot: BoxedStrategy<K>,
+    depth: u32,
+) -> BoxedStrategy<SurfaceExpr<K>> {
+    if depth == 0 {
+        return arb_atom::<K>();
+    }
+    let op = arb_operand::<K>(annot.clone(), depth - 1);
+    let full = arb_exact::<K>(annot.clone(), depth - 1);
+    prop_oneof![
+        3 => arb_operand::<K>(annot, depth),
+        1 => (full, op.clone())
+            .prop_map(|(a, b)| SurfaceExpr::Seq(Box::new(a), Box::new(b))),
+        1 => (
+            proptest::sample::select(&VARS[..]),
+            op.clone(),
+            op,
+            prop_oneof![
+                2 => Just(None),
+                1 => (arb_label_ish::<K>(), arb_label_ish::<K>()).prop_map(Some),
+            ],
+        )
+            .prop_map(|(v, src, body, weq)| SurfaceExpr::For {
+                binders: vec![(v.to_owned(), src)],
+                where_eq: weq.map(|(l, r)| (Box::new(l), Box::new(r))),
+                body: Box::new(body),
+            }),
+    ]
+    .boxed()
+}
+
+fn arb_natpoly() -> BoxedStrategy<NatPoly> {
+    prop_oneof![
+        2 => proptest::sample::select(&["qa", "qb", "qc"][..]).prop_map(NatPoly::var_named),
+        1 => Just(NatPoly::one()),
+        1 => (1u64..5).prop_map(NatPoly::from),
+        1 => proptest::sample::select(&["qa", "qb"][..])
+            .prop_map(|v| NatPoly::var_named(v).plus(&NatPoly::from(2u64))),
+    ]
+    .boxed()
+}
+
+fn arb_nat() -> BoxedStrategy<Nat> {
+    (0u64..9).prop_map(|n| Nat(n as u128)).boxed()
+}
+
+fn arb_posbool() -> BoxedStrategy<PosBool> {
+    let v = |n: &str| PosBool::var(Var::new(n));
+    prop_oneof![
+        Just(PosBool::one()),
+        Just(PosBool::zero()),
+        Just(v("u")),
+        Just(v("u").times(&v("w"))),
+        Just(v("u").plus(&v("w").times(&v("z")))),
+    ]
+    .boxed()
+}
+
+fn assert_exact_roundtrip<K: Semiring + ParseAnnotation + std::fmt::Display>(q: &SurfaceExpr<K>) {
+    let printed = q.to_string();
+    let reparsed =
+        parse_query::<K>(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+    assert_eq!(&reparsed, q, "printed: {printed}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn exact_roundtrip_natpoly(q in arb_exact::<NatPoly>(arb_natpoly(), 3)) {
+        assert_exact_roundtrip(&q);
+    }
+
+    #[test]
+    fn exact_roundtrip_nat(q in arb_exact::<Nat>(arb_nat(), 3)) {
+        assert_exact_roundtrip(&q);
+    }
+
+    #[test]
+    fn exact_roundtrip_posbool(q in arb_exact::<PosBool>(arb_posbool(), 3)) {
+        assert_exact_roundtrip(&q);
+    }
+
+    /// Printing is stable: parse(print(q)) prints identically (the
+    /// printer is a fixpoint even where parentheses were inserted).
+    #[test]
+    fn printing_is_idempotent(q in arb_exact::<NatPoly>(arb_natpoly(), 3)) {
+        let once = q.to_string();
+        let again = parse_query::<NatPoly>(&once).unwrap().to_string();
+        prop_assert_eq!(once, again);
+    }
+}
+
+/// Queries whose printing inserts parentheses still elaborate to the
+/// same core (the inserted `Paren` nodes are transparent).
+#[test]
+fn inserted_parens_preserve_elaboration() {
+    let cases: Vec<SurfaceExpr<NatPoly>> = vec![
+        // Seq in for-body: prints `for … return (a, b)`.
+        SurfaceExpr::For {
+            binders: vec![("t".into(), SurfaceExpr::Var("S".into()))],
+            where_eq: None,
+            body: Box::new(SurfaceExpr::Seq(
+                Box::new(SurfaceExpr::LabelLit(Label::new("a"))),
+                Box::new(SurfaceExpr::LabelLit(Label::new("b"))),
+            )),
+        },
+        // For in a non-final binder source.
+        SurfaceExpr::For {
+            binders: vec![
+                (
+                    "x".into(),
+                    SurfaceExpr::For {
+                        binders: vec![("i".into(), SurfaceExpr::Var("S".into()))],
+                        where_eq: None,
+                        body: Box::new(SurfaceExpr::Paren(Box::new(SurfaceExpr::Var("i".into())))),
+                    },
+                ),
+                ("y".into(), SurfaceExpr::Var("T".into())),
+            ],
+            where_eq: None,
+            body: Box::new(SurfaceExpr::Paren(Box::new(SurfaceExpr::Var("y".into())))),
+        },
+        // Seq as a path base: prints `(a, b)/child::*`.
+        SurfaceExpr::Path(
+            Box::new(SurfaceExpr::Seq(
+                Box::new(SurfaceExpr::Var("S".into())),
+                Box::new(SurfaceExpr::Var("T".into())),
+            )),
+            Step {
+                axis: Axis::Child,
+                test: NodeTest::Wildcard,
+            },
+        ),
+        // Right-nested Seq: prints `$S, ($T, $S)`.
+        SurfaceExpr::Seq(
+            Box::new(SurfaceExpr::Var("S".into())),
+            Box::new(SurfaceExpr::Seq(
+                Box::new(SurfaceExpr::Var("T".into())),
+                Box::new(SurfaceExpr::Var("S".into())),
+            )),
+        ),
+    ];
+    for q in cases {
+        let printed = q.to_string();
+        let reparsed = parse_query::<NatPoly>(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(
+            elaborate(&reparsed).unwrap(),
+            elaborate(&q).unwrap(),
+            "elaboration changed through print → parse of {printed:?}"
+        );
+    }
+}
+
+/// The paper's own queries survive print → parse exactly at the
+/// elaborated level.
+#[test]
+fn paper_queries_roundtrip() {
+    for src in [
+        "element p { for $t in $S return for $x in ($t)/child::* return ($x)/child::* }",
+        "element r { $T/descendant::c }",
+        "$d/R/child::*",
+        "for $x in $R, $y in $S where $x/B = $y/B return <t> { $x/A, $y/C } </t>",
+        "annot {2*w + 1} ($S/self::a)",
+        "let $r := $d/R/child::* return for $t in $r return ($t)",
+    ] {
+        let q = parse_query::<NatPoly>(src).unwrap();
+        let printed = q.to_string();
+        let reparsed = parse_query::<NatPoly>(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(
+            elaborate(&reparsed).unwrap(),
+            elaborate(&q).unwrap(),
+            "{src} → {printed}"
+        );
+    }
+}

@@ -490,6 +490,7 @@ impl std::str::FromStr for NatPoly {
         let mut p = PolyParser {
             chars: s.char_indices().peekable(),
             src: s,
+            depth: 0,
         };
         let poly = p.parse_poly()?;
         p.skip_ws();
@@ -527,7 +528,13 @@ impl std::error::Error for PolyParseError {}
 struct PolyParser<'a> {
     chars: std::iter::Peekable<std::str::CharIndices<'a>>,
     src: &'a str,
+    depth: usize,
 }
+
+/// Maximum parenthesis nesting. Annotations come from user input
+/// (document and query text), so `((((…` must yield a parse error,
+/// not a stack overflow.
+const MAX_PAREN_DEPTH: usize = 256;
 
 impl<'a> PolyParser<'a> {
     fn skip_ws(&mut self) {
@@ -574,9 +581,17 @@ impl<'a> PolyParser<'a> {
     fn parse_factor(&mut self) -> Result<NatPoly, PolyParseError> {
         self.skip_ws();
         match self.chars.peek().copied() {
-            Some((_, '(')) => {
+            Some((i, '(')) => {
                 self.chars.next();
+                self.depth += 1;
+                if self.depth > MAX_PAREN_DEPTH {
+                    return Err(PolyParseError {
+                        msg: format!("parenthesis nesting exceeds {MAX_PAREN_DEPTH} levels"),
+                        offset: i,
+                    });
+                }
                 let inner = self.parse_poly()?;
+                self.depth -= 1;
                 self.skip_ws();
                 match self.chars.next() {
                     Some((_, ')')) => Ok(inner),
@@ -607,7 +622,13 @@ impl<'a> PolyParser<'a> {
                             offset: ei,
                         });
                     }
-                    let e = self.lex_number(ei)? as u32;
+                    let e: u32 = self
+                        .lex_number(ei)?
+                        .try_into()
+                        .map_err(|_| PolyParseError {
+                            msg: "exponent too large".into(),
+                            offset: ei,
+                        })?;
                     Ok(NatPoly::term(Monomial::from_pairs([(v, e)]), Nat::ONE))
                 } else {
                     Ok(NatPoly::var(v))
@@ -662,6 +683,24 @@ mod tests {
 
     fn p(s: &str) -> NatPoly {
         s.parse().expect("polynomial should parse")
+    }
+
+    #[test]
+    fn paren_bomb_errors_instead_of_overflowing() {
+        let bomb = format!("{}x{}", "(".repeat(100_000), ")".repeat(100_000));
+        let e = bomb.parse::<NatPoly>().unwrap_err();
+        assert!(e.msg.contains("nesting"), "{e}");
+        // a reasonable depth still parses
+        let ok = format!("{}x{}", "(".repeat(50), ")".repeat(50));
+        assert_eq!(ok.parse::<NatPoly>().unwrap(), NatPoly::var(Var::new("x")));
+    }
+
+    #[test]
+    fn oversized_exponents_are_errors() {
+        assert!("x^4294967296".parse::<NatPoly>().is_err());
+        assert!("x^99999999999999999999999999999"
+            .parse::<NatPoly>()
+            .is_err());
     }
 
     #[test]

@@ -97,10 +97,54 @@ impl<K1: ParseAnnotation, K2: ParseAnnotation> ParseAnnotation for axml_semiring
 }
 
 impl ParseAnnotation for PosBool {
-    /// Accepts the ℕ\[X\] polynomial grammar and collapses it through the
-    /// ℕ\[X\] → PosBool homomorphism (`+` reads as ∨, `*` as ∧).
+    /// Accepts PosBool's own printed syntax — `true`, `false`, and
+    /// DNF like `x | y&z` — as well as the ℕ\[X\] polynomial grammar
+    /// collapsed through the ℕ\[X\] → PosBool homomorphism (`+` reads
+    /// as ∨, `*` as ∧), so print → parse is the identity and figure
+    /// input stays convenient. (`true`/`false` are therefore not
+    /// usable as variable names.)
     fn parse_annotation(text: &str) -> Result<Self, String> {
-        let p: NatPoly = text.parse().map_err(|e| format!("{e}"))?;
+        let t = text.trim();
+        match t {
+            "true" => return Ok(PosBool::one()),
+            "false" => return Ok(PosBool::zero()),
+            _ => {}
+        }
+        if t.contains('|') || t.contains('&') {
+            let mut dnf = PosBool::zero();
+            for clause in t.split('|') {
+                let mut conj = PosBool::one();
+                for v in clause.split('&') {
+                    let v = v.trim();
+                    // `true`/`false` are constants inside clauses too,
+                    // not variable names (see the doc comment above):
+                    // `x & true` = x, `x & false` kills the clause.
+                    match v {
+                        "true" => continue,
+                        "false" => {
+                            conj = PosBool::zero();
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    if v.is_empty()
+                        || !v
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_alphabetic() || c == '_')
+                        || !v
+                            .chars()
+                            .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+                    {
+                        return Err(format!("expected a variable in DNF clause, got {v:?}"));
+                    }
+                    conj = conj.times(&PosBool::var(Var::new(v)));
+                }
+                dnf = dnf.plus(&conj);
+            }
+            return Ok(dnf);
+        }
+        let p: NatPoly = t.parse().map_err(|e| format!("{e}"))?;
         Ok(axml_semiring::trio::collapse::natpoly_to_posbool(&p))
     }
 }
@@ -174,13 +218,24 @@ pub fn parse_value<K: ParseAnnotation>(src: &str) -> Result<Value<K>, ParseError
 struct Parser<'a> {
     src: &'a str,
     chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    depth: usize,
 }
+
+/// Maximum element nesting depth. The parser is recursive-descent, so
+/// without a cap a pathological `<a> <a> <a> …` document would
+/// overflow the stack and abort the process instead of returning a
+/// `ParseError`. 512 comfortably covers any realistic document (the
+/// workspace's own robustness tests use depth 300) while staying
+/// within even a 2 MiB test-thread stack in debug builds, where each
+/// nesting level costs several sizable frames.
+const MAX_DEPTH: usize = 512;
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
         Parser {
             src,
             chars: src.char_indices().peekable(),
+            depth: 0,
         }
     }
 
@@ -247,6 +302,16 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_element<K: ParseAnnotation>(&mut self) -> Result<(Tree<K>, K), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("element nesting exceeds {MAX_DEPTH} levels")));
+        }
+        let out = self.parse_element_inner::<K>();
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_element_inner<K: ParseAnnotation>(&mut self) -> Result<(Tree<K>, K), ParseError> {
         // consume '<'
         self.bump();
         let label = self.parse_name()?;
@@ -523,5 +588,24 @@ mod tests {
     fn empty_document_is_empty_forest() {
         assert!(parse_forest::<Nat>("").unwrap().is_empty());
         assert!(parse_forest::<Nat>("   \n ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        let deep = "<a> ".repeat(200_000);
+        let e = parse_forest::<Nat>(&deep).unwrap_err();
+        assert!(e.msg.contains("nesting"), "{e}");
+        // annotation parenthesis bombs are also caught (NatPoly cap)
+        let bomb = format!("a {{{}x{}}}", "(".repeat(100_000), ")".repeat(100_000));
+        let e2 = parse_forest::<NatPoly>(&bomb).unwrap_err();
+        assert!(e2.msg.contains("nesting"), "{e2}");
+    }
+
+    #[test]
+    fn deep_but_reasonable_documents_parse() {
+        let depth = 500;
+        let doc = format!("{}c{}", "<a> ".repeat(depth), " </a>".repeat(depth));
+        let f = parse_forest::<Nat>(&doc).unwrap();
+        assert_eq!(f.len(), 1);
     }
 }

@@ -1,0 +1,141 @@
+//! print → parse identity for forests, trees and values, over `Nat`,
+//! `PosBool` and `NatPoly` annotations.
+//!
+//! The document printer (`axml_uxml::print`) elides `1` annotations
+//! and prints in document order; the parser accepts exactly that
+//! output (including `PosBool`'s `true`/`false`/`x | y&z` DNF forms),
+//! so `parse_forest(to_document_string(f)) == f` must hold for any
+//! forest.
+
+use axml_semiring::{Nat, NatPoly, PosBool, Semiring, Var};
+use axml_uxml::print::to_document_string;
+use axml_uxml::{parse_forest, parse_value, Forest, ParseAnnotation, Tree, Value};
+use proptest::prelude::*;
+
+const LABELS: [&str; 5] = ["alpha", "beta", "g-x", "d_1", "e.ext"];
+
+fn arb_tree<K: Semiring>(ann: BoxedStrategy<K>, depth: u32) -> BoxedStrategy<Tree<K>> {
+    if depth == 0 {
+        return proptest::sample::select(&LABELS[..])
+            .prop_map(Tree::leaf)
+            .boxed();
+    }
+    (
+        proptest::sample::select(&LABELS[..]),
+        proptest::collection::vec((arb_tree(ann.clone(), depth - 1), ann), 0..3),
+    )
+        .prop_map(|(l, kids)| Tree::new(l, Forest::from_pairs(kids)))
+        .boxed()
+}
+
+fn arb_forest<K: Semiring>(ann: BoxedStrategy<K>, depth: u32) -> BoxedStrategy<Forest<K>> {
+    proptest::collection::vec((arb_tree(ann.clone(), depth), ann), 0..4)
+        .prop_map(Forest::from_pairs)
+        .boxed()
+}
+
+// Nonzero annotations only: a zero-annotated tree is *absent* from a
+// K-set, so it cannot appear on the printed side in the first place.
+fn arb_nat() -> BoxedStrategy<Nat> {
+    (1u64..9).prop_map(|n| Nat(n as u128)).boxed()
+}
+
+fn arb_natpoly() -> BoxedStrategy<NatPoly> {
+    prop_oneof![
+        2 => proptest::sample::select(&["da", "db", "dc"][..]).prop_map(NatPoly::var_named),
+        1 => Just(NatPoly::one()),
+        1 => (1u64..4).prop_map(NatPoly::from),
+        1 => proptest::sample::select(&["da", "db"][..])
+            .prop_map(|v| NatPoly::var_named(v).times(&NatPoly::var_named("dc"))
+                .plus(&NatPoly::from(2u64))),
+    ]
+    .boxed()
+}
+
+fn arb_posbool() -> BoxedStrategy<PosBool> {
+    let v = |n: &str| PosBool::var(Var::new(n));
+    prop_oneof![
+        Just(PosBool::one()),
+        Just(v("u")),
+        Just(v("w")),
+        Just(v("u").times(&v("w"))),
+        Just(v("u").plus(&v("w"))),
+        Just(v("u").plus(&v("w").times(&v("z")))),
+    ]
+    .boxed()
+}
+
+fn assert_roundtrip<K: ParseAnnotation>(f: &Forest<K>) {
+    let printed = to_document_string(f);
+    let reparsed = parse_forest::<K>(&printed)
+        .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+    assert_eq!(&reparsed, f, "printed: {printed}");
+    // Value round-trip: top-level values print/parse as sets.
+    let v = Value::Set(f.clone());
+    let reparsed_v = parse_value::<K>(&printed)
+        .unwrap_or_else(|e| panic!("value reparse of {printed:?} failed: {e}"));
+    assert_eq!(reparsed_v, v);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn forest_roundtrip_nat(f in arb_forest(arb_nat(), 3)) {
+        assert_roundtrip(&f);
+    }
+
+    #[test]
+    fn forest_roundtrip_natpoly(f in arb_forest(arb_natpoly(), 3)) {
+        assert_roundtrip(&f);
+    }
+
+    #[test]
+    fn forest_roundtrip_posbool(f in arb_forest(arb_posbool(), 3)) {
+        assert_roundtrip(&f);
+    }
+}
+
+#[test]
+fn posbool_printed_forms_reparse() {
+    // The printer's PosBool forms: elided (1 = true), DNF, false.
+    let u = PosBool::var(Var::new("u"));
+    let w = PosBool::var(Var::new("w"));
+    let f: Forest<PosBool> = Forest::from_pairs([
+        (Tree::leaf("a"), u.plus(&w.times(&u))),
+        (Tree::leaf("b"), PosBool::one()),
+        (Tree::leaf("c"), u.clone()),
+    ]);
+    assert_roundtrip(&f);
+    // explicit true/false/DNF annotation text
+    let g = parse_forest::<PosBool>("a {true} b {u & w | z} c {false}").unwrap();
+    assert_eq!(g.get(&Tree::leaf("a")), PosBool::one());
+    assert_eq!(
+        g.get(&Tree::leaf("b")),
+        u.times(&w).plus(&PosBool::var(Var::new("z")))
+    );
+    assert!(
+        !g.contains(&Tree::leaf("c")),
+        "false-annotated items are absent"
+    );
+    // legacy polynomial syntax still accepted
+    let h = parse_forest::<PosBool>("a {u*w + z}").unwrap();
+    assert_eq!(h, parse_forest::<PosBool>("a {u&w | z}").unwrap());
+    // true/false are constants inside clauses too, never variables:
+    // x | false = x,  x & true = x,  x & false | z = z
+    assert_eq!(
+        parse_forest::<PosBool>("a {u | false}").unwrap(),
+        parse_forest::<PosBool>("a {u}").unwrap()
+    );
+    assert_eq!(
+        parse_forest::<PosBool>("a {u & true}").unwrap(),
+        parse_forest::<PosBool>("a {u}").unwrap()
+    );
+    assert_eq!(
+        parse_forest::<PosBool>("a {u & false | z}").unwrap(),
+        parse_forest::<PosBool>("a {z}").unwrap()
+    );
+    // malformed DNF is an error, not a panic
+    assert!(parse_forest::<PosBool>("a {u & | w}").is_err());
+    assert!(parse_forest::<PosBool>("a {|}").is_err());
+}

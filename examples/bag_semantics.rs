@@ -6,56 +6,73 @@
 //!
 //! Run with: `cargo run --example bag_semantics`
 
-use annotated_xml::prelude::*;
-use annotated_xml::uxml::hom::map_forest;
-use axml_core::run_query;
-use axml_semiring::{dup_elim, FnHom};
-use axml_uxml::{parse_forest, Value};
+use annotated_xml::semiring::{FnHom, Nat, PosBool, Semiring};
+use annotated_xml::uxml::hom::map_value;
+use axml::{Engine, EvalOptions, SemiringKind};
 
 fn main() {
     // An inventory where annotations are multiplicities: three crates
-    // of apples on shelf 1, two on shelf 2, one box of pears.
-    let inventory = parse_forest::<Nat>(
-        r#"<warehouse>
-             <shelf> <crate {3}> apples </crate> <box> pears </box> </shelf>
-             <shelf> <crate {2}> apples </crate> </shelf>
-           </warehouse>"#,
-    )
-    .unwrap();
+    // of apples on shelf 1, two on shelf 2, one box of pears. The
+    // engine stores the document symbolically; `SemiringKind::Nat`
+    // reads the constants back as counts.
+    let engine = Engine::new();
+    engine
+        .load_document(
+            "W",
+            r#"<warehouse>
+                 <shelf> <crate {3}> apples </crate> <box> pears </box> </shelf>
+                 <shelf> <crate {2}> apples </crate> </shelf>
+               </warehouse>"#,
+        )
+        .unwrap();
 
     // How many crates of apples in total? The query collects every
     // crate; value-identical crates merge and their multiplicities add.
-    let q = "for $c in $W//crate return ($c)/*";
-    let bags = run_query::<Nat>(q, &[("W", Value::Set(inventory.clone()))]).unwrap();
-    let Value::Set(bag_result) = &bags else {
-        unreachable!()
-    };
+    let q = engine.prepare("for $c in $W//crate return ($c)/*").unwrap();
+    let bags = q
+        .eval(&engine, EvalOptions::new().semiring(SemiringKind::Nat))
+        .unwrap();
+    let bag_result = bags.as_nat().unwrap().as_set().unwrap();
     println!("bag answer: {bag_result}");
     for (item, count) in bag_result.iter_document() {
         println!("  {count} × {item}");
     }
 
     // Set semantics, two ways that Corollary 1 says must agree:
-    // (1) evaluate in 𝔹 from the start;
-    let as_sets = map_forest(&FnHom::new(dup_elim), &inventory);
-    let direct = run_query::<bool>(q, &[("W", Value::Set(as_sets))]).unwrap();
+    // (1) evaluate under set semantics from the start (PosBool over a
+    //     variable-free document degenerates to plain 𝔹);
+    let direct = q
+        .eval(&engine, EvalOptions::new().semiring(SemiringKind::PosBool))
+        .unwrap();
 
-    // (2) evaluate in ℕ and duplicate-eliminate afterwards.
-    let deferred = Value::Set(map_forest(&FnHom::new(dup_elim), bag_result));
+    // (2) evaluate in ℕ and duplicate-eliminate afterwards — † : ℕ → 𝔹
+    //     lifted over the finished bag answer.
+    let dagger = FnHom::new(|n: &Nat| {
+        if n.is_zero() {
+            PosBool::zero()
+        } else {
+            PosBool::one()
+        }
+    });
+    let deferred = map_value(&dagger, bags.as_nat().unwrap());
 
-    assert_eq!(direct, deferred, "†(p_ℕ(v)) = p_𝔹(†(v))  (Corollary 1)");
+    assert_eq!(
+        direct.as_posbool().unwrap(),
+        &deferred,
+        "†(p_ℕ(v)) = p_𝔹(†(v))  (Corollary 1)"
+    );
     println!("\nset answer (either route): {deferred}");
 
     // Repetition-aware queries: a join counts *pairs*, so multiplicities
     // multiply — 5 apple-crates joined with themselves give 25 pairs.
-    let self_join = run_query::<Nat>(
-        "for $a in $W//crate/*, $b in $W//crate/* \
-           where name($a) = name($b) return ($a)",
-        &[("W", Value::Set(inventory))],
-    )
-    .unwrap();
-    let Value::Set(pairs) = self_join else {
-        unreachable!()
-    };
+    let self_join = engine
+        .prepare(
+            "for $a in $W//crate/*, $b in $W//crate/* \
+               where name($a) = name($b) return ($a)",
+        )
+        .unwrap()
+        .eval(&engine, EvalOptions::new().semiring(SemiringKind::Nat))
+        .unwrap();
+    let pairs = self_join.as_nat().unwrap().as_set().unwrap();
     println!("\nself-join multiplicities: {pairs}");
 }

@@ -7,46 +7,47 @@
 //!
 //! Run with: `cargo run --example curated_provenance`
 
-use annotated_xml::prelude::*;
 use annotated_xml::semiring::trio::collapse::natpoly_to_lineage;
+use annotated_xml::semiring::{Prob, Valuation, Var};
 use annotated_xml::uxml::hom::specialize_forest;
-use axml_core::run_query;
-use axml_uxml::{parse_forest, Value};
+use axml::{Engine, EvalOptions, SemiringKind};
 
 fn main() {
     // Two curated protein databases, each record tagged with a token.
-    let genbank = parse_forest::<NatPoly>(
-        r#"<db>
-             <protein {g1}> <id> P01 </id> <organism> yeast </organism> </protein>
-             <protein {g2}> <id> P02 </id> <organism> human </organism> </protein>
-           </db>"#,
-    )
-    .unwrap();
-    let swissprot = parse_forest::<NatPoly>(
-        r#"<db>
-             <entry {s1}> <id> P01 </id> <function> kinase </function> </entry>
-             <entry {s2}> <id> P03 </id> <function> ligase </function> </entry>
-           </db>"#,
-    )
-    .unwrap();
+    let engine = Engine::new();
+    engine
+        .load_document(
+            "genbank",
+            r#"<db>
+                 <protein {g1}> <id> P01 </id> <organism> yeast </organism> </protein>
+                 <protein {g2}> <id> P02 </id> <organism> human </organism> </protein>
+               </db>"#,
+        )
+        .unwrap();
+    engine
+        .load_document(
+            "swissprot",
+            r#"<db>
+                 <entry {s1}> <id> P01 </id> <function> kinase </function> </entry>
+                 <entry {s2}> <id> P03 </id> <function> ligase </function> </entry>
+               </db>"#,
+        )
+        .unwrap();
 
-    // Integration view: join the two sources on the id value.
-    let view = r#"
-        for $p in $genbank/protein, $e in $swissprot/entry
-        where $p/id = $e/id
-        return <merged> { $p/organism, $e/function, $p/id } </merged>"#;
+    // Integration view: join the two sources on the id value. Prepared
+    // once; the free variables bind the documents by name.
+    let view = engine
+        .prepare(
+            r#"for $p in $genbank/protein, $e in $swissprot/entry
+               where $p/id = $e/id
+               return <merged> { $p/organism, $e/function, $p/id } </merged>"#,
+        )
+        .expect("view compiles");
 
-    let out = run_query::<NatPoly>(
-        view,
-        &[
-            ("genbank", Value::Set(genbank)),
-            ("swissprot", Value::Set(swissprot)),
-        ],
-    )
-    .expect("view evaluates");
-    let Value::Set(result) = out else {
-        unreachable!()
-    };
+    let out = view
+        .eval(&engine, EvalOptions::new())
+        .expect("view evaluates");
+    let result = out.as_natpoly().unwrap().as_set().unwrap();
 
     println!("integrated view with provenance:");
     for (tree, provenance) in result.iter_document() {
@@ -56,11 +57,18 @@ fn main() {
         println!("    lineage:    {}", natpoly_to_lineage(provenance));
     }
 
+    // The same prepared view, interpreted as why-provenance — witness
+    // bases instead of polynomials — by flipping one runtime option.
+    let why = view
+        .eval(&engine, EvalOptions::new().semiring(SemiringKind::Why))
+        .unwrap();
+    println!("\nwhy-provenance view: {why}");
+
     // Deletion propagation: SwissProt retracts s1. Setting s1 ↦ false
     // in the Boolean semiring deletes every result that *requires* it.
     let mut retraction = Valuation::<bool>::new();
     retraction.set(Var::new("s1"), false);
-    let after = specialize_forest(&result, &retraction);
+    let after = specialize_forest(result, &retraction);
     println!(
         "\nafter SwissProt retracts s1: {} result(s) remain",
         after.len()
@@ -74,7 +82,7 @@ fn main() {
         (Var::new("s1"), Prob::new(0.6)),
         (Var::new("s2"), Prob::new(0.95)),
     ]);
-    let scored = specialize_forest(&result, &trust);
+    let scored = specialize_forest(result, &trust);
     println!("\ntrust scores (Viterbi semiring):");
     for (tree, score) in scored.iter_document() {
         println!("  {score}  {tree}");

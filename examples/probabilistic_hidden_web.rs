@@ -7,44 +7,50 @@
 //!
 //! Run with: `cargo run --example probabilistic_hidden_web`
 
-use annotated_xml::prelude::*;
+use annotated_xml::semiring::{NatPoly, Var};
+use annotated_xml::uxml::{parse_tree, Value};
 use annotated_xml::worlds::{
     answer_distribution, estimate_marginal, marginal_prob, mod_bool, ProbSpace, TreePattern,
 };
-use axml_core::run_query;
-use axml_uxml::{parse_forest, Value};
+use axml::{Engine, EvalOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     // Facts extracted by probing a directory service. Each subtree is
     // guarded by an independent Bernoulli event variable.
-    let extracted = parse_forest::<NatPoly>(
-        r#"<directory>
-             <person {e1}>
-               <name> alice </name>
-               <phone {e2}> p5551 </phone>
-               <email {e3}> al </email>
-             </person>
-             <person {e4}>
-               <name> bob </name>
-               <phone {e5}> p5551 </phone>
-             </person>
-           </directory>"#,
-    )
-    .unwrap();
+    let engine = Engine::new();
+    engine
+        .load_document(
+            "doc",
+            r#"<directory>
+                 <person {e1}>
+                   <name> alice </name>
+                   <phone {e2}> p5551 </phone>
+                   <email {e3}> al </email>
+                 </person>
+                 <person {e4}>
+                   <name> bob </name>
+                   <phone {e5}> p5551 </phone>
+                 </person>
+               </directory>"#,
+        )
+        .unwrap();
+    let extracted = engine.document("doc").unwrap();
 
     // How many distinct worlds does this represent?
     let worlds = mod_bool(&extracted);
     println!("the representation has {} possible worlds", worlds.len());
 
-    // Query: all phone subtrees, via XPath.
-    let sym = run_query::<NatPoly>(
-        "element phones { $doc//phone }",
-        &[("doc", Value::Set(extracted.clone()))],
-    )
-    .unwrap();
-    let Value::Tree(answer) = sym else {
+    // Query: all phone subtrees, via XPath. Evaluated once,
+    // symbolically — every downstream probability comes from this one
+    // answer (Corollary 1).
+    let sym = engine
+        .prepare("element phones { $doc//phone }")
+        .unwrap()
+        .eval(&engine, EvalOptions::new())
+        .unwrap();
+    let Value::Tree(answer) = sym.as_natpoly().unwrap() else {
         unreachable!()
     };
     println!("\nsymbolic answer: {answer}");
@@ -67,12 +73,7 @@ fn main() {
     }
 
     // Marginal: is the number p5551 listed (for anyone)?
-    let phone_tree = parse_forest::<bool>("<phone> p5551 </phone>")
-        .unwrap()
-        .trees()
-        .next()
-        .unwrap()
-        .clone();
+    let phone_tree = parse_tree::<bool>("<phone> p5551 </phone>").unwrap();
     let exact = marginal_prob(&answer.children().clone(), &phone_tree, &space);
     println!("\nPr[<phone>p5551</phone> in answer] = {exact:.4} (exact)");
     // = Pr[e1·e2 ∨ e4·e5] = 0.63 + 0.4 − 0.63·0.4 = 0.778
@@ -87,18 +88,18 @@ fn main() {
     );
     println!("Pr[…] ≈ {mc:.4} (Monte-Carlo, 10k samples)");
 
-    // Tree-pattern query (the [27] special case): person[phone][email]
+    // Tree-pattern query (the [27] special case): person[phone][email].
+    // The pattern compiles to UXQuery surface syntax; the engine
+    // prepares and runs it like any other query.
     let pattern = TreePattern::label("person")
         .child(TreePattern::label("phone"))
         .child(TreePattern::label("email"));
-    let out = axml_core::eval_query(
-        &pattern.to_query::<NatPoly>(),
-        &[("doc", Value::Set(extracted))],
-    )
-    .unwrap();
-    let Value::Set(matches) = out else {
-        unreachable!()
-    };
+    let out = engine
+        .prepare(&pattern.to_query::<NatPoly>().to_string())
+        .unwrap()
+        .eval(&engine, EvalOptions::new())
+        .unwrap();
+    let matches = out.as_natpoly().unwrap().as_set().unwrap();
     println!("\npattern person[phone][email]:");
     for (m, evidence) in matches.iter_document() {
         let cond = annotated_xml::semiring::trio::collapse::natpoly_to_posbool(evidence);

@@ -1,51 +1,85 @@
-//! Quickstart: annotate a document with provenance tokens, query it,
-//! and read the provenance of every answer.
+//! Quickstart: load a provenance-annotated document into the engine,
+//! prepare a query once, and evaluate it under several semantics —
+//! reading the provenance of every answer along the way.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use annotated_xml::prelude::*;
+use annotated_xml::semiring::{Valuation, Var};
 use annotated_xml::uxml::hom::specialize_forest;
-use axml_core::run_query;
-use axml_uxml::{parse_forest, Value};
+use annotated_xml::uxml::{print::pretty, Value};
+use axml::{Engine, EvalOptions, Route, SemiringKind};
 
 fn main() {
-    // 1. Parse a document. Annotations in `{…}` are ℕ[X] provenance
-    //    polynomials; absent annotations mean the neutral 1.
+    // 1. Load a document. Annotations in `{…}` are ℕ[X] provenance
+    //    polynomials; absent annotations mean the neutral 1. The
+    //    engine parses once and shares the forest from then on.
     //    This is Figure 1 of the paper.
-    let source =
-        parse_forest::<NatPoly>("<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>")
-            .expect("document parses");
-    println!("source:\n{}", annotated_xml::uxml::print::pretty(&source));
+    let engine = Engine::new();
+    engine
+        .load_document(
+            "S",
+            "<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>",
+        )
+        .expect("document parses");
+    println!("source:\n{}", pretty(&engine.document("S").unwrap()));
 
-    // 2. Run a query: all grandchildren of the root.
-    let answer = run_query::<NatPoly>(
-        "element p { for $t in $S return \
-           for $x in ($t)/child::* return ($x)/child::* }",
-        &[("S", Value::Set(source))],
-    )
-    .expect("query runs");
-    println!("answer: {answer}");
+    // 2. Prepare a query: all grandchildren of the root. Parsing,
+    //    typing, and compilation happen here, exactly once.
+    let grandchildren = engine
+        .prepare(
+            "element p { for $t in $S return \
+               for $x in ($t)/child::* return ($x)/child::* }",
+        )
+        .expect("query compiles");
 
-    // 3. Each answer item carries a provenance polynomial: a sum over
+    // 3. Evaluate symbolically (the default: ℕ[X], direct route).
+    //    Each answer item carries a provenance polynomial: a sum over
     //    derivations of the product of the source annotations used.
-    let Value::Tree(tree) = &answer else {
+    let answer = grandchildren
+        .eval(&engine, EvalOptions::new())
+        .expect("query runs");
+    println!("answer: {answer}");
+    let Value::Tree(tree) = answer.as_natpoly().unwrap() else {
         unreachable!()
     };
     for (child, provenance) in tree.children().iter_document() {
         println!("  {child}  ⇐  {provenance}");
     }
 
-    // 4. Universality: specialize the SAME symbolic answer into any
-    //    semiring with a valuation (Corollary 1 guarantees this equals
-    //    re-running the query there).
-    //    Bag semantics — how many derivations?
-    let val = Valuation::<Nat>::new();
-    let as_bags = specialize_forest(tree.children(), &val);
+    // 4. Universality: the SAME prepared query runs in any semiring —
+    //    the engine dispatches to the right evaluator per call
+    //    (Corollary 1 guarantees it matches specializing the symbolic
+    //    answer). Bag semantics — how many derivations?
+    let as_bags = grandchildren
+        .eval(&engine, EvalOptions::new().semiring(SemiringKind::Nat))
+        .unwrap();
     println!("multiplicities (all tokens ↦ 1): {as_bags}");
 
-    //    What survives if source item x1 is deleted?
+    //    The provenance-first mode makes the other direction explicit:
+    //    evaluate once over ℕ[X], specialize the result afterwards.
+    let bags_again = grandchildren
+        .eval(
+            &engine,
+            EvalOptions::new()
+                .semiring(SemiringKind::Nat)
+                .provenance_first(),
+        )
+        .unwrap();
+    assert_eq!(as_bags, bags_again, "Corollary 1, as an API property");
+
+    // 5. What survives if source item x1 is deleted? Specialize the
+    //    symbolic answer under a valuation sending x1 ↦ false.
     let mut deleted = Valuation::<bool>::new();
     deleted.set(Var::new("x1"), false);
     let after_delete = specialize_forest(tree.children(), &deleted);
     println!("after deleting x1: {after_delete}");
+
+    // 6. Paranoid? Run the independent evaluation routes (direct
+    //    big-step and the NRC_K compilation semantics) and assert they
+    //    agree before trusting the answer.
+    let checked = grandchildren
+        .eval(&engine, EvalOptions::new().route(Route::Differential))
+        .unwrap();
+    assert_eq!(checked.as_natpoly(), answer.as_natpoly());
+    println!("differential check passed (direct ≡ via-NRC)");
 }

@@ -5,46 +5,55 @@
 //!
 //! Run with: `cargo run --example security_clearance`
 
-use annotated_xml::prelude::*;
 use annotated_xml::semiring::clearance::ClearanceLevel;
+use annotated_xml::semiring::{Clearance, Valuation, Var};
 use annotated_xml::uxml::hom::specialize_forest;
-use axml_core::run_query;
-use axml_uxml::{parse_forest, Value};
+use annotated_xml::uxml::Value;
+use axml::{Engine, EvalOptions};
 
 fn main() {
     // The Fig 6 source: a relational database encoded as UXML, with
     // provenance tokens everywhere annotations are allowed — on the
     // relation (w1), tuples (x1..x5), attributes (y1..y6) and values
     // (z1..z7).
-    let source = parse_forest::<NatPoly>(
-        r#"<D>
-             <R {w1}>
-               <t {x1}> <A {y1}> a </A> <B {y2}> b {z1} </B> <C {y3}> c </C> </t>
-               <t {x2}> <A {y1}> d </A> <B {y2}> b {z2} </B> <C {y3}> e {z3} </C> </t>
-               <t {x3}> <A {y1}> f </A> <B {y2}> g {z4} </B> <C {y3}> e {z5} </C> </t>
-             </R>
-             <S>
-               <t {x4}> <B {y5}> b {z6} </B> <C {y6}> c </C> </t>
-               <t {x5}> <B {y5}> g {z7} </B> <C {y6}> c </C> </t>
-             </S>
-           </D>"#,
-    )
-    .unwrap();
+    let engine = Engine::new();
+    engine
+        .load_document(
+            "d",
+            r#"<D>
+                 <R {w1}>
+                   <t {x1}> <A {y1}> a </A> <B {y2}> b {z1} </B> <C {y3}> c </C> </t>
+                   <t {x2}> <A {y1}> d </A> <B {y2}> b {z2} </B> <C {y3}> e {z3} </C> </t>
+                   <t {x3}> <A {y1}> f </A> <B {y2}> g {z4} </B> <C {y3}> e {z5} </C> </t>
+                 </R>
+                 <S>
+                   <t {x4}> <B {y5}> b {z6} </B> <C {y6}> c </C> </t>
+                   <t {x5}> <B {y5}> g {z7} </B> <C {y6}> c </C> </t>
+                 </S>
+               </D>"#,
+        )
+        .unwrap();
 
-    // The Fig 5 view: Q = π_AC(π_AB(R) ⋈ (π_BC(R) ∪ S)) in UXQuery.
-    let view = r#"
-        let $r := $d/R/*,
-            $rAB := for $t in $r return <t> { $t/A, $t/B } </t>,
-            $rBC := for $t in $r return <t> { $t/B, $t/C } </t>,
-            $s := $d/S/*
-        return
-          <Q> { for $x in $rAB, $y in ($rBC, $s)
-                where $x/B = $y/B
-                return <t> { $x/A, $y/C } </t> } </Q>"#;
+    // The Fig 5 view: Q = π_AC(π_AB(R) ⋈ (π_BC(R) ∪ S)) in UXQuery,
+    // compiled once.
+    let view = engine
+        .prepare(
+            r#"let $r := $d/R/*,
+                   $rAB := for $t in $r return <t> { $t/A, $t/B } </t>,
+                   $rBC := for $t in $r return <t> { $t/B, $t/C } </t>,
+                   $s := $d/S/*
+               return
+                 <Q> { for $x in $rAB, $y in ($rBC, $s)
+                       where $x/B = $y/B
+                       return <t> { $x/A, $y/C } </t> } </Q>"#,
+        )
+        .unwrap();
 
     // Evaluate once, symbolically.
-    let sym = run_query::<NatPoly>(view, &[("d", Value::Set(source))]).unwrap();
-    let Value::Tree(q) = sym else { unreachable!() };
+    let sym = view.eval(&engine, EvalOptions::new()).unwrap();
+    let Value::Tree(q) = sym.as_natpoly().unwrap() else {
+        unreachable!()
+    };
     println!("symbolic view (Fig 6): 8 tuples");
     for (t, provenance) in q.children().iter_document() {
         println!("  {t}\n    ⇐ {provenance}");

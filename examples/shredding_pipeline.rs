@@ -1,21 +1,28 @@
 //! The §7 pipeline: shred annotated XML into an edge relation, compile
 //! XPath to Datalog with Skolem functions, evaluate relationally, and
 //! decode — the proof-of-concept for pushing annotated-XML queries into
-//! an RDBMS.
+//! an RDBMS. The engine exposes the whole pipeline as
+//! `Route::Shredded`, and `Route::Differential` checks it against the
+//! other evaluators (Theorem 2, on demand).
 //!
 //! Run with: `cargo run --example shredding_pipeline`
 
-use annotated_xml::prelude::*;
-use annotated_xml::relational::{decode, garbage_collect, shred, shredded_eval, xpath_to_datalog};
+use annotated_xml::relational::{garbage_collect, shred, shredded_eval, xpath_to_datalog};
+use annotated_xml::uxml::leaf;
+use axml::{Engine, EvalOptions, Route};
 use axml_core::ast::{Axis, NodeTest, Step};
-use axml_uxml::{parse_forest, Label};
+use axml_uxml::Label;
 
 fn main() {
     // The Fig 4 source tree.
-    let source = parse_forest::<NatPoly>(
-        "<a> <b {x1}> <a> c {y3} d </a> </b> <c {y1}> <d> <a> c {y2} b {x2} </a> </d> </c> </a>",
-    )
-    .unwrap();
+    let engine = Engine::new();
+    engine
+        .load_document(
+            "T",
+            "<a> <b {x1}> <a> c {y3} d </a> </b> <c {y1}> <d> <a> c {y2} b {x2} </a> </d> </c> </a>",
+        )
+        .unwrap();
+    let source = engine.document("T").unwrap();
 
     // φ: one E(pid, nid, label) tuple per node, same annotation.
     let edges = shred(&source);
@@ -41,14 +48,24 @@ fn main() {
         raw.len() - clean.len()
     );
 
-    // Decode back to K-UXML and compare with the direct semantics —
-    // Theorem 2 in action.
-    let via_relations = decode(&clean).expect("forest-shaped");
-    let direct = axml_core::eval_step(&source, steps[0]);
-    assert_eq!(via_relations, direct, "Theorem 2");
-    println!("\ndecoded result (= direct evaluation):\n{via_relations}");
+    // The engine runs the same pipeline as a route. `$T//c` is a
+    // navigation chain, so the relational translation applies.
+    let q = engine.prepare("$T//c").unwrap();
+    assert!(q.is_step_chain());
+    let via_relations = q
+        .eval(&engine, EvalOptions::new().route(Route::Shredded))
+        .unwrap();
+    println!("\nshredded-route result:\n{via_relations}");
+
+    // Theorem 2 in action: the differential route evaluates direct,
+    // via-NRC *and* shredded, and asserts all three agree.
+    let checked = q
+        .eval(&engine, EvalOptions::new().route(Route::Differential))
+        .unwrap();
+    assert_eq!(checked, via_relations, "Theorem 2");
+    let result = checked.as_natpoly().unwrap().as_set().unwrap();
     println!(
         "leaf c provenance: {}  (Fig 4's q1 = x1·y3 + y1·y2)",
-        via_relations.get(&axml_uxml::leaf("c"))
+        result.get(&leaf("c"))
     );
 }

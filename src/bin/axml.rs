@@ -1,7 +1,7 @@
 //! `axml` — command-line runner for K-UXQuery over annotated documents.
 //!
 //! ```console
-//! axml query  --semiring natpoly --doc data.axml  'element r { $S//c }'
+//! axml query  --semiring natpoly --route differential --doc data.axml 'element r { $S//c }'
 //! axml parse  --semiring nat     --doc data.axml
 //! axml shred  --doc data.axml    '//c'
 //! axml worlds --doc data.axml
@@ -9,12 +9,14 @@
 //!
 //! Documents use the annotated text format (`<a {x1}> b {y} </a>`);
 //! the document is bound to `$S` (and also to `$T`, `$d`, `$doc` for
-//! convenience with the paper's variable names).
+//! convenience with the paper's variable names). Queries run through
+//! the [`axml::Engine`] facade: any of its semirings, any evaluation
+//! route, and optionally provenance-first evaluation.
 
 use annotated_xml::prelude::*;
 use annotated_xml::uxml::print::pretty;
-use axml_core::run_query;
-use axml_uxml::{parse_forest, ParseAnnotation, Value};
+use axml::{Engine, EvalOptions, Route, SemiringKind};
+use axml_uxml::{parse_forest, ParseAnnotation};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -32,21 +34,29 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  axml query  [--semiring S] (--doc FILE | --text DOC) QUERY
+  axml query  [--semiring S] [--route R] [--provenance-first] \\
+              (--doc FILE | --text DOC) QUERY
   axml parse  [--semiring S] (--doc FILE | --text DOC)
   axml shred  (--doc FILE | --text DOC) PATH     # //c or /a/b style
   axml worlds (--doc FILE | --text DOC)          # possible worlds (ℕ[X] docs)
 
-semirings: natpoly (default) | nat | bool | clearance | posbool";
+query semirings: natpoly (default) | nat | posbool | tropical | why | trio | prob
+                 (also bool | clearance, direct route only)
+parse semirings: natpoly (default) | nat | bool | clearance | posbool
+routes:          direct (default) | via-nrc | shredded | differential";
 
 struct Opts {
     semiring: String,
+    route: String,
+    provenance_first: bool,
     doc: String,
     rest: Vec<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut semiring = "natpoly".to_owned();
+    let mut route = "direct".to_owned();
+    let mut provenance_first = false;
     let mut doc: Option<String> = None;
     let mut rest = Vec::new();
     let mut i = 0;
@@ -55,6 +65,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--semiring" => {
                 semiring = args.get(i + 1).ok_or("--semiring needs a value")?.clone();
                 i += 2;
+            }
+            "--route" => {
+                route = args.get(i + 1).ok_or("--route needs a value")?.clone();
+                i += 2;
+            }
+            "--provenance-first" => {
+                provenance_first = true;
+                i += 1;
             }
             "--doc" => {
                 let path = args.get(i + 1).ok_or("--doc needs a file path")?;
@@ -76,6 +94,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     }
     Ok(Opts {
         semiring,
+        route,
+        provenance_first,
         doc: doc.ok_or("a document is required (--doc FILE or --text DOC)")?,
         rest,
     })
@@ -92,7 +112,7 @@ fn run(args: &[String]) -> Result<(), String> {
             if q.is_empty() {
                 return Err("query text required".into());
             }
-            dispatch_semiring(&opts.semiring, &opts.doc, QueryCmd(&q))
+            query_cmd(&opts, &q)
         }
         "parse" => {
             let opts = parse_opts(tail)?;
@@ -128,18 +148,57 @@ trait SemiringDispatch {
     fn call<K: Semiring + ParseAnnotation>(self, doc: &str) -> Result<(), String>;
 }
 
-struct QueryCmd<'a>(&'a str);
-impl SemiringDispatch for QueryCmd<'_> {
-    fn call<K: Semiring + ParseAnnotation>(self, doc: &str) -> Result<(), String> {
-        let forest = parse_forest::<K>(doc).map_err(|e| e.to_string())?;
-        let bindings: Vec<(&str, Value<K>)> = ["S", "T", "d", "doc"]
-            .iter()
-            .map(|n| (*n, Value::Set(forest.clone())))
-            .collect();
-        let out = run_query::<K>(self.0, &bindings).map_err(|e| e.to_string())?;
-        println!("{out}");
-        Ok(())
+/// Run a query through the engine facade: one symbolic document load,
+/// runtime semiring + route selection. Semirings whose documents are
+/// not ℕ[X]-representable (`bool`, `clearance`, and PosBool documents
+/// written in DNF syntax) keep the pre-facade static path.
+fn query_cmd(opts: &Opts, query: &str) -> Result<(), String> {
+    match opts.semiring.as_str() {
+        "bool" => return static_query::<bool>(opts, query),
+        "clearance" => return static_query::<Clearance>(opts, query),
+        _ => {}
     }
+    let semiring: SemiringKind = opts.semiring.parse()?;
+    let route: Route = opts.route.parse()?;
+    let forest = match parse_forest::<NatPoly>(&opts.doc) {
+        Ok(f) => f,
+        // A PosBool document using `{x | y&z}` / `{true}` annotations
+        // isn't an ℕ[X] document; query it in PosBool directly.
+        Err(_) if semiring == SemiringKind::PosBool => return static_query::<PosBool>(opts, query),
+        Err(e) => return Err(e.to_string()),
+    };
+    let engine = Engine::new();
+    // Bind the document under all the variable names the paper uses.
+    for name in ["S", "T", "d", "doc"] {
+        engine.insert_forest(name, forest.clone());
+    }
+    let mut eval_opts = EvalOptions::new().semiring(semiring).route(route);
+    if opts.provenance_first {
+        eval_opts = eval_opts.provenance_first();
+    }
+    let out = engine.run(query, eval_opts).map_err(|e| e.to_string())?;
+    println!("{out}");
+    Ok(())
+}
+
+/// The compile-time-`K` path: direct evaluation only, for document
+/// formats the ℕ[X] engine store cannot hold.
+fn static_query<K: Semiring + ParseAnnotation>(opts: &Opts, query: &str) -> Result<(), String> {
+    if opts.route != "direct" || opts.provenance_first {
+        return Err(format!(
+            "--route/--provenance-first need an ℕ[X]-annotated document; \
+             --semiring {} with this document supports the direct route only",
+            opts.semiring
+        ));
+    }
+    let forest = parse_forest::<K>(&opts.doc).map_err(|e| e.to_string())?;
+    let bindings: Vec<(&str, Value<K>)> = ["S", "T", "d", "doc"]
+        .iter()
+        .map(|n| (*n, Value::Set(forest.clone())))
+        .collect();
+    let out = run_query::<K>(query, &bindings).map_err(|e| e.to_string())?;
+    println!("{out}");
+    Ok(())
 }
 
 struct ParseCmd;

@@ -8,6 +8,9 @@
 //!
 //! This facade crate re-exports the workspace crates under one roof:
 //!
+//! - [`engine`] — the **`Engine` API** (`axml`): named document store,
+//!   prepared queries, runtime semiring selection, pluggable
+//!   evaluation routes. **Start here.**
 //! - [`semiring`] — commutative semirings, homomorphisms, ℕ\[X\]
 //!   provenance polynomials, free semimodules (`axml-semiring`).
 //! - [`uxml`] — the K-UXML data model (`axml-uxml`).
@@ -21,24 +24,37 @@
 //! ## Quickstart
 //!
 //! ```
-//! use annotated_xml::prelude::*;
+//! use annotated_xml::engine::{Engine, EvalOptions, SemiringKind};
 //!
-//! // Parse a document whose annotations are ℕ\[X\] provenance tokens.
-//! let doc: Forest<NatPoly> = parse_forest(
-//!     "<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>",
-//! ).unwrap();
+//! // Load a document whose annotations are ℕ[X] provenance tokens
+//! // (parsed once), and compile the paper's Figure 1 query (once).
+//! let engine = Engine::new();
+//! engine
+//!     .load_document("S", "<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>")
+//!     .unwrap();
+//! let q = engine
+//!     .prepare(
+//!         "element p { for $t in $S return \
+//!            for $x in ($t)/child::* return ($x)/child::* }",
+//!     )
+//!     .unwrap();
 //!
-//! // The paper's Figure 1 query: all grandchildren.
-//! let q = parse_query(
-//!     "element p { for $t in $S return \
-//!        for $x in ($t)/child::* return ($x)/child::* }",
-//! ).unwrap();
+//! // Evaluate symbolically: p[ d^{z·x1·y1 + z·x2·y2}, e^{z·x2·y3} ].
+//! let provenance = q.eval(&engine, EvalOptions::new()).unwrap();
+//! assert!(provenance.to_string().contains("x2*y2*z + x1*y1*z"));
 //!
-//! let out = eval_query(&q, &[("S", Value::Set(doc))]).unwrap();
-//! // Answer: p[ d^{z·x1·y1 + z·x2·y2}, e^{z·x2·y3} ]
-//! println!("{out}");
+//! // The same prepared query under bag semantics — semirings are a
+//! // per-call choice (Prop. 2 / Corollary 1 make this sound).
+//! let bags = q
+//!     .eval(&engine, EvalOptions::new().semiring(SemiringKind::Nat))
+//!     .unwrap();
+//! assert_eq!(bags.to_string(), "<p> d {2} e </p>");
 //! ```
+//!
+//! The statically-generic layers below the engine remain public for
+//! compile-time-`K` callers; see [`uxquery`] for the pipeline.
 
+pub use axml as engine;
 pub use axml_core as uxquery;
 pub use axml_nrc as nrc;
 pub use axml_relational as relational;
@@ -48,6 +64,7 @@ pub use axml_worlds as worlds;
 
 /// Commonly used items, re-exported for one-line imports.
 pub mod prelude {
+    pub use axml::prelude::*;
     pub use axml_core::prelude::*;
     pub use axml_semiring::{
         Clearance, KSet, Lineage, Nat, NatPoly, PosBool, Prob, Product, Semiring, SemiringHom,
