@@ -110,8 +110,10 @@ pub enum AxmlError {
     UnsupportedRoute {
         /// The route that was requested.
         route: Route,
-        /// Why it does not apply.
-        reason: String,
+        /// The construct that puts the query outside the route's
+        /// fragment (e.g. "an element constructor", "a let binding"),
+        /// as reported by `axml_core::path::extract_path`.
+        construct: String,
     },
     /// `Route::Differential` found two routes disagreeing — a bug in
     /// one of the evaluators (or in a user-provided extension).
@@ -201,8 +203,12 @@ impl fmt::Display for AxmlError {
                     write!(f, " (loaded: {})", available.join(", "))
                 }
             }
-            AxmlError::UnsupportedRoute { route, reason } => {
-                write!(f, "route {route} cannot evaluate this query: {reason}")
+            AxmlError::UnsupportedRoute { route, construct } => {
+                write!(
+                    f,
+                    "route {route} cannot evaluate this query: it uses {construct}, \
+                     which has no §7 relational translation"
+                )
             }
             AxmlError::RouteDisagreement {
                 semiring,

@@ -86,14 +86,21 @@
 //!     .load_document("T", "<a> <b {x1}> c {y3} </b> c {y1} </a>")
 //!     .unwrap();
 //!
-//! // Navigation chains have a relational translation: shred to an
-//! // edge K-relation, run the Datalog program, decode.
+//! // Queries in the §7 XPath fragment — navigation chains, step
+//! // composition, union, branching predicates, label tests — have a
+//! // relational translation: shred to an edge K-relation, run the
+//! // (semi-naive) Datalog program, decode.
 //! let q = engine.prepare("$T//c").unwrap();
-//! assert!(q.is_step_chain());
+//! assert!(q.is_shreddable());
 //! let shredded = q
 //!     .eval(&engine, EvalOptions::new().route(Route::Shredded))
 //!     .unwrap();
 //! assert_eq!(shredded.to_string(), "(c {y1 + x1*y3})");
+//!
+//! // Outside the fragment the route reports *which* construct has no
+//! // relational translation (`AxmlError::UnsupportedRoute`).
+//! let not_shreddable = engine.prepare("element r { $T//c }").unwrap();
+//! assert!(not_shreddable.shred_ineligibility().unwrap().contains("element constructor"));
 //! ```
 //!
 //! ## The differential route (debugging tool)

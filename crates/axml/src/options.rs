@@ -107,14 +107,16 @@ pub enum Route {
     /// `axml-nrc`.
     ViaNrc,
     /// The §7 relational route: shred to an edge K-relation, run the
-    /// Datalog translation, decode. Only step-chain queries
-    /// (`$X/ax::nt/…`) have a relational translation; anything else
-    /// reports [`crate::AxmlError::UnsupportedRoute`].
+    /// semi-naive Datalog translation ψ, decode. Queries in the §7
+    /// XPath fragment — navigation chains, step composition, union,
+    /// branching predicates and label tests over one input — have a
+    /// relational translation; anything else reports
+    /// [`crate::AxmlError::UnsupportedRoute`] naming the construct.
     Shredded,
     /// Run `Direct` *and* `ViaNrc` (and `Shredded` too when the query
-    /// is a step chain), assert they agree, and return the result —
-    /// the workspace's differential tests as a user-facing debugging
-    /// tool. Disagreement reports
+    /// is in the §7 fragment), assert they agree, and return the
+    /// result — the workspace's differential tests as a user-facing
+    /// debugging tool. Disagreement reports
     /// [`crate::AxmlError::RouteDisagreement`].
     Differential,
 }

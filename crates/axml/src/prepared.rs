@@ -15,9 +15,10 @@ use crate::engine::Engine;
 use crate::error::AxmlError;
 use crate::options::{EvalMode, EvalOptions, Route, SemiringKind};
 use crate::result::AxmlResult;
-use axml_core::ast::{QueryNode, Step, SurfaceExpr};
+use axml_core::ast::SurfaceExpr;
 use axml_core::eval::{eval_core, QueryEnv};
-use axml_core::{elaborate, parse_query, Query};
+use axml_core::path::{extract_path, Ineligible, PathQuery};
+use axml_core::{elaborate, parse_query};
 use axml_semiring::{FnHom, Nat, NatPoly, PosBool, Prob, Semiring, Trio, Tropical, Why};
 use axml_uxml::{hom::map_value, Forest, Value};
 use std::collections::BTreeSet;
@@ -31,10 +32,11 @@ struct PreparedInner {
     poly: Artifacts<NatPoly>,
     /// Lazily specialized per-kind artifacts.
     caches: KindCaches,
-    /// `Some((input var, steps))` when the whole query is a navigation
-    /// chain `$X/s₁/…/sₙ` — the fragment the §7 relational route can
-    /// evaluate.
-    steps: Option<(String, Vec<Step>)>,
+    /// `Ok((input var, path))` when the query is inside the §7 XPath
+    /// fragment the relational route can evaluate (navigation chains,
+    /// composition, union, branching predicates, label tests);
+    /// `Err` names the first construct outside it.
+    path: Result<(String, PathQuery), Ineligible>,
 }
 
 /// A compiled query, cheap to clone and safe to share across threads.
@@ -48,7 +50,7 @@ impl std::fmt::Debug for PreparedQuery {
         f.debug_struct("PreparedQuery")
             .field("source", &self.inner.source)
             .field("free_vars", &self.inner.free_vars)
-            .field("step_chain", &self.inner.steps.is_some())
+            .field("shreddable", &self.inner.path.is_ok())
             .finish()
     }
 }
@@ -57,7 +59,7 @@ impl PreparedQuery {
     pub(crate) fn compile(src: &str) -> Result<Self, AxmlError> {
         let surface = parse_query::<NatPoly>(src).map_err(|e| AxmlError::query_parse(src, e))?;
         let core = elaborate(&surface)?;
-        let steps = extract_steps(&core);
+        let path = extract_path(&core);
         let free_vars = free_vars(&surface);
         Ok(PreparedQuery {
             inner: Arc::new(PreparedInner {
@@ -65,7 +67,7 @@ impl PreparedQuery {
                 free_vars,
                 poly: Artifacts::from_core(core),
                 caches: KindCaches::default(),
-                steps,
+                path,
             }),
         })
     }
@@ -82,9 +84,23 @@ impl PreparedQuery {
     }
 
     /// Whether the relational (`Route::Shredded`) route applies: the
-    /// query is a single navigation chain over one input.
+    /// query is inside the §7 XPath fragment — navigation chains,
+    /// step composition, union, branching predicates and label tests
+    /// over one input document.
+    pub fn is_shreddable(&self) -> bool {
+        self.inner.path.is_ok()
+    }
+
+    /// Former name of [`Self::is_shreddable`], kept because the route
+    /// originally covered only single-input step chains.
     pub fn is_step_chain(&self) -> bool {
-        self.inner.steps.is_some()
+        self.is_shreddable()
+    }
+
+    /// Why `Route::Shredded` does not apply — the first construct
+    /// outside the §7 fragment — or `None` when it does.
+    pub fn shred_ineligibility(&self) -> Option<&str> {
+        self.inner.path.as_ref().err().map(|e| e.construct.as_str())
     }
 
     /// Rendering of the elaborated core query.
@@ -150,7 +166,7 @@ impl PreparedQuery {
         let inputs = self.bind_inputs(engine, aliases, |d| d.poly.clone())?;
         eval_route(
             &self.inner.poly,
-            &self.inner.steps,
+            &self.inner.path,
             &inputs,
             opts.route,
             SemiringKind::NatPoly,
@@ -168,7 +184,7 @@ impl PreparedQuery {
         let arts =
             S::artifact_cache(&self.inner.caches).get_or_init(|| self.inner.poly.specialize::<S>());
         let inputs = self.bind_inputs(engine, aliases, |d| d.in_kind::<S>())?;
-        eval_route(arts, &self.inner.steps, &inputs, opts.route, S::KIND).map(S::wrap)
+        eval_route(arts, &self.inner.path, &inputs, opts.route, S::KIND).map(S::wrap)
     }
 
     /// Resolve every free variable to a document, applying aliases.
@@ -200,7 +216,7 @@ type BoundInputs<K> = Vec<(String, Arc<Forest<K>>)>;
 /// Evaluate prepared artifacts over bound inputs along one route.
 fn eval_route<K: Semiring>(
     arts: &Artifacts<K>,
-    steps: &Option<(String, Vec<Step>)>,
+    path: &Result<(String, PathQuery), Ineligible>,
     inputs: &[(String, Arc<Forest<K>>)],
     route: Route,
     kind: SemiringKind,
@@ -208,7 +224,7 @@ fn eval_route<K: Semiring>(
     match route {
         Route::Direct => eval_direct(arts, inputs),
         Route::ViaNrc => eval_nrc(arts, inputs),
-        Route::Shredded => eval_shredded(steps, inputs, route),
+        Route::Shredded => eval_shredded(path, inputs, route),
         Route::Differential => {
             let direct = eval_direct(arts, inputs)?;
             let nrc = eval_nrc(arts, inputs)?;
@@ -221,8 +237,8 @@ fn eval_route<K: Semiring>(
                     &nrc,
                 ));
             }
-            if steps.is_some() {
-                let shredded = eval_shredded(steps, inputs, route)?;
+            if path.is_ok() {
+                let shredded = eval_shredded(path, inputs, route)?;
                 if direct != shredded {
                     return Err(disagreement(
                         kind,
@@ -286,15 +302,18 @@ fn eval_nrc<K: Semiring>(
 }
 
 fn eval_shredded<K: Semiring>(
-    steps: &Option<(String, Vec<Step>)>,
+    path: &Result<(String, PathQuery), Ineligible>,
     inputs: &[(String, Arc<Forest<K>>)],
     route: Route,
 ) -> Result<Value<K>, AxmlError> {
-    let Some((var, chain)) = steps else {
-        return Err(AxmlError::UnsupportedRoute {
-            route,
-            reason: "only navigation chains `$X/step/…` have a §7 relational translation".into(),
-        });
+    let (var, p) = match path {
+        Ok(x) => x,
+        Err(why) => {
+            return Err(AxmlError::UnsupportedRoute {
+                route,
+                construct: why.construct.clone(),
+            })
+        }
     };
     let Some((_, forest)) = inputs.iter().find(|(n, _)| n == var) else {
         return Err(AxmlError::UnknownDocument {
@@ -302,7 +321,7 @@ fn eval_shredded<K: Semiring>(
             available: inputs.iter().map(|(n, _)| n.clone()).collect(),
         });
     };
-    let out = axml_relational::eval_steps_via_shredding(forest, chain)?;
+    let out = axml_relational::eval_path_via_shredding(forest, p)?;
     Ok(Value::Set(out))
 }
 
@@ -369,28 +388,6 @@ fn free_vars<K: Semiring>(e: &SurfaceExpr<K>) -> Vec<String> {
     out.into_iter().collect()
 }
 
-/// `Some((x, [s₁ … sₙ]))` iff the core query is exactly
-/// `$x/s₁/…/sₙ` with n ≥ 1.
-fn extract_steps<K: Semiring>(q: &Query<K>) -> Option<(String, Vec<Step>)> {
-    fn spine<K: Semiring>(q: &Query<K>, acc: &mut Vec<Step>) -> Option<String> {
-        match &q.node {
-            QueryNode::Var(x) => Some(x.clone()),
-            QueryNode::Path(inner, s) => {
-                let var = spine(inner, acc)?;
-                acc.push(*s);
-                Some(var)
-            }
-            _ => None,
-        }
-    }
-    let mut steps = Vec::new();
-    let var = spine(q, &mut steps)?;
-    if steps.is_empty() {
-        return None;
-    }
-    Some((var, steps))
-}
-
 /// Push a symbolic result through the canonical homomorphism into `S`.
 fn specialize_result<S: KindDispatch>(sym: &Value<NatPoly>) -> AxmlResult {
     S::wrap(map_value(&FnHom::new(S::from_poly), sym))
@@ -415,15 +412,24 @@ mod tests {
     }
 
     #[test]
-    fn step_chains_are_recognized() {
+    fn fragment_queries_are_recognized() {
         let chain = elaborate(&surf("$S/a//b/self::c")).unwrap();
-        let (var, steps) = extract_steps(&chain).expect("is a chain");
+        let (var, path) = extract_path(&chain).expect("is a chain");
         assert_eq!(var, "S");
-        assert_eq!(steps.len(), 3);
+        assert_eq!(path.step_count(), 4); // child::* seed + 3 steps
+
+        // newly eligible: unions, composition, branching predicates
+        for q in [
+            "($S//a, $S/b)",
+            "for $x in $S//a return ($x)/c",
+            "for $x in $S//a return for $y in ($x)/b return ($x)",
+        ] {
+            let core = elaborate(&surf(q)).unwrap();
+            assert!(extract_path(&core).is_ok(), "{q} should be eligible");
+        }
 
         let not_chain = elaborate(&surf("element r { $S/a }")).unwrap();
-        assert!(extract_steps(&not_chain).is_none());
-        let bare = elaborate(&surf("$S")).unwrap();
-        assert!(extract_steps(&bare).is_none());
+        let why = extract_path(&not_chain).unwrap_err();
+        assert!(why.construct.contains("element constructor"), "{why}");
     }
 }

@@ -145,16 +145,103 @@ fn shredded_route_rejects_non_chains() {
     let err = q
         .eval(&engine, EvalOptions::new().route(Route::Shredded))
         .unwrap_err();
-    assert!(
-        matches!(
-            err,
-            AxmlError::UnsupportedRoute {
-                route: Route::Shredded,
-                ..
-            }
-        ),
-        "{err:?}"
-    );
+    let AxmlError::UnsupportedRoute {
+        route: Route::Shredded,
+        construct,
+    } = &err
+    else {
+        panic!("expected UnsupportedRoute, got {err:?}")
+    };
+    // The error names the construct, and the prepared query exposes it.
+    assert!(construct.contains("element constructor"), "{construct}");
+    assert_eq!(q.shred_ineligibility(), Some(construct.as_str()));
+    assert!(err.to_string().contains("element constructor"), "{err}");
+}
+
+#[test]
+fn ineligible_constructs_are_named_precisely() {
+    let engine = fig1_engine();
+    for (query, needle) in [
+        ("let $x := $S return $x", "let binding"),
+        ("annot {2} ($S/child::*)", "annot"),
+        ("element r { $S//d }", "element constructor"),
+    ] {
+        let q = engine.prepare(query).unwrap();
+        let err = q
+            .eval(&engine, EvalOptions::new().route(Route::Shredded))
+            .unwrap_err();
+        let AxmlError::UnsupportedRoute { construct, .. } = &err else {
+            panic!("{query}: expected UnsupportedRoute, got {err:?}")
+        };
+        assert!(construct.contains(needle), "{query}: {construct}");
+    }
+}
+
+/// The six §7-fragment example queries: navigation chains, step
+/// composition, union, branching predicates and label tests. Each one
+/// is shreddable, and `Route::Differential` — which runs Direct,
+/// ViaNrc *and* Shredded and asserts pairwise agreement — passes in
+/// all seven semirings, in both evaluation modes.
+const SECTION7_EXAMPLES: [&str; 6] = [
+    "$T//c",
+    "$T/child::*/child::*",
+    "($T//c, $T/child::*/child::b)",
+    "for $x in $T//a return ($x)/child::c",
+    "for $x in $T//a return for $y in ($x)/child::c return ($x)",
+    "for $x in $T//* return if (name($x) = c) then ($x) else ()",
+];
+
+fn section7_engine() -> Engine {
+    let engine = Engine::new();
+    engine
+        .load_document(
+            "T",
+            "<a> <b {x1}> <a> c {y3} d </a> </b> <c {y1}> <d> <a> c {y2} b {x2} </a> </d> </c> </a>",
+        )
+        .unwrap();
+    engine
+}
+
+#[test]
+fn differential_passes_on_all_section7_examples_in_every_semiring() {
+    let engine = section7_engine();
+    for query in SECTION7_EXAMPLES {
+        let q = engine.prepare(query).unwrap();
+        assert!(q.is_shreddable(), "{query} should be §7-eligible");
+        for kind in SemiringKind::ALL {
+            let native = q
+                .eval(
+                    &engine,
+                    EvalOptions::new().route(Route::Differential).semiring(kind),
+                )
+                .unwrap_or_else(|e| panic!("differential {kind} failed on {query}: {e}"));
+            let prov_first = q
+                .eval(
+                    &engine,
+                    EvalOptions::new()
+                        .route(Route::Differential)
+                        .semiring(kind)
+                        .provenance_first(),
+                )
+                .unwrap_or_else(|e| {
+                    panic!("differential {kind} (provenance-first) failed on {query}: {e}")
+                });
+            assert_eq!(native, prov_first, "modes disagree on {query} in {kind}");
+        }
+    }
+}
+
+#[test]
+fn shredded_route_answers_match_direct_on_section7_examples() {
+    let engine = section7_engine();
+    for query in SECTION7_EXAMPLES {
+        let q = engine.prepare(query).unwrap();
+        let direct = q.eval(&engine, EvalOptions::new()).unwrap();
+        let shredded = q
+            .eval(&engine, EvalOptions::new().route(Route::Shredded))
+            .unwrap();
+        assert_eq!(direct, shredded, "shredded diverges on {query}");
+    }
 }
 
 #[test]

@@ -1,0 +1,82 @@
+//! The PR-3 tentpole, costed: semi-naive vs naïve annotated-Datalog
+//! fixpoint on the two workloads that matter here — the ψ program of
+//! the §7 shredding route (recursive `descendant` rules over the edge
+//! encoding of a balanced tree) and a plain annotated transitive
+//! closure over a chain. The naïve evaluator recomputes every IDB per
+//! iteration with nested scans; the semi-naive one joins only against
+//! deltas through hash indexes, so the gap must widen with depth.
+
+use axml_bench::balanced_tree;
+use axml_core::ast::{Axis, NodeTest, Step};
+use axml_relational::datalog::{atom, eval_datalog_naive, v, Program, Rule};
+use axml_relational::{
+    eval_datalog, shred, xpath_to_datalog, Database, KRelation, RelValue, Schema,
+};
+use axml_semiring::{Nat, NatPoly};
+use axml_uxml::{Forest, Label};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn descendant_c() -> Vec<Step> {
+    vec![Step {
+        axis: Axis::Descendant,
+        test: NodeTest::Label(Label::new("c")),
+    }]
+}
+
+/// ψ(//c) over the shredded balanced tree: the exact program
+/// `Route::Shredded` runs.
+fn psi_program(c: &mut Criterion) {
+    for depth in [4u32, 6] {
+        let forest = Forest::unit(balanced_tree::<Nat>(depth, 2));
+        let edb = Database::new().with("E", shred(&forest));
+        let prog = xpath_to_datalog(&descendant_c());
+        let mut g = c.benchmark_group("datalog_seminaive/psi_descendant");
+        g.bench_function(BenchmarkId::new("seminaive", depth), |b| {
+            b.iter(|| eval_datalog(&prog, &edb).expect("converges"))
+        });
+        g.bench_function(BenchmarkId::new("naive", depth), |b| {
+            b.iter(|| eval_datalog_naive(&prog, &edb).expect("converges"))
+        });
+        g.finish();
+    }
+}
+
+/// Annotated transitive closure over a chain of `n` edges, in ℕ[X]:
+/// every derivation is a distinct monomial product.
+fn closure_chain(c: &mut Criterion) {
+    let prog = Program::new([
+        Rule::new(atom("T", [v("x"), v("y")]), [atom("E", [v("x"), v("y")])]),
+        Rule::new(
+            atom("T", [v("x"), v("z")]),
+            [atom("T", [v("x"), v("y")]), atom("E", [v("y"), v("z")])],
+        ),
+    ]);
+    for n in [8u64, 16] {
+        let mut e = KRelation::new(Schema::new(["src", "dst"]));
+        for i in 0..n {
+            e.insert(
+                vec![RelValue::Node(i), RelValue::Node(i + 1)],
+                NatPoly::var_named(&format!("e{i}")),
+            );
+        }
+        let edb = Database::new().with("E", e);
+        let mut g = c.benchmark_group("datalog_seminaive/closure_chain");
+        g.bench_function(BenchmarkId::new("seminaive", n), |b| {
+            b.iter(|| eval_datalog(&prog, &edb).expect("converges"))
+        });
+        g.bench_function(BenchmarkId::new("naive", n), |b| {
+            b.iter(|| eval_datalog_naive(&prog, &edb).expect("converges"))
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = psi_program, closure_chain
+}
+criterion_main!(benches);

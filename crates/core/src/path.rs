@@ -1,0 +1,445 @@
+//! The XPath fragment of §7, extracted from typed core queries.
+//!
+//! §7 of the paper translates XPath over shredded (relational) K-UXML
+//! into annotated Datalog. The fragment it covers is the downward
+//! algebra built from
+//!
+//! - the **context node** (`.`),
+//! - **steps** `ax::nt` along `self`/`child`/`descendant` (and this
+//!   workspace's `strict-descendant` extension), with label or
+//!   wildcard tests,
+//! - **composition** `p/p'`,
+//! - **union** `p | p'`, and
+//! - **branching predicates** `p[q]` — a qualifier evaluated relative
+//!   to each match of `p`, which under K-semantics *scales* the
+//!   match's annotation by the total annotation of the qualifier's
+//!   matches (in 𝔹 this degenerates to the usual exists-filter).
+//!
+//! [`PathQuery`] is that algebra. [`extract_path`] recognizes it
+//! inside an elaborated [`Query`]: navigation chains, unions of
+//! paths, `for`-composition (`for $x in p return p'($x)`),
+//! qualifier-shaped `for`s (`for $y in q($x) return ($x)`), and
+//! label tests via `if (name($x) = l) …`. Queries outside the
+//! fragment are reported with the offending construct named, so
+//! callers (the `axml` facade's `Route::Shredded`) can surface a
+//! precise "this is why not" instead of a generic failure.
+//!
+//! [`eval_path`] is a small direct evaluator for the algebra, used to
+//! cross-check the relational translation ψ in `axml-relational`.
+
+use crate::ast::{Axis, NodeTest, Query, QueryNode, Step};
+use crate::eval::eval_step;
+use axml_semiring::Semiring;
+use axml_uxml::{Forest, Label, Tree};
+use std::fmt;
+
+/// A query in the §7 XPath fragment, relative to a context node. At
+/// the top level the context is the *virtual root* whose children are
+/// the input document's top-level trees (node 0 of the shredded
+/// encoding), so the input document `$X` itself extracts as
+/// `Step(Root, child::*)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PathQuery {
+    /// The context node, annotated `1`.
+    Root,
+    /// `p/ax::nt`.
+    Step(Box<PathQuery>, Step),
+    /// `p | p'` (annotations add on shared matches).
+    Union(Box<PathQuery>, Box<PathQuery>),
+    /// `p[q]`: every match of `p`, its annotation multiplied by the
+    /// total annotation of `q`'s matches from that node.
+    Filter(Box<PathQuery>, Box<PathQuery>),
+    /// The empty result.
+    Empty,
+}
+
+impl PathQuery {
+    /// The chain `./s₁/…/sₙ` over the *input document*: seed with the
+    /// virtual root's children, then apply each step.
+    pub fn from_steps(steps: &[Step]) -> PathQuery {
+        let mut p = PathQuery::Step(
+            Box::new(PathQuery::Root),
+            Step {
+                axis: Axis::Child,
+                test: NodeTest::Wildcard,
+            },
+        );
+        for s in steps {
+            p = PathQuery::Step(Box::new(p), *s);
+        }
+        p
+    }
+
+    /// Substitute `base` for every [`PathQuery::Root`] on the *spine*
+    /// of `self` — composition `self ∘ base`. Filter qualifiers are
+    /// untouched: they are relative to each match of their input, not
+    /// to the overall root.
+    pub fn compose(self, base: &PathQuery) -> PathQuery {
+        match self {
+            PathQuery::Root => base.clone(),
+            PathQuery::Step(p, s) => PathQuery::Step(Box::new(p.compose(base)), s),
+            PathQuery::Union(a, b) => {
+                PathQuery::Union(Box::new(a.compose(base)), Box::new(b.compose(base)))
+            }
+            PathQuery::Filter(p, q) => PathQuery::Filter(Box::new(p.compose(base)), q),
+            PathQuery::Empty => PathQuery::Empty,
+        }
+    }
+
+    /// Number of [`Step`]s (a size measure for caps and diagnostics).
+    pub fn step_count(&self) -> usize {
+        match self {
+            PathQuery::Root | PathQuery::Empty => 0,
+            PathQuery::Step(p, _) => 1 + p.step_count(),
+            PathQuery::Union(a, b) => a.step_count() + b.step_count(),
+            PathQuery::Filter(p, q) => p.step_count() + q.step_count(),
+        }
+    }
+}
+
+impl fmt::Display for PathQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathQuery::Root => write!(f, "."),
+            PathQuery::Step(p, s) => write!(f, "{p}/{s}"),
+            PathQuery::Union(a, b) => write!(f, "({a} | {b})"),
+            PathQuery::Filter(p, q) => write!(f, "{p}[{q}]"),
+            PathQuery::Empty => write!(f, "()"),
+        }
+    }
+}
+
+/// Why a query is outside the §7 fragment: the first construct met
+/// that has no relational translation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ineligible {
+    /// The offending construct, human-readable.
+    pub construct: String,
+}
+
+impl fmt::Display for Ineligible {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.construct)
+    }
+}
+
+impl std::error::Error for Ineligible {}
+
+fn outside<T>(construct: impl Into<String>) -> Result<T, Ineligible> {
+    Err(Ineligible {
+        construct: construct.into(),
+    })
+}
+
+/// Recognize the §7 fragment in an elaborated core query. On success
+/// returns the input document variable and the extracted
+/// [`PathQuery`]; on failure names the first unsupported construct.
+pub fn extract_path<K: Semiring>(q: &Query<K>) -> Result<(String, PathQuery), Ineligible> {
+    let mut input: Option<String> = None;
+    let path = extract(q, None, &mut input, &mut Vec::new())?;
+    match input {
+        Some(var) => Ok((var, path)),
+        None => outside("a query that reads no input document"),
+    }
+}
+
+/// The recursive recognizer. `bound`: `Some(v)` when extracting a path
+/// relative to the for-bound context node `$v`, `None` at the absolute
+/// (virtual-root) level, where free variables name the input document
+/// (recorded in `input`, which must stay unique). `forbidden` holds
+/// for-variables that may not occur in the current subterm (qualifier
+/// bodies must not use the variable they aggregate over).
+fn extract<K: Semiring>(
+    q: &Query<K>,
+    bound: Option<&str>,
+    input: &mut Option<String>,
+    forbidden: &mut Vec<String>,
+) -> Result<PathQuery, Ineligible> {
+    match &q.node {
+        QueryNode::Empty => Ok(PathQuery::Empty),
+        // `(p)` is the singleton coercion — transparent for paths.
+        QueryNode::Singleton(inner) => extract(inner, bound, input, forbidden),
+        QueryNode::Var(x) => {
+            if forbidden.iter().any(|f| f == x) {
+                return outside(format!(
+                    "for-variable ${x} used outside its qualifier position"
+                ));
+            }
+            match bound {
+                Some(v) if x == v => Ok(PathQuery::Root),
+                Some(v) => outside(format!(
+                    "variable ${x} (only the context node ${v} is reachable here)"
+                )),
+                None => match input {
+                    Some(prev) if prev == x => Ok(PathQuery::from_steps(&[])),
+                    Some(prev) => outside(format!("a second input document (${prev} and ${x})")),
+                    None => {
+                        *input = Some(x.clone());
+                        Ok(PathQuery::from_steps(&[]))
+                    }
+                },
+            }
+        }
+        QueryNode::Path(p, s) => Ok(PathQuery::Step(
+            Box::new(extract(p, bound, input, forbidden)?),
+            *s,
+        )),
+        QueryNode::Union(a, b) => Ok(PathQuery::Union(
+            Box::new(extract(a, bound, input, forbidden)?),
+            Box::new(extract(b, bound, input, forbidden)?),
+        )),
+        QueryNode::For { var, source, body } => {
+            let base = extract(source, bound, input, forbidden)?;
+            // `for $v in p return p'($v)` — composition. The body is a
+            // path rooted at the bound node.
+            let composed_err = match extract(body, Some(var), input, forbidden) {
+                Ok(rel) => return Ok(rel.compose(&base)),
+                Err(e) => e,
+            };
+            // `for $v in q return p'(ctx)` — the body ignores $v, so
+            // the loop only *scales* by q's total annotation: a
+            // branching predicate `.[q]` composed into the body's
+            // path. ($v itself must not leak into the body.)
+            forbidden.push(var.clone());
+            let qualifier = extract(body, bound, input, forbidden);
+            forbidden.pop();
+            match qualifier {
+                Ok(pred_path) => Ok(pred_path.compose(&PathQuery::Filter(
+                    Box::new(PathQuery::Root),
+                    Box::new(base),
+                ))),
+                // The composition error names the construct closest to
+                // how the query was written; prefer it.
+                Err(_) => Err(composed_err),
+            }
+        }
+        QueryNode::If { l, r, then, els } => {
+            if !matches!(els.node, QueryNode::Empty) {
+                return outside("an if-expression with a non-empty else branch");
+            }
+            let label_test = match (&l.node, &r.node) {
+                (QueryNode::Name(t), QueryNode::LabelLit(lbl))
+                | (QueryNode::LabelLit(lbl), QueryNode::Name(t)) => match (&t.node, bound) {
+                    (QueryNode::Var(x), Some(v)) if x == v => Some(*lbl),
+                    _ => None,
+                },
+                _ => None,
+            };
+            match label_test {
+                Some(lbl) => {
+                    let then_path = extract(then, bound, input, forbidden)?;
+                    let self_test = PathQuery::Step(
+                        Box::new(PathQuery::Root),
+                        Step {
+                            axis: Axis::SelfAxis,
+                            test: NodeTest::Label(lbl),
+                        },
+                    );
+                    Ok(then_path.compose(&self_test))
+                }
+                None => {
+                    outside("an equality test other than `name($ctx) = label` on the context node")
+                }
+            }
+        }
+        QueryNode::Let { .. } => outside("a let binding"),
+        QueryNode::Element { .. } => outside("an element constructor"),
+        QueryNode::Name(_) => outside("name(·) in a result position"),
+        QueryNode::Annot(..) => outside("an annot scalar"),
+        QueryNode::LabelLit(l) => outside(format!("the bare label literal `{l}`")),
+    }
+}
+
+/// Direct reference evaluation of a [`PathQuery`] over a forest: the
+/// semantics ψ must reproduce relationally (used by the shredding
+/// tests and `Route::Differential`-style cross-checks).
+pub fn eval_path<K: Semiring>(forest: &Forest<K>, p: &PathQuery) -> Forest<K> {
+    // The virtual root: a sentinel tree whose children are the input's
+    // top-level trees. It never appears in results of extracted
+    // queries (`extract_path` anchors every spine at `child::*` of the
+    // virtual root before anything can match).
+    let vroot = Tree::new(Label::new("#vroot"), forest.clone());
+    eval_at(p, &vroot)
+}
+
+fn eval_at<K: Semiring>(p: &PathQuery, ctx: &Tree<K>) -> Forest<K> {
+    match p {
+        PathQuery::Root => Forest::unit(ctx.clone()),
+        PathQuery::Empty => Forest::new(),
+        PathQuery::Step(inner, s) => eval_step(&eval_at(inner, ctx), *s),
+        PathQuery::Union(a, b) => {
+            let mut out = eval_at(a, ctx);
+            out.union_with(eval_at(b, ctx));
+            out
+        }
+        PathQuery::Filter(inner, qual) => {
+            let mut out = Forest::new();
+            for (m, k) in eval_at(inner, ctx).iter() {
+                let total = eval_at(qual, m).as_kset().total();
+                if !total.is_zero() {
+                    out.insert(m.clone(), k.times(&total));
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_with;
+    use crate::parse::parse_query;
+    use crate::typecheck::elaborate;
+    use axml_semiring::NatPoly;
+    use axml_uxml::{parse_forest, Value};
+
+    fn np(s: &str) -> NatPoly {
+        s.parse().unwrap()
+    }
+
+    fn extract_src(src: &str) -> Result<(String, PathQuery), Ineligible> {
+        extract_path(&elaborate(&parse_query::<NatPoly>(src).unwrap()).unwrap())
+    }
+
+    /// extract + eval_path must agree with the direct core evaluator.
+    fn check_against_direct(query: &str, doc: &str) {
+        let f = parse_forest::<NatPoly>(doc).unwrap();
+        let core = elaborate(&parse_query::<NatPoly>(query).unwrap()).unwrap();
+        let (var, path) = extract_path(&core)
+            .unwrap_or_else(|e| panic!("{query} should be §7-eligible, got: {e}"));
+        let direct = eval_with(&core, &[(var.as_str(), Value::Set(f.clone()))]).unwrap();
+        let Value::Set(direct) = direct else {
+            panic!("path queries are set-typed")
+        };
+        let via_path = eval_path(&f, &path);
+        assert_eq!(via_path, direct, "path algebra diverges on {query}");
+    }
+
+    const DOC: &str =
+        "<a> <b {x1}> <a> c {y3} d </a> </b> <c {y1}> <d> <a> c {y2} b {x2} </a> </d> </c> </a>";
+
+    #[test]
+    fn chains_extract_and_agree() {
+        for q in [
+            "$S/child::*",
+            "$S//c",
+            "$S/child::*/child::*",
+            "$S//a/child::c",
+            "$S/self::a",
+            "$S/strict-descendant::c",
+        ] {
+            let (var, p) = extract_src(q).unwrap();
+            assert_eq!(var, "S");
+            assert!(p.step_count() >= 1);
+            check_against_direct(q, DOC);
+        }
+    }
+
+    #[test]
+    fn unions_extract_and_agree() {
+        let q = "($S//c, $S/child::*/child::b)";
+        let (_, p) = extract_src(q).unwrap();
+        assert!(matches!(p, PathQuery::Union(..)));
+        check_against_direct(q, DOC);
+    }
+
+    #[test]
+    fn for_composition_extracts_and_agrees() {
+        let q = "for $x in $S//a return ($x)/child::c";
+        let (_, p) = extract_src(q).unwrap();
+        assert!(matches!(p, PathQuery::Step(..)));
+        check_against_direct(q, DOC);
+        check_against_direct(
+            "for $x in $S/child::* return for $y in ($x)/child::* return ($y)/child::*",
+            DOC,
+        );
+    }
+
+    #[test]
+    fn branching_predicate_extracts_and_agrees() {
+        // //a[c] — every a-descendant with a c-child, annotation scaled
+        // by the c-children total.
+        let q = "for $x in $S//a return for $y in ($x)/child::c return ($x)";
+        let (_, p) = extract_src(q).unwrap();
+        assert!(matches!(p, PathQuery::Filter(..)));
+        check_against_direct(q, DOC);
+        // qualifier then further navigation: //a[c]/child::d
+        check_against_direct(
+            "for $x in $S//a return for $y in ($x)/child::c return ($x)/child::d",
+            DOC,
+        );
+    }
+
+    #[test]
+    fn name_test_becomes_self_step() {
+        let q = "for $x in $S//* return if (name($x) = c) then ($x) else ()";
+        let (_, p) = extract_src(q).unwrap();
+        check_against_direct(q, DOC);
+        // the filter shows up as a self-step on the spine
+        assert!(p.to_string().contains("self::c"), "{p}");
+        // reversed operands too
+        check_against_direct(
+            "for $x in $S//* return if (c = name($x)) then ($x) else ()",
+            DOC,
+        );
+    }
+
+    #[test]
+    fn where_clause_desugars_into_the_fragment() {
+        check_against_direct("for $x in $S//* where name($x) = a return ($x)", DOC);
+    }
+
+    #[test]
+    fn ineligible_queries_name_the_construct() {
+        for (q, needle) in [
+            ("element r { $S//c }", "element constructor"),
+            ("let $x := $S return $x", "let binding"),
+            ("annot {2} ($S/child::*)", "annot"),
+            ("($S/child::*, $T/child::*)", "second input document"),
+            (
+                "for $x in $S//* return if (name($x) = name($x)) then ($x) else ()",
+                "equality test",
+            ),
+            ("()", "no input document"),
+            (
+                "for $x in $S return for $y in ($x)/child::* return ($y, $x)",
+                "context node",
+            ),
+        ] {
+            let e = extract_src(q).unwrap_err();
+            assert!(
+                e.construct.contains(needle),
+                "{q}: expected {needle:?} in {:?}",
+                e.construct
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_for_over_ignored_source_agrees() {
+        // `for $t in $S/child::* return $S//c` — the body ignores $t;
+        // the loop scales //c by the total of the binder's source.
+        check_against_direct("for $t in $S/child::* return $S//c", DOC);
+    }
+
+    #[test]
+    fn filter_annotations_multiply() {
+        let f =
+            parse_forest::<NatPoly>("<r> <a {p}> b {q} b2 {s} </a> <a {w}> z </a> </r>").unwrap();
+        let (_, path) =
+            extract_src("for $x in $S//a return for $y in ($x)/child::b return ($x)").unwrap();
+        let out = eval_path(&f, &path);
+        // only the first a matches, scaled by its b-child total q
+        assert_eq!(out.len(), 1);
+        let (t, k) = out.iter().next().unwrap();
+        assert_eq!(t.label().name(), "a");
+        assert_eq!(k, &np("p*q"));
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let (_, p) = extract_src("$S//c").unwrap();
+        assert_eq!(p.to_string(), "./child::*/descendant::c");
+    }
+}

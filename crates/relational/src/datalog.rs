@@ -4,17 +4,37 @@
 //! Facts carry semiring annotations. The annotation of a derived fact
 //! under one rule and one substitution is the *product* of the body
 //! facts' annotations; alternatives (different rules or substitutions)
-//! *add*. Evaluation is a naïve fixpoint: IDB relations are recomputed
-//! from the previous iterate until nothing changes. On tree-shaped data
-//! (like the §7 edge encoding) every derivation is finite and the
-//! fixpoint is reached in at most `depth` iterations even for ℕ\[X\]; a
-//! configurable iteration cap guards against non-converging inputs
-//! (cyclic data with a non-idempotent semiring).
+//! *add*. The iterate `Iₙ` therefore sums the annotations of all
+//! derivation trees of depth ≤ n, and on tree-shaped data (like the §7
+//! edge encoding) it stabilizes after at most `depth` iterations even
+//! for ℕ\[X\]; a configurable iteration cap guards against
+//! non-converging inputs (cyclic data with a non-idempotent semiring).
+//!
+//! Two evaluators compute that iterate:
+//!
+//! - [`eval_datalog`] — **semi-naive**: per-predicate delta relations
+//!   and hash-indexed joins (see the crate-level "Performance"
+//!   section). Each round derives only the annotations of derivation
+//!   trees of the *new* depth, partitioned exactly (by the first body
+//!   position of maximal depth) so nothing is double-counted in
+//!   non-idempotent semirings; deltas absorbed by the accumulated
+//!   iterate are pruned, which is what terminates recursion over
+//!   cyclic data in idempotent semirings.
+//! - [`eval_datalog_naive`] — the naïve fixpoint kept verbatim as an
+//!   independent reference: every IDB relation is recomputed from the
+//!   previous iterate until nothing changes. Property tests
+//!   (`tests/seminaive.rs`) check the two agree on random programs.
+//!
+//! Both run the same upfront validation (the private `compile` pass), so malformed
+//! programs (unsafe heads, Skolem terms in bodies, EDB/IDB overlap,
+//! arity mismatches, unknown predicates) fail identically on either
+//! path.
 
-use crate::krel::{KRelation, RelValue, Schema, Tuple};
+use crate::krel::{KRelation, RelIndex, RelValue, Schema, Tuple};
 use crate::ra::Database;
 use axml_semiring::Semiring;
-use std::collections::BTreeMap;
+use axml_uxml::Label;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// A term in a rule: variable, constant, or Skolem application.
@@ -167,10 +187,410 @@ impl fmt::Display for DatalogError {
 
 impl std::error::Error for DatalogError {}
 
+fn err<T>(msg: impl Into<String>) -> Result<T, DatalogError> {
+    Err(DatalogError { msg: msg.into() })
+}
+
 /// Default iteration cap (far above any tree depth in this workspace).
 pub const DEFAULT_MAX_ITERS: usize = 10_000;
 
-/// Evaluate `prog` over the EDB `db`, returning EDB ∪ IDB.
+// ---------------------------------------------------------------------
+// Compilation: resolve predicates, number variables, split every body
+// atom into probe-key columns / fresh bindings / equality checks.
+// ---------------------------------------------------------------------
+
+/// A resolved predicate: index into the EDB name table or the IDB
+/// iterate vectors.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Pred {
+    Edb(usize),
+    Idb(usize),
+}
+
+/// One component of an atom's probe key (a column whose value is known
+/// before the atom is joined).
+#[derive(Clone, Debug)]
+enum KeyPart {
+    Const(RelValue),
+    Slot(usize),
+}
+
+/// A within-atom equality check: the column must equal a slot bound by
+/// an *earlier column of the same atom* (repeated variables).
+#[derive(Clone, Debug)]
+struct SlotCheck {
+    col: usize,
+    slot: usize,
+}
+
+/// A body atom, join-ready.
+#[derive(Clone, Debug)]
+struct CAtom {
+    pred: Pred,
+    /// Columns with values known before this atom is reached, and how
+    /// to produce them. Probed through a [`RelIndex`] on `key_cols`;
+    /// empty = full scan.
+    key_cols: Vec<usize>,
+    key_parts: Vec<KeyPart>,
+    /// `(column, slot)` first occurrences of variables: bound per row.
+    binds: Vec<(usize, usize)>,
+    /// Repeated variables within this atom.
+    checks: Vec<SlotCheck>,
+}
+
+/// A head position: how to build the output value from the slots.
+#[derive(Clone, Debug)]
+enum HeadInstr {
+    Const(RelValue),
+    Slot(usize),
+    Skolem(Label, Vec<HeadInstr>),
+}
+
+#[derive(Clone, Debug)]
+struct CRule {
+    head_pred: usize,
+    head: Vec<HeadInstr>,
+    atoms: Vec<CAtom>,
+    /// Positions in `atoms` that read an IDB predicate.
+    idb_positions: Vec<usize>,
+    n_slots: usize,
+}
+
+/// A validated, join-ready program.
+struct Compiled {
+    idb_names: Vec<String>,
+    idb_arities: Vec<usize>,
+    rules: Vec<CRule>,
+    /// Per IDB predicate: does any semi-naive variant read its
+    /// *previous* iterate? Only predicates at a non-final IDB position
+    /// of a multi-IDB body do; for linear programs (at most one IDB
+    /// atom per body — every ψ output) this is all-false and the
+    /// evaluator never copies an iterate.
+    needs_prev: Vec<bool>,
+    /// Per IDB predicate: does it occur in any rule body? Output-only
+    /// predicates (ψ's `E2`) never have their delta re-read, so the
+    /// delta is *moved* into the iterate instead of cloned.
+    idb_in_body: Vec<bool>,
+}
+
+/// Validate and compile `prog` against the EDB's schemas. All rule
+/// malformations are reported here, before any iteration runs, so the
+/// semi-naive and naive evaluators fail identically.
+fn compile<K: Semiring>(prog: &Program, edb: &Database<K>) -> Result<Compiled, DatalogError> {
+    let edb_names: Vec<&String> = edb.iter().map(|(n, _)| n).collect();
+    let edb_index: HashMap<&str, usize> = edb_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+
+    // IDB predicates, with arity consistency across heads.
+    let mut idb_names: Vec<String> = Vec::new();
+    let mut idb_arities: Vec<usize> = Vec::new();
+    let mut idb_index: HashMap<String, usize> = HashMap::new();
+    for rule in &prog.rules {
+        let pred = &rule.head.pred;
+        if edb_index.contains_key(pred.as_str()) {
+            return err(format!("predicate {pred:?} is both EDB and IDB"));
+        }
+        match idb_index.get(pred.as_str()) {
+            Some(&i) => {
+                if idb_arities[i] != rule.head.args.len() {
+                    return err(format!("arity mismatch on {pred:?}"));
+                }
+            }
+            None => {
+                idb_index.insert(pred.clone(), idb_names.len());
+                idb_names.push(pred.clone());
+                idb_arities.push(rule.head.args.len());
+            }
+        }
+    }
+
+    let mut rules = Vec::with_capacity(prog.rules.len());
+    for rule in &prog.rules {
+        let mut slots: HashMap<&str, usize> = HashMap::new();
+        let mut n_slots = 0usize;
+        let mut atoms = Vec::with_capacity(rule.body.len());
+        let mut idb_positions = Vec::new();
+        for (pos, batom) in rule.body.iter().enumerate() {
+            let (pred, arity) = match idb_index.get(batom.pred.as_str()) {
+                Some(&i) => (Pred::Idb(i), idb_arities[i]),
+                None => match edb_index.get(batom.pred.as_str()) {
+                    Some(&i) => (
+                        Pred::Edb(i),
+                        edb.get(edb_names[i]).expect("edb name").schema().arity(),
+                    ),
+                    None => return err(format!("unknown predicate {:?}", batom.pred)),
+                },
+            };
+            if batom.args.len() != arity {
+                return err(format!("arity mismatch on {:?}", batom.pred));
+            }
+            if matches!(pred, Pred::Idb(_)) {
+                idb_positions.push(pos);
+            }
+            let mut ca = CAtom {
+                pred,
+                key_cols: Vec::new(),
+                key_parts: Vec::new(),
+                binds: Vec::new(),
+                checks: Vec::new(),
+            };
+            let mut bound_here: Vec<&str> = Vec::new();
+            for (col, term) in batom.args.iter().enumerate() {
+                match term {
+                    Term::Const(c) => {
+                        ca.key_cols.push(col);
+                        ca.key_parts.push(KeyPart::Const(c.clone()));
+                    }
+                    Term::Var(x) => match slots.get(x.as_str()) {
+                        Some(&s) if !bound_here.contains(&x.as_str()) => {
+                            // bound by an earlier atom: part of the key
+                            ca.key_cols.push(col);
+                            ca.key_parts.push(KeyPart::Slot(s));
+                        }
+                        Some(&s) => ca.checks.push(SlotCheck { col, slot: s }),
+                        None => {
+                            let s = n_slots;
+                            n_slots += 1;
+                            slots.insert(x.as_str(), s);
+                            bound_here.push(x.as_str());
+                            ca.binds.push((col, s));
+                        }
+                    },
+                    Term::Skolem(..) => return err("Skolem terms may appear only in rule heads"),
+                }
+            }
+            atoms.push(ca);
+        }
+        let head = rule
+            .head
+            .args
+            .iter()
+            .map(|t| compile_head_term(t, &slots))
+            .collect::<Result<Vec<_>, _>>()?;
+        rules.push(CRule {
+            head_pred: idb_index[rule.head.pred.as_str()],
+            head,
+            atoms,
+            idb_positions,
+            n_slots,
+        });
+    }
+    let mut needs_prev = vec![false; idb_names.len()];
+    let mut idb_in_body = vec![false; idb_names.len()];
+    for rule in &rules {
+        if rule.idb_positions.len() >= 2 {
+            for &pos in &rule.idb_positions[..rule.idb_positions.len() - 1] {
+                if let Pred::Idb(i) = rule.atoms[pos].pred {
+                    needs_prev[i] = true;
+                }
+            }
+        }
+        for atom in &rule.atoms {
+            if let Pred::Idb(i) = atom.pred {
+                idb_in_body[i] = true;
+            }
+        }
+    }
+    Ok(Compiled {
+        idb_names,
+        idb_arities,
+        rules,
+        needs_prev,
+        idb_in_body,
+    })
+}
+
+fn compile_head_term(t: &Term, slots: &HashMap<&str, usize>) -> Result<HeadInstr, DatalogError> {
+    match t {
+        Term::Const(c) => Ok(HeadInstr::Const(c.clone())),
+        Term::Var(x) => match slots.get(x.as_str()) {
+            Some(&s) => Ok(HeadInstr::Slot(s)),
+            None => err(format!(
+                "unsafe rule: head variable {x:?} not bound by the body"
+            )),
+        },
+        Term::Skolem(f, args) => {
+            let inner = args
+                .iter()
+                .map(|a| compile_head_term(a, slots))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(HeadInstr::Skolem(Label::new(f), inner))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Semi-naive evaluation.
+// ---------------------------------------------------------------------
+
+/// Which iterate a body atom reads during one join variant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Src {
+    /// The fixed EDB relation.
+    Edb,
+    /// The current iterate `Iₙ`.
+    Full,
+    /// The previous iterate `Iₙ₋₁`.
+    Prev,
+    /// The last delta `Δₙ`.
+    Delta,
+}
+
+/// The relations visible during one round, plus probe indexes. EDB
+/// indexes are built once per evaluation (the EDB never changes) and
+/// borrowed here; IDB indexes are built lazily per round. All
+/// relations are immutable for the lifetime of the round.
+struct Round<'a, K: Semiring> {
+    edb_rels: &'a [&'a KRelation<K>],
+    edb_indexes: &'a HashMap<(usize, Vec<usize>), RelIndex<'a, K>>,
+    full: &'a [KRelation<K>],
+    prev: &'a [KRelation<K>],
+    delta: &'a [KRelation<K>],
+    idb_indexes: HashMap<(Src, usize, Vec<usize>), RelIndex<'a, K>>,
+}
+
+impl<'a, K: Semiring> Round<'a, K> {
+    fn rel(&self, src: Src, pred: Pred) -> &'a KRelation<K> {
+        match (src, pred) {
+            (Src::Edb, Pred::Edb(i)) => self.edb_rels[i],
+            (Src::Full, Pred::Idb(i)) => &self.full[i],
+            (Src::Prev, Pred::Idb(i)) => &self.prev[i],
+            (Src::Delta, Pred::Idb(i)) => &self.delta[i],
+            _ => unreachable!("EDB atoms always read Src::Edb"),
+        }
+    }
+
+    /// Make sure every keyed IDB atom of the variant has its index
+    /// built (indexes are shared across variants and rules within a
+    /// round; EDB indexes are prebuilt).
+    fn prepare(&mut self, rule: &CRule, srcs: &[Src]) {
+        for (atom, &src) in rule.atoms.iter().zip(srcs) {
+            let Pred::Idb(p) = atom.pred else { continue };
+            if atom.key_cols.is_empty() {
+                continue;
+            }
+            let key = (src, p, atom.key_cols.clone());
+            if !self.idb_indexes.contains_key(&key) {
+                let idx = self.rel(src, atom.pred).index_on(&atom.key_cols);
+                self.idb_indexes.insert(key, idx);
+            }
+        }
+    }
+
+    /// Depth-first indexed join over the rule body, one source per
+    /// atom, accumulating derived tuples (with annotation products)
+    /// into `out` — the head predicate's *delta*. Contributions
+    /// already absorbed by the accumulated iterate
+    /// (`I[t] + k = I[t]`) are pruned here, per derivation: sound
+    /// because in every semiring of this workspace absorption of a
+    /// sum and absorption of its parts coincide (zero-sum-free, and
+    /// `+` restricted to absorbed elements is a join).
+    /// [`Round::prepare`] must have run for this variant.
+    fn join(&self, rule: &CRule, srcs: &[Src], out: &mut KRelation<K>) {
+        // Resolve each atom's index once, not per probe.
+        let indexes: Vec<Option<&RelIndex<'a, K>>> = rule
+            .atoms
+            .iter()
+            .zip(srcs)
+            .map(|(atom, &src)| {
+                if atom.key_cols.is_empty() {
+                    return None;
+                }
+                Some(match atom.pred {
+                    Pred::Edb(i) => &self.edb_indexes[&(i, atom.key_cols.clone())],
+                    Pred::Idb(i) => &self.idb_indexes[&(src, i, atom.key_cols.clone())],
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<RelValue>> = vec![None; rule.n_slots];
+        self.join_from(rule, srcs, &indexes, 0, &mut slots, K::one(), out);
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal recursion, all state is positional
+    fn join_from(
+        &self,
+        rule: &CRule,
+        srcs: &[Src],
+        indexes: &[Option<&RelIndex<'a, K>>],
+        i: usize,
+        slots: &mut Vec<Option<RelValue>>,
+        ann: K,
+        out: &mut KRelation<K>,
+    ) {
+        if i == rule.atoms.len() {
+            let tuple: Tuple = rule.head.iter().map(|h| ground(h, slots)).collect();
+            let keep = match self.full[rule.head_pred].rows().get_ref(&tuple) {
+                None => true,
+                Some(cur) => cur.plus(&ann) != *cur,
+            };
+            if keep {
+                out.insert(tuple, ann);
+            }
+            return;
+        }
+        let atom = &rule.atoms[i];
+        let mut step = |tuple: &Tuple, k: &K, slots: &mut Vec<Option<RelValue>>| {
+            for &(col, slot) in &atom.binds {
+                slots[slot] = Some(tuple[col].clone());
+            }
+            let ok = atom
+                .checks
+                .iter()
+                .all(|c| slots[c.slot].as_ref() == Some(&tuple[c.col]));
+            if ok {
+                let next_ann = if k.is_one() {
+                    ann.clone()
+                } else {
+                    ann.times(k)
+                };
+                self.join_from(rule, srcs, indexes, i + 1, slots, next_ann, out);
+            }
+            for &(_, slot) in &atom.binds {
+                slots[slot] = None;
+            }
+        };
+        match indexes[i] {
+            None => {
+                for (tuple, k) in self.rel(srcs[i], atom.pred).iter() {
+                    step(tuple, k, slots);
+                }
+            }
+            Some(idx) => {
+                let key: Vec<RelValue> = atom
+                    .key_parts
+                    .iter()
+                    .map(|p| match p {
+                        KeyPart::Const(c) => c.clone(),
+                        KeyPart::Slot(s) => slots[*s].clone().expect("key slot bound"),
+                    })
+                    .collect();
+                for &(tuple, k) in idx.probe(&key) {
+                    step(tuple, k, slots);
+                }
+            }
+        }
+    }
+}
+
+fn ground(h: &HeadInstr, slots: &[Option<RelValue>]) -> RelValue {
+    match h {
+        HeadInstr::Const(c) => c.clone(),
+        HeadInstr::Slot(s) => slots[*s].clone().expect("head slot bound (checked)"),
+        HeadInstr::Skolem(f, args) => {
+            RelValue::Skolem(*f, args.iter().map(|a| ground(a, slots)).collect())
+        }
+    }
+}
+
+/// Positional schema `c0, c1, …` for IDB relations.
+fn anon_schema(arity: usize) -> Schema {
+    Schema::new((0..arity).map(|i| format!("c{i}")))
+}
+
+/// Evaluate `prog` over the EDB `db` (semi-naive), returning EDB ∪ IDB.
 pub fn eval_datalog<K: Semiring>(
     prog: &Program,
     db: &Database<K>,
@@ -178,20 +598,196 @@ pub fn eval_datalog<K: Semiring>(
     eval_datalog_capped(prog, db, DEFAULT_MAX_ITERS)
 }
 
-/// Evaluate with an explicit iteration cap.
+/// Like [`eval_datalog`], but return only the derived IDB relations
+/// (callers that own the EDB skip a database copy).
+pub fn eval_datalog_idb<K: Semiring>(
+    prog: &Program,
+    db: &Database<K>,
+) -> Result<BTreeMap<String, KRelation<K>>, DatalogError> {
+    eval_datalog_idb_capped(prog, db, DEFAULT_MAX_ITERS)
+}
+
+/// Semi-naive evaluation with an explicit iteration cap.
+///
+/// Round n derives exactly the annotations of depth-n derivation
+/// trees: every rule with m IDB body atoms is evaluated in m variants,
+/// the j-th reading `Iₙ₋₂` before position j, `Δₙ₋₁` at j, and `Iₙ₋₁`
+/// after it — a partition of the depth-n trees by their first
+/// maximal-depth subderivation, so annotations are counted exactly
+/// once. A delta entry whose addition would not change the iterate
+/// (`I\[t\] + δ = I\[t\]`) is pruned; the fixpoint is reached when a
+/// round's whole delta is pruned. In every semiring of this workspace
+/// (all are zero-sum-free, and absorption distributes over `+`/`·`)
+/// this computes the same iterate sequence and the same fixpoint as
+/// [`eval_datalog_naive`].
 pub fn eval_datalog_capped<K: Semiring>(
     prog: &Program,
     edb: &Database<K>,
     max_iters: usize,
 ) -> Result<Database<K>, DatalogError> {
-    let idb_arities = prog.idb_preds();
-    for pred in idb_arities.keys() {
-        if edb.get(pred).is_some() {
-            return Err(DatalogError {
-                msg: format!("predicate {pred:?} is both EDB and IDB"),
-            });
+    let idb = eval_datalog_idb_capped(prog, edb, max_iters)?;
+    let mut out = edb.clone();
+    for (p, r) in idb {
+        out.insert(&p, r);
+    }
+    Ok(out)
+}
+
+/// [`eval_datalog_idb`] with an explicit iteration cap.
+pub fn eval_datalog_idb_capped<K: Semiring>(
+    prog: &Program,
+    edb: &Database<K>,
+    max_iters: usize,
+) -> Result<BTreeMap<String, KRelation<K>>, DatalogError> {
+    let compiled = compile(prog, edb)?;
+    let n_idb = compiled.idb_names.len();
+    // One schema per predicate for the whole run (Schema is Arc-shared;
+    // rebuilding it would allocate column names every round).
+    let schemas: Vec<Schema> = compiled
+        .idb_arities
+        .iter()
+        .map(|&n| anon_schema(n))
+        .collect();
+    let empty = |schemas: &[Schema]| -> Vec<KRelation<K>> {
+        schemas.iter().map(|s| KRelation::new(s.clone())).collect()
+    };
+    let mut full = empty(&schemas);
+    let mut prev = empty(&schemas);
+    // Invariant at the top of each round: `prev[p] == Iₙ₋₁[p]` for
+    // every predicate with `needs_prev` — maintained lazily so linear
+    // programs never copy an iterate.
+    let mut prev_fresh = vec![true; n_idb];
+    let mut delta = empty(&schemas);
+    let edb_rels: Vec<&KRelation<K>> = edb.iter().map(|(_, r)| r).collect();
+
+    // The EDB never changes: build each (relation, key-columns) probe
+    // index exactly once for the whole evaluation.
+    let mut edb_indexes: HashMap<(usize, Vec<usize>), RelIndex<'_, K>> = HashMap::new();
+    for rule in &compiled.rules {
+        for atom in &rule.atoms {
+            if let Pred::Edb(i) = atom.pred {
+                if !atom.key_cols.is_empty() {
+                    edb_indexes
+                        .entry((i, atom.key_cols.clone()))
+                        .or_insert_with(|| edb_rels[i].index_on(&atom.key_cols));
+                }
+            }
         }
     }
+
+    for iter in 0..max_iters {
+        // Derivations of the new depth, absorbed ones pruned at the
+        // join (see [`Round::join`]): the next delta.
+        let mut next_delta = empty(&schemas);
+        {
+            let mut round = Round {
+                edb_rels: &edb_rels,
+                edb_indexes: &edb_indexes,
+                full: &full,
+                prev: &prev,
+                delta: &delta,
+                idb_indexes: HashMap::new(),
+            };
+            let mut srcs: Vec<Src> = Vec::new();
+            for rule in &compiled.rules {
+                if iter == 0 {
+                    // Depth-1 derivations: only all-EDB bodies fire.
+                    if !rule.idb_positions.is_empty() {
+                        continue;
+                    }
+                    srcs.clear();
+                    srcs.resize(rule.atoms.len(), Src::Edb);
+                    round.join(rule, &srcs, &mut next_delta[rule.head_pred]);
+                } else {
+                    // One variant per IDB position carrying the delta.
+                    for (vi, &dpos) in rule.idb_positions.iter().enumerate() {
+                        let Pred::Idb(dp) = rule.atoms[dpos].pred else {
+                            unreachable!("idb_positions index IDB atoms")
+                        };
+                        if round.delta[dp].is_empty() {
+                            continue; // this variant cannot derive anything
+                        }
+                        srcs.clear();
+                        for (pos, atom) in rule.atoms.iter().enumerate() {
+                            srcs.push(match atom.pred {
+                                Pred::Edb(_) => Src::Edb,
+                                Pred::Idb(_) if pos == dpos => Src::Delta,
+                                Pred::Idb(_) if rule.idb_positions[..vi].contains(&pos) => {
+                                    Src::Prev
+                                }
+                                Pred::Idb(_) => Src::Full,
+                            });
+                        }
+                        round.prepare(rule, &srcs);
+                        round.join(rule, &srcs, &mut next_delta[rule.head_pred]);
+                    }
+                }
+            }
+        }
+        let changed = next_delta.iter().any(|d| !d.is_empty());
+        if !changed {
+            return Ok(compiled
+                .idb_names
+                .iter()
+                .cloned()
+                .zip(full)
+                .collect::<BTreeMap<_, _>>());
+        }
+        for p in 0..n_idb {
+            if !next_delta[p].is_empty() {
+                if compiled.needs_prev[p] {
+                    prev[p] = full[p].clone();
+                }
+                if compiled.idb_in_body[p] {
+                    for (t, k) in next_delta[p].iter() {
+                        full[p].insert(t.clone(), k.clone());
+                    }
+                } else {
+                    // Output-only predicate: no rule re-reads its
+                    // delta, so hand the rows over instead of cloning.
+                    let moved =
+                        std::mem::replace(&mut next_delta[p], KRelation::new(schemas[p].clone()));
+                    full[p].union_with(moved);
+                }
+                prev_fresh[p] = false;
+            } else if compiled.needs_prev[p] && !prev_fresh[p] {
+                // The iterate stabilized this round; catch `prev` up
+                // once so later rounds read Iₙ₋₁ = Iₙ.
+                prev[p] = full[p].clone();
+                prev_fresh[p] = true;
+            }
+        }
+        delta = next_delta;
+    }
+    err(format!(
+        "no fixpoint after {max_iters} iterations (cyclic data with a non-idempotent semiring?)"
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Naive reference evaluation (the original evaluator, kept verbatim
+// for differential testing and the `datalog_seminaive` benchmark).
+// ---------------------------------------------------------------------
+
+/// Evaluate `prog` over the EDB `db` with the naïve fixpoint.
+pub fn eval_datalog_naive<K: Semiring>(
+    prog: &Program,
+    db: &Database<K>,
+) -> Result<Database<K>, DatalogError> {
+    eval_datalog_naive_capped(prog, db, DEFAULT_MAX_ITERS)
+}
+
+/// Naïve evaluation with an explicit iteration cap: every IDB relation
+/// is recomputed from the previous iterate (nested-scan joins, no
+/// deltas) until nothing changes.
+pub fn eval_datalog_naive_capped<K: Semiring>(
+    prog: &Program,
+    edb: &Database<K>,
+    max_iters: usize,
+) -> Result<Database<K>, DatalogError> {
+    // Same validation as the semi-naive path (errors must agree).
+    let _ = compile(prog, edb)?;
+    let idb_arities = prog.idb_preds();
 
     // IDB iterate: start empty.
     let mut idb: BTreeMap<String, KRelation<K>> = idb_arities
@@ -221,14 +817,9 @@ pub fn eval_datalog_capped<K: Semiring>(
         }
         idb = next;
     }
-    Err(DatalogError {
-        msg: format!("no fixpoint after {max_iters} iterations (cyclic data with a non-idempotent semiring?)"),
-    })
-}
-
-/// Positional schema `c0, c1, …` for IDB relations.
-fn anon_schema(arity: usize) -> Schema {
-    Schema::new((0..arity).map(|i| format!("c{i}")))
+    err(format!(
+        "no fixpoint after {max_iters} iterations (cyclic data with a non-idempotent semiring?)"
+    ))
 }
 
 type Subst = BTreeMap<String, RelValue>;
@@ -254,8 +845,12 @@ fn search<K: Semiring>(
     out: &mut KRelation<K>,
 ) -> Result<(), DatalogError> {
     if i == rule.body.len() {
-        let tuple: Result<Tuple, DatalogError> =
-            rule.head.args.iter().map(|t| ground(t, subst)).collect();
+        let tuple: Result<Tuple, DatalogError> = rule
+            .head
+            .args
+            .iter()
+            .map(|t| ground_subst(t, subst))
+            .collect();
         out.insert(tuple?, ann);
         return Ok(());
     }
@@ -266,13 +861,7 @@ fn search<K: Semiring>(
         .ok_or_else(|| DatalogError {
             msg: format!("unknown predicate {:?}", body_atom.pred),
         })?;
-    // clone the rows (cheap: Arc’d labels) to release the borrow on idb
     for (tuple, k) in rel.iter() {
-        if tuple.len() != body_atom.args.len() {
-            return Err(DatalogError {
-                msg: format!("arity mismatch on {:?}", body_atom.pred),
-            });
-        }
         let mut bound: Vec<String> = Vec::new();
         let mut ok = true;
         for (term, value) in body_atom.args.iter().zip(tuple.iter()) {
@@ -296,9 +885,7 @@ fn search<K: Semiring>(
                     }
                 },
                 Term::Skolem(..) => {
-                    return Err(DatalogError {
-                        msg: "Skolem terms may appear only in rule heads".into(),
-                    })
+                    return err("Skolem terms may appear only in rule heads");
                 }
             }
         }
@@ -312,7 +899,7 @@ fn search<K: Semiring>(
     Ok(())
 }
 
-fn ground(t: &Term, subst: &Subst) -> Result<RelValue, DatalogError> {
+fn ground_subst(t: &Term, subst: &Subst) -> Result<RelValue, DatalogError> {
     match t {
         Term::Const(c) => Ok(c.clone()),
         Term::Var(x) => subst.get(x).cloned().ok_or_else(|| DatalogError {
@@ -320,8 +907,8 @@ fn ground(t: &Term, subst: &Subst) -> Result<RelValue, DatalogError> {
         }),
         Term::Skolem(f, args) => {
             let inner: Result<Vec<RelValue>, DatalogError> =
-                args.iter().map(|a| ground(a, subst)).collect();
-            Ok(RelValue::Skolem(f.clone(), inner?))
+                args.iter().map(|a| ground_subst(a, subst)).collect();
+            Ok(RelValue::Skolem(Label::new(f), inner?))
         }
     }
 }
@@ -329,7 +916,7 @@ fn ground(t: &Term, subst: &Subst) -> Result<RelValue, DatalogError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use axml_semiring::{Nat, NatPoly, PosBool};
+    use axml_semiring::{Nat, NatPoly, PosBool, Tropical};
 
     fn np(s: &str) -> NatPoly {
         s.parse().unwrap()
@@ -343,23 +930,32 @@ mod tests {
         Database::new().with("E", e)
     }
 
-    #[test]
-    fn transitive_closure_annotations() {
-        // T(x,y) :- E(x,y).  T(x,z) :- T(x,y), E(y,z).
-        let prog = Program::new([
+    fn tc_prog() -> Program {
+        Program::new([
             Rule::new(atom("T", [v("x"), v("y")]), [atom("E", [v("x"), v("y")])]),
             Rule::new(
                 atom("T", [v("x"), v("z")]),
                 [atom("T", [v("x"), v("y")]), atom("E", [v("y"), v("z")])],
             ),
-        ]);
-        let out = eval_datalog(&prog, &edge_db()).unwrap();
+        ])
+    }
+
+    #[test]
+    fn transitive_closure_annotations() {
+        let out = eval_datalog(&tc_prog(), &edge_db()).unwrap();
         let t = out.get("T").unwrap();
         assert_eq!(t.len(), 3);
         assert_eq!(
             t.get(&vec![RelValue::Node(1), RelValue::Node(3)]),
             np("y1*y2")
         );
+    }
+
+    #[test]
+    fn seminaive_matches_naive_on_closure() {
+        let a = eval_datalog(&tc_prog(), &edge_db()).unwrap();
+        let b = eval_datalog_naive(&tc_prog(), &edge_db()).unwrap();
+        assert_eq!(a.get("T"), b.get("T"));
     }
 
     #[test]
@@ -406,8 +1002,10 @@ mod tests {
             atom("Out", [v("x")]),
             [atom("E", [sk("f", [v("x")]), v("x")])],
         )]);
-        let e = eval_datalog(&prog, &edge_db()).unwrap_err();
-        assert!(e.msg.contains("only in rule heads"), "{e}");
+        for eval in [eval_datalog::<NatPoly>, eval_datalog_naive::<NatPoly>] {
+            let e = eval(&prog, &edge_db()).unwrap_err();
+            assert!(e.msg.contains("only in rule heads"), "{e}");
+        }
     }
 
     #[test]
@@ -416,8 +1014,10 @@ mod tests {
             atom("Out", [v("zzz")]),
             [atom("E", [v("x"), v("y")])],
         )]);
-        let e = eval_datalog(&prog, &edge_db()).unwrap_err();
-        assert!(e.msg.contains("unsafe"), "{e}");
+        for eval in [eval_datalog::<NatPoly>, eval_datalog_naive::<NatPoly>] {
+            let e = eval(&prog, &edge_db()).unwrap_err();
+            assert!(e.msg.contains("unsafe"), "{e}");
+        }
     }
 
     #[test]
@@ -433,15 +1033,33 @@ mod tests {
             PosBool::var_named("dl_b"),
         );
         let db = Database::new().with("E", e);
-        let prog = Program::new([
-            Rule::new(atom("T", [v("x"), v("y")]), [atom("E", [v("x"), v("y")])]),
-            Rule::new(
-                atom("T", [v("x"), v("z")]),
-                [atom("T", [v("x"), v("y")]), atom("E", [v("y"), v("z")])],
-            ),
-        ]);
-        let out = eval_datalog(&prog, &db).unwrap();
+        let out = eval_datalog(&tc_prog(), &db).unwrap();
         assert_eq!(out.get("T").unwrap().len(), 4);
+        let naive = eval_datalog_naive(&tc_prog(), &db).unwrap();
+        assert_eq!(out.get("T"), naive.get("T"));
+    }
+
+    #[test]
+    fn cyclic_data_converges_for_tropical() {
+        // min-plus closure over a cycle: absorption prunes longer paths
+        let mut e = KRelation::new(Schema::new(["src", "dst"]));
+        e.insert(
+            vec![RelValue::Node(1), RelValue::Node(2)],
+            Tropical::cost(3),
+        );
+        e.insert(
+            vec![RelValue::Node(2), RelValue::Node(1)],
+            Tropical::cost(4),
+        );
+        let db = Database::new().with("E", e);
+        let out = eval_datalog(&tc_prog(), &db).unwrap();
+        let t = out.get("T").unwrap();
+        assert_eq!(
+            t.get(&vec![RelValue::Node(1), RelValue::Node(1)]),
+            Tropical::cost(7)
+        );
+        let naive = eval_datalog_naive(&tc_prog(), &db).unwrap();
+        assert_eq!(out.get("T"), naive.get("T"));
     }
 
     #[test]
@@ -450,15 +1068,10 @@ mod tests {
         let mut e = KRelation::new(Schema::new(["src", "dst"]));
         e.insert(vec![RelValue::Node(1), RelValue::Node(1)], Nat(2));
         let db = Database::new().with("E", e);
-        let prog = Program::new([
-            Rule::new(atom("T", [v("x"), v("y")]), [atom("E", [v("x"), v("y")])]),
-            Rule::new(
-                atom("T", [v("x"), v("z")]),
-                [atom("T", [v("x"), v("y")]), atom("E", [v("y"), v("z")])],
-            ),
-        ]);
-        let err = eval_datalog_capped(&prog, &db, 50).unwrap_err();
+        let err = eval_datalog_capped(&tc_prog(), &db, 50).unwrap_err();
         assert!(err.msg.contains("fixpoint"), "{err}");
+        let err2 = eval_datalog_naive_capped(&tc_prog(), &db, 50).unwrap_err();
+        assert!(err2.msg.contains("fixpoint"), "{err2}");
     }
 
     #[test]
@@ -467,8 +1080,65 @@ mod tests {
             atom("E", [v("x"), v("y")]),
             [atom("E", [v("x"), v("y")])],
         )]);
-        let e = eval_datalog(&prog, &edge_db()).unwrap_err();
-        assert!(e.msg.contains("both EDB and IDB"), "{e}");
+        for eval in [eval_datalog::<NatPoly>, eval_datalog_naive::<NatPoly>] {
+            let e = eval(&prog, &edge_db()).unwrap_err();
+            assert!(e.msg.contains("both EDB and IDB"), "{e}");
+        }
+    }
+
+    #[test]
+    fn idb_arity_mismatch_rejected() {
+        let prog = Program::new([
+            Rule::new(atom("T", [v("x"), v("y")]), [atom("E", [v("x"), v("y")])]),
+            Rule::new(atom("T", [v("x")]), [atom("E", [v("x"), v("x")])]),
+        ]);
+        for eval in [eval_datalog::<NatPoly>, eval_datalog_naive::<NatPoly>] {
+            let e = eval(&prog, &edge_db()).unwrap_err();
+            assert!(e.msg.contains("arity mismatch"), "{e}");
+        }
+    }
+
+    #[test]
+    fn body_arity_mismatch_rejected() {
+        let prog = Program::new([Rule::new(
+            atom("Out", [v("x")]),
+            [atom("E", [v("x"), v("y"), v("z")])],
+        )]);
+        for eval in [eval_datalog::<NatPoly>, eval_datalog_naive::<NatPoly>] {
+            let e = eval(&prog, &edge_db()).unwrap_err();
+            assert!(e.msg.contains("arity mismatch"), "{e}");
+        }
+    }
+
+    #[test]
+    fn unknown_predicate_rejected() {
+        let prog = Program::new([Rule::new(
+            atom("Out", [v("x")]),
+            [atom("Nope", [v("x"), v("y")])],
+        )]);
+        for eval in [eval_datalog::<NatPoly>, eval_datalog_naive::<NatPoly>] {
+            let e = eval(&prog, &edge_db()).unwrap_err();
+            assert!(e.msg.contains("unknown predicate"), "{e}");
+        }
+    }
+
+    #[test]
+    fn repeated_variables_within_an_atom() {
+        // self-loops only: E(x, x)
+        let mut e = KRelation::new(Schema::new(["src", "dst"]));
+        e.insert(vec![RelValue::Node(1), RelValue::Node(1)], np("a"));
+        e.insert(vec![RelValue::Node(1), RelValue::Node(2)], np("b"));
+        let db = Database::new().with("E", e);
+        let prog = Program::new([Rule::new(
+            atom("L", [v("x")]),
+            [atom("E", [v("x"), v("x")])],
+        )]);
+        for eval in [eval_datalog::<NatPoly>, eval_datalog_naive::<NatPoly>] {
+            let out = eval(&prog, &db).unwrap();
+            let l = out.get("L").unwrap();
+            assert_eq!(l.len(), 1);
+            assert_eq!(l.get(&vec![RelValue::Node(1)]), np("a"));
+        }
     }
 
     #[test]
@@ -481,6 +1151,34 @@ mod tests {
         let r = out.get("FromOne").unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.get(&vec![RelValue::Node(2)]), np("y1"));
+    }
+
+    #[test]
+    fn multiple_idb_atoms_in_one_body() {
+        // P(x,z) :- T(x,y), T(y,z): quadratic use of a recursive IDB —
+        // exercises the per-position delta variants without double
+        // counting (checked against the naive reference).
+        let prog = Program::new([
+            Rule::new(atom("T", [v("x"), v("y")]), [atom("E", [v("x"), v("y")])]),
+            Rule::new(
+                atom("T", [v("x"), v("z")]),
+                [atom("T", [v("x"), v("y")]), atom("E", [v("y"), v("z")])],
+            ),
+            Rule::new(
+                atom("P", [v("x"), v("z")]),
+                [atom("T", [v("x"), v("y")]), atom("T", [v("y"), v("z")])],
+            ),
+        ]);
+        let a = eval_datalog(&prog, &edge_db()).unwrap();
+        let b = eval_datalog_naive(&prog, &edge_db()).unwrap();
+        assert_eq!(a.get("T"), b.get("T"));
+        assert_eq!(a.get("P"), b.get("P"));
+        assert_eq!(
+            a.get("P")
+                .unwrap()
+                .get(&vec![RelValue::Node(1), RelValue::Node(3)]),
+            np("y1*y2")
+        );
     }
 
     #[test]

@@ -4,11 +4,17 @@
 
 use axml_semiring::{KSet, Semiring};
 use axml_uxml::Label;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 /// A value in a relational tuple: a label, a node id, or a Skolem term
 /// (§7 uses Skolem functions to invent node ids in query results).
+///
+/// Skolem function names are interned [`Label`]s: ψ materializes one
+/// `f(·)` value per copied node, so the name must be `Copy`-cheap to
+/// clone and id-fast to compare (`BTreeMap` keys compare on every
+/// insert).
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum RelValue {
     /// An atomic label.
@@ -17,7 +23,7 @@ pub enum RelValue {
     /// tree"; see §7).
     Node(u64),
     /// A Skolem term `f(v₁, …, vₙ)`.
-    Skolem(String, Vec<RelValue>),
+    Skolem(Label, Vec<RelValue>),
 }
 
 impl RelValue {
@@ -200,6 +206,33 @@ impl<K: Semiring> KRelation<K> {
             schema: self.schema.clone(),
             rows: self.rows.map_annotations(&mut h, |t| t.clone()),
         }
+    }
+
+    /// Build a hash probe-index on the given column positions: rows
+    /// grouped by their projection onto `cols`. One `O(|rel|)` pass to
+    /// build, `O(1)` expected per probe — the join substrate for the
+    /// semi-naive Datalog evaluator and [`crate::ra::natural_join`].
+    pub fn index_on(&self, cols: &[usize]) -> RelIndex<'_, K> {
+        let mut map: HashMap<Vec<RelValue>, Vec<(&Tuple, &K)>> = HashMap::new();
+        for (t, k) in self.iter() {
+            map.entry(Self::project_tuple(t, cols))
+                .or_default()
+                .push((t, k));
+        }
+        RelIndex { map }
+    }
+}
+
+/// A hash index over a [`KRelation`]'s rows, keyed by a fixed column
+/// projection (see [`KRelation::index_on`]). Borrows the relation.
+pub struct RelIndex<'a, K: Semiring> {
+    map: HashMap<Vec<RelValue>, Vec<(&'a Tuple, &'a K)>>,
+}
+
+impl<'a, K: Semiring> RelIndex<'a, K> {
+    /// The rows whose indexed columns equal `key` (empty if none).
+    pub fn probe(&self, key: &[RelValue]) -> &[(&'a Tuple, &'a K)] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 }
 

@@ -10,7 +10,7 @@
 //! and the algebra in which Fig 5's `Q = π_AC(π_AB(R) ⋈ (π_BC(R) ∪ S))`
 //! is evaluated.
 
-use crate::krel::{KRelation, RelValue, Schema, Tuple};
+use crate::krel::{KRelation, RelValue, Schema};
 use axml_semiring::Semiring;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -281,25 +281,18 @@ pub fn natural_join<K: Semiring>(l: &KRelation<K>, r: &KRelation<K>) -> KRelatio
     }
     let mut out = KRelation::new(Schema::new(attrs));
 
-    // Hash right side on the common-attr key (nested loop is fine for
-    // figure-sized data, but the index keeps benches honest).
-    let mut index: BTreeMap<Tuple, Vec<(&Tuple, &K)>> = BTreeMap::new();
-    for (t, k) in r.iter() {
-        index
-            .entry(KRelation::<K>::project_tuple(t, &r_common))
-            .or_default()
-            .push((t, k));
-    }
+    // Hash-index the right side on the common-attr key (shared with
+    // the Datalog evaluator's join layer; nested scans would be fine
+    // for figure-sized data, but the index keeps benches honest).
+    let index = r.index_on(&r_common);
     for (tl, kl) in l.iter() {
         let key = KRelation::<K>::project_tuple(tl, &l_common);
-        if let Some(matches) = index.get(&key) {
-            for (tr, kr) in matches {
-                let mut tuple = tl.clone();
-                for &i in &r_only {
-                    tuple.push(tr[i].clone());
-                }
-                out.insert(tuple, kl.times(kr));
+        for (tr, kr) in index.probe(&key) {
+            let mut tuple = tl.clone();
+            for &i in &r_only {
+                tuple.push(tr[i].clone());
             }
+            out.insert(tuple, kl.times(kr));
         }
     }
     out

@@ -3,10 +3,12 @@
 //! - [`shred`] is the paper's φ: encode a K-UXML forest as a single
 //!   K-relation `E(pid, nid, label)`, one tuple per node, carrying the
 //!   node's annotation; `pid = 0` marks top-level roots.
-//! - [`xpath_to_datalog`] is ψ: translate an XPath step chain into a
-//!   Datalog program with Skolem functions, whose `E'` relation encodes
-//!   the result forest (the fresh `f(·)` ids keep result nodes distinct
-//!   from source nodes).
+//! - [`path_to_datalog`] is ψ: translate a query in the §7 XPath
+//!   fragment ([`PathQuery`] — step chains, composition, union, and
+//!   branching predicates) into a Datalog program with Skolem
+//!   functions, whose `E'` relation encodes the result forest (the
+//!   fresh `f(·)` ids keep result nodes distinct from source nodes).
+//!   [`xpath_to_datalog`] is the step-chain special case.
 //! - [`garbage_collect`] removes the tuples unreachable from any root
 //!   ("an additional step is required to remove these tuples").
 //! - [`decode`] inverts φ, merging value-identical siblings (relational
@@ -17,11 +19,27 @@
 //! `decode(ψ-result) =` direct evaluation — is verified in this
 //! module's tests on Fig 4 and in `tests/theorems.rs` on random
 //! forests and step chains.
+//!
+//! ## How ψ handles the full fragment
+//!
+//! Every translated subpath gets a fresh IDB predicate holding its
+//! matches as `(…ctx, nid, label)` tuples. The `…ctx` prefix is empty
+//! at the top level; each **branching predicate** `p[q]` extends it:
+//! the qualifier `q` is evaluated from *every* match `n` of `p` at
+//! once, through a seed rule `S(…ctx, n, l, n, l) :- P(…ctx, n, l)`
+//! that carries the match (and its annotation) in extra columns. The
+//! final projection `F(…ctx, n, l) :- Q(…ctx, n, l, m, ml)` *sums*
+//! over the qualifier's matches `m` — annotated Datalog's projection
+//! is exactly the scaling the K-semantics of `p[q]` asks for. Unions
+//! become pairs of copy rules into a shared predicate (annotations
+//! add), and the virtual root is a single fact `V(0, #vroot)` so the
+//! whole translation stays uniform.
 
-use crate::datalog::{atom, lbl, node, sk, v, DatalogError, Program, Rule};
+use crate::datalog::{atom, lbl, node, sk, v, Atom, DatalogError, Program, Rule, Term};
 use crate::krel::{KRelation, RelValue, Schema};
 use crate::ra::Database;
 use axml_core::ast::{Axis, NodeTest, Step};
+use axml_core::path::PathQuery;
 use axml_semiring::Semiring;
 use axml_uxml::{Forest, Tree};
 use std::collections::BTreeMap;
@@ -66,106 +84,195 @@ fn shred_tree<K: Semiring>(
     }
 }
 
-/// ψ: translate a chain of XPath steps into a Datalog program.
-///
-/// The program defines context predicates `C0 … Cn(nid, label)` — `C0`
-/// holds the top-level roots with their annotations, each step extends
-/// the chain — and the output relation:
+/// ψ on a step chain: the special case the paper's `descendant::a`
+/// example shows, now a thin wrapper over [`path_to_datalog`].
+pub fn xpath_to_datalog(steps: &[Step]) -> Program {
+    path_to_datalog(&PathQuery::from_steps(steps))
+}
+
+/// The reserved label of the virtual-root fact `V(0, #vroot)`.
+const VROOT_LABEL: &str = "#vroot";
+
+/// ψ: translate a [`PathQuery`] (the full §7 XPath fragment) into a
+/// Datalog program over the edge relation `E` whose `E2` relation
+/// encodes the result forest:
 ///
 /// ```text
-/// E'(f(p), f(n), l) :- E(p, n, l).          (copy the structure)
-/// E'(0, f(n), l)    :- Cn(n, l).            (matched nodes become roots)
+/// E2(f(p), f(n), l) :- E(p, n, l).          (copy the structure)
+/// E2(0, f(n), l)    :- F(n, l).             (matched nodes become roots)
 /// ```
 ///
-/// exactly the shape of the paper's `descendant::a` example.
-pub fn xpath_to_datalog(steps: &[Step]) -> Program {
-    let mut rules = Vec::new();
-    // C0(n, l) :- E(0, n, l).
-    rules.push(Rule::new(
-        atom("C0", [v("n"), v("l")]),
-        [atom("E", [node(0), v("n"), v("l")])],
-    ));
-    let mut ctx = "C0".to_owned();
-    for (i, step) in steps.iter().enumerate() {
-        let next = format!("C{}", i + 1);
+/// `F` is the predicate holding the query's matches; see the module
+/// docs for how steps, unions and branching predicates build it.
+pub fn path_to_datalog(p: &PathQuery) -> Program {
+    let mut gen = PsiGen {
+        rules: vec![
+            // V(0, #vroot). — the virtual root, annotated 1.
+            Rule::new(atom("V", [node(0), lbl(VROOT_LABEL)]), []),
+            // E2(f(p), f(n), l) :- E(p, n, l).
+            Rule::new(
+                atom("E2", [sk("f", [v("p")]), sk("f", [v("n")]), v("l")]),
+                [atom("E", [v("p"), v("n"), v("l")])],
+            ),
+        ],
+        counter: 0,
+    };
+    if let Some(matches) = gen.translate(p, "V", 0) {
+        // E2(0, f(n), l) :- F(n, l).
+        gen.rules.push(Rule::new(
+            atom("E2", [node(0), sk("f", [v("n")]), v("l")]),
+            [gen_atom(&matches, 0, [v("n"), v("l")])],
+        ));
+    }
+    Program::new(gen.rules)
+}
+
+/// An atom `P(g0, …, g_{ctx-1}, tail…)` with the context prefix spelled
+/// out.
+fn gen_atom<I: IntoIterator<Item = Term>>(pred: &str, ctx: usize, tail: I) -> Atom {
+    let args: Vec<Term> = (0..ctx).map(|i| v(&format!("g{i}"))).chain(tail).collect();
+    atom(pred, args)
+}
+
+/// Rule generator for [`path_to_datalog`].
+struct PsiGen {
+    rules: Vec<Rule>,
+    counter: usize,
+}
+
+impl PsiGen {
+    fn fresh(&mut self, hint: &str) -> String {
+        let n = self.counter;
+        self.counter += 1;
+        format!("{hint}{n}")
+    }
+
+    /// Translate `p` against the context predicate `in_pred` (arity
+    /// `ctx + 2`: the pass-through prefix plus `(nid, label)`).
+    /// Returns the predicate holding `p`'s matches, or `None` when `p`
+    /// provably has none ([`PathQuery::Empty`] anywhere on the spine).
+    fn translate(&mut self, p: &PathQuery, in_pred: &str, ctx: usize) -> Option<String> {
+        match p {
+            PathQuery::Root => Some(in_pred.to_owned()),
+            PathQuery::Empty => None,
+            PathQuery::Step(inner, step) => {
+                let q = self.translate(inner, in_pred, ctx)?;
+                Some(self.step_rules(&q, *step, ctx))
+            }
+            PathQuery::Union(a, b) => {
+                let qa = self.translate(a, in_pred, ctx);
+                let qb = self.translate(b, in_pred, ctx);
+                match (qa, qb) {
+                    (None, x) => x,
+                    (x, None) => x,
+                    (Some(qa), Some(qb)) => {
+                        let out = self.fresh("U");
+                        for q in [qa, qb] {
+                            // U(…, n, l) :- Q(…, n, l).
+                            self.rules.push(Rule::new(
+                                gen_atom(&out, ctx, [v("n"), v("l")]),
+                                [gen_atom(&q, ctx, [v("n"), v("l")])],
+                            ));
+                        }
+                        Some(out)
+                    }
+                }
+            }
+            PathQuery::Filter(inner, qualifier) => {
+                let q = self.translate(inner, in_pred, ctx)?;
+                // Seed the qualifier from every match at once, carrying
+                // the match (and its annotation) in two extra context
+                // columns: S(…, n, l, n, l) :- Q(…, n, l).
+                let seed = self.fresh("S");
+                self.rules.push(Rule::new(
+                    gen_atom(&seed, ctx, [v("n"), v("l"), v("n"), v("l")]),
+                    [gen_atom(&q, ctx, [v("n"), v("l")])],
+                ));
+                let f = self.translate(qualifier, &seed, ctx + 2)?;
+                // Project the qualifier's matches away; annotated
+                // projection sums them — exactly the `p[q]` scaling.
+                // F(…, n, l) :- Qual(…, n, l, m, ml).
+                let out = self.fresh("F");
+                self.rules.push(Rule::new(
+                    gen_atom(&out, ctx, [v("n"), v("l")]),
+                    [gen_atom(&f, ctx, [v("n"), v("l"), v("m"), v("ml")])],
+                ));
+                Some(out)
+            }
+        }
+    }
+
+    /// Emit the rules for one navigation step from `q`'s matches.
+    fn step_rules(&mut self, q: &str, step: Step, ctx: usize) -> String {
         let test_term = match step.test {
             NodeTest::Wildcard => v("l"),
             NodeTest::Label(l) => lbl(l.name()),
         };
+        let out = self.fresh("C");
         match step.axis {
             Axis::SelfAxis => {
-                // Ci+1(n, a) :- Ci(n, a).
-                rules.push(Rule::new(
-                    atom(&next, [v("n"), test_term.clone()]),
-                    [atom(&ctx, [v("n"), test_term])],
+                // C(…, n, t) :- Q(…, n, t).
+                self.rules.push(Rule::new(
+                    gen_atom(&out, ctx, [v("n"), test_term.clone()]),
+                    [gen_atom(q, ctx, [v("n"), test_term])],
                 ));
             }
             Axis::Child => {
-                // Ci+1(n, a) :- Ci(p, _), E(p, n, a).
-                rules.push(Rule::new(
-                    atom(&next, [v("n"), test_term.clone()]),
+                // C(…, n, t) :- Q(…, p, _), E(p, n, t).
+                self.rules.push(Rule::new(
+                    gen_atom(&out, ctx, [v("n"), test_term.clone()]),
                     [
-                        atom(&ctx, [v("p"), v("pl")]),
+                        gen_atom(q, ctx, [v("p"), v("pl")]),
                         atom("E", [v("p"), v("n"), test_term]),
                     ],
                 ));
             }
-            Axis::Descendant => {
-                // D(n,l) :- Ci(n,l).    D(n,l) :- D(p,_), E(p,n,l).
-                // Ci+1(n,a) :- D(n,a).
-                let d = format!("D{}", i + 1);
-                rules.push(Rule::new(
-                    atom(&d, [v("n"), v("l")]),
-                    [atom(&ctx, [v("n"), v("l")])],
-                ));
-                rules.push(Rule::new(
-                    atom(&d, [v("n"), v("l")]),
+            Axis::Descendant | Axis::StrictDescendant => {
+                // D seeded from the matches themselves (descendant-or-
+                // self, the paper's semantics) or from their children
+                // (the strict extension), then the edge recursion. A
+                // wildcard test needs no filter pass, so D *is* the
+                // output predicate (one predicate and one delta round
+                // saved); a label test gets a final filter rule.
+                let d = if step.test == NodeTest::Wildcard {
+                    out.clone()
+                } else {
+                    self.fresh("D")
+                };
+                let seed = if step.axis == Axis::Descendant {
+                    Rule::new(
+                        gen_atom(&d, ctx, [v("n"), v("l")]),
+                        [gen_atom(q, ctx, [v("n"), v("l")])],
+                    )
+                } else {
+                    Rule::new(
+                        gen_atom(&d, ctx, [v("n"), v("l")]),
+                        [
+                            gen_atom(q, ctx, [v("p"), v("pl")]),
+                            atom("E", [v("p"), v("n"), v("l")]),
+                        ],
+                    )
+                };
+                self.rules.push(seed);
+                // D(…, n, l) :- D(…, p, _), E(p, n, l).
+                self.rules.push(Rule::new(
+                    gen_atom(&d, ctx, [v("n"), v("l")]),
                     [
-                        atom(&d, [v("p"), v("pl")]),
+                        gen_atom(&d, ctx, [v("p"), v("pl")]),
                         atom("E", [v("p"), v("n"), v("l")]),
                     ],
                 ));
-                rules.push(Rule::new(
-                    atom(&next, [v("n"), test_term.clone()]),
-                    [atom(&d, [v("n"), test_term])],
-                ));
-            }
-            Axis::StrictDescendant => {
-                // seed with the children, then the same recursion
-                let d = format!("D{}", i + 1);
-                rules.push(Rule::new(
-                    atom(&d, [v("n"), v("l")]),
-                    [
-                        atom(&ctx, [v("p"), v("pl")]),
-                        atom("E", [v("p"), v("n"), v("l")]),
-                    ],
-                ));
-                rules.push(Rule::new(
-                    atom(&d, [v("n"), v("l")]),
-                    [
-                        atom(&d, [v("p"), v("pl")]),
-                        atom("E", [v("p"), v("n"), v("l")]),
-                    ],
-                ));
-                rules.push(Rule::new(
-                    atom(&next, [v("n"), test_term.clone()]),
-                    [atom(&d, [v("n"), test_term])],
-                ));
+                if d != out {
+                    // C(…, n, t) :- D(…, n, t).
+                    self.rules.push(Rule::new(
+                        gen_atom(&out, ctx, [v("n"), test_term.clone()]),
+                        [gen_atom(&d, ctx, [v("n"), test_term])],
+                    ));
+                }
             }
         }
-        ctx = next;
+        out
     }
-    // E'(f(p), f(n), l) :- E(p, n, l).
-    rules.push(Rule::new(
-        atom("E2", [sk("f", [v("p")]), sk("f", [v("n")]), v("l")]),
-        [atom("E", [v("p"), v("n"), v("l")])],
-    ));
-    // E'(0, f(n), l) :- Cn(n, l).
-    rules.push(Rule::new(
-        atom("E2", [node(0), sk("f", [v("n")]), v("l")]),
-        [atom(&ctx, [v("n"), v("l")])],
-    ));
-    Program::new(rules)
 }
 
 /// Run ψ(φ(v)) for a step chain: shred, evaluate the program, return
@@ -174,24 +281,33 @@ pub fn shredded_eval<K: Semiring>(
     forest: &Forest<K>,
     steps: &[Step],
 ) -> Result<KRelation<K>, DatalogError> {
+    shredded_eval_path(forest, &PathQuery::from_steps(steps))
+}
+
+/// Run ψ(φ(v)) for any fragment query: shred, evaluate the program,
+/// return the raw `E'` relation (garbage included).
+pub fn shredded_eval_path<K: Semiring>(
+    forest: &Forest<K>,
+    p: &PathQuery,
+) -> Result<KRelation<K>, DatalogError> {
     let e = shred(forest);
     let db = Database::new().with("E", e);
-    let prog = xpath_to_datalog(steps);
-    let out = crate::datalog::eval_datalog(&prog, &db)?;
-    Ok(out
-        .get("E2")
-        .cloned()
+    let prog = path_to_datalog(p);
+    let mut idb = crate::datalog::eval_datalog_idb(&prog, &db)?;
+    Ok(idb
+        .remove("E2")
         .unwrap_or_else(|| KRelation::new(edge_schema())))
 }
 
 /// Remove tuples not reachable from a root (pid 0) tuple.
 pub fn garbage_collect<K: Semiring>(rel: &KRelation<K>) -> KRelation<K> {
+    use std::collections::{HashMap, HashSet};
     // children-by-pid index over the support
-    let mut by_pid: BTreeMap<&RelValue, Vec<&Vec<RelValue>>> = BTreeMap::new();
+    let mut by_pid: HashMap<&RelValue, Vec<&Vec<RelValue>>> = HashMap::new();
     for (t, _) in rel.iter() {
         by_pid.entry(&t[0]).or_default().push(t);
     }
-    let mut reachable: std::collections::BTreeSet<&RelValue> = std::collections::BTreeSet::new();
+    let mut reachable: HashSet<&RelValue> = HashSet::new();
     let zero = RelValue::Node(0);
     let mut stack: Vec<&RelValue> = vec![&zero];
     while let Some(pid) = stack.pop() {
@@ -266,7 +382,16 @@ pub fn eval_steps_via_shredding<K: Semiring>(
     forest: &Forest<K>,
     steps: &[Step],
 ) -> Result<Forest<K>, DatalogError> {
-    let raw = shredded_eval(forest, steps)?;
+    eval_path_via_shredding(forest, &PathQuery::from_steps(steps))
+}
+
+/// End-to-end shredded evaluation of any §7-fragment query: shred,
+/// run ψ, garbage-collect, decode back to a forest.
+pub fn eval_path_via_shredding<K: Semiring>(
+    forest: &Forest<K>,
+    p: &PathQuery,
+) -> Result<Forest<K>, DatalogError> {
+    let raw = shredded_eval_path(forest, p)?;
     let clean = garbage_collect(&raw);
     decode(&clean).ok_or_else(|| DatalogError {
         msg: "shredded result is not forest-shaped".into(),
@@ -510,5 +635,132 @@ mod tests {
         let f = fig4_source();
         let rt = decode(&shred(&f)).unwrap();
         assert_eq!(rt, f);
+    }
+
+    /// Theorem-2-style check on the *full* fragment: ψ followed by
+    /// GC + decode equals the direct path-algebra evaluation.
+    fn check_path(p: &PathQuery, f: &Forest<NatPoly>) {
+        let shredded = eval_path_via_shredding(f, p).unwrap();
+        let direct = axml_core::eval_path(f, p);
+        assert_eq!(shredded, direct, "ψ disagrees with direct eval on {p}");
+    }
+
+    fn step(axis: Axis, test: NodeTest) -> Step {
+        Step { axis, test }
+    }
+
+    #[test]
+    fn theorem2_on_unions() {
+        let f = fig4_source();
+        // //c | //b
+        let p = PathQuery::Union(
+            Box::new(PathQuery::from_steps(&[dsc("c")])),
+            Box::new(PathQuery::from_steps(&[dsc("b")])),
+        );
+        check_path(&p, &f);
+        // overlapping branches: //c | child::*/child::* (annotations add)
+        let q = PathQuery::Union(
+            Box::new(PathQuery::from_steps(&[dsc("c")])),
+            Box::new(PathQuery::from_steps(&[
+                step(Axis::Child, NodeTest::Wildcard),
+                step(Axis::Child, NodeTest::Wildcard),
+            ])),
+        );
+        check_path(&q, &f);
+    }
+
+    #[test]
+    fn theorem2_on_branching_predicates() {
+        let f = fig4_source();
+        // //a[child::c] — scaled by the c-children total
+        let p = PathQuery::Filter(
+            Box::new(PathQuery::from_steps(&[dsc("a")])),
+            Box::new(PathQuery::Step(
+                Box::new(PathQuery::Root),
+                step(Axis::Child, NodeTest::Label(Label::new("c"))),
+            )),
+        );
+        check_path(&p, &f);
+        // //a[child::c]/child::d — navigation after a qualifier
+        let q = PathQuery::Step(
+            Box::new(p),
+            step(Axis::Child, NodeTest::Label(Label::new("d"))),
+        );
+        check_path(&q, &f);
+        // //d[descendant::c] — recursive qualifier
+        let r = PathQuery::Filter(
+            Box::new(PathQuery::from_steps(&[dsc("d")])),
+            Box::new(PathQuery::Step(Box::new(PathQuery::Root), dsc("c"))),
+        );
+        check_path(&r, &f);
+    }
+
+    #[test]
+    fn theorem2_on_nested_filters_and_unions() {
+        let f = fig4_source();
+        // //a[child::c | child::d] — union inside a qualifier
+        let union_qual = PathQuery::Union(
+            Box::new(PathQuery::Step(
+                Box::new(PathQuery::Root),
+                step(Axis::Child, NodeTest::Label(Label::new("c"))),
+            )),
+            Box::new(PathQuery::Step(
+                Box::new(PathQuery::Root),
+                step(Axis::Child, NodeTest::Label(Label::new("d"))),
+            )),
+        );
+        let p = PathQuery::Filter(
+            Box::new(PathQuery::from_steps(&[dsc("a")])),
+            Box::new(union_qual),
+        );
+        check_path(&p, &f);
+        // //a[child::*[child::c]] — a qualifier inside a qualifier
+        let inner = PathQuery::Filter(
+            Box::new(PathQuery::Step(
+                Box::new(PathQuery::Root),
+                step(Axis::Child, NodeTest::Wildcard),
+            )),
+            Box::new(PathQuery::Step(
+                Box::new(PathQuery::Root),
+                step(Axis::Child, NodeTest::Label(Label::new("c"))),
+            )),
+        );
+        let q = PathQuery::Filter(
+            Box::new(PathQuery::from_steps(&[dsc("a")])),
+            Box::new(inner),
+        );
+        check_path(&q, &f);
+    }
+
+    #[test]
+    fn empty_path_yields_empty_forest() {
+        let f = fig4_source();
+        let out = eval_path_via_shredding(&f, &PathQuery::Empty).unwrap();
+        assert!(out.is_empty());
+        // an empty qualifier annihilates its input
+        let p = PathQuery::Filter(
+            Box::new(PathQuery::from_steps(&[dsc("c")])),
+            Box::new(PathQuery::Empty),
+        );
+        let out2 = eval_path_via_shredding(&f, &p).unwrap();
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn filter_annotation_is_the_qualifier_total() {
+        // <r> <a {p}> b {q} b {q2}? ... check the scaling precisely
+        let f: Forest<NatPoly> = parse_forest("<r> <a {w1}> b {u1} c {u2} </a> </r>").unwrap();
+        // //a[child::b]
+        let p = PathQuery::Filter(
+            Box::new(PathQuery::from_steps(&[dsc("a")])),
+            Box::new(PathQuery::Step(
+                Box::new(PathQuery::Root),
+                step(Axis::Child, NodeTest::Label(Label::new("b"))),
+            )),
+        );
+        let out = eval_path_via_shredding(&f, &p).unwrap();
+        assert_eq!(out.len(), 1);
+        let (_, k) = out.iter().next().unwrap();
+        assert_eq!(k, &np("w1*u1"));
     }
 }

@@ -110,6 +110,13 @@ impl<T: Ord + Clone, K: Semiring> KSet<T, K> {
         self.entries.get(item).cloned().unwrap_or_else(K::zero)
     }
 
+    /// The annotation of `item`, borrowed (`None` if absent) — for
+    /// hot paths that must not clone large annotations just to
+    /// compare them.
+    pub fn get_ref(&self, item: &T) -> Option<&K> {
+        self.entries.get(item)
+    }
+
     /// Does `item` have a nonzero annotation?
     pub fn contains(&self, item: &T) -> bool {
         self.entries.contains_key(item)

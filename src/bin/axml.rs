@@ -150,7 +150,7 @@ trait SemiringDispatch {
 
 /// Run a query through the engine facade: one symbolic document load,
 /// runtime semiring + route selection. Semirings whose documents are
-/// not ℕ[X]-representable (`bool`, `clearance`, and PosBool documents
+/// not ℕ\[X\]-representable (`bool`, `clearance`, and PosBool documents
 /// written in DNF syntax) keep the pre-facade static path.
 fn query_cmd(opts: &Opts, query: &str) -> Result<(), String> {
     match opts.semiring.as_str() {
@@ -182,7 +182,7 @@ fn query_cmd(opts: &Opts, query: &str) -> Result<(), String> {
 }
 
 /// The compile-time-`K` path: direct evaluation only, for document
-/// formats the ℕ[X] engine store cannot hold.
+/// formats the ℕ\[X\] engine store cannot hold.
 fn static_query<K: Semiring + ParseAnnotation>(opts: &Opts, query: &str) -> Result<(), String> {
     if opts.route != "direct" || opts.provenance_first {
         return Err(format!(
