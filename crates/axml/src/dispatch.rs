@@ -10,37 +10,58 @@
 
 use crate::options::SemiringKind;
 use crate::result::AxmlResult;
-use axml_core::{compile_optimized, Query};
+use axml_core::{compile_optimized, CompiledQuery, Query};
+use axml_nrc::CompiledExpr;
 use axml_semiring::trio::collapse::{natpoly_to_posbool, natpoly_to_trio, natpoly_to_why};
 use axml_semiring::{FnHom, Nat, NatPoly, PosBool, Prob, Semiring, Trio, Tropical, Valuation, Why};
 use axml_uxml::{Forest, Value};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Everything `prepare` produces for one semiring: the typed core
-/// query (direct route) and the normalized `NRC_K + srt` term
-/// (compilation route).
+/// query and the normalized `NRC_K + srt` term (kept as the
+/// differential reference interpretations), plus the slot-resolved
+/// execution plans the `Direct` and `ViaNrc` routes actually run.
 pub(crate) struct Artifacts<K: Semiring> {
     pub core: Query<K>,
     pub nrc: axml_nrc::Expr<K>,
+    /// Compiled plan for the direct route (numeric frame slots).
+    pub core_plan: CompiledQuery<K>,
+    /// Compiled plan for the NRC route (slots + fused label tests,
+    /// kids-flattening and descendant sweeps; iterative `srt`).
+    pub nrc_plan: CompiledExpr<K>,
 }
 
 impl<K: Semiring> Artifacts<K> {
-    /// Build both artifacts from an elaborated core query.
+    /// Build all four artifacts from an elaborated core query.
     pub fn from_core(core: Query<K>) -> Self {
         let nrc = compile_optimized(&core);
-        Artifacts { core, nrc }
+        let core_plan = CompiledQuery::compile(&core);
+        let nrc_plan = CompiledExpr::compile(&nrc);
+        Artifacts {
+            core,
+            nrc,
+            core_plan,
+            nrc_plan,
+        }
     }
 }
 
 impl Artifacts<NatPoly> {
-    /// Push the ℕ\[X\] artifacts through a homomorphism. The query is
+    /// Push the ℕ\[X\] artifacts through a homomorphism and recompile
+    /// the plans (plan lowering is linear in the term). The query is
     /// small (annotations occur only under `annot`), so this is cheap;
     /// it still runs at most once per kind per prepared query.
     pub fn specialize<S: KindDispatch>(&self) -> Artifacts<S> {
         let h = FnHom::new(S::from_poly);
+        let core = axml_core::hom::map_query(&h, &self.core);
+        let nrc = axml_nrc::hom::map_expr(&h, &self.nrc);
+        let core_plan = CompiledQuery::compile(&core);
+        let nrc_plan = CompiledExpr::compile(&nrc);
         Artifacts {
-            core: axml_core::hom::map_query(&h, &self.core),
-            nrc: axml_nrc::hom::map_expr(&h, &self.nrc),
+            core,
+            nrc,
+            core_plan,
+            nrc_plan,
         }
     }
 }
@@ -57,16 +78,65 @@ pub(crate) struct KindCaches {
     pub prob: OnceLock<Artifacts<Prob>>,
 }
 
+/// One evictable per-kind document slot. `RwLock<Option<…>>` instead
+/// of `OnceLock` so the engine's size-capped eviction policy can clear
+/// it; correctness never depends on a slot staying filled (an evicted
+/// specialization is simply recomputed on next use).
+pub(crate) type DocSlot<S> = RwLock<Option<Arc<Forest<S>>>>;
+
 /// Per-kind specialized copies of a loaded document, filled on first
-/// use by each kind and shared by every query thereafter.
+/// use by each kind and shared by every query thereafter (until the
+/// engine's document-cache cap, if any, evicts them oldest-first).
 #[derive(Debug, Default)]
 pub(crate) struct DocCaches {
-    pub nat: OnceLock<Arc<Forest<Nat>>>,
-    pub posbool: OnceLock<Arc<Forest<PosBool>>>,
-    pub tropical: OnceLock<Arc<Forest<Tropical>>>,
-    pub why: OnceLock<Arc<Forest<Why>>>,
-    pub trio: OnceLock<Arc<Forest<Trio>>>,
-    pub prob: OnceLock<Arc<Forest<Prob>>>,
+    pub nat: DocSlot<Nat>,
+    pub posbool: DocSlot<PosBool>,
+    pub tropical: DocSlot<Tropical>,
+    pub why: DocSlot<Why>,
+    pub trio: DocSlot<Trio>,
+    pub prob: DocSlot<Prob>,
+}
+
+impl DocCaches {
+    /// Drop the cached specialization for `kind`, if any. `NatPoly`
+    /// has no slot — the symbolic document is the source of truth and
+    /// is never evicted.
+    pub fn clear(&self, kind: SemiringKind) {
+        fn take<S: Semiring>(slot: &DocSlot<S>) {
+            *slot.write().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+        match kind {
+            SemiringKind::Nat => take(&self.nat),
+            SemiringKind::PosBool => take(&self.posbool),
+            SemiringKind::Tropical => take(&self.tropical),
+            SemiringKind::Why => take(&self.why),
+            SemiringKind::Trio => take(&self.trio),
+            SemiringKind::Prob => take(&self.prob),
+            SemiringKind::NatPoly => {}
+        }
+    }
+
+    /// The kinds currently holding a cached specialization (for
+    /// introspection and the eviction tests). Driven by
+    /// [`SemiringKind::ALL`] through an exhaustive match, so a new
+    /// kind cannot be silently exempted.
+    pub fn filled(&self) -> Vec<SemiringKind> {
+        fn has<S: Semiring>(slot: &DocSlot<S>) -> bool {
+            slot.read().unwrap_or_else(|e| e.into_inner()).is_some()
+        }
+        SemiringKind::ALL
+            .into_iter()
+            .filter(|kind| match kind {
+                SemiringKind::Nat => has(&self.nat),
+                SemiringKind::PosBool => has(&self.posbool),
+                SemiringKind::Tropical => has(&self.tropical),
+                SemiringKind::Why => has(&self.why),
+                SemiringKind::Trio => has(&self.trio),
+                SemiringKind::Prob => has(&self.prob),
+                SemiringKind::NatPoly => false,
+            })
+            .collect()
+    }
 }
 
 /// A runtime-selectable semiring: the canonical homomorphism from
@@ -80,7 +150,7 @@ pub(crate) trait KindDispatch: Semiring {
     /// This kind's artifact slot on a prepared query.
     fn artifact_cache(c: &KindCaches) -> &OnceLock<Artifacts<Self>>;
     /// This kind's document slot on a stored document.
-    fn doc_cache(d: &DocCaches) -> &OnceLock<Arc<Forest<Self>>>;
+    fn doc_cache(d: &DocCaches) -> &DocSlot<Self>;
     /// Tag a typed value as an [`AxmlResult`].
     fn wrap(v: Value<Self>) -> AxmlResult;
 }
@@ -95,7 +165,7 @@ macro_rules! dispatch_kind {
             fn artifact_cache(c: &KindCaches) -> &OnceLock<Artifacts<Self>> {
                 &c.$slot
             }
-            fn doc_cache(d: &DocCaches) -> &OnceLock<Arc<Forest<Self>>> {
+            fn doc_cache(d: &DocCaches) -> &DocSlot<Self> {
                 &d.$slot
             }
             fn wrap(v: Value<Self>) -> AxmlResult {

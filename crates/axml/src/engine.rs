@@ -10,16 +10,17 @@
 
 use crate::dispatch::{DocCaches, KindDispatch};
 use crate::error::AxmlError;
-use crate::options::EvalOptions;
+use crate::options::{EvalOptions, SemiringKind};
 use crate::prepared::PreparedQuery;
 use crate::result::AxmlResult;
 use axml_semiring::{FnHom, NatPoly};
 use axml_uxml::{hom::map_forest, parse_forest, Forest};
-use std::collections::BTreeMap;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard, Weak};
 
 /// One stored document: the symbolic original plus per-kind
-/// specializations, filled lazily.
+/// specializations, filled lazily (and evictable — see
+/// [`Engine::with_doc_cache_cap`]).
 #[derive(Debug)]
 pub(crate) struct StoredDoc {
     pub poly: Arc<Forest<NatPoly>>,
@@ -32,14 +33,6 @@ impl StoredDoc {
             poly: Arc::new(poly),
             kinds: DocCaches::default(),
         })
-    }
-
-    /// The document specialized to `S`, computing and caching it on
-    /// first use.
-    pub(crate) fn in_kind<S: KindDispatch>(&self) -> Arc<Forest<S>> {
-        S::doc_cache(&self.kinds)
-            .get_or_init(|| Arc::new(map_forest(&FnHom::new(S::from_poly), &self.poly)))
-            .clone()
     }
 }
 
@@ -60,14 +53,96 @@ impl StoredDoc {
 #[derive(Debug, Default)]
 pub struct Engine {
     docs: RwLock<BTreeMap<String, Arc<StoredDoc>>>,
+    /// Optional cap on the number of per-kind document
+    /// specializations held across the whole store; `None` = unbounded
+    /// (every specialization is kept forever, the pre-cap behavior).
+    doc_cache_cap: Option<usize>,
+    /// Fill order of `(document, kind)` specializations, for
+    /// oldest-first eviction when the cap is exceeded. `Weak` so a
+    /// replaced/removed document neither leaks nor is kept alive by
+    /// its queue entries.
+    spec_queue: Mutex<VecDeque<(Weak<StoredDoc>, SemiringKind)>>,
 }
 
 type DocMap = BTreeMap<String, Arc<StoredDoc>>;
 
 impl Engine {
-    /// An engine with an empty document store.
+    /// An engine with an empty document store and no cap on the
+    /// per-kind document caches.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An engine whose per-kind document caches are size-capped:
+    /// at most `cap` specialized document copies (one copy =
+    /// one document × one [`SemiringKind`]) are held at a time, evicted
+    /// oldest-first. The symbolic ℕ\[X\] originals are never evicted —
+    /// they are the source of truth — and an evicted specialization is
+    /// transparently recomputed on next use, so the cap trades CPU for
+    /// memory on servers holding many large documents across many
+    /// semirings. A cap of 0 disables specialization caching entirely.
+    pub fn with_doc_cache_cap(cap: usize) -> Self {
+        Engine {
+            doc_cache_cap: Some(cap),
+            ..Self::default()
+        }
+    }
+
+    /// The configured specialization-cache cap, if any.
+    pub fn doc_cache_cap(&self) -> Option<usize> {
+        self.doc_cache_cap
+    }
+
+    /// Which semirings currently hold a cached specialization of the
+    /// named document (introspection; `NatPoly` is the always-present
+    /// symbolic original and is not listed).
+    pub fn cached_specializations(&self, name: &str) -> Vec<SemiringKind> {
+        self.stored(name)
+            .map(|d| d.kinds.filled())
+            .unwrap_or_default()
+    }
+
+    /// The document specialized to `S`, computing, caching and
+    /// (when capped) registering it for oldest-first eviction.
+    pub(crate) fn specialized<S: KindDispatch>(&self, doc: &Arc<StoredDoc>) -> Arc<Forest<S>> {
+        let slot = S::doc_cache(&doc.kinds);
+        if let Some(f) = slot.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+            return f.clone();
+        }
+        let fresh = Arc::new(map_forest(&FnHom::new(S::from_poly), &doc.poly));
+        {
+            let mut w = slot.write().unwrap_or_else(|e| e.into_inner());
+            if let Some(existing) = w.as_ref() {
+                // Another thread won the race; keep its copy (and its
+                // queue entry).
+                return existing.clone();
+            }
+            *w = Some(fresh.clone());
+        }
+        self.note_specialization(doc, S::KIND);
+        fresh
+    }
+
+    fn note_specialization(&self, doc: &Arc<StoredDoc>, kind: SemiringKind) {
+        let Some(cap) = self.doc_cache_cap else {
+            return;
+        };
+        let mut q = self.spec_queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back((Arc::downgrade(doc), kind));
+        if q.len() > cap {
+            // Entries for replaced/removed documents are already gone
+            // from the store; drop them first so they don't occupy cap
+            // slots and force a *live* specialization out prematurely.
+            q.retain(|(w, _)| w.strong_count() > 0);
+        }
+        while q.len() > cap {
+            let Some((weak, k)) = q.pop_front() else {
+                break;
+            };
+            if let Some(d) = weak.upgrade() {
+                d.kinds.clear(k);
+            }
+        }
     }
 
     // The store holds only fully-constructed `Arc`s, so a panic while

@@ -115,6 +115,19 @@ pub enum AxmlError {
         /// as reported by `axml_core::path::extract_path`.
         construct: String,
     },
+    /// `Route::Differential` found a route's compiled plan and its
+    /// tree-walking interpreter disagreeing — a bug in the plan
+    /// compiler or in the interpreter.
+    EvaluatorDisagreement {
+        /// The semiring the disagreement occurred in.
+        semiring: SemiringKind,
+        /// The route whose two evaluators diverged.
+        route: Route,
+        /// The compiled plan's result, rendered.
+        compiled: String,
+        /// The interpreter's result, rendered.
+        interpreted: String,
+    },
     /// `Route::Differential` found two routes disagreeing — a bug in
     /// one of the evaluators (or in a user-provided extension).
     RouteDisagreement {
@@ -210,6 +223,16 @@ impl fmt::Display for AxmlError {
                      which has no §7 relational translation"
                 )
             }
+            AxmlError::EvaluatorDisagreement {
+                semiring,
+                route,
+                compiled,
+                interpreted,
+            } => write!(
+                f,
+                "differential check failed in {semiring}: the {route} compiled plan produced\n  \
+                 {compiled}\nbut its interpreter produced\n  {interpreted}"
+            ),
             AxmlError::RouteDisagreement {
                 semiring,
                 left_route,

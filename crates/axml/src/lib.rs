@@ -20,9 +20,9 @@
 //!                   ┌───────────┼─────────────┬──────────────┐
 //!                   ▼           ▼             ▼              ▼
 //!                Direct      ViaNrc        Shredded      Differential
-//!             (big-step    (NRC_K + srt  (§7: shred →   (run 2–3 routes,
-//!              K-UXML       compilation   Datalog →      assert agreement)
-//!              evaluator)   semantics)    decode)
+//!             (compiled    (compiled     (§7: shred →   (2–3 routes ×
+//!              slot plan;   NRC_K + srt   Datalog →      compiled+interp,
+//!              K-UXML)      slot plan)    decode)        assert agreement)
 //!                   └───────────┴─────────────┴──────────────┘
 //!                                   │
 //!                                   ▼

@@ -116,8 +116,12 @@ pub enum Route {
     /// Run `Direct` *and* `ViaNrc` (and `Shredded` too when the query
     /// is in the §7 fragment), assert they agree, and return the
     /// result — the workspace's differential tests as a user-facing
-    /// debugging tool. Disagreement reports
-    /// [`crate::AxmlError::RouteDisagreement`].
+    /// debugging tool. For `Direct` and `ViaNrc` this checks **both
+    /// evaluators of each route**: the compiled slot plan against the
+    /// tree-walking reference interpreter
+    /// ([`crate::AxmlError::EvaluatorDisagreement`] on divergence),
+    /// then the routes against each other
+    /// ([`crate::AxmlError::RouteDisagreement`]).
     Differential,
 }
 

@@ -3,12 +3,16 @@
 //!
 //! `compile` runs the whole front half of the pipeline — surface
 //! parse, elaboration to the typed core, compilation to `NRC_K + srt`,
-//! normalization by the Prop 5 axioms, free-variable analysis, and
+//! normalization by the Prop 5 axioms, **lowering both routes to
+//! slot-resolved execution plans**, free-variable analysis, and
 //! step-chain extraction for the relational route — over ℕ\[X\], the
-//! universal semiring. Per-kind copies of the two evaluation artifacts
-//! are produced on first use through the canonical homomorphisms and
-//! cached (`OnceLock`), so steady-state `eval` does no per-call
-//! translation work in any semiring.
+//! universal semiring. Per-kind copies of the evaluation artifacts
+//! (interpreter terms *and* compiled plans) are produced on first use
+//! through the canonical homomorphisms and cached (`OnceLock`), so
+//! steady-state `eval` does no per-call translation work in any
+//! semiring: `Route::Direct` and `Route::ViaNrc` run the compiled
+//! plans, and `Route::Differential` additionally replays the
+//! tree-walking interpreters and asserts agreement.
 
 use crate::dispatch::{Artifacts, KindCaches, KindDispatch};
 use crate::engine::Engine;
@@ -163,7 +167,7 @@ impl PreparedQuery {
         opts: EvalOptions,
         aliases: &[(&str, &str)],
     ) -> Result<Value<NatPoly>, AxmlError> {
-        let inputs = self.bind_inputs(engine, aliases, |d| d.poly.clone())?;
+        let inputs = self.bind_inputs(engine, aliases, |_, d| d.poly.clone())?;
         eval_route(
             &self.inner.poly,
             &self.inner.path,
@@ -183,7 +187,7 @@ impl PreparedQuery {
     ) -> Result<AxmlResult, AxmlError> {
         let arts =
             S::artifact_cache(&self.inner.caches).get_or_init(|| self.inner.poly.specialize::<S>());
-        let inputs = self.bind_inputs(engine, aliases, |d| d.in_kind::<S>())?;
+        let inputs = self.bind_inputs(engine, aliases, |e, d| e.specialized::<S>(d))?;
         eval_route(arts, &self.inner.path, &inputs, opts.route, S::KIND).map(S::wrap)
     }
 
@@ -192,7 +196,7 @@ impl PreparedQuery {
         &self,
         engine: &Engine,
         aliases: &[(&str, &str)],
-        project: impl Fn(&crate::engine::StoredDoc) -> Arc<Forest<K>>,
+        project: impl Fn(&Engine, &Arc<crate::engine::StoredDoc>) -> Arc<Forest<K>>,
     ) -> Result<BoundInputs<K>, AxmlError> {
         self.inner
             .free_vars
@@ -204,7 +208,7 @@ impl PreparedQuery {
                     .map(|(_, d)| *d)
                     .unwrap_or(var);
                 let stored = engine.stored_or_err(doc_name)?;
-                Ok((var.clone(), project(&stored)))
+                Ok((var.clone(), project(engine, &stored)))
             })
             .collect()
     }
@@ -214,6 +218,12 @@ impl PreparedQuery {
 type BoundInputs<K> = Vec<(String, Arc<Forest<K>>)>;
 
 /// Evaluate prepared artifacts over bound inputs along one route.
+///
+/// `Direct` and `ViaNrc` run the slot-resolved **compiled plans**;
+/// the tree-walking interpreters survive as the differential
+/// reference: `Differential` evaluates compiled *and* interpreted on
+/// both routes (plus the relational route when the query is in the §7
+/// fragment) and asserts agreement.
 fn eval_route<K: Semiring>(
     arts: &Artifacts<K>,
     path: &Result<(String, PathQuery), Ineligible>,
@@ -227,7 +237,25 @@ fn eval_route<K: Semiring>(
         Route::Shredded => eval_shredded(path, inputs, route),
         Route::Differential => {
             let direct = eval_direct(arts, inputs)?;
+            let direct_interp = eval_direct_interpreted(arts, inputs)?;
+            if direct != direct_interp {
+                return Err(evaluator_disagreement(
+                    kind,
+                    Route::Direct,
+                    &direct,
+                    &direct_interp,
+                ));
+            }
             let nrc = eval_nrc(arts, inputs)?;
+            let nrc_interp = eval_nrc_interpreted(arts, inputs)?;
+            if nrc != nrc_interp {
+                return Err(evaluator_disagreement(
+                    kind,
+                    Route::ViaNrc,
+                    &nrc,
+                    &nrc_interp,
+                ));
+            }
             if direct != nrc {
                 return Err(disagreement(
                     kind,
@@ -270,13 +298,41 @@ fn disagreement<K: Semiring>(
     }
 }
 
+fn evaluator_disagreement<K: Semiring>(
+    semiring: SemiringKind,
+    route: Route,
+    compiled: &Value<K>,
+    interpreted: &Value<K>,
+) -> AxmlError {
+    AxmlError::EvaluatorDisagreement {
+        semiring,
+        route,
+        compiled: compiled.to_string(),
+        interpreted: interpreted.to_string(),
+    }
+}
+
+/// The direct route: the slot-resolved compiled plan.
 fn eval_direct<K: Semiring>(
     arts: &Artifacts<K>,
     inputs: &[(String, Arc<Forest<K>>)],
 ) -> Result<Value<K>, AxmlError> {
-    // The env needs owned Values; this clone is shallow — a Forest is
+    // The plan needs owned Values; this clone is shallow — a Forest is
     // a map over Arc'd trees, so only the top-level roots (usually
     // one) and their annotations are copied, never the document body.
+    let bound: Vec<(&str, Value<K>)> = inputs
+        .iter()
+        .map(|(n, f)| (n.as_str(), Value::Set((**f).clone())))
+        .collect();
+    Ok(arts.core_plan.eval(&bound)?)
+}
+
+/// The direct route's tree-walking interpreter — the differential
+/// reference for [`eval_direct`].
+fn eval_direct_interpreted<K: Semiring>(
+    arts: &Artifacts<K>,
+    inputs: &[(String, Arc<Forest<K>>)],
+) -> Result<Value<K>, AxmlError> {
     let mut env = QueryEnv::from_bindings(
         inputs
             .iter()
@@ -285,7 +341,23 @@ fn eval_direct<K: Semiring>(
     Ok(eval_core(&arts.core, &mut env)?)
 }
 
+/// The NRC route: the slot-resolved compiled plan (fused label
+/// tests/descendant sweeps, iterative `srt`).
 fn eval_nrc<K: Semiring>(
+    arts: &Artifacts<K>,
+    inputs: &[(String, Arc<Forest<K>>)],
+) -> Result<Value<K>, AxmlError> {
+    let bound: Vec<(&str, &Forest<K>)> = inputs.iter().map(|(n, f)| (n.as_str(), &**f)).collect();
+    let out = arts.nrc_plan.eval_with_forests(&bound)?;
+    out.to_uxml().ok_or_else(|| AxmlError::Nrc {
+        msg: "query produced a non-UXML complex value".into(),
+        at: arts.nrc.to_string(),
+    })
+}
+
+/// The NRC route's Fig 8 interpreter — the differential reference for
+/// [`eval_nrc`].
+fn eval_nrc_interpreted<K: Semiring>(
     arts: &Artifacts<K>,
     inputs: &[(String, Arc<Forest<K>>)],
 ) -> Result<Value<K>, AxmlError> {

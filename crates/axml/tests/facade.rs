@@ -326,6 +326,98 @@ fn hostile_inputs_error_cleanly() {
     }
 }
 
+/// The per-kind document caches honor the construction-time cap:
+/// specializations are evicted oldest-first, and evaluation stays
+/// correct after eviction (the copy is transparently recomputed).
+#[test]
+fn doc_cache_cap_evicts_oldest_first() {
+    let engine = Engine::with_doc_cache_cap(2);
+    assert_eq!(engine.doc_cache_cap(), Some(2));
+    for name in ["A", "B", "C"] {
+        engine
+            .load_document(name, &format!("<r> {} {{2}} </r>", name.to_lowercase()))
+            .unwrap();
+    }
+    let nat = EvalOptions::new().semiring(SemiringKind::Nat);
+    for name in ["A", "B", "C"] {
+        let q = engine.prepare(&format!("${name}/*")).unwrap();
+        q.eval(&engine, nat).unwrap();
+    }
+    // Cap 2: A's Nat copy (oldest) was evicted; B and C are cached.
+    assert_eq!(engine.cached_specializations("A"), []);
+    assert_eq!(engine.cached_specializations("B"), [SemiringKind::Nat]);
+    assert_eq!(engine.cached_specializations("C"), [SemiringKind::Nat]);
+
+    // Evaluating A again recomputes (correctness unaffected) and
+    // pushes B out in turn.
+    let q = engine.prepare("$A/*").unwrap();
+    assert_eq!(q.eval(&engine, nat).unwrap().to_string(), "(a {2})");
+    assert_eq!(engine.cached_specializations("A"), [SemiringKind::Nat]);
+    assert_eq!(engine.cached_specializations("B"), []);
+
+    // Mixed kinds count against the same cap: two more kinds on C
+    // evict everything else.
+    let qc = engine.prepare("$C/*").unwrap();
+    qc.eval(&engine, EvalOptions::new().semiring(SemiringKind::Why))
+        .unwrap();
+    qc.eval(&engine, EvalOptions::new().semiring(SemiringKind::Trio))
+        .unwrap();
+    assert_eq!(engine.cached_specializations("A"), []);
+    assert_eq!(
+        engine.cached_specializations("C"),
+        [SemiringKind::Why, SemiringKind::Trio]
+    );
+}
+
+/// Queue entries for replaced documents must not occupy cap slots:
+/// with cap 2, replacing a specialized document and then specializing
+/// a third must keep the *live* oldest specialization cached.
+#[test]
+fn doc_cache_cap_ignores_dead_entries() {
+    let engine = Engine::with_doc_cache_cap(2);
+    let nat = EvalOptions::new().semiring(SemiringKind::Nat);
+    for name in ["A", "B"] {
+        engine.load_document(name, "<r> a </r>").unwrap();
+        engine
+            .prepare(&format!("${name}/*"))
+            .unwrap()
+            .eval(&engine, nat)
+            .unwrap();
+    }
+    // Replace B: its queued specialization entry is now dead.
+    engine.load_document("B", "<r> b </r>").unwrap();
+    engine.load_document("C", "<r> c </r>").unwrap();
+    engine.prepare("$C/*").unwrap().eval(&engine, nat).unwrap();
+    // Only two live specializations (A, C) exist — A must survive.
+    assert_eq!(engine.cached_specializations("A"), [SemiringKind::Nat]);
+    assert_eq!(engine.cached_specializations("C"), [SemiringKind::Nat]);
+}
+
+/// An uncapped engine (the default) never evicts; a 0-cap engine
+/// caches nothing but still answers correctly.
+#[test]
+fn doc_cache_cap_edge_cases() {
+    let uncapped = Engine::new();
+    assert_eq!(uncapped.doc_cache_cap(), None);
+    uncapped.load_document("S", "<r> a </r>").unwrap();
+    let q = uncapped.prepare("$S/*").unwrap();
+    for kind in SemiringKind::ALL {
+        q.eval(&uncapped, EvalOptions::new().semiring(kind))
+            .unwrap();
+    }
+    // All 6 non-symbolic kinds stay cached.
+    assert_eq!(uncapped.cached_specializations("S").len(), 6);
+
+    let nocache = Engine::with_doc_cache_cap(0);
+    nocache.load_document("S", "<r> a {3} </r>").unwrap();
+    let q = nocache.prepare("$S/*").unwrap();
+    let out = q
+        .eval(&nocache, EvalOptions::new().semiring(SemiringKind::Nat))
+        .unwrap();
+    assert_eq!(out.to_string(), "(a {3})");
+    assert_eq!(nocache.cached_specializations("S"), []);
+}
+
 #[test]
 fn tropical_costs_add_along_paths() {
     let engine = Engine::new();

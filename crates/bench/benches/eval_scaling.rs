@@ -42,13 +42,19 @@ fn eval_scaling(c: &mut Criterion) {
 }
 
 fn direct_vs_compiled(c: &mut Criterion) {
-    // The two semantics routes on the same workload: the NRC route
-    // pays for compilation-structure interpretation; the shape should
-    // track the direct evaluator within a small constant factor.
+    // The two semantics routes on the same workload, each in both
+    // implementations: the slot-resolved compiled plans (what
+    // `PreparedQuery` runs) and the tree-walking interpreters (the
+    // differential references). `via_nrc_srt` is the *route* benchmark
+    // and measures what `Route::ViaNrc` actually executes — the
+    // compiled plan of the axiom-normalized term; `via_nrc_interp`
+    // keeps the interpreter cost visible.
     let forest = Forest::unit(balanced_tree::<Nat>(6, 2));
     let q = parse_query::<Nat>(QUERY).unwrap();
     let core = elaborate(&q).unwrap();
-    let expr = axml_core::compile(&core);
+    let expr = axml_core::compile_optimized(&core);
+    let core_plan = axml_core::CompiledQuery::compile(&core);
+    let nrc_plan = axml_nrc::CompiledExpr::compile(&expr);
     let mut g = c.benchmark_group("semantics_route");
     g.bench_function("direct", |b| {
         b.iter(|| {
@@ -56,7 +62,21 @@ fn direct_vs_compiled(c: &mut Criterion) {
             eval_core(&core, &mut env).expect("evaluates")
         })
     });
+    g.bench_function("direct_compiled", |b| {
+        b.iter(|| {
+            core_plan
+                .eval(&[("S", Value::Set(forest.clone()))])
+                .expect("evaluates")
+        })
+    });
     g.bench_function("via_nrc_srt", |b| {
+        b.iter(|| {
+            nrc_plan
+                .eval_with_forests(&[("S", &forest)])
+                .expect("evaluates")
+        })
+    });
+    g.bench_function("via_nrc_interp", |b| {
         b.iter(|| axml_nrc::eval::eval_with_forests(&expr, &[("S", &forest)]).expect("evaluates"))
     });
     g.finish();

@@ -57,6 +57,12 @@ fn bench_workload(c: &mut Criterion, name: &str, query: &str, forest: Forest<Nat
     g.bench_function(BenchmarkId::new("prepared_eval_nat", name), |b| {
         b.iter(|| prepared.eval(&engine, nat_opts).expect("evaluates"))
     });
+
+    // -- the compiled NRC route through the facade ------------------
+    let nrc_opts = axml::EvalOptions::new().route(axml::Route::ViaNrc);
+    g.bench_function(BenchmarkId::new("prepared_eval_via_nrc", name), |b| {
+        b.iter(|| prepared.eval(&engine, nrc_opts).expect("evaluates"))
+    });
     g.finish();
 }
 

@@ -216,16 +216,10 @@ pub fn eval_step<K: Semiring>(f: &Forest<K>, step: Step) -> Forest<K> {
 /// Accumulate every subtree of `t` (including `t`) into `out`, each
 /// annotated `k_path ·` the product of annotations along the path from
 /// `t`. One shared accumulator for the whole descendant sweep — the
-/// recursion allocates no intermediate forests.
+/// path-product loop itself is [`Tree::for_each_descendant`], the
+/// explicit-stack kernel both evaluator routes share.
 fn descend_into<K: Semiring>(t: &Tree<K>, k_path: &K, out: &mut Forest<K>) {
-    out.insert(t.clone(), k_path.clone());
-    for (c, kc) in t.children().iter() {
-        if k_path.is_one() {
-            descend_into(c, kc, out);
-        } else {
-            descend_into(c, &k_path.times(kc), out);
-        }
-    }
+    t.for_each_descendant(k_path.clone(), |node, k| out.insert(node.clone(), k));
 }
 
 /// All subtrees of `t` (including `t`), each annotated with the sum

@@ -78,6 +78,7 @@ pub mod eval;
 pub mod hom;
 pub mod parse;
 pub mod path;
+pub mod plan;
 pub mod typecheck;
 
 pub use ast::{Axis, ElementName, NodeTest, QType, Query, QueryNode, Step, SurfaceExpr};
@@ -85,6 +86,7 @@ pub use compile::{compile, compile_step};
 pub use eval::{eval_core, eval_step, EvalError, QueryEnv};
 pub use parse::{parse_query, ParseError};
 pub use path::{eval_path, extract_path, Ineligible, PathQuery};
+pub use plan::CompiledQuery;
 pub use typecheck::{elaborate, elaborate_in, Context, TypeError};
 
 use axml_semiring::Semiring;

@@ -21,13 +21,30 @@ use axml_semiring::{KSet, Semiring};
 use axml_uxml::{Forest, Tree};
 use std::fmt;
 
+// Variable names in environments are interned process-globally (same
+// pool shape as `Label` and `Var`): a binding stores a `Copy` 4-byte
+// id, so `push` in the big-union/`srt` loops never allocates a
+// `String` per iteration — repeated interning of the same name hits a
+// lock-free per-thread memo.
+axml_semiring::define_intern_pool!();
+
 /// A runtime environment ρ mapping variables to complex values.
 ///
 /// Implemented as a scope stack: `push`/`pop` are O(1) and lookup walks
-/// from the innermost binding (shadowing).
-#[derive(Clone, Default, Debug)]
+/// from the innermost binding (shadowing). Names are interned, so
+/// pushing a binding allocates nothing for names already seen.
+///
+/// The pool is process-global and append-only — the same lifetime
+/// trade-off as [`Label`](axml_uxml::Label) and provenance `Var`s, and
+/// far smaller in practice (binding names come from query text; every
+/// *label* in every document interns too). A service evaluating
+/// unbounded streams of distinct names should use the compiled plans
+/// ([`crate::CompiledExpr`]), which resolve names to slots at compile
+/// time and intern nothing at runtime; this interpreter is the
+/// differential reference.
+#[derive(Clone, Default)]
 pub struct Env<K: Semiring> {
-    bindings: Vec<(Name, CValue<K>)>,
+    bindings: Vec<(u32, CValue<K>)>,
 }
 
 impl<K: Semiring> Env<K> {
@@ -41,13 +58,16 @@ impl<K: Semiring> Env<K> {
     /// Build from bindings.
     pub fn from_bindings<I: IntoIterator<Item = (Name, CValue<K>)>>(iter: I) -> Self {
         Env {
-            bindings: iter.into_iter().collect(),
+            bindings: iter
+                .into_iter()
+                .map(|(n, v)| (intern_name(&n), v))
+                .collect(),
         }
     }
 
     /// Push a binding (shadowing earlier ones).
     pub fn push(&mut self, name: &str, v: CValue<K>) {
-        self.bindings.push((name.to_owned(), v));
+        self.bindings.push((intern_name(name), v));
     }
 
     /// Pop the most recent binding.
@@ -57,11 +77,24 @@ impl<K: Semiring> Env<K> {
 
     /// Look up the innermost binding of `name`.
     pub fn lookup(&self, name: &str) -> Option<&CValue<K>> {
+        // Read-only probe: a name never interned was never pushed, so
+        // it cannot be bound — and a miss must not permanently grow
+        // the process-global pool (lookups of ever-fresh unbound
+        // names would otherwise leak an entry each).
+        let id = probe_name(name)?;
         self.bindings
             .iter()
             .rev()
-            .find(|(n, _)| n == name)
+            .find(|(n, _)| *n == id)
             .map(|(_, v)| v)
+    }
+}
+
+impl<K: Semiring> fmt::Debug for Env<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.bindings.iter().map(|(n, v)| (interned_name(*n), v)))
+            .finish()
     }
 }
 

@@ -39,11 +39,46 @@
 //!   Appendix-A equations as a semantics-preserving rewriter.
 //! - **Prop 4** (agreement with RA⁺ on K-relations): [`ra`] gives the
 //!   standard NRC encoding of the positive relational algebra.
+//!
+//! # Performance
+//!
+//! Two evaluators implement the Fig 8 semantics:
+//!
+//! - [`eval()`] — the tree-walking **interpreter**, kept as the
+//!   differential reference. It re-walks the [`Expr`] per call and
+//!   probes the environment by (interned) name.
+//! - [`compile::CompiledExpr`] — the **compile-once execution plan**
+//!   behind `Route::ViaNrc` in the `axml` facade. Lowering resolves
+//!   every variable occurrence to a numeric frame slot (de
+//!   Bruijn-style, once), so the runtime environment is a flat `Vec`
+//!   read by index; the compiler-output shapes that dominate query
+//!   terms are fused into single ops with pre-resolved interned
+//!   label tests (`∪(x ∈ e) if tag(x) = l then {x} else {}` →
+//!   `filter-label`, `∪(x ∈ e) kids(x)` → `kids-flat`, the §6.3
+//!   descendant `srt` term → one annotation-product sweep); and both
+//!   generic `srt` and the fused sweep are driven bottom-up on an
+//!   explicit stack, so arbitrarily deep documents cost heap, not
+//!   Rust stack.
+//!
+//! On the `semantics_route` benchmark (`//c` over a depth-6 binary
+//! document, ℕ) the compiled plan evaluates in ~8µs against ~150µs
+//! for the interpreter — within ~1.3× of the direct K-UXML
+//! evaluator, where the interpreted route had been ~20× slower.
+//! Compiled and interpreted evaluation are property-tested to agree
+//! (`tests/compiled_vs_interpreted.rs`), including identical error
+//! messages on ill-typed values, and the facade's
+//! `Route::Differential` cross-checks them on every eligible query.
+//!
+//! The interpreter itself allocates no `String` per binding: [`Env`]
+//! interns variable names into a process-global pool (the same shape
+//! `Label` and provenance `Var`s use), so `push` in big-union/`srt`
+//! loops is allocation-free after first sight of a name.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod axioms;
+pub mod compile;
 pub mod eval;
 pub mod expr;
 pub mod hom;
@@ -53,6 +88,7 @@ pub mod typecheck;
 pub mod types;
 pub mod value;
 
+pub use compile::CompiledExpr;
 pub use eval::{eval, eval_closed, Env, EvalError};
 pub use expr::Expr;
 pub use parse::{parse_expr, parse_type};

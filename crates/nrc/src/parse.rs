@@ -59,7 +59,11 @@ impl std::error::Error for ParseError {}
 /// assert_eq!(e.to_string(), "∪(x ∈ R) {π1(x)}");
 /// ```
 pub fn parse_expr<K: Semiring + ParseAnnotation>(src: &str) -> Result<Expr<K>, ParseError> {
-    let mut p = Parser { src, pos: 0 };
+    let mut p = Parser {
+        src,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.parse_expr()?;
     p.skip_ws();
     if p.pos < src.len() {
@@ -70,7 +74,11 @@ pub fn parse_expr<K: Semiring + ParseAnnotation>(src: &str) -> Result<Expr<K>, P
 
 /// Parse a type.
 pub fn parse_type(src: &str) -> Result<Type, ParseError> {
-    let mut p = Parser { src, pos: 0 };
+    let mut p = Parser {
+        src,
+        pos: 0,
+        depth: 0,
+    };
     let t = p.parse_type()?;
     p.skip_ws();
     if p.pos < src.len() {
@@ -79,12 +87,29 @@ pub fn parse_type(src: &str) -> Result<Type, ParseError> {
     Ok(t)
 }
 
+/// Recursion cap: hostile input (`π1(π1(π1(…`) must error, not
+/// overflow the parse stack — same hardening as the query, document
+/// and polynomial parsers.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     src: &'a str,
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("expression nesting exceeds {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
+    }
     fn rest(&self) -> &'a str {
         &self.src[self.pos..]
     }
@@ -178,6 +203,13 @@ impl<'a> Parser<'a> {
     // -- types --------------------------------------------------------
 
     fn parse_type(&mut self) -> Result<Type, ParseError> {
+        self.descend()?;
+        let out = self.parse_type_inner();
+        self.ascend();
+        out
+    }
+
+    fn parse_type_inner(&mut self) -> Result<Type, ParseError> {
         self.skip_ws();
         if self.eat("{") {
             let inner = self.parse_type()?;
@@ -207,6 +239,13 @@ impl<'a> Parser<'a> {
 
     /// expr := unionExpr
     fn parse_expr<K: Semiring + ParseAnnotation>(&mut self) -> Result<Expr<K>, ParseError> {
+        self.descend()?;
+        let out = self.parse_expr_inner();
+        self.ascend();
+        out
+    }
+
+    fn parse_expr_inner<K: Semiring + ParseAnnotation>(&mut self) -> Result<Expr<K>, ParseError> {
         let mut acc = self.parse_prefix()?;
         loop {
             self.skip_ws();
@@ -222,6 +261,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_prefix<K: Semiring + ParseAnnotation>(&mut self) -> Result<Expr<K>, ParseError> {
+        self.descend()?;
+        let out = self.parse_prefix_inner();
+        self.ascend();
+        out
+    }
+
+    fn parse_prefix_inner<K: Semiring + ParseAnnotation>(&mut self) -> Result<Expr<K>, ParseError> {
         self.skip_ws();
         // big-union: ∪(x ∈ e) e  /  U(x in e) e
         if self.rest().starts_with("∪(") || self.rest().starts_with("U(") {

@@ -108,15 +108,38 @@ impl PosBool {
     }
 }
 
+/// A 64-bit literal fingerprint: bit `v.id() mod 64` set for every
+/// variable in the clause. `d ⊆ c` implies
+/// `fp(d) & !fp(c) == 0`, so a single mask test rejects most
+/// non-subset pairs in O(1) before the O(|d|) `is_subset` walk.
+fn fingerprint(c: &Clause) -> u64 {
+    c.iter().fold(0u64, |m, v| m | 1u64 << (v.id() & 63))
+}
+
 /// Keep only ⊆-minimal clauses (the antichain / irredundant DNF).
+///
+/// Clauses are processed in ascending size: a strict subset is always
+/// strictly smaller (the input is deduplicated), so each clause only
+/// needs checking against the already-kept smaller clauses — and the
+/// fingerprint mask short-circuits the pairs that cannot be subsets.
 fn minimize(raw: BTreeSet<Clause>) -> BTreeSet<Clause> {
-    let mut keep: Vec<&Clause> = Vec::with_capacity(raw.len());
-    for c in &raw {
-        if !raw.iter().any(|d| d != c && d.is_subset(c)) {
-            keep.push(c);
-        }
+    if raw.len() <= 1 {
+        return raw;
     }
-    keep.into_iter().cloned().collect()
+    let mut items: Vec<(u64, Clause)> = raw.into_iter().map(|c| (fingerprint(&c), c)).collect();
+    items.sort_by_key(|(_, c)| c.len());
+    let mut keep: Vec<(u64, Clause)> = Vec::with_capacity(items.len());
+    'next: for (fp, c) in items {
+        for (kfp, k) in &keep {
+            // k ⊆ c needs every k-bit inside fp; since |k| ≤ |c| and
+            // equal clauses were deduplicated, subset ⇒ |k| < |c|.
+            if kfp & !fp == 0 && k.len() < c.len() && k.is_subset(&c) {
+                continue 'next;
+            }
+        }
+        keep.push((fp, c));
+    }
+    keep.into_iter().map(|(_, c)| c).collect()
 }
 
 impl Semiring for PosBool {
@@ -307,6 +330,39 @@ mod tests {
             PosBool::var(x).plus(&PosBool::var(y)).to_string(),
             "d_x | d_y"
         );
+    }
+
+    #[test]
+    fn minimize_agrees_with_allpairs_reference_under_collisions() {
+        // 130 variables guarantee fingerprint-bit collisions (64-bit
+        // masks); randomized clause sets pin the pruned minimize to
+        // the naive all-pairs reference, including the empty clause
+        // (`true`), which must absorb everything.
+        let vs: Vec<Var> = (0..130).map(|i| Var::new(&format!("mmz_{i}"))).collect();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut rnd = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 11
+        };
+        for _ in 0..100 {
+            let mut raw: BTreeSet<Clause> = BTreeSet::new();
+            for _ in 0..(1 + rnd() % 12) {
+                let mut c = Clause::new();
+                for _ in 0..(rnd() % 5) {
+                    c.insert(vs[(rnd() % 130) as usize]);
+                }
+                raw.insert(c);
+            }
+            let slow: BTreeSet<Clause> = raw
+                .iter()
+                .filter(|c| !raw.iter().any(|d| d != *c && d.is_subset(c)))
+                .cloned()
+                .collect();
+            let fast = minimize(raw);
+            assert_eq!(fast, slow);
+        }
     }
 
     #[test]

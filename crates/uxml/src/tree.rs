@@ -199,6 +199,23 @@ impl<K: Semiring> Tree<K> {
             .max()
             .unwrap_or(0)
     }
+
+    /// Visit every subtree of `self` (including `self`), each with
+    /// `k0 ·` the product of annotations along the path from `self` —
+    /// the paper's Fig 4 descendant semantics. Occurrences of equal
+    /// subtrees are visited separately (sum them in the callback's
+    /// accumulator). Driven on an explicit stack, so document depth
+    /// costs heap, never Rust stack; this is the one sweep kernel the
+    /// direct `descendant` step and the compiled NRC plan both use.
+    pub fn for_each_descendant<F: FnMut(&Tree<K>, K)>(&self, k0: K, mut f: F) {
+        let mut stack: Vec<(&Tree<K>, K)> = vec![(self, k0)];
+        while let Some((node, k)) = stack.pop() {
+            for (c, kc) in node.children().iter() {
+                stack.push((c, if k.is_one() { kc.clone() } else { k.times(kc) }));
+            }
+            f(node, k);
+        }
+    }
 }
 
 impl<K: Semiring> Clone for Tree<K> {
