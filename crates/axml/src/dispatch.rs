@@ -15,6 +15,7 @@ use axml_nrc::CompiledExpr;
 use axml_semiring::trio::collapse::{natpoly_to_posbool, natpoly_to_trio, natpoly_to_why};
 use axml_semiring::{FnHom, Nat, NatPoly, PosBool, Prob, Semiring, Trio, Tropical, Valuation, Why};
 use axml_uxml::{Forest, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// Everything `prepare` produces for one semiring: the typed core
@@ -78,11 +79,70 @@ pub(crate) struct KindCaches {
     pub prob: OnceLock<Artifacts<Prob>>,
 }
 
-/// One evictable per-kind document slot. `RwLock<Option<…>>` instead
-/// of `OnceLock` so the engine's size-capped eviction policy can clear
-/// it; correctness never depends on a slot staying filled (an evicted
-/// specialization is simply recomputed on next use).
-pub(crate) type DocSlot<S> = RwLock<Option<Arc<Forest<S>>>>;
+/// One evictable per-kind document slot: the cached specialization
+/// plus its last-read stamp on the engine's LRU clock.
+/// `RwLock<Option<…>>` instead of `OnceLock` so the engine's
+/// size-capped eviction policy can clear it; correctness never depends
+/// on a slot staying filled (an evicted specialization is simply
+/// recomputed on next use). Readers take the shared side of the lock
+/// and bump the atomic stamp — no exclusive locking on the hot path.
+#[derive(Debug)]
+pub(crate) struct DocSlot<S: Semiring> {
+    val: RwLock<Option<Arc<Forest<S>>>>,
+    /// Engine-clock value of the most recent read (LRU touch); 0 =
+    /// never read. Relaxed ordering suffices: the stamp only steers
+    /// the eviction heuristic, never correctness.
+    last_used: AtomicU64,
+}
+
+// Manual impl: `derive(Default)` would wrongly require `S: Default`
+// (the slot starts empty regardless of `S`).
+impl<S: Semiring> Default for DocSlot<S> {
+    fn default() -> Self {
+        DocSlot {
+            val: RwLock::new(None),
+            last_used: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<S: Semiring> DocSlot<S> {
+    /// The cached specialization, touching the LRU stamp.
+    /// `stamp == 0` means "no LRU in play" (uncapped engine): skip the
+    /// store so uncapped readers share no written cache line.
+    pub fn get(&self, stamp: u64) -> Option<Arc<Forest<S>>> {
+        let v = self.val.read().unwrap_or_else(|e| e.into_inner()).clone();
+        if stamp != 0 && v.is_some() {
+            self.last_used.store(stamp, Ordering::Relaxed);
+        }
+        v
+    }
+
+    /// Fill an empty slot. If another thread won the race, returns its
+    /// copy instead (the caller must then *not* enqueue an eviction
+    /// entry — the winner already did).
+    pub fn fill(&self, fresh: Arc<Forest<S>>, stamp: u64) -> Result<(), Arc<Forest<S>>> {
+        let mut w = self.val.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = w.as_ref() {
+            return Err(existing.clone());
+        }
+        *w = Some(fresh);
+        self.last_used.store(stamp, Ordering::Relaxed);
+        Ok(())
+    }
+
+    pub fn last_used(&self) -> u64 {
+        self.last_used.load(Ordering::Relaxed)
+    }
+
+    fn clear(&self) {
+        *self.val.write().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    fn is_filled(&self) -> bool {
+        self.val.read().unwrap_or_else(|e| e.into_inner()).is_some()
+    }
+}
 
 /// Per-kind specialized copies of a loaded document, filled on first
 /// use by each kind and shared by every query thereafter (until the
@@ -102,17 +162,28 @@ impl DocCaches {
     /// has no slot — the symbolic document is the source of truth and
     /// is never evicted.
     pub fn clear(&self, kind: SemiringKind) {
-        fn take<S: Semiring>(slot: &DocSlot<S>) {
-            *slot.write().unwrap_or_else(|e| e.into_inner()) = None;
-        }
         match kind {
-            SemiringKind::Nat => take(&self.nat),
-            SemiringKind::PosBool => take(&self.posbool),
-            SemiringKind::Tropical => take(&self.tropical),
-            SemiringKind::Why => take(&self.why),
-            SemiringKind::Trio => take(&self.trio),
-            SemiringKind::Prob => take(&self.prob),
+            SemiringKind::Nat => self.nat.clear(),
+            SemiringKind::PosBool => self.posbool.clear(),
+            SemiringKind::Tropical => self.tropical.clear(),
+            SemiringKind::Why => self.why.clear(),
+            SemiringKind::Trio => self.trio.clear(),
+            SemiringKind::Prob => self.prob.clear(),
             SemiringKind::NatPoly => {}
+        }
+    }
+
+    /// The LRU stamp of `kind`'s slot (0 for `NatPoly`, which is
+    /// never evicted and so never raced for recency).
+    pub fn last_used(&self, kind: SemiringKind) -> u64 {
+        match kind {
+            SemiringKind::Nat => self.nat.last_used(),
+            SemiringKind::PosBool => self.posbool.last_used(),
+            SemiringKind::Tropical => self.tropical.last_used(),
+            SemiringKind::Why => self.why.last_used(),
+            SemiringKind::Trio => self.trio.last_used(),
+            SemiringKind::Prob => self.prob.last_used(),
+            SemiringKind::NatPoly => 0,
         }
     }
 
@@ -121,18 +192,15 @@ impl DocCaches {
     /// [`SemiringKind::ALL`] through an exhaustive match, so a new
     /// kind cannot be silently exempted.
     pub fn filled(&self) -> Vec<SemiringKind> {
-        fn has<S: Semiring>(slot: &DocSlot<S>) -> bool {
-            slot.read().unwrap_or_else(|e| e.into_inner()).is_some()
-        }
         SemiringKind::ALL
             .into_iter()
             .filter(|kind| match kind {
-                SemiringKind::Nat => has(&self.nat),
-                SemiringKind::PosBool => has(&self.posbool),
-                SemiringKind::Tropical => has(&self.tropical),
-                SemiringKind::Why => has(&self.why),
-                SemiringKind::Trio => has(&self.trio),
-                SemiringKind::Prob => has(&self.prob),
+                SemiringKind::Nat => self.nat.is_filled(),
+                SemiringKind::PosBool => self.posbool.is_filled(),
+                SemiringKind::Tropical => self.tropical.is_filled(),
+                SemiringKind::Why => self.why.is_filled(),
+                SemiringKind::Trio => self.trio.is_filled(),
+                SemiringKind::Prob => self.prob.is_filled(),
                 SemiringKind::NatPoly => false,
             })
             .collect()

@@ -1,5 +1,5 @@
 //! The [`Engine`]: a named store of parsed documents plus the
-//! `prepare` entry point.
+//! `prepare` entry point and the batch scheduling APIs.
 //!
 //! Documents are parsed **once**, into ℕ\[X\] — the universal
 //! annotation semiring — and shared via `Arc`. When a query asks for a
@@ -7,6 +7,23 @@
 //! the canonical homomorphism the first time and caches the
 //! specialized copy, so steady-state evaluation never re-parses or
 //! re-specializes anything.
+//!
+//! # Concurrency
+//!
+//! The store is **sharded**: document names hash onto
+//! [`STORE_SHARDS`] independently-locked maps, so concurrent
+//! `load_document`/`remove_document`/`eval` traffic on different
+//! documents never serializes on one lock (the pre-PR-5 single
+//! `RwLock<BTreeMap>` did). Lookups take one shard's read lock for a
+//! `BTreeMap::get` + `Arc` clone; evaluation itself runs entirely on
+//! the cloned `Arc`s, lock-free. Specialization caches are per-document
+//! `RwLock` slots — readers share the lock and in steady state there
+//! are no writers.
+//!
+//! [`Engine::eval_batch`] and [`Engine::eval_many_docs`] schedule
+//! independent evaluations onto an [`axml_pool::Pool`] — the
+//! throughput face of the paper's Prop. 2 observation that annotated
+//! evaluation is embarrassingly parallel across queries and documents.
 
 use crate::dispatch::{DocCaches, KindDispatch};
 use crate::error::AxmlError;
@@ -16,7 +33,15 @@ use crate::result::AxmlResult;
 use axml_semiring::{FnHom, NatPoly};
 use axml_uxml::{hom::map_forest, parse_forest, Forest};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard, Weak};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, Weak};
+
+/// Number of independently-locked document-store shards. A fixed
+/// power of two: enough that 8–16 threads hammering different
+/// documents rarely collide, small enough that whole-store scans
+/// (`document_names`) stay trivial.
+pub const STORE_SHARDS: usize = 16;
 
 /// One stored document: the symbolic original plus per-kind
 /// specializations, filled lazily (and evictable — see
@@ -36,11 +61,24 @@ impl StoredDoc {
     }
 }
 
+/// One entry in the eviction queue: which `(document, kind)`
+/// specialization was filled, and the LRU clock reading at enqueue
+/// time (compared against the slot's live stamp to detect touches).
+#[derive(Debug)]
+struct SpecEntry {
+    doc: Weak<StoredDoc>,
+    kind: SemiringKind,
+    stamp: u64,
+}
+
+type DocMap = BTreeMap<String, Arc<StoredDoc>>;
+
 /// The facade's entry point: a document store and a query compiler.
 ///
-/// All methods take `&self`; the store is internally synchronized, so
-/// one `Engine` can be shared across threads (`Engine: Send + Sync`)
-/// and serve concurrent `eval` calls on the same prepared queries.
+/// All methods take `&self`; the store is internally synchronized
+/// (sharded — see the module docs), so one `Engine` can be shared
+/// across threads (`Engine: Send + Sync`) and serve concurrent `eval`
+/// calls on the same prepared queries.
 ///
 /// ```
 /// use axml::{Engine, EvalOptions};
@@ -50,21 +88,36 @@ impl StoredDoc {
 /// let out = q.eval(&engine, EvalOptions::new()).unwrap();
 /// assert_eq!(out.to_string(), "(b {2*x})");
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Engine {
-    docs: RwLock<BTreeMap<String, Arc<StoredDoc>>>,
+    shards: [RwLock<DocMap>; STORE_SHARDS],
     /// Optional cap on the number of per-kind document
     /// specializations held across the whole store; `None` = unbounded
     /// (every specialization is kept forever, the pre-cap behavior).
     doc_cache_cap: Option<usize>,
-    /// Fill order of `(document, kind)` specializations, for
-    /// oldest-first eviction when the cap is exceeded. `Weak` so a
-    /// replaced/removed document neither leaks nor is kept alive by
-    /// its queue entries.
-    spec_queue: Mutex<VecDeque<(Weak<StoredDoc>, SemiringKind)>>,
+    /// LRU order of `(document, kind)` specializations: least recently
+    /// used at the front. Touches don't reorder the queue (that would
+    /// cost O(n) per read) — they bump the slot's atomic stamp, and
+    /// eviction passes re-queue any front entry whose slot was read
+    /// since it was enqueued. `Weak` so a replaced/removed document
+    /// neither leaks nor is kept alive by its queue entries; dead
+    /// entries are purged on every eviction pass.
+    spec_queue: Mutex<VecDeque<SpecEntry>>,
+    /// The LRU clock: bumped on every cache read/fill when a cap is
+    /// configured.
+    clock: AtomicU64,
 }
 
-type DocMap = BTreeMap<String, Arc<StoredDoc>>;
+impl Default for Engine {
+    fn default() -> Self {
+        Engine {
+            shards: std::array::from_fn(|_| RwLock::new(DocMap::new())),
+            doc_cache_cap: None,
+            spec_queue: Mutex::new(VecDeque::new()),
+            clock: AtomicU64::new(0),
+        }
+    }
+}
 
 impl Engine {
     /// An engine with an empty document store and no cap on the
@@ -76,11 +129,13 @@ impl Engine {
     /// An engine whose per-kind document caches are size-capped:
     /// at most `cap` specialized document copies (one copy =
     /// one document × one [`SemiringKind`]) are held at a time, evicted
-    /// oldest-first. The symbolic ℕ\[X\] originals are never evicted —
-    /// they are the source of truth — and an evicted specialization is
-    /// transparently recomputed on next use, so the cap trades CPU for
-    /// memory on servers holding many large documents across many
-    /// semirings. A cap of 0 disables specialization caching entirely.
+    /// **least-recently-used** first (every cache read refreshes an
+    /// entry's recency). The symbolic ℕ\[X\] originals are never
+    /// evicted — they are the source of truth — and an evicted
+    /// specialization is transparently recomputed on next use, so the
+    /// cap trades CPU for memory on servers holding many large
+    /// documents across many semirings. A cap of 0 disables
+    /// specialization caching entirely.
     pub fn with_doc_cache_cap(cap: usize) -> Self {
         Engine {
             doc_cache_cap: Some(cap),
@@ -102,58 +157,88 @@ impl Engine {
             .unwrap_or_default()
     }
 
+    /// The next LRU clock reading — or 0 (= "don't stamp") on an
+    /// uncapped engine, keeping the shared fetch-add cache line out of
+    /// the uncapped read path entirely (recency only matters when
+    /// eviction exists to consume it).
+    fn tick(&self) -> u64 {
+        if self.doc_cache_cap.is_none() {
+            return 0;
+        }
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// The document specialized to `S`, computing, caching and
-    /// (when capped) registering it for oldest-first eviction.
+    /// (when capped) registering it for LRU eviction. Cache reads
+    /// touch the slot's recency stamp.
     pub(crate) fn specialized<S: KindDispatch>(&self, doc: &Arc<StoredDoc>) -> Arc<Forest<S>> {
         let slot = S::doc_cache(&doc.kinds);
-        if let Some(f) = slot.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
-            return f.clone();
+        if let Some(f) = slot.get(self.tick()) {
+            return f;
         }
         let fresh = Arc::new(map_forest(&FnHom::new(S::from_poly), &doc.poly));
-        {
-            let mut w = slot.write().unwrap_or_else(|e| e.into_inner());
-            if let Some(existing) = w.as_ref() {
-                // Another thread won the race; keep its copy (and its
-                // queue entry).
-                return existing.clone();
-            }
-            *w = Some(fresh.clone());
+        if let Err(existing) = slot.fill(fresh.clone(), self.tick()) {
+            // Another thread won the race; keep its copy (and its
+            // queue entry).
+            return existing;
         }
         self.note_specialization(doc, S::KIND);
         fresh
     }
 
+    /// Register a freshly-filled specialization and run an eviction
+    /// pass if the cap is exceeded. The pass walks from the LRU end:
+    /// dead entries (document replaced/removed) are dropped outright —
+    /// this is what keeps the queue from growing without bound under
+    /// document churn — and entries whose slot was touched since they
+    /// were queued are re-queued at their true recency instead of
+    /// evicted.
     fn note_specialization(&self, doc: &Arc<StoredDoc>, kind: SemiringKind) {
         let Some(cap) = self.doc_cache_cap else {
             return;
         };
         let mut q = self.spec_queue.lock().unwrap_or_else(|e| e.into_inner());
-        q.push_back((Arc::downgrade(doc), kind));
+        q.push_back(SpecEntry {
+            doc: Arc::downgrade(doc),
+            kind,
+            stamp: doc.kinds.last_used(kind),
+        });
         if q.len() > cap {
-            // Entries for replaced/removed documents are already gone
-            // from the store; drop them first so they don't occupy cap
-            // slots and force a *live* specialization out prematurely.
-            q.retain(|(w, _)| w.strong_count() > 0);
+            // Purge entries whose documents are gone so they neither
+            // occupy cap slots (forcing a live specialization out
+            // prematurely) nor accumulate as the store churns.
+            q.retain(|e| e.doc.strong_count() > 0);
         }
-        while q.len() > cap {
-            let Some((weak, k)) = q.pop_front() else {
+        // Each re-queue is bounded so concurrent readers hammering the
+        // stamps cannot starve the eviction loop.
+        let mut budget = 2 * q.len() + 2;
+        while q.len() > cap && budget > 0 {
+            budget -= 1;
+            let Some(entry) = q.pop_front() else {
                 break;
             };
-            if let Some(d) = weak.upgrade() {
-                d.kinds.clear(k);
+            let Some(d) = entry.doc.upgrade() else {
+                continue; // died since the retain: drop it
+            };
+            let live = d.kinds.last_used(entry.kind);
+            if live > entry.stamp && budget > 0 {
+                // Read since enqueued: second chance at its real
+                // recency (classic lazy-LRU reinsertion).
+                q.push_back(SpecEntry {
+                    doc: entry.doc,
+                    kind: entry.kind,
+                    stamp: live,
+                });
+            } else {
+                d.kinds.clear(entry.kind);
             }
         }
     }
 
-    // The store holds only fully-constructed `Arc`s, so a panic while
-    // holding the lock cannot leave it in a torn state — recover from
-    // poisoning instead of propagating the panic.
-    fn read_docs(&self) -> RwLockReadGuard<'_, DocMap> {
-        self.docs.read().unwrap_or_else(|e| e.into_inner())
-    }
-
-    fn write_docs(&self) -> RwLockWriteGuard<'_, DocMap> {
-        self.docs.write().unwrap_or_else(|e| e.into_inner())
+    fn shard(&self, name: &str) -> &RwLock<DocMap> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[(h.finish() as usize) % STORE_SHARDS]
     }
 
     /// Parse `xml` (the annotated document syntax, annotations read as
@@ -170,13 +255,22 @@ impl Engine {
 
     /// Store an already-built symbolic forest under `name`.
     pub fn insert_forest(&self, name: &str, forest: Forest<NatPoly>) {
-        self.write_docs()
+        // The store holds only fully-constructed `Arc`s, so a panic
+        // while holding a shard lock cannot leave it in a torn state —
+        // recover from poisoning instead of propagating the panic.
+        self.shard(name)
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
             .insert(name.to_owned(), StoredDoc::new(forest));
     }
 
     /// Remove a document; returns whether it was present.
     pub fn remove_document(&self, name: &str) -> bool {
-        self.write_docs().remove(name).is_some()
+        self.shard(name)
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(name)
+            .is_some()
     }
 
     /// The stored symbolic document, if loaded.
@@ -186,11 +280,27 @@ impl Engine {
 
     /// Names of all loaded documents, sorted.
     pub fn document_names(&self) -> Vec<String> {
-        self.read_docs().keys().cloned().collect()
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        names.sort();
+        names
     }
 
     pub(crate) fn stored(&self, name: &str) -> Option<Arc<StoredDoc>> {
-        self.read_docs().get(name).cloned()
+        self.shard(name)
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
     }
 
     pub(crate) fn stored_or_err(&self, name: &str) -> Result<Arc<StoredDoc>, AxmlError> {
@@ -212,6 +322,75 @@ impl Engine {
     /// [`PreparedQuery`] when the same query runs more than once.
     pub fn run(&self, query_src: &str, opts: EvalOptions) -> Result<AxmlResult, AxmlError> {
         self.prepare(query_src)?.eval(self, opts)
+    }
+
+    /// Evaluate a batch of prepared queries on the global worker pool,
+    /// returning one result per entry **in order**. Errors are
+    /// per-entry: one failing evaluation never poisons the batch.
+    ///
+    /// This is the multi-query throughput entry point: each entry is
+    /// an independent evaluation over `Arc`-shared documents, so a
+    /// batch of `n` queries scales with the pool's worker count
+    /// (Prop. 2's "evaluate once, specialize everywhere" design makes
+    /// the entries share all cached artifacts contention-free).
+    pub fn eval_batch(
+        &self,
+        entries: &[(&PreparedQuery, EvalOptions)],
+    ) -> Vec<Result<AxmlResult, AxmlError>> {
+        self.eval_batch_on(axml_pool::global(), entries)
+    }
+
+    /// [`Engine::eval_batch`] on an explicit pool (benchmarks pin the
+    /// worker count this way; servers can isolate tenants).
+    pub fn eval_batch_on(
+        &self,
+        pool: &axml_pool::Pool,
+        entries: &[(&PreparedQuery, EvalOptions)],
+    ) -> Vec<Result<AxmlResult, AxmlError>> {
+        // Entries' intra-query parallelism fans out on the same pool
+        // the batch is scheduled on — an isolated pool stays isolated.
+        let eval_one =
+            |(q, o): &(&PreparedQuery, EvalOptions)| q.eval_bound_on(self, *o, &[], Some(pool));
+        if entries.len() <= 1 {
+            return entries.iter().map(eval_one).collect();
+        }
+        pool.map_slice(entries, |_, e| eval_one(e))
+    }
+
+    /// Evaluate one prepared query over many documents on the global
+    /// worker pool: entry `i` binds **every** free variable of `query`
+    /// to the document named `docs[i]` (the common shape — one `$S` —
+    /// queries one document per entry). Results come back in `docs`
+    /// order; errors are per-entry.
+    pub fn eval_many_docs(
+        &self,
+        query: &PreparedQuery,
+        docs: &[&str],
+        opts: EvalOptions,
+    ) -> Vec<Result<AxmlResult, AxmlError>> {
+        self.eval_many_docs_on(axml_pool::global(), query, docs, opts)
+    }
+
+    /// [`Engine::eval_many_docs`] on an explicit pool.
+    pub fn eval_many_docs_on(
+        &self,
+        pool: &axml_pool::Pool,
+        query: &PreparedQuery,
+        docs: &[&str],
+        opts: EvalOptions,
+    ) -> Vec<Result<AxmlResult, AxmlError>> {
+        let eval_one = |doc: &&str| {
+            let aliases: Vec<(&str, &str)> = query
+                .free_vars()
+                .iter()
+                .map(|v| (v.as_str(), *doc))
+                .collect();
+            query.eval_bound_on(self, opts, &aliases, Some(pool))
+        };
+        if docs.len() <= 1 {
+            return docs.iter().map(eval_one).collect();
+        }
+        pool.map_slice(docs, |_, doc| eval_one(doc))
     }
 }
 
@@ -241,5 +420,17 @@ mod tests {
         };
         assert_eq!(name, "bad");
         assert_eq!(span.line, 1);
+    }
+
+    #[test]
+    fn names_are_sorted_across_shards() {
+        let e = Engine::new();
+        // Enough names that every shard almost surely holds some.
+        for i in (0..64).rev() {
+            e.insert_forest(&format!("doc{i:02}"), Forest::new());
+        }
+        let names = e.document_names();
+        assert_eq!(names.len(), 64);
+        assert!(names.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
     }
 }

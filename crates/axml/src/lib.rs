@@ -126,6 +126,57 @@
 //! assert_eq!(out.kind(), SemiringKind::Trio);
 //! ```
 //!
+//! ## Parallelism
+//!
+//! Evaluation is embarrassingly parallel along three axes, and the
+//! facade exposes all three (scheduling onto [`axml_pool::Pool`] — a
+//! std-only scoped worker pool; no crates.io dependencies):
+//!
+//! 1. **Across queries** — [`Engine::eval_batch`] takes a slice of
+//!    `(&PreparedQuery, EvalOptions)` entries and returns one
+//!    `Result` per entry, in order; a failing entry never poisons the
+//!    batch. [`Engine::eval_batch_on`] pins an explicit pool.
+//! 2. **Across documents** — [`Engine::eval_many_docs`] fans one
+//!    prepared query over many named documents (every free variable
+//!    binds the same document per entry).
+//! 3. **Inside one query** — `EvalOptions::parallel(n)` (or
+//!    [`EvalOptions::parallelism`]) turns on intra-query fan-out:
+//!    descendant sweeps over large documents chunk across top-level
+//!    subtrees, the relational route's semi-naive Datalog rounds
+//!    partition their joins, and `Route::Differential` runs its 2–3
+//!    evaluation legs concurrently.
+//!
+//! The default is [`Parallelism::sequential`] everywhere: a
+//! single-threaded caller executes exactly the pre-parallelism code
+//! paths. Parallel and sequential evaluation are differentially
+//! tested to be **identical** — same values, same rendered text, same
+//! errors (the K-set merge operators are commutative/associative, so
+//! chunked accumulation cannot reorder observable results).
+//!
+//! ```
+//! use axml::{Engine, EvalOptions, SemiringKind};
+//! let engine = Engine::new();
+//! engine.load_document("S", "<a> b {x} b {y} </a>").unwrap();
+//! let q = engine.prepare("$S/b").unwrap();
+//! let batch = [
+//!     (&q, EvalOptions::new()),
+//!     (&q, EvalOptions::new().semiring(SemiringKind::Nat).parallel(4)),
+//! ];
+//! let results = engine.eval_batch(&batch);
+//! assert_eq!(results[0].as_ref().unwrap().to_string(), "(b {y + x})");
+//! assert_eq!(results[1].as_ref().unwrap().to_string(), "(b {2})");
+//! ```
+//!
+//! Under the hood the document store is **sharded**
+//! ([`STORE_SHARDS`] independently-locked maps keyed by name hash), so
+//! concurrent load/remove/eval traffic on different documents never
+//! serializes on one lock, and the per-(document × semiring)
+//! specialization caches are read through shared locks with no
+//! steady-state writers. With [`Engine::with_doc_cache_cap`] those
+//! caches are a true LRU: reads refresh recency, and eviction passes
+//! purge entries for removed documents so the bookkeeping stays
+//! bounded under document churn.
+//!
 //! The statically-generic layers stay public (`axml-core`,
 //! `axml-nrc`, `axml-relational`, …) for compile-time-`K` callers;
 //! this crate is the runtime face the examples, the CLI and future
@@ -141,15 +192,17 @@ mod options;
 mod prepared;
 mod result;
 
-pub use engine::Engine;
+pub use axml_pool::Pool;
+pub use engine::{Engine, STORE_SHARDS};
 pub use error::{AxmlError, SourceSpan};
-pub use options::{EvalMode, EvalOptions, Route, SemiringKind};
+pub use options::{EvalMode, EvalOptions, Parallelism, Route, SemiringKind};
 pub use prepared::PreparedQuery;
 pub use result::AxmlResult;
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::{
-        AxmlError, AxmlResult, Engine, EvalMode, EvalOptions, PreparedQuery, Route, SemiringKind,
+        AxmlError, AxmlResult, Engine, EvalMode, EvalOptions, Parallelism, Pool, PreparedQuery,
+        Route, SemiringKind,
     };
 }

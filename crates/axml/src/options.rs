@@ -9,6 +9,8 @@
 use std::fmt;
 use std::str::FromStr;
 
+pub use axml_pool::Parallelism;
+
 /// The semirings selectable at runtime.
 ///
 /// Documents are stored once as ℕ\[X\] (provenance-polynomial) values —
@@ -192,10 +194,18 @@ pub struct EvalOptions {
     pub route: Route,
     /// Specialize-then-evaluate, or evaluate-then-specialize.
     pub mode: EvalMode,
+    /// Intra-query parallelism (default: sequential — the exact
+    /// pre-parallelism code path). With a non-sequential value the
+    /// evaluation fans out onto the global worker pool: descendant
+    /// sweeps over large documents chunk across subtrees, semi-naive
+    /// Datalog rounds partition their joins, and `Route::Differential`
+    /// runs its evaluation legs concurrently. Results are identical
+    /// either way (differentially tested).
+    pub parallelism: Parallelism,
 }
 
 impl EvalOptions {
-    /// The defaults: provenance polynomials, direct route.
+    /// The defaults: provenance polynomials, direct route, sequential.
     pub fn new() -> Self {
         Self::default()
     }
@@ -217,6 +227,18 @@ impl EvalOptions {
     pub fn provenance_first(mut self) -> Self {
         self.mode = EvalMode::ProvenanceFirst;
         self
+    }
+
+    /// Set the intra-query parallelism (see [`Parallelism`]).
+    pub fn parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = p;
+        self
+    }
+
+    /// Shorthand: fan this evaluation out across up to `n` parallel
+    /// work streams (`0` = size to the global pool).
+    pub fn parallel(self, n: usize) -> Self {
+        self.parallelism(Parallelism::threads(n))
     }
 }
 

@@ -23,6 +23,7 @@ use axml_core::ast::SurfaceExpr;
 use axml_core::eval::{eval_core, QueryEnv};
 use axml_core::path::{extract_path, Ineligible, PathQuery};
 use axml_core::{elaborate, parse_query};
+use axml_pool::ExecCtx;
 use axml_semiring::{FnHom, Nat, NatPoly, PosBool, Prob, Semiring, Trio, Tropical, Why};
 use axml_uxml::{hom::map_value, Forest, Value};
 use std::collections::BTreeSet;
@@ -133,9 +134,37 @@ impl PreparedQuery {
         opts: EvalOptions,
         aliases: &[(&str, &str)],
     ) -> Result<AxmlResult, AxmlError> {
+        self.eval_bound_on(engine, opts, aliases, None)
+    }
+
+    /// [`eval_bound`](Self::eval_bound) with an explicit pool for the
+    /// intra-query parallelism (`None` = the global pool). The batch
+    /// APIs pass their scheduling pool through here, so an entry's
+    /// `EvalOptions::parallel(n)` fans out on the same pool the batch
+    /// runs on — a tenant pinned to a dedicated pool never borrows
+    /// global workers.
+    pub(crate) fn eval_bound_on(
+        &self,
+        engine: &Engine,
+        opts: EvalOptions,
+        aliases: &[(&str, &str)],
+        pool: Option<&axml_pool::Pool>,
+    ) -> Result<AxmlResult, AxmlError> {
+        // Resolve the per-call parallelism once: `None` keeps every
+        // layer on its exact sequential code path.
+        let ctx_slot;
+        let ctx: Option<&ExecCtx<'_>> = if opts.parallelism.is_sequential() {
+            None
+        } else {
+            ctx_slot = match pool {
+                Some(p) => ExecCtx::new(p, opts.parallelism),
+                None => ExecCtx::global(opts.parallelism),
+            };
+            Some(&ctx_slot)
+        };
         match opts.mode {
             EvalMode::ProvenanceFirst => {
-                let sym = self.eval_poly(engine, opts, aliases)?;
+                let sym = self.eval_poly(engine, opts, aliases, ctx)?;
                 Ok(match opts.semiring {
                     SemiringKind::NatPoly => AxmlResult::NatPoly(sym),
                     SemiringKind::Nat => specialize_result::<Nat>(&sym),
@@ -148,14 +177,14 @@ impl PreparedQuery {
             }
             EvalMode::InSemiring => match opts.semiring {
                 SemiringKind::NatPoly => self
-                    .eval_poly(engine, opts, aliases)
+                    .eval_poly(engine, opts, aliases, ctx)
                     .map(AxmlResult::NatPoly),
-                SemiringKind::Nat => self.eval_in::<Nat>(engine, opts, aliases),
-                SemiringKind::PosBool => self.eval_in::<PosBool>(engine, opts, aliases),
-                SemiringKind::Tropical => self.eval_in::<Tropical>(engine, opts, aliases),
-                SemiringKind::Why => self.eval_in::<Why>(engine, opts, aliases),
-                SemiringKind::Trio => self.eval_in::<Trio>(engine, opts, aliases),
-                SemiringKind::Prob => self.eval_in::<Prob>(engine, opts, aliases),
+                SemiringKind::Nat => self.eval_in::<Nat>(engine, opts, aliases, ctx),
+                SemiringKind::PosBool => self.eval_in::<PosBool>(engine, opts, aliases, ctx),
+                SemiringKind::Tropical => self.eval_in::<Tropical>(engine, opts, aliases, ctx),
+                SemiringKind::Why => self.eval_in::<Why>(engine, opts, aliases, ctx),
+                SemiringKind::Trio => self.eval_in::<Trio>(engine, opts, aliases, ctx),
+                SemiringKind::Prob => self.eval_in::<Prob>(engine, opts, aliases, ctx),
             },
         }
     }
@@ -166,6 +195,7 @@ impl PreparedQuery {
         engine: &Engine,
         opts: EvalOptions,
         aliases: &[(&str, &str)],
+        ctx: Option<&ExecCtx<'_>>,
     ) -> Result<Value<NatPoly>, AxmlError> {
         let inputs = self.bind_inputs(engine, aliases, |_, d| d.poly.clone())?;
         eval_route(
@@ -174,6 +204,7 @@ impl PreparedQuery {
             &inputs,
             opts.route,
             SemiringKind::NatPoly,
+            ctx,
         )
     }
 
@@ -184,11 +215,12 @@ impl PreparedQuery {
         engine: &Engine,
         opts: EvalOptions,
         aliases: &[(&str, &str)],
+        ctx: Option<&ExecCtx<'_>>,
     ) -> Result<AxmlResult, AxmlError> {
         let arts =
             S::artifact_cache(&self.inner.caches).get_or_init(|| self.inner.poly.specialize::<S>());
         let inputs = self.bind_inputs(engine, aliases, |e, d| e.specialized::<S>(d))?;
-        eval_route(arts, &self.inner.path, &inputs, opts.route, S::KIND).map(S::wrap)
+        eval_route(arts, &self.inner.path, &inputs, opts.route, S::KIND, ctx).map(S::wrap)
     }
 
     /// Resolve every free variable to a document, applying aliases.
@@ -230,14 +262,55 @@ fn eval_route<K: Semiring>(
     inputs: &[(String, Arc<Forest<K>>)],
     route: Route,
     kind: SemiringKind,
+    ctx: Option<&ExecCtx<'_>>,
 ) -> Result<Value<K>, AxmlError> {
     match route {
-        Route::Direct => eval_direct(arts, inputs),
-        Route::ViaNrc => eval_nrc(arts, inputs),
-        Route::Shredded => eval_shredded(path, inputs, route),
+        Route::Direct => eval_direct(arts, inputs, ctx),
+        Route::ViaNrc => eval_nrc(arts, inputs, ctx),
+        Route::Shredded => eval_shredded(path, inputs, route, ctx),
         Route::Differential => {
-            let direct = eval_direct(arts, inputs)?;
-            let direct_interp = eval_direct_interpreted(arts, inputs)?;
+            // Up to five independent evaluation legs. With a
+            // non-sequential context they run concurrently on the
+            // pool (each leg also keeps its own inner parallelism);
+            // either way the legs and comparisons are checked in the
+            // same order, so outcomes — including which disagreement
+            // is reported first — are identical.
+            type Leg<K> = Option<Result<Value<K>, AxmlError>>;
+            type Legs<K> = (Leg<K>, Leg<K>, Leg<K>, Leg<K>, Leg<K>);
+            let (direct, direct_interp, nrc, nrc_interp, shredded) = match ctx {
+                Some(c) => {
+                    let (mut l1, mut l2, mut l3, mut l4, mut l5): Legs<K> =
+                        (None, None, None, None, None);
+                    c.pool.scope(|s| {
+                        s.spawn(|| l1 = Some(eval_direct(arts, inputs, ctx)));
+                        s.spawn(|| l2 = Some(eval_direct_interpreted(arts, inputs)));
+                        s.spawn(|| l3 = Some(eval_nrc(arts, inputs, ctx)));
+                        s.spawn(|| l4 = Some(eval_nrc_interpreted(arts, inputs)));
+                        if path.is_ok() {
+                            s.spawn(|| l5 = Some(eval_shredded(path, inputs, route, ctx)));
+                        }
+                    });
+                    (
+                        l1.expect("leg ran")?,
+                        l2.expect("leg ran")?,
+                        l3.expect("leg ran")?,
+                        l4.expect("leg ran")?,
+                        l5.transpose()?,
+                    )
+                }
+                None => {
+                    let direct = eval_direct(arts, inputs, ctx)?;
+                    let direct_interp = eval_direct_interpreted(arts, inputs)?;
+                    let nrc = eval_nrc(arts, inputs, ctx)?;
+                    let nrc_interp = eval_nrc_interpreted(arts, inputs)?;
+                    let shredded = if path.is_ok() {
+                        Some(eval_shredded(path, inputs, route, ctx)?)
+                    } else {
+                        None
+                    };
+                    (direct, direct_interp, nrc, nrc_interp, shredded)
+                }
+            };
             if direct != direct_interp {
                 return Err(evaluator_disagreement(
                     kind,
@@ -246,8 +319,6 @@ fn eval_route<K: Semiring>(
                     &direct_interp,
                 ));
             }
-            let nrc = eval_nrc(arts, inputs)?;
-            let nrc_interp = eval_nrc_interpreted(arts, inputs)?;
             if nrc != nrc_interp {
                 return Err(evaluator_disagreement(
                     kind,
@@ -265,8 +336,7 @@ fn eval_route<K: Semiring>(
                     &nrc,
                 ));
             }
-            if path.is_ok() {
-                let shredded = eval_shredded(path, inputs, route)?;
+            if let Some(shredded) = shredded {
                 if direct != shredded {
                     return Err(disagreement(
                         kind,
@@ -316,6 +386,7 @@ fn evaluator_disagreement<K: Semiring>(
 fn eval_direct<K: Semiring>(
     arts: &Artifacts<K>,
     inputs: &[(String, Arc<Forest<K>>)],
+    ctx: Option<&ExecCtx<'_>>,
 ) -> Result<Value<K>, AxmlError> {
     // The plan needs owned Values; this clone is shallow — a Forest is
     // a map over Arc'd trees, so only the top-level roots (usually
@@ -324,7 +395,7 @@ fn eval_direct<K: Semiring>(
         .iter()
         .map(|(n, f)| (n.as_str(), Value::Set((**f).clone())))
         .collect();
-    Ok(arts.core_plan.eval(&bound)?)
+    Ok(arts.core_plan.eval_ctx(&bound, ctx)?)
 }
 
 /// The direct route's tree-walking interpreter — the differential
@@ -346,9 +417,10 @@ fn eval_direct_interpreted<K: Semiring>(
 fn eval_nrc<K: Semiring>(
     arts: &Artifacts<K>,
     inputs: &[(String, Arc<Forest<K>>)],
+    ctx: Option<&ExecCtx<'_>>,
 ) -> Result<Value<K>, AxmlError> {
     let bound: Vec<(&str, &Forest<K>)> = inputs.iter().map(|(n, f)| (n.as_str(), &**f)).collect();
-    let out = arts.nrc_plan.eval_with_forests(&bound)?;
+    let out = arts.nrc_plan.eval_with_forests_ctx(&bound, ctx)?;
     out.to_uxml().ok_or_else(|| AxmlError::Nrc {
         msg: "query produced a non-UXML complex value".into(),
         at: arts.nrc.to_string(),
@@ -377,6 +449,7 @@ fn eval_shredded<K: Semiring>(
     path: &Result<(String, PathQuery), Ineligible>,
     inputs: &[(String, Arc<Forest<K>>)],
     route: Route,
+    ctx: Option<&ExecCtx<'_>>,
 ) -> Result<Value<K>, AxmlError> {
     let (var, p) = match path {
         Ok(x) => x,
@@ -393,7 +466,7 @@ fn eval_shredded<K: Semiring>(
             available: inputs.iter().map(|(n, _)| n.clone()).collect(),
         });
     };
-    let out = axml_relational::eval_path_via_shredding(forest, p)?;
+    let out = axml_relational::eval_path_via_shredding_ctx(forest, p, ctx)?;
     Ok(Value::Set(out))
 }
 

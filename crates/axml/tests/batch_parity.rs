@@ -1,0 +1,163 @@
+//! `Engine::eval_batch` parity: for every randomly composed batch,
+//! the batch results must be **element-wise identical** to calling
+//! `prepared.eval` sequentially — same `Ok` values (structural
+//! equality *and* rendered text), same `Err`s (rendered text), in the
+//! same order — across all 7 [`SemiringKind`]s, all routes, both
+//! modes, and error entries (unknown documents, unsupported routes).
+//! Errors must stay per-entry: a failing entry never poisons its
+//! neighbors.
+
+use axml::{Engine, EvalOptions, Parallelism, Pool, PreparedQuery, Route, SemiringKind};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The query pool: healthy queries, a query over a document that is
+/// never loaded (per-entry `UnknownDocument`), and a non-shreddable
+/// query (per-entry `UnsupportedRoute` when the batch asks for the
+/// relational route).
+const QUERY_POOL: [&str; 5] = [
+    "$S/*/*",              // shreddable chain
+    "element p { $S//c }", // element constructor: not shreddable
+    "($T//d, $S/b)",       // two documents; not shreddable (union of inputs)
+    "$MISSING/b",          // document never loaded: always errors
+    "for $x in $S return if (name($x) = a) then ($x)/c else ()",
+];
+
+const ROUTES: [Route; 4] = [
+    Route::Direct,
+    Route::ViaNrc,
+    Route::Shredded,
+    Route::Differential,
+];
+
+struct Fixture {
+    engine: Engine,
+    prepared: Vec<PreparedQuery>,
+    pool: Pool,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let engine = Engine::new();
+        engine
+            .load_document(
+                "S",
+                "<a {z}> <b {x1}> d {y1} c </b> <c {x2}> d {y2} e {y3} </c> </a>",
+            )
+            .unwrap();
+        engine
+            .load_document("T", "<r> <s {w}> d {2} </s> d </r>")
+            .unwrap();
+        let prepared = QUERY_POOL
+            .iter()
+            .map(|src| engine.prepare(src).unwrap())
+            .collect();
+        Fixture {
+            engine,
+            prepared,
+            pool: Pool::new(4),
+        }
+    })
+}
+
+fn arb_entry() -> impl Strategy<Value = (usize, usize, usize, usize, usize)> {
+    (
+        0..QUERY_POOL.len(),
+        0..SemiringKind::ALL.len(),
+        0..ROUTES.len(),
+        0..2usize, // provenance-first?
+        0..2usize, // intra-query parallelism?
+    )
+}
+
+fn build_opts(entry: &(usize, usize, usize, usize, usize)) -> EvalOptions {
+    let (_, ki, ri, pf, par) = *entry;
+    let mut opts = EvalOptions::new()
+        .semiring(SemiringKind::ALL[ki])
+        .route(ROUTES[ri]);
+    if pf == 1 {
+        opts = opts.provenance_first();
+    }
+    if par == 1 {
+        opts = opts.parallelism(Parallelism::threads(3));
+    }
+    opts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batch_matches_sequential_elementwise(entries in vec(arb_entry(), 0..24)) {
+        let fix = fixture();
+        let batch: Vec<(&PreparedQuery, EvalOptions)> = entries
+            .iter()
+            .map(|e| (&fix.prepared[e.0], build_opts(e)))
+            .collect();
+        // The reference: plain sequential eval, one entry at a time.
+        let sequential: Vec<_> = batch.iter().map(|(q, o)| q.eval(&fix.engine, *o)).collect();
+        // Same batch through the global pool and an explicit pool.
+        for results in [
+            fix.engine.eval_batch(&batch),
+            fix.engine.eval_batch_on(&fix.pool, &batch),
+        ] {
+            prop_assert_eq!(results.len(), sequential.len());
+            for (i, (got, want)) in results.iter().zip(&sequential).enumerate() {
+                match (got, want) {
+                    (Ok(g), Ok(w)) => {
+                        prop_assert_eq!(g, w, "entry {} value diverged", i);
+                        prop_assert_eq!(
+                            g.to_string(),
+                            w.to_string(),
+                            "entry {} rendering diverged",
+                            i
+                        );
+                    }
+                    (Err(g), Err(w)) => prop_assert_eq!(
+                        g.to_string(),
+                        w.to_string(),
+                        "entry {} error diverged",
+                        i
+                    ),
+                    _ => prop_assert!(
+                        false,
+                        "entry {} outcome diverged: batch {:?} vs sequential {:?}",
+                        i,
+                        got.as_ref().map(|r| r.to_string()),
+                        want.as_ref().map(|r| r.to_string())
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The documented per-entry error guarantees, pinned deterministically:
+/// an unknown document and an unsupported route each fail their own
+/// entry while every healthy entry still succeeds.
+#[test]
+fn errors_are_per_entry() {
+    let fix = fixture();
+    let nat = EvalOptions::new().semiring(SemiringKind::Nat);
+    let batch: Vec<(&PreparedQuery, EvalOptions)> = vec![
+        (&fix.prepared[0], nat),                        // ok
+        (&fix.prepared[3], nat),                        // unknown document
+        (&fix.prepared[1], nat.route(Route::Shredded)), // unsupported route
+        (&fix.prepared[1], nat),                        // ok
+    ];
+    let results = fix.engine.eval_batch(&batch);
+    assert!(results[0].is_ok());
+    assert!(results[1]
+        .as_ref()
+        .unwrap_err()
+        .to_string()
+        .contains("MISSING"));
+    assert!(results[2]
+        .as_ref()
+        .unwrap_err()
+        .to_string()
+        .contains("shredded"));
+    assert!(results[3].is_ok(), "healthy entries unaffected by errors");
+}

@@ -369,6 +369,66 @@ fn doc_cache_cap_evicts_oldest_first() {
     );
 }
 
+/// The cap is a true LRU (PR 5): *reading* a cached specialization
+/// refreshes its recency, so a hot entry survives eviction pressure
+/// that would have expelled it under fill-order FIFO.
+#[test]
+fn doc_cache_cap_is_lru_on_read() {
+    let engine = Engine::with_doc_cache_cap(2);
+    let nat = EvalOptions::new().semiring(SemiringKind::Nat);
+    for name in ["A", "B", "C"] {
+        engine
+            .load_document(name, &format!("<r> {} {{2}} </r>", name.to_lowercase()))
+            .unwrap();
+    }
+    let qa = engine.prepare("$A/*").unwrap();
+    qa.eval(&engine, nat).unwrap(); // fill A
+    engine.prepare("$B/*").unwrap().eval(&engine, nat).unwrap(); // fill B
+    qa.eval(&engine, nat).unwrap(); // touch A: now more recent than B
+    engine.prepare("$C/*").unwrap().eval(&engine, nat).unwrap(); // fill C
+
+    // FIFO would evict A (oldest fill); LRU must evict B instead.
+    assert_eq!(engine.cached_specializations("A"), [SemiringKind::Nat]);
+    assert_eq!(engine.cached_specializations("B"), []);
+    assert_eq!(engine.cached_specializations("C"), [SemiringKind::Nat]);
+}
+
+/// Document churn (load → specialize → remove, repeatedly) must not
+/// starve the live working set: dead queue entries are purged on
+/// eviction passes, so long-lived hot documents stay cached no matter
+/// how many ephemeral documents pass through the store.
+#[test]
+fn doc_cache_survives_document_churn() {
+    let engine = Engine::with_doc_cache_cap(3);
+    let nat = EvalOptions::new().semiring(SemiringKind::Nat);
+    for name in ["hotA", "hotB"] {
+        engine.load_document(name, "<r> a {3} </r>").unwrap();
+        engine
+            .prepare(&format!("${name}/*"))
+            .unwrap()
+            .eval(&engine, nat)
+            .unwrap();
+    }
+    let qa = engine.prepare("$hotA/*").unwrap();
+    let qb = engine.prepare("$hotB/*").unwrap();
+    for i in 0..100 {
+        let name = format!("churn{i}");
+        engine.load_document(&name, "<r> x </r>").unwrap();
+        engine
+            .prepare(&format!("${name}/*"))
+            .unwrap()
+            .eval(&engine, nat)
+            .unwrap();
+        assert!(engine.remove_document(&name));
+        // Keep the hot documents hot.
+        qa.eval(&engine, nat).unwrap();
+        qb.eval(&engine, nat).unwrap();
+    }
+    assert_eq!(engine.cached_specializations("hotA"), [SemiringKind::Nat]);
+    assert_eq!(engine.cached_specializations("hotB"), [SemiringKind::Nat]);
+    assert_eq!(engine.document_names(), ["hotA", "hotB"]);
+}
+
 /// Queue entries for replaced documents must not occupy cap slots:
 /// with cap 2, replacing a specialized document and then specializing
 /// a third must keep the *live* oldest specialization cached.

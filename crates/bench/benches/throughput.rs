@@ -1,0 +1,121 @@
+//! Perf-5: multi-query throughput. A fixed batch of 64 prepared-query
+//! evaluations over the `eval_scaling` corpus (balanced depth-8
+//! trees), scheduled through `Engine::eval_batch_on` on pools of 1, 2
+//! and 8 workers, against the plain sequential loop — queries/sec is
+//! `64 / (ns_per_iter · 1e-9)`, and the `pool8 / seq` ratio is the
+//! batch-throughput scaling factor the parallel evaluation layer
+//! exists for. `eval_many_docs` (one query fanned over 8 documents)
+//! rides along.
+//!
+//! Caveat for cross-machine comparisons: a pool can only scale to the
+//! cores that exist. On a single-core container every pool size
+//! measures (sequential + scheduling overhead); the recorded baseline
+//! states the machine's core count alongside the numbers.
+
+use axml::{Engine, EvalOptions, Pool, PreparedQuery, SemiringKind};
+use axml_bench::balanced_tree;
+use axml_semiring::NatPoly;
+use axml_uxml::Forest;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const N_DOCS: usize = 8;
+const BATCH: usize = 64;
+
+struct Workload {
+    engine: Engine,
+    queries: Vec<PreparedQuery>,
+}
+
+fn workload() -> Workload {
+    let engine = Engine::new();
+    for i in 0..N_DOCS {
+        engine.insert_forest(
+            &format!("S{i}"),
+            Forest::unit(balanced_tree::<NatPoly>(8, 2)),
+        );
+    }
+    let queries = (0..N_DOCS)
+        .map(|i| {
+            engine
+                .prepare(&format!("element out {{ $S{i}//c }}"))
+                .expect("prepares")
+        })
+        .collect();
+    Workload { engine, queries }
+}
+
+/// 64 entries: 8 documents × a rotating semiring mix (symbolic ℕ[X]
+/// plus three specialized kinds — the steady-state server shape where
+/// every artifact and specialization is already cached).
+fn batch(w: &Workload) -> Vec<(&PreparedQuery, EvalOptions)> {
+    const KINDS: [SemiringKind; 4] = [
+        SemiringKind::NatPoly,
+        SemiringKind::Nat,
+        SemiringKind::Tropical,
+        SemiringKind::Why,
+    ];
+    (0..BATCH)
+        .map(|j| {
+            (
+                &w.queries[j % N_DOCS],
+                EvalOptions::new().semiring(KINDS[j % KINDS.len()]),
+            )
+        })
+        .collect()
+}
+
+fn throughput(c: &mut Criterion) {
+    let w = workload();
+    let entries = batch(&w);
+    // Warm every (document × kind) specialization and per-kind artifact
+    // cache so the measurement is steady-state evaluation only.
+    for r in w.engine.eval_batch_on(&Pool::new(1), &entries) {
+        r.expect("warmup evaluates");
+    }
+
+    let mut g = c.benchmark_group("throughput");
+    g.bench_function("batch64/seq", |b| {
+        b.iter(|| {
+            let results: Vec<_> = entries.iter().map(|(q, o)| q.eval(&w.engine, *o)).collect();
+            assert_eq!(results.len(), BATCH);
+            results
+        })
+    });
+    for workers in [1usize, 2, 8] {
+        let pool = Pool::new(workers);
+        g.bench_function(format!("batch64/pool{workers}"), |b| {
+            b.iter(|| {
+                let results = w.engine.eval_batch_on(&pool, &entries);
+                assert_eq!(results.len(), BATCH);
+                results
+            })
+        });
+    }
+
+    // One prepared query fanned over every document.
+    let q = w.engine.prepare("element out { $D//c }").expect("prepares");
+    let names: Vec<String> = (0..N_DOCS).map(|i| format!("S{i}")).collect();
+    let docs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let pool8 = Pool::new(8);
+    g.bench_function("many_docs8/seq", |b| {
+        b.iter(|| {
+            docs.iter()
+                .map(|d| {
+                    let aliases: Vec<(&str, &str)> =
+                        q.free_vars().iter().map(|v| (v.as_str(), *d)).collect();
+                    q.eval_bound(&w.engine, EvalOptions::new(), &aliases)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    g.bench_function("many_docs8/pool8", |b| {
+        b.iter(|| {
+            w.engine
+                .eval_many_docs_on(&pool8, &q, &docs, EvalOptions::new())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

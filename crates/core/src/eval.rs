@@ -222,6 +222,73 @@ fn descend_into<K: Semiring>(t: &Tree<K>, k_path: &K, out: &mut Forest<K>) {
     t.for_each_descendant(k_path.clone(), |node, k| out.insert(node.clone(), k));
 }
 
+/// Below this many document nodes a descendant sweep stays
+/// sequential: splitting, scheduling and merging would cost more than
+/// the sweep itself. One constant for both compiled routes (defined
+/// in `axml-nrc`, which this crate already depends on), so the two
+/// routes always parallelize the same workloads.
+pub use axml_nrc::compile::PAR_SWEEP_MIN_NODES;
+
+/// [`eval_step`] with an execution context: descendant sweeps over
+/// documents of at least [`PAR_SWEEP_MIN_NODES`] nodes are split into
+/// top-level subtree chunks ([`Tree::descendant_split`]'s expansion),
+/// swept on the context's pool, and merged with the same in-place
+/// union the sequential loop uses — identical results; `child`/`self`
+/// steps and small documents take the sequential path untouched.
+pub fn eval_step_ctx<K: Semiring>(
+    f: &Forest<K>,
+    step: Step,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+) -> Forest<K> {
+    let Some(ctx) = ctx.filter(|c| !c.is_sequential()) else {
+        return eval_step(f, step);
+    };
+    let sweep_roots: Vec<(Tree<K>, K)> = match step.axis {
+        Axis::SelfAxis | Axis::Child => return eval_step(f, step),
+        _ if f.size() < PAR_SWEEP_MIN_NODES => return eval_step(f, step),
+        // Each sweep root is visited by its own sweep, so the two
+        // descendant flavors differ only in where the frontier starts.
+        Axis::Descendant => f.iter().map(|(t, k)| (t.clone(), k.clone())).collect(),
+        Axis::StrictDescendant => f
+            .iter()
+            .flat_map(|(t, k)| {
+                t.children()
+                    .iter()
+                    .map(|(c, kc)| (c.clone(), k.times(kc)))
+                    .collect::<Vec<_>>()
+            })
+            .collect(),
+    };
+    // Grow the frontier until there is enough independent work
+    // (the shared largest-first expansion), then sweep chunks in
+    // parallel and tree-reduce the partial forests.
+    let target = 2 * ctx.degree();
+    let (emitted, seeds) = axml_uxml::expand_sweep_seeds(sweep_roots, target);
+    let mut partials: Vec<Forest<K>> = ctx.pool.map_chunks(&seeds, target, |chunk| {
+        let mut local = Forest::new();
+        for (t, k) in chunk {
+            descend_into(t, k, &mut local);
+        }
+        local
+    });
+    let mut base = Forest::new();
+    for (t, k) in emitted {
+        base.insert(t, k);
+    }
+    partials.push(base);
+    // Same reduce half as the NRC route's fused sweep: the shared
+    // K-set parallel union.
+    let merged = Forest::from_kset(axml_semiring::par_union_all(
+        ctx.pool,
+        ctx.par,
+        partials.into_iter().map(Forest::into_kset).collect(),
+    ));
+    match step.test {
+        NodeTest::Wildcard => merged,
+        NodeTest::Label(l) => merged.filter_label(|x| x == l),
+    }
+}
+
 /// All subtrees of `t` (including `t`), each annotated with the sum
 /// over occurrences of the product of annotations along the path.
 pub fn descendant_or_self<K: Semiring>(t: &Tree<K>) -> Forest<K> {

@@ -83,7 +83,7 @@ pub mod typecheck;
 
 pub use ast::{Axis, ElementName, NodeTest, QType, Query, QueryNode, Step, SurfaceExpr};
 pub use compile::{compile, compile_step};
-pub use eval::{eval_core, eval_step, EvalError, QueryEnv};
+pub use eval::{eval_core, eval_step, eval_step_ctx, EvalError, QueryEnv};
 pub use parse::{parse_query, ParseError};
 pub use path::{eval_path, extract_path, Ineligible, PathQuery};
 pub use plan::CompiledQuery;

@@ -9,7 +9,8 @@
 //!   numeric frame slot (the environment becomes a plain
 //!   `Vec<Value<K>>`, read by index — no string comparisons);
 //! - navigation steps keep their interned [`crate::ast::Step`] and run
-//!   through the same [`eval_step`] kernel as the interpreter, whose
+//!   through the same [`crate::eval::eval_step`] kernel as the
+//!   interpreter, whose
 //!   descendant sweep is driven on an explicit stack.
 //!
 //! The interpreter stays the differential reference: compiled and
@@ -17,7 +18,7 @@
 //! ill-shaped bindings where both must error with the same message.
 
 use crate::ast::{Query, QueryNode, Step};
-use crate::eval::{eval_step, EvalError};
+use crate::eval::{eval_step_ctx, EvalError};
 use axml_nrc::compile::SlotScope;
 use axml_semiring::Semiring;
 use axml_uxml::{Forest, Label, Tree, Value};
@@ -93,6 +94,18 @@ impl<K: Semiring> CompiledQuery<K> {
     /// the variable is actually read — like the interpreter's
     /// unbound-variable case (dead branches stay dead).
     pub fn eval(&self, inputs: &[(&str, Value<K>)]) -> Result<Value<K>, EvalError> {
+        self.eval_ctx(inputs, None)
+    }
+
+    /// [`CompiledQuery::eval`] with an optional execution context:
+    /// with a non-sequential context, descendant sweeps over large
+    /// documents are chunked onto the context's pool (see
+    /// [`crate::eval::eval_step_ctx`]). `None` is exactly [`Self::eval`].
+    pub fn eval_ctx(
+        &self,
+        inputs: &[(&str, Value<K>)],
+        ctx: Option<&axml_pool::ExecCtx<'_>>,
+    ) -> Result<Value<K>, EvalError> {
         let mut env: Vec<SlotVal<K>> = Vec::with_capacity(self.max_slots);
         for name in &self.free {
             env.push(match inputs.iter().find(|(n, _)| *n == name) {
@@ -100,7 +113,7 @@ impl<K: Semiring> CompiledQuery<K> {
                 None => SlotVal::Unbound(name.clone()),
             });
         }
-        eval_qop(&self.op, &mut env)
+        eval_qop(&self.op, &mut env, ctx)
     }
 }
 
@@ -220,7 +233,11 @@ fn err<T, K: Semiring>(op: &QOp<K>, msg: impl Into<String>) -> Result<T, EvalErr
     })
 }
 
-fn eval_qop<K: Semiring>(op: &QOp<K>, env: &mut Vec<SlotVal<K>>) -> Result<Value<K>, EvalError> {
+fn eval_qop<K: Semiring>(
+    op: &QOp<K>,
+    env: &mut Vec<SlotVal<K>>,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+) -> Result<Value<K>, EvalError> {
     match op {
         QOp::LabelLit(l) => Ok(Value::Label(*l)),
         QOp::Slot(i) => match &env[*i as usize] {
@@ -229,7 +246,7 @@ fn eval_qop<K: Semiring>(op: &QOp<K>, env: &mut Vec<SlotVal<K>>) -> Result<Value
         },
         QOp::Empty => Ok(Value::Set(Forest::new())),
         QOp::Singleton(inner) => {
-            let v = eval_qop(inner, env)?;
+            let v = eval_qop(inner, env, ctx)?;
             match v {
                 Value::Tree(t) => Ok(Value::Set(Forest::unit(t))),
                 Value::Label(l) => Ok(Value::Set(Forest::unit(Tree::leaf(l)))),
@@ -237,72 +254,76 @@ fn eval_qop<K: Semiring>(op: &QOp<K>, env: &mut Vec<SlotVal<K>>) -> Result<Value
             }
         }
         QOp::Union(a, b) => {
-            let mut va = eval_qset(a, env)?;
-            let vb = eval_qset(b, env)?;
+            let mut va = eval_qset(a, env, ctx)?;
+            let vb = eval_qset(b, env, ctx)?;
             va.union_with(vb);
             Ok(Value::Set(va))
         }
         QOp::For { source, body } => {
-            let src = eval_qset(source, env)?;
+            let src = eval_qset(source, env, ctx)?;
             let mut out = Forest::new();
             for (t, k) in src.iter() {
                 env.push(SlotVal::Bound(Value::Tree(t.clone())));
-                let inner = eval_qset(body, env);
+                let inner = eval_qset(body, env, ctx);
                 env.pop();
                 out.extend_scaled(inner?, k);
             }
             Ok(Value::Set(out))
         }
         QOp::Let { def, body } => {
-            let vd = eval_qop(def, env)?;
+            let vd = eval_qop(def, env, ctx)?;
             env.push(SlotVal::Bound(vd));
-            let out = eval_qop(body, env);
+            let out = eval_qop(body, env, ctx);
             env.pop();
             out
         }
         QOp::If { l, r, then, els } => {
-            let vl = eval_qop(l, env)?;
-            let vr = eval_qop(r, env)?;
+            let vl = eval_qop(l, env, ctx)?;
+            let vr = eval_qop(r, env, ctx)?;
             match (vl.as_label(), vr.as_label()) {
                 (Some(a), Some(b)) => {
                     if a == b {
-                        eval_qop(then, env)
+                        eval_qop(then, env, ctx)
                     } else {
-                        eval_qop(els, env)
+                        eval_qop(els, env, ctx)
                     }
                 }
                 _ => err(op, "if compares non-labels"),
             }
         }
         QOp::Element { name, content } => {
-            let vn = eval_qop(name, env)?;
+            let vn = eval_qop(name, env, ctx)?;
             let Some(l) = vn.as_label() else {
                 return err(op, "element name is not a label");
             };
-            let vc = eval_qset(content, env)?;
+            let vc = eval_qset(content, env, ctx)?;
             Ok(Value::Tree(Tree::new(l, vc)))
         }
         QOp::Name(inner) => {
-            let v = eval_qop(inner, env)?;
+            let v = eval_qop(inner, env, ctx)?;
             match v.as_tree() {
                 Some(t) => Ok(Value::Label(t.label())),
                 None => err(op, "name() of a non-tree"),
             }
         }
         QOp::Annot(k, inner) => {
-            let mut f = eval_qset(inner, env)?;
+            let mut f = eval_qset(inner, env, ctx)?;
             f.scalar_mul_in_place(k);
             Ok(Value::Set(f))
         }
         QOp::Path(inner, step) => {
-            let f = eval_qset(inner, env)?;
-            Ok(Value::Set(eval_step(&f, *step)))
+            let f = eval_qset(inner, env, ctx)?;
+            Ok(Value::Set(eval_step_ctx(&f, *step, ctx)))
         }
     }
 }
 
-fn eval_qset<K: Semiring>(op: &QOp<K>, env: &mut Vec<SlotVal<K>>) -> Result<Forest<K>, EvalError> {
-    match eval_qop(op, env)? {
+fn eval_qset<K: Semiring>(
+    op: &QOp<K>,
+    env: &mut Vec<SlotVal<K>>,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+) -> Result<Forest<K>, EvalError> {
+    match eval_qop(op, env, ctx)? {
         Value::Set(f) => Ok(f),
         other => err(op, format!("expected a set, got {other}")),
     }

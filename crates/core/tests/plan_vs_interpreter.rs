@@ -191,6 +191,49 @@ fn hostile_query_text_errors_before_planning() {
     }
 }
 
+/// The chunked parallel descendant sweep (`eval_ctx` with a pool)
+/// returns exactly what the sequential plan does — across fan-out
+/// degrees, both descendant axes, label tests, and a document large
+/// enough to clear the parallel threshold.
+#[test]
+fn parallel_sweep_matches_sequential() {
+    use axml_pool::{ExecCtx, Parallelism, Pool};
+    // A deep annotated comb: > PAR_SWEEP_MIN_NODES nodes, annotations
+    // on every level so path products actually differ per chunk.
+    let mut doc = String::from("<top {z}> ");
+    for i in 0..600 {
+        doc.push_str(&format!(
+            "<n{} {{x{}}}> c {{y{}}} d </n{}> ",
+            i % 7,
+            i,
+            i,
+            i % 7
+        ));
+    }
+    doc.push_str("</top>");
+    let forest = parse_forest::<NatPoly>(&doc).unwrap();
+    let pool = Pool::new(4);
+    for src in [
+        "$S//c",
+        "$S/descendant::*",
+        "$S/strict-descendant::c",
+        "element r { for $t in $S return ($t)//d }",
+    ] {
+        let q = elaborate(&parse_query::<NatPoly>(src).unwrap()).unwrap();
+        let plan = CompiledQuery::compile(&q);
+        let seq = plan
+            .eval(&[("S", Value::Set(forest.clone()))])
+            .expect("sequential evaluates");
+        for degree in [2, 4, 16] {
+            let ctx = ExecCtx::new(&pool, Parallelism::threads(degree));
+            let par = plan
+                .eval_ctx(&[("S", Value::Set(forest.clone()))], Some(&ctx))
+                .expect("parallel evaluates");
+            assert_eq!(seq, par, "{src} with degree {degree}");
+        }
+    }
+}
+
 /// The paper's own queries agree compiled-vs-interpreted in ℕ[X].
 #[test]
 fn paper_queries_parity() {

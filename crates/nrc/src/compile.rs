@@ -38,6 +38,13 @@ use axml_semiring::{KSet, Semiring};
 use axml_uxml::{Forest, Label, Tree};
 use std::fmt;
 
+/// Below this many document nodes a descendant sweep stays
+/// sequential — splitting, scheduling and merging would cost more
+/// than the sweep itself. Shared by both compiled routes (`axml-core`
+/// re-exports this constant), so they always parallelize the same
+/// workloads.
+pub const PAR_SWEEP_MIN_NODES: usize = 1024;
+
 /// A reusable execution plan for one `NRC_K + srt` expression.
 ///
 /// Build with [`CompiledExpr::compile`]; evaluate with
@@ -135,28 +142,48 @@ impl<K: Semiring> CompiledExpr<K> {
     /// Unused inputs are ignored; a missing input errors like the
     /// interpreter's unbound-variable case.
     pub fn eval(&self, inputs: &[(&str, CValue<K>)]) -> Result<CValue<K>, EvalError> {
-        self.eval_seeded(|name| {
-            inputs
-                .iter()
-                .find(|(n, _)| *n == name)
-                .map(|(_, v)| v.clone())
-        })
+        self.eval_seeded(
+            |name| {
+                inputs
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, v)| v.clone())
+            },
+            None,
+        )
     }
 
     /// Evaluate with each free variable bound to a `{tree}` value —
     /// the common entry point for compiled UXQuery programs.
     pub fn eval_with_forests(&self, inputs: &[(&str, &Forest<K>)]) -> Result<CValue<K>, EvalError> {
-        self.eval_seeded(|name| {
-            inputs
-                .iter()
-                .find(|(n, _)| *n == name)
-                .map(|(_, f)| CValue::from_forest(f))
-        })
+        self.eval_with_forests_ctx(inputs, None)
+    }
+
+    /// [`CompiledExpr::eval_with_forests`] with an optional execution
+    /// context: with a non-sequential context the fused descendant
+    /// sweep over a large document is split into top-level subtree
+    /// chunks, swept on the context's pool, and merged in place —
+    /// identical results, and `None` is exactly the sequential path.
+    pub fn eval_with_forests_ctx(
+        &self,
+        inputs: &[(&str, &Forest<K>)],
+        ctx: Option<&axml_pool::ExecCtx<'_>>,
+    ) -> Result<CValue<K>, EvalError> {
+        self.eval_seeded(
+            |name| {
+                inputs
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, f)| CValue::from_forest(f))
+            },
+            ctx,
+        )
     }
 
     fn eval_seeded(
         &self,
         mut get: impl FnMut(&str) -> Option<CValue<K>>,
+        ctx: Option<&axml_pool::ExecCtx<'_>>,
     ) -> Result<CValue<K>, EvalError> {
         let mut env: Vec<SlotVal<K>> = Vec::with_capacity(self.max_slots);
         for name in &self.free {
@@ -168,7 +195,7 @@ impl<K: Semiring> CompiledExpr<K> {
                 None => SlotVal::Unbound(name.clone()),
             });
         }
-        eval_op(&self.op, &mut env)
+        eval_op(&self.op, &mut env, ctx)
     }
 
     /// A compact rendering of the plan (slots print as `_i`), mainly
@@ -457,7 +484,11 @@ fn err<T, K: Semiring>(op: &Op<K>, msg: impl Into<String>) -> Result<T, EvalErro
     })
 }
 
-fn eval_op<K: Semiring>(op: &Op<K>, env: &mut Vec<SlotVal<K>>) -> Result<CValue<K>, EvalError> {
+fn eval_op<K: Semiring>(
+    op: &Op<K>,
+    env: &mut Vec<SlotVal<K>>,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+) -> Result<CValue<K>, EvalError> {
     match op {
         Op::Label(l) => Ok(CValue::Label(*l)),
         Op::Slot(i) => match &env[*i as usize] {
@@ -465,33 +496,33 @@ fn eval_op<K: Semiring>(op: &Op<K>, env: &mut Vec<SlotVal<K>>) -> Result<CValue<
             SlotVal::Unbound(name) => err(op, format!("unbound variable `{name}`")),
         },
         Op::Let { def, body } => {
-            let vd = eval_op(def, env)?;
+            let vd = eval_op(def, env, ctx)?;
             env.push(SlotVal::Bound(vd));
-            let out = eval_op(body, env);
+            let out = eval_op(body, env, ctx);
             env.pop();
             out
         }
         Op::Pair(a, b) => {
-            let va = eval_op(a, env)?;
-            let vb = eval_op(b, env)?;
+            let va = eval_op(a, env, ctx)?;
+            let vb = eval_op(b, env, ctx)?;
             Ok(CValue::pair(va, vb))
         }
-        Op::Proj1(inner) => match eval_op(inner, env)? {
+        Op::Proj1(inner) => match eval_op(inner, env, ctx)? {
             CValue::Pair(a, _) => Ok((*a).clone()),
             other => err(op, format!("π1 of non-pair {other:?}")),
         },
-        Op::Proj2(inner) => match eval_op(inner, env)? {
+        Op::Proj2(inner) => match eval_op(inner, env, ctx)? {
             CValue::Pair(_, b) => Ok((*b).clone()),
             other => err(op, format!("π2 of non-pair {other:?}")),
         },
         Op::Empty => Ok(CValue::empty_set()),
         Op::Singleton(inner) => {
-            let v = eval_op(inner, env)?;
+            let v = eval_op(inner, env, ctx)?;
             Ok(CValue::singleton(v))
         }
         Op::Union(a, b) => {
-            let va = eval_op(a, env)?;
-            let vb = eval_op(b, env)?;
+            let va = eval_op(a, env, ctx)?;
+            let vb = eval_op(b, env, ctx)?;
             match (va, vb) {
                 (CValue::Set(mut sa), CValue::Set(sb)) => {
                     sa.union_with(sb);
@@ -501,14 +532,14 @@ fn eval_op<K: Semiring>(op: &Op<K>, env: &mut Vec<SlotVal<K>>) -> Result<CValue<
             }
         }
         Op::BigUnion { source, body } => {
-            let vs = eval_op(source, env)?;
+            let vs = eval_op(source, env, ctx)?;
             let CValue::Set(s) = vs else {
                 return err(op, format!("big-union source is not a set: {vs:?}"));
             };
             let mut out: KSet<CValue<K>, K> = KSet::new();
             for (v, k) in s.iter() {
                 env.push(SlotVal::Bound(v.clone()));
-                let inner = eval_op(body, env);
+                let inner = eval_op(body, env, ctx);
                 env.pop();
                 match inner? {
                     CValue::Set(si) => out.extend_scaled(si, k),
@@ -518,14 +549,14 @@ fn eval_op<K: Semiring>(op: &Op<K>, env: &mut Vec<SlotVal<K>>) -> Result<CValue<
             Ok(CValue::Set(out))
         }
         Op::IfEq { l, r, then, els } => {
-            let vl = eval_op(l, env)?;
-            let vr = eval_op(r, env)?;
+            let vl = eval_op(l, env, ctx)?;
+            let vr = eval_op(r, env, ctx)?;
             match (vl, vr) {
                 (CValue::Label(a), CValue::Label(b)) => {
                     if a == b {
-                        eval_op(then, env)
+                        eval_op(then, env, ctx)
                     } else {
-                        eval_op(els, env)
+                        eval_op(els, env, ctx)
                     }
                 }
                 (vl, vr) => err(
@@ -534,7 +565,7 @@ fn eval_op<K: Semiring>(op: &Op<K>, env: &mut Vec<SlotVal<K>>) -> Result<CValue<
                 ),
             }
         }
-        Op::Scalar { k, body } => match eval_op(body, env)? {
+        Op::Scalar { k, body } => match eval_op(body, env, ctx)? {
             CValue::Set(mut s) => {
                 s.scalar_mul_in_place(k);
                 Ok(CValue::Set(s))
@@ -542,8 +573,8 @@ fn eval_op<K: Semiring>(op: &Op<K>, env: &mut Vec<SlotVal<K>>) -> Result<CValue<
             other => err(op, format!("scalar annotation on non-set {other:?}")),
         },
         Op::Tree(lab, children) => {
-            let vl = eval_op(lab, env)?;
-            let vc = eval_op(children, env)?;
+            let vl = eval_op(lab, env, ctx)?;
+            let vc = eval_op(children, env, ctx)?;
             let Some(l) = vl.as_label() else {
                 return err(op, format!("Tree label is not a label: {vl:?}"));
             };
@@ -552,23 +583,23 @@ fn eval_op<K: Semiring>(op: &Op<K>, env: &mut Vec<SlotVal<K>>) -> Result<CValue<
             };
             Ok(CValue::Tree(Tree::new(l, forest)))
         }
-        Op::Tag(inner) => match eval_op(inner, env)? {
+        Op::Tag(inner) => match eval_op(inner, env, ctx)? {
             CValue::Tree(t) => Ok(CValue::Label(t.label())),
             other => err(op, format!("tag of non-tree {other:?}")),
         },
-        Op::Kids(inner) => match eval_op(inner, env)? {
+        Op::Kids(inner) => match eval_op(inner, env, ctx)? {
             CValue::Tree(t) => Ok(CValue::from_forest(t.children())),
             other => err(op, format!("kids of non-tree {other:?}")),
         },
         Op::Srt { body, target } => {
-            let vt = eval_op(target, env)?;
+            let vt = eval_op(target, env, ctx)?;
             let CValue::Tree(t) = vt else {
                 return err(op, format!("srt target is not a tree: {vt:?}"));
             };
-            eval_srt_iterative(body, &t, env)
+            eval_srt_iterative(body, &t, env, ctx)
         }
         Op::FilterLabel { source, label } => {
-            let vs = eval_op(source, env)?;
+            let vs = eval_op(source, env, ctx)?;
             let CValue::Set(s) = vs else {
                 return err(op, format!("big-union source is not a set: {vs:?}"));
             };
@@ -586,7 +617,7 @@ fn eval_op<K: Semiring>(op: &Op<K>, env: &mut Vec<SlotVal<K>>) -> Result<CValue<
             Ok(CValue::Set(out))
         }
         Op::KidsFlat(source) => {
-            let vs = eval_op(source, env)?;
+            let vs = eval_op(source, env, ctx)?;
             let CValue::Set(s) = vs else {
                 return err(op, format!("big-union source is not a set: {vs:?}"));
             };
@@ -610,13 +641,39 @@ fn eval_op<K: Semiring>(op: &Op<K>, env: &mut Vec<SlotVal<K>>) -> Result<CValue<
             Ok(CValue::Set(out))
         }
         Op::Descendants(target) => {
-            let vt = eval_op(target, env)?;
+            let vt = eval_op(target, env, ctx)?;
             let CValue::Tree(t) = vt else {
                 return err(op, format!("srt target is not a tree: {vt:?}"));
             };
             // Every subtree (including t), annotated with the sum over
             // occurrences of the product of annotations along the path
-            // — Fig 4's semantics, via the shared sweep kernel.
+            // — Fig 4's semantics, via the shared sweep kernel. With a
+            // non-sequential context and a large enough document the
+            // sweep is chunked over top-level subtrees and merged in
+            // place — same multiset, same result.
+            if let Some(c) = ctx.filter(|c| !c.is_sequential()) {
+                if t.size() >= PAR_SWEEP_MIN_NODES {
+                    let target_chunks = 2 * c.degree();
+                    let (emitted, seeds) = t.descendant_split(K::one(), target_chunks);
+                    let mut partials: Vec<KSet<CValue<K>, K>> =
+                        c.pool.map_chunks(&seeds, target_chunks, |chunk| {
+                            let mut local: KSet<CValue<K>, K> = KSet::new();
+                            for (t, k) in chunk {
+                                t.for_each_descendant(k.clone(), |node, kn| {
+                                    local.insert(CValue::Tree(node.clone()), kn);
+                                });
+                            }
+                            local
+                        });
+                    let mut base: KSet<CValue<K>, K> = KSet::new();
+                    for (t, k) in emitted {
+                        base.insert(CValue::Tree(t), k);
+                    }
+                    partials.push(base);
+                    let merged = axml_semiring::par_union_all(c.pool, c.par, partials);
+                    return Ok(CValue::Set(merged));
+                }
+            }
             let mut out: KSet<CValue<K>, K> = KSet::new();
             t.for_each_descendant(K::one(), |node, k| {
                 out.insert(CValue::Tree(node.clone()), k);
@@ -635,6 +692,7 @@ fn eval_srt_iterative<K: Semiring>(
     body: &Op<K>,
     t: &Tree<K>,
     env: &mut Vec<SlotVal<K>>,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
 ) -> Result<CValue<K>, EvalError> {
     struct Frame<'t, K: Semiring> {
         tree: &'t Tree<K>,
@@ -665,7 +723,7 @@ fn eval_srt_iterative<K: Semiring>(
         let done = stack.pop().expect("just observed");
         env.push(SlotVal::Bound(CValue::Label(done.tree.label())));
         env.push(SlotVal::Bound(CValue::Set(done.acc)));
-        let out = eval_op(body, env);
+        let out = eval_op(body, env, ctx);
         env.pop();
         env.pop();
         let out = out?;

@@ -238,6 +238,47 @@ fn nested_srt_parity() {
     assert_parity_all_kinds(&e2);
 }
 
+/// The chunked parallel descendant sweep inside the compiled plan
+/// (`eval_with_forests_ctx` with a pool) is bit-identical to the
+/// sequential plan and the interpreter on a document large enough to
+/// clear the parallel threshold.
+#[test]
+fn parallel_descendants_parity() {
+    use axml_pool::{ExecCtx, Parallelism, Pool};
+    // The full §6.3 descendant shape, recognized into the fused sweep:
+    // compile the surface query so we exercise exactly what
+    // `Route::ViaNrc` runs.
+    let mut doc = String::from("<top {z}> ");
+    for i in 0..600 {
+        doc.push_str(&format!(
+            "<m{} {{v{}}}> c {{w{}}} </m{}> ",
+            i % 5,
+            i,
+            i,
+            i % 5
+        ));
+    }
+    doc.push_str("</top>");
+    let forest = parse_forest::<NatPoly>(&doc).unwrap();
+    let core = axml_core::elaborate(&axml_core::parse_query::<NatPoly>("$S//c").unwrap()).unwrap();
+    let e = axml_core::compile_optimized(&core);
+    let plan = CompiledExpr::compile(&e);
+    assert!(
+        plan.plan_display().contains("descendants"),
+        "query must lower to the fused sweep: {}",
+        plan.plan_display()
+    );
+    let seq = plan.eval_with_forests(&[("S", &forest)]).unwrap();
+    let pool = Pool::new(4);
+    for degree in [2, 4, 16] {
+        let ctx = ExecCtx::new(&pool, Parallelism::threads(degree));
+        let par = plan
+            .eval_with_forests_ctx(&[("S", &forest)], Some(&ctx))
+            .unwrap();
+        assert_eq!(seq, par, "degree {degree}");
+    }
+}
+
 /// The depth caps stay in force in front of the compiled pipeline:
 /// hostile parser input errors (it never reaches plan compilation),
 /// and an expression over a depth-capped document parse errors

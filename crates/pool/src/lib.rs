@@ -1,0 +1,762 @@
+//! A minimal scoped worker pool — the workspace's only parallelism
+//! substrate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! provides the rayon-shaped subset the evaluation stack needs, on
+//! `std` alone:
+//!
+//! - [`Pool::scope`] / [`Scope::spawn`]: structured fork-join over
+//!   **borrowed** data. A scope does not return until every task it
+//!   spawned has finished, so tasks may capture references to the
+//!   caller's stack frame (the same guarantee as `std::thread::scope`,
+//!   without spawning a thread per task).
+//! - [`Pool::join`]: the two-way special case; runs one closure inline
+//!   on the calling thread while the other is up for grabs.
+//! - [`Pool::map_slice`] / [`Pool::map_chunks`] / [`Pool::reduce`]:
+//!   order-preserving data-parallel helpers built on `scope`.
+//! - [`Parallelism`]: the runtime knob every evaluation entry point
+//!   takes. `Parallelism::sequential()` (the default everywhere) means
+//!   the pool is never touched — single-threaded callers pay nothing.
+//!
+//! # Scheduling model
+//!
+//! Each worker owns a deque behind its own mutex: the owner pushes and
+//! pops at the back (LIFO keeps the working set warm), thieves and the
+//! external injector are FIFO at the front — mutex-per-deque
+//! work-stealing rather than a lock-free Chase–Lev deque, which keeps
+//! the implementation small and obviously correct at the cost of an
+//! uncontended lock per queue operation (µs-scale tasks; fine for the
+//! chunk sizes the evaluators use).
+//!
+//! A thread that waits on a scope **helps**: while its tasks are
+//! outstanding it pops and runs pool work (its own tasks or anyone
+//! else's) instead of blocking. This makes nested scopes
+//! deadlock-free — a worker that opens a scope inside a task keeps
+//! executing queued tasks until its own are done — and means a pool of
+//! `n` workers gives `n + 1` execution streams to the thread driving a
+//! scope.
+//!
+//! # Panics
+//!
+//! A panicking task does not poison the pool: the payload is captured,
+//! every sibling task still runs, and the first payload is re-raised
+//! on the scope-owning thread once the scope is drained (mirroring
+//! `std::thread::scope`).
+//!
+//! # Safety
+//!
+//! The single `unsafe` block erases the scope lifetime of a spawned
+//! closure (`Box<dyn FnOnce + 'scope>` → `'static`) so it can sit in
+//! the shared queues. Soundness rests on the structured-concurrency
+//! invariant, which `scope` enforces even when the scope body panics:
+//! no closure outlives the `scope` call that spawned it.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// A queued unit of work. Lifetime-erased; see the module docs.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// How long an idle thread sleeps per condvar wait. Wakeups are
+/// delivered by notification (pushes, completions and shutdown all
+/// notify under the `idle` mutex), so this is a safety bound against
+/// unforeseen missed-wakeup bugs — not a polling period; an idle pool
+/// wakes each worker only ~10×/sec.
+const IDLE_WAIT: Duration = Duration::from_millis(100);
+
+/// State shared between the pool handle, its workers, and in-flight
+/// completion callbacks (which may outlive a `Scope` but never the
+/// `Arc`).
+struct Shared {
+    /// FIFO queue for work submitted from non-worker threads.
+    injector: Mutex<VecDeque<Job>>,
+    /// One deque per worker: owner end is the back, steal end the front.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Sleep/wake rendezvous. Pushers and completions notify under the
+    /// mutex so a sleeper can never miss a wakeup between its re-check
+    /// and its wait.
+    idle: Mutex<()>,
+    wake: Condvar,
+    /// Number of threads currently inside a condvar wait (or committed
+    /// to entering one — incremented under `idle` before the final
+    /// queue re-check). Lets the push/completion hot path skip the
+    /// mutex + notify entirely when nobody is asleep: with `SeqCst` on
+    /// both sides, a pusher that reads 0 is ordered before the
+    /// sleeper's increment, whose subsequent re-check then sees the
+    /// already-pushed job.
+    sleepers: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn notify(&self) {
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return; // nobody to wake: skip the mutex on the hot path
+        }
+        let _g = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+        self.wake.notify_all();
+    }
+
+    fn lock_idle(&self) -> MutexGuard<'_, ()> {
+        self.idle.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn any_queued(&self) -> bool {
+        if !self
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+        {
+            return true;
+        }
+        self.deques
+            .iter()
+            .any(|d| !d.lock().unwrap_or_else(|e| e.into_inner()).is_empty())
+    }
+
+    /// Pop one job: own deque (LIFO) if `me` is a worker, then the
+    /// injector, then steal FIFO from the other deques.
+    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(i) = me {
+            if let Some(j) = self.deques[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_back()
+            {
+                return Some(j);
+            }
+        }
+        if let Some(j) = self
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
+            return Some(j);
+        }
+        let n = self.deques.len();
+        let start = me.map_or(0, |i| i + 1);
+        for off in 0..n {
+            let i = (start + off) % n;
+            if Some(i) == me {
+                continue;
+            }
+            if let Some(j) = self.deques[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+            {
+                return Some(j);
+            }
+        }
+        None
+    }
+}
+
+thread_local! {
+    /// `(pool identity, worker index)` of the pool this thread works
+    /// for, if any — lets `spawn` from inside a task push to the
+    /// worker's own deque instead of the injector.
+    static CURRENT_WORKER: std::cell::Cell<(usize, usize)> =
+        const { std::cell::Cell::new((0, usize::MAX)) };
+}
+
+/// A fixed-size worker pool. See the module docs for the scheduling
+/// model. Dropping a pool shuts its workers down (after they drain any
+/// queued work — scopes guarantee there is none left by then).
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// A pool with `workers` OS threads (at least one). Workers beyond
+    /// the machine's core count are legal — they time-share, which is
+    /// exactly what the oversubscription stress tests want.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("axml-pool-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+
+    /// Number of worker threads (the thread driving a scope adds one
+    /// more execution stream on top).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    fn identity(&self) -> usize {
+        Arc::as_ptr(&self.shared) as usize
+    }
+
+    fn push(&self, job: Job) {
+        let (pool_id, idx) = CURRENT_WORKER.with(|c| c.get());
+        if pool_id == self.identity() && idx < self.shared.deques.len() {
+            self.shared.deques[idx]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(job);
+        } else {
+            self.shared
+                .injector
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(job);
+        }
+        self.shared.notify();
+    }
+
+    /// Structured fork-join: run `f` with a [`Scope`] on which tasks
+    /// borrowing from the enclosing frame can be spawned; returns only
+    /// after every spawned task has finished. The calling thread
+    /// executes pool work while it waits. The first task panic (or a
+    /// panic in `f` itself) is re-raised here once the scope is
+    /// drained.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        let s = Scope {
+            pool: self,
+            core: Arc::new(ScopeCore {
+                pending: AtomicUsize::new(0),
+                panic: Mutex::new(None),
+            }),
+            _marker: PhantomData,
+        };
+        // Even if `f` panics we must drain the scope before unwinding
+        // this frame: spawned jobs hold (erased) borrows into it.
+        let body = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
+        let me = {
+            let (pool_id, idx) = CURRENT_WORKER.with(|c| c.get());
+            (pool_id == self.identity()).then_some(idx)
+        };
+        while s.core.pending.load(Ordering::Acquire) != 0 {
+            if let Some(job) = self.shared.find_job(me) {
+                job();
+                continue;
+            }
+            let guard = self.shared.lock_idle();
+            self.shared.sleepers.fetch_add(1, Ordering::SeqCst);
+            // Re-check *after* registering as a sleeper (see the
+            // `sleepers` field docs): pushes and completions that
+            // raced ahead are visible here; later ones will see the
+            // sleeper count and notify. The long timeout is a
+            // belt-and-braces bound, not a polling interval.
+            if s.core.pending.load(Ordering::Acquire) != 0 && !self.shared.any_queued() {
+                drop(self.shared.wake.wait_timeout(guard, IDLE_WAIT));
+            }
+            self.shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+        let task_panic = s
+            .core
+            .panic
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        match body {
+            Err(p) => panic::resume_unwind(p),
+            Ok(r) => {
+                if let Some(p) = task_panic {
+                    panic::resume_unwind(p);
+                }
+                r
+            }
+        }
+    }
+
+    /// Run `a` and `b`, potentially in parallel: `b` is offered to the
+    /// pool, `a` runs inline on the calling thread, and the call
+    /// returns both results (helping with queued work while waiting
+    /// for `b`).
+    pub fn join<RA, RB, A, B>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA,
+        B: FnOnce() -> RB + Send,
+        RB: Send,
+    {
+        let mut rb = None;
+        let ra = self.scope(|s| {
+            s.spawn(|| rb = Some(b()));
+            a()
+        });
+        (ra, rb.expect("join: spawned half completed"))
+    }
+
+    /// Apply `f` to every element, in parallel, preserving order.
+    /// `f` receives the element index alongside the element.
+    pub fn map_slice<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(usize, &T) -> R + Sync,
+    ) -> Vec<R> {
+        let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        self.scope(|s| {
+            for (i, (item, slot)) in items.iter().zip(out.iter_mut()).enumerate() {
+                let f = &f;
+                s.spawn(move || *slot = Some(f(i, item)));
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("map_slice: task completed"))
+            .collect()
+    }
+
+    /// Split `items` into at most `chunks` contiguous runs and apply
+    /// `f` to each run in parallel, preserving order.
+    pub fn map_chunks<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        chunks: usize,
+        f: impl Fn(&[T]) -> R + Sync,
+    ) -> Vec<R> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let per = items.len().div_ceil(chunks.max(1));
+        let runs: Vec<&[T]> = items.chunks(per.max(1)).collect();
+        self.map_slice(&runs, |_, run| f(run))
+    }
+
+    /// Parallel tree-reduce: fold `items` down to one value with an
+    /// associative `merge`, splitting the work across up to `degree`
+    /// parallel folds. Returns `None` for an empty input.
+    pub fn reduce<T: Send>(
+        &self,
+        items: Vec<T>,
+        degree: usize,
+        merge: impl Fn(T, T) -> T + Sync,
+    ) -> Option<T> {
+        fn fold<T>(items: Vec<T>, merge: &impl Fn(T, T) -> T) -> Option<T> {
+            items.into_iter().reduce(merge)
+        }
+        if items.len() <= 2 || degree <= 1 {
+            return fold(items, &merge);
+        }
+        let per = items.len().div_ceil(degree);
+        let mut batches: Vec<Vec<T>> = Vec::new();
+        let mut items = items.into_iter();
+        loop {
+            let batch: Vec<T> = items.by_ref().take(per).collect();
+            if batch.is_empty() {
+                break;
+            }
+            batches.push(batch);
+        }
+        let folded: Vec<Option<T>> = {
+            let merge = &merge;
+            let mut out: Vec<Option<T>> = (0..batches.len()).map(|_| None).collect();
+            self.scope(|s| {
+                for (batch, slot) in batches.into_iter().zip(out.iter_mut()) {
+                    s.spawn(move || *slot = fold(batch, merge));
+                }
+            });
+            out
+        };
+        fold(folded.into_iter().flatten().collect(), &merge)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unconditional notify: a worker between its sleeper re-check
+        // and its wait must still be woken (store is SeqCst-ordered
+        // before the sleeper's re-check or the notify reaches it).
+        {
+            let _g = self.shared.lock_idle();
+            self.shared.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    CURRENT_WORKER.with(|c| c.set((Arc::as_ptr(&shared) as usize, index)));
+    loop {
+        if let Some(job) = shared.find_job(Some(index)) {
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let guard = shared.lock_idle();
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        // Same handshake as the scope wait: register as a sleeper,
+        // then re-check, then sleep; pushes and shutdown notify when
+        // sleepers are present (the timeout only bounds unforeseen
+        // bugs).
+        if !shared.any_queued() && !shared.shutdown.load(Ordering::SeqCst) {
+            drop(shared.wake.wait_timeout(guard, IDLE_WAIT));
+        }
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Completion state of one scope, owned jointly by the scope owner
+/// and every in-flight task (so a task never dereferences the owner's
+/// stack frame to signal completion).
+struct ScopeCore {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A fork-join scope handed to the closure of [`Pool::scope`]. Tasks
+/// spawned here may borrow anything that outlives `'env` (mirroring
+/// `std::thread::scope`'s two-lifetime shape).
+pub struct Scope<'pool, 'env> {
+    pool: &'pool Pool,
+    core: Arc<ScopeCore>,
+    /// Invariant in `'env` (mirrors rayon/std): stops the borrow
+    /// checker from shortening the environment lifetime out from under
+    /// the spawned closures.
+    _marker: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Queue a task. It may run on any worker (or on the thread
+    /// waiting for the scope) and is guaranteed to finish before the
+    /// enclosing [`Pool::scope`] call returns. A panic inside the task
+    /// is captured and re-raised by the scope owner.
+    pub fn spawn<F: FnOnce() + Send + 'env>(&self, f: F) {
+        self.core.pending.fetch_add(1, Ordering::AcqRel);
+        let core = Arc::clone(&self.core);
+        let shared = Arc::clone(&self.pool.shared);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if let Err(p) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = core.panic.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+            }
+            core.pending.fetch_sub(1, Ordering::AcqRel);
+            let _g = shared.idle.lock().unwrap_or_else(|e| e.into_inner());
+            shared.wake.notify_all();
+        });
+        // SAFETY: only the lifetime is erased; the fat-pointer layout
+        // of `Box<dyn FnOnce() + Send>` does not depend on it. The
+        // closure (and everything it borrows, all `'env`) is
+        // guaranteed to run before `Pool::scope` returns — the owner
+        // drains `pending` to zero before unwinding or returning, even
+        // when the scope body panics — so the erased borrows never
+        // outlive their referents. Completion signalling goes through
+        // the `Arc`s the job owns, never through the owner's frame.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.pool.push(job);
+    }
+}
+
+/// The process-wide default pool, created on first use with one worker
+/// per available core (`AXML_POOL_THREADS` overrides the count).
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let workers = std::env::var("AXML_POOL_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Pool::new(workers)
+    })
+}
+
+/// [`Pool::scope`] on the [`global`] pool.
+pub fn scope<'env, R>(f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+    global().scope(f)
+}
+
+/// [`Pool::join`] on the [`global`] pool.
+pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    global().join(a, b)
+}
+
+/// How much parallelism an evaluation entry point may use.
+///
+/// This is a *fan-out bound*, not a thread count: work is split into
+/// about this many independent units and offered to a [`Pool`]; the
+/// pool's worker count (plus the calling thread) bounds how many
+/// actually run at once. [`Parallelism::sequential`] — the default on
+/// every API that takes one — never touches a pool at all, so
+/// single-threaded callers keep exactly the pre-parallelism code path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    /// 0 = auto (resolve against the global pool), n ≥ 1 = explicit.
+    threads: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::sequential()
+    }
+}
+
+impl Parallelism {
+    /// No parallelism: the sequential code path, untouched (default).
+    pub const fn sequential() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// Size the fan-out to the global pool (one unit per worker plus
+    /// the calling thread).
+    pub const fn auto() -> Self {
+        Parallelism { threads: 0 }
+    }
+
+    /// Explicit fan-out bound. `0` means [`Parallelism::auto`]; `1` is
+    /// [`Parallelism::sequential`].
+    pub const fn threads(n: usize) -> Self {
+        Parallelism { threads: n }
+    }
+
+    /// The resolved fan-out degree (≥ 1), sized against the global
+    /// pool when auto. Prefer [`Parallelism::degree_on`] (or
+    /// [`ExecCtx::degree`]) when the work runs on an explicit pool —
+    /// this method spawns the global pool to size an auto request.
+    pub fn degree(self) -> usize {
+        match self.threads {
+            0 => global().workers() + 1,
+            n => n,
+        }
+    }
+
+    /// The fan-out degree resolved against the pool the work will
+    /// actually run on: auto sizes to that pool's workers (plus the
+    /// driving thread) and never touches the global pool.
+    pub fn degree_on(self, pool: &Pool) -> usize {
+        match self.threads {
+            0 => pool.workers() + 1,
+            n => n,
+        }
+    }
+
+    /// Does this request the pure sequential path?
+    pub fn is_sequential(self) -> bool {
+        self.threads == 1
+    }
+}
+
+/// A pool plus a fan-out bound: the execution context parallel
+/// evaluation entry points thread through their recursion. Evaluators
+/// take `Option<&ExecCtx>` — `None` is the untouched sequential path.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecCtx<'p> {
+    /// Where fanned-out work is scheduled.
+    pub pool: &'p Pool,
+    /// How far to fan out (see [`Parallelism`]).
+    pub par: Parallelism,
+}
+
+impl<'p> ExecCtx<'p> {
+    /// Context on an explicit pool.
+    pub fn new(pool: &'p Pool, par: Parallelism) -> Self {
+        ExecCtx { pool, par }
+    }
+
+    /// Does this context request the pure sequential path?
+    pub fn is_sequential(&self) -> bool {
+        self.par.is_sequential()
+    }
+
+    /// The fan-out degree, resolved against **this context's pool**
+    /// (auto = its workers + 1; an explicit pool never borrows the
+    /// global pool's sizing).
+    pub fn degree(&self) -> usize {
+        self.par.degree_on(self.pool)
+    }
+}
+
+/// Context on the [`global`] pool.
+impl ExecCtx<'static> {
+    /// An [`ExecCtx`] scheduling onto the global pool.
+    pub fn global(par: Parallelism) -> Self {
+        ExecCtx {
+            pool: global(),
+            par,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let pool = Pool::new(4);
+        let data: Vec<u64> = (1..=8).collect();
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                s.spawn(move || {
+                    total.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 36);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let pool = Pool::new(2);
+        let (a, b) = pool.join(|| 2 + 2, || "b".to_owned());
+        assert_eq!(a, 4);
+        assert_eq!(b, "b");
+    }
+
+    #[test]
+    fn map_slice_preserves_order() {
+        let pool = Pool::new(3);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.map_slice(&items, |i, x| i * 1000 + x * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 1000 + i * 2);
+        }
+    }
+
+    #[test]
+    fn map_chunks_covers_everything() {
+        let pool = Pool::new(4);
+        let items: Vec<u64> = (1..=1000).collect();
+        let sums = pool.map_chunks(&items, 7, |run| run.iter().sum::<u64>());
+        assert!(sums.len() <= 7);
+        assert_eq!(sums.iter().sum::<u64>(), 500_500);
+    }
+
+    #[test]
+    fn reduce_merges_all() {
+        let pool = Pool::new(4);
+        let items: Vec<u64> = (1..=257).collect();
+        assert_eq!(pool.reduce(items, 8, |a, b| a + b), Some(33_153));
+        assert_eq!(pool.reduce(Vec::<u64>::new(), 8, |a, b| a + b), None);
+        assert_eq!(pool.reduce([7u64].to_vec(), 8, |a, b| a + b), Some(7));
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = Pool::new(2);
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                let total = &total;
+                let pool = &pool;
+                s.spawn(move || {
+                    // A task that itself forks: the worker must help,
+                    // not block, while its inner scope drains.
+                    pool.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_siblings_finish() {
+        let pool = Pool::new(2);
+        let finished = Arc::new(AtomicUsize::new(0));
+        let fin = Arc::clone(&finished);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("task boom"));
+                for _ in 0..8 {
+                    let fin = Arc::clone(&fin);
+                    s.spawn(move || {
+                        fin.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(caught.is_err(), "panic must propagate to the scope owner");
+        assert_eq!(
+            finished.load(Ordering::Relaxed),
+            8,
+            "siblings run to completion"
+        );
+        // The pool survives a panicking scope.
+        let (a, b) = pool.join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn many_small_tasks_stress() {
+        let pool = Pool::new(8); // oversubscribed on small machines — intended
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.scope(|s| {
+                for _ in 0..100 {
+                    let counter = &counter;
+                    s.spawn(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 5000);
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        assert!(Parallelism::sequential().is_sequential());
+        assert!(Parallelism::default().is_sequential());
+        assert_eq!(Parallelism::threads(4).degree(), 4);
+        assert!(!Parallelism::threads(4).is_sequential());
+        assert!(Parallelism::auto().degree() >= 2);
+        assert_eq!(Parallelism::threads(0), Parallelism::auto());
+    }
+
+    #[test]
+    fn global_pool_is_usable() {
+        let items: Vec<u32> = (0..64).collect();
+        let out = global().map_slice(&items, |_, x| x + 1);
+        assert_eq!(out.iter().sum::<u32>(), (1..=64).sum::<u32>());
+    }
+}

@@ -489,7 +489,17 @@ impl<'a, K: Semiring> Round<'a, K> {
     /// sum and absorption of its parts coincide (zero-sum-free, and
     /// `+` restricted to absorbed elements is a join).
     /// [`Round::prepare`] must have run for this variant.
-    fn join(&self, rule: &CRule, srcs: &[Src], out: &mut KRelation<K>) {
+    /// `seed0`, when given, restricts the first atom's scan to the
+    /// listed tuples — the probe-chunk hook the parallel round uses to
+    /// split one variant's outer loop across workers (only full-scan
+    /// first atoms are chunked; an indexed first atom probes as usual).
+    fn join(
+        &self,
+        rule: &CRule,
+        srcs: &[Src],
+        seed0: Option<&[(&'a Tuple, &'a K)]>,
+        out: &mut KRelation<K>,
+    ) {
         // Resolve each atom's index once, not per probe.
         let indexes: Vec<Option<&RelIndex<'a, K>>> = rule
             .atoms
@@ -506,7 +516,7 @@ impl<'a, K: Semiring> Round<'a, K> {
             })
             .collect();
         let mut slots: Vec<Option<RelValue>> = vec![None; rule.n_slots];
-        self.join_from(rule, srcs, &indexes, 0, &mut slots, K::one(), out);
+        self.join_from(rule, srcs, &indexes, seed0, 0, &mut slots, K::one(), out);
     }
 
     #[allow(clippy::too_many_arguments)] // internal recursion, all state is positional
@@ -515,6 +525,7 @@ impl<'a, K: Semiring> Round<'a, K> {
         rule: &CRule,
         srcs: &[Src],
         indexes: &[Option<&RelIndex<'a, K>>],
+        seed0: Option<&[(&'a Tuple, &'a K)]>,
         i: usize,
         slots: &mut Vec<Option<RelValue>>,
         ann: K,
@@ -546,12 +557,20 @@ impl<'a, K: Semiring> Round<'a, K> {
                 } else {
                     ann.times(k)
                 };
-                self.join_from(rule, srcs, indexes, i + 1, slots, next_ann, out);
+                self.join_from(rule, srcs, indexes, seed0, i + 1, slots, next_ann, out);
             }
             for &(_, slot) in &atom.binds {
                 slots[slot] = None;
             }
         };
+        if i == 0 {
+            if let Some(seeds) = seed0 {
+                for &(tuple, k) in seeds {
+                    step(tuple, k, slots);
+                }
+                return;
+            }
+        }
         match indexes[i] {
             None => {
                 for (tuple, k) in self.rel(srcs[i], atom.pred).iter() {
@@ -607,6 +626,22 @@ pub fn eval_datalog_idb<K: Semiring>(
     eval_datalog_idb_capped(prog, db, DEFAULT_MAX_ITERS)
 }
 
+/// [`eval_datalog_idb`] with an execution context: with a
+/// non-sequential context every semi-naive round fans its rule
+/// variants — and, for variants whose first body atom is a full scan,
+/// chunks of that scan — out over the context's pool, merging the
+/// per-task deltas with [`KRelation::union_with`]. Identical iterates
+/// and fixpoint (the absorption check reads the immutable previous
+/// iterate, and delta merging is the same commutative `+`); `None` is
+/// exactly the sequential evaluator.
+pub fn eval_datalog_idb_ctx<K: Semiring>(
+    prog: &Program,
+    db: &Database<K>,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+) -> Result<BTreeMap<String, KRelation<K>>, DatalogError> {
+    eval_datalog_idb_capped_ctx(prog, db, DEFAULT_MAX_ITERS, ctx)
+}
+
 /// Semi-naive evaluation with an explicit iteration cap.
 ///
 /// Round n derives exactly the annotations of depth-n derivation
@@ -638,6 +673,20 @@ pub fn eval_datalog_idb_capped<K: Semiring>(
     prog: &Program,
     edb: &Database<K>,
     max_iters: usize,
+) -> Result<BTreeMap<String, KRelation<K>>, DatalogError> {
+    eval_datalog_idb_capped_ctx(prog, edb, max_iters, None)
+}
+
+/// A join variant's full scan is only worth chunking across workers
+/// once the scanned relation reaches this many tuples per chunk.
+const PAR_JOIN_MIN_TUPLES: usize = 64;
+
+/// [`eval_datalog_idb_ctx`] with an explicit iteration cap.
+pub fn eval_datalog_idb_capped_ctx<K: Semiring>(
+    prog: &Program,
+    edb: &Database<K>,
+    max_iters: usize,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
 ) -> Result<BTreeMap<String, KRelation<K>>, DatalogError> {
     let compiled = compile(prog, edb)?;
     let n_idb = compiled.idb_names.len();
@@ -688,18 +737,17 @@ pub fn eval_datalog_idb_capped<K: Semiring>(
                 delta: &delta,
                 idb_indexes: HashMap::new(),
             };
-            let mut srcs: Vec<Src> = Vec::new();
-            for rule in &compiled.rules {
+            // The round's work list: every (rule, source-vector)
+            // variant that can fire. Round 0 fires only all-EDB bodies
+            // (depth-1 derivations); later rounds fire one variant per
+            // IDB position carrying the delta.
+            let mut items: Vec<(usize, Vec<Src>)> = Vec::new();
+            for (ri, rule) in compiled.rules.iter().enumerate() {
                 if iter == 0 {
-                    // Depth-1 derivations: only all-EDB bodies fire.
-                    if !rule.idb_positions.is_empty() {
-                        continue;
+                    if rule.idb_positions.is_empty() {
+                        items.push((ri, vec![Src::Edb; rule.atoms.len()]));
                     }
-                    srcs.clear();
-                    srcs.resize(rule.atoms.len(), Src::Edb);
-                    round.join(rule, &srcs, &mut next_delta[rule.head_pred]);
                 } else {
-                    // One variant per IDB position carrying the delta.
                     for (vi, &dpos) in rule.idb_positions.iter().enumerate() {
                         let Pred::Idb(dp) = rule.atoms[dpos].pred else {
                             unreachable!("idb_positions index IDB atoms")
@@ -707,19 +755,71 @@ pub fn eval_datalog_idb_capped<K: Semiring>(
                         if round.delta[dp].is_empty() {
                             continue; // this variant cannot derive anything
                         }
-                        srcs.clear();
-                        for (pos, atom) in rule.atoms.iter().enumerate() {
-                            srcs.push(match atom.pred {
+                        let srcs: Vec<Src> = rule
+                            .atoms
+                            .iter()
+                            .enumerate()
+                            .map(|(pos, atom)| match atom.pred {
                                 Pred::Edb(_) => Src::Edb,
                                 Pred::Idb(_) if pos == dpos => Src::Delta,
                                 Pred::Idb(_) if rule.idb_positions[..vi].contains(&pos) => {
                                     Src::Prev
                                 }
                                 Pred::Idb(_) => Src::Full,
-                            });
+                            })
+                            .collect();
+                        items.push((ri, srcs));
+                    }
+                }
+            }
+            // Build every index the work list needs up front, so the
+            // round is immutable during the (possibly parallel) joins.
+            for (ri, srcs) in &items {
+                round.prepare(&compiled.rules[*ri], srcs);
+            }
+            let round = &round;
+            match ctx.filter(|c| !c.is_sequential()) {
+                None => {
+                    for (ri, srcs) in &items {
+                        let rule = &compiled.rules[*ri];
+                        round.join(rule, srcs, None, &mut next_delta[rule.head_pred]);
+                    }
+                }
+                Some(c) => {
+                    // Fan out: one task per variant, and — when a
+                    // variant's first atom is a full scan over a big
+                    // relation — one task per probe chunk of that scan.
+                    let degree = c.degree();
+                    type Seeds<'r, K> = Option<Vec<(&'r Tuple, &'r K)>>;
+                    let mut tasks: Vec<(usize, &[Src], Seeds<'_, K>)> = Vec::new();
+                    for (ri, srcs) in &items {
+                        let rule = &compiled.rules[*ri];
+                        // Only rules whose first atom is a full scan
+                        // can be probe-chunked (body-less fact rules
+                        // and indexed first atoms run as one task).
+                        if let Some(atom0) = rule.atoms.first().filter(|a| a.key_cols.is_empty()) {
+                            let rel = round.rel(srcs[0], atom0.pred);
+                            let want = (rel.len() / PAR_JOIN_MIN_TUPLES).min(degree);
+                            if want >= 2 {
+                                let tuples: Vec<(&Tuple, &K)> = rel.iter().collect();
+                                let per = tuples.len().div_ceil(want);
+                                for chunk in tuples.chunks(per) {
+                                    tasks.push((*ri, srcs.as_slice(), Some(chunk.to_vec())));
+                                }
+                                continue;
+                            }
                         }
-                        round.prepare(rule, &srcs);
-                        round.join(rule, &srcs, &mut next_delta[rule.head_pred]);
+                        tasks.push((*ri, srcs.as_slice(), None));
+                    }
+                    let partials: Vec<(usize, KRelation<K>)> =
+                        c.pool.map_slice(&tasks, |_, (ri, srcs, seeds)| {
+                            let rule = &compiled.rules[*ri];
+                            let mut out = KRelation::new(schemas[rule.head_pred].clone());
+                            round.join(rule, srcs, seeds.as_deref(), &mut out);
+                            (rule.head_pred, out)
+                        });
+                    for (head, rel) in partials {
+                        next_delta[head].union_with(rel);
                     }
                 }
             }

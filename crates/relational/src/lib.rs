@@ -71,12 +71,15 @@ pub mod krel;
 pub mod ra;
 pub mod shred;
 
-pub use datalog::{eval_datalog, eval_datalog_idb, eval_datalog_naive, Program, Rule};
+pub use datalog::{
+    eval_datalog, eval_datalog_idb, eval_datalog_idb_ctx, eval_datalog_naive, Program, Rule,
+};
 pub use datalog_parse::parse_program;
 pub use encode::{encode_database, encode_relation, ra_to_uxquery};
 pub use krel::{KRelation, RelIndex, RelValue, Schema, Tuple};
 pub use ra::{eval_ra, Database, RaExpr};
 pub use shred::{
-    decode, eval_path_via_shredding, eval_steps_via_shredding, garbage_collect, path_to_datalog,
-    shred, shredded_eval, shredded_eval_path, xpath_to_datalog,
+    decode, eval_path_via_shredding, eval_path_via_shredding_ctx, eval_steps_via_shredding,
+    garbage_collect, path_to_datalog, shred, shredded_eval, shredded_eval_path,
+    shredded_eval_path_ctx, xpath_to_datalog,
 };

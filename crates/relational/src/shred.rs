@@ -290,10 +290,22 @@ pub fn shredded_eval_path<K: Semiring>(
     forest: &Forest<K>,
     p: &PathQuery,
 ) -> Result<KRelation<K>, DatalogError> {
+    shredded_eval_path_ctx(forest, p, None)
+}
+
+/// [`shredded_eval_path`] with an execution context: the semi-naive
+/// Datalog rounds fan out over the context's pool (see
+/// [`crate::datalog::eval_datalog_idb_ctx`]); `None` is the sequential
+/// pipeline unchanged.
+pub fn shredded_eval_path_ctx<K: Semiring>(
+    forest: &Forest<K>,
+    p: &PathQuery,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+) -> Result<KRelation<K>, DatalogError> {
     let e = shred(forest);
     let db = Database::new().with("E", e);
     let prog = path_to_datalog(p);
-    let mut idb = crate::datalog::eval_datalog_idb(&prog, &db)?;
+    let mut idb = crate::datalog::eval_datalog_idb_ctx(&prog, &db, ctx)?;
     Ok(idb
         .remove("E2")
         .unwrap_or_else(|| KRelation::new(edge_schema())))
@@ -391,7 +403,17 @@ pub fn eval_path_via_shredding<K: Semiring>(
     forest: &Forest<K>,
     p: &PathQuery,
 ) -> Result<Forest<K>, DatalogError> {
-    let raw = shredded_eval_path(forest, p)?;
+    eval_path_via_shredding_ctx(forest, p, None)
+}
+
+/// [`eval_path_via_shredding`] with an execution context (parallel
+/// semi-naive rounds); `None` is the sequential pipeline unchanged.
+pub fn eval_path_via_shredding_ctx<K: Semiring>(
+    forest: &Forest<K>,
+    p: &PathQuery,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+) -> Result<Forest<K>, DatalogError> {
+    let raw = shredded_eval_path_ctx(forest, p, ctx)?;
     let clean = garbage_collect(&raw);
     decode(&clean).ok_or_else(|| DatalogError {
         msg: "shredded result is not forest-shaped".into(),

@@ -118,10 +118,12 @@ fn build_db<K: Semiring>(
 }
 
 /// Both evaluators agree: same relations on success, or both reject.
+/// The **parallel** semi-naive evaluator (fanned-out join rounds) must
+/// match the sequential one outcome-for-outcome too.
 fn check_agreement<K: Semiring>(prog: &Program, db: &Database<K>) {
     let semi = eval_datalog_capped(prog, db, MAX_ITERS);
     let naive = eval_datalog_naive_capped(prog, db, MAX_ITERS);
-    match (semi, naive) {
+    match (&semi, &naive) {
         (Ok(a), Ok(b)) => {
             for pred in prog.idb_preds().keys() {
                 assert_eq!(a.get(pred), b.get(pred), "IDB {pred} diverges on\n{prog}");
@@ -134,6 +136,34 @@ fn check_agreement<K: Semiring>(prog: &Program, db: &Database<K>) {
             panic!("outcome mismatch on\n{prog}\nsemi-naive: {a:?}\nnaive: {b:?}")
         }
     }
+    let pool = par_pool();
+    let ctx = axml_pool::ExecCtx::new(pool, axml_pool::Parallelism::threads(4));
+    let par =
+        axml_relational::datalog::eval_datalog_idb_capped_ctx(prog, db, MAX_ITERS, Some(&ctx));
+    match (&semi, &par) {
+        (Ok(a), Ok(p)) => {
+            for pred in prog.idb_preds().keys() {
+                assert_eq!(
+                    a.get(pred),
+                    p.get(pred),
+                    "parallel IDB {pred} diverges on\n{prog}"
+                );
+            }
+        }
+        (Err(ea), Err(ep)) => {
+            assert_eq!(ea.msg, ep.msg, "parallel errors diverge on\n{prog}");
+        }
+        (a, p) => {
+            panic!("parallel outcome mismatch on\n{prog}\nsequential: {a:?}\nparallel: {p:?}")
+        }
+    }
+}
+
+/// One shared pool for the whole suite (proptest runs hundreds of
+/// cases; a pool per case would churn threads).
+fn par_pool() -> &'static axml_pool::Pool {
+    static POOL: std::sync::OnceLock<axml_pool::Pool> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| axml_pool::Pool::new(4))
 }
 
 proptest! {

@@ -95,9 +95,49 @@ pub use nat::Nat;
 pub use poly::{Monomial, NatPoly};
 pub use posbool::PosBool;
 pub use product::Product;
+pub use semimodule::par_union_all;
 pub use semimodule::KSet;
 pub use semiring::Semiring;
 pub use trio::{BoolPoly, Trio};
 pub use tropical::{Arctic, Fuzzy, Prob, Tropical};
 pub use var::Var;
 pub use why::{Lineage, Why};
+
+// ---------------------------------------------------------------------
+// Thread-safety audit (PR 5): every annotation type crosses thread
+// boundaries in the parallel evaluation layer — worker pools move
+// K-sets, polynomials and interned handles between threads, and shared
+// documents are read concurrently. `Semiring` requires `Send + Sync`
+// as a supertrait; these compile-time asserts additionally pin the
+// concrete instances (including the interned-handle types, whose
+// backing pools are global `RwLock`s with `&'static str` entries, and
+// the collection types built on them), so a future field — say a
+// carelessly added `Rc` or `RefCell` memo — fails the build here
+// rather than at a distant generic use site.
+// ---------------------------------------------------------------------
+
+const fn assert_send_sync<T: Send + Sync>() {}
+
+const _: () = {
+    // Scalar semirings.
+    assert_send_sync::<bool>();
+    assert_send_sync::<Nat>();
+    assert_send_sync::<NatPoly>();
+    assert_send_sync::<PosBool>();
+    assert_send_sync::<BoolPoly>();
+    assert_send_sync::<Trio>();
+    assert_send_sync::<Why>();
+    assert_send_sync::<Lineage>();
+    assert_send_sync::<Clearance>();
+    assert_send_sync::<Tropical>();
+    assert_send_sync::<Arctic>();
+    assert_send_sync::<Fuzzy>();
+    assert_send_sync::<Prob>();
+    assert_send_sync::<Product<Nat, NatPoly>>();
+    // Interned handles (backed by the global pools) and their parts.
+    assert_send_sync::<Var>();
+    assert_send_sync::<Monomial>();
+    // The free-semimodule collection over a representative payload.
+    assert_send_sync::<KSet<String, NatPoly>>();
+    assert_send_sync::<Valuation<Tropical>>();
+};

@@ -294,6 +294,38 @@ impl<T: Ord + Clone, K: Semiring> KSet<T, K> {
     }
 }
 
+/// Union a batch of K-sets down to one, in parallel: a tree-reduce
+/// over [`KSet::union_with`] on `pool`, splitting across up to
+/// `par.degree()` concurrent folds. The merge is the same
+/// smaller-into-larger in-place union the sequential evaluator loops
+/// use, so the result is identical to folding the batch left-to-right
+/// (union is associative and commutative); with
+/// [`axml_pool::Parallelism::is_sequential`] the pool is never
+/// touched.
+///
+/// This is the reduce half of every fan-out in the parallel evaluation
+/// layer: chunked descendant sweeps and partitioned join rounds each
+/// produce one K-set per chunk and meet here.
+pub fn par_union_all<T, K>(
+    pool: &axml_pool::Pool,
+    par: axml_pool::Parallelism,
+    sets: Vec<KSet<T, K>>,
+) -> KSet<T, K>
+where
+    T: Ord + Clone + Send,
+    K: Semiring,
+{
+    let merge = |mut a: KSet<T, K>, b: KSet<T, K>| {
+        a.union_with(b);
+        a
+    };
+    if par.is_sequential() {
+        return sets.into_iter().reduce(merge).unwrap_or_default();
+    }
+    pool.reduce(sets, par.degree_on(pool), merge)
+        .unwrap_or_default()
+}
+
 impl<T: Ord + Clone, K: Semiring> FromIterator<(T, K)> for KSet<T, K> {
     fn from_iter<I: IntoIterator<Item = (T, K)>>(iter: I) -> Self {
         KSet::from_pairs(iter)
@@ -538,6 +570,34 @@ mod tests {
                 assert_eq!(lhs, rhs);
             }
         }
+    }
+
+    #[test]
+    fn par_union_all_matches_sequential_fold() {
+        let pool = axml_pool::Pool::new(4);
+        // 64 overlapping bags: every third key collides across sets.
+        let sets: Vec<KSet<u32, Nat>> = (0..64u32)
+            .map(|i| KSet::from_pairs([(i % 3, Nat(i as u128)), (i + 100, Nat(1))]))
+            .collect();
+        let expected = sets
+            .iter()
+            .cloned()
+            .reduce(|mut a, b| {
+                a.union_with(b);
+                a
+            })
+            .unwrap();
+        for par in [
+            axml_pool::Parallelism::sequential(),
+            axml_pool::Parallelism::threads(4),
+            axml_pool::Parallelism::threads(16),
+        ] {
+            assert_eq!(par_union_all(&pool, par, sets.clone()), expected);
+        }
+        assert!(
+            par_union_all::<u32, Nat>(&pool, axml_pool::Parallelism::threads(4), Vec::new())
+                .is_empty()
+        );
     }
 
     #[test]

@@ -66,7 +66,20 @@ pub mod tree;
 
 pub use label::Label;
 pub use parse::{parse_forest, parse_tree, parse_value, ParseAnnotation};
-pub use tree::{leaf, tree, Forest, Tree, Value};
+pub use tree::{expand_sweep_seeds, leaf, tree, Forest, SweepSeeds, Tree, Value};
+
+// Thread-safety audit (PR 5): documents are `Arc`-shared across the
+// worker pool and label interning is hit from every worker, so the
+// whole data model must be `Send + Sync` — pinned at compile time here
+// (the `Label` pool itself is a global `RwLock` of leaked strings; a
+// future non-`Sync` cache field on `Tree` would fail this build).
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Label>();
+    assert_send_sync::<Tree<axml_semiring::NatPoly>>();
+    assert_send_sync::<Forest<axml_semiring::NatPoly>>();
+    assert_send_sync::<Value<axml_semiring::NatPoly>>();
+};
 
 /// Commonly used items.
 pub mod prelude {

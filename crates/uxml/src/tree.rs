@@ -40,6 +40,9 @@ struct Node<K: Semiring> {
     doc_children: std::sync::OnceLock<DocChildren<K>>,
 }
 
+/// `(subtree, path-product)` pairs produced by [`Tree::descendant_split`].
+pub type SweepSeeds<K> = Vec<(Tree<K>, K)>;
+
 /// Cached document-ordered `(child, annotation)` pairs of one node.
 type DocChildren<K> = Box<[(Tree<K>, K)]>;
 
@@ -216,6 +219,54 @@ impl<K: Semiring> Tree<K> {
             f(node, k);
         }
     }
+
+    /// Split one descendant sweep into independent pieces for parallel
+    /// execution: expand the frontier breadth-first — always splitting
+    /// the largest remaining subtree — until at least `min_seeds`
+    /// subtrees remain (or everything is a leaf). Returns
+    /// `(emitted, seeds)`: nodes consumed by the expansion itself, and
+    /// the frontier. Each entry carries `k0 ·` the annotation product
+    /// along its path from `self`, so sweeping every seed with
+    /// [`Tree::for_each_descendant`] and adding the emitted nodes
+    /// visits exactly the multiset `self.for_each_descendant(k0, …)`
+    /// would — the partition the chunked parallel sweeps in
+    /// `axml-core` and `axml-nrc` fan out over.
+    pub fn descendant_split(&self, k0: K, min_seeds: usize) -> (SweepSeeds<K>, SweepSeeds<K>) {
+        expand_sweep_seeds(vec![(self.clone(), k0)], min_seeds)
+    }
+}
+
+/// The frontier expansion behind [`Tree::descendant_split`], starting
+/// from an arbitrary seed set (multi-root callers — forest-level
+/// sweeps — seed one entry per root): repeatedly replace the largest
+/// non-leaf seed by its children (path products multiplied through)
+/// until at least `min_seeds` seeds remain or everything is a leaf.
+/// Returns `(emitted, seeds)` — consumed nodes and the frontier —
+/// which together partition the original seeds' descendant multiset.
+pub fn expand_sweep_seeds<K: Semiring>(
+    mut seeds: SweepSeeds<K>,
+    min_seeds: usize,
+) -> (SweepSeeds<K>, SweepSeeds<K>) {
+    let mut emitted: SweepSeeds<K> = Vec::new();
+    while seeds.len() < min_seeds {
+        // Largest subtree first: splitting it rebalances the most.
+        let Some(pos) = seeds
+            .iter()
+            .enumerate()
+            .filter(|(_, (t, _))| !t.is_leaf())
+            .max_by_key(|(_, (t, _))| t.size())
+            .map(|(i, _)| i)
+        else {
+            break; // all leaves: nothing left to split
+        };
+        let (node, k) = seeds.swap_remove(pos);
+        for (c, kc) in node.children().iter() {
+            let kk = if k.is_one() { kc.clone() } else { k.times(kc) };
+            seeds.push((c.clone(), kk));
+        }
+        emitted.push((node, k));
+    }
+    (emitted, seeds)
 }
 
 impl<K: Semiring> Clone for Tree<K> {
@@ -415,6 +466,19 @@ impl<K: Semiring> Forest<K> {
         Forest(self.0.filter(|t| f(t.label())))
     }
 
+    /// The underlying K-set, by value (inverse of
+    /// [`Forest::from_kset`]) — for handing forests to K-set-generic
+    /// algorithms like `axml_semiring::par_union_all`.
+    pub fn into_kset(self) -> KSet<Tree<K>, K> {
+        self.0
+    }
+
+    /// Wrap a K-set of trees as a forest (inverse of
+    /// [`Forest::into_kset`]).
+    pub fn from_kset(set: KSet<Tree<K>, K>) -> Self {
+        Forest(set)
+    }
+
     /// Access the underlying [`KSet`].
     pub fn as_kset(&self) -> &KSet<Tree<K>, K> {
         &self.0
@@ -508,6 +572,34 @@ mod tests {
 
     fn np(s: &str) -> NatPoly {
         s.parse().unwrap()
+    }
+
+    #[test]
+    fn descendant_split_partitions_the_sweep() {
+        // An annotated, uneven tree: splitting must preserve the
+        // path-product annotation of every visited node exactly.
+        let f = crate::parse::parse_forest::<NatPoly>(
+            "<a {z}> <b {x1}> d {y1} <e {w}> f {v} g </e> </b> <c {x2}> d {y2} </c> </a>",
+        )
+        .unwrap();
+        let (root, k_root) = f.iter().next().unwrap();
+        for min_seeds in [1, 2, 3, 5, 8, 100] {
+            let mut expected = Forest::new();
+            root.for_each_descendant(k_root.clone(), |t, k| expected.insert(t.clone(), k));
+            let (emitted, seeds) = root.descendant_split(k_root.clone(), min_seeds);
+            let mut got = Forest::new();
+            for (t, k) in emitted {
+                got.insert(t, k);
+            }
+            for (t, k) in seeds {
+                t.for_each_descendant(k, |n, kn| got.insert(n.clone(), kn));
+            }
+            assert_eq!(got, expected, "min_seeds={min_seeds}");
+        }
+        // Leaf corner case: nothing to split.
+        let (emitted, seeds) = leaf::<Nat>("x").descendant_split(Nat(3), 9);
+        assert!(emitted.is_empty());
+        assert_eq!(seeds.len(), 1);
     }
 
     #[test]

@@ -15,8 +15,9 @@
 
 use annotated_xml::prelude::*;
 use annotated_xml::uxml::print::pretty;
-use axml::{Engine, EvalOptions, Route, SemiringKind};
-use axml_uxml::{parse_forest, ParseAnnotation};
+use axml::{AxmlResult, Engine, EvalOptions, Route, SemiringKind};
+use axml_bench::json::Json;
+use axml_uxml::{parse_forest, Forest, ParseAnnotation, Tree};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -35,7 +36,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   axml query  [--semiring S] [--route R] [--provenance-first] \\
-              (--doc FILE | --text DOC) QUERY
+              [--format text|json] (--doc FILE | --text DOC) QUERY
   axml parse  [--semiring S] (--doc FILE | --text DOC)
   axml shred  (--doc FILE | --text DOC) PATH     # //c or /a/b style
   axml worlds (--doc FILE | --text DOC)          # possible worlds (ℕ[X] docs)
@@ -43,20 +44,29 @@ usage:
 query semirings: natpoly (default) | nat | posbool | tropical | why | trio | prob
                  (also bool | clearance, direct route only)
 parse semirings: natpoly (default) | nat | bool | clearance | posbool
-routes:          direct (default) | via-nrc | shredded | differential";
+routes:          direct (default) | via-nrc | shredded | differential
+formats:         text (default) | json — machine-consumable query results";
 
 struct Opts {
     semiring: String,
     route: String,
     provenance_first: bool,
+    format: OutputFormat,
     doc: String,
     rest: Vec<String>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum OutputFormat {
+    Text,
+    Json,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut semiring = "natpoly".to_owned();
     let mut route = "direct".to_owned();
     let mut provenance_first = false;
+    let mut format = OutputFormat::Text;
     let mut doc: Option<String> = None;
     let mut rest = Vec::new();
     let mut i = 0;
@@ -73,6 +83,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--provenance-first" => {
                 provenance_first = true;
                 i += 1;
+            }
+            "--format" => {
+                format = match args.get(i + 1).map(String::as_str) {
+                    Some("text") => OutputFormat::Text,
+                    Some("json") => OutputFormat::Json,
+                    Some(other) => return Err(format!("unknown format {other:?} (text | json)")),
+                    None => return Err("--format needs a value (text | json)".into()),
+                };
+                i += 2;
             }
             "--doc" => {
                 let path = args.get(i + 1).ok_or("--doc needs a file path")?;
@@ -96,6 +115,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         semiring,
         route,
         provenance_first,
+        format,
         doc: doc.ok_or("a document is required (--doc FILE or --text DOC)")?,
         rest,
     })
@@ -115,20 +135,31 @@ fn run(args: &[String]) -> Result<(), String> {
             query_cmd(&opts, &q)
         }
         "parse" => {
-            let opts = parse_opts(tail)?;
+            let opts = text_only(parse_opts(tail)?, "parse")?;
             dispatch_semiring(&opts.semiring, &opts.doc, ParseCmd)
         }
         "shred" => {
-            let opts = parse_opts(tail)?;
+            let opts = text_only(parse_opts(tail)?, "shred")?;
             let path = opts.rest.join("");
             shred_cmd(&opts.doc, &path)
         }
         "worlds" => {
-            let opts = parse_opts(tail)?;
+            let opts = text_only(parse_opts(tail)?, "worlds")?;
             worlds_cmd(&opts.doc)
         }
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Commands that only have a text rendering must say so instead of
+/// silently ignoring `--format json`.
+fn text_only(opts: Opts, cmd: &str) -> Result<Opts, String> {
+    if opts.format != OutputFormat::Text {
+        return Err(format!(
+            "--format json is only supported by `query` (`{cmd}` output is text-only)"
+        ));
+    }
+    Ok(opts)
 }
 
 fn dispatch_semiring(name: &str, doc: &str, f: impl SemiringDispatch) -> Result<(), String> {
@@ -177,13 +208,93 @@ fn query_cmd(opts: &Opts, query: &str) -> Result<(), String> {
         eval_opts = eval_opts.provenance_first();
     }
     let out = engine.run(query, eval_opts).map_err(|e| e.to_string())?;
-    println!("{out}");
+    match opts.format {
+        OutputFormat::Text => println!("{out}"),
+        OutputFormat::Json => println!("{}", result_json(query, &eval_opts, &out)),
+    }
     Ok(())
+}
+
+/// Render a query result as one JSON object (the `--format json`
+/// shape): request echo plus the value as a structured tree —
+/// annotations as strings in the chosen semiring's syntax, children in
+/// the byte-stable document order the text printer uses.
+fn result_json(query: &str, opts: &EvalOptions, out: &AxmlResult) -> String {
+    let mut j = Json::new();
+    j.begin_obj();
+    j.key("query");
+    j.str(query);
+    j.key("semiring");
+    j.str(opts.semiring.name());
+    j.key("route");
+    j.str(opts.route.name());
+    j.key("mode");
+    j.str(match opts.mode {
+        axml::EvalMode::InSemiring => "in-semiring",
+        axml::EvalMode::ProvenanceFirst => "provenance-first",
+    });
+    j.key("result");
+    match out {
+        AxmlResult::Nat(v) => value_json(&mut j, v),
+        AxmlResult::PosBool(v) => value_json(&mut j, v),
+        AxmlResult::Tropical(v) => value_json(&mut j, v),
+        AxmlResult::NatPoly(v) => value_json(&mut j, v),
+        AxmlResult::Why(v) => value_json(&mut j, v),
+        AxmlResult::Trio(v) => value_json(&mut j, v),
+        AxmlResult::Prob(v) => value_json(&mut j, v),
+    }
+    j.end_obj();
+    j.finish()
+}
+
+fn value_json<K: Semiring + std::fmt::Display>(j: &mut Json, v: &Value<K>) {
+    match v {
+        Value::Label(l) => {
+            j.begin_obj();
+            j.key("label");
+            j.str(l.name());
+            j.end_obj();
+        }
+        Value::Tree(t) => tree_json(j, t, None),
+        Value::Set(f) => forest_json(j, f),
+    }
+}
+
+fn forest_json<K: Semiring + std::fmt::Display>(j: &mut Json, f: &Forest<K>) {
+    j.begin_arr();
+    for (t, k) in f.iter_document() {
+        tree_json(j, t, Some(k));
+    }
+    j.end_arr();
+}
+
+fn tree_json<K: Semiring + std::fmt::Display>(j: &mut Json, t: &Tree<K>, ann: Option<&K>) {
+    j.begin_obj();
+    j.key("label");
+    j.str(t.label().name());
+    if let Some(k) = ann {
+        if !k.is_one() {
+            j.key("annotation");
+            j.str(&k.to_string());
+        }
+    }
+    if !t.is_leaf() {
+        j.key("children");
+        j.begin_arr();
+        for (c, k) in t.children_document() {
+            tree_json(j, c, Some(k));
+        }
+        j.end_arr();
+    }
+    j.end_obj();
 }
 
 /// The compile-time-`K` path: direct evaluation only, for document
 /// formats the ℕ\[X\] engine store cannot hold.
-fn static_query<K: Semiring + ParseAnnotation>(opts: &Opts, query: &str) -> Result<(), String> {
+fn static_query<K: Semiring + ParseAnnotation + std::fmt::Display>(
+    opts: &Opts,
+    query: &str,
+) -> Result<(), String> {
     if opts.route != "direct" || opts.provenance_first {
         return Err(format!(
             "--route/--provenance-first need an ℕ[X]-annotated document; \
@@ -197,7 +308,25 @@ fn static_query<K: Semiring + ParseAnnotation>(opts: &Opts, query: &str) -> Resu
         .map(|n| (*n, Value::Set(forest.clone())))
         .collect();
     let out = run_query::<K>(query, &bindings).map_err(|e| e.to_string())?;
-    println!("{out}");
+    match opts.format {
+        OutputFormat::Text => println!("{out}"),
+        OutputFormat::Json => {
+            let mut j = Json::new();
+            j.begin_obj();
+            j.key("query");
+            j.str(query);
+            j.key("semiring");
+            j.str(&opts.semiring);
+            j.key("route");
+            j.str("direct");
+            j.key("mode");
+            j.str("in-semiring"); // the static path rejects --provenance-first
+            j.key("result");
+            value_json(&mut j, &out);
+            j.end_obj();
+            println!("{}", j.finish());
+        }
+    }
     Ok(())
 }
 
