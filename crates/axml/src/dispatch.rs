@@ -14,9 +14,9 @@ use axml_core::{compile_optimized, CompiledQuery, Query};
 use axml_nrc::CompiledExpr;
 use axml_semiring::trio::collapse::{natpoly_to_posbool, natpoly_to_trio, natpoly_to_why};
 use axml_semiring::{FnHom, Nat, NatPoly, PosBool, Prob, Semiring, Trio, Tropical, Valuation, Why};
-use axml_uxml::{Forest, Value};
+use axml_uxml::{Forest, TreeArena, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// Everything `prepare` produces for one semiring: the typed core
 /// query and the normalized `NRC_K + srt` term (kept as the
@@ -207,6 +207,26 @@ impl DocCaches {
     }
 }
 
+/// The engine's hash-consing arenas: one columnar [`TreeArena`] per
+/// kind, shared across **all** documents in the store, so structurally
+/// identical subtrees — within one document or between documents — are
+/// interned once and every stored forest is built over canonical
+/// `Arc` handles (equal subtrees are pointer-equal). The `Mutex` is
+/// held only while loading or specializing a document; evaluation
+/// never touches an arena (it runs on the canonical handles). Arenas
+/// only grow — removing a document does not un-intern its subtrees
+/// (they stay available for future sharing).
+#[derive(Debug, Default)]
+pub(crate) struct KindArenas {
+    pub poly: Mutex<TreeArena<NatPoly>>,
+    pub nat: Mutex<TreeArena<Nat>>,
+    pub posbool: Mutex<TreeArena<PosBool>>,
+    pub tropical: Mutex<TreeArena<Tropical>>,
+    pub why: Mutex<TreeArena<Why>>,
+    pub trio: Mutex<TreeArena<Trio>>,
+    pub prob: Mutex<TreeArena<Prob>>,
+}
+
 /// A runtime-selectable semiring: the canonical homomorphism from
 /// ℕ\[X\] plus the cache slots and result constructor for this kind.
 pub(crate) trait KindDispatch: Semiring {
@@ -219,6 +239,8 @@ pub(crate) trait KindDispatch: Semiring {
     fn artifact_cache(c: &KindCaches) -> &OnceLock<Artifacts<Self>>;
     /// This kind's document slot on a stored document.
     fn doc_cache(d: &DocCaches) -> &DocSlot<Self>;
+    /// This kind's hash-consing arena on the engine.
+    fn kind_arena(a: &KindArenas) -> &Mutex<TreeArena<Self>>;
     /// Tag a typed value as an [`AxmlResult`].
     fn wrap(v: Value<Self>) -> AxmlResult;
 }
@@ -235,6 +257,9 @@ macro_rules! dispatch_kind {
             }
             fn doc_cache(d: &DocCaches) -> &DocSlot<Self> {
                 &d.$slot
+            }
+            fn kind_arena(a: &KindArenas) -> &Mutex<TreeArena<Self>> {
+                &a.$slot
             }
             fn wrap(v: Value<Self>) -> AxmlResult {
                 ($wrap)(v)

@@ -25,13 +25,13 @@
 //! throughput face of the paper's Prop. 2 observation that annotated
 //! evaluation is embarrassingly parallel across queries and documents.
 
-use crate::dispatch::{DocCaches, KindDispatch};
+use crate::dispatch::{DocCaches, KindArenas, KindDispatch};
 use crate::error::AxmlError;
 use crate::options::{EvalOptions, SemiringKind};
 use crate::prepared::PreparedQuery;
 use crate::result::AxmlResult;
 use axml_semiring::{FnHom, NatPoly};
-use axml_uxml::{hom::map_forest, parse_forest, Forest};
+use axml_uxml::{arena::intern_forest_mapped, parse_forest, Forest};
 use std::collections::{BTreeMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -106,6 +106,30 @@ pub struct Engine {
     /// The LRU clock: bumped on every cache read/fill when a cap is
     /// configured.
     clock: AtomicU64,
+    /// Per-kind hash-consing arenas (see [`KindArenas`]): every stored
+    /// document and every cached specialization is interned here, so
+    /// structurally identical subtrees are stored once across the
+    /// whole store and the forests the evaluators see are maximally
+    /// `Arc`-shared.
+    arenas: KindArenas,
+}
+
+/// Storage statistics of an engine's document store: how many nodes
+/// the loaded documents contain *logically* versus how many distinct
+/// subtrees the hash-consing arena actually stores. On corpora with
+/// repeated substructure (within or across documents)
+/// `distinct_subtrees` is sub-linear in `logical_nodes` — the
+/// content-addressing win, tracked by the bench-regression gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Total node count of all loaded documents, counted by value
+    /// occurrences (the sum of the documents' `|v|`).
+    pub logical_nodes: usize,
+    /// Distinct subtrees interned in the symbolic ℕ\[X\] arena over
+    /// the whole lifetime of the engine (arenas never shrink).
+    pub distinct_subtrees: usize,
+    /// Stored child edges in the arena's DAG (the columnar footprint).
+    pub child_edges: usize,
 }
 
 impl Default for Engine {
@@ -115,6 +139,7 @@ impl Default for Engine {
             doc_cache_cap: None,
             spec_queue: Mutex::new(VecDeque::new()),
             clock: AtomicU64::new(0),
+            arenas: KindArenas::default(),
         }
     }
 }
@@ -176,7 +201,19 @@ impl Engine {
         if let Some(f) = slot.get(self.tick()) {
             return f;
         }
-        let fresh = Arc::new(map_forest(&FnHom::new(S::from_poly), &doc.poly));
+        // Specialize through this kind's hash-consing arena: the hom
+        // image is interned per *distinct* subtree (pointer-memoized
+        // over the document's value DAG) instead of re-expanded per
+        // occurrence, and identical subtrees across documents land on
+        // the same canonical handles. The arena lock is held only for
+        // this interning — never during evaluation.
+        let fresh = Arc::new({
+            let mut arena = S::kind_arena(&self.arenas)
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let roots = intern_forest_mapped(&mut arena, &FnHom::new(S::from_poly), &doc.poly);
+            arena.canonical_forest(&roots)
+        });
         if let Err(existing) = slot.fill(fresh.clone(), self.tick()) {
             // Another thread won the race; keep its copy (and its
             // queue entry).
@@ -253,15 +290,47 @@ impl Engine {
         Ok(())
     }
 
-    /// Store an already-built symbolic forest under `name`.
+    /// Store an already-built symbolic forest under `name`. The forest
+    /// is interned into the engine's hash-consing arena first: subtrees
+    /// already stored by *any* loaded document are shared (stored
+    /// once), and the document the evaluators see is the canonical,
+    /// maximally `Arc`-shared form of the same value.
     pub fn insert_forest(&self, name: &str, forest: Forest<NatPoly>) {
+        let canonical = {
+            let mut arena = self.arenas.poly.lock().unwrap_or_else(|e| e.into_inner());
+            let roots = arena.intern_forest(&forest);
+            arena.canonical_forest(&roots)
+        };
         // The store holds only fully-constructed `Arc`s, so a panic
         // while holding a shard lock cannot leave it in a torn state —
         // recover from poisoning instead of propagating the panic.
         self.shard(name)
             .write()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(name.to_owned(), StoredDoc::new(forest));
+            .insert(name.to_owned(), StoredDoc::new(canonical));
+    }
+
+    /// Storage statistics: logical node count of the loaded documents
+    /// versus distinct subtrees in the symbolic arena (see
+    /// [`StorageStats`]).
+    pub fn storage_stats(&self) -> StorageStats {
+        let logical_nodes = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .values()
+                    .map(|d| d.poly.size())
+                    .collect::<Vec<_>>()
+            })
+            .sum();
+        let arena = self.arenas.poly.lock().unwrap_or_else(|e| e.into_inner());
+        StorageStats {
+            logical_nodes,
+            distinct_subtrees: arena.len(),
+            child_edges: arena.child_edge_count(),
+        }
     }
 
     /// Remove a document; returns whether it was present.

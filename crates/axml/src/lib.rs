@@ -193,7 +193,7 @@ mod prepared;
 mod result;
 
 pub use axml_pool::Pool;
-pub use engine::{Engine, STORE_SHARDS};
+pub use engine::{Engine, StorageStats, STORE_SHARDS};
 pub use error::{AxmlError, SourceSpan};
 pub use options::{EvalMode, EvalOptions, Parallelism, Route, SemiringKind};
 pub use prepared::PreparedQuery;

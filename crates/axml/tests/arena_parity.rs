@@ -1,0 +1,175 @@
+//! Arena-vs-Arc differential at the engine level.
+//!
+//! The engine now stores every document hash-consed in a columnar
+//! arena (canonical `Arc` handles, shared across documents). This
+//! suite pins that the representation change is invisible to results:
+//!
+//! - engine evaluation over **interned** documents equals the core
+//!   interpreter over a **freshly parsed, never-interned** copy of the
+//!   same document (the pre-arena `Arc` representation);
+//! - `Route::Differential` stays green across all 7 semirings — that
+//!   route already cross-checks Direct, ViaNrc, Shredded (on step
+//!   chains) and the reference interpreters against each other, so one
+//!   green differential run covers every route over arena storage;
+//! - the dedup stat behaves: N documents sharing subtrees grow the
+//!   arena sub-linearly, and reloading a document adds nothing.
+
+use axml::{AxmlResult, Engine, EvalOptions, Route, SemiringKind};
+use axml_core::{elaborate, eval::eval_with, parse_query};
+use axml_semiring::NatPoly;
+use axml_uxml::{parse_forest, Value};
+
+/// Documents with heavy repeated substructure, within and across
+/// documents (`<b {x1}> d {y1} </b>` recurs everywhere).
+const SHARED_DOCS: [(&str, &str); 3] = [
+    (
+        "D0",
+        "<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>",
+    ),
+    (
+        "D1",
+        "<a> <b {x1}> d {y1} </b> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>",
+    ),
+    (
+        "D2",
+        "<r {w}> <a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a> <b {x1}> d {y1} </b> </r>",
+    ),
+];
+
+const QUERIES: [&str; 5] = [
+    "$S/*/*",
+    "$S//d",
+    "$S/descendant::b",
+    "element p { for $t in $S return for $x in ($t)/child::* return ($x)/child::* }",
+    "annot {3*x1} ($S/strict-descendant::*)",
+];
+
+fn shared_engine() -> Engine {
+    let engine = Engine::new();
+    for (name, xml) in SHARED_DOCS {
+        engine.load_document(name, xml).unwrap();
+    }
+    engine
+}
+
+/// Engine evaluation (arena-interned storage) vs the core interpreter
+/// on a freshly parsed forest that never went near an arena.
+#[test]
+fn engine_matches_uninterned_interpreter() {
+    let engine = shared_engine();
+    for (name, xml) in SHARED_DOCS {
+        let fresh = parse_forest::<NatPoly>(xml).unwrap();
+        for qsrc in QUERIES {
+            let qsrc = qsrc.replace("$S", &format!("${name}"));
+            let s = parse_query::<NatPoly>(&qsrc).unwrap();
+            let q = elaborate(&s).unwrap();
+            let reference = eval_with(&q, &[(name, Value::Set(fresh.clone()))]).unwrap();
+            let prepared = engine.prepare(&qsrc).unwrap();
+            let got = prepared
+                .eval(&engine, EvalOptions::new().semiring(SemiringKind::NatPoly))
+                .unwrap();
+            let AxmlResult::NatPoly(got) = got else {
+                panic!("expected a NatPoly result");
+            };
+            assert_eq!(got, reference, "arena vs Arc disagree on {qsrc}");
+        }
+    }
+}
+
+/// All 7 semirings × all routes (via `Route::Differential`, which
+/// cross-checks every applicable route and the reference interpreters
+/// internally), over arena-interned documents, in both evaluation
+/// modes.
+#[test]
+fn differential_green_on_shared_corpus_all_semirings() {
+    let engine = shared_engine();
+    for (name, _) in SHARED_DOCS {
+        for qsrc in ["$S//d", "$S/*/*"] {
+            let qsrc = qsrc.replace("$S", &format!("${name}"));
+            let q = engine.prepare(&qsrc).unwrap();
+            for kind in SemiringKind::ALL {
+                let native = q
+                    .eval(
+                        &engine,
+                        EvalOptions::new().route(Route::Differential).semiring(kind),
+                    )
+                    .unwrap_or_else(|e| panic!("differential {kind} on {qsrc} failed: {e}"));
+                let prov_first = q
+                    .eval(
+                        &engine,
+                        EvalOptions::new()
+                            .route(Route::Differential)
+                            .semiring(kind)
+                            .provenance_first(),
+                    )
+                    .unwrap_or_else(|e| panic!("prov-first {kind} on {qsrc} failed: {e}"));
+                assert_eq!(native, prov_first, "modes disagree in {kind} on {qsrc}");
+            }
+        }
+    }
+}
+
+/// Content addressing across documents: loading N documents that share
+/// subtrees stores each distinct subtree once.
+#[test]
+fn dedup_stat_is_sublinear_on_shared_corpus() {
+    let engine = Engine::new();
+    engine.load_document("base", SHARED_DOCS[0].1).unwrap();
+    let one = engine.storage_stats();
+    assert!(one.distinct_subtrees <= one.logical_nodes);
+
+    // N more copies of the same document under fresh names: logical
+    // size grows linearly, the arena not at all.
+    for i in 0..8 {
+        engine
+            .load_document(&format!("copy{i}"), SHARED_DOCS[0].1)
+            .unwrap();
+    }
+    let many = engine.storage_stats();
+    assert_eq!(many.logical_nodes, 9 * one.logical_nodes);
+    assert_eq!(
+        many.distinct_subtrees, one.distinct_subtrees,
+        "identical documents must intern zero new subtrees"
+    );
+
+    // A document *overlapping* (not equal): only its genuinely new
+    // subtrees are added — D2 embeds D0's whole tree plus one repeated
+    // branch, so far fewer new nodes than its logical size.
+    let d2 = parse_forest::<NatPoly>(SHARED_DOCS[2].1).unwrap();
+    engine.load_document("overlap", SHARED_DOCS[2].1).unwrap();
+    let with_overlap = engine.storage_stats();
+    let added = with_overlap.distinct_subtrees - many.distinct_subtrees;
+    assert!(
+        added < d2.size(),
+        "overlapping document must share: added {added} of {} nodes",
+        d2.size()
+    );
+
+    // Reloading an existing name is also free for the arena.
+    engine.load_document("base", SHARED_DOCS[0].1).unwrap();
+    assert_eq!(
+        engine.storage_stats().distinct_subtrees,
+        with_overlap.distinct_subtrees
+    );
+}
+
+/// Evaluation results are unaffected by *how much* sharing the arena
+/// has accumulated: a fresh engine and a heavily shared engine agree.
+#[test]
+fn results_independent_of_arena_history() {
+    let shared = shared_engine();
+    for (name, xml) in SHARED_DOCS {
+        let isolated = Engine::new();
+        isolated.load_document(name, xml).unwrap();
+        for qsrc in QUERIES {
+            let qsrc = qsrc.replace("$S", &format!("${name}"));
+            let a = shared
+                .run(&qsrc, EvalOptions::new().semiring(SemiringKind::Why))
+                .unwrap();
+            let b = isolated
+                .run(&qsrc, EvalOptions::new().semiring(SemiringKind::Why))
+                .unwrap();
+            assert_eq!(a, b, "arena history changed a result on {qsrc}");
+        }
+    }
+}

@@ -38,6 +38,7 @@ fn main() -> ExitCode {
     let mut threshold = 0.25f64;
     let mut normalized_out: Option<String> = None;
     let mut median_normalize = false;
+    let mut storage_stats = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,10 +56,12 @@ fn main() -> ExitCode {
             }
             "--write-normalized" => normalized_out = Some(value("--write-normalized")),
             "--median-normalize" => median_normalize = true,
+            "--storage-stats" => storage_stats = true,
             "--help" | "-h" => {
                 println!(
                     "usage: bench_regression --new FILE [--baseline FILE]... \
-                     [--threshold 0.25] [--median-normalize] [--write-normalized FILE]"
+                     [--threshold 0.25] [--median-normalize] [--storage-stats] \
+                     [--write-normalized FILE]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -66,9 +69,12 @@ fn main() -> ExitCode {
         }
     }
     let new_path = new_path.unwrap_or_else(|| die("--new FILE is required"));
-    let fresh = load(&new_path);
+    let mut fresh = load(&new_path);
     if fresh.is_empty() {
         die(&format!("no benchmark records in {new_path}"));
+    }
+    if storage_stats {
+        fresh.extend(storage_records());
     }
 
     // Baselines: first file listed that knows an id wins.
@@ -100,9 +106,12 @@ fn main() -> ExitCode {
     // across all compared benchmarks: a *uniformly* slower or faster
     // machine (baselines are recorded on dev hardware, CI runners
     // differ) cancels out, while a genuine single-benchmark regression
-    // still stands against its peers.
+    // still stands against its peers. Deterministic count records
+    // (`storage/...`) are machine-independent, so they neither enter
+    // the median pool nor get divided by the scale below.
     let mut ratios: Vec<f64> = paired
         .iter()
+        .filter(|(rec, _)| !is_count(&rec.id))
         .filter_map(|(rec, base)| base.map(|(_, old)| rec.mean_ns / old.mean_ns))
         .collect();
     ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
@@ -129,7 +138,7 @@ fn main() -> ExitCode {
             ),
             Some((file, old)) => {
                 compared += 1;
-                let ratio = rec.mean_ns / old.mean_ns / scale;
+                let ratio = rec.mean_ns / old.mean_ns / if is_count(&rec.id) { 1.0 } else { scale };
                 let verdict = if ratio > 1.0 + threshold {
                     regressions.push((rec.id.clone(), old.mean_ns, rec.mean_ns, ratio));
                     "REGRESSED"
@@ -171,6 +180,41 @@ fn main() -> ExitCode {
 fn die(msg: &str) -> ! {
     eprintln!("bench_regression: {msg}");
     std::process::exit(2)
+}
+
+/// Deterministic count records (node/dedup statistics), as opposed to
+/// measured latencies: compared against baselines at the same threshold
+/// but exempt from machine-speed normalization.
+fn is_count(id: &str) -> bool {
+    id.starts_with("storage/")
+}
+
+/// Synthesize count records for the shared-subtree corpus: logical node
+/// count, distinct subtree count after content addressing, and the
+/// dedup ratio ×1000. `mean_ns` carries the count (the comparison
+/// machinery is unit-agnostic); a dedup regression — the arena storing
+/// more distinct subtrees for the same corpus — fails the gate like any
+/// latency regression.
+fn storage_records() -> Vec<Rec> {
+    let stats = axml_bench::shared_corpus_stats(16);
+    // distinct subtrees per 1000 logical nodes: *lower* is better, so a
+    // dedup regression raises it and the ratio>threshold gate catches it
+    // (the inverse "sharing factor" would flag improvements instead).
+    let distinct_per_1000 = 1000 * stats.distinct_subtrees / stats.logical_nodes.max(1);
+    let count = |name: &str, value: usize| Rec {
+        id: format!("storage/shared_corpus16/{name}"),
+        mean_ns: value as f64,
+        median_ns: value as f64,
+        min_ns: value as f64,
+        max_ns: value as f64,
+        samples: 1,
+    };
+    vec![
+        count("logical_nodes", stats.logical_nodes),
+        count("distinct_subtrees", stats.distinct_subtrees),
+        count("child_edges", stats.child_edges),
+        count("distinct_per_1000_logical", distinct_per_1000),
+    ]
 }
 
 /// Load records from a JSON array or JSON-lines file. Duplicate ids

@@ -156,6 +156,40 @@ pub fn relation_like_doc(rows: usize) -> Forest<NatPoly> {
     Forest::unit(Tree::new("D", rels))
 }
 
+/// The shared-subtree corpus for the storage/dedup stat: `n` documents
+/// that all embed the same balanced body and the same relation-like
+/// document, distinguished only by a per-document marker leaf. The
+/// logical node count grows linearly in `n` while the distinct-subtree
+/// count stays ~constant — the workload the engine's content-addressed
+/// arena exists for (UniProtKB-style corpora with massive repeated
+/// substructure).
+pub fn shared_corpus(n: usize) -> Vec<(String, Forest<NatPoly>)> {
+    let shared = balanced_tree::<NatPoly>(6, 2);
+    let rel = relation_like_doc(64);
+    (0..n)
+        .map(|i| {
+            let mut f = Forest::new();
+            f.insert(shared.clone(), NatPoly::one());
+            for (t, k) in rel.iter() {
+                f.insert(t.clone(), k.clone());
+            }
+            f.insert(Tree::leaf(format!("marker{i}").as_str()), NatPoly::one());
+            (format!("shared{i:02}"), f)
+        })
+        .collect()
+}
+
+/// Load the [`shared_corpus`] into a fresh engine and report its
+/// [`axml::StorageStats`] — the deterministic memory/dedup numbers the
+/// `bench_regression` gate records alongside latency.
+pub fn shared_corpus_stats(n: usize) -> axml::StorageStats {
+    let engine = axml::Engine::new();
+    for (name, f) in shared_corpus(n) {
+        engine.insert_forest(&name, f);
+    }
+    engine.storage_stats()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,7 +11,7 @@
 
 use crate::ast::{Axis, NodeTest, Query, QueryNode, Step};
 use axml_semiring::Semiring;
-use axml_uxml::{Forest, Tree, Value};
+use axml_uxml::{weighted_descendant_closure, Forest, Tree, Value};
 use std::fmt;
 
 /// A runtime error (never produced by elaborated queries evaluated
@@ -194,32 +194,33 @@ pub fn eval_step<K: Semiring>(f: &Forest<K>, step: Step) -> Forest<K> {
     match step.axis {
         Axis::SelfAxis => filtered(f.clone()),
         Axis::Child => filtered(f.bind(|t| t.children().clone())),
-        Axis::Descendant => {
-            let mut out = Forest::new();
-            for (t, k) in f.iter() {
-                descend_into(t, k, &mut out);
-            }
-            filtered(out)
-        }
-        Axis::StrictDescendant => {
-            let mut out = Forest::new();
-            for (t, k) in f.iter() {
-                for (c, kc) in t.children().iter() {
-                    descend_into(c, &k.times(kc), &mut out);
-                }
-            }
-            filtered(out)
-        }
+        Axis::Descendant => sweep(f.iter().map(|(t, k)| (t.clone(), k.clone())), step.test),
+        Axis::StrictDescendant => sweep(strict_seeds(f), step.test),
     }
 }
 
-/// Accumulate every subtree of `t` (including `t`) into `out`, each
-/// annotated `k_path ·` the product of annotations along the path from
-/// `t`. One shared accumulator for the whole descendant sweep — the
-/// path-product loop itself is [`Tree::for_each_descendant`], the
-/// explicit-stack kernel both evaluator routes share.
-fn descend_into<K: Semiring>(t: &Tree<K>, k_path: &K, out: &mut Forest<K>) {
-    t.for_each_descendant(k_path.clone(), |node, k| out.insert(node.clone(), k));
+/// Both descendant flavors start from a seed set and run the same
+/// value-level DAG sweep: [`weighted_descendant_closure`] visits each
+/// **distinct** subtree once (occurrence sums fall out of the
+/// weight-merging), so the label filter can run on the flat result and
+/// the forest is bulk-built from known-distinct pairs instead of
+/// inserted one occurrence at a time.
+fn sweep<K: Semiring>(seeds: impl IntoIterator<Item = (Tree<K>, K)>, test: NodeTest) -> Forest<K> {
+    let mut closed = weighted_descendant_closure(seeds);
+    if let NodeTest::Label(l) = test {
+        closed.retain(|(t, _)| t.label() == l);
+    }
+    Forest::from_distinct_pairs(closed)
+}
+
+/// Seeds of a strict-descendant sweep: every top-level child, weighted
+/// by the root annotation times the child edge.
+fn strict_seeds<K: Semiring>(f: &Forest<K>) -> impl Iterator<Item = (Tree<K>, K)> + '_ {
+    f.iter().flat_map(|(t, k)| {
+        t.children()
+            .iter()
+            .map(move |(c, kc)| (c.clone(), k.times(kc)))
+    })
 }
 
 /// Below this many document nodes a descendant sweep stays
@@ -265,11 +266,7 @@ pub fn eval_step_ctx<K: Semiring>(
     let target = 2 * ctx.degree();
     let (emitted, seeds) = axml_uxml::expand_sweep_seeds(sweep_roots, target);
     let mut partials: Vec<Forest<K>> = ctx.pool.map_chunks(&seeds, target, |chunk| {
-        let mut local = Forest::new();
-        for (t, k) in chunk {
-            descend_into(t, k, &mut local);
-        }
-        local
+        Forest::from_distinct_pairs(weighted_descendant_closure(chunk.iter().cloned()))
     });
     let mut base = Forest::new();
     for (t, k) in emitted {
@@ -292,9 +289,7 @@ pub fn eval_step_ctx<K: Semiring>(
 /// All subtrees of `t` (including `t`), each annotated with the sum
 /// over occurrences of the product of annotations along the path.
 pub fn descendant_or_self<K: Semiring>(t: &Tree<K>) -> Forest<K> {
-    let mut out = Forest::new();
-    descend_into(t, &K::one(), &mut out);
-    out
+    Forest::from_distinct_pairs(weighted_descendant_closure([(t.clone(), K::one())]))
 }
 
 /// Convenience entry point: elaborate-then-evaluate a surface query

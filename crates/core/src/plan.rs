@@ -261,6 +261,11 @@ fn eval_qop<K: Semiring>(
         }
         QOp::For { source, body } => {
             let src = eval_qset(source, env, ctx)?;
+            if let Some(c) = ctx.filter(|c| !c.is_sequential()) {
+                if src.len() >= PAR_FOR_MIN_BINDERS {
+                    return par_for(&src, body, env, c);
+                }
+            }
             let mut out = Forest::new();
             for (t, k) in src.iter() {
                 env.push(SlotVal::Bound(Value::Tree(t.clone())));
@@ -316,6 +321,54 @@ fn eval_qop<K: Semiring>(
             Ok(Value::Set(eval_step_ctx(&f, *step, ctx)))
         }
     }
+}
+
+/// Below this many binder elements a `for` loop stays sequential: the
+/// per-chunk environment clone and the merge would dominate. (Each
+/// binder element runs the whole body, so the useful-work-per-element
+/// bar is much lower than a sweep's [`crate::eval::PAR_SWEEP_MIN_NODES`].)
+pub const PAR_FOR_MIN_BINDERS: usize = 64;
+
+/// The big-union `for` over the context's pool: binder elements are
+/// chunked in K-set order, each chunk evaluates the body against its
+/// own clone of the frame stack (slots below the binder are read-only
+/// during the loop, so a clone-per-chunk is exact), and the partial
+/// forests tree-reduce through the shared K-set parallel union.
+///
+/// Error semantics match the sequential loop observably: chunks
+/// preserve element order and each chunk stops at its first error, so
+/// the first `Err` in chunk order *is* the error the sequential loop
+/// would have hit first. Inside a chunk the body runs without a
+/// context (the pool's workers are already saturated by the outer
+/// loop; nesting pool scopes inside workers is not supported).
+fn par_for<K: Semiring>(
+    src: &Forest<K>,
+    body: &QOp<K>,
+    env: &mut [SlotVal<K>],
+    c: &axml_pool::ExecCtx<'_>,
+) -> Result<Value<K>, EvalError> {
+    let items: Vec<(Tree<K>, K)> = src.iter().map(|(t, k)| (t.clone(), k.clone())).collect();
+    let target = 2 * c.degree();
+    let frame: &[SlotVal<K>] = env;
+    let chunk_results: Vec<Result<Forest<K>, EvalError>> =
+        c.pool.map_chunks(&items, target, |chunk| {
+            let mut local_env = frame.to_vec();
+            let mut out = Forest::new();
+            for (t, k) in chunk {
+                local_env.push(SlotVal::Bound(Value::Tree(t.clone())));
+                let inner = eval_qset(body, &mut local_env, None);
+                local_env.pop();
+                out.extend_scaled(inner?, k);
+            }
+            Ok(out)
+        });
+    let mut partials = Vec::with_capacity(chunk_results.len());
+    for r in chunk_results {
+        partials.push(r?.into_kset());
+    }
+    Ok(Value::Set(Forest::from_kset(axml_semiring::par_union_all(
+        c.pool, c.par, partials,
+    ))))
 }
 
 fn eval_qset<K: Semiring>(

@@ -35,7 +35,7 @@ use crate::eval::EvalError;
 use crate::expr::{Expr, Name};
 use crate::value::CValue;
 use axml_semiring::{KSet, Semiring};
-use axml_uxml::{Forest, Label, Tree};
+use axml_uxml::{weighted_descendant_closure, Forest, Label, Tree};
 use std::fmt;
 
 /// Below this many document nodes a descendant sweep stays
@@ -647,23 +647,24 @@ fn eval_op<K: Semiring>(
             };
             // Every subtree (including t), annotated with the sum over
             // occurrences of the product of annotations along the path
-            // — Fig 4's semantics, via the shared sweep kernel. With a
-            // non-sequential context and a large enough document the
-            // sweep is chunked over top-level subtrees and merged in
-            // place — same multiset, same result.
+            // — Fig 4's semantics, via the shared DAG sweep kernel
+            // (`weighted_descendant_closure` visits each *distinct*
+            // subtree once; occurrence sums fall out of weight
+            // merging). With a non-sequential context and a large
+            // enough document the sweep is chunked over top-level
+            // subtrees and merged in place — same multiset, same
+            // result.
             if let Some(c) = ctx.filter(|c| !c.is_sequential()) {
                 if t.size() >= PAR_SWEEP_MIN_NODES {
                     let target_chunks = 2 * c.degree();
                     let (emitted, seeds) = t.descendant_split(K::one(), target_chunks);
                     let mut partials: Vec<KSet<CValue<K>, K>> =
                         c.pool.map_chunks(&seeds, target_chunks, |chunk| {
-                            let mut local: KSet<CValue<K>, K> = KSet::new();
-                            for (t, k) in chunk {
-                                t.for_each_descendant(k.clone(), |node, kn| {
-                                    local.insert(CValue::Tree(node.clone()), kn);
-                                });
-                            }
-                            local
+                            KSet::from_distinct_pairs(
+                                weighted_descendant_closure(chunk.iter().cloned())
+                                    .into_iter()
+                                    .map(|(node, k)| (CValue::Tree(node), k)),
+                            )
                         });
                     let mut base: KSet<CValue<K>, K> = KSet::new();
                     for (t, k) in emitted {
@@ -674,11 +675,11 @@ fn eval_op<K: Semiring>(
                     return Ok(CValue::Set(merged));
                 }
             }
-            let mut out: KSet<CValue<K>, K> = KSet::new();
-            t.for_each_descendant(K::one(), |node, k| {
-                out.insert(CValue::Tree(node.clone()), k);
-            });
-            Ok(CValue::Set(out))
+            Ok(CValue::Set(KSet::from_distinct_pairs(
+                weighted_descendant_closure([(t, K::one())])
+                    .into_iter()
+                    .map(|(node, k)| (CValue::Tree(node), k)),
+            )))
         }
     }
 }

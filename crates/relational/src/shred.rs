@@ -69,18 +69,26 @@ fn shred_tree<K: Semiring>(
     next_id: &mut u64,
     rel: &mut KRelation<K>,
 ) {
-    let nid = *next_id;
-    *next_id += 1;
-    rel.insert(
-        vec![
-            RelValue::Node(pid),
-            RelValue::Node(nid),
-            RelValue::Label(t.label()),
-        ],
-        ann.clone(),
-    );
-    for (c, k) in t.children_document() {
-        shred_tree(c, k, nid, next_id, rel);
+    // Pre-order DFS on an explicit stack — one linear scan emitting one
+    // EDB fact per node; document depth costs heap, never Rust stack.
+    // Children are pushed in reverse document order so pop order (and
+    // therefore every assigned nid) matches the recursive encoding
+    // exactly.
+    let mut stack: Vec<(&Tree<K>, &K, u64)> = vec![(t, ann, pid)];
+    while let Some((t, ann, pid)) = stack.pop() {
+        let nid = *next_id;
+        *next_id += 1;
+        rel.insert(
+            vec![
+                RelValue::Node(pid),
+                RelValue::Node(nid),
+                RelValue::Label(t.label()),
+            ],
+            ann.clone(),
+        );
+        for (c, k) in t.children_document().iter().rev() {
+            stack.push((c, k, nid));
+        }
     }
 }
 

@@ -81,6 +81,28 @@ impl<T: Ord + Clone, K: Semiring> KSet<T, K> {
         set
     }
 
+    /// Build from pairs whose items are already **distinct**: zeros are
+    /// pruned, but nothing is merged — the map is bulk-built from the
+    /// pairs (sorted once, then assembled linearly) instead of paying a
+    /// tree insert per pair. This is the fast path for producers that
+    /// already deduplicate, e.g. the weighted descendant closure in
+    /// `axml-uxml`, whose output has one entry per distinct subtree.
+    ///
+    /// Debug builds assert distinctness; release builds silently keep
+    /// one entry per item (which one is unspecified), so callers must
+    /// uphold the contract.
+    pub fn from_distinct_pairs<I: IntoIterator<Item = (T, K)>>(pairs: I) -> Self {
+        let pruned: Vec<(T, K)> = pairs.into_iter().filter(|(_, k)| !k.is_zero()).collect();
+        let n = pruned.len();
+        let entries: BTreeMap<T, K> = pruned.into_iter().collect();
+        debug_assert_eq!(
+            entries.len(),
+            n,
+            "from_distinct_pairs requires distinct items"
+        );
+        KSet { entries }
+    }
+
     /// Add `k` to the annotation of `item` (inserting if absent).
     pub fn insert(&mut self, item: T, k: K) {
         if k.is_zero() {

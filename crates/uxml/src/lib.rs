@@ -39,6 +39,29 @@
 //! [`tree::Forest::extend_scaled`]) that the evaluators use instead of
 //! functional rebuilds.
 //!
+//! # Performance: arena storage and content-addressed sharing
+//!
+//! For *resident* documents (the `axml` engine's document store) the
+//! pointer-tree representation is complemented by [`arena::TreeArena`],
+//! a columnar arena: one flat row per **distinct** subtree (label,
+//! fingerprint, size, child span), children as contiguous index ranges
+//! in side arrays, and the canonical `Arc` handle in a parallel column.
+//! Interning hash-conses on the same `(size, hash)` fingerprint `Ord`
+//! leads with — equal subtrees get equal [`arena::NodeId`]s, within
+//! *and across* documents, with a full structural verify on fingerprint
+//! collisions so colliding subtrees are never conflated. Child ids are
+//! always smaller than the parent's, so
+//! [`arena::TreeArena::descendant_closure`] is one dense descending
+//! scan over an id-indexed weight vector — the annotation-weighted
+//! descendant sweep with no hashing and no heap. Rebuilding a forest
+//! from canonical handles ([`arena::TreeArena::canonical_forest`])
+//! maximizes `Arc` sharing, which the pointer-equality fast paths and
+//! the pointer-keyed memo in [`arena::intern_forest_mapped`] (fused
+//! semiring specialization) then exploit. The occurrence-level
+//! counterpart for transient values is
+//! [`tree::weighted_descendant_closure`], which deduplicates by value
+//! on the fly and visits each distinct subtree once.
+//!
 //! # Parsing and printing
 //!
 //! [`parse::parse_forest`] reads a document-style syntax with optional
@@ -56,6 +79,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod hom;
 pub mod label;
 pub mod parse;
@@ -64,9 +88,12 @@ pub mod print;
 mod serde_impl;
 pub mod tree;
 
+pub use arena::{NodeId, TreeArena};
 pub use label::Label;
 pub use parse::{parse_forest, parse_tree, parse_value, ParseAnnotation};
-pub use tree::{expand_sweep_seeds, leaf, tree, Forest, SweepSeeds, Tree, Value};
+pub use tree::{
+    expand_sweep_seeds, leaf, tree, weighted_descendant_closure, Forest, SweepSeeds, Tree, Value,
+};
 
 // Thread-safety audit (PR 5): documents are `Arc`-shared across the
 // worker pool and label interning is hit from every worker, so the

@@ -89,20 +89,33 @@ impl Fnv {
     }
 }
 
+/// The structural fingerprint of a node, computed from its label and
+/// its children's `(fingerprint, annotation)` pairs **in K-set order**.
+/// [`Tree::new`] and the arena's hash-consing table
+/// ([`crate::arena::TreeArena`]) must agree byte-for-byte on this, so
+/// both call here.
+pub(crate) fn node_fingerprint<'a, K, I>(label: Label, children: I) -> u64
+where
+    K: Semiring + 'a,
+    I: IntoIterator<Item = (u64, &'a K)>,
+{
+    let mut h = Fnv::new();
+    h.write_u64(u64::from(label.id()));
+    for (child_hash, k) in children {
+        h.write_u64(child_hash);
+        k.hash(&mut h);
+    }
+    h.finish()
+}
+
 impl<K: Semiring> Tree<K> {
     /// Build a tree from a label and its children.
     pub fn new(label: impl Into<Label>, children: Forest<K>) -> Self {
         let label = label.into();
-        let mut h = Fnv::new();
-        h.write_u64(u64::from(label.id()));
-        let mut size = 1usize;
-        for (child, k) in children.iter() {
-            h.write_u64(child.0.hash);
-            k.hash(&mut h);
-            size += child.0.size;
-        }
+        let hash = node_fingerprint(label, children.iter().map(|(c, k)| (c.0.hash, k)));
+        let size = 1 + children.iter().map(|(c, _)| c.0.size).sum::<usize>();
         Tree(Arc::new(Node {
-            hash: h.finish(),
+            hash,
             size,
             label,
             children,
@@ -144,6 +157,15 @@ impl<K: Semiring> Tree<K> {
     /// label interning make it process-dependent).
     pub fn structural_hash(&self) -> u64 {
         self.0.hash
+    }
+
+    /// The address of the shared node, as an opaque token: equal tokens
+    /// imply equal trees (same `Arc`), unequal tokens imply nothing.
+    /// Used as a memo key by walks over hash-consed documents — a
+    /// canonical handle's token is stable for as long as someone holds
+    /// the handle, so per-call memo tables keyed on it are sound.
+    pub fn ptr_token(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
     }
 
     /// Document-order comparison: by label name, then subtree size,
@@ -236,6 +258,79 @@ impl<K: Semiring> Tree<K> {
     }
 }
 
+/// The Fig 4 descendant sweep over the **value-level DAG**: every
+/// distinct subtree reachable from `seeds`, each with the sum over all
+/// of its occurrences of `seed weight ·` the annotation product along
+/// the path — the same multiset [`Tree::for_each_descendant`] visits
+/// occurrence-by-occurrence, already merged.
+///
+/// The occurrence sweep costs O(occurrences), which is exponential in
+/// depth on documents with value-level sharing (and hash-consed
+/// documents share maximally by construction). This kernel instead
+/// processes each distinct subtree **once**, in strictly decreasing
+/// subtree-size order: every child is strictly smaller than its parent,
+/// so when a subtree is popped, all paths into it have already been
+/// accumulated, and its total weight can be pushed through to its
+/// children in one step — O(distinct subtrees + distinct edges), with
+/// O(1) hashing and comparison via the cached fingerprints.
+///
+/// Merging is keyed on the [`Tree`] **value** (structural `Eq`), never
+/// on the raw fingerprint, so `(size, hash)` collisions between
+/// distinct subtrees are kept apart. Output pairs are distinct and
+/// nonzero, in decreasing subtree-size order — ready for
+/// [`Forest::from_distinct_pairs`].
+pub fn weighted_descendant_closure<K: Semiring>(
+    seeds: impl IntoIterator<Item = (Tree<K>, K)>,
+) -> Vec<(Tree<K>, K)> {
+    use std::collections::hash_map::Entry;
+    use std::collections::{BinaryHeap, HashMap};
+    // `pending[t]` = weight accumulated so far for subtrees not yet
+    // popped; the heap orders pending trees by `Ord`, whose leading key
+    // is subtree size. Each tree is pushed exactly once (on its vacant
+    // insert), so heap and map stay in sync.
+    let mut pending: HashMap<Tree<K>, K> = HashMap::new();
+    let mut heap: BinaryHeap<Tree<K>> = BinaryHeap::new();
+    fn add<K: Semiring>(
+        pending: &mut HashMap<Tree<K>, K>,
+        heap: &mut BinaryHeap<Tree<K>>,
+        t: Tree<K>,
+        w: K,
+    ) {
+        match pending.entry(t) {
+            Entry::Occupied(mut e) => {
+                let merged = e.get().plus(&w);
+                *e.get_mut() = merged;
+            }
+            Entry::Vacant(e) => {
+                heap.push(e.key().clone());
+                e.insert(w);
+            }
+        }
+    }
+    for (t, w) in seeds {
+        add(&mut pending, &mut heap, t, w);
+    }
+    let mut out: Vec<(Tree<K>, K)> = Vec::with_capacity(pending.len());
+    while let Some(t) = heap.pop() {
+        // Always present: a tree re-enters `pending` only while a
+        // strictly larger tree is still unpopped, and pops are
+        // non-increasing in `Ord` (insertions during the loop are
+        // children, strictly smaller than the current maximum).
+        let Some(w) = pending.remove(&t) else {
+            continue;
+        };
+        if w.is_zero() {
+            continue; // zero weight: contributes nothing downward either
+        }
+        for (c, kc) in t.children().iter() {
+            let wk = if w.is_one() { kc.clone() } else { w.times(kc) };
+            add(&mut pending, &mut heap, c.clone(), wk);
+        }
+        out.push((t, w));
+    }
+    out
+}
+
 /// The frontier expansion behind [`Tree::descendant_split`], starting
 /// from an arbitrary seed set (multi-root callers — forest-level
 /// sweeps — seed one entry per root): repeatedly replace the largest
@@ -243,12 +338,21 @@ impl<K: Semiring> Tree<K> {
 /// until at least `min_seeds` seeds remain or everything is a leaf.
 /// Returns `(emitted, seeds)` — consumed nodes and the frontier —
 /// which together partition the original seeds' descendant multiset.
+///
+/// The expansion is budgeted: after `4 · min_seeds` splits it stops
+/// even if the frontier is still short. On skinny trees (chains, or
+/// `min_seeds` larger than the tree) every split consumes one node
+/// without widening the frontier, so an unbudgeted expansion would
+/// sequentially emit the whole sweep — and pay a linear largest-seed
+/// scan per node on top — before any parallel work began. The partition
+/// property is unaffected; callers just get fewer seeds than requested.
 pub fn expand_sweep_seeds<K: Semiring>(
     mut seeds: SweepSeeds<K>,
     min_seeds: usize,
 ) -> (SweepSeeds<K>, SweepSeeds<K>) {
     let mut emitted: SweepSeeds<K> = Vec::new();
-    while seeds.len() < min_seeds {
+    let budget = 4 * min_seeds.max(1);
+    while seeds.len() < min_seeds && emitted.len() < budget {
         // Largest subtree first: splitting it rebalances the most.
         let Some(pos) = seeds
             .iter()
@@ -378,6 +482,15 @@ impl<K: Semiring> Forest<K> {
     /// Build from trees, each annotated `1`.
     pub fn of_units<I: IntoIterator<Item = Tree<K>>>(trees: I) -> Self {
         Forest(KSet::from_pairs(trees.into_iter().map(|t| (t, K::one()))))
+    }
+
+    /// Build from pairs whose trees are already **distinct** (zeros are
+    /// still pruned): bulk-builds the map instead of paying a tree
+    /// insert per pair. The fast path for deduplicated producers like
+    /// [`weighted_descendant_closure`]; see
+    /// [`axml_semiring::KSet::from_distinct_pairs`] for the contract.
+    pub fn from_distinct_pairs<I: IntoIterator<Item = (Tree<K>, K)>>(pairs: I) -> Self {
+        Forest(KSet::from_distinct_pairs(pairs))
     }
 
     /// Add `k` to the annotation of `tree`.
@@ -600,6 +713,50 @@ mod tests {
         let (emitted, seeds) = leaf::<Nat>("x").descendant_split(Nat(3), 9);
         assert!(emitted.is_empty());
         assert_eq!(seeds.len(), 1);
+    }
+
+    #[test]
+    fn sweep_split_budget_bounds_skinny_trees() {
+        // A chain is the worst case: every split consumes one node and
+        // never widens the frontier past 1, so with `min_seeds` larger
+        // than the tree an unbudgeted expansion would sequentially
+        // emit the entire sweep before any parallel work began.
+        let mut t = leaf::<Nat>("end");
+        for i in 0..200 {
+            t = Tree::new(Label::new(&format!("n{i}")), Forest::unit(t));
+        }
+        let mut expected = Forest::new();
+        t.for_each_descendant(Nat(1), |n, k| expected.insert(n.clone(), k));
+        for min_seeds in [4, 16, 100_000] {
+            let (emitted, seeds) = t.descendant_split(Nat(1), min_seeds);
+            assert!(
+                emitted.len() <= 4 * min_seeds,
+                "budget exceeded: emitted {} for min_seeds={min_seeds}",
+                emitted.len()
+            );
+            // The early stop never breaks the partition property.
+            let mut got = Forest::new();
+            for (n, k) in emitted {
+                got.insert(n, k);
+            }
+            for (s, k) in seeds {
+                s.for_each_descendant(k, |n, kn| got.insert(n.clone(), kn));
+            }
+            assert_eq!(got, expected, "partition broken at min_seeds={min_seeds}");
+        }
+
+        // `min_seeds` larger than a small bushy tree: expansion stops
+        // once everything is a leaf, well within budget.
+        let f = crate::parse::parse_forest::<Nat>("<a> b c </a> <d> e </d>").unwrap();
+        let roots: SweepSeeds<Nat> = f.iter().map(|(t, k)| (t.clone(), *k)).collect();
+        let (emitted, seeds) = expand_sweep_seeds(roots, 1000);
+        assert_eq!(
+            emitted.len(),
+            2,
+            "both roots split, then only leaves remain"
+        );
+        assert_eq!(seeds.len(), 3);
+        assert!(seeds.iter().all(|(t, _)| t.is_leaf()));
     }
 
     #[test]
