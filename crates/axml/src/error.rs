@@ -99,6 +99,17 @@ pub enum AxmlError {
         /// Description.
         msg: String,
     },
+    /// The evaluation ran past its wall-clock deadline
+    /// ([`crate::EvalOptions::deadline`] /
+    /// [`crate::EvalOptions::timeout`]). Deadlines are checked at
+    /// route starts and at semi-naive fixpoint round boundaries, so
+    /// the trip is observed at the first such boundary after the
+    /// deadline passes.
+    Budget {
+        /// The boundary that observed the exceeded deadline
+        /// (e.g. `"route start"`, `"datalog round"`).
+        at: String,
+    },
     /// The query refers to a document the engine has not loaded.
     UnknownDocument {
         /// The free variable / document name.
@@ -191,7 +202,13 @@ impl From<axml_nrc::EvalError> for AxmlError {
 
 impl From<axml_relational::datalog::DatalogError> for AxmlError {
     fn from(e: axml_relational::datalog::DatalogError) -> Self {
-        AxmlError::Shredding { msg: e.msg }
+        if e.budget {
+            AxmlError::Budget {
+                at: "datalog round".into(),
+            }
+        } else {
+            AxmlError::Shredding { msg: e.msg }
+        }
     }
 }
 
@@ -208,6 +225,9 @@ impl fmt::Display for AxmlError {
             AxmlError::Eval { msg, at } => write!(f, "evaluation error: {msg} (at `{at}`)"),
             AxmlError::Nrc { msg, at } => write!(f, "NRC evaluation error: {msg} (at `{at}`)"),
             AxmlError::Shredding { msg } => write!(f, "shredded evaluation error: {msg}"),
+            AxmlError::Budget { at } => {
+                write!(f, "evaluation exceeded its wall-clock deadline (at {at})")
+            }
             AxmlError::UnknownDocument { name, available } => {
                 write!(f, "no document named {name:?} is loaded")?;
                 if available.is_empty() {

@@ -1,0 +1,383 @@
+//! The workspace's no-serde JSON writer, plus the canonical JSON
+//! rendering of query results.
+//!
+//! The build environment has no `serde`, so everything that emits JSON
+//! — the criterion-shim summaries consumed by `bench_regression`, the
+//! checked-in `BENCH_*.json` baselines, the CLI's `--format json`
+//! query output, and the `axml-server` HTTP responses — goes through
+//! this one small writer instead of growing per-call-site string
+//! plumbing. (It lived in `axml_bench::json` until the server needed
+//! it; the bench crate re-exports this module for compatibility.)
+//!
+//! The result-rendering half ([`result_json`], [`result_header`],
+//! [`result_pieces`]) is the single source of truth for the
+//! `--format json` shape: the CLI prints [`result_json`] whole, the
+//! server streams [`result_header`] + [`result_pieces`] + `}`
+//! incrementally, and because both compose the same pieces the bytes
+//! are identical either way.
+
+use crate::options::EvalOptions;
+use crate::result::AxmlResult;
+use axml_semiring::Semiring;
+use axml_uxml::{Forest, Tree, Value};
+use std::fmt::Write as _;
+
+/// Escape `s` per JSON string rules (quotes, backslashes, control
+/// characters; non-ASCII passes through — JSON is UTF-8).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A quoted, escaped JSON string literal.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// An incremental builder for one JSON value — objects, arrays and
+/// scalars, with commas managed automatically. No reflection, no
+/// intermediate DOM: values stream into one `String`.
+///
+/// ```
+/// use axml::json::Json;
+/// let mut j = Json::new();
+/// j.begin_obj();
+/// j.key("id");
+/// j.str("eval/depth=8");
+/// j.key("mean_ns");
+/// j.num(75_312.5);
+/// j.end_obj();
+/// assert_eq!(j.finish(), r#"{"id":"eval/depth=8","mean_ns":75312.5}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct Json {
+    buf: String,
+    /// Whether the next emission at the current nesting level needs a
+    /// leading comma (one flag per open container).
+    need_comma: Vec<bool>,
+}
+
+impl Json {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.buf.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    /// Open an object (`{`).
+    pub fn begin_obj(&mut self) {
+        self.pre_value();
+        self.buf.push('{');
+        self.need_comma.push(false);
+    }
+
+    /// Close the innermost object (`}`).
+    pub fn end_obj(&mut self) {
+        self.need_comma.pop();
+        self.buf.push('}');
+    }
+
+    /// Open an array (`[`).
+    pub fn begin_arr(&mut self) {
+        self.pre_value();
+        self.buf.push('[');
+        self.need_comma.push(false);
+    }
+
+    /// Close the innermost array (`]`).
+    pub fn end_arr(&mut self) {
+        self.need_comma.pop();
+        self.buf.push(']');
+    }
+
+    /// Emit an object key. Must be followed by exactly one value.
+    pub fn key(&mut self, k: &str) {
+        self.pre_value();
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+        // The value after a key is not a fresh element of the object.
+        if let Some(need) = self.need_comma.last_mut() {
+            *need = false;
+        }
+    }
+
+    /// Emit a string value.
+    pub fn str(&mut self, s: &str) {
+        self.pre_value();
+        let _ = write!(self.buf, "\"{}\"", escape(s));
+    }
+
+    /// Emit a numeric value (finite; NaN/∞ become `null`, which JSON
+    /// requires).
+    pub fn num(&mut self, n: f64) {
+        self.pre_value();
+        if n.is_finite() {
+            let _ = write!(self.buf, "{n}");
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Emit an integer value.
+    pub fn int(&mut self, n: u64) {
+        self.pre_value();
+        let _ = write!(self.buf, "{n}");
+    }
+
+    /// Emit a boolean value.
+    pub fn bool(&mut self, b: bool) {
+        self.pre_value();
+        self.buf.push_str(if b { "true" } else { "false" });
+    }
+
+    /// The finished JSON text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// A value rendered as a JSON tree: annotations as strings in the
+/// semiring's syntax (omitted when `1`), children in the byte-stable
+/// document order the text printer uses.
+pub fn value_json<K: Semiring + std::fmt::Display>(j: &mut Json, v: &Value<K>) {
+    match v {
+        Value::Label(l) => {
+            j.begin_obj();
+            j.key("label");
+            j.str(l.name());
+            j.end_obj();
+        }
+        Value::Tree(t) => tree_json(j, t, None),
+        Value::Set(f) => forest_json(j, f),
+    }
+}
+
+/// A forest as a JSON array of trees (document order).
+pub fn forest_json<K: Semiring + std::fmt::Display>(j: &mut Json, f: &Forest<K>) {
+    j.begin_arr();
+    for (t, k) in f.iter_document() {
+        tree_json(j, t, Some(k));
+    }
+    j.end_arr();
+}
+
+/// One tree as a JSON object; `ann` is its annotation in the parent
+/// (omitted from the output when it is the semiring's `1`).
+pub fn tree_json<K: Semiring + std::fmt::Display>(j: &mut Json, t: &Tree<K>, ann: Option<&K>) {
+    j.begin_obj();
+    j.key("label");
+    j.str(t.label().name());
+    if let Some(k) = ann {
+        if !k.is_one() {
+            j.key("annotation");
+            j.str(&k.to_string());
+        }
+    }
+    if !t.is_leaf() {
+        j.key("children");
+        j.begin_arr();
+        for (c, k) in t.children_document() {
+            tree_json(j, c, Some(k));
+        }
+        j.end_arr();
+    }
+    j.end_obj();
+}
+
+/// The `result` value of one [`AxmlResult`], dispatched over its
+/// runtime semiring, appended to an open builder.
+pub fn result_value_json(j: &mut Json, out: &AxmlResult) {
+    match out {
+        AxmlResult::Nat(v) => value_json(j, v),
+        AxmlResult::PosBool(v) => value_json(j, v),
+        AxmlResult::Tropical(v) => value_json(j, v),
+        AxmlResult::NatPoly(v) => value_json(j, v),
+        AxmlResult::Why(v) => value_json(j, v),
+        AxmlResult::Trio(v) => value_json(j, v),
+        AxmlResult::Prob(v) => value_json(j, v),
+    }
+}
+
+/// The opening of the result object, up to and including the
+/// `"result":` key — everything known before any result bytes:
+/// `{"query":…,"semiring":…,"route":…,"mode":…,"result":`.
+///
+/// Streaming writers (the server) emit this first, then the pieces of
+/// [`result_pieces`], then the closing `}`.
+pub fn result_header(query: &str, opts: &EvalOptions) -> String {
+    let mut j = Json::new();
+    j.begin_obj();
+    j.key("query");
+    j.str(query);
+    j.key("semiring");
+    j.str(opts.semiring.name());
+    j.key("route");
+    j.str(opts.route.name());
+    j.key("mode");
+    j.str(opts.mode.name());
+    j.key("result");
+    j.finish()
+}
+
+/// The `result` field of one evaluation, cut into independently
+/// writable pieces for streaming.
+pub enum ResultPieces {
+    /// A K-set: stream as a JSON array, one piece per
+    /// `(tree, annotation)` pair, in document order.
+    Set(Vec<String>),
+    /// A scalar (bare label or a single unannotated tree): one piece.
+    Scalar(String),
+}
+
+/// Cut the `result` field into streamable pieces (see
+/// [`ResultPieces`]). [`result_json`] concatenates exactly these, so a
+/// streaming writer that flushes them one at a time produces the same
+/// bytes as the one-shot rendering.
+pub fn result_pieces(out: &AxmlResult) -> ResultPieces {
+    fn set_pieces<K: Semiring + std::fmt::Display>(f: &Forest<K>) -> ResultPieces {
+        ResultPieces::Set(
+            f.iter_document()
+                .into_iter()
+                .map(|(t, k)| {
+                    let mut j = Json::new();
+                    tree_json(&mut j, t, Some(k));
+                    j.finish()
+                })
+                .collect(),
+        )
+    }
+    fn pieces<K: Semiring + std::fmt::Display>(v: &Value<K>) -> ResultPieces {
+        match v {
+            Value::Set(f) => set_pieces(f),
+            scalar => {
+                let mut j = Json::new();
+                value_json(&mut j, scalar);
+                ResultPieces::Scalar(j.finish())
+            }
+        }
+    }
+    match out {
+        AxmlResult::Nat(v) => pieces(v),
+        AxmlResult::PosBool(v) => pieces(v),
+        AxmlResult::Tropical(v) => pieces(v),
+        AxmlResult::NatPoly(v) => pieces(v),
+        AxmlResult::Why(v) => pieces(v),
+        AxmlResult::Trio(v) => pieces(v),
+        AxmlResult::Prob(v) => pieces(v),
+    }
+}
+
+/// Render a query result as one JSON object (the CLI's
+/// `--format json` shape and the server's `/eval` response body):
+/// request echo plus the value as a structured tree.
+pub fn result_json(query: &str, opts: &EvalOptions, out: &AxmlResult) -> String {
+    let mut s = result_header(query, opts);
+    match result_pieces(out) {
+        ResultPieces::Set(items) => {
+            s.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(item);
+            }
+            s.push(']');
+        }
+        ResultPieces::Scalar(v) => s.push_str(&v),
+    }
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, EvalOptions, SemiringKind};
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("x\ny"), "x\\ny");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(string("hé"), "\"hé\"");
+    }
+
+    #[test]
+    fn nested_structures_comma_correctly() {
+        let mut j = Json::new();
+        j.begin_arr();
+        for i in 0..2 {
+            j.begin_obj();
+            j.key("i");
+            j.int(i);
+            j.key("kids");
+            j.begin_arr();
+            j.str("a");
+            j.str("b");
+            j.end_arr();
+            j.end_obj();
+        }
+        j.end_arr();
+        assert_eq!(
+            j.finish(),
+            r#"[{"i":0,"kids":["a","b"]},{"i":1,"kids":["a","b"]}]"#
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_are_null() {
+        let mut j = Json::new();
+        j.begin_arr();
+        j.num(1.5);
+        j.num(f64::NAN);
+        j.end_arr();
+        assert_eq!(j.finish(), "[1.5,null]");
+    }
+
+    #[test]
+    fn streamed_pieces_concatenate_to_the_one_shot_rendering() {
+        let engine = Engine::new();
+        engine.load_document("S", "<a {z}> b {x} c </a>").unwrap();
+        for kind in SemiringKind::ALL {
+            let opts = EvalOptions::new().semiring(kind);
+            let out = engine.run("$S/*", opts).unwrap();
+            let whole = result_json("$S/*", &opts, &out);
+            let mut streamed = result_header("$S/*", &opts);
+            match result_pieces(&out) {
+                ResultPieces::Set(items) => {
+                    streamed.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            streamed.push(',');
+                        }
+                        streamed.push_str(item);
+                    }
+                    streamed.push(']');
+                }
+                ResultPieces::Scalar(v) => streamed.push_str(&v),
+            }
+            streamed.push('}');
+            assert_eq!(whole, streamed, "{kind}");
+        }
+    }
+}

@@ -188,8 +188,10 @@
 mod dispatch;
 mod engine;
 mod error;
+pub mod json;
 mod options;
 mod prepared;
+mod registry;
 mod result;
 
 pub use axml_pool::Pool;
@@ -197,12 +199,13 @@ pub use engine::{Engine, StorageStats, STORE_SHARDS};
 pub use error::{AxmlError, SourceSpan};
 pub use options::{EvalMode, EvalOptions, Parallelism, Route, SemiringKind};
 pub use prepared::PreparedQuery;
+pub use registry::{query_handle, QueryRegistry};
 pub use result::AxmlResult;
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::{
         AxmlError, AxmlResult, Engine, EvalMode, EvalOptions, Parallelism, Pool, PreparedQuery,
-        Route, SemiringKind,
+        QueryRegistry, Route, SemiringKind,
     };
 }

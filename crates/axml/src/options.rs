@@ -8,6 +8,7 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::time::{Duration, Instant};
 
 pub use axml_pool::Parallelism;
 
@@ -176,6 +177,33 @@ pub enum EvalMode {
     ProvenanceFirst,
 }
 
+impl EvalMode {
+    /// The kebab-case name (`in-semiring` / `provenance-first`) used by
+    /// the JSON result shape and the server's `mode` parameter.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalMode::InSemiring => "in-semiring",
+            EvalMode::ProvenanceFirst => "provenance-first",
+        }
+    }
+}
+
+impl fmt::Display for EvalMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EvalMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        [EvalMode::InSemiring, EvalMode::ProvenanceFirst]
+            .into_iter()
+            .find(|m| m.name() == s)
+            .ok_or_else(|| format!("unknown mode {s:?} (expected in-semiring or provenance-first)"))
+    }
+}
+
 /// Per-call evaluation options for [`crate::PreparedQuery::eval`].
 ///
 /// ```
@@ -202,6 +230,14 @@ pub struct EvalOptions {
     /// runs its evaluation legs concurrently. Results are identical
     /// either way (differentially tested).
     pub parallelism: Parallelism,
+    /// Wall-clock deadline for this evaluation (default: none). The
+    /// deadline is checked at coarse boundaries — once when each
+    /// evaluation route starts (every differential leg counts as a
+    /// route start) and once per semi-naive Datalog round on the
+    /// shredded route — and trips as [`crate::AxmlError::Budget`].
+    /// It bounds scheduling unfairness, not individual instructions:
+    /// a single enormous join still runs to completion.
+    pub deadline: Option<Instant>,
 }
 
 impl EvalOptions {
@@ -240,6 +276,20 @@ impl EvalOptions {
     pub fn parallel(self, n: usize) -> Self {
         self.parallelism(Parallelism::threads(n))
     }
+
+    /// Set an absolute wall-clock deadline (see
+    /// [`EvalOptions::deadline`]).
+    pub fn deadline(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Shorthand: a deadline `budget` from now. A budget too large to
+    /// represent as an `Instant` means "no deadline".
+    pub fn timeout(mut self, budget: Duration) -> Self {
+        self.deadline = Instant::now().checked_add(budget);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +315,25 @@ mod tests {
             assert_eq!(r.name().parse::<Route>(), Ok(r));
         }
         assert!("sideways".parse::<Route>().is_err());
+    }
+
+    #[test]
+    fn mode_names_roundtrip() {
+        for m in [EvalMode::InSemiring, EvalMode::ProvenanceFirst] {
+            assert_eq!(m.name().parse::<EvalMode>(), Ok(m));
+        }
+        assert!("psychic".parse::<EvalMode>().is_err());
+    }
+
+    #[test]
+    fn deadline_builders() {
+        assert_eq!(EvalOptions::new().deadline, None);
+        let at = Instant::now();
+        assert_eq!(EvalOptions::new().deadline(at).deadline, Some(at));
+        let o = EvalOptions::new().timeout(Duration::from_secs(3600));
+        assert!(o.deadline.is_some_and(|d| d > at));
+        // An unrepresentable budget degrades to "no deadline".
+        assert_eq!(EvalOptions::new().timeout(Duration::MAX).deadline, None);
     }
 
     #[test]

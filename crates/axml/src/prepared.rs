@@ -28,6 +28,7 @@ use axml_semiring::{FnHom, Nat, NatPoly, PosBool, Prob, Semiring, Trio, Tropical
 use axml_uxml::{hom::map_value, Forest, Value};
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 struct PreparedInner {
     source: String,
@@ -142,8 +143,9 @@ impl PreparedQuery {
     /// APIs pass their scheduling pool through here, so an entry's
     /// `EvalOptions::parallel(n)` fans out on the same pool the batch
     /// runs on — a tenant pinned to a dedicated pool never borrows
-    /// global workers.
-    pub(crate) fn eval_bound_on(
+    /// global workers. Servers with their own worker pool call this
+    /// directly so per-request parallelism stays on their pool.
+    pub fn eval_bound_on(
         &self,
         engine: &Engine,
         opts: EvalOptions,
@@ -205,6 +207,7 @@ impl PreparedQuery {
             opts.route,
             SemiringKind::NatPoly,
             ctx,
+            opts.deadline,
         )
     }
 
@@ -220,7 +223,16 @@ impl PreparedQuery {
         let arts =
             S::artifact_cache(&self.inner.caches).get_or_init(|| self.inner.poly.specialize::<S>());
         let inputs = self.bind_inputs(engine, aliases, |e, d| e.specialized::<S>(d))?;
-        eval_route(arts, &self.inner.path, &inputs, opts.route, S::KIND, ctx).map(S::wrap)
+        eval_route(
+            arts,
+            &self.inner.path,
+            &inputs,
+            opts.route,
+            S::KIND,
+            ctx,
+            opts.deadline,
+        )
+        .map(S::wrap)
     }
 
     /// Resolve every free variable to a document, applying aliases.
@@ -249,6 +261,17 @@ impl PreparedQuery {
 /// `(query variable, document)` bindings resolved for one evaluation.
 type BoundInputs<K> = Vec<(String, Arc<Forest<K>>)>;
 
+/// A deadline check, placed at route starts (each differential leg is
+/// a route start) — fixpoint rounds check inside `axml-relational`.
+fn check_deadline(deadline: Option<Instant>) -> Result<(), AxmlError> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err(AxmlError::Budget {
+            at: "route start".into(),
+        }),
+        _ => Ok(()),
+    }
+}
+
 /// Evaluate prepared artifacts over bound inputs along one route.
 ///
 /// `Direct` and `ViaNrc` run the slot-resolved **compiled plans**;
@@ -256,6 +279,7 @@ type BoundInputs<K> = Vec<(String, Arc<Forest<K>>)>;
 /// reference: `Differential` evaluates compiled *and* interpreted on
 /// both routes (plus the relational route when the query is in the §7
 /// fragment) and asserts agreement.
+#[allow(clippy::too_many_arguments)]
 fn eval_route<K: Semiring>(
     arts: &Artifacts<K>,
     path: &Result<(String, PathQuery), Ineligible>,
@@ -263,11 +287,13 @@ fn eval_route<K: Semiring>(
     route: Route,
     kind: SemiringKind,
     ctx: Option<&ExecCtx<'_>>,
+    deadline: Option<Instant>,
 ) -> Result<Value<K>, AxmlError> {
+    check_deadline(deadline)?;
     match route {
         Route::Direct => eval_direct(arts, inputs, ctx),
         Route::ViaNrc => eval_nrc(arts, inputs, ctx),
-        Route::Shredded => eval_shredded(path, inputs, route, ctx),
+        Route::Shredded => eval_shredded(path, inputs, route, ctx, deadline),
         Route::Differential => {
             // Up to five independent evaluation legs. With a
             // non-sequential context they run concurrently on the
@@ -281,13 +307,20 @@ fn eval_route<K: Semiring>(
                 Some(c) => {
                     let (mut l1, mut l2, mut l3, mut l4, mut l5): Legs<K> =
                         (None, None, None, None, None);
+                    let gate = || check_deadline(deadline);
                     c.pool.scope(|s| {
-                        s.spawn(|| l1 = Some(eval_direct(arts, inputs, ctx)));
-                        s.spawn(|| l2 = Some(eval_direct_interpreted(arts, inputs)));
-                        s.spawn(|| l3 = Some(eval_nrc(arts, inputs, ctx)));
-                        s.spawn(|| l4 = Some(eval_nrc_interpreted(arts, inputs)));
+                        s.spawn(|| l1 = Some(gate().and_then(|()| eval_direct(arts, inputs, ctx))));
+                        s.spawn(|| {
+                            l2 = Some(gate().and_then(|()| eval_direct_interpreted(arts, inputs)))
+                        });
+                        s.spawn(|| l3 = Some(gate().and_then(|()| eval_nrc(arts, inputs, ctx))));
+                        s.spawn(|| {
+                            l4 = Some(gate().and_then(|()| eval_nrc_interpreted(arts, inputs)))
+                        });
                         if path.is_ok() {
-                            s.spawn(|| l5 = Some(eval_shredded(path, inputs, route, ctx)));
+                            s.spawn(|| {
+                                l5 = Some(eval_shredded(path, inputs, route, ctx, deadline))
+                            });
                         }
                     });
                     (
@@ -300,11 +333,14 @@ fn eval_route<K: Semiring>(
                 }
                 None => {
                     let direct = eval_direct(arts, inputs, ctx)?;
+                    check_deadline(deadline)?;
                     let direct_interp = eval_direct_interpreted(arts, inputs)?;
+                    check_deadline(deadline)?;
                     let nrc = eval_nrc(arts, inputs, ctx)?;
+                    check_deadline(deadline)?;
                     let nrc_interp = eval_nrc_interpreted(arts, inputs)?;
                     let shredded = if path.is_ok() {
-                        Some(eval_shredded(path, inputs, route, ctx)?)
+                        Some(eval_shredded(path, inputs, route, ctx, deadline)?)
                     } else {
                         None
                     };
@@ -450,7 +486,9 @@ fn eval_shredded<K: Semiring>(
     inputs: &[(String, Arc<Forest<K>>)],
     route: Route,
     ctx: Option<&ExecCtx<'_>>,
+    deadline: Option<Instant>,
 ) -> Result<Value<K>, AxmlError> {
+    check_deadline(deadline)?;
     let (var, p) = match path {
         Ok(x) => x,
         Err(why) => {
@@ -466,7 +504,7 @@ fn eval_shredded<K: Semiring>(
             available: inputs.iter().map(|(n, _)| n.clone()).collect(),
         });
     };
-    let out = axml_relational::eval_path_via_shredding_ctx(forest, p, ctx)?;
+    let out = axml_relational::eval_path_via_shredding_deadline_ctx(forest, p, ctx, deadline)?;
     Ok(Value::Set(out))
 }
 

@@ -1,0 +1,222 @@
+//! [`QueryRegistry`]: a concurrent, compile-once store of
+//! [`PreparedQuery`]s keyed by stable query-hash handles.
+//!
+//! The server's `POST /prepare` endpoint needs three properties the
+//! engine alone does not give it: a *stable* handle clients can cache
+//! across connections (and across server restarts — the handle is a
+//! pure function of the query text, not of registration order),
+//! *compile exactly once* per query text even when many connections
+//! race to prepare the same query, and cheap concurrent lookup on the
+//! eval hot path. The registry provides all three and nothing else;
+//! it holds no documents and no locks shared with the engine.
+//!
+//! Handles are `"q"` followed by the 16-hex-digit FNV-1a 64 hash of
+//! the query text. FNV is stable across processes and platforms
+//! (unlike `DefaultHasher`, which is randomly seeded per process). A
+//! genuine 64-bit collision between two *different* live query texts
+//! is detected (sources are stored and compared) and reported as an
+//! error rather than silently evaluating the wrong query.
+
+use crate::error::AxmlError;
+use crate::prepared::PreparedQuery;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// The stable handle for a query text: `"q"` + FNV-1a 64 in hex.
+pub fn query_handle(src: &str) -> String {
+    format!("q{:016x}", fnv1a(src))
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// One registered query text: the source (kept to detect hash
+/// collisions and to echo in responses) and its compile-once slot.
+struct RegEntry {
+    source: String,
+    slot: OnceLock<Result<PreparedQuery, AxmlError>>,
+}
+
+/// A concurrent prepared-query registry (see the module docs).
+#[derive(Default)]
+pub struct QueryRegistry {
+    entries: RwLock<HashMap<u64, Arc<RegEntry>>>,
+}
+
+impl QueryRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compile `src` (at most once per query text, however many
+    /// threads race here) and return its stable handle plus the
+    /// prepared query. Texts that fail to compile are not retained.
+    pub fn prepare(&self, src: &str) -> Result<(String, PreparedQuery), AxmlError> {
+        let hash = fnv1a(src);
+        let entry = {
+            // Fast path: already registered (the steady state).
+            let read = self.entries.read().expect("registry lock");
+            read.get(&hash).cloned()
+        };
+        let entry = match entry {
+            Some(e) => e,
+            None => {
+                let mut write = self.entries.write().expect("registry lock");
+                write
+                    .entry(hash)
+                    .or_insert_with(|| {
+                        Arc::new(RegEntry {
+                            source: src.to_owned(),
+                            slot: OnceLock::new(),
+                        })
+                    })
+                    .clone()
+            }
+        };
+        if entry.source != src {
+            // A real 64-bit FNV collision between live query texts.
+            return Err(AxmlError::Eval {
+                msg: "query-hash collision in the prepared-query registry".into(),
+                at: query_handle(src),
+            });
+        }
+        // The first caller compiles; racers block here and share the
+        // outcome — compile exactly once per text, success or failure.
+        let compiled = entry.slot.get_or_init(|| PreparedQuery::compile(src));
+        match compiled {
+            Ok(q) => Ok((query_handle(src), q.clone())),
+            Err(e) => {
+                let e = e.clone();
+                // Do not let hostile un-compilable texts accumulate:
+                // drop the entry (guarded, in case a fresh entry for
+                // the same hash was inserted meanwhile).
+                let mut write = self.entries.write().expect("registry lock");
+                if let Some(current) = write.get(&hash) {
+                    if Arc::ptr_eq(current, &entry) {
+                        write.remove(&hash);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Look up a previously prepared query by its handle. Returns
+    /// `None` for unknown/malformed handles and for texts still being
+    /// compiled by another thread (a successful [`Self::prepare`]
+    /// response is what publishes the handle).
+    pub fn get(&self, handle: &str) -> Option<PreparedQuery> {
+        let hash = parse_handle(handle)?;
+        let entry = self
+            .entries
+            .read()
+            .expect("registry lock")
+            .get(&hash)?
+            .clone();
+        entry.slot.get()?.as_ref().ok().cloned()
+    }
+
+    /// Forget a handle. Returns whether it was registered.
+    pub fn remove(&self, handle: &str) -> bool {
+        match parse_handle(handle) {
+            Some(hash) => self
+                .entries
+                .write()
+                .expect("registry lock")
+                .remove(&hash)
+                .is_some(),
+            None => false,
+        }
+    }
+
+    /// Number of registered query texts.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("registry lock").len()
+    }
+
+    /// Whether the registry holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn parse_handle(handle: &str) -> Option<u64> {
+    let hex = handle.strip_prefix('q')?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn handles_are_stable_and_text_derived() {
+        let reg = QueryRegistry::new();
+        let (h1, _) = reg.prepare("$S/b").unwrap();
+        let (h2, _) = reg.prepare("$S/b").unwrap();
+        assert_eq!(h1, h2);
+        assert_eq!(h1, query_handle("$S/b"));
+        assert!(h1.starts_with('q') && h1.len() == 17, "{h1}");
+        let (h3, _) = reg.prepare("$S/c").unwrap();
+        assert_ne!(h1, h3);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn get_and_remove_roundtrip() {
+        let reg = QueryRegistry::new();
+        assert!(reg.get(&query_handle("$S/b")).is_none());
+        let (h, q) = reg.prepare("$S/b").unwrap();
+        let got = reg.get(&h).expect("registered");
+        assert_eq!(got.source(), q.source());
+        assert!(reg.remove(&h));
+        assert!(!reg.remove(&h));
+        assert!(reg.get(&h).is_none());
+        // malformed handles never panic
+        for bad in ["", "q", "qzz", "x0000000000000000", "q123"] {
+            assert!(reg.get(bad).is_none());
+        }
+    }
+
+    #[test]
+    fn failed_compiles_are_reported_and_not_retained() {
+        let reg = QueryRegistry::new();
+        let err = reg.prepare("for $x in").unwrap_err();
+        assert!(matches!(err, AxmlError::QueryParse { .. }));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn concurrent_prepares_agree_on_one_handle() {
+        let reg = Arc::new(QueryRegistry::new());
+        let successes = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let successes = Arc::clone(&successes);
+                std::thread::spawn(move || {
+                    let (h, q) = reg.prepare("element p { $S//c }").unwrap();
+                    assert_eq!(q.source(), "element p { $S//c }");
+                    successes.fetch_add(1, Ordering::Relaxed);
+                    h
+                })
+            })
+            .collect();
+        let mut seen: Vec<String> = handles.into_iter().map(|t| t.join().unwrap()).collect();
+        seen.dedup();
+        assert_eq!(seen.len(), 1, "all racers got the same handle");
+        assert_eq!(successes.load(Ordering::Relaxed), 8);
+        assert_eq!(reg.len(), 1, "one entry, compiled once");
+    }
+}

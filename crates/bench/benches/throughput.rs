@@ -17,6 +17,9 @@ use axml_bench::balanced_tree;
 use axml_semiring::NatPoly;
 use axml_uxml::Forest;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Instant;
 
 const N_DOCS: usize = 8;
 const BATCH: usize = 64;
@@ -117,5 +120,126 @@ fn throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, throughput);
+/// The HTTP front end's loopback round trip: one keep-alive
+/// connection issuing `POST /eval?handle=…` for the Fig 1 query, each
+/// request timed individually so tail latency is visible. Unlike the
+/// in-process benches above, every sample includes request parsing,
+/// registry lookup, evaluation on the server's pool, and the chunked
+/// streaming write — the end-to-end cost a network client pays.
+///
+/// Records go through `criterion::record` with explicit p50/p99
+/// alongside the mean (`server/loopback_eval/{mean,p50,p99}`); the
+/// regression gate exempts `server/*` from median normalization the
+/// same way it exempts the `storage/*` counts.
+fn server_loopback(c: &mut Criterion) {
+    let _ = c; // measured by hand: per-request latencies, not b.iter()
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    if let Some(filter) = args.iter().rfind(|a| !a.starts_with("--")) {
+        if !"server/loopback_eval".contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    let engine = Arc::new(Engine::new());
+    engine.insert_forest("S", axml_bench::fig1_source());
+    let mut server = axml_server::start(axml_server::ServerConfig::default(), engine)
+        .expect("loopback server starts");
+
+    let mut conn = std::net::TcpStream::connect(server.addr()).expect("connects");
+    conn.set_nodelay(true).expect("nodelay");
+    let handle = {
+        let body = axml_bench::FIG1_QUERY.as_bytes();
+        let response = roundtrip(
+            &mut conn,
+            &format!(
+                "POST /prepare HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            ),
+            body,
+        );
+        let text = String::from_utf8(response).expect("prepare response is UTF-8");
+        text.split("\"handle\":\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .expect("prepare returns a handle")
+            .to_owned()
+    };
+
+    let head =
+        format!("POST /eval?handle={handle}&semiring=nat HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    let (warmup, samples) = if test_mode { (1, 1) } else { (20, 200) };
+    for _ in 0..warmup {
+        roundtrip(&mut conn, &head, b"");
+    }
+    let mut latencies_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            let body = roundtrip(&mut conn, &head, b"");
+            let ns = t.elapsed().as_nanos() as f64;
+            assert!(!body.is_empty(), "eval response has a body");
+            ns
+        })
+        .collect();
+    server.shutdown();
+
+    latencies_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mean = latencies_ns.iter().sum::<f64>() / latencies_ns.len() as f64;
+    let pct = |p: f64| latencies_ns[((latencies_ns.len() - 1) as f64 * p) as usize];
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    let (min, max) = (latencies_ns[0], latencies_ns[latencies_ns.len() - 1]);
+    criterion::record("server/loopback_eval/mean", mean, p50, min, max, samples);
+    criterion::record("server/loopback_eval/p50", p50, p50, p50, p50, samples);
+    criterion::record("server/loopback_eval/p99", p99, p99, p99, p99, samples);
+}
+
+/// Write one request, read one complete response (de-chunked when the
+/// server streams), return the body bytes.
+fn roundtrip(conn: &mut std::net::TcpStream, head: &str, body: &[u8]) -> Vec<u8> {
+    conn.write_all(head.as_bytes())
+        .expect("writes request head");
+    conn.write_all(body).expect("writes request body");
+    let mut buf = Vec::new();
+    let mut one = [0u8; 1];
+    while !buf.ends_with(b"\r\n\r\n") {
+        assert_eq!(conn.read(&mut one).expect("reads head"), 1, "EOF in head");
+        buf.push(one[0]);
+    }
+    let head_text = String::from_utf8_lossy(&buf);
+    assert!(head_text.starts_with("HTTP/1.1 200"), "{head_text}");
+    if head_text
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        let mut out = Vec::new();
+        loop {
+            let mut line = Vec::new();
+            while !line.ends_with(b"\r\n") {
+                assert_eq!(conn.read(&mut one).expect("reads size"), 1, "EOF in chunk");
+                line.push(one[0]);
+            }
+            let size_txt = String::from_utf8_lossy(&line);
+            let size = usize::from_str_radix(size_txt.trim(), 16).expect("chunk size");
+            let mut chunk = vec![0u8; size + 2]; // data + CRLF
+            conn.read_exact(&mut chunk).expect("reads chunk");
+            if size == 0 {
+                return out;
+            }
+            chunk.truncate(size);
+            out.extend_from_slice(&chunk);
+        }
+    }
+    let len: usize = head_text
+        .to_ascii_lowercase()
+        .split("content-length:")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .expect("content-length");
+    let mut out = vec![0u8; len];
+    conn.read_exact(&mut out).expect("reads body");
+    out
+}
+
+criterion_group!(benches, throughput, server_loopback);
 criterion_main!(benches);

@@ -182,11 +182,15 @@ fn die(msg: &str) -> ! {
     std::process::exit(2)
 }
 
-/// Deterministic count records (node/dedup statistics), as opposed to
-/// measured latencies: compared against baselines at the same threshold
-/// but exempt from machine-speed normalization.
+/// Records exempt from machine-speed normalization, compared against
+/// baselines at the same threshold but neither entering the median
+/// pool nor divided by the scale: deterministic count records
+/// (`storage/...`, node/dedup statistics — machine-independent by
+/// construction) and the server loopback latencies (`server/...`,
+/// dominated by syscall/scheduling overhead that does not track CPU
+/// speed the way the compute benches setting the median do).
 fn is_count(id: &str) -> bool {
-    id.starts_with("storage/")
+    id.starts_with("storage/") || id.starts_with("server/")
 }
 
 /// Synthesize count records for the shared-subtree corpus: logical node

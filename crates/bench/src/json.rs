@@ -1,182 +1,9 @@
-//! The workspace's no-serde JSON writer.
+//! Compatibility re-export of the workspace's no-serde JSON writer.
 //!
-//! The build environment has no `serde`, so everything that emits JSON
-//! — the criterion-shim summaries consumed by `bench_regression`, the
-//! checked-in `BENCH_*.json` baselines, and the CLI's
-//! `--format json` query output — goes through this one small writer
-//! instead of growing per-call-site string plumbing.
+//! The writer started life here; the `axml-server` crate needed it
+//! without depending on the bench crate, so it was promoted to
+//! [`axml::json`]. Existing `axml_bench::json::Json` callers (the
+//! criterion shim's consumers, `bench_regression`) keep working
+//! through this re-export.
 
-use std::fmt::Write as _;
-
-/// Escape `s` per JSON string rules (quotes, backslashes, control
-/// characters; non-ASCII passes through — JSON is UTF-8).
-pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// A quoted, escaped JSON string literal.
-pub fn string(s: &str) -> String {
-    format!("\"{}\"", escape(s))
-}
-
-/// An incremental builder for one JSON value — objects, arrays and
-/// scalars, with commas managed automatically. No reflection, no
-/// intermediate DOM: values stream into one `String`.
-///
-/// ```
-/// use axml_bench::json::Json;
-/// let mut j = Json::new();
-/// j.begin_obj();
-/// j.key("id");
-/// j.str("eval/depth=8");
-/// j.key("mean_ns");
-/// j.num(75_312.5);
-/// j.end_obj();
-/// assert_eq!(j.finish(), r#"{"id":"eval/depth=8","mean_ns":75312.5}"#);
-/// ```
-#[derive(Debug, Default)]
-pub struct Json {
-    buf: String,
-    /// Whether the next emission at the current nesting level needs a
-    /// leading comma (one flag per open container).
-    need_comma: Vec<bool>,
-}
-
-impl Json {
-    /// An empty builder.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn pre_value(&mut self) {
-        if let Some(need) = self.need_comma.last_mut() {
-            if *need {
-                self.buf.push(',');
-            }
-            *need = true;
-        }
-    }
-
-    /// Open an object (`{`).
-    pub fn begin_obj(&mut self) {
-        self.pre_value();
-        self.buf.push('{');
-        self.need_comma.push(false);
-    }
-
-    /// Close the innermost object (`}`).
-    pub fn end_obj(&mut self) {
-        self.need_comma.pop();
-        self.buf.push('}');
-    }
-
-    /// Open an array (`[`).
-    pub fn begin_arr(&mut self) {
-        self.pre_value();
-        self.buf.push('[');
-        self.need_comma.push(false);
-    }
-
-    /// Close the innermost array (`]`).
-    pub fn end_arr(&mut self) {
-        self.need_comma.pop();
-        self.buf.push(']');
-    }
-
-    /// Emit an object key. Must be followed by exactly one value.
-    pub fn key(&mut self, k: &str) {
-        self.pre_value();
-        let _ = write!(self.buf, "\"{}\":", escape(k));
-        // The value after a key is not a fresh element of the object.
-        if let Some(need) = self.need_comma.last_mut() {
-            *need = false;
-        }
-    }
-
-    /// Emit a string value.
-    pub fn str(&mut self, s: &str) {
-        self.pre_value();
-        let _ = write!(self.buf, "\"{}\"", escape(s));
-    }
-
-    /// Emit a numeric value (finite; NaN/∞ become `null`, which JSON
-    /// requires).
-    pub fn num(&mut self, n: f64) {
-        self.pre_value();
-        if n.is_finite() {
-            let _ = write!(self.buf, "{n}");
-        } else {
-            self.buf.push_str("null");
-        }
-    }
-
-    /// Emit an integer value.
-    pub fn int(&mut self, n: u64) {
-        self.pre_value();
-        let _ = write!(self.buf, "{n}");
-    }
-
-    /// The finished JSON text.
-    pub fn finish(self) -> String {
-        self.buf
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn escapes_specials() {
-        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
-        assert_eq!(escape("x\ny"), "x\\ny");
-        assert_eq!(escape("\u{1}"), "\\u0001");
-        assert_eq!(string("hé"), "\"hé\"");
-    }
-
-    #[test]
-    fn nested_structures_comma_correctly() {
-        let mut j = Json::new();
-        j.begin_arr();
-        for i in 0..2 {
-            j.begin_obj();
-            j.key("i");
-            j.int(i);
-            j.key("kids");
-            j.begin_arr();
-            j.str("a");
-            j.str("b");
-            j.end_arr();
-            j.end_obj();
-        }
-        j.end_arr();
-        assert_eq!(
-            j.finish(),
-            r#"[{"i":0,"kids":["a","b"]},{"i":1,"kids":["a","b"]}]"#
-        );
-    }
-
-    #[test]
-    fn non_finite_numbers_are_null() {
-        let mut j = Json::new();
-        j.begin_arr();
-        j.num(1.5);
-        j.num(f64::NAN);
-        j.end_arr();
-        assert_eq!(j.finish(), "[1.5,null]");
-    }
-}
+pub use axml::json::*;

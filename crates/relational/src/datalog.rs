@@ -172,11 +172,35 @@ impl fmt::Display for Program {
     }
 }
 
-/// Evaluation error (non-convergence or malformed rules).
+/// Evaluation error (non-convergence, malformed rules, or an exceeded
+/// wall-clock deadline).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatalogError {
     /// Description.
     pub msg: String,
+    /// `true` when the error is the caller's wall-clock budget
+    /// tripping at a fixpoint round boundary (see
+    /// [`eval_datalog_idb_deadline_ctx`]), not a Datalog-level
+    /// failure — the facade maps it to its typed budget error.
+    pub budget: bool,
+}
+
+impl DatalogError {
+    /// A Datalog-level failure.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DatalogError {
+            msg: msg.into(),
+            budget: false,
+        }
+    }
+
+    /// A wall-clock deadline trip.
+    pub fn deadline() -> Self {
+        DatalogError {
+            msg: "wall-clock deadline exceeded during the fixpoint".into(),
+            budget: true,
+        }
+    }
 }
 
 impl fmt::Display for DatalogError {
@@ -188,7 +212,7 @@ impl fmt::Display for DatalogError {
 impl std::error::Error for DatalogError {}
 
 fn err<T>(msg: impl Into<String>) -> Result<T, DatalogError> {
-    Err(DatalogError { msg: msg.into() })
+    Err(DatalogError::new(msg))
 }
 
 /// Default iteration cap (far above any tree depth in this workspace).
@@ -688,6 +712,21 @@ pub fn eval_datalog_idb_capped_ctx<K: Semiring>(
     max_iters: usize,
     ctx: Option<&axml_pool::ExecCtx<'_>>,
 ) -> Result<BTreeMap<String, KRelation<K>>, DatalogError> {
+    eval_datalog_idb_deadline_ctx(prog, edb, max_iters, ctx, None)
+}
+
+/// [`eval_datalog_idb_capped_ctx`] with a wall-clock deadline checked
+/// at the top of every semi-naive round: a round that starts after
+/// `deadline` has passed aborts the fixpoint with
+/// [`DatalogError::deadline`] (rounds already running complete — the
+/// check bounds the granularity of abandonment to one round).
+pub fn eval_datalog_idb_deadline_ctx<K: Semiring>(
+    prog: &Program,
+    edb: &Database<K>,
+    max_iters: usize,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+    deadline: Option<std::time::Instant>,
+) -> Result<BTreeMap<String, KRelation<K>>, DatalogError> {
     let compiled = compile(prog, edb)?;
     let n_idb = compiled.idb_names.len();
     // One schema per predicate for the whole run (Schema is Arc-shared;
@@ -725,6 +764,11 @@ pub fn eval_datalog_idb_capped_ctx<K: Semiring>(
     }
 
     for iter in 0..max_iters {
+        if let Some(d) = deadline {
+            if std::time::Instant::now() >= d {
+                return Err(DatalogError::deadline());
+            }
+        }
         // Derivations of the new depth, absorbed ones pruned at the
         // join (see [`Round::join`]): the next delta.
         let mut next_delta = empty(&schemas);
@@ -958,9 +1002,7 @@ fn search<K: Semiring>(
     let rel = idb
         .get(&body_atom.pred)
         .or_else(|| edb.get(&body_atom.pred))
-        .ok_or_else(|| DatalogError {
-            msg: format!("unknown predicate {:?}", body_atom.pred),
-        })?;
+        .ok_or_else(|| DatalogError::new(format!("unknown predicate {:?}", body_atom.pred)))?;
     for (tuple, k) in rel.iter() {
         let mut bound: Vec<String> = Vec::new();
         let mut ok = true;
@@ -1002,8 +1044,10 @@ fn search<K: Semiring>(
 fn ground_subst(t: &Term, subst: &Subst) -> Result<RelValue, DatalogError> {
     match t {
         Term::Const(c) => Ok(c.clone()),
-        Term::Var(x) => subst.get(x).cloned().ok_or_else(|| DatalogError {
-            msg: format!("unsafe rule: head variable {x:?} not bound by the body"),
+        Term::Var(x) => subst.get(x).cloned().ok_or_else(|| {
+            DatalogError::new(format!(
+                "unsafe rule: head variable {x:?} not bound by the body"
+            ))
         }),
         Term::Skolem(f, args) => {
             let inner: Result<Vec<RelValue>, DatalogError> =
@@ -1056,6 +1100,36 @@ mod tests {
         let a = eval_datalog(&tc_prog(), &edge_db()).unwrap();
         let b = eval_datalog_naive(&tc_prog(), &edge_db()).unwrap();
         assert_eq!(a.get("T"), b.get("T"));
+    }
+
+    #[test]
+    fn an_expired_deadline_trips_at_the_first_round_boundary() {
+        let past = std::time::Instant::now();
+        let err = eval_datalog_idb_deadline_ctx::<NatPoly>(
+            &tc_prog(),
+            &edge_db(),
+            DEFAULT_MAX_ITERS,
+            None,
+            Some(past),
+        )
+        .unwrap_err();
+        assert!(err.budget, "{err:?}");
+        assert!(err.msg.contains("deadline"), "{}", err.msg);
+    }
+
+    #[test]
+    fn a_generous_deadline_changes_nothing() {
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        let with = eval_datalog_idb_deadline_ctx::<NatPoly>(
+            &tc_prog(),
+            &edge_db(),
+            DEFAULT_MAX_ITERS,
+            None,
+            Some(far),
+        )
+        .unwrap();
+        let without = eval_datalog_idb(&tc_prog(), &edge_db()).unwrap();
+        assert_eq!(with.get("T"), without.get("T"));
     }
 
     #[test]

@@ -310,10 +310,28 @@ pub fn shredded_eval_path_ctx<K: Semiring>(
     p: &PathQuery,
     ctx: Option<&axml_pool::ExecCtx<'_>>,
 ) -> Result<KRelation<K>, DatalogError> {
+    shredded_eval_path_deadline_ctx(forest, p, ctx, None)
+}
+
+/// [`shredded_eval_path_ctx`] with a wall-clock deadline checked at
+/// every semi-naive round boundary (see
+/// [`crate::datalog::eval_datalog_idb_deadline_ctx`]).
+pub fn shredded_eval_path_deadline_ctx<K: Semiring>(
+    forest: &Forest<K>,
+    p: &PathQuery,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+    deadline: Option<std::time::Instant>,
+) -> Result<KRelation<K>, DatalogError> {
     let e = shred(forest);
     let db = Database::new().with("E", e);
     let prog = path_to_datalog(p);
-    let mut idb = crate::datalog::eval_datalog_idb_ctx(&prog, &db, ctx)?;
+    let mut idb = crate::datalog::eval_datalog_idb_deadline_ctx(
+        &prog,
+        &db,
+        crate::datalog::DEFAULT_MAX_ITERS,
+        ctx,
+        deadline,
+    )?;
     Ok(idb
         .remove("E2")
         .unwrap_or_else(|| KRelation::new(edge_schema())))
@@ -421,11 +439,20 @@ pub fn eval_path_via_shredding_ctx<K: Semiring>(
     p: &PathQuery,
     ctx: Option<&axml_pool::ExecCtx<'_>>,
 ) -> Result<Forest<K>, DatalogError> {
-    let raw = shredded_eval_path_ctx(forest, p, ctx)?;
+    eval_path_via_shredding_deadline_ctx(forest, p, ctx, None)
+}
+
+/// [`eval_path_via_shredding_ctx`] with a wall-clock deadline checked
+/// at every semi-naive round boundary.
+pub fn eval_path_via_shredding_deadline_ctx<K: Semiring>(
+    forest: &Forest<K>,
+    p: &PathQuery,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+    deadline: Option<std::time::Instant>,
+) -> Result<Forest<K>, DatalogError> {
+    let raw = shredded_eval_path_deadline_ctx(forest, p, ctx, deadline)?;
     let clean = garbage_collect(&raw);
-    decode(&clean).ok_or_else(|| DatalogError {
-        msg: "shredded result is not forest-shaped".into(),
-    })
+    decode(&clean).ok_or_else(|| DatalogError::new("shredded result is not forest-shaped"))
 }
 
 #[cfg(test)]

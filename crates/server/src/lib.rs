@@ -1,0 +1,67 @@
+//! # axml-server — a std-only HTTP/1.1 front end for the axml engine
+//!
+//! Everything here is `std`: the listener is a
+//! [`std::net::TcpListener`], connections are scheduled as tasks on
+//! the workspace's own [`axml_pool::Pool`], and responses are written
+//! by the no-dependency JSON builder in [`axml::json`]. No async
+//! runtime, no HTTP crate — the same vendored-shim discipline as the
+//! rest of the workspace.
+//!
+//! ```text
+//!   client ──TCP──▶ accept loop ──admission (≤ max_inflight)──▶ pool task
+//!                        │ 503 + Retry-After when full              │
+//!                        ▼                                          ▼
+//!                   [http::read_request]  ◀─ keep-alive loop ─  connection
+//!                    bounded, hostile-input hardened                │
+//!                                                                   ▼
+//!                    /prepare ─▶ QueryRegistry (compile once, stable handle)
+//!                    /eval ────▶ PreparedQuery::eval_bound_on(engine, pool)
+//!                                   │ results stream as chunked JSON
+//!                                   ▼
+//!                    /documents  load / list / remove on the shared Engine
+//! ```
+//!
+//! ## Endpoints
+//!
+//! | Method & path            | Body            | Response |
+//! |--------------------------|-----------------|----------|
+//! | `GET /health`            | —               | `{"status":"ok"}` |
+//! | `GET /stats`             | —               | documents, prepared queries, in-flight connections, storage stats |
+//! | `GET /documents`         | —               | `{"documents":[…]}` |
+//! | `PUT /documents/{name}`  | document text   | `{"document":…,"loaded":true}` |
+//! | `DELETE /documents/{name}` | —             | `{"document":…,"removed":true}` |
+//! | `POST /prepare`          | query text      | `{"handle":"q…","free_vars":[…],"shreddable":…}` |
+//! | `POST /eval`             | query text *or* `?handle=` | the [`axml::json::result_json`] shape, streamed |
+//!
+//! `POST /eval` takes `semiring`, `route`, `mode`, `parallelism` and
+//! `deadline_ms` as query parameters; its body is byte-identical to
+//! the CLI's `axml query --format json` output for the same options.
+//! Errors are structured JSON (`{"error":{"kind":…,"message":…}}`)
+//! with parse errors carrying `line`/`column`/`line_text`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::io::{Read, Write};
+//!
+//! let engine = std::sync::Arc::new(axml::Engine::new());
+//! engine.load_document("S", "<a> b {x} </a>").unwrap();
+//! let mut server =
+//!     axml_server::start(axml_server::ServerConfig::default(), engine).unwrap();
+//!
+//! let mut conn = std::net::TcpStream::connect(server.addr()).unwrap();
+//! write!(conn, "GET /health HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+//! let mut response = String::new();
+//! conn.read_to_string(&mut response).unwrap();
+//! assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+//!
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+mod server;
+
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,651 @@
+//! The query server: a [`std::net::TcpListener`] accept loop whose
+//! connections are scheduled as tasks on an [`axml_pool::Pool`] scope.
+//!
+//! Design notes:
+//!
+//! - **No new hot-path locks.** Every evaluation runs against the
+//!   engine's `Arc`-shared document snapshots and a [`QueryRegistry`]
+//!   whose entries are `OnceLock`-compiled; a request never holds a
+//!   lock while evaluating.
+//! - **Admission control at the front door.** The in-flight connection
+//!   count is an atomic; past [`ServerConfig::max_inflight`] a new
+//!   connection gets an immediate `503` with `Retry-After` and is
+//!   closed, so overload sheds load instead of queueing it.
+//! - **Streaming results.** A successful `/eval` streams the exact
+//!   bytes of [`axml::json::result_json`] as a chunked body, one chunk
+//!   per `(tree, annotation)` pair — the first results reach the
+//!   client while later ones are still being written.
+//! - **Graceful shutdown.** [`ServerHandle::shutdown`] flips a flag
+//!   and nudges the accept loop; the pool scope then drains: requests
+//!   already in flight complete, idle keep-alive connections notice
+//!   the flag at their next read-timeout poll and close.
+
+use crate::http::{read_request, write_response, ChunkedWriter, Limits, ReadOutcome, Request};
+use axml::json::{result_header, result_pieces, Json, ResultPieces};
+use axml::{AxmlError, Engine, EvalOptions, PreparedQuery, QueryRegistry};
+use axml_pool::Pool;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server tunables. `Default` gives an ephemeral loopback port, an
+/// auto-sized pool and moderate limits — what the tests and the CLI's
+/// defaults both start from.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port;
+    /// [`ServerHandle::addr`] reports the one chosen).
+    pub addr: String,
+    /// Worker threads for the connection/evaluation pool
+    /// (`0` = one per available core).
+    pub pool_workers: usize,
+    /// Most connections served concurrently; the rest get `503`.
+    pub max_inflight: usize,
+    /// Largest accepted request body (documents and inline queries).
+    pub max_body: usize,
+    /// Default per-request wall-clock deadline, when the request does
+    /// not set `deadline_ms` itself. `None` = no default deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// How often idle keep-alive connections wake to re-check the
+    /// shutdown flag (also the stall guard granularity mid-request).
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            pool_workers: 0,
+            max_inflight: 64,
+            max_body: 4 * 1024 * 1024,
+            default_deadline_ms: None,
+            poll_interval: Duration::from_millis(250),
+        }
+    }
+}
+
+/// State shared between the accept loop and the controlling handle.
+struct Shared {
+    shutdown: AtomicBool,
+    inflight: AtomicUsize,
+}
+
+/// Everything a connection task needs, borrowed from the accept
+/// thread's frame (the pool scope guarantees tasks finish first).
+struct ServerState<'a> {
+    engine: &'a Engine,
+    registry: QueryRegistry,
+    config: ServerConfig,
+    shared: &'a Shared,
+    pool: &'a Pool,
+}
+
+/// A running server. Dropping the handle **without** calling
+/// [`shutdown`](ServerHandle::shutdown) detaches the server thread
+/// (it keeps serving until the process exits).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `addr` asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server fronts — loads/removes through this
+    /// handle are visible to requests immediately.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Connections currently admitted (serving or idle keep-alive).
+    pub fn inflight(&self) -> usize {
+        self.shared.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, drain in-flight requests, join the server
+    /// thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in `accept`; a throwaway
+        // connection wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Bind and start serving `engine` in a background thread.
+pub fn start(config: ServerConfig, engine: Arc<Engine>) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        shutdown: AtomicBool::new(false),
+        inflight: AtomicUsize::new(0),
+    });
+    let thread = {
+        let engine = Arc::clone(&engine);
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("axml-server-accept".into())
+            .spawn(move || accept_loop(listener, config, &engine, &shared))?
+    };
+    Ok(ServerHandle {
+        addr,
+        engine,
+        shared,
+        thread: Some(thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, config: ServerConfig, engine: &Engine, shared: &Shared) {
+    let workers = if config.pool_workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        config.pool_workers
+    };
+    let pool = Pool::new(workers);
+    let max_inflight = config.max_inflight.max(1);
+    let state = ServerState {
+        engine,
+        registry: QueryRegistry::new(),
+        config,
+        shared,
+        pool: &pool,
+    };
+    // The scope is the graceful-shutdown drain: it returns only after
+    // every spawned connection task has finished.
+    pool.scope(|s| loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        // Checked *after* accept so the shutdown nudge connection
+        // reliably unblocks the loop.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Admission: take a slot or shed the connection right here on
+        // the accept thread (no pool task, no queueing).
+        let admitted = shared
+            .inflight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < max_inflight).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            let mut stream = stream;
+            let body = error_body(
+                "Overloaded",
+                "request queue is full, try again shortly",
+                &[],
+            );
+            let _ = write_response(
+                &mut stream,
+                503,
+                "Service Unavailable",
+                "application/json",
+                body.as_bytes(),
+                false,
+                &[("Retry-After", "1")],
+            );
+            continue;
+        }
+        let state = &state;
+        s.spawn(move || {
+            handle_connection(stream, state);
+            state.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        });
+    });
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState<'_>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(state.config.poll_interval));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let limits = Limits {
+        max_body: state.config.max_body,
+        ..Limits::default()
+    };
+    loop {
+        if state.shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_request(&mut reader, &limits) {
+            Ok(ReadOutcome::Request(req)) => {
+                // Stop advertising keep-alive once shutdown begins so
+                // draining clients reconnect elsewhere.
+                let keep_alive = req.keep_alive() && !state.shared.shutdown.load(Ordering::SeqCst);
+                if respond(&mut writer, state, &req, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::ClosedIdle) => return,
+            Ok(ReadOutcome::TimedOutIdle) => continue,
+            Err(e) => {
+                if let Some((status, reason)) = e.status() {
+                    let body = error_body("BadRequest", &e.to_string(), &[]);
+                    let _ = write_response(
+                        &mut writer,
+                        status,
+                        reason,
+                        "application/json",
+                        body.as_bytes(),
+                        false,
+                        &[],
+                    );
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Route one request. An `Err` here is a transport failure — the
+/// connection is closed; application errors are JSON responses.
+fn respond<W: Write>(
+    w: &mut W,
+    state: &ServerState<'_>,
+    req: &Request,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let path = req.path().to_owned();
+    let method = req.method.as_str();
+    match (method, path.as_str()) {
+        ("GET", "/health") => {
+            let mut j = Json::new();
+            j.begin_obj();
+            j.key("status");
+            j.str("ok");
+            j.end_obj();
+            ok_json(w, j.finish(), keep_alive)
+        }
+        ("GET", "/stats") => {
+            let stats = state.engine.storage_stats();
+            let mut j = Json::new();
+            j.begin_obj();
+            j.key("documents");
+            j.int(state.engine.document_names().len() as u64);
+            j.key("prepared_queries");
+            j.int(state.registry.len() as u64);
+            j.key("inflight_connections");
+            j.int(state.shared.inflight.load(Ordering::SeqCst) as u64);
+            j.key("logical_nodes");
+            j.int(stats.logical_nodes as u64);
+            j.key("distinct_subtrees");
+            j.int(stats.distinct_subtrees as u64);
+            j.key("child_edges");
+            j.int(stats.child_edges as u64);
+            j.end_obj();
+            ok_json(w, j.finish(), keep_alive)
+        }
+        ("GET", "/documents") => {
+            let mut j = Json::new();
+            j.begin_obj();
+            j.key("documents");
+            j.begin_arr();
+            for name in state.engine.document_names() {
+                j.str(&name);
+            }
+            j.end_arr();
+            j.end_obj();
+            ok_json(w, j.finish(), keep_alive)
+        }
+        ("PUT", _) if path.starts_with("/documents/") => {
+            let name = crate::http::percent_decode(&path["/documents/".len()..]);
+            if name.is_empty() {
+                return bad_request(w, "document name is empty", keep_alive);
+            }
+            let Ok(text) = std::str::from_utf8(&req.body) else {
+                return bad_request(w, "document body is not UTF-8", keep_alive);
+            };
+            match state.engine.load_document(&name, text) {
+                Ok(()) => {
+                    let mut j = Json::new();
+                    j.begin_obj();
+                    j.key("document");
+                    j.str(&name);
+                    j.key("loaded");
+                    j.bool(true);
+                    j.end_obj();
+                    ok_json(w, j.finish(), keep_alive)
+                }
+                Err(e) => axml_error(w, &e, keep_alive),
+            }
+        }
+        ("DELETE", _) if path.starts_with("/documents/") => {
+            let name = crate::http::percent_decode(&path["/documents/".len()..]);
+            if state.engine.remove_document(&name) {
+                let mut j = Json::new();
+                j.begin_obj();
+                j.key("document");
+                j.str(&name);
+                j.key("removed");
+                j.bool(true);
+                j.end_obj();
+                ok_json(w, j.finish(), keep_alive)
+            } else {
+                let e = AxmlError::UnknownDocument {
+                    name,
+                    available: state.engine.document_names(),
+                };
+                axml_error(w, &e, keep_alive)
+            }
+        }
+        ("POST", "/prepare") => {
+            let Ok(src) = std::str::from_utf8(&req.body) else {
+                return bad_request(w, "query body is not UTF-8", keep_alive);
+            };
+            if src.trim().is_empty() {
+                return bad_request(w, "query body is empty", keep_alive);
+            }
+            match state.registry.prepare(src) {
+                Ok((handle, prepared)) => {
+                    let mut j = Json::new();
+                    j.begin_obj();
+                    j.key("handle");
+                    j.str(&handle);
+                    j.key("free_vars");
+                    j.begin_arr();
+                    for v in prepared.free_vars() {
+                        j.str(v);
+                    }
+                    j.end_arr();
+                    j.key("shreddable");
+                    j.bool(prepared.is_shreddable());
+                    j.end_obj();
+                    ok_json(w, j.finish(), keep_alive)
+                }
+                Err(e) => axml_error(w, &e, keep_alive),
+            }
+        }
+        ("POST", "/eval") => eval_endpoint(w, state, req, keep_alive),
+        (_, "/health" | "/stats" | "/documents" | "/prepare" | "/eval") => {
+            let body = error_body("MethodNotAllowed", "method not allowed for this path", &[]);
+            write_response(
+                w,
+                405,
+                "Method Not Allowed",
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+                &[],
+            )
+        }
+        _ if path.starts_with("/documents/") => {
+            let body = error_body(
+                "MethodNotAllowed",
+                "use PUT or DELETE on /documents/{name}",
+                &[],
+            );
+            write_response(
+                w,
+                405,
+                "Method Not Allowed",
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+                &[],
+            )
+        }
+        _ => {
+            let body = error_body("NotFound", "no such endpoint", &[]);
+            write_response(
+                w,
+                404,
+                "Not Found",
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+                &[],
+            )
+        }
+    }
+}
+
+/// `POST /eval`: by handle (`?handle=q…`) or inline query text in the
+/// body — exactly one of the two. Inline text goes through the same
+/// registry, so repeated inline evals of one query compile once.
+fn eval_endpoint<W: Write>(
+    w: &mut W,
+    state: &ServerState<'_>,
+    req: &Request,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let handle_param = req.query_param("handle");
+    let inline = !req.body.is_empty();
+    let prepared: PreparedQuery = match (&handle_param, inline) {
+        (Some(_), true) => {
+            return bad_request(
+                w,
+                "give either ?handle= or an inline query body, not both",
+                keep_alive,
+            )
+        }
+        (None, false) => {
+            return bad_request(w, "give ?handle= or an inline query body", keep_alive)
+        }
+        (Some(h), false) => match state.registry.get(h) {
+            Some(p) => p,
+            None => {
+                let body = error_body(
+                    "UnknownHandle",
+                    &format!("no prepared query under handle {h:?}"),
+                    &[],
+                );
+                return write_response(
+                    w,
+                    404,
+                    "Not Found",
+                    "application/json",
+                    body.as_bytes(),
+                    keep_alive,
+                    &[],
+                );
+            }
+        },
+        (None, true) => {
+            let Ok(src) = std::str::from_utf8(&req.body) else {
+                return bad_request(w, "query body is not UTF-8", keep_alive);
+            };
+            match state.registry.prepare(src) {
+                Ok((_, p)) => p,
+                Err(e) => return axml_error(w, &e, keep_alive),
+            }
+        }
+    };
+
+    // Per-request options, every knob optional.
+    let mut opts = EvalOptions::new();
+    macro_rules! parse_param {
+        ($name:literal, $apply:expr) => {
+            if let Some(v) = req.query_param($name) {
+                match v.parse() {
+                    Ok(parsed) => {
+                        #[allow(clippy::redundant_closure_call)]
+                        {
+                            opts = $apply(opts, parsed);
+                        }
+                    }
+                    Err(e) => return bad_request(w, &format!("bad {}: {e}", $name), keep_alive),
+                }
+            }
+        };
+    }
+    parse_param!("semiring", |o: EvalOptions, v| o.semiring(v));
+    parse_param!("route", |o: EvalOptions, v| o.route(v));
+    parse_param!("mode", |mut o: EvalOptions, v| {
+        o.mode = v;
+        o
+    });
+    parse_param!("parallelism", |o: EvalOptions, v: usize| o.parallel(v));
+    let deadline_ms = match req.query_param("deadline_ms") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Some(ms),
+            Err(e) => return bad_request(w, &format!("bad deadline_ms: {e}"), keep_alive),
+        },
+        None => state.config.default_deadline_ms,
+    };
+    if let Some(ms) = deadline_ms {
+        opts = opts.timeout(Duration::from_millis(ms));
+    }
+
+    // Evaluate fully *before* the status line goes out, so an error
+    // still gets a clean status code; streaming then spends its time
+    // on writing, which is the part worth overlapping with the
+    // client's reads.
+    match prepared.eval_bound_on(state.engine, opts, &[], Some(state.pool)) {
+        Ok(out) => {
+            let header = result_header(prepared.source(), &opts);
+            if req.http11 {
+                let mut cw = ChunkedWriter::begin(w, 200, "OK", "application/json", keep_alive)?;
+                cw.chunk(header.as_bytes())?;
+                match result_pieces(&out) {
+                    ResultPieces::Set(items) => {
+                        cw.chunk(b"[")?;
+                        for (i, item) in items.iter().enumerate() {
+                            if i > 0 {
+                                cw.chunk(b",")?;
+                            }
+                            cw.chunk(item.as_bytes())?;
+                        }
+                        cw.chunk(b"]")?;
+                    }
+                    ResultPieces::Scalar(s) => cw.chunk(s.as_bytes())?,
+                }
+                cw.chunk(b"}\n")?;
+                cw.finish()
+            } else {
+                // HTTP/1.0 has no chunked encoding: send it whole.
+                let mut body = axml::json::result_json(prepared.source(), &opts, &out);
+                body.push('\n');
+                write_response(
+                    w,
+                    200,
+                    "OK",
+                    "application/json",
+                    body.as_bytes(),
+                    keep_alive,
+                    &[],
+                )
+            }
+        }
+        Err(e) => axml_error(w, &e, keep_alive),
+    }
+}
+
+fn ok_json<W: Write>(w: &mut W, mut body: String, keep_alive: bool) -> io::Result<()> {
+    body.push('\n');
+    write_response(
+        w,
+        200,
+        "OK",
+        "application/json",
+        body.as_bytes(),
+        keep_alive,
+        &[],
+    )
+}
+
+fn bad_request<W: Write>(w: &mut W, msg: &str, keep_alive: bool) -> io::Result<()> {
+    let body = error_body("BadRequest", msg, &[]);
+    write_response(
+        w,
+        400,
+        "Bad Request",
+        "application/json",
+        body.as_bytes(),
+        keep_alive,
+        &[],
+    )
+}
+
+/// `{"error":{"kind":…,"message":…, extra…}}` — the server's one
+/// error shape.
+fn error_body(kind: &str, message: &str, extra: &[(&str, String)]) -> String {
+    let mut j = Json::new();
+    j.begin_obj();
+    j.key("error");
+    j.begin_obj();
+    j.key("kind");
+    j.str(kind);
+    j.key("message");
+    j.str(message);
+    for (k, v) in extra {
+        j.key(k);
+        j.str(v);
+    }
+    j.end_obj();
+    j.end_obj();
+    let mut s = j.finish();
+    s.push('\n');
+    s
+}
+
+/// Map an [`AxmlError`] to a status + structured JSON body. Parse
+/// errors carry their [`axml::SourceSpan`] fields so API clients can
+/// point at the offending line like the CLI does.
+fn axml_error<W: Write>(w: &mut W, e: &AxmlError, keep_alive: bool) -> io::Result<()> {
+    let (status, reason, kind) = match e {
+        AxmlError::QueryParse { .. } => (400, "Bad Request", "QueryParse"),
+        AxmlError::DocumentParse { .. } => (400, "Bad Request", "DocumentParse"),
+        AxmlError::Type { .. } => (400, "Bad Request", "Type"),
+        AxmlError::UnsupportedRoute { .. } => (400, "Bad Request", "UnsupportedRoute"),
+        AxmlError::UnknownDocument { .. } => (404, "Not Found", "UnknownDocument"),
+        AxmlError::Budget { .. } => (504, "Gateway Timeout", "Budget"),
+        AxmlError::Eval { .. } => (500, "Internal Server Error", "Eval"),
+        AxmlError::Nrc { .. } => (500, "Internal Server Error", "Nrc"),
+        AxmlError::Shredding { .. } => (500, "Internal Server Error", "Shredding"),
+        AxmlError::EvaluatorDisagreement { .. } => {
+            (500, "Internal Server Error", "EvaluatorDisagreement")
+        }
+        AxmlError::RouteDisagreement { .. } => (500, "Internal Server Error", "RouteDisagreement"),
+    };
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    let span = match e {
+        AxmlError::QueryParse { span, .. } => Some(span),
+        AxmlError::DocumentParse { span, .. } => Some(span),
+        _ => None,
+    };
+    if let Some(span) = span {
+        extra.push(("line", span.line.to_string()));
+        extra.push(("column", span.column.to_string()));
+        extra.push(("line_text", span.line_text.clone()));
+    }
+    let body = error_body(kind, &e.to_string(), &extra);
+    write_response(
+        w,
+        status,
+        reason,
+        "application/json",
+        body.as_bytes(),
+        keep_alive,
+        &[],
+    )
+}

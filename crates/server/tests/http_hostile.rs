@@ -1,0 +1,199 @@
+//! Hostile-input tests for the bounded HTTP/1.1 parser: everything an
+//! attacker controls — line lengths, header counts, body sizes, chunk
+//! framing, raw byte noise — must produce a typed [`HttpError`] (or a
+//! valid request), never a panic and never an unbounded allocation.
+
+use axml_server::http::{read_request, HttpError, Limits, ReadOutcome, Request};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn parse(bytes: &[u8]) -> Result<ReadOutcome, HttpError> {
+    read_request(&mut Cursor::new(bytes.to_vec()), &Limits::default())
+}
+
+fn parse_ok(bytes: &[u8]) -> Request {
+    match parse(bytes).expect("should parse") {
+        ReadOutcome::Request(r) => r,
+        other => panic!("expected a request, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_request_line_is_431_not_an_allocation() {
+    let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(1 << 20));
+    assert!(matches!(
+        parse(huge.as_bytes()),
+        Err(HttpError::HeadersTooLarge(_))
+    ));
+}
+
+#[test]
+fn oversized_header_line_is_431() {
+    let huge = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "b".repeat(1 << 20));
+    assert!(matches!(
+        parse(huge.as_bytes()),
+        Err(HttpError::HeadersTooLarge(_))
+    ));
+}
+
+#[test]
+fn too_many_headers_is_431() {
+    let mut req = String::from("GET / HTTP/1.1\r\n");
+    for i in 0..100 {
+        req.push_str(&format!("X-H{i}: v\r\n"));
+    }
+    req.push_str("\r\n");
+    assert!(matches!(
+        parse(req.as_bytes()),
+        Err(HttpError::HeadersTooLarge(_))
+    ));
+}
+
+#[test]
+fn oversized_declared_body_is_413_before_reading_it() {
+    // Content-Length far past the cap, but almost no actual bytes:
+    // the parser must reject on the declaration, not try to read 1 GiB.
+    let req = b"POST /eval HTTP/1.1\r\nContent-Length: 1073741824\r\n\r\nx";
+    assert!(matches!(parse(req), Err(HttpError::BodyTooLarge)));
+}
+
+#[test]
+fn oversized_chunked_body_is_413_at_the_cap() {
+    // Many chunks that together pass max_body.
+    let mut req = Vec::from(&b"POST /eval HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..]);
+    let chunk = vec![b'z'; 64 * 1024];
+    for _ in 0..70 {
+        req.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+        req.extend_from_slice(&chunk);
+        req.extend_from_slice(b"\r\n");
+    }
+    req.extend_from_slice(b"0\r\n\r\n");
+    assert!(matches!(parse(&req), Err(HttpError::BodyTooLarge)));
+}
+
+#[test]
+fn absurd_chunk_size_line_is_rejected() {
+    for bad in [
+        &b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n"[..],
+        b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nffffffffffffffffffff\r\n",
+        b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\r\n",
+    ] {
+        assert!(
+            matches!(parse(bad), Err(HttpError::Bad(_))),
+            "{:?}",
+            String::from_utf8_lossy(bad)
+        );
+    }
+}
+
+#[test]
+fn truncated_requests_are_truncation_errors_not_panics() {
+    for partial in [
+        &b"GET / HT"[..],
+        b"GET / HTTP/1.1\r\nHost: h",
+        b"GET / HTTP/1.1\r\nHost: h\r\n",
+        b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+        b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nab",
+        b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n",
+    ] {
+        assert!(
+            matches!(parse(partial), Err(HttpError::Truncated(_))),
+            "{:?} → {:?}",
+            String::from_utf8_lossy(partial),
+            parse(partial)
+        );
+    }
+}
+
+#[test]
+fn clean_close_before_any_byte_is_idle_not_an_error() {
+    assert!(matches!(parse(b""), Ok(ReadOutcome::ClosedIdle)));
+}
+
+#[test]
+fn pipelined_requests_parse_in_sequence_and_garbage_stops_the_pipeline() {
+    let bytes =
+        b"GET /health HTTP/1.1\r\n\r\nPOST /eval HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\x00\xff garbage";
+    let mut cur = Cursor::new(bytes.to_vec());
+    let limits = Limits::default();
+    let first = match read_request(&mut cur, &limits).unwrap() {
+        ReadOutcome::Request(r) => r,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!((first.method.as_str(), first.path()), ("GET", "/health"));
+    let second = match read_request(&mut cur, &limits).unwrap() {
+        ReadOutcome::Request(r) => r,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(second.body, b"hi");
+    // The trailing garbage is not a request: typed error, no panic.
+    assert!(read_request(&mut cur, &limits).is_err());
+}
+
+#[test]
+fn nul_bytes_and_binary_noise_in_the_request_line_are_400s() {
+    for bad in [
+        &b"\x00\x01\x02 / HTTP/1.1\r\n\r\n"[..],
+        b"GET \xff\xfe HTTP/1.1\r\n\r\n",
+        b"G\x00T / HTTP/1.1\r\n\r\n",
+        b"GET / HTTP/9.9\r\n\r\n",
+        b"GET / HTTP/1.1 extra\r\n\r\n",
+        b"lowercase / HTTP/1.1\r\n\r\n",
+    ] {
+        assert!(
+            matches!(parse(bad), Err(HttpError::Bad(_))),
+            "{:?} → {:?}",
+            String::from_utf8_lossy(bad),
+            parse(bad)
+        );
+    }
+}
+
+#[test]
+fn bare_lf_line_endings_are_tolerated() {
+    let r = parse_ok(b"POST /eval HTTP/1.1\nContent-Length: 2\n\nok");
+    assert_eq!(r.body, b"ok");
+}
+
+#[test]
+fn header_values_keep_their_interior_whitespace() {
+    let r = parse_ok(b"GET / HTTP/1.1\r\nX-Q: a b  c\r\n\r\n");
+    assert_eq!(r.header("x-q"), Some("a b  c"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The core hardening claim: *arbitrary* byte noise never panics
+    /// the parser — every input yields Ok or a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(noise in vec(0u8..=255, 0..512)) {
+        let _ = parse(&noise);
+    }
+
+    /// Noise *after* a valid request prefix never panics either (the
+    /// keep-alive pipeline path).
+    #[test]
+    fn noise_after_a_valid_request_never_panics(noise in vec(0u8..=255, 0..256)) {
+        let mut bytes = Vec::from(&b"GET /health HTTP/1.1\r\n\r\n"[..]);
+        bytes.extend_from_slice(&noise);
+        let mut cur = Cursor::new(bytes);
+        let limits = Limits::default();
+        let _ = read_request(&mut cur, &limits);
+        let _ = read_request(&mut cur, &limits);
+    }
+
+    /// Structured noise: CRLFs and colons sprinkled through random
+    /// ASCII exercises the header state machine harder than raw bytes.
+    #[test]
+    fn structured_header_noise_never_panics(
+        pieces in vec(proptest::sample::select(vec![
+            "GET ", "/ ", "HTTP/1.1", "\r\n", "\n", ":", " ", "a", "\t",
+            "Content-Length", "Transfer-Encoding", "chunked", "0", "9999999999999999999999",
+        ]), 0..40)
+    ) {
+        let bytes: Vec<u8> = pieces.concat().into_bytes();
+        let _ = parse(&bytes);
+    }
+}

