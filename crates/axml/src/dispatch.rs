@@ -213,9 +213,17 @@ impl DocCaches {
 /// interned once and every stored forest is built over canonical
 /// `Arc` handles (equal subtrees are pointer-equal). The `Mutex` is
 /// held only while loading or specializing a document; evaluation
-/// never touches an arena (it runs on the canonical handles). Arenas
-/// only grow — removing a document does not un-intern its subtrees
-/// (they stay available for future sharing).
+/// never touches an arena (it runs on the canonical handles).
+///
+/// **Arenas only grow** — removing a document does not un-intern its
+/// subtrees (they stay available for future sharing), so
+/// [`StorageStats`](crate::StorageStats)' `distinct_subtrees` and
+/// `child_edges` rise monotonically and long-lived processes with
+/// heavy load/remove churn over disjoint content accumulate arena
+/// memory proportional to everything ever loaded. Front ends exposing
+/// document removal (the HTTP server) document this operationally;
+/// reference-counted or epoch-based compaction is an open ROADMAP
+/// item if churn-heavy deployments materialize.
 #[derive(Debug, Default)]
 pub(crate) struct KindArenas {
     pub poly: Mutex<TreeArena<NatPoly>>,

@@ -199,7 +199,7 @@ pub use engine::{Engine, StorageStats, STORE_SHARDS};
 pub use error::{AxmlError, SourceSpan};
 pub use options::{EvalMode, EvalOptions, Parallelism, Route, SemiringKind};
 pub use prepared::PreparedQuery;
-pub use registry::{query_handle, QueryRegistry};
+pub use registry::{query_handle, QueryRegistry, DEFAULT_CAPACITY as REGISTRY_DEFAULT_CAPACITY};
 pub use result::AxmlResult;
 
 /// Commonly used items.

@@ -16,11 +16,25 @@
 //! genuine 64-bit collision between two *different* live query texts
 //! is detected (sources are stored and compared) and reported as an
 //! error rather than silently evaluating the wrong query.
+//!
+//! The registry is **bounded**: it holds at most its capacity
+//! ([`QueryRegistry::with_capacity`], default
+//! [`DEFAULT_CAPACITY`]) distinct query texts, evicting the
+//! least-recently-used entry when a new text would exceed it. Without
+//! the bound, a client streaming varied query texts (the server's
+//! inline `POST /eval` accepts arbitrary bodies) would grow memory
+//! without limit. Eviction is invisible to correctness — handles are
+//! pure functions of the text, so an evicted query simply re-prepares
+//! on next use.
 
 use crate::error::AxmlError;
 use crate::prepared::PreparedQuery;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
+
+/// Default bound on retained query texts (see the module docs).
+pub const DEFAULT_CAPACITY: usize = 1024;
 
 /// The stable handle for a query text: `"q"` + FNV-1a 64 in hex.
 pub fn query_handle(src: &str) -> String {
@@ -37,22 +51,58 @@ fn fnv1a(s: &str) -> u64 {
 }
 
 /// One registered query text: the source (kept to detect hash
-/// collisions and to echo in responses) and its compile-once slot.
+/// collisions and to echo in responses), its compile-once slot, and
+/// its LRU recency stamp.
 struct RegEntry {
     source: String,
     slot: OnceLock<Result<PreparedQuery, AxmlError>>,
+    last_used: AtomicU64,
 }
 
-/// A concurrent prepared-query registry (see the module docs).
-#[derive(Default)]
+/// A concurrent, bounded prepared-query registry (see the module
+/// docs).
 pub struct QueryRegistry {
     entries: RwLock<HashMap<u64, Arc<RegEntry>>>,
+    /// Most entries retained; past it the LRU entry is evicted.
+    cap: usize,
+    /// Monotonic recency clock; every successful lookup or prepare
+    /// stamps the entry with the next tick.
+    tick: AtomicU64,
+}
+
+impl Default for QueryRegistry {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
 }
 
 impl QueryRegistry {
-    /// An empty registry.
+    /// An empty registry bounded at [`DEFAULT_CAPACITY`] texts.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty registry retaining at most `cap` (≥ 1) query texts,
+    /// evicting least-recently-used entries beyond that.
+    pub fn with_capacity(cap: usize) -> Self {
+        QueryRegistry {
+            entries: RwLock::new(HashMap::new()),
+            cap: cap.max(1),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// The eviction bound this registry was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Stamp `entry` as just-used (monotonic ticks; relaxed is fine —
+    /// eviction order only needs to be roughly recency-shaped, not
+    /// totally ordered against other memory).
+    fn touch(&self, entry: &RegEntry) {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(now, Ordering::Relaxed);
     }
 
     /// Compile `src` (at most once per query text, however many
@@ -69,17 +119,38 @@ impl QueryRegistry {
             Some(e) => e,
             None => {
                 let mut write = self.entries.write().expect("registry lock");
+                // Make room *before* inserting a genuinely new text:
+                // evict least-recently-used entries down to cap - 1.
+                // An entry mid-compile may be evicted too — its racers
+                // hold `Arc`s, so the compile still completes and is
+                // returned; the registry merely forgets the handle.
+                if !write.contains_key(&hash) {
+                    while write.len() >= self.cap {
+                        let lru = write
+                            .iter()
+                            .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                            .map(|(k, _)| *k);
+                        match lru {
+                            Some(k) => {
+                                write.remove(&k);
+                            }
+                            None => break,
+                        }
+                    }
+                }
                 write
                     .entry(hash)
                     .or_insert_with(|| {
                         Arc::new(RegEntry {
                             source: src.to_owned(),
                             slot: OnceLock::new(),
+                            last_used: AtomicU64::new(0),
                         })
                     })
                     .clone()
             }
         };
+        self.touch(&entry);
         if entry.source != src {
             // A real 64-bit FNV collision between live query texts.
             return Err(AxmlError::Eval {
@@ -120,7 +191,9 @@ impl QueryRegistry {
             .expect("registry lock")
             .get(&hash)?
             .clone();
-        entry.slot.get()?.as_ref().ok().cloned()
+        let prepared = entry.slot.get()?.as_ref().ok().cloned()?;
+        self.touch(&entry);
+        Some(prepared)
     }
 
     /// Forget a handle. Returns whether it was registered.
@@ -195,6 +268,41 @@ mod tests {
         let err = reg.prepare("for $x in").unwrap_err();
         assert!(matches!(err, AxmlError::QueryParse { .. }));
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let reg = QueryRegistry::with_capacity(2);
+        assert_eq!(reg.capacity(), 2);
+        let (ha, _) = reg.prepare("$S/a").unwrap();
+        let (hb, _) = reg.prepare("$S/b").unwrap();
+        // Refresh a's recency, then push a third text: b is the LRU.
+        assert!(reg.get(&ha).is_some());
+        let (hc, _) = reg.prepare("$S/c").unwrap();
+        assert_eq!(reg.len(), 2, "bounded at capacity");
+        assert!(reg.get(&ha).is_some(), "recently used survives");
+        assert!(reg.get(&hc).is_some(), "newest survives");
+        assert!(reg.get(&hb).is_none(), "LRU evicted");
+        // An evicted text is not an error — it just re-prepares, under
+        // the same (text-derived) handle.
+        let (hb2, _) = reg.prepare("$S/b").unwrap();
+        assert_eq!(hb, hb2);
+        assert!(reg.get(&hb2).is_some());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn varied_query_streams_stay_bounded() {
+        // The unbounded-memory vector from the review: a stream of
+        // distinct (valid) query texts must not grow the registry past
+        // its cap.
+        let reg = QueryRegistry::with_capacity(8);
+        for i in 0..100 {
+            let src = format!("element p{i} {{ $S/b }}");
+            reg.prepare(&src).unwrap();
+            assert!(reg.len() <= 8, "len {} at i={i}", reg.len());
+        }
+        assert_eq!(reg.len(), 8);
     }
 
     #[test]

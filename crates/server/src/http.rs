@@ -160,26 +160,34 @@ impl Request {
 }
 
 /// Percent-decode a URL component (`%41` → `A`, `+` → space). Invalid
-/// escapes pass through literally; the result is lossy-UTF-8.
+/// escapes pass through literally; the result is lossy-UTF-8. Works
+/// on raw bytes throughout — a `%` followed by multi-byte UTF-8 (or
+/// any non-hex bytes) is attacker-reachable input and must never land
+/// on a `&str` slice at a non-character boundary.
 pub fn percent_decode(s: &str) -> String {
+    fn hex_val(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
-            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() => {
-                let hex = &s[i + 1..i + 3];
-                match u8::from_str_radix(hex, 16) {
-                    Ok(b) => {
-                        out.push(b);
-                        i += 3;
-                    }
-                    Err(_) => {
-                        out.push(b'%');
-                        i += 1;
-                    }
+            b'%' if i + 2 < bytes.len() => match (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi << 4 | lo);
+                    i += 3;
                 }
-            }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
             b'+' => {
                 out.push(b' ');
                 i += 1;
@@ -602,5 +610,17 @@ mod tests {
         assert_eq!(percent_decode("a%2Fb+c"), "a/b c");
         assert_eq!(percent_decode("%zz%"), "%zz%");
         assert_eq!(percent_decode("%e4%b8%ad"), "中");
+    }
+
+    #[test]
+    fn percent_decoding_never_slices_multibyte_utf8() {
+        // A '%' directly followed by multi-byte UTF-8 used to slice the
+        // &str at a non-character boundary and panic — remotely
+        // reachable from any request target (`GET /?handle=%中`).
+        assert_eq!(percent_decode("%中"), "%中");
+        assert_eq!(percent_decode("%4中"), "%4中");
+        assert_eq!(percent_decode("中%41中"), "中A中");
+        assert_eq!(percent_decode("%\u{10348}"), "%\u{10348}");
+        assert_eq!(percent_decode("%%e4%b8%ad"), "%中");
     }
 }

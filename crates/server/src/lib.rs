@@ -1,20 +1,23 @@
 //! # axml-server — a std-only HTTP/1.1 front end for the axml engine
 //!
 //! Everything here is `std`: the listener is a
-//! [`std::net::TcpListener`], connections are scheduled as tasks on
-//! the workspace's own [`axml_pool::Pool`], and responses are written
-//! by the no-dependency JSON builder in [`axml::json`]. No async
-//! runtime, no HTTP crate — the same vendored-shim discipline as the
-//! rest of the workspace.
+//! [`std::net::TcpListener`], each admitted connection gets its own
+//! scoped OS thread (socket reads block; parking them on pool workers
+//! would let idle keep-alive clients starve the pool), evaluation
+//! fans out onto the workspace's own [`axml_pool::Pool`], and
+//! responses are written by the no-dependency JSON builder in
+//! [`axml::json`]. No async runtime, no HTTP crate — the same
+//! vendored-shim discipline as the rest of the workspace.
 //!
 //! ```text
-//!   client ──TCP──▶ accept loop ──admission (≤ max_inflight)──▶ pool task
-//!                        │ 503 + Retry-After when full              │
-//!                        ▼                                          ▼
-//!                   [http::read_request]  ◀─ keep-alive loop ─  connection
+//!   client ──TCP──▶ accept loop ──admission (≤ max_inflight)──▶ connection
+//!                        │ 503 + Retry-After when full            thread
+//!                        ▼                                          │
+//!                   [http::read_request]  ◀─ keep-alive loop ───────┤
 //!                    bounded, hostile-input hardened                │
 //!                                                                   ▼
-//!                    /prepare ─▶ QueryRegistry (compile once, stable handle)
+//!                    /prepare ─▶ QueryRegistry (compile once, stable handle,
+//!                    │                          LRU-bounded at max_prepared)
 //!                    /eval ────▶ PreparedQuery::eval_bound_on(engine, pool)
 //!                                   │ results stream as chunked JSON
 //!                                   ▼
@@ -38,6 +41,21 @@
 //! the CLI's `axml query --format json` output for the same options.
 //! Errors are structured JSON (`{"error":{"kind":…,"message":…}}`)
 //! with parse errors carrying `line`/`column`/`line_text`.
+//!
+//! ## Memory under document churn
+//!
+//! The engine's hash-consing arenas are append-only by design:
+//! `DELETE /documents/{name}` frees the document's forest but keeps
+//! its interned subtrees available for future sharing, so the
+//! `distinct_subtrees`/`child_edges` counters in `GET /stats` grow
+//! monotonically even as documents come and go. Long-running
+//! deployments with heavy `PUT`/`DELETE` churn over *disjoint*
+//! content should expect arena growth proportional to the distinct
+//! subtrees ever loaded (arena compaction is an open ROADMAP item);
+//! churn over similar content re-shares and costs nothing new.
+//! Prepared-query memory, by contrast, is bounded: the registry
+//! evicts least-recently-used texts past
+//! [`ServerConfig::max_prepared`].
 //!
 //! ## Quick start
 //!

@@ -1,8 +1,17 @@
-//! The query server: a [`std::net::TcpListener`] accept loop whose
-//! connections are scheduled as tasks on an [`axml_pool::Pool`] scope.
+//! The query server: a [`std::net::TcpListener`] accept loop that
+//! hands each admitted connection its own scoped OS thread; the
+//! [`axml_pool::Pool`] is reserved for *evaluation* fan-out.
 //!
 //! Design notes:
 //!
+//! - **Connection I/O never occupies a pool worker.** A keep-alive
+//!   connection blocks in socket reads for most of its life; parking
+//!   it on a pool worker would let `workers` idle clients starve every
+//!   other admitted connection (the pool helps with scope waits, not
+//!   socket reads). Each connection therefore runs on a dedicated
+//!   [`std::thread::scope`] thread — bounded by
+//!   [`ServerConfig::max_inflight`] — while `POST /eval` fans its
+//!   parallel work out onto the shared pool.
 //! - **No new hot-path locks.** Every evaluation runs against the
 //!   engine's `Arc`-shared document snapshots and a [`QueryRegistry`]
 //!   whose entries are `OnceLock`-compiled; a request never holds a
@@ -10,7 +19,9 @@
 //! - **Admission control at the front door.** The in-flight connection
 //!   count is an atomic; past [`ServerConfig::max_inflight`] a new
 //!   connection gets an immediate `503` with `Retry-After` and is
-//!   closed, so overload sheds load instead of queueing it.
+//!   closed, so overload sheds load instead of queueing it. The slot
+//!   is released by a drop guard, so even a panicking connection
+//!   cannot leak admission capacity.
 //! - **Streaming results.** A successful `/eval` streams the exact
 //!   bytes of [`axml::json::result_json`] as a chunked body, one chunk
 //!   per `(tree, annotation)` pair — the first results reach the
@@ -38,11 +49,18 @@ pub struct ServerConfig {
     /// Listen address (`127.0.0.1:0` picks an ephemeral port;
     /// [`ServerHandle::addr`] reports the one chosen).
     pub addr: String,
-    /// Worker threads for the connection/evaluation pool
-    /// (`0` = one per available core).
+    /// Worker threads for the evaluation pool that `POST /eval` fans
+    /// parallel work onto (`0` = one per available core). Connection
+    /// I/O runs on its own per-connection threads, never on the pool.
     pub pool_workers: usize,
-    /// Most connections served concurrently; the rest get `503`.
+    /// Most connections served concurrently (each gets a dedicated
+    /// thread); the rest get `503`.
     pub max_inflight: usize,
+    /// Most prepared queries retained at once: the registry evicts
+    /// least-recently-used entries past this, so unbounded streams of
+    /// distinct `/prepare` or inline `/eval` texts cannot grow server
+    /// memory without limit. An evicted handle just re-prepares.
+    pub max_prepared: usize,
     /// Largest accepted request body (documents and inline queries).
     pub max_body: usize,
     /// Default per-request wall-clock deadline, when the request does
@@ -59,6 +77,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             pool_workers: 0,
             max_inflight: 64,
+            max_prepared: 1024,
             max_body: 4 * 1024 * 1024,
             default_deadline_ms: None,
             poll_interval: Duration::from_millis(250),
@@ -72,8 +91,9 @@ struct Shared {
     inflight: AtomicUsize,
 }
 
-/// Everything a connection task needs, borrowed from the accept
-/// thread's frame (the pool scope guarantees tasks finish first).
+/// Everything a connection thread needs, borrowed from the accept
+/// thread's frame (the thread scope guarantees connections finish
+/// first).
 struct ServerState<'a> {
     engine: &'a Engine,
     registry: QueryRegistry,
@@ -116,6 +136,9 @@ impl ServerHandle {
         // The accept loop is blocked in `accept`; a throwaway
         // connection wakes it so it can observe the flag.
         let _ = TcpStream::connect(self.addr);
+        // Joining the server thread joins the connection scope inside
+        // it: every connection thread exits at its next read-timeout
+        // poll (or request boundary) once the flag is up.
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -163,16 +186,21 @@ fn accept_loop(listener: TcpListener, config: ServerConfig, engine: &Engine, sha
     };
     let pool = Pool::new(workers);
     let max_inflight = config.max_inflight.max(1);
+    let max_prepared = config.max_prepared.max(1);
     let state = ServerState {
         engine,
-        registry: QueryRegistry::new(),
+        registry: QueryRegistry::with_capacity(max_prepared),
         config,
         shared,
         pool: &pool,
     };
-    // The scope is the graceful-shutdown drain: it returns only after
-    // every spawned connection task has finished.
-    pool.scope(|s| loop {
+    // One OS thread per admitted connection (bounded by max_inflight):
+    // socket reads block for most of a keep-alive connection's life,
+    // so parking connections on pool workers would let `workers` idle
+    // clients starve everyone else. The thread scope is the
+    // graceful-shutdown drain: it returns only after every connection
+    // thread has finished.
+    std::thread::scope(|s| loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => {
@@ -215,10 +243,32 @@ fn accept_loop(listener: TcpListener, config: ServerConfig, engine: &Engine, sha
         }
         let state = &state;
         s.spawn(move || {
-            handle_connection(stream, state);
-            state.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            // Release the admission slot however this thread ends — a
+            // panic inside the handler must not leak capacity (each
+            // leaked slot would permanently shrink the server until
+            // everything 503s).
+            let _slot = InflightSlot(state.shared);
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handle_connection(stream, state)
+            }))
+            .is_err()
+            {
+                // The connection is lost but the server keeps serving;
+                // propagating would poison the whole thread scope.
+                eprintln!("axml-server: connection handler panicked");
+            }
         });
     });
+}
+
+/// Drop guard for one admitted connection's slot in the in-flight
+/// count (see [`accept_loop`]).
+struct InflightSlot<'a>(&'a Shared);
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 fn handle_connection(stream: TcpStream, state: &ServerState<'_>) {

@@ -184,6 +184,18 @@ proptest! {
         let _ = read_request(&mut cur, &limits);
     }
 
+    /// Percent-decoding is total over arbitrary Unicode — '%' followed
+    /// by multi-byte characters must never panic (it used to slice the
+    /// &str at a byte offset inside a character).
+    #[test]
+    fn percent_decode_never_panics(
+        pieces in vec(proptest::sample::select(vec![
+            "%", "+", "4", "F", "a", "z", "中", "\u{10348}", "é", "%%", "%e4", "%4", "",
+        ]), 0..32)
+    ) {
+        let _ = axml_server::http::percent_decode(&pieces.concat());
+    }
+
     /// Structured noise: CRLFs and colons sprinkled through random
     /// ASCII exercises the header state machine harder than raw bytes.
     #[test]

@@ -166,14 +166,7 @@ fn eval_is_byte_identical_to_the_library_in_all_seven_semirings() {
     assert_eq!(r.status, 200, "{}", r.body_str());
     let body = r.body_str().to_owned();
     assert!(body.contains("\"free_vars\":[\"S\"]"), "{body}");
-    let handle = body
-        .split("\"handle\":\"")
-        .nth(1)
-        .unwrap()
-        .split('"')
-        .next()
-        .unwrap()
-        .to_owned();
+    let handle = extract_handle(&body);
     assert!(handle.starts_with('q') && handle.len() == 17, "{handle}");
 
     let prepared = engine.prepare(FIG1_QUERY).unwrap();
@@ -290,15 +283,7 @@ fn concurrent_clients_get_byte_identical_results() {
                     let by_handle = (t + i) % 2 == 0;
                     let body = if by_handle {
                         let r = request(server, "POST", "/prepare", FIG1_QUERY.as_bytes());
-                        let b = r.body_str().to_owned();
-                        let handle = b
-                            .split("\"handle\":\"")
-                            .nth(1)
-                            .unwrap()
-                            .split('"')
-                            .next()
-                            .unwrap()
-                            .to_owned();
+                        let handle = extract_handle(r.body_str());
                         request(
                             server,
                             "POST",
@@ -331,6 +316,133 @@ fn concurrent_clients_get_byte_identical_results() {
             });
         }
     });
+    server.shutdown();
+}
+
+/// Pull the `"handle":"q…"` value out of a `/prepare` response body.
+fn extract_handle(body: &str) -> String {
+    body.split("\"handle\":\"")
+        .nth(1)
+        .expect("handle in body")
+        .split('"')
+        .next()
+        .unwrap()
+        .to_owned()
+}
+
+#[test]
+fn percent_escapes_before_multibyte_utf8_neither_panic_nor_leak_slots() {
+    let mut server = server();
+    // `%` directly followed by multi-byte UTF-8 used to panic the
+    // connection task inside percent_decode *and* leak its admission
+    // slot — after max_inflight such requests the server 503'd
+    // everything forever. Hammer past the default max_inflight (64)
+    // to prove both are gone.
+    for _ in 0..70 {
+        let r = request(&server, "POST", "/eval?handle=%中", b"");
+        assert_eq!(r.status, 404, "{}", r.body_str());
+    }
+    // The same shape through the path (PUT/DELETE decode the name).
+    let r = request(&server, "PUT", "/documents/%中", b"<a> b </a>");
+    assert_eq!(r.status, 200, "{}", r.body_str());
+    let r = request(&server, "DELETE", "/documents/%中", b"");
+    assert_eq!(r.status, 200, "{}", r.body_str());
+    assert_eq!(request(&server, "GET", "/health", b"").status, 200);
+    // Every admission slot came back (the last connection may still be
+    // draining for a moment).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.inflight() != 0 {
+        assert!(std::time::Instant::now() < deadline, "leaked a slot");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connections_do_not_starve_new_clients() {
+    // Connection I/O must not occupy evaluation-pool workers: with a
+    // 1-worker pool, a handful of idle keep-alive clients used to
+    // absorb every worker and park all later connections in the pool
+    // queue, unserved. Now each connection has its own thread.
+    let mut server = start(
+        ServerConfig {
+            pool_workers: 1,
+            ..ServerConfig::default()
+        },
+        Arc::new(Engine::new()),
+    )
+    .unwrap();
+    let mut idlers = Vec::new();
+    for _ in 0..4 {
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        write!(conn, "GET /health HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(read_response(&mut conn).status, 200);
+        idlers.push(conn); // stays open and idle
+    }
+    let mut probe = TcpStream::connect(server.addr()).unwrap();
+    probe
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(probe, "GET /health HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+    let r = try_read_response(&mut probe).expect("served while idlers hold connections");
+    assert_eq!(r.status, 200);
+    drop(idlers);
+    server.shutdown();
+}
+
+#[test]
+fn prepared_query_registry_is_bounded_with_lru_eviction() {
+    let mut server = start(
+        ServerConfig {
+            max_prepared: 2,
+            ..ServerConfig::default()
+        },
+        Arc::new(Engine::new()),
+    )
+    .unwrap();
+    request(&server, "PUT", "/documents/S", FIG1_DOC.as_bytes());
+
+    let mut handles = Vec::new();
+    for q in ["$S/a", "$S/b", "$S/c", "$S/d"] {
+        let r = request(&server, "POST", "/prepare", q.as_bytes());
+        assert_eq!(r.status, 200, "{}", r.body_str());
+        handles.push(extract_handle(r.body_str()));
+    }
+    let r = request(&server, "GET", "/stats", b"");
+    assert!(
+        r.body_str().contains("\"prepared_queries\":2"),
+        "registry stays at its cap: {}",
+        r.body_str()
+    );
+    // The oldest handle was evicted (client just re-prepares it)…
+    let r = request(
+        &server,
+        "POST",
+        &format!("/eval?handle={}", handles[0]),
+        b"",
+    );
+    assert_eq!(r.status, 404, "{}", r.body_str());
+    // …while the newest still evaluates.
+    let r = request(
+        &server,
+        "POST",
+        &format!("/eval?handle={}", handles[3]),
+        b"",
+    );
+    assert_eq!(r.status, 200, "{}", r.body_str());
+
+    // A stream of distinct *inline* queries cannot grow it either.
+    for i in 0..20 {
+        let q = format!("element p{i} {{ $S/b }}");
+        let r = request(&server, "POST", "/eval", q.as_bytes());
+        assert_eq!(r.status, 200, "{}", r.body_str());
+    }
+    let r = request(&server, "GET", "/stats", b"");
+    assert!(
+        r.body_str().contains("\"prepared_queries\":2"),
+        "inline churn is bounded too: {}",
+        r.body_str()
+    );
     server.shutdown();
 }
 

@@ -42,7 +42,7 @@ usage:
   axml shred  (--doc FILE | --text DOC) PATH     # //c or /a/b style
   axml worlds (--doc FILE | --text DOC)          # possible worlds (ℕ[X] docs)
   axml serve  [--addr HOST:PORT] [--pool N] [--max-inflight M] \\
-              [--doc FILE | --text DOC]          # HTTP/1.1 query server
+              [--max-prepared Q] [--doc FILE | --text DOC]  # HTTP/1.1 query server
 
 query semirings: natpoly (default) | nat | posbool | tropical | why | trio | prob
                  (also bool | clearance, direct route only)
@@ -51,7 +51,8 @@ routes:          direct (default) | via-nrc | shredded | differential
 formats:         text (default) | json — machine-consumable query results
 serve:           --addr default 127.0.0.1:8787; --pool 0 = one worker per
                  core; --max-inflight default 64 (further connections get
-                 503); a --doc/--text document preloads as $S/$T/$d/$doc";
+                 503); --max-prepared default 1024 (LRU-evicted beyond);
+                 a --doc/--text document preloads as $S/$T/$d/$doc";
 
 struct Opts {
     semiring: String,
@@ -62,6 +63,7 @@ struct Opts {
     addr: String,
     pool: usize,
     max_inflight: usize,
+    max_prepared: usize,
     rest: Vec<String>,
 }
 
@@ -89,6 +91,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut addr = "127.0.0.1:8787".to_owned();
     let mut pool = 0usize;
     let mut max_inflight = 64usize;
+    let mut max_prepared = axml::REGISTRY_DEFAULT_CAPACITY;
     let mut rest = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -146,6 +149,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .map_err(|e| format!("bad --max-inflight value: {e}"))?;
                 i += 2;
             }
+            "--max-prepared" => {
+                max_prepared = args
+                    .get(i + 1)
+                    .ok_or("--max-prepared needs a query count")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-prepared value: {e}"))?;
+                i += 2;
+            }
             other => {
                 rest.push(other.to_owned());
                 i += 1;
@@ -161,6 +172,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         addr,
         pool,
         max_inflight,
+        max_prepared,
         rest,
     })
 }
@@ -275,6 +287,7 @@ fn serve_cmd(opts: &Opts) -> Result<(), String> {
         addr: opts.addr.clone(),
         pool_workers: opts.pool,
         max_inflight: opts.max_inflight,
+        max_prepared: opts.max_prepared,
         ..Default::default()
     };
     let server = axml_server::start(config, engine).map_err(|e| e.to_string())?;
