@@ -9,12 +9,11 @@
 //! followed by `OnceLock` reads.
 
 use crate::options::SemiringKind;
-use crate::result::AxmlResult;
 use axml_core::{compile_optimized, CompiledQuery, Query};
 use axml_nrc::CompiledExpr;
 use axml_semiring::trio::collapse::{natpoly_to_posbool, natpoly_to_trio, natpoly_to_why};
 use axml_semiring::{FnHom, Nat, NatPoly, PosBool, Prob, Semiring, Trio, Tropical, Valuation, Why};
-use axml_uxml::{Forest, TreeArena, Value};
+use axml_uxml::{Forest, TreeArena};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
@@ -249,12 +248,10 @@ pub(crate) trait KindDispatch: Semiring {
     fn doc_cache(d: &DocCaches) -> &DocSlot<Self>;
     /// This kind's hash-consing arena on the engine.
     fn kind_arena(a: &KindArenas) -> &Mutex<TreeArena<Self>>;
-    /// Tag a typed value as an [`AxmlResult`].
-    fn wrap(v: Value<Self>) -> AxmlResult;
 }
 
 macro_rules! dispatch_kind {
-    ($k:ty, $kind:expr, $slot:ident, $wrap:expr, $from:expr) => {
+    ($k:ty, $kind:expr, $slot:ident, $from:expr) => {
         impl KindDispatch for $k {
             const KIND: SemiringKind = $kind;
             fn from_poly(p: &NatPoly) -> Self {
@@ -269,9 +266,6 @@ macro_rules! dispatch_kind {
             fn kind_arena(a: &KindArenas) -> &Mutex<TreeArena<Self>> {
                 &a.$slot
             }
-            fn wrap(v: Value<Self>) -> AxmlResult {
-                ($wrap)(v)
-            }
         }
     };
 }
@@ -280,36 +274,31 @@ dispatch_kind!(
     Nat,
     SemiringKind::Nat,
     nat,
-    AxmlResult::Nat,
     |p: &NatPoly| { p.eval(&Valuation::<Nat>::new()) }
 );
 dispatch_kind!(
     PosBool,
     SemiringKind::PosBool,
     posbool,
-    AxmlResult::PosBool,
     natpoly_to_posbool
 );
 dispatch_kind!(
     Tropical,
     SemiringKind::Tropical,
     tropical,
-    AxmlResult::Tropical,
     |p: &NatPoly| p.eval(&Valuation::<Tropical>::new())
 );
-dispatch_kind!(Why, SemiringKind::Why, why, AxmlResult::Why, natpoly_to_why);
+dispatch_kind!(Why, SemiringKind::Why, why, natpoly_to_why);
 dispatch_kind!(
     Trio,
     SemiringKind::Trio,
     trio,
-    AxmlResult::Trio,
     natpoly_to_trio
 );
 dispatch_kind!(
     Prob,
     SemiringKind::Prob,
     prob,
-    AxmlResult::Prob,
     |p: &NatPoly| p.eval(&Valuation::<Prob>::new())
 );
 

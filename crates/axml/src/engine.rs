@@ -418,12 +418,9 @@ impl Engine {
     ) -> Vec<Result<AxmlResult, AxmlError>> {
         // Entries' intra-query parallelism fans out on the same pool
         // the batch is scheduled on — an isolated pool stays isolated.
-        let eval_one =
-            |(q, o): &(&PreparedQuery, EvalOptions)| q.eval_bound_on(self, *o, &[], Some(pool));
-        if entries.len() <= 1 {
-            return entries.iter().map(eval_one).collect();
-        }
-        pool.map_slice(entries, |_, e| eval_one(e))
+        fan_out(pool, entries, |(q, o)| {
+            q.eval_with(self, *o, &[], Some(pool))
+        })
     }
 
     /// Evaluate one prepared query over many documents on the global
@@ -448,19 +445,30 @@ impl Engine {
         docs: &[&str],
         opts: EvalOptions,
     ) -> Vec<Result<AxmlResult, AxmlError>> {
-        let eval_one = |doc: &&str| {
+        fan_out(pool, docs, |doc| {
             let aliases: Vec<(&str, &str)> = query
                 .free_vars()
                 .iter()
                 .map(|v| (v.as_str(), *doc))
                 .collect();
-            query.eval_bound_on(self, opts, &aliases, Some(pool))
-        };
-        if docs.len() <= 1 {
-            return docs.iter().map(eval_one).collect();
-        }
-        pool.map_slice(docs, |_, doc| eval_one(doc))
+            query.eval_with(self, opts, &aliases, Some(pool))
+        })
     }
+}
+
+/// The shared fan-out core of the batch APIs: one evaluation per item,
+/// scheduled on `pool`, results **in item order**, with trivial
+/// batches (0–1 items) skipping the pool entirely so a single entry
+/// runs exactly the sequential code path.
+fn fan_out<T: Sync, R: Send>(
+    pool: &axml_pool::Pool,
+    items: &[T],
+    eval_one: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    if items.len() <= 1 {
+        return items.iter().map(&eval_one).collect();
+    }
+    pool.map_slice(items, |_, item| eval_one(item))
 }
 
 #[cfg(test)]

@@ -51,6 +51,17 @@ impl fmt::Display for SourceSpan {
     }
 }
 
+/// Which caller-imposed resource limit an [`AxmlError::Budget`]
+/// reports. The server maps the two to different status codes (504
+/// for time, 507 for memory), so the distinction is part of the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetKind {
+    /// The wall-clock deadline ([`crate::EvalOptions::deadline`]).
+    WallClock,
+    /// The memory budget ([`crate::EvalOptions::memory_budget`]).
+    Memory,
+}
+
 /// Everything that can go wrong between `Engine::load_document` and a
 /// finished [`crate::AxmlResult`].
 #[derive(Debug, Clone, PartialEq)]
@@ -99,15 +110,19 @@ pub enum AxmlError {
         /// Description.
         msg: String,
     },
-    /// The evaluation ran past its wall-clock deadline
-    /// ([`crate::EvalOptions::deadline`] /
-    /// [`crate::EvalOptions::timeout`]). Deadlines are checked at
-    /// route starts and at semi-naive fixpoint round boundaries, so
-    /// the trip is observed at the first such boundary after the
-    /// deadline passes.
+    /// The evaluation ran past a caller-imposed resource limit: its
+    /// wall-clock deadline ([`crate::EvalOptions::deadline`] /
+    /// [`crate::EvalOptions::timeout`]) or its memory budget
+    /// ([`crate::EvalOptions::memory_budget`]). Both are checked at
+    /// coarse boundaries — route starts, set-producing plan ops,
+    /// fixpoint rounds, streamed pieces — so the trip is observed at
+    /// the first such boundary after the limit is crossed.
     Budget {
-        /// The boundary that observed the exceeded deadline
-        /// (e.g. `"route start"`, `"datalog round"`).
+        /// Which limit tripped.
+        resource: BudgetKind,
+        /// The boundary that observed the exceeded limit (e.g.
+        /// `"route start"`, `"datalog round"`, or a rendering of the
+        /// plan op).
         at: String,
     },
     /// The query refers to a document the engine has not loaded.
@@ -184,18 +199,32 @@ impl From<axml_core::TypeError> for AxmlError {
 
 impl From<axml_core::EvalError> for AxmlError {
     fn from(e: axml_core::EvalError) -> Self {
-        AxmlError::Eval {
-            msg: e.msg,
-            at: e.at,
+        if e.budget {
+            AxmlError::Budget {
+                resource: BudgetKind::Memory,
+                at: e.at,
+            }
+        } else {
+            AxmlError::Eval {
+                msg: e.msg,
+                at: e.at,
+            }
         }
     }
 }
 
 impl From<axml_nrc::EvalError> for AxmlError {
     fn from(e: axml_nrc::EvalError) -> Self {
-        AxmlError::Nrc {
-            msg: e.msg,
-            at: e.at,
+        if e.budget {
+            AxmlError::Budget {
+                resource: BudgetKind::Memory,
+                at: e.at,
+            }
+        } else {
+            AxmlError::Nrc {
+                msg: e.msg,
+                at: e.at,
+            }
         }
     }
 }
@@ -204,6 +233,11 @@ impl From<axml_relational::datalog::DatalogError> for AxmlError {
     fn from(e: axml_relational::datalog::DatalogError) -> Self {
         if e.budget {
             AxmlError::Budget {
+                resource: if e.memory {
+                    BudgetKind::Memory
+                } else {
+                    BudgetKind::WallClock
+                },
                 at: "datalog round".into(),
             }
         } else {
@@ -225,9 +259,14 @@ impl fmt::Display for AxmlError {
             AxmlError::Eval { msg, at } => write!(f, "evaluation error: {msg} (at `{at}`)"),
             AxmlError::Nrc { msg, at } => write!(f, "NRC evaluation error: {msg} (at `{at}`)"),
             AxmlError::Shredding { msg } => write!(f, "shredded evaluation error: {msg}"),
-            AxmlError::Budget { at } => {
-                write!(f, "evaluation exceeded its wall-clock deadline (at {at})")
-            }
+            AxmlError::Budget { resource, at } => match resource {
+                BudgetKind::WallClock => {
+                    write!(f, "evaluation exceeded its wall-clock deadline (at {at})")
+                }
+                BudgetKind::Memory => {
+                    write!(f, "evaluation exceeded its memory budget (at `{at}`)")
+                }
+            },
             AxmlError::UnknownDocument { name, available } => {
                 write!(f, "no document named {name:?} is loaded")?;
                 if available.is_empty() {

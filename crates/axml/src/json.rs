@@ -254,36 +254,13 @@ pub enum ResultPieces {
 /// streaming writer that flushes them one at a time produces the same
 /// bytes as the one-shot rendering.
 pub fn result_pieces(out: &AxmlResult) -> ResultPieces {
-    fn set_pieces<K: Semiring + std::fmt::Display>(f: &Forest<K>) -> ResultPieces {
-        ResultPieces::Set(
-            f.iter_document()
-                .into_iter()
-                .map(|(t, k)| {
-                    let mut j = Json::new();
-                    tree_json(&mut j, t, Some(k));
-                    j.finish()
-                })
-                .collect(),
-        )
-    }
-    fn pieces<K: Semiring + std::fmt::Display>(v: &Value<K>) -> ResultPieces {
-        match v {
-            Value::Set(f) => set_pieces(f),
-            scalar => {
-                let mut j = Json::new();
-                value_json(&mut j, scalar);
-                ResultPieces::Scalar(j.finish())
-            }
+    match out.pieces() {
+        Some(pieces) => ResultPieces::Set(pieces.iter().map(|p| p.json()).collect()),
+        None => {
+            let mut j = Json::new();
+            result_value_json(&mut j, out);
+            ResultPieces::Scalar(j.finish())
         }
-    }
-    match out {
-        AxmlResult::Nat(v) => pieces(v),
-        AxmlResult::PosBool(v) => pieces(v),
-        AxmlResult::Tropical(v) => pieces(v),
-        AxmlResult::NatPoly(v) => pieces(v),
-        AxmlResult::Why(v) => pieces(v),
-        AxmlResult::Trio(v) => pieces(v),
-        AxmlResult::Prob(v) => pieces(v),
     }
 }
 

@@ -167,6 +167,39 @@
 //! assert_eq!(results[1].as_ref().unwrap().to_string(), "(b {2})");
 //! ```
 //!
+//! ## Streaming and budgets
+//!
+//! [`PreparedQuery::eval_stream`] evaluates to an [`EvalCursor`]: a
+//! pull iterator over the top-level `(tree, annotation)` pieces of a
+//! set-shaped result (scalar results arrive as one item). On the
+//! incremental combinations — `InSemiring` mode on the `Direct` or
+//! `ViaNrc` route — a detached producer thread pushes pieces through a
+//! bounded channel ([`STREAM_BUFFER_PIECES`]) as the evaluation
+//! produces them: root shapes whose pieces are provably final on
+//! emission (self-axis filters, child steps over a singleton source,
+//! bare inputs) stream truly lazily, and the producer never runs more
+//! than one buffer ahead of the consumer; dropping the cursor cancels
+//! it. Every other combination materializes and then cursors, so
+//! collecting a stream is **always** equal to the one-shot
+//! [`PreparedQuery::eval`] — same pieces, same document order, same
+//! errors (property-tested across all 7 semirings × 4 routes × both
+//! modes). [`AxmlResult::pieces`] gives the same piece view of an
+//! already-materialized result without matching its 7 variants.
+//!
+//! Per-call limits live on [`EvalOptions`]: `deadline`/`timeout`
+//! (wall-clock, PR 7) and [`EvalOptions::memory_budget`] (a cap on
+//! evaluation-allocated tree nodes, charged at op and fixpoint-round
+//! boundaries on every route, one shared counter across parallel legs
+//! and streaming producers). Tripping either is a typed
+//! [`AxmlError::Budget`] whose [`BudgetKind`] distinguishes wall-clock
+//! from memory — never a panic and never a truncated-but-`Ok` result;
+//! on a live stream the trip arrives in-band as the cursor's final
+//! item. The HTTP server maps the two to 504 and 507, streams `/eval`
+//! chunks straight off this cursor (first byte before the evaluation
+//! finishes), and windows the piece stream with `limit`/`offset`; the
+//! CLI's `query --stream` prints pieces as they surface,
+//! byte-identical to its one-shot `--format json` output.
+//!
 //! Under the hood the document store is **sharded**
 //! ([`STORE_SHARDS`] independently-locked maps keyed by name hash), so
 //! concurrent load/remove/eval traffic on different documents never
@@ -185,6 +218,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cursor;
 mod dispatch;
 mod engine;
 mod error;
@@ -195,17 +229,18 @@ mod registry;
 mod result;
 
 pub use axml_pool::Pool;
+pub use cursor::{EvalCursor, StreamItem, STREAM_BUFFER_PIECES};
 pub use engine::{Engine, StorageStats, STORE_SHARDS};
-pub use error::{AxmlError, SourceSpan};
+pub use error::{AxmlError, BudgetKind, SourceSpan};
 pub use options::{EvalMode, EvalOptions, Parallelism, Route, SemiringKind};
 pub use prepared::PreparedQuery;
 pub use registry::{query_handle, QueryRegistry, DEFAULT_CAPACITY as REGISTRY_DEFAULT_CAPACITY};
-pub use result::AxmlResult;
+pub use result::{AxmlResult, ResultPiece, ResultPieceRef};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::{
-        AxmlError, AxmlResult, Engine, EvalMode, EvalOptions, Parallelism, Pool, PreparedQuery,
-        QueryRegistry, Route, SemiringKind,
+        AxmlError, AxmlResult, BudgetKind, Engine, EvalCursor, EvalMode, EvalOptions, Parallelism,
+        Pool, PreparedQuery, QueryRegistry, Route, SemiringKind, StreamItem,
     };
 }

@@ -238,6 +238,17 @@ pub struct EvalOptions {
     /// It bounds scheduling unfairness, not individual instructions:
     /// a single enormous join still runs to completion.
     pub deadline: Option<Instant>,
+    /// Memory budget for this evaluation, in logical tree nodes
+    /// (default: none). One counter is shared across every leg and
+    /// round of the evaluation: set-producing plan ops charge their
+    /// output's node count, fixpoint rounds charge the round's derived
+    /// tuples, and streamed pieces charge as they are emitted.
+    /// Exceeding the budget trips as [`crate::AxmlError::Budget`] with
+    /// [`crate::BudgetKind::Memory`] at the next boundary — like the
+    /// deadline, it bounds unfairness, not individual operations, and
+    /// intermediate sets count toward it (the budget tracks what the
+    /// evaluation *produces*, which can exceed the final result size).
+    pub memory_budget: Option<usize>,
 }
 
 impl EvalOptions {
@@ -288,6 +299,13 @@ impl EvalOptions {
     /// represent as an `Instant` means "no deadline".
     pub fn timeout(mut self, budget: Duration) -> Self {
         self.deadline = Instant::now().checked_add(budget);
+        self
+    }
+
+    /// Cap the logical tree nodes this evaluation may produce (see
+    /// [`EvalOptions::memory_budget`]).
+    pub fn memory_budget(mut self, nodes: usize) -> Self {
+        self.memory_budget = Some(nodes);
         self
     }
 }

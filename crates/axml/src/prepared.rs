@@ -14,23 +14,26 @@
 //! plans, and `Route::Differential` additionally replays the
 //! tree-walking interpreters and asserts agreement.
 
+use crate::cursor::{ChannelSink, EvalCursor, StreamItem, STREAM_BUFFER_PIECES};
 use crate::dispatch::{Artifacts, KindCaches, KindDispatch};
-use crate::engine::Engine;
-use crate::error::AxmlError;
+use crate::engine::{Engine, StoredDoc};
+use crate::error::{AxmlError, BudgetKind};
 use crate::options::{EvalMode, EvalOptions, Route, SemiringKind};
-use crate::result::AxmlResult;
+use crate::result::{AxmlResult, ResultPiece};
 use axml_core::ast::SurfaceExpr;
 use axml_core::eval::{eval_core, QueryEnv};
 use axml_core::path::{extract_path, Ineligible, PathQuery};
 use axml_core::{elaborate, parse_query};
 use axml_pool::ExecCtx;
 use axml_semiring::{FnHom, Nat, NatPoly, PosBool, Prob, Semiring, Trio, Tropical, Why};
-use axml_uxml::{hom::map_value, Forest, Value};
+use axml_uxml::{hom::map_value, Forest, NodeBudget, StreamError, Streamed, Tree, Value};
 use std::collections::BTreeSet;
+use std::sync::atomic::AtomicUsize;
+use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 use std::time::Instant;
 
-struct PreparedInner {
+pub(crate) struct PreparedInner {
     source: String,
     free_vars: Vec<String>,
     /// The symbolic artifacts — the source of truth every other kind
@@ -60,6 +63,119 @@ impl std::fmt::Debug for PreparedQuery {
             .finish()
     }
 }
+
+/// Monomorphize `$e` at the semiring type `$S` selected by a runtime
+/// [`SemiringKind`] — the one place the 7-way kind dispatch lives.
+macro_rules! with_kind {
+    ($kind:expr, $S:ident => $e:expr) => {
+        match $kind {
+            SemiringKind::Nat => {
+                type $S = Nat;
+                $e
+            }
+            SemiringKind::PosBool => {
+                type $S = PosBool;
+                $e
+            }
+            SemiringKind::Tropical => {
+                type $S = Tropical;
+                $e
+            }
+            SemiringKind::NatPoly => {
+                type $S = NatPoly;
+                $e
+            }
+            SemiringKind::Why => {
+                type $S = Why;
+                $e
+            }
+            SemiringKind::Trio => {
+                type $S = Trio;
+                $e
+            }
+            SemiringKind::Prob => {
+                type $S = Prob;
+                $e
+            }
+        }
+    };
+}
+
+/// The hooks one semiring kind needs to participate in evaluation:
+/// where its compiled artifacts live, how a stored document projects
+/// into it, how its values wrap into the kind-tagged result types.
+/// ℕ\[X\] implements it directly (its artifacts *are* the source of
+/// truth); the six specialized kinds implement it through their
+/// [`KindDispatch`] caches. Together with [`with_kind!`] this is what
+/// lets `eval_with` and `eval_stream` share one generic body instead
+/// of seven hand-written match arms each.
+pub(crate) trait EvalKind: Semiring {
+    /// The runtime tag of this kind.
+    const KIND: SemiringKind;
+    /// This kind's evaluation artifacts (specializing and caching on
+    /// first use where applicable).
+    fn artifacts(inner: &PreparedInner) -> &Artifacts<Self>;
+    /// A stored document projected into this kind (cached).
+    fn project_doc(engine: &Engine, doc: &Arc<StoredDoc>) -> Arc<Forest<Self>>;
+    /// Push a symbolic (ℕ\[X\]) result through the canonical
+    /// homomorphism into this kind.
+    fn specialize_value(sym: &Value<NatPoly>) -> Value<Self>;
+    /// Tag a value of this kind as an [`AxmlResult`].
+    fn wrap_value(v: Value<Self>) -> AxmlResult;
+    /// Tag one streamed piece of this kind as a [`ResultPiece`].
+    fn piece(t: Tree<Self>, k: Self) -> ResultPiece;
+}
+
+impl EvalKind for NatPoly {
+    const KIND: SemiringKind = SemiringKind::NatPoly;
+    fn artifacts(inner: &PreparedInner) -> &Artifacts<NatPoly> {
+        &inner.poly
+    }
+    fn project_doc(_engine: &Engine, doc: &Arc<StoredDoc>) -> Arc<Forest<NatPoly>> {
+        doc.poly.clone()
+    }
+    fn specialize_value(sym: &Value<NatPoly>) -> Value<NatPoly> {
+        sym.clone()
+    }
+    fn wrap_value(v: Value<NatPoly>) -> AxmlResult {
+        AxmlResult::NatPoly(v)
+    }
+    fn piece(t: Tree<NatPoly>, k: NatPoly) -> ResultPiece {
+        ResultPiece::NatPoly(t, k)
+    }
+}
+
+macro_rules! eval_kind_via_dispatch {
+    ($($k:ty => $variant:ident),* $(,)?) => {
+        $(impl EvalKind for $k {
+            const KIND: SemiringKind = SemiringKind::$variant;
+            fn artifacts(inner: &PreparedInner) -> &Artifacts<Self> {
+                <$k as KindDispatch>::artifact_cache(&inner.caches)
+                    .get_or_init(|| inner.poly.specialize::<$k>())
+            }
+            fn project_doc(engine: &Engine, doc: &Arc<StoredDoc>) -> Arc<Forest<Self>> {
+                engine.specialized::<$k>(doc)
+            }
+            fn specialize_value(sym: &Value<NatPoly>) -> Value<Self> {
+                map_value(&FnHom::new(<$k as KindDispatch>::from_poly), sym)
+            }
+            fn wrap_value(v: Value<Self>) -> AxmlResult {
+                AxmlResult::$variant(v)
+            }
+            fn piece(t: Tree<Self>, k: Self) -> ResultPiece {
+                ResultPiece::$variant(t, k)
+            }
+        })*
+    };
+}
+eval_kind_via_dispatch!(
+    Nat => Nat,
+    PosBool => PosBool,
+    Tropical => Tropical,
+    Why => Why,
+    Trio => Trio,
+    Prob => Prob,
+);
 
 impl PreparedQuery {
     pub(crate) fn compile(src: &str) -> Result<Self, AxmlError> {
@@ -120,32 +236,58 @@ impl PreparedQuery {
     }
 
     /// Evaluate against the engine's documents: every free variable
-    /// `$X` binds the document loaded as `"X"`.
+    /// `$X` binds the document loaded as `"X"`. Thin wrapper over
+    /// [`eval_with`](Self::eval_with) with no aliases and the global
+    /// pool.
     pub fn eval(&self, engine: &Engine, opts: EvalOptions) -> Result<AxmlResult, AxmlError> {
-        self.eval_bound(engine, opts, &[])
+        self.eval_with(engine, opts, &[], None)
     }
 
     /// Like [`eval`](Self::eval), with query-variable → document-name
     /// aliases: `("S", "inventory_v2")` binds `$S` to the document
     /// loaded as `"inventory_v2"`. Variables not aliased bind their
-    /// own name.
+    /// own name. Thin wrapper over [`eval_with`](Self::eval_with).
     pub fn eval_bound(
         &self,
         engine: &Engine,
         opts: EvalOptions,
         aliases: &[(&str, &str)],
     ) -> Result<AxmlResult, AxmlError> {
-        self.eval_bound_on(engine, opts, aliases, None)
+        self.eval_with(engine, opts, aliases, None)
     }
 
-    /// [`eval_bound`](Self::eval_bound) with an explicit pool for the
-    /// intra-query parallelism (`None` = the global pool). The batch
-    /// APIs pass their scheduling pool through here, so an entry's
-    /// `EvalOptions::parallel(n)` fans out on the same pool the batch
-    /// runs on — a tenant pinned to a dedicated pool never borrows
-    /// global workers. Servers with their own worker pool call this
-    /// directly so per-request parallelism stays on their pool.
+    /// [`eval_bound`](Self::eval_bound) with an explicit pool — kept
+    /// as a named alias of [`eval_with`](Self::eval_with) for callers
+    /// reading "bound + on pool" at the call site.
     pub fn eval_bound_on(
+        &self,
+        engine: &Engine,
+        opts: EvalOptions,
+        aliases: &[(&str, &str)],
+        pool: Option<&axml_pool::Pool>,
+    ) -> Result<AxmlResult, AxmlError> {
+        self.eval_with(engine, opts, aliases, pool)
+    }
+
+    /// The one evaluation path everything else wraps: evaluate with
+    /// aliases applied and intra-query parallelism scheduled on
+    /// `pool` (`None` = the global pool).
+    ///
+    /// Every limit in `opts` is armed here — the wall-clock deadline
+    /// and the [`EvalOptions::memory_budget`] (one fresh
+    /// [`NodeBudget`] counter per call, shared across every leg and
+    /// fixpoint round of the chosen route) — and every route reads its
+    /// documents through the same binding/projection step, so `eval`,
+    /// `eval_bound`, the batch APIs and the streaming API cannot
+    /// drift apart in behavior.
+    ///
+    /// The batch APIs pass their scheduling pool through here, so an
+    /// entry's `EvalOptions::parallel(n)` fans out on the same pool
+    /// the batch runs on — a tenant pinned to a dedicated pool never
+    /// borrows global workers. Servers with their own worker pool
+    /// call this directly so per-request parallelism stays on their
+    /// pool.
+    pub fn eval_with(
         &self,
         engine: &Engine,
         opts: EvalOptions,
@@ -164,75 +306,126 @@ impl PreparedQuery {
             };
             Some(&ctx_slot)
         };
+        let budget = opts.memory_budget.map(NodeBudget::new);
+        let limits = Limits {
+            deadline: opts.deadline,
+            budget: budget.as_ref(),
+        };
         match opts.mode {
             EvalMode::ProvenanceFirst => {
-                let sym = self.eval_poly(engine, opts, aliases, ctx)?;
-                Ok(match opts.semiring {
-                    SemiringKind::NatPoly => AxmlResult::NatPoly(sym),
-                    SemiringKind::Nat => specialize_result::<Nat>(&sym),
-                    SemiringKind::PosBool => specialize_result::<PosBool>(&sym),
-                    SemiringKind::Tropical => specialize_result::<Tropical>(&sym),
-                    SemiringKind::Why => specialize_result::<Why>(&sym),
-                    SemiringKind::Trio => specialize_result::<Trio>(&sym),
-                    SemiringKind::Prob => specialize_result::<Prob>(&sym),
-                })
+                let sym = self.value_in::<NatPoly>(engine, aliases, opts.route, ctx, limits)?;
+                if opts.semiring == SemiringKind::NatPoly {
+                    return Ok(AxmlResult::NatPoly(sym));
+                }
+                Ok(with_kind!(opts.semiring, S => {
+                    S::wrap_value(S::specialize_value(&sym))
+                }))
             }
-            EvalMode::InSemiring => match opts.semiring {
-                SemiringKind::NatPoly => self
-                    .eval_poly(engine, opts, aliases, ctx)
-                    .map(AxmlResult::NatPoly),
-                SemiringKind::Nat => self.eval_in::<Nat>(engine, opts, aliases, ctx),
-                SemiringKind::PosBool => self.eval_in::<PosBool>(engine, opts, aliases, ctx),
-                SemiringKind::Tropical => self.eval_in::<Tropical>(engine, opts, aliases, ctx),
-                SemiringKind::Why => self.eval_in::<Why>(engine, opts, aliases, ctx),
-                SemiringKind::Trio => self.eval_in::<Trio>(engine, opts, aliases, ctx),
-                SemiringKind::Prob => self.eval_in::<Prob>(engine, opts, aliases, ctx),
-            },
+            EvalMode::InSemiring => with_kind!(opts.semiring, S => {
+                self.value_in::<S>(engine, aliases, opts.route, ctx, limits)
+                    .map(S::wrap_value)
+            }),
         }
     }
 
-    /// Evaluate in ℕ\[X\] (no specialization on either side).
-    fn eval_poly(
-        &self,
-        engine: &Engine,
-        opts: EvalOptions,
-        aliases: &[(&str, &str)],
-        ctx: Option<&ExecCtx<'_>>,
-    ) -> Result<Value<NatPoly>, AxmlError> {
-        let inputs = self.bind_inputs(engine, aliases, |_, d| d.poly.clone())?;
-        eval_route(
-            &self.inner.poly,
-            &self.inner.path,
-            &inputs,
-            opts.route,
-            SemiringKind::NatPoly,
-            ctx,
-            opts.deadline,
-        )
+    /// Evaluate to a streaming cursor: top-level pieces of a
+    /// set-shaped result become available **as they are produced**,
+    /// before the evaluation has finished. See [`EvalCursor`] for the
+    /// consumption model.
+    ///
+    /// Collecting the cursor ([`EvalCursor::collect_result`]) gives a
+    /// result equal to [`eval`](Self::eval) with the same options —
+    /// same pieces, same document order, same errors — so streaming is
+    /// purely a latency choice. `InSemiring` evaluations on the
+    /// `Direct` and `ViaNrc` routes run on a detached producer thread
+    /// and emit incrementally (streamable root shapes emit each piece
+    /// the moment it is final; others materialize inside the producer
+    /// and then emit); the `Shredded` and `Differential` routes and
+    /// `ProvenanceFirst` mode — where a result is only meaningful
+    /// whole — materialize synchronously and cursor over the result.
+    ///
+    /// Binding errors (unknown documents, parse-stage leftovers)
+    /// surface synchronously from this call; evaluation errors —
+    /// including tripped deadlines and memory budgets — arrive
+    /// in-band as the cursor's final item.
+    pub fn eval_stream(&self, engine: &Engine, opts: EvalOptions) -> Result<EvalCursor, AxmlError> {
+        self.eval_stream_bound(engine, opts, &[])
     }
 
-    /// Evaluate natively in `S`, specializing (and caching) the
-    /// artifacts and documents on first use.
-    fn eval_in<S: KindDispatch>(
+    /// [`eval_stream`](Self::eval_stream) with query-variable →
+    /// document-name aliases (the streaming analogue of
+    /// [`eval_bound`](Self::eval_bound)).
+    pub fn eval_stream_bound(
         &self,
         engine: &Engine,
         opts: EvalOptions,
         aliases: &[(&str, &str)],
+    ) -> Result<EvalCursor, AxmlError> {
+        self.eval_stream_with(engine, opts, aliases, None)
+    }
+
+    /// [`eval_stream_bound`](Self::eval_stream_bound) with an explicit
+    /// scheduling pool for the *materializing* combinations (the
+    /// streaming analogue of [`eval_with`](Self::eval_with)). The
+    /// incremental combinations run on a detached producer thread that
+    /// cannot borrow a caller's pool, so they always schedule
+    /// intra-query parallelism on the global pool.
+    pub fn eval_stream_with(
+        &self,
+        engine: &Engine,
+        opts: EvalOptions,
+        aliases: &[(&str, &str)],
+        pool: Option<&axml_pool::Pool>,
+    ) -> Result<EvalCursor, AxmlError> {
+        // Piece-wise specialization is unsound for `ProvenanceFirst`
+        // (the homomorphism can merge previously-distinct trees), and
+        // the shredded/differential routes only have whole-result
+        // semantics, so those combinations materialize-then-cursor.
+        let incremental = opts.mode == EvalMode::InSemiring
+            && matches!(opts.route, Route::Direct | Route::ViaNrc);
+        if !incremental {
+            let out = self.eval_with(engine, opts, aliases, pool)?;
+            return Ok(EvalCursor::ready(out));
+        }
+        with_kind!(opts.semiring, S => self.stream_in::<S>(engine, opts, aliases))
+    }
+
+    /// Spawn the detached producer for an incremental stream in `S`.
+    fn stream_in<S: EvalKind>(
+        &self,
+        engine: &Engine,
+        opts: EvalOptions,
+        aliases: &[(&str, &str)],
+    ) -> Result<EvalCursor, AxmlError> {
+        // Bind before spawning: unknown-document errors stay
+        // synchronous (a server maps them to a status line *before*
+        // any body bytes).
+        let inputs = self.bind_inputs(engine, aliases, S::project_doc)?;
+        let me = self.clone();
+        let (tx, rx) = sync_channel(STREAM_BUFFER_PIECES);
+        let produced = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&produced);
+        std::thread::Builder::new()
+            .name("axml-eval-stream".into())
+            .spawn(move || produce::<S>(&me, opts, &inputs, &tx, &counter))
+            .expect("spawn streaming producer thread");
+        Ok(EvalCursor::live(rx, produced, opts.semiring))
+    }
+
+    /// Evaluate to a `Value` natively in `S`, resolving artifacts and
+    /// documents through the kind's [`EvalKind`] hooks (specialized
+    /// and cached on first use for every kind but ℕ\[X\] itself).
+    fn value_in<S: EvalKind>(
+        &self,
+        engine: &Engine,
+        aliases: &[(&str, &str)],
+        route: Route,
         ctx: Option<&ExecCtx<'_>>,
-    ) -> Result<AxmlResult, AxmlError> {
-        let arts =
-            S::artifact_cache(&self.inner.caches).get_or_init(|| self.inner.poly.specialize::<S>());
-        let inputs = self.bind_inputs(engine, aliases, |e, d| e.specialized::<S>(d))?;
-        eval_route(
-            arts,
-            &self.inner.path,
-            &inputs,
-            opts.route,
-            S::KIND,
-            ctx,
-            opts.deadline,
-        )
-        .map(S::wrap)
+        limits: Limits<'_>,
+    ) -> Result<Value<S>, AxmlError> {
+        let arts = S::artifacts(&self.inner);
+        let inputs = self.bind_inputs(engine, aliases, S::project_doc)?;
+        eval_route(arts, &self.inner.path, &inputs, route, S::KIND, ctx, limits)
     }
 
     /// Resolve every free variable to a document, applying aliases.
@@ -261,14 +454,99 @@ impl PreparedQuery {
 /// `(query variable, document)` bindings resolved for one evaluation.
 type BoundInputs<K> = Vec<(String, Arc<Forest<K>>)>;
 
+/// The armed per-call resource limits, threaded together through the
+/// routes: the wall-clock deadline (checked at route starts and
+/// fixpoint rounds) and the memory budget (charged at set-producing
+/// op boundaries). One `NodeBudget` counter serves the whole call —
+/// all differential legs, all fixpoint rounds — so the budget bounds
+/// the *evaluation*, not any single leg.
+#[derive(Clone, Copy)]
+struct Limits<'a> {
+    deadline: Option<Instant>,
+    budget: Option<&'a NodeBudget>,
+}
+
 /// A deadline check, placed at route starts (each differential leg is
 /// a route start) — fixpoint rounds check inside `axml-relational`.
 fn check_deadline(deadline: Option<Instant>) -> Result<(), AxmlError> {
     match deadline {
         Some(d) if Instant::now() >= d => Err(AxmlError::Budget {
+            resource: BudgetKind::WallClock,
             at: "route start".into(),
         }),
         _ => Ok(()),
+    }
+}
+
+/// The detached producer behind one [`EvalCursor`]: evaluate through
+/// the streaming plan entry points, pushing each final piece into the
+/// bounded channel. Runs on its own thread, so intra-query
+/// parallelism fans out on the **global** pool (a detached producer
+/// cannot borrow a caller's pool). Errors are sent in-band; a closed
+/// channel (the consumer dropped the cursor) just ends the thread.
+fn produce<S: EvalKind>(
+    me: &PreparedQuery,
+    opts: EvalOptions,
+    inputs: &BoundInputs<S>,
+    tx: &SyncSender<Result<StreamItem, AxmlError>>,
+    produced: &AtomicUsize,
+) {
+    let budget = opts.memory_budget.map(NodeBudget::new);
+    let ctx_slot;
+    let ctx: Option<&ExecCtx<'_>> = if opts.parallelism.is_sequential() {
+        None
+    } else {
+        ctx_slot = ExecCtx::global(opts.parallelism);
+        Some(&ctx_slot)
+    };
+    if let Err(e) = check_deadline(opts.deadline) {
+        let _ = tx.send(Err(e));
+        return;
+    }
+    let arts = S::artifacts(&me.inner);
+    let mut sink = ChannelSink::new(tx, produced, S::piece);
+    let outcome = match opts.route {
+        Route::Direct => {
+            let bound: Vec<(&str, Value<S>)> = inputs
+                .iter()
+                .map(|(n, f)| (n.as_str(), Value::Set((**f).clone())))
+                .collect();
+            arts.core_plan
+                .eval_stream_ctx(&bound, ctx, budget.as_ref(), &mut sink)
+                .map_err(stream_err)
+        }
+        Route::ViaNrc => {
+            let bound: Vec<(&str, &Forest<S>)> =
+                inputs.iter().map(|(n, f)| (n.as_str(), &**f)).collect();
+            arts.nrc_plan
+                .eval_stream_with_forests_ctx(&bound, ctx, budget.as_ref(), &mut sink)
+                .map_err(stream_err)
+        }
+        Route::Shredded | Route::Differential => {
+            unreachable!("non-incremental routes materialize in eval_stream_bound")
+        }
+    };
+    match outcome {
+        // A finished set: dropping `tx` closes the channel, which the
+        // cursor reads as end-of-stream.
+        Ok(Streamed::Set) => {}
+        Ok(Streamed::Scalar(v)) => {
+            let _ = tx.send(Ok(StreamItem::Scalar(S::wrap_value(v))));
+        }
+        // The consumer lost interest; nobody is listening.
+        Err(StreamError::Closed) => {}
+        Err(StreamError::Eval(e)) => {
+            let _ = tx.send(Err(e));
+        }
+    }
+}
+
+/// Map a plan-layer stream error into the facade error, preserving
+/// the closed-channel case.
+fn stream_err<E: Into<AxmlError>>(e: StreamError<E>) -> StreamError<AxmlError> {
+    match e {
+        StreamError::Eval(e) => StreamError::Eval(e.into()),
+        StreamError::Closed => StreamError::Closed,
     }
 }
 
@@ -287,13 +565,13 @@ fn eval_route<K: Semiring>(
     route: Route,
     kind: SemiringKind,
     ctx: Option<&ExecCtx<'_>>,
-    deadline: Option<Instant>,
+    limits: Limits<'_>,
 ) -> Result<Value<K>, AxmlError> {
-    check_deadline(deadline)?;
+    check_deadline(limits.deadline)?;
     match route {
-        Route::Direct => eval_direct(arts, inputs, ctx),
-        Route::ViaNrc => eval_nrc(arts, inputs, ctx),
-        Route::Shredded => eval_shredded(path, inputs, route, ctx, deadline),
+        Route::Direct => eval_direct(arts, inputs, ctx, limits),
+        Route::ViaNrc => eval_nrc(arts, inputs, ctx, limits),
+        Route::Shredded => eval_shredded(path, inputs, route, ctx, limits),
         Route::Differential => {
             // Up to five independent evaluation legs. With a
             // non-sequential context they run concurrently on the
@@ -307,19 +585,23 @@ fn eval_route<K: Semiring>(
                 Some(c) => {
                     let (mut l1, mut l2, mut l3, mut l4, mut l5): Legs<K> =
                         (None, None, None, None, None);
-                    let gate = || check_deadline(deadline);
+                    let gate = || check_deadline(limits.deadline);
                     c.pool.scope(|s| {
-                        s.spawn(|| l1 = Some(gate().and_then(|()| eval_direct(arts, inputs, ctx))));
+                        s.spawn(|| {
+                            l1 = Some(gate().and_then(|()| eval_direct(arts, inputs, ctx, limits)))
+                        });
                         s.spawn(|| {
                             l2 = Some(gate().and_then(|()| eval_direct_interpreted(arts, inputs)))
                         });
-                        s.spawn(|| l3 = Some(gate().and_then(|()| eval_nrc(arts, inputs, ctx))));
+                        s.spawn(|| {
+                            l3 = Some(gate().and_then(|()| eval_nrc(arts, inputs, ctx, limits)))
+                        });
                         s.spawn(|| {
                             l4 = Some(gate().and_then(|()| eval_nrc_interpreted(arts, inputs)))
                         });
                         if path.is_ok() {
                             s.spawn(|| {
-                                l5 = Some(eval_shredded(path, inputs, route, ctx, deadline))
+                                l5 = Some(eval_shredded(path, inputs, route, ctx, limits))
                             });
                         }
                     });
@@ -332,15 +614,15 @@ fn eval_route<K: Semiring>(
                     )
                 }
                 None => {
-                    let direct = eval_direct(arts, inputs, ctx)?;
-                    check_deadline(deadline)?;
+                    let direct = eval_direct(arts, inputs, ctx, limits)?;
+                    check_deadline(limits.deadline)?;
                     let direct_interp = eval_direct_interpreted(arts, inputs)?;
-                    check_deadline(deadline)?;
-                    let nrc = eval_nrc(arts, inputs, ctx)?;
-                    check_deadline(deadline)?;
+                    check_deadline(limits.deadline)?;
+                    let nrc = eval_nrc(arts, inputs, ctx, limits)?;
+                    check_deadline(limits.deadline)?;
                     let nrc_interp = eval_nrc_interpreted(arts, inputs)?;
                     let shredded = if path.is_ok() {
-                        Some(eval_shredded(path, inputs, route, ctx, deadline)?)
+                        Some(eval_shredded(path, inputs, route, ctx, limits)?)
                     } else {
                         None
                     };
@@ -423,6 +705,7 @@ fn eval_direct<K: Semiring>(
     arts: &Artifacts<K>,
     inputs: &[(String, Arc<Forest<K>>)],
     ctx: Option<&ExecCtx<'_>>,
+    limits: Limits<'_>,
 ) -> Result<Value<K>, AxmlError> {
     // The plan needs owned Values; this clone is shallow — a Forest is
     // a map over Arc'd trees, so only the top-level roots (usually
@@ -431,7 +714,7 @@ fn eval_direct<K: Semiring>(
         .iter()
         .map(|(n, f)| (n.as_str(), Value::Set((**f).clone())))
         .collect();
-    Ok(arts.core_plan.eval_ctx(&bound, ctx)?)
+    Ok(arts.core_plan.eval_ctx_limits(&bound, ctx, limits.budget)?)
 }
 
 /// The direct route's tree-walking interpreter — the differential
@@ -454,9 +737,12 @@ fn eval_nrc<K: Semiring>(
     arts: &Artifacts<K>,
     inputs: &[(String, Arc<Forest<K>>)],
     ctx: Option<&ExecCtx<'_>>,
+    limits: Limits<'_>,
 ) -> Result<Value<K>, AxmlError> {
     let bound: Vec<(&str, &Forest<K>)> = inputs.iter().map(|(n, f)| (n.as_str(), &**f)).collect();
-    let out = arts.nrc_plan.eval_with_forests_ctx(&bound, ctx)?;
+    let out = arts
+        .nrc_plan
+        .eval_with_forests_limits_ctx(&bound, ctx, limits.budget)?;
     out.to_uxml().ok_or_else(|| AxmlError::Nrc {
         msg: "query produced a non-UXML complex value".into(),
         at: arts.nrc.to_string(),
@@ -486,9 +772,9 @@ fn eval_shredded<K: Semiring>(
     inputs: &[(String, Arc<Forest<K>>)],
     route: Route,
     ctx: Option<&ExecCtx<'_>>,
-    deadline: Option<Instant>,
+    limits: Limits<'_>,
 ) -> Result<Value<K>, AxmlError> {
-    check_deadline(deadline)?;
+    check_deadline(limits.deadline)?;
     let (var, p) = match path {
         Ok(x) => x,
         Err(why) => {
@@ -504,7 +790,13 @@ fn eval_shredded<K: Semiring>(
             available: inputs.iter().map(|(n, _)| n.clone()).collect(),
         });
     };
-    let out = axml_relational::eval_path_via_shredding_deadline_ctx(forest, p, ctx, deadline)?;
+    let out = axml_relational::eval_path_via_shredding_limits_ctx(
+        forest,
+        p,
+        ctx,
+        limits.deadline,
+        limits.budget,
+    )?;
     Ok(Value::Set(out))
 }
 
@@ -569,11 +861,6 @@ fn free_vars<K: Semiring>(e: &SurfaceExpr<K>) -> Vec<String> {
     let mut out = BTreeSet::new();
     walk(e, &mut Vec::new(), &mut out);
     out.into_iter().collect()
-}
-
-/// Push a symbolic result through the canonical homomorphism into `S`.
-fn specialize_result<S: KindDispatch>(sym: &Value<NatPoly>) -> AxmlResult {
-    S::wrap(map_value(&FnHom::new(S::from_poly), sym))
 }
 
 #[cfg(test)]

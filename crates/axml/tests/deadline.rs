@@ -37,7 +37,8 @@ fn an_expired_deadline_is_a_budget_error_on_every_route() {
                 .parallelism(par)
                 .deadline(Instant::now());
             match q.eval(&engine, opts) {
-                Err(AxmlError::Budget { at }) => {
+                Err(AxmlError::Budget { resource, at }) => {
+                    assert_eq!(resource, axml::BudgetKind::WallClock);
                     assert!(!at.is_empty(), "budget error should name its boundary")
                 }
                 other => panic!("{route:?}: expected Budget, got {other:?}"),

@@ -1,0 +1,231 @@
+//! Streaming cursor contract tests.
+//!
+//! 1. **Parity** (property): for every query × semiring × route ×
+//!    mode × parallelism combination, collecting
+//!    `PreparedQuery::eval_stream_bound` must equal `eval_bound` —
+//!    same values (structural and rendered), same errors — so
+//!    streaming is purely a latency choice.
+//! 2. **Byte identity**: the streamed pieces, rendered one at a time
+//!    through `axml::json`, concatenate to exactly the one-shot
+//!    `result_json` bytes in all 7 semirings.
+//! 3. **Laziness** (deterministic, no timing): on a streamable root
+//!    shape, after pulling one piece the producer has emitted at most
+//!    buffer + 1 pieces — the evaluation provably has not run ahead
+//!    to completion.
+//! 4. **Memory budgets**: a tripped `EvalOptions::memory_budget`
+//!    surfaces as typed `AxmlError::Budget { resource: Memory }` on
+//!    every route, materialized and streamed, never a panic and never
+//!    a truncated-but-`Ok` result.
+
+use axml::json::{result_header, result_json};
+use axml::{
+    AxmlError, BudgetKind, Engine, EvalCursor, EvalOptions, PreparedQuery, Route, SemiringKind,
+    StreamItem, STREAM_BUFFER_PIECES,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const QUERY_POOL: [&str; 5] = [
+    "$S/*",                // streamable: child step over a single root
+    "$S/*/*",              // materialize-then-emit chain
+    "element p { $S//c }", // scalar result (element constructor)
+    "($S//d, $S/b)",       // union root: materialize-then-emit
+    "$MISSING/b",          // document never loaded: always errors
+];
+
+const ROUTES: [Route; 4] = [
+    Route::Direct,
+    Route::ViaNrc,
+    Route::Shredded,
+    Route::Differential,
+];
+
+struct Fixture {
+    engine: Engine,
+    prepared: Vec<PreparedQuery>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let engine = Engine::new();
+        engine
+            .load_document(
+                "S",
+                "<a {z}> <b {x1}> d {y1} c </b> <c {x2}> d {y2} e {y3} </c> </a>",
+            )
+            .unwrap();
+        let prepared = QUERY_POOL
+            .iter()
+            .map(|src| engine.prepare(src).unwrap())
+            .collect();
+        Fixture { engine, prepared }
+    })
+}
+
+fn rendered(r: &Result<axml::AxmlResult, AxmlError>) -> String {
+    match r {
+        Ok(v) => format!("Ok: {v}"),
+        Err(e) => format!("Err: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Collected stream ≡ materialized eval, across everything.
+    #[test]
+    fn stream_collects_to_the_materialized_result(
+        qi in 0..QUERY_POOL.len(),
+        ki in 0..SemiringKind::ALL.len(),
+        ri in 0..ROUTES.len(),
+        pf in 0..2usize,
+        par in 0..2usize,
+    ) {
+        let fix = fixture();
+        let q = &fix.prepared[qi];
+        let mut opts = EvalOptions::new()
+            .semiring(SemiringKind::ALL[ki])
+            .route(ROUTES[ri]);
+        if pf == 1 {
+            opts = opts.provenance_first();
+        }
+        if par == 1 {
+            opts = opts.parallel(4);
+        }
+        let materialized = q.eval(&fix.engine, opts);
+        let streamed = q
+            .eval_stream(&fix.engine, opts)
+            .and_then(EvalCursor::collect_result);
+        prop_assert_eq!(rendered(&materialized), rendered(&streamed));
+        if let (Ok(m), Ok(s)) = (&materialized, &streamed) {
+            prop_assert_eq!(m, s);
+        }
+    }
+}
+
+/// Acceptance: streamed pieces render to byte-identical JSON in all 7
+/// semirings, on both incremental routes.
+#[test]
+fn streamed_json_is_byte_identical_to_one_shot() {
+    let fix = fixture();
+    for src in ["$S/*", "$S/*/*"] {
+        let q = fix.engine.prepare(src).unwrap();
+        for kind in SemiringKind::ALL {
+            for route in [Route::Direct, Route::ViaNrc] {
+                let opts = EvalOptions::new().semiring(kind).route(route);
+                let whole = result_json(src, &opts, &q.eval(&fix.engine, opts).unwrap());
+
+                let mut streamed = result_header(src, &opts);
+                streamed.push('[');
+                let mut first = true;
+                for item in q.eval_stream(&fix.engine, opts).unwrap() {
+                    match item.unwrap() {
+                        StreamItem::Piece(p) => {
+                            if !first {
+                                streamed.push(',');
+                            }
+                            first = false;
+                            streamed.push_str(&p.json());
+                        }
+                        StreamItem::Scalar(_) => unreachable!("set-shaped query"),
+                    }
+                }
+                streamed.push_str("]}");
+                assert_eq!(whole, streamed, "{kind} {route:?} {src}");
+            }
+        }
+    }
+}
+
+/// Deterministic laziness: pulling one piece of a 500-piece streamable
+/// result leaves the producer at most one buffer ahead — it provably
+/// has not materialized the whole result. No sleeps, no timing: the
+/// bounded channel *is* the synchronization.
+#[test]
+fn streaming_is_lazy_on_streamable_shapes() {
+    let engine = Engine::new();
+    // Distinct labels: identical trees would merge into one K-set
+    // piece and defeat the point of the test.
+    let body: String = (0..500).map(|i| format!("b{i} {{x{i}}} ")).collect();
+    engine
+        .load_document("S", &format!("<a> {body} </a>"))
+        .unwrap();
+    let q = engine.prepare("$S/*").unwrap();
+    for route in [Route::Direct, Route::ViaNrc] {
+        let mut cursor = q
+            .eval_stream(&engine, EvalOptions::new().route(route))
+            .unwrap();
+        let first = cursor.next().expect("500 pieces").unwrap();
+        assert!(matches!(first, StreamItem::Piece(_)));
+        // The producer can be at most: buffer (in channel) + 1 (the
+        // piece we pulled) + 1 (blocked mid-send) pieces in.
+        let produced = cursor.produced_so_far();
+        assert!(
+            produced <= STREAM_BUFFER_PIECES + 2,
+            "{route:?}: producer ran {produced} pieces ahead (buffer is {STREAM_BUFFER_PIECES})"
+        );
+        // Dropping the cursor mid-stream cancels cleanly (the producer
+        // sees a closed channel at its next emission).
+        drop(cursor);
+    }
+}
+
+/// A tripped memory budget is a typed error on every route and mode —
+/// and with a generous budget the result is identical to no budget.
+#[test]
+fn tripped_budgets_surface_as_typed_errors() {
+    let fix = fixture();
+    let q = fix.engine.prepare("$S/*/*").unwrap();
+    for route in ROUTES {
+        for pf in [false, true] {
+            let mut opts = EvalOptions::new().semiring(SemiringKind::Nat).route(route);
+            if pf {
+                opts = opts.provenance_first();
+            }
+            match q.eval(&fix.engine, opts.memory_budget(1)) {
+                Err(AxmlError::Budget { resource, at }) => {
+                    assert_eq!(resource, BudgetKind::Memory, "{route:?} pf={pf}");
+                    assert!(!at.is_empty(), "budget error should name its boundary");
+                }
+                other => panic!("{route:?} pf={pf}: expected Budget, got {other:?}"),
+            }
+            let unlimited = q.eval(&fix.engine, opts).unwrap();
+            let generous = q.eval(&fix.engine, opts.memory_budget(1 << 20)).unwrap();
+            assert_eq!(unlimited, generous, "{route:?} pf={pf}");
+        }
+    }
+}
+
+/// Streamed evaluations trip the same way: pieces, then an in-band
+/// `Budget` error, then exhaustion — never a truncated-but-OK stream.
+#[test]
+fn streamed_budget_trips_end_the_stream_with_a_typed_error() {
+    let engine = Engine::new();
+    let body: String = (0..100).map(|i| format!("b{i} {{x{i}}} ")).collect();
+    engine
+        .load_document("S", &format!("<a> {body} </a>"))
+        .unwrap();
+    let q = engine.prepare("$S/*").unwrap();
+    for route in [Route::Direct, Route::ViaNrc] {
+        let opts = EvalOptions::new().route(route).memory_budget(10);
+        let items: Vec<_> = q.eval_stream(&engine, opts).unwrap().collect();
+        let (last, pieces) = items.split_last().expect("at least the error");
+        assert!(
+            pieces.iter().all(|i| matches!(i, Ok(StreamItem::Piece(_)))),
+            "{route:?}: only pieces may precede the error"
+        );
+        match last {
+            Err(AxmlError::Budget { resource, .. }) => {
+                assert_eq!(*resource, BudgetKind::Memory, "{route:?}")
+            }
+            other => panic!("{route:?}: expected in-band Budget, got {other:?}"),
+        }
+        // And collecting reports the same trip as an error, not a
+        // truncated Ok.
+        assert!(matches!(
+            q.eval_stream(&engine, opts).unwrap().collect_result(),
+            Err(AxmlError::Budget { .. })
+        ));
+    }
+}

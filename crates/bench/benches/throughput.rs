@@ -120,6 +120,45 @@ fn throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// The streaming cursor against one-shot materialization, on a wide
+/// result (512 distinct top-level pieces, `Nat`, direct route):
+/// `collect` is the full-drain cost of `eval_stream` (its overhead
+/// over `materialized` is the channel + producer-thread tax), and
+/// `first_piece` is the latency win the cursor exists for — time until
+/// the first `(tree, annotation)` pair is in hand, dropping the cursor
+/// (and cancelling the producer) immediately after.
+fn eval_stream(c: &mut Criterion) {
+    let engine = Engine::new();
+    // Distinct labels: identical trees would merge into one K-set piece.
+    let body: String = (0..512).map(|i| format!("b{i} {{x{i}}} ")).collect();
+    engine
+        .load_document("W", &format!("<a> {body} </a>"))
+        .expect("loads the wide document");
+    let q = engine.prepare("$W/*").expect("prepares");
+    let opts = EvalOptions::new().semiring(SemiringKind::Nat);
+    q.eval(&engine, opts).expect("warms the caches");
+
+    let mut g = c.benchmark_group("eval_stream");
+    g.bench_function("wide512/materialized", |b| {
+        b.iter(|| q.eval(&engine, opts).expect("evaluates"))
+    });
+    g.bench_function("wide512/collect", |b| {
+        b.iter(|| {
+            q.eval_stream(&engine, opts)
+                .expect("streams")
+                .collect_result()
+                .expect("collects")
+        })
+    });
+    g.bench_function("wide512/first_piece", |b| {
+        b.iter(|| {
+            let mut cursor = q.eval_stream(&engine, opts).expect("streams");
+            cursor.next().expect("a wide result has pieces").expect("ok")
+        })
+    });
+    g.finish();
+}
+
 /// The HTTP front end's loopback round trip: one keep-alive
 /// connection issuing `POST /eval?handle=…` for the Fig 1 query, each
 /// request timed individually so tail latency is visible. Unlike the
@@ -193,6 +232,108 @@ fn server_loopback(c: &mut Criterion) {
     criterion::record("server/loopback_eval/p99", p99, p99, p99, p99, samples);
 }
 
+/// Time-to-first-chunk against time-to-last-byte on a wide streamed
+/// result (400 distinct pieces): the gap between
+/// `server/first_byte_latency/first_chunk` and `…/last_byte` is the
+/// wall-clock the streaming `/eval` endpoint hands back to the client
+/// — the first piece is on the wire while the evaluation is still
+/// producing the rest. Hand-measured per request like
+/// [`server_loopback`]; `server/*` records are exempt from median
+/// normalization in the regression gate.
+fn server_first_byte(c: &mut Criterion) {
+    let _ = c; // measured by hand: split timestamps inside one response
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    if let Some(filter) = args.iter().rfind(|a| !a.starts_with("--")) {
+        if !"server/first_byte_latency".contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    let engine = Arc::new(Engine::new());
+    let body: String = (0..400).map(|i| format!("b{i} {{x{i}}} ")).collect();
+    engine
+        .load_document("W", &format!("<a> {body} </a>"))
+        .expect("loads the wide document");
+    let mut server = axml_server::start(axml_server::ServerConfig::default(), engine)
+        .expect("loopback server starts");
+
+    let mut conn = std::net::TcpStream::connect(server.addr()).expect("connects");
+    conn.set_nodelay(true).expect("nodelay");
+    let head = "POST /eval?semiring=nat HTTP/1.1\r\nContent-Length: 4\r\n\r\n";
+    let (warmup, samples) = if test_mode { (1, 1) } else { (20, 200) };
+    for _ in 0..warmup {
+        roundtrip_timed(&mut conn, head, b"$W/*");
+    }
+    let mut firsts: Vec<f64> = Vec::with_capacity(samples);
+    let mut lasts: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let (first_ns, last_ns) = roundtrip_timed(&mut conn, head, b"$W/*");
+        assert!(first_ns <= last_ns);
+        firsts.push(first_ns);
+        lasts.push(last_ns);
+    }
+    server.shutdown();
+
+    for (name, mut ns) in [("first_chunk", firsts), ("last_byte", lasts)] {
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        let p50 = ns[(ns.len() - 1) / 2];
+        let (min, max) = (ns[0], ns[ns.len() - 1]);
+        criterion::record(
+            &format!("server/first_byte_latency/{name}"),
+            mean,
+            p50,
+            min,
+            max,
+            samples,
+        );
+    }
+}
+
+/// Like [`roundtrip`], but returns `(time to the end of the first data
+/// chunk, time to the last body byte)` in nanoseconds, both measured
+/// from the moment the request is fully written.
+fn roundtrip_timed(conn: &mut std::net::TcpStream, head: &str, body: &[u8]) -> (f64, f64) {
+    conn.write_all(head.as_bytes())
+        .expect("writes request head");
+    conn.write_all(body).expect("writes request body");
+    let t = Instant::now();
+    let mut buf = Vec::new();
+    let mut one = [0u8; 1];
+    while !buf.ends_with(b"\r\n\r\n") {
+        assert_eq!(conn.read(&mut one).expect("reads head"), 1, "EOF in head");
+        buf.push(one[0]);
+    }
+    let head_text = String::from_utf8_lossy(&buf);
+    assert!(head_text.starts_with("HTTP/1.1 200"), "{head_text}");
+    assert!(
+        head_text
+            .to_ascii_lowercase()
+            .contains("transfer-encoding: chunked"),
+        "streamed eval responses are chunked"
+    );
+    let mut first_chunk_ns: Option<f64> = None;
+    loop {
+        let mut line = Vec::new();
+        while !line.ends_with(b"\r\n") {
+            assert_eq!(conn.read(&mut one).expect("reads size"), 1, "EOF in chunk");
+            line.push(one[0]);
+        }
+        let size_txt = String::from_utf8_lossy(&line);
+        let size = usize::from_str_radix(size_txt.trim(), 16).expect("chunk size");
+        let mut chunk = vec![0u8; size + 2]; // data + CRLF
+        conn.read_exact(&mut chunk).expect("reads chunk");
+        if size == 0 {
+            let last_ns = t.elapsed().as_nanos() as f64;
+            return (first_chunk_ns.expect("at least one data chunk"), last_ns);
+        }
+        if first_chunk_ns.is_none() {
+            first_chunk_ns = Some(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
 /// Write one request, read one complete response (de-chunked when the
 /// server streams), return the body bytes.
 fn roundtrip(conn: &mut std::net::TcpStream, head: &str, body: &[u8]) -> Vec<u8> {
@@ -241,5 +382,5 @@ fn roundtrip(conn: &mut std::net::TcpStream, head: &str, body: &[u8]) -> Vec<u8>
     out
 }
 
-criterion_group!(benches, throughput, server_loopback);
+criterion_group!(benches, throughput, eval_stream, server_loopback, server_first_byte);
 criterion_main!(benches);

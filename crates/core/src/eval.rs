@@ -22,6 +22,23 @@ pub struct EvalError {
     pub msg: String,
     /// Rendering of the query where it occurred.
     pub at: String,
+    /// `true` when the error is the caller's resource budget tripping
+    /// (a [`axml_uxml::NodeBudget`] passed to the compiled plan), not
+    /// an evaluation failure — the facade maps it to its typed budget
+    /// error.
+    pub budget: bool,
+}
+
+impl EvalError {
+    /// A memory-budget trip observed at the op boundary rendered by
+    /// `at`.
+    pub fn budget(at: impl Into<String>) -> Self {
+        EvalError {
+            msg: "memory budget exceeded".into(),
+            at: at.into(),
+            budget: true,
+        }
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -40,6 +57,7 @@ fn err<T, K: Semiring>(q: &Query<K>, msg: impl Into<String>) -> Result<T, EvalEr
     Err(EvalError {
         msg: msg.into(),
         at: q.to_string(),
+        budget: false,
     })
 }
 

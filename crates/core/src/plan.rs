@@ -17,11 +17,11 @@
 //! interpreted evaluation are property-tested to agree, including on
 //! ill-shaped bindings where both must error with the same message.
 
-use crate::ast::{Query, QueryNode, Step};
+use crate::ast::{Axis, NodeTest, Query, QueryNode, Step};
 use crate::eval::{eval_step_ctx, EvalError};
 use axml_nrc::compile::SlotScope;
 use axml_semiring::Semiring;
-use axml_uxml::{Forest, Label, Tree, Value};
+use axml_uxml::{Forest, Label, NodeBudget, ResultSink, StreamError, Streamed, Tree, Value};
 use std::fmt;
 
 /// A reusable execution plan for one elaborated core query. Build
@@ -106,6 +106,105 @@ impl<K: Semiring> CompiledQuery<K> {
         inputs: &[(&str, Value<K>)],
         ctx: Option<&axml_pool::ExecCtx<'_>>,
     ) -> Result<Value<K>, EvalError> {
+        self.eval_ctx_limits(inputs, ctx, None)
+    }
+
+    /// [`CompiledQuery::eval_ctx`] with an optional memory budget:
+    /// every set-producing plan op (`for` iterations, unions, path
+    /// steps, element contents) charges its output's logical node
+    /// count, and exceeding the budget errors with
+    /// [`EvalError::budget`] at the next op boundary. `None` charges
+    /// nothing.
+    pub fn eval_ctx_limits(
+        &self,
+        inputs: &[(&str, Value<K>)],
+        ctx: Option<&axml_pool::ExecCtx<'_>>,
+        budget: Option<&NodeBudget>,
+    ) -> Result<Value<K>, EvalError> {
+        let x = Exec { ctx, budget };
+        let mut env = self.seed_env(inputs);
+        eval_qop(&self.op, &mut env, &x)
+    }
+
+    /// Evaluate with pieces of a set-shaped top-level result pushed
+    /// into `sink` **as they are produced**, in final document order.
+    ///
+    /// Root shapes whose per-piece finality is provable stream
+    /// incrementally — a self-axis filter over any set, or a child
+    /// step over a single root tree (the `$S/*` / `$S/entry` paging
+    /// shapes: one tree's children are distinct and already
+    /// document-sorted, so each filtered, scaled child is final the
+    /// moment it is scanned). Every other root shape evaluates to the
+    /// full K-set first and then emits its pieces — the sink sees
+    /// identical pieces in identical order either way (differentially
+    /// tested), only the latency differs. Scalar results (a bare
+    /// label, a top-level element constructor) bypass the sink and
+    /// come back whole as [`Streamed::Scalar`].
+    pub fn eval_stream_ctx(
+        &self,
+        inputs: &[(&str, Value<K>)],
+        ctx: Option<&axml_pool::ExecCtx<'_>>,
+        budget: Option<&NodeBudget>,
+        sink: &mut dyn ResultSink<K>,
+    ) -> Result<Streamed<K>, StreamError<EvalError>> {
+        let x = Exec { ctx, budget };
+        let mut env = self.seed_env(inputs);
+        let eval = StreamError::Eval;
+        match &self.op {
+            QOp::Path(inner, step) if step.axis == Axis::SelfAxis => {
+                // `self::t` keeps a subset of the input set with
+                // annotations untouched: scanning the input in
+                // document order emits exactly the materialized
+                // result's `iter_document` sequence.
+                let f = eval_qset(inner, &mut env, &x).map_err(eval)?;
+                for (t, k) in f.iter_document() {
+                    if test_matches(step.test, t.label()) {
+                        emit(&x, &self.op, sink, t, k)?;
+                    }
+                }
+                Ok(Streamed::Set)
+            }
+            QOp::Path(inner, step) if step.axis == Axis::Child => {
+                let f = eval_qset(inner, &mut env, &x).map_err(eval)?;
+                if f.len() == 1 {
+                    // One root tree: its children are a K-set (so
+                    // distinct) and `children_document` is sorted by
+                    // the same comparator `iter_document` uses, so
+                    // each filtered, scaled child is final as soon as
+                    // it is scanned (`k.times` matches the
+                    // `extend_scaled` convention of the materialized
+                    // step kernel; zero products are pruned exactly
+                    // like a K-set insert would).
+                    let (t, k) = f.iter().next().expect("len checked");
+                    for (c, kc) in t.children_document() {
+                        if !test_matches(step.test, c.label()) {
+                            continue;
+                        }
+                        let ann = k.times(kc);
+                        if ann.is_zero() {
+                            continue;
+                        }
+                        emit(&x, &self.op, sink, c, &ann)?;
+                    }
+                    Ok(Streamed::Set)
+                } else {
+                    // Children of different roots can interleave and
+                    // merge; materialize, then emit.
+                    let out = eval_step_ctx(&f, *step, x.ctx);
+                    emit_forest(&x, &self.op, sink, &out)
+                }
+            }
+            op => {
+                let v = eval_qop(op, &mut env, &x).map_err(eval)?;
+                match v {
+                    Value::Set(f) => emit_forest(&x, op, sink, &f),
+                    scalar => Ok(Streamed::Scalar(scalar)),
+                }
+            }
+        }
+    }
+
+    fn seed_env(&self, inputs: &[(&str, Value<K>)]) -> Vec<SlotVal<K>> {
         let mut env: Vec<SlotVal<K>> = Vec::with_capacity(self.max_slots);
         for name in &self.free {
             env.push(match inputs.iter().find(|(n, _)| *n == name) {
@@ -113,8 +212,44 @@ impl<K: Semiring> CompiledQuery<K> {
                 None => SlotVal::Unbound(name.clone()),
             });
         }
-        eval_qop(&self.op, &mut env, ctx)
+        env
     }
+}
+
+/// Does a node test accept this label?
+fn test_matches(test: NodeTest, l: Label) -> bool {
+    match test {
+        NodeTest::Wildcard => true,
+        NodeTest::Label(want) => l == want,
+    }
+}
+
+/// Push one piece, charging its node count against the budget first
+/// (a streamed piece is "produced" the moment it is emitted).
+fn emit<K: Semiring>(
+    x: &Exec<'_>,
+    op: &QOp<K>,
+    sink: &mut dyn ResultSink<K>,
+    t: &Tree<K>,
+    k: &K,
+) -> Result<(), StreamError<EvalError>> {
+    charge(x, t.size(), op).map_err(StreamError::Eval)?;
+    sink.piece(t, k)?;
+    Ok(())
+}
+
+/// Emit a materialized forest piece by piece, in document order.
+fn emit_forest<K: Semiring>(
+    x: &Exec<'_>,
+    op: &QOp<K>,
+    sink: &mut dyn ResultSink<K>,
+    f: &Forest<K>,
+) -> Result<Streamed<K>, StreamError<EvalError>> {
+    for (t, k) in f.iter_document() {
+        charge(x, t.size(), op).map_err(StreamError::Eval)?;
+        sink.piece(t, k)?;
+    }
+    Ok(Streamed::Set)
 }
 
 /// One frame slot: a value, or — for a free variable the caller did
@@ -230,13 +365,31 @@ fn err<T, K: Semiring>(op: &QOp<K>, msg: impl Into<String>) -> Result<T, EvalErr
     Err(EvalError {
         msg: msg.into(),
         at: op.to_string(),
+        budget: false,
     })
+}
+
+/// Per-call execution state threaded through every plan op: the
+/// optional pool context and the optional memory budget.
+#[derive(Clone, Copy)]
+struct Exec<'a> {
+    ctx: Option<&'a axml_pool::ExecCtx<'a>>,
+    budget: Option<&'a NodeBudget>,
+}
+
+/// Charge `nodes` against the budget (no-op without one); a trip
+/// becomes [`EvalError::budget`] naming the op that observed it.
+fn charge<K: Semiring>(x: &Exec<'_>, nodes: usize, op: &QOp<K>) -> Result<(), EvalError> {
+    match x.budget {
+        Some(b) if b.charge(nodes).is_err() => Err(EvalError::budget(op.to_string())),
+        _ => Ok(()),
+    }
 }
 
 fn eval_qop<K: Semiring>(
     op: &QOp<K>,
     env: &mut Vec<SlotVal<K>>,
-    ctx: Option<&axml_pool::ExecCtx<'_>>,
+    x: &Exec<'_>,
 ) -> Result<Value<K>, EvalError> {
     match op {
         QOp::LabelLit(l) => Ok(Value::Label(*l)),
@@ -246,7 +399,7 @@ fn eval_qop<K: Semiring>(
         },
         QOp::Empty => Ok(Value::Set(Forest::new())),
         QOp::Singleton(inner) => {
-            let v = eval_qop(inner, env, ctx)?;
+            let v = eval_qop(inner, env, x)?;
             match v {
                 Value::Tree(t) => Ok(Value::Set(Forest::unit(t))),
                 Value::Label(l) => Ok(Value::Set(Forest::unit(Tree::leaf(l)))),
@@ -254,71 +407,77 @@ fn eval_qop<K: Semiring>(
             }
         }
         QOp::Union(a, b) => {
-            let mut va = eval_qset(a, env, ctx)?;
-            let vb = eval_qset(b, env, ctx)?;
+            let mut va = eval_qset(a, env, x)?;
+            let vb = eval_qset(b, env, x)?;
             va.union_with(vb);
+            charge(x, va.size(), op)?;
             Ok(Value::Set(va))
         }
         QOp::For { source, body } => {
-            let src = eval_qset(source, env, ctx)?;
-            if let Some(c) = ctx.filter(|c| !c.is_sequential()) {
+            let src = eval_qset(source, env, x)?;
+            if let Some(c) = x.ctx.filter(|c| !c.is_sequential()) {
                 if src.len() >= PAR_FOR_MIN_BINDERS {
-                    return par_for(&src, body, env, c);
+                    return par_for(&src, body, env, c, x.budget);
                 }
             }
             let mut out = Forest::new();
             for (t, k) in src.iter() {
                 env.push(SlotVal::Bound(Value::Tree(t.clone())));
-                let inner = eval_qset(body, env, ctx);
+                let inner = eval_qset(body, env, x);
                 env.pop();
-                out.extend_scaled(inner?, k);
+                let f = inner?;
+                charge(x, f.size(), op)?;
+                out.extend_scaled(f, k);
             }
             Ok(Value::Set(out))
         }
         QOp::Let { def, body } => {
-            let vd = eval_qop(def, env, ctx)?;
+            let vd = eval_qop(def, env, x)?;
             env.push(SlotVal::Bound(vd));
-            let out = eval_qop(body, env, ctx);
+            let out = eval_qop(body, env, x);
             env.pop();
             out
         }
         QOp::If { l, r, then, els } => {
-            let vl = eval_qop(l, env, ctx)?;
-            let vr = eval_qop(r, env, ctx)?;
+            let vl = eval_qop(l, env, x)?;
+            let vr = eval_qop(r, env, x)?;
             match (vl.as_label(), vr.as_label()) {
                 (Some(a), Some(b)) => {
                     if a == b {
-                        eval_qop(then, env, ctx)
+                        eval_qop(then, env, x)
                     } else {
-                        eval_qop(els, env, ctx)
+                        eval_qop(els, env, x)
                     }
                 }
                 _ => err(op, "if compares non-labels"),
             }
         }
         QOp::Element { name, content } => {
-            let vn = eval_qop(name, env, ctx)?;
+            let vn = eval_qop(name, env, x)?;
             let Some(l) = vn.as_label() else {
                 return err(op, "element name is not a label");
             };
-            let vc = eval_qset(content, env, ctx)?;
+            let vc = eval_qset(content, env, x)?;
+            charge(x, vc.size() + 1, op)?;
             Ok(Value::Tree(Tree::new(l, vc)))
         }
         QOp::Name(inner) => {
-            let v = eval_qop(inner, env, ctx)?;
+            let v = eval_qop(inner, env, x)?;
             match v.as_tree() {
                 Some(t) => Ok(Value::Label(t.label())),
                 None => err(op, "name() of a non-tree"),
             }
         }
         QOp::Annot(k, inner) => {
-            let mut f = eval_qset(inner, env, ctx)?;
+            let mut f = eval_qset(inner, env, x)?;
             f.scalar_mul_in_place(k);
             Ok(Value::Set(f))
         }
         QOp::Path(inner, step) => {
-            let f = eval_qset(inner, env, ctx)?;
-            Ok(Value::Set(eval_step_ctx(&f, *step, ctx)))
+            let f = eval_qset(inner, env, x)?;
+            let out = eval_step_ctx(&f, *step, x.ctx);
+            charge(x, out.size(), op)?;
+            Ok(Value::Set(out))
         }
     }
 }
@@ -346,19 +505,26 @@ fn par_for<K: Semiring>(
     body: &QOp<K>,
     env: &mut [SlotVal<K>],
     c: &axml_pool::ExecCtx<'_>,
+    budget: Option<&NodeBudget>,
 ) -> Result<Value<K>, EvalError> {
     let items: Vec<(Tree<K>, K)> = src.iter().map(|(t, k)| (t.clone(), k.clone())).collect();
     let target = 2 * c.degree();
     let frame: &[SlotVal<K>] = env;
     let chunk_results: Vec<Result<Forest<K>, EvalError>> =
         c.pool.map_chunks(&items, target, |chunk| {
+            // `NodeBudget` is shared atomics, so parallel chunks all
+            // charge the caller's counter; ties in who observes the
+            // trip are fine (any chunk's trip fails the whole loop).
+            let x = Exec { ctx: None, budget };
             let mut local_env = frame.to_vec();
             let mut out = Forest::new();
             for (t, k) in chunk {
                 local_env.push(SlotVal::Bound(Value::Tree(t.clone())));
-                let inner = eval_qset(body, &mut local_env, None);
+                let inner = eval_qset(body, &mut local_env, &x);
                 local_env.pop();
-                out.extend_scaled(inner?, k);
+                let f = inner?;
+                charge(&x, f.size(), body)?;
+                out.extend_scaled(f, k);
             }
             Ok(out)
         });
@@ -374,9 +540,9 @@ fn par_for<K: Semiring>(
 fn eval_qset<K: Semiring>(
     op: &QOp<K>,
     env: &mut Vec<SlotVal<K>>,
-    ctx: Option<&axml_pool::ExecCtx<'_>>,
+    x: &Exec<'_>,
 ) -> Result<Forest<K>, EvalError> {
-    match eval_qop(op, env, ctx)? {
+    match eval_qop(op, env, x)? {
         Value::Set(f) => Ok(f),
         other => err(op, format!("expected a set, got {other}")),
     }

@@ -35,7 +35,10 @@ use crate::eval::EvalError;
 use crate::expr::{Expr, Name};
 use crate::value::CValue;
 use axml_semiring::{KSet, Semiring};
-use axml_uxml::{weighted_descendant_closure, Forest, Label, Tree};
+use axml_uxml::{
+    weighted_descendant_closure, Forest, Label, NodeBudget, ResultSink, StreamError, Streamed,
+    Tree,
+};
 use std::fmt;
 
 /// Below this many document nodes a descendant sweep stays
@@ -169,22 +172,165 @@ impl<K: Semiring> CompiledExpr<K> {
         inputs: &[(&str, &Forest<K>)],
         ctx: Option<&axml_pool::ExecCtx<'_>>,
     ) -> Result<CValue<K>, EvalError> {
-        self.eval_seeded(
-            |name| {
-                inputs
-                    .iter()
-                    .find(|(n, _)| *n == name)
-                    .map(|(_, f)| CValue::from_forest(f))
+        self.eval_with_forests_limits_ctx(inputs, ctx, None)
+    }
+
+    /// [`CompiledExpr::eval_with_forests_ctx`] with an optional memory
+    /// budget: every set-producing op charges its output's logical
+    /// node count, and exceeding the budget errors with
+    /// [`EvalError::budget`] at the next op boundary. `None` charges
+    /// nothing.
+    pub fn eval_with_forests_limits_ctx(
+        &self,
+        inputs: &[(&str, &Forest<K>)],
+        ctx: Option<&axml_pool::ExecCtx<'_>>,
+        budget: Option<&axml_uxml::NodeBudget>,
+    ) -> Result<CValue<K>, EvalError> {
+        let x = Exec { ctx, budget };
+        let mut env = self.seed_env(|name| {
+            inputs
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, f)| CValue::from_forest(f))
+        });
+        eval_op(&self.op, &mut env, &x)
+    }
+
+    /// Evaluate with pieces of a set-shaped top-level result pushed
+    /// into `sink` **as they are produced**, in final document order.
+    ///
+    /// Root plan shapes whose per-piece finality is provable stream
+    /// incrementally — a bare input slot, a fused `filter-label` (a
+    /// subset of its source with annotations untouched), or a fused
+    /// `kids-flat` over a single root tree (one tree's children are
+    /// distinct and pre-sorted; each scaled child is final the moment
+    /// it is scanned). Every other root shape materializes and then
+    /// emits — the sink sees identical pieces in identical order
+    /// either way. Non-set results come back whole as
+    /// [`Streamed::Scalar`].
+    pub fn eval_stream_with_forests_ctx(
+        &self,
+        inputs: &[(&str, &Forest<K>)],
+        ctx: Option<&axml_pool::ExecCtx<'_>>,
+        budget: Option<&axml_uxml::NodeBudget>,
+        sink: &mut dyn ResultSink<K>,
+    ) -> Result<Streamed<K>, StreamError<EvalError>> {
+        let x = Exec { ctx, budget };
+        let mut env = self.seed_env(|name| {
+            inputs
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, f)| CValue::from_forest(f))
+        });
+        let eval = StreamError::Eval;
+        match &self.op {
+            Op::Slot(i) => match &env[*i as usize] {
+                SlotVal::Bound(CValue::Set(s)) => emit_cset(&x, &self.op, sink, s),
+                SlotVal::Bound(v) => match v.to_uxml() {
+                    Some(scalar) => Ok(Streamed::Scalar(scalar)),
+                    None => err(&self.op, "top-level result is not a K-UXML value").map_err(eval),
+                },
+                SlotVal::Unbound(name) => {
+                    err(&self.op, format!("unbound variable `{name}`")).map_err(eval)
+                }
             },
-            ctx,
-        )
+            Op::FilterLabel { source, label } => {
+                let vs = eval_op(source, &mut env, &x).map_err(eval)?;
+                let CValue::Set(s) = vs else {
+                    return err(&self.op, format!("big-union source is not a set: {vs:?}"))
+                        .map_err(eval);
+                };
+                // A filter keeps a subset of its source with
+                // annotations untouched: sorting the source once by
+                // the document comparator and scanning emits exactly
+                // the materialized result's order.
+                let mut pairs: Vec<(&Tree<K>, &K)> = Vec::new();
+                for (v, k) in s.iter() {
+                    match v {
+                        CValue::Tree(t) => pairs.push((t, k)),
+                        other => {
+                            return err(&self.op, format!("tag of non-tree {other:?}"))
+                                .map_err(eval)
+                        }
+                    }
+                }
+                pairs.sort_by(|(a, _), (b, _)| a.cmp_document(b));
+                for (t, k) in pairs {
+                    if t.label() == *label {
+                        emit(&x, &self.op, sink, t, k)?;
+                    }
+                }
+                Ok(Streamed::Set)
+            }
+            Op::KidsFlat(source) => {
+                let vs = eval_op(source, &mut env, &x).map_err(eval)?;
+                let CValue::Set(s) = vs else {
+                    return err(&self.op, format!("big-union source is not a set: {vs:?}"))
+                        .map_err(eval);
+                };
+                if s.support_len() == 1 {
+                    // One root tree: its children are a K-set (so
+                    // distinct) and `children_document` is pre-sorted
+                    // by the document comparator, so each scaled
+                    // child is final as soon as it is scanned (zero
+                    // products are pruned exactly like a K-set insert
+                    // would).
+                    let (v, k) = s.iter().next().expect("support checked");
+                    let CValue::Tree(t) = v else {
+                        return err(&self.op, format!("kids of non-tree {v:?}")).map_err(eval);
+                    };
+                    for (c, kc) in t.children_document() {
+                        let ann = k.times(kc);
+                        if ann.is_zero() {
+                            continue;
+                        }
+                        emit(&x, &self.op, sink, c, &ann)?;
+                    }
+                    Ok(Streamed::Set)
+                } else {
+                    // Children of different roots can interleave and
+                    // merge; materialize, then emit.
+                    let mut out: KSet<CValue<K>, K> = KSet::new();
+                    for (v, k) in s.iter() {
+                        match v {
+                            CValue::Tree(t) => {
+                                for (c, kc) in t.children().iter() {
+                                    out.insert(CValue::Tree(c.clone()), k.times(kc));
+                                }
+                            }
+                            other => {
+                                return err(&self.op, format!("kids of non-tree {other:?}"))
+                                    .map_err(eval)
+                            }
+                        }
+                    }
+                    emit_cset(&x, &self.op, sink, &out)
+                }
+            }
+            op => {
+                let v = eval_op(op, &mut env, &x).map_err(eval)?;
+                match v {
+                    CValue::Set(s) => emit_cset(&x, op, sink, &s),
+                    scalar => match scalar.to_uxml() {
+                        Some(scalar) => Ok(Streamed::Scalar(scalar)),
+                        None => err(op, "top-level result is not a K-UXML value").map_err(eval),
+                    },
+                }
+            }
+        }
     }
 
     fn eval_seeded(
         &self,
-        mut get: impl FnMut(&str) -> Option<CValue<K>>,
+        get: impl FnMut(&str) -> Option<CValue<K>>,
         ctx: Option<&axml_pool::ExecCtx<'_>>,
     ) -> Result<CValue<K>, EvalError> {
+        let x = Exec { ctx, budget: None };
+        let mut env = self.seed_env(get);
+        eval_op(&self.op, &mut env, &x)
+    }
+
+    fn seed_env(&self, mut get: impl FnMut(&str) -> Option<CValue<K>>) -> Vec<SlotVal<K>> {
         let mut env: Vec<SlotVal<K>> = Vec::with_capacity(self.max_slots);
         for name in &self.free {
             // A missing input is *not* an immediate error: like the
@@ -195,7 +341,7 @@ impl<K: Semiring> CompiledExpr<K> {
                 None => SlotVal::Unbound(name.clone()),
             });
         }
-        eval_op(&self.op, &mut env, ctx)
+        env
     }
 
     /// A compact rendering of the plan (slots print as `_i`), mainly
@@ -481,13 +627,87 @@ fn err<T, K: Semiring>(op: &Op<K>, msg: impl Into<String>) -> Result<T, EvalErro
     Err(EvalError {
         msg: msg.into(),
         at: op.to_string(),
+        budget: false,
     })
+}
+
+/// Per-call execution state threaded through every plan op: the
+/// optional pool context and the optional memory budget.
+#[derive(Clone, Copy)]
+struct Exec<'a> {
+    ctx: Option<&'a axml_pool::ExecCtx<'a>>,
+    budget: Option<&'a NodeBudget>,
+}
+
+/// Charge `nodes` against the budget (no-op without one); a trip
+/// becomes [`EvalError::budget`] naming the op that observed it.
+fn charge<K: Semiring>(x: &Exec<'_>, nodes: usize, op: &Op<K>) -> Result<(), EvalError> {
+    match x.budget {
+        Some(b) if b.charge(nodes).is_err() => Err(EvalError::budget(op.to_string())),
+        _ => Ok(()),
+    }
+}
+
+/// The logical node count of a complex value — trees by `Tree::size`
+/// (the unit the budget is denominated in), labels as one node, pairs
+/// and sets as the sum over their parts.
+fn cvalue_nodes<K: Semiring>(v: &CValue<K>) -> usize {
+    match v {
+        CValue::Label(_) => 1,
+        CValue::Tree(t) => t.size(),
+        CValue::Pair(a, b) => cvalue_nodes(a).saturating_add(cvalue_nodes(b)),
+        CValue::Set(s) => set_nodes(s),
+    }
+}
+
+fn set_nodes<K: Semiring>(s: &KSet<CValue<K>, K>) -> usize {
+    s.iter().fold(0usize, |n, (v, _)| n.saturating_add(cvalue_nodes(v)))
+}
+
+/// Push one piece, charging its node count against the budget first
+/// (a streamed piece is "produced" the moment it is emitted).
+fn emit<K: Semiring>(
+    x: &Exec<'_>,
+    op: &Op<K>,
+    sink: &mut dyn ResultSink<K>,
+    t: &Tree<K>,
+    k: &K,
+) -> Result<(), StreamError<EvalError>> {
+    charge(x, t.size(), op).map_err(StreamError::Eval)?;
+    sink.piece(t, k)?;
+    Ok(())
+}
+
+/// Emit a materialized K-set of trees piece by piece, in document
+/// order (the same comparator `Forest::iter_document` sorts by;
+/// distinct trees never tie, so the order is total).
+fn emit_cset<K: Semiring>(
+    x: &Exec<'_>,
+    op: &Op<K>,
+    sink: &mut dyn ResultSink<K>,
+    s: &KSet<CValue<K>, K>,
+) -> Result<Streamed<K>, StreamError<EvalError>> {
+    let mut pairs: Vec<(&Tree<K>, &K)> = Vec::with_capacity(s.support_len());
+    for (v, k) in s.iter() {
+        match v {
+            CValue::Tree(t) => pairs.push((t, k)),
+            other => {
+                return err(op, format!("top-level set element is not a tree: {other:?}"))
+                    .map_err(StreamError::Eval)
+            }
+        }
+    }
+    pairs.sort_by(|(a, _), (b, _)| a.cmp_document(b));
+    for (t, k) in pairs {
+        emit(x, op, sink, t, k)?;
+    }
+    Ok(Streamed::Set)
 }
 
 fn eval_op<K: Semiring>(
     op: &Op<K>,
     env: &mut Vec<SlotVal<K>>,
-    ctx: Option<&axml_pool::ExecCtx<'_>>,
+    x: &Exec<'_>,
 ) -> Result<CValue<K>, EvalError> {
     match op {
         Op::Label(l) => Ok(CValue::Label(*l)),
@@ -496,67 +716,71 @@ fn eval_op<K: Semiring>(
             SlotVal::Unbound(name) => err(op, format!("unbound variable `{name}`")),
         },
         Op::Let { def, body } => {
-            let vd = eval_op(def, env, ctx)?;
+            let vd = eval_op(def, env, x)?;
             env.push(SlotVal::Bound(vd));
-            let out = eval_op(body, env, ctx);
+            let out = eval_op(body, env, x);
             env.pop();
             out
         }
         Op::Pair(a, b) => {
-            let va = eval_op(a, env, ctx)?;
-            let vb = eval_op(b, env, ctx)?;
+            let va = eval_op(a, env, x)?;
+            let vb = eval_op(b, env, x)?;
             Ok(CValue::pair(va, vb))
         }
-        Op::Proj1(inner) => match eval_op(inner, env, ctx)? {
+        Op::Proj1(inner) => match eval_op(inner, env, x)? {
             CValue::Pair(a, _) => Ok((*a).clone()),
             other => err(op, format!("π1 of non-pair {other:?}")),
         },
-        Op::Proj2(inner) => match eval_op(inner, env, ctx)? {
+        Op::Proj2(inner) => match eval_op(inner, env, x)? {
             CValue::Pair(_, b) => Ok((*b).clone()),
             other => err(op, format!("π2 of non-pair {other:?}")),
         },
         Op::Empty => Ok(CValue::empty_set()),
         Op::Singleton(inner) => {
-            let v = eval_op(inner, env, ctx)?;
+            let v = eval_op(inner, env, x)?;
             Ok(CValue::singleton(v))
         }
         Op::Union(a, b) => {
-            let va = eval_op(a, env, ctx)?;
-            let vb = eval_op(b, env, ctx)?;
+            let va = eval_op(a, env, x)?;
+            let vb = eval_op(b, env, x)?;
             match (va, vb) {
                 (CValue::Set(mut sa), CValue::Set(sb)) => {
                     sa.union_with(sb);
+                    charge(x, set_nodes(&sa), op)?;
                     Ok(CValue::Set(sa))
                 }
                 (va, vb) => err(op, format!("∪ of non-sets {va:?}, {vb:?}")),
             }
         }
         Op::BigUnion { source, body } => {
-            let vs = eval_op(source, env, ctx)?;
+            let vs = eval_op(source, env, x)?;
             let CValue::Set(s) = vs else {
                 return err(op, format!("big-union source is not a set: {vs:?}"));
             };
             let mut out: KSet<CValue<K>, K> = KSet::new();
             for (v, k) in s.iter() {
                 env.push(SlotVal::Bound(v.clone()));
-                let inner = eval_op(body, env, ctx);
+                let inner = eval_op(body, env, x);
                 env.pop();
                 match inner? {
-                    CValue::Set(si) => out.extend_scaled(si, k),
+                    CValue::Set(si) => {
+                        charge(x, set_nodes(&si), op)?;
+                        out.extend_scaled(si, k)
+                    }
                     other => return err(op, format!("big-union body is not a set: {other:?}")),
                 }
             }
             Ok(CValue::Set(out))
         }
         Op::IfEq { l, r, then, els } => {
-            let vl = eval_op(l, env, ctx)?;
-            let vr = eval_op(r, env, ctx)?;
+            let vl = eval_op(l, env, x)?;
+            let vr = eval_op(r, env, x)?;
             match (vl, vr) {
                 (CValue::Label(a), CValue::Label(b)) => {
                     if a == b {
-                        eval_op(then, env, ctx)
+                        eval_op(then, env, x)
                     } else {
-                        eval_op(els, env, ctx)
+                        eval_op(els, env, x)
                     }
                 }
                 (vl, vr) => err(
@@ -565,7 +789,7 @@ fn eval_op<K: Semiring>(
                 ),
             }
         }
-        Op::Scalar { k, body } => match eval_op(body, env, ctx)? {
+        Op::Scalar { k, body } => match eval_op(body, env, x)? {
             CValue::Set(mut s) => {
                 s.scalar_mul_in_place(k);
                 Ok(CValue::Set(s))
@@ -573,33 +797,34 @@ fn eval_op<K: Semiring>(
             other => err(op, format!("scalar annotation on non-set {other:?}")),
         },
         Op::Tree(lab, children) => {
-            let vl = eval_op(lab, env, ctx)?;
-            let vc = eval_op(children, env, ctx)?;
+            let vl = eval_op(lab, env, x)?;
+            let vc = eval_op(children, env, x)?;
             let Some(l) = vl.as_label() else {
                 return err(op, format!("Tree label is not a label: {vl:?}"));
             };
             let Some(forest) = vc.to_forest() else {
                 return err(op, format!("Tree children are not a set of trees: {vc:?}"));
             };
+            charge(x, forest.size() + 1, op)?;
             Ok(CValue::Tree(Tree::new(l, forest)))
         }
-        Op::Tag(inner) => match eval_op(inner, env, ctx)? {
+        Op::Tag(inner) => match eval_op(inner, env, x)? {
             CValue::Tree(t) => Ok(CValue::Label(t.label())),
             other => err(op, format!("tag of non-tree {other:?}")),
         },
-        Op::Kids(inner) => match eval_op(inner, env, ctx)? {
+        Op::Kids(inner) => match eval_op(inner, env, x)? {
             CValue::Tree(t) => Ok(CValue::from_forest(t.children())),
             other => err(op, format!("kids of non-tree {other:?}")),
         },
         Op::Srt { body, target } => {
-            let vt = eval_op(target, env, ctx)?;
+            let vt = eval_op(target, env, x)?;
             let CValue::Tree(t) = vt else {
                 return err(op, format!("srt target is not a tree: {vt:?}"));
             };
-            eval_srt_iterative(body, &t, env, ctx)
+            eval_srt_iterative(body, &t, env, x)
         }
         Op::FilterLabel { source, label } => {
-            let vs = eval_op(source, env, ctx)?;
+            let vs = eval_op(source, env, x)?;
             let CValue::Set(s) = vs else {
                 return err(op, format!("big-union source is not a set: {vs:?}"));
             };
@@ -614,10 +839,11 @@ fn eval_op<K: Semiring>(
                     other => return err(op, format!("tag of non-tree {other:?}")),
                 }
             }
+            charge(x, set_nodes(&out), op)?;
             Ok(CValue::Set(out))
         }
         Op::KidsFlat(source) => {
-            let vs = eval_op(source, env, ctx)?;
+            let vs = eval_op(source, env, x)?;
             let CValue::Set(s) = vs else {
                 return err(op, format!("big-union source is not a set: {vs:?}"));
             };
@@ -638,10 +864,11 @@ fn eval_op<K: Semiring>(
                     other => return err(op, format!("kids of non-tree {other:?}")),
                 }
             }
+            charge(x, set_nodes(&out), op)?;
             Ok(CValue::Set(out))
         }
         Op::Descendants(target) => {
-            let vt = eval_op(target, env, ctx)?;
+            let vt = eval_op(target, env, x)?;
             let CValue::Tree(t) = vt else {
                 return err(op, format!("srt target is not a tree: {vt:?}"));
             };
@@ -654,7 +881,7 @@ fn eval_op<K: Semiring>(
             // enough document the sweep is chunked over top-level
             // subtrees and merged in place — same multiset, same
             // result.
-            if let Some(c) = ctx.filter(|c| !c.is_sequential()) {
+            if let Some(c) = x.ctx.filter(|c| !c.is_sequential()) {
                 if t.size() >= PAR_SWEEP_MIN_NODES {
                     let target_chunks = 2 * c.degree();
                     let (emitted, seeds) = t.descendant_split(K::one(), target_chunks);
@@ -672,14 +899,17 @@ fn eval_op<K: Semiring>(
                     }
                     partials.push(base);
                     let merged = axml_semiring::par_union_all(c.pool, c.par, partials);
+                    charge(x, set_nodes(&merged), op)?;
                     return Ok(CValue::Set(merged));
                 }
             }
-            Ok(CValue::Set(KSet::from_distinct_pairs(
+            let out = KSet::from_distinct_pairs(
                 weighted_descendant_closure([(t, K::one())])
                     .into_iter()
                     .map(|(node, k)| (CValue::Tree(node), k)),
-            )))
+            );
+            charge(x, set_nodes(&out), op)?;
+            Ok(CValue::Set(out))
         }
     }
 }
@@ -693,7 +923,7 @@ fn eval_srt_iterative<K: Semiring>(
     body: &Op<K>,
     t: &Tree<K>,
     env: &mut Vec<SlotVal<K>>,
-    ctx: Option<&axml_pool::ExecCtx<'_>>,
+    x: &Exec<'_>,
 ) -> Result<CValue<K>, EvalError> {
     struct Frame<'t, K: Semiring> {
         tree: &'t Tree<K>,
@@ -724,7 +954,7 @@ fn eval_srt_iterative<K: Semiring>(
         let done = stack.pop().expect("just observed");
         env.push(SlotVal::Bound(CValue::Label(done.tree.label())));
         env.push(SlotVal::Bound(CValue::Set(done.acc)));
-        let out = eval_op(body, env, ctx);
+        let out = eval_op(body, env, x);
         env.pop();
         env.pop();
         let out = out?;

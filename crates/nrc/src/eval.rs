@@ -107,6 +107,23 @@ pub struct EvalError {
     pub msg: String,
     /// Rendering of the subexpression where it occurred.
     pub at: String,
+    /// `true` when the error is the caller's resource budget tripping
+    /// (a [`axml_uxml::NodeBudget`] passed to the compiled plan), not
+    /// an evaluation failure — the facade maps it to its typed budget
+    /// error.
+    pub budget: bool,
+}
+
+impl EvalError {
+    /// A memory-budget trip observed at the op boundary rendered by
+    /// `at`.
+    pub fn budget(at: impl Into<String>) -> Self {
+        EvalError {
+            msg: "memory budget exceeded".into(),
+            at: at.into(),
+            budget: true,
+        }
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -121,6 +138,7 @@ fn err<T, K: Semiring>(e: &Expr<K>, msg: impl Into<String>) -> Result<T, EvalErr
     Err(EvalError {
         msg: msg.into(),
         at: e.to_string(),
+        budget: false,
     })
 }
 

@@ -178,11 +178,15 @@ impl fmt::Display for Program {
 pub struct DatalogError {
     /// Description.
     pub msg: String,
-    /// `true` when the error is the caller's wall-clock budget
+    /// `true` when the error is a caller-imposed resource limit
     /// tripping at a fixpoint round boundary (see
-    /// [`eval_datalog_idb_deadline_ctx`]), not a Datalog-level
+    /// [`eval_datalog_idb_limits_ctx`]), not a Datalog-level
     /// failure — the facade maps it to its typed budget error.
     pub budget: bool,
+    /// For budget errors, `true` when the limit was the memory budget
+    /// rather than the wall-clock deadline (the facade maps the two
+    /// to different resource kinds).
+    pub memory: bool,
 }
 
 impl DatalogError {
@@ -191,6 +195,7 @@ impl DatalogError {
         DatalogError {
             msg: msg.into(),
             budget: false,
+            memory: false,
         }
     }
 
@@ -199,6 +204,16 @@ impl DatalogError {
         DatalogError {
             msg: "wall-clock deadline exceeded during the fixpoint".into(),
             budget: true,
+            memory: false,
+        }
+    }
+
+    /// A memory budget trip.
+    pub fn memory() -> Self {
+        DatalogError {
+            msg: "memory budget exceeded during the fixpoint".into(),
+            budget: true,
+            memory: true,
         }
     }
 }
@@ -727,6 +742,23 @@ pub fn eval_datalog_idb_deadline_ctx<K: Semiring>(
     ctx: Option<&axml_pool::ExecCtx<'_>>,
     deadline: Option<std::time::Instant>,
 ) -> Result<BTreeMap<String, KRelation<K>>, DatalogError> {
+    eval_datalog_idb_limits_ctx(prog, edb, max_iters, ctx, deadline, None)
+}
+
+/// [`eval_datalog_idb_deadline_ctx`] with an optional memory budget
+/// charged at the end of every semi-naive round with the round's
+/// delta (one unit per derived tuple — the relational analog of a
+/// logical tree node). A trip aborts the fixpoint with
+/// [`DatalogError::memory`]; like the deadline, the granularity of
+/// abandonment is one round.
+pub fn eval_datalog_idb_limits_ctx<K: Semiring>(
+    prog: &Program,
+    edb: &Database<K>,
+    max_iters: usize,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+    deadline: Option<std::time::Instant>,
+    budget: Option<&axml_uxml::NodeBudget>,
+) -> Result<BTreeMap<String, KRelation<K>>, DatalogError> {
     let compiled = compile(prog, edb)?;
     let n_idb = compiled.idb_names.len();
     // One schema per predicate for the whole run (Schema is Arc-shared;
@@ -866,6 +898,12 @@ pub fn eval_datalog_idb_deadline_ctx<K: Semiring>(
                         next_delta[head].union_with(rel);
                     }
                 }
+            }
+        }
+        if let Some(b) = budget {
+            let derived: usize = next_delta.iter().map(|d| d.len()).sum();
+            if b.charge(derived).is_err() {
+                return Err(DatalogError::memory());
             }
         }
         let changed = next_delta.iter().any(|d| !d.is_empty());

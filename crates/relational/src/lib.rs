@@ -80,7 +80,8 @@ pub use krel::{KRelation, RelIndex, RelValue, Schema, Tuple};
 pub use ra::{eval_ra, Database, RaExpr};
 pub use shred::{
     decode, eval_path_via_shredding, eval_path_via_shredding_ctx,
-    eval_path_via_shredding_deadline_ctx, eval_steps_via_shredding, garbage_collect,
-    path_to_datalog, shred, shredded_eval, shredded_eval_path, shredded_eval_path_ctx,
-    shredded_eval_path_deadline_ctx, xpath_to_datalog,
+    eval_path_via_shredding_deadline_ctx, eval_path_via_shredding_limits_ctx,
+    eval_steps_via_shredding, garbage_collect, path_to_datalog, shred, shredded_eval,
+    shredded_eval_path, shredded_eval_path_ctx, shredded_eval_path_deadline_ctx,
+    shredded_eval_path_limits_ctx, xpath_to_datalog,
 };

@@ -322,15 +322,29 @@ pub fn shredded_eval_path_deadline_ctx<K: Semiring>(
     ctx: Option<&axml_pool::ExecCtx<'_>>,
     deadline: Option<std::time::Instant>,
 ) -> Result<KRelation<K>, DatalogError> {
+    shredded_eval_path_limits_ctx(forest, p, ctx, deadline, None)
+}
+
+/// [`shredded_eval_path_deadline_ctx`] with an optional memory budget
+/// charged per semi-naive round with the round's derived tuples (see
+/// [`crate::datalog::eval_datalog_idb_limits_ctx`]).
+pub fn shredded_eval_path_limits_ctx<K: Semiring>(
+    forest: &Forest<K>,
+    p: &PathQuery,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+    deadline: Option<std::time::Instant>,
+    budget: Option<&axml_uxml::NodeBudget>,
+) -> Result<KRelation<K>, DatalogError> {
     let e = shred(forest);
     let db = Database::new().with("E", e);
     let prog = path_to_datalog(p);
-    let mut idb = crate::datalog::eval_datalog_idb_deadline_ctx(
+    let mut idb = crate::datalog::eval_datalog_idb_limits_ctx(
         &prog,
         &db,
         crate::datalog::DEFAULT_MAX_ITERS,
         ctx,
         deadline,
+        budget,
     )?;
     Ok(idb
         .remove("E2")
@@ -450,7 +464,19 @@ pub fn eval_path_via_shredding_deadline_ctx<K: Semiring>(
     ctx: Option<&axml_pool::ExecCtx<'_>>,
     deadline: Option<std::time::Instant>,
 ) -> Result<Forest<K>, DatalogError> {
-    let raw = shredded_eval_path_deadline_ctx(forest, p, ctx, deadline)?;
+    eval_path_via_shredding_limits_ctx(forest, p, ctx, deadline, None)
+}
+
+/// [`eval_path_via_shredding_deadline_ctx`] with an optional memory
+/// budget charged per fixpoint round (one unit per derived tuple).
+pub fn eval_path_via_shredding_limits_ctx<K: Semiring>(
+    forest: &Forest<K>,
+    p: &PathQuery,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+    deadline: Option<std::time::Instant>,
+    budget: Option<&axml_uxml::NodeBudget>,
+) -> Result<Forest<K>, DatalogError> {
+    let raw = shredded_eval_path_limits_ctx(forest, p, ctx, deadline, budget)?;
     let clean = garbage_collect(&raw);
     decode(&clean).ok_or_else(|| DatalogError::new("shredded result is not forest-shaped"))
 }

@@ -18,8 +18,9 @@
 //!                                                                   ▼
 //!                    /prepare ─▶ QueryRegistry (compile once, stable handle,
 //!                    │                          LRU-bounded at max_prepared)
-//!                    /eval ────▶ PreparedQuery::eval_bound_on(engine, pool)
-//!                                   │ results stream as chunked JSON
+//!                    /eval ────▶ PreparedQuery::eval_stream_with(engine, pool)
+//!                                   │ pieces flush as chunked JSON while
+//!                                   │ the evaluation is still running
 //!                                   ▼
 //!                    /documents  load / list / remove on the shared Engine
 //! ```
@@ -36,11 +37,18 @@
 //! | `POST /prepare`          | query text      | `{"handle":"q…","free_vars":[…],"shreddable":…}` |
 //! | `POST /eval`             | query text *or* `?handle=` | the [`axml::json::result_json`] shape, streamed |
 //!
-//! `POST /eval` takes `semiring`, `route`, `mode`, `parallelism` and
-//! `deadline_ms` as query parameters; its body is byte-identical to
-//! the CLI's `axml query --format json` output for the same options.
-//! Errors are structured JSON (`{"error":{"kind":…,"message":…}}`)
-//! with parse errors carrying `line`/`column`/`line_text`.
+//! `POST /eval` takes `semiring`, `route`, `mode`, `parallelism`,
+//! `deadline_ms`, `memory_budget` (an evaluation-memory cap in nodes;
+//! tripping it is a `507` before output, a truncated chunked body
+//! after), `limit` and `offset` (window the top-level piece stream;
+//! the windowed body is a byte-literal slice of the unlimited one) as
+//! query parameters; its body is byte-identical to the CLI's
+//! `axml query --format json` output for the same options, and on the
+//! incremental route/mode combinations the first chunk is written
+//! before the evaluation has finished. Errors are structured JSON
+//! (`{"error":{"kind":…,"message":…}}`) with parse errors carrying
+//! `line`/`column`/`line_text`; a tripped wall-clock deadline is a
+//! `504`, a tripped memory budget a `507`.
 //!
 //! ## Memory under document churn
 //!

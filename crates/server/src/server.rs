@@ -24,16 +24,25 @@
 //!   cannot leak admission capacity.
 //! - **Streaming results.** A successful `/eval` streams the exact
 //!   bytes of [`axml::json::result_json`] as a chunked body, one chunk
-//!   per `(tree, annotation)` pair — the first results reach the
-//!   client while later ones are still being written.
+//!   per `(tree, annotation)` pair, pulled from a
+//!   [`PreparedQuery::eval_stream_with`] cursor: on the incremental
+//!   combinations (`InSemiring` × direct/via-NRC) the first chunk is
+//!   on the wire while the evaluation is still producing later
+//!   pieces. `limit`/`offset` window the piece stream server-side
+//!   (the body is a literal prefix/slice of the unlimited bytes), and
+//!   `memory_budget` caps evaluation memory per request. Errors that
+//!   precede the first output byte — including tripped budgets — get
+//!   clean status lines (504 wall-clock, 507 memory); an error after
+//!   the 200 is out aborts the chunked body without a terminal chunk,
+//!   so clients see a truncated transfer, never a short-but-valid one.
 //! - **Graceful shutdown.** [`ServerHandle::shutdown`] flips a flag
 //!   and nudges the accept loop; the pool scope then drains: requests
 //!   already in flight complete, idle keep-alive connections notice
 //!   the flag at their next read-timeout poll and close.
 
 use crate::http::{read_request, write_response, ChunkedWriter, Limits, ReadOutcome, Request};
-use axml::json::{result_header, result_pieces, Json, ResultPieces};
-use axml::{AxmlError, Engine, EvalOptions, PreparedQuery, QueryRegistry};
+use axml::json::{result_header, result_value_json, Json};
+use axml::{AxmlError, BudgetKind, Engine, EvalOptions, PreparedQuery, QueryRegistry, StreamItem};
 use axml_pool::Pool;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -555,6 +564,8 @@ fn eval_endpoint<W: Write>(
         o
     });
     parse_param!("parallelism", |o: EvalOptions, v: usize| o.parallel(v));
+    parse_param!("memory_budget", |o: EvalOptions, v: usize| o
+        .memory_budget(v));
     let deadline_ms = match req.query_param("deadline_ms") {
         Some(v) => match v.parse::<u64>() {
             Ok(ms) => Some(ms),
@@ -565,49 +576,144 @@ fn eval_endpoint<W: Write>(
     if let Some(ms) = deadline_ms {
         opts = opts.timeout(Duration::from_millis(ms));
     }
+    let mut window = (0usize, None::<usize>); // (offset, limit) over set pieces
+    if let Some(v) = req.query_param("offset") {
+        match v.parse::<usize>() {
+            Ok(n) => window.0 = n,
+            Err(e) => return bad_request(w, &format!("bad offset: {e}"), keep_alive),
+        }
+    }
+    if let Some(v) = req.query_param("limit") {
+        match v.parse::<usize>() {
+            Ok(n) => window.1 = Some(n),
+            Err(e) => return bad_request(w, &format!("bad limit: {e}"), keep_alive),
+        }
+    }
+    let (offset, limit) = window;
 
-    // Evaluate fully *before* the status line goes out, so an error
-    // still gets a clean status code; streaming then spends its time
-    // on writing, which is the part worth overlapping with the
-    // client's reads.
-    match prepared.eval_bound_on(state.engine, opts, &[], Some(state.pool)) {
-        Ok(out) => {
-            let header = result_header(prepared.source(), &opts);
-            if req.http11 {
-                let mut cw = ChunkedWriter::begin(w, 200, "OK", "application/json", keep_alive)?;
-                cw.chunk(header.as_bytes())?;
-                match result_pieces(&out) {
-                    ResultPieces::Set(items) => {
-                        cw.chunk(b"[")?;
-                        for (i, item) in items.iter().enumerate() {
-                            if i > 0 {
-                                cw.chunk(b",")?;
-                            }
-                            cw.chunk(item.as_bytes())?;
-                        }
-                        cw.chunk(b"]")?;
-                    }
-                    ResultPieces::Scalar(s) => cw.chunk(s.as_bytes())?,
+    // Evaluation is pulled through a cursor: binding errors (unknown
+    // documents, bad options) surface from `eval_stream_bound` itself
+    // and the first cursor item is pulled *before* the status line, so
+    // every error that can precede output gets a clean status code. On
+    // the incremental routes the first piece arrives while the rest of
+    // the evaluation is still running — that is the first-byte win.
+    let mut cursor = match prepared.eval_stream_with(state.engine, opts, &[], Some(state.pool)) {
+        Ok(c) => c,
+        Err(e) => return axml_error(w, &e, keep_alive),
+    };
+
+    // Skip `offset` pieces, then take the first piece of the window.
+    // Any in-band error met while skipping — deadline, memory budget,
+    // evaluation failure — still precedes all output, so it too gets a
+    // clean status line.
+    enum First {
+        Empty,
+        Scalar(axml::AxmlResult),
+        Piece(axml::ResultPiece),
+    }
+    let mut skipped = 0usize;
+    let first = loop {
+        match cursor.next() {
+            None => break First::Empty,
+            Some(Err(e)) => return axml_error(w, &e, keep_alive),
+            Some(Ok(StreamItem::Scalar(out))) => break First::Scalar(out),
+            Some(Ok(StreamItem::Piece(p))) => {
+                // `limit`/`offset` window *set pieces*; scalars pass
+                // through untouched.
+                if limit == Some(0) {
+                    break First::Empty;
                 }
-                cw.chunk(b"}\n")?;
-                cw.finish()
-            } else {
-                // HTTP/1.0 has no chunked encoding: send it whole.
-                let mut body = axml::json::result_json(prepared.source(), &opts, &out);
-                body.push('\n');
-                write_response(
-                    w,
-                    200,
-                    "OK",
-                    "application/json",
-                    body.as_bytes(),
-                    keep_alive,
-                    &[],
-                )
+                if skipped < offset {
+                    skipped += 1;
+                    continue;
+                }
+                break First::Piece(p);
             }
         }
-        Err(e) => axml_error(w, &e, keep_alive),
+    };
+
+    let header = result_header(prepared.source(), &opts);
+    if !req.http11 {
+        // HTTP/1.0 has no chunked encoding: buffer the window whole.
+        // Nothing has been written yet, so errors stay clean statuses.
+        let mut body = header;
+        match first {
+            First::Empty => body.push_str("[]"),
+            First::Scalar(out) => {
+                let mut j = Json::new();
+                result_value_json(&mut j, &out);
+                body.push_str(&j.finish());
+            }
+            First::Piece(p) => {
+                body.push('[');
+                body.push_str(&p.json());
+                let mut kept = 1usize;
+                while limit.is_none_or(|n| kept < n) {
+                    match cursor.next() {
+                        None => break,
+                        Some(Err(e)) => return axml_error(w, &e, keep_alive),
+                        Some(Ok(StreamItem::Piece(p))) => {
+                            body.push(',');
+                            body.push_str(&p.json());
+                            kept += 1;
+                        }
+                        Some(Ok(StreamItem::Scalar(_))) => unreachable!("scalar after a piece"),
+                    }
+                }
+                body.push(']');
+            }
+        }
+        body.push_str("}\n");
+        return write_response(
+            w,
+            200,
+            "OK",
+            "application/json",
+            body.as_bytes(),
+            keep_alive,
+            &[],
+        );
     }
+
+    // HTTP/1.1: chunked, each piece flushed as it is produced.
+    let mut cw = ChunkedWriter::begin(w, 200, "OK", "application/json", keep_alive)?;
+    cw.chunk(header.as_bytes())?;
+    match first {
+        First::Empty => cw.chunk(b"[]")?,
+        First::Scalar(out) => {
+            let mut j = Json::new();
+            result_value_json(&mut j, &out);
+            cw.chunk(j.finish().as_bytes())?;
+        }
+        First::Piece(p) => {
+            cw.chunk(b"[")?;
+            cw.chunk(p.json().as_bytes())?;
+            let mut kept = 1usize;
+            while limit.is_none_or(|n| kept < n) {
+                match cursor.next() {
+                    None => break,
+                    Some(Ok(StreamItem::Piece(p))) => {
+                        cw.chunk(b",")?;
+                        cw.chunk(p.json().as_bytes())?;
+                        kept += 1;
+                    }
+                    Some(Ok(StreamItem::Scalar(_))) => unreachable!("scalar after a piece"),
+                    Some(Err(e)) => {
+                        // The 200 status line is long gone. Never end
+                        // the chunked body cleanly on a failed stream —
+                        // abort the connection so the client sees a
+                        // truncated body, not a valid-looking prefix.
+                        return Err(io::Error::other(format!("eval failed mid-stream: {e}")));
+                    }
+                }
+            }
+            cw.chunk(b"]")?;
+        }
+    }
+    // Dropping the cursor early (limit reached) cancels the producer.
+    drop(cursor);
+    cw.chunk(b"}\n")?;
+    cw.finish()
 }
 
 fn ok_json<W: Write>(w: &mut W, mut body: String, keep_alive: bool) -> io::Result<()> {
@@ -668,7 +774,14 @@ fn axml_error<W: Write>(w: &mut W, e: &AxmlError, keep_alive: bool) -> io::Resul
         AxmlError::Type { .. } => (400, "Bad Request", "Type"),
         AxmlError::UnsupportedRoute { .. } => (400, "Bad Request", "UnsupportedRoute"),
         AxmlError::UnknownDocument { .. } => (404, "Not Found", "UnknownDocument"),
-        AxmlError::Budget { .. } => (504, "Gateway Timeout", "Budget"),
+        AxmlError::Budget {
+            resource: BudgetKind::WallClock,
+            ..
+        } => (504, "Gateway Timeout", "Budget"),
+        AxmlError::Budget {
+            resource: BudgetKind::Memory,
+            ..
+        } => (507, "Insufficient Storage", "Budget"),
         AxmlError::Eval { .. } => (500, "Internal Server Error", "Eval"),
         AxmlError::Nrc { .. } => (500, "Internal Server Error", "Nrc"),
         AxmlError::Shredding { .. } => (500, "Internal Server Error", "Shredding"),

@@ -23,6 +23,7 @@ const FIG1_DOC: &str = "<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c>
 // ---------------------------------------------------------------- client
 
 /// One parsed response.
+#[derive(Debug)]
 struct Response {
     status: u16,
     headers: HashMap<String, String>,
@@ -617,5 +618,102 @@ fn http_1_0_gets_a_content_length_response() {
         r.body_str(),
         format!("{}\n", axml::json::result_json(FIG1_QUERY, &opts, &direct))
     );
+    server.shutdown();
+}
+
+#[test]
+fn limit_and_offset_window_the_stream_byte_identically() {
+    let mut server = server();
+    let engine = Arc::clone(server.engine());
+    // Distinct labels: identical trees would merge into one K-set
+    // piece and leave nothing to window over.
+    let body: String = (0..6).map(|i| format!("b{i} {{x{i}}} ")).collect();
+    request(
+        &server,
+        "PUT",
+        "/documents/S",
+        format!("<a> {body} </a>").as_bytes(),
+    );
+
+    let opts = EvalOptions::new();
+    let out = engine.prepare("$S/*").unwrap().eval(&engine, opts).unwrap();
+    let pieces: Vec<String> = out
+        .pieces()
+        .expect("set-shaped result")
+        .iter()
+        .map(|p| p.json())
+        .collect();
+    assert_eq!(pieces.len(), 6);
+    let header = axml::json::result_header("$S/*", &opts);
+    let window = |lo: usize, hi: usize| {
+        format!("{header}[{}]}}\n", pieces[lo.min(6)..hi.min(6)].join(","))
+    };
+
+    let unlimited = request(&server, "POST", "/eval", b"$S/*");
+    assert_eq!(unlimited.status, 200);
+    assert_eq!(unlimited.body_str(), window(0, 6));
+
+    for (target, lo, hi) in [
+        ("/eval?limit=3", 0, 3),
+        ("/eval?offset=2", 2, 6),
+        ("/eval?offset=1&limit=2", 1, 3),
+        ("/eval?limit=0", 0, 0),
+        ("/eval?offset=100", 6, 6),
+        ("/eval?limit=100", 0, 6),
+    ] {
+        let r = request(&server, "POST", target, b"$S/*");
+        assert_eq!(r.status, 200, "{target}: {}", r.body_str());
+        assert_eq!(r.body_str(), window(lo, hi), "{target}");
+    }
+
+    // A limited body is literally a prefix of the unlimited stream,
+    // plus the terminator: truncation, not re-rendering.
+    let limited = request(&server, "POST", "/eval?limit=3", b"$S/*");
+    let trimmed = limited.body_str().strip_suffix("]}\n").unwrap();
+    assert!(
+        unlimited.body_str().starts_with(trimmed),
+        "limited body must be a prefix of the unlimited stream"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn a_tripped_memory_budget_before_output_is_a_507() {
+    let mut server = server();
+    request(&server, "PUT", "/documents/S", FIG1_DOC.as_bytes());
+    // Materializing combinations trip before any output byte, so the
+    // client sees a clean status line.
+    for target in [
+        "/eval?memory_budget=1&route=shredded",
+        "/eval?memory_budget=1&mode=provenance-first",
+    ] {
+        let r = request(&server, "POST", target, b"$S/*/*");
+        assert_eq!(r.status, 507, "{target}: {}", r.body_str());
+        assert!(r.body_str().contains("\"kind\":\"Budget\""), "{target}");
+    }
+    // Sanity: a generous budget changes nothing.
+    let plain = request(&server, "POST", "/eval", b"$S/*/*");
+    let generous = request(&server, "POST", "/eval?memory_budget=1000000", b"$S/*/*");
+    assert_eq!(plain.body_str(), generous.body_str());
+    server.shutdown();
+}
+
+#[test]
+fn a_mid_stream_budget_trip_aborts_the_connection() {
+    let mut server = server();
+    let body: String = (0..100).map(|i| format!("b{i} {{x{i}}} ")).collect();
+    request(
+        &server,
+        "PUT",
+        "/documents/S",
+        format!("<a> {body} </a>").as_bytes(),
+    );
+    // On the incremental route the 200 and the first pieces are on the
+    // wire before the budget trips; the server must then abort the
+    // chunked body (no terminal chunk) rather than close it cleanly —
+    // a truncated transfer is detectable, a short-but-valid one lies.
+    let err = try_request(&server, "POST", "/eval?memory_budget=10", b"$S/*")
+        .expect_err("truncated chunked body");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
     server.shutdown();
 }

@@ -37,7 +37,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   axml query  [--semiring S] [--route R] [--provenance-first] \\
-              [--format text|json] (--doc FILE | --text DOC) QUERY
+              [--format text|json] [--stream] [--memory-budget NODES] \\
+              (--doc FILE | --text DOC) QUERY
   axml parse  [--semiring S] (--doc FILE | --text DOC)
   axml shred  (--doc FILE | --text DOC) PATH     # //c or /a/b style
   axml worlds (--doc FILE | --text DOC)          # possible worlds (ℕ[X] docs)
@@ -49,6 +50,9 @@ query semirings: natpoly (default) | nat | posbool | tropical | why | trio | pro
 parse semirings: natpoly (default) | nat | bool | clearance | posbool
 routes:          direct (default) | via-nrc | shredded | differential
 formats:         text (default) | json — machine-consumable query results
+streaming:       --stream prints result pieces as they are produced
+                 (requires --format json; bytes identical to one-shot);
+                 --memory-budget caps evaluation memory in nodes
 serve:           --addr default 127.0.0.1:8787; --pool 0 = one worker per
                  core; --max-inflight default 64 (further connections get
                  503); --max-prepared default 1024 (LRU-evicted beyond);
@@ -59,6 +63,8 @@ struct Opts {
     route: String,
     provenance_first: bool,
     format: OutputFormat,
+    stream: bool,
+    memory_budget: Option<usize>,
     doc: Option<String>,
     addr: String,
     pool: usize,
@@ -87,6 +93,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut route = "direct".to_owned();
     let mut provenance_first = false;
     let mut format = OutputFormat::Text;
+    let mut stream = false;
+    let mut memory_budget: Option<usize> = None;
     let mut doc: Option<String> = None;
     let mut addr = "127.0.0.1:8787".to_owned();
     let mut pool = 0usize;
@@ -107,6 +115,19 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--provenance-first" => {
                 provenance_first = true;
                 i += 1;
+            }
+            "--stream" => {
+                stream = true;
+                i += 1;
+            }
+            "--memory-budget" => {
+                memory_budget = Some(
+                    args.get(i + 1)
+                        .ok_or("--memory-budget needs a node count")?
+                        .parse()
+                        .map_err(|e| format!("bad --memory-budget value: {e}"))?,
+                );
+                i += 2;
             }
             "--format" => {
                 format = match args.get(i + 1).map(String::as_str) {
@@ -168,6 +189,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         route,
         provenance_first,
         format,
+        stream,
+        memory_budget,
         doc,
         addr,
         pool,
@@ -264,12 +287,75 @@ fn query_cmd(opts: &Opts, query: &str) -> Result<(), String> {
     if opts.provenance_first {
         eval_opts = eval_opts.provenance_first();
     }
+    if let Some(nodes) = opts.memory_budget {
+        eval_opts = eval_opts.memory_budget(nodes);
+    }
+    if opts.stream {
+        return stream_query(&engine, query, eval_opts, opts.format);
+    }
     let out = engine.run(query, eval_opts).map_err(|e| e.to_string())?;
     match opts.format {
         OutputFormat::Text => println!("{out}"),
         OutputFormat::Json => println!("{}", result_json(query, &eval_opts, &out)),
     }
     Ok(())
+}
+
+/// `query --stream`: pull the result through
+/// [`axml::PreparedQuery::eval_stream`] and print each top-level piece
+/// the moment it is produced, flushing as we go — on the incremental
+/// route/mode combinations the first piece appears before the
+/// evaluation has finished. The concatenated output is byte-identical
+/// to the one-shot `--format json` rendering; a mid-stream error
+/// (tripped deadline or memory budget) leaves the JSON unterminated
+/// and exits nonzero, so truncation is always detectable.
+fn stream_query(
+    engine: &Engine,
+    query: &str,
+    eval_opts: EvalOptions,
+    format: OutputFormat,
+) -> Result<(), String> {
+    use std::io::Write as _;
+    if format != OutputFormat::Json {
+        return Err("--stream requires --format json (text output is one-shot)".into());
+    }
+    let prepared = engine.prepare(query).map_err(|e| e.to_string())?;
+    let cursor = prepared
+        .eval_stream(engine, eval_opts)
+        .map_err(|e| e.to_string())?;
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    let emit = |w: &mut std::io::StdoutLock<'_>, s: &str| {
+        w.write_all(s.as_bytes())
+            .and_then(|()| w.flush())
+            .map_err(|e| format!("cannot write to stdout: {e}"))
+    };
+    emit(&mut w, &axml::json::result_header(query, &eval_opts))?;
+    let mut open_set = false;
+    let mut scalar = false;
+    for item in cursor {
+        match item.map_err(|e| e.to_string())? {
+            axml::StreamItem::Piece(p) => {
+                emit(&mut w, if open_set { "," } else { "[" })?;
+                open_set = true;
+                emit(&mut w, &p.json())?;
+            }
+            axml::StreamItem::Scalar(out) => {
+                scalar = true;
+                let mut j = Json::new();
+                axml::json::result_value_json(&mut j, &out);
+                emit(&mut w, &j.finish())?;
+            }
+        }
+    }
+    if open_set {
+        emit(&mut w, "]")?;
+    } else if !scalar {
+        // A set with no pieces yields no items at all (a scalar always
+        // yields exactly one), so an exhausted-but-empty cursor is `[]`.
+        emit(&mut w, "[]")?;
+    }
+    emit(&mut w, "}\n")
 }
 
 /// Run the HTTP server (see `axml-server`): bind, optionally preload
