@@ -57,7 +57,7 @@ enum Source {
 }
 
 /// A pull iterator over the pieces of one evaluation's result. See the
-/// [module docs](self) for the production model, and
+/// module docs for the production model, and
 /// [`crate::PreparedQuery::eval_stream`] for how to obtain one.
 ///
 /// Yields `Result` items: evaluation errors (including tripped
@@ -82,10 +82,7 @@ impl std::fmt::Debug for EvalCursor {
         f.debug_struct("EvalCursor")
             .field("kind", &self.kind)
             .field("produced", &self.produced_so_far())
-            .field(
-                "live",
-                &matches!(self.source, Source::Live(_)),
-            )
+            .field("live", &matches!(self.source, Source::Live(_)))
             .finish()
     }
 }
@@ -180,7 +177,10 @@ impl Iterator for EvalCursor {
 /// distinct and nonzero by construction (they came out of a K-set), so
 /// insertion rebuilds the exact forest.
 fn rebuild(kind: SemiringKind, pieces: Vec<ResultPiece>) -> AxmlResult {
-    fn forest<K: Semiring>(pieces: Vec<ResultPiece>, get: fn(ResultPiece) -> (Tree<K>, K)) -> Value<K> {
+    fn forest<K: Semiring>(
+        pieces: Vec<ResultPiece>,
+        get: fn(ResultPiece) -> (Tree<K>, K),
+    ) -> Value<K> {
         let mut f = Forest::new();
         for p in pieces {
             let (t, k) = get(p);
@@ -242,7 +242,10 @@ impl<K: Semiring> ResultSink<K> for ChannelSink<'_, K> {
         // consumer has accepted.
         self.produced.fetch_add(1, Ordering::Relaxed);
         self.tx
-            .send(Ok(StreamItem::Piece((self.wrap)(tree.clone(), ann.clone()))))
+            .send(Ok(StreamItem::Piece((self.wrap)(
+                tree.clone(),
+                ann.clone(),
+            ))))
             .map_err(|_| SinkClosed)
     }
 }

@@ -270,37 +270,16 @@ macro_rules! dispatch_kind {
     };
 }
 
-dispatch_kind!(
-    Nat,
-    SemiringKind::Nat,
-    nat,
-    |p: &NatPoly| { p.eval(&Valuation::<Nat>::new()) }
-);
-dispatch_kind!(
-    PosBool,
-    SemiringKind::PosBool,
-    posbool,
-    natpoly_to_posbool
-);
-dispatch_kind!(
-    Tropical,
-    SemiringKind::Tropical,
-    tropical,
-    |p: &NatPoly| p.eval(&Valuation::<Tropical>::new())
-);
+dispatch_kind!(Nat, SemiringKind::Nat, nat, |p: &NatPoly| {
+    p.eval(&Valuation::<Nat>::new())
+});
+dispatch_kind!(PosBool, SemiringKind::PosBool, posbool, natpoly_to_posbool);
+dispatch_kind!(Tropical, SemiringKind::Tropical, tropical, |p: &NatPoly| p
+    .eval(&Valuation::<Tropical>::new()));
 dispatch_kind!(Why, SemiringKind::Why, why, natpoly_to_why);
-dispatch_kind!(
-    Trio,
-    SemiringKind::Trio,
-    trio,
-    natpoly_to_trio
-);
-dispatch_kind!(
-    Prob,
-    SemiringKind::Prob,
-    prob,
-    |p: &NatPoly| p.eval(&Valuation::<Prob>::new())
-);
+dispatch_kind!(Trio, SemiringKind::Trio, trio, natpoly_to_trio);
+dispatch_kind!(Prob, SemiringKind::Prob, prob, |p: &NatPoly| p
+    .eval(&Valuation::<Prob>::new()));
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,377 @@
+//! Subtree edit scripts — the churn API of the incremental layer.
+//!
+//! An [`EditScript`] is an ordered list of [`EditOp`]s, each
+//! addressing a node (or a parent, for inserts) by a **document-order
+//! child-index path**: `/0/2` is "third child of the first top-level
+//! entry", `/` (the empty path) is the top level itself. Paths are
+//! resolved against the document *as it stands when the op runs*, so
+//! later ops see the effect of earlier ones.
+//!
+//! Ops:
+//!
+//! - `splice PATH FOREST` — replace the addressed subtree with the
+//!   (single-entry) parsed forest, keeping the target's existing
+//!   annotation. Use `reannotate` to change the annotation too.
+//! - `relabel PATH LABEL` — rename the addressed node, children and
+//!   annotation untouched.
+//! - `insert PARENT-PATH FOREST` — add the (single-entry) parsed
+//!   forest as a new child of the addressed parent; the payload's own
+//!   annotation is used (`1` if none is written). If a value-identical
+//!   sibling already exists the annotations **merge by `+`** — that is
+//!   the unordered-forest semantics of the paper, not a quirk.
+//! - `delete PATH` — remove the addressed subtree entirely.
+//! - `reannotate PATH ANN` — replace the addressed entry's annotation
+//!   with the parsed ℕ\[X\] polynomial.
+//!
+//! Application rebuilds only the **spine** — the path of ancestors
+//! from the edited node to its root; untouched sibling subtrees are
+//! shared by clone (`Tree` is cheaply clonable and hash-consing in
+//! `TreeArena` re-interns only the new spine nodes).
+//!
+//! The text format (one op per line, `#` comments allowed) is what
+//! `PATCH /documents/{name}` and the CLI `edit` subcommand accept:
+//!
+//! ```text
+//! splice /0/2 <new {x}> leaf {y} </new>
+//! relabel /1 renamed
+//! insert / <top {2}/>
+//! delete /0/0
+//! reannotate /0 x+2
+//! ```
+
+use axml_semiring::{NatPoly, Semiring};
+use axml_uxml::{parse_forest, Forest, Label, Tree};
+
+/// One edit operation. Paths are vectors of document-order child
+/// indices (empty = the top-level forest).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EditOp {
+    /// Replace the subtree at `path` with `tree`, keeping the
+    /// existing annotation of the replaced entry.
+    Splice {
+        /// Document-order child-index path to the target entry.
+        path: Vec<usize>,
+        /// Replacement subtree (its own annotation is ignored).
+        tree: Tree<NatPoly>,
+    },
+    /// Rename the node at `path`; children and annotation untouched.
+    Relabel {
+        /// Path to the target entry.
+        path: Vec<usize>,
+        /// The new label.
+        label: Label,
+    },
+    /// Add `tree` (with annotation `ann`) as a child of the entry at
+    /// `path` (empty path = top level). Value-identical siblings
+    /// merge annotations by `+`.
+    Insert {
+        /// Path to the **parent** under which to insert.
+        path: Vec<usize>,
+        /// The new subtree.
+        tree: Tree<NatPoly>,
+        /// Its annotation.
+        ann: NatPoly,
+    },
+    /// Remove the subtree at `path`.
+    Delete {
+        /// Path to the target entry.
+        path: Vec<usize>,
+    },
+    /// Replace the annotation of the entry at `path` with `ann`.
+    Reannotate {
+        /// Path to the target entry.
+        path: Vec<usize>,
+        /// The new annotation.
+        ann: NatPoly,
+    },
+}
+
+/// An ordered list of [`EditOp`]s applied atomically by
+/// [`crate::Engine::edit_document`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EditScript {
+    /// The ops, in application order.
+    pub ops: Vec<EditOp>,
+}
+
+impl EditScript {
+    /// An empty script (a no-op edit; still bumps the version).
+    pub fn new() -> Self {
+        EditScript::default()
+    }
+
+    /// Parse the line-based text format (see module docs). Blank
+    /// lines and `#`-comments are skipped.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let mut ops = Vec::new();
+        for (lineno, raw) in src.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            ops.push(parse_op(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+        }
+        Ok(EditScript { ops })
+    }
+}
+
+fn parse_path(s: &str) -> Result<Vec<usize>, String> {
+    if !s.starts_with('/') {
+        return Err(format!("path must start with '/', got {s:?}"));
+    }
+    s.split('/')
+        .skip(1)
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            seg.parse::<usize>()
+                .map_err(|_| format!("bad path segment {seg:?} in {s:?}"))
+        })
+        .collect()
+}
+
+/// Parse a payload that must be exactly one forest entry.
+fn parse_entry(payload: &str) -> Result<(Tree<NatPoly>, NatPoly), String> {
+    let f = parse_forest::<NatPoly>(payload).map_err(|e| format!("payload: {}", e.msg))?;
+    let entries = f.iter_document();
+    match entries.as_slice() {
+        [(t, k)] => Ok(((*t).clone(), (*k).clone())),
+        [] => Err("payload is empty — expected one subtree".into()),
+        _ => Err(format!(
+            "payload has {} top-level entries — expected exactly one",
+            entries.len()
+        )),
+    }
+}
+
+fn parse_op(line: &str) -> Result<EditOp, String> {
+    let (verb, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+    let rest = rest.trim();
+    let (path_str, payload) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+    let payload = payload.trim();
+    if path_str.is_empty() {
+        return Err(format!("op {verb:?} is missing its path"));
+    }
+    let path = parse_path(path_str)?;
+    match verb {
+        "splice" => {
+            let (tree, _) = parse_entry(payload)?;
+            Ok(EditOp::Splice { path, tree })
+        }
+        "relabel" => {
+            if payload.is_empty() || payload.contains(char::is_whitespace) {
+                return Err(format!("relabel needs a single label, got {payload:?}"));
+            }
+            Ok(EditOp::Relabel {
+                path,
+                label: Label::new(payload),
+            })
+        }
+        "insert" => {
+            let (tree, ann) = parse_entry(payload)?;
+            Ok(EditOp::Insert { path, tree, ann })
+        }
+        "delete" => {
+            if !payload.is_empty() {
+                return Err(format!("delete takes no payload, got {payload:?}"));
+            }
+            Ok(EditOp::Delete { path })
+        }
+        "reannotate" => {
+            use axml_uxml::ParseAnnotation;
+            let ann = NatPoly::parse_annotation(payload).map_err(|e| format!("annotation: {e}"))?;
+            Ok(EditOp::Reannotate { path, ann })
+        }
+        other => Err(format!(
+            "unknown op {other:?} (expected splice/relabel/insert/delete/reannotate)"
+        )),
+    }
+}
+
+/// Apply a script to a forest, producing the edited forest. Each op
+/// rebuilds only the spine above its target; everything else is
+/// shared. Errors name the failing op and path.
+pub fn apply_script(doc: &Forest<NatPoly>, script: &EditScript) -> Result<Forest<NatPoly>, String> {
+    let mut cur = doc.clone();
+    for (i, op) in script.ops.iter().enumerate() {
+        cur = apply_op(&cur, op).map_err(|e| format!("op {} ({}): {e}", i + 1, op_name(op)))?;
+    }
+    Ok(cur)
+}
+
+fn op_name(op: &EditOp) -> &'static str {
+    match op {
+        EditOp::Splice { .. } => "splice",
+        EditOp::Relabel { .. } => "relabel",
+        EditOp::Insert { .. } => "insert",
+        EditOp::Delete { .. } => "delete",
+        EditOp::Reannotate { .. } => "reannotate",
+    }
+}
+
+fn apply_op(doc: &Forest<NatPoly>, op: &EditOp) -> Result<Forest<NatPoly>, String> {
+    match op {
+        EditOp::Splice { path, tree } => rewrite_at(doc, path, |old_t, old_k| {
+            let _ = old_t;
+            Some((tree.clone(), old_k))
+        }),
+        EditOp::Relabel { path, label } => rewrite_at(doc, path, |old_t, old_k| {
+            Some((Tree::new(*label, old_t.children().clone()), old_k))
+        }),
+        EditOp::Insert { path, tree, ann } => insert_at(doc, path, tree, ann),
+        EditOp::Delete { path } => rewrite_at(doc, path, |_, _| None),
+        EditOp::Reannotate { path, ann } => {
+            if ann.is_zero() {
+                // A zero annotation is the same as deletion in a
+                // K-forest; make that explicit rather than silently
+                // dropping the entry.
+                return Err("annotation is 0 — use delete instead".into());
+            }
+            rewrite_at(doc, path, |old_t, _| Some((old_t, ann.clone())))
+        }
+    }
+}
+
+/// Replace (or drop, when `f` returns `None`) the entry addressed by
+/// `path`, rebuilding the spine of ancestors. `f` receives the old
+/// subtree and its annotation.
+fn rewrite_at(
+    doc: &Forest<NatPoly>,
+    path: &[usize],
+    f: impl FnOnce(Tree<NatPoly>, NatPoly) -> Option<(Tree<NatPoly>, NatPoly)>,
+) -> Result<Forest<NatPoly>, String> {
+    let Some((&idx, rest)) = path.split_first() else {
+        return Err("path addresses the whole forest — ops target one entry".into());
+    };
+    let entries = doc.iter_document();
+    let Some((target, ann)) = entries.get(idx).map(|(t, k)| ((*t).clone(), (*k).clone())) else {
+        return Err(format!(
+            "index {idx} out of range (forest has {} entries)",
+            entries.len()
+        ));
+    };
+    let replacement: Option<(Tree<NatPoly>, NatPoly)> = if rest.is_empty() {
+        f(target, ann)
+    } else {
+        let kids = rewrite_at(target.children(), rest, f)?;
+        Some((Tree::new(target.label(), kids), ann))
+    };
+    // Rebuild the level: all entries except idx, plus the replacement.
+    // from_pairs merges a replacement that became value-identical to a
+    // sibling — the correct unordered-forest semantics.
+    let mut pairs: Vec<(Tree<NatPoly>, NatPoly)> = Vec::with_capacity(entries.len());
+    for (j, (t, k)) in entries.iter().enumerate() {
+        if j == idx {
+            if let Some((nt, nk)) = &replacement {
+                pairs.push((nt.clone(), nk.clone()));
+            }
+        } else {
+            pairs.push(((*t).clone(), (*k).clone()));
+        }
+    }
+    Ok(Forest::from_pairs(pairs))
+}
+
+/// Insert `tree{ann}` as a child of the entry addressed by `path`
+/// (empty path = top level).
+fn insert_at(
+    doc: &Forest<NatPoly>,
+    path: &[usize],
+    tree: &Tree<NatPoly>,
+    ann: &NatPoly,
+) -> Result<Forest<NatPoly>, String> {
+    if ann.is_zero() {
+        return Err("inserted annotation is 0 — the entry would not exist".into());
+    }
+    if path.is_empty() {
+        let mut out = doc.clone();
+        out.insert(tree.clone(), ann.clone());
+        return Ok(out);
+    }
+    rewrite_at(doc, path, |old_t, old_k| {
+        let mut kids = old_t.children().clone();
+        kids.insert(tree.clone(), ann.clone());
+        Some((Tree::new(old_t.label(), kids), old_k))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Forest<NatPoly> {
+        parse_forest::<NatPoly>("<a {z}> <b {x1}> d {y1} </b> <c {x2}> d {y2} e {y3} </c> </a>")
+            .unwrap()
+    }
+
+    #[test]
+    fn splice_keeps_annotation_and_shares_siblings() {
+        let d = doc();
+        let script = EditScript::parse("splice /0/1 <q> r </q>").unwrap();
+        let out = apply_script(&d, &script).unwrap();
+        // The spliced entry kept the old <c> annotation x2.
+        let expected =
+            parse_forest::<NatPoly>("<a {z}> <b {x1}> d {y1} </b> <q {x2}> r </q> </a>").unwrap();
+        assert_eq!(out, expected);
+        // The untouched sibling <b> subtree survives unchanged.
+        let old_b = d.iter_document()[0].0.children().iter_document()[0]
+            .0
+            .clone();
+        let new_b = out.iter_document()[0].0.children().iter_document()[0]
+            .0
+            .clone();
+        assert_eq!(old_b, new_b);
+    }
+
+    #[test]
+    fn relabel_delete_insert_reannotate() {
+        let d = doc();
+        let script = EditScript::parse(
+            "# a comment\n\
+             relabel /0 root\n\
+             delete /0/0\n\
+             insert /0 f {7}\n\
+             reannotate /0 z+1",
+        )
+        .unwrap();
+        let out = apply_script(&d, &script).unwrap();
+        let expected =
+            parse_forest::<NatPoly>("<root {z+1}> <c {x2}> d {y2} e {y3} </c> f {7} </root>")
+                .unwrap();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn insert_merges_value_identical_sibling() {
+        let d = parse_forest::<NatPoly>("a {2}").unwrap();
+        let script = EditScript::parse("insert / a {3}").unwrap();
+        let out = apply_script(&d, &script).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out, parse_forest::<NatPoly>("a {5}").unwrap());
+    }
+
+    #[test]
+    fn errors_name_the_op_and_path() {
+        let d = doc();
+        let bad = EditScript::parse("delete /9").unwrap();
+        let e = apply_script(&d, &bad).unwrap_err();
+        assert!(e.contains("op 1 (delete)"), "{e}");
+        assert!(e.contains("out of range"), "{e}");
+        assert!(EditScript::parse("frobnicate /0").is_err());
+        assert!(EditScript::parse("splice /0 <a/> <b/>").is_err());
+        assert!(EditScript::parse("reannotate /0 0")
+            .map(|s| apply_script(&d, &s))
+            .unwrap()
+            .is_err());
+    }
+
+    #[test]
+    fn later_ops_see_earlier_effects() {
+        let d = parse_forest::<NatPoly>("<a> b </a>").unwrap();
+        let script = EditScript::parse("insert /0 c\ndelete /0/0").unwrap();
+        // After the insert, /0's children are [b, c] in document
+        // order; /0/0 deletes whichever sorts first. Either way one
+        // child remains.
+        let out = apply_script(&d, &script).unwrap();
+        assert_eq!(out.iter_document()[0].0.children().len(), 1);
+    }
+}

@@ -26,7 +26,9 @@
 //! evaluation is embarrassingly parallel across queries and documents.
 
 use crate::dispatch::{DocCaches, KindArenas, KindDispatch};
+use crate::edit::EditScript;
 use crate::error::AxmlError;
+use crate::incr::{DocIncr, IncrCounters, IncrStats};
 use crate::options::{EvalOptions, SemiringKind};
 use crate::prepared::PreparedQuery;
 use crate::result::AxmlResult;
@@ -50,6 +52,16 @@ pub const STORE_SHARDS: usize = 16;
 pub(crate) struct StoredDoc {
     pub poly: Arc<Forest<NatPoly>>,
     pub kinds: DocCaches,
+    /// Edit version: 0 for a freshly loaded document, bumped by each
+    /// [`Engine::edit_document`]. A replace via `load_document` resets
+    /// to 0 (with a fresh `incr`), so incremental state never leaks
+    /// across replaces.
+    pub version: u64,
+    /// The incremental state shared by every version of this document
+    /// lineage (see [`DocIncr`]). Evaluations engage it only when
+    /// `version == incr.version` — an in-flight snapshot taken before
+    /// an edit falls back to the stateless routes.
+    pub incr: Arc<Mutex<DocIncr>>,
 }
 
 impl StoredDoc {
@@ -57,6 +69,8 @@ impl StoredDoc {
         Arc::new(StoredDoc {
             poly: Arc::new(poly),
             kinds: DocCaches::default(),
+            version: 0,
+            incr: Arc::new(Mutex::new(DocIncr::default())),
         })
     }
 }
@@ -112,6 +126,9 @@ pub struct Engine {
     /// whole store and the forests the evaluators see are maximally
     /// `Arc`-shared.
     arenas: KindArenas,
+    /// Monotonic counters of the incremental layer (edits, ±Δ facts,
+    /// memo hits/misses) — surfaced via [`Engine::storage_stats`].
+    counters: IncrCounters,
 }
 
 /// Storage statistics of an engine's document store: how many nodes
@@ -130,6 +147,31 @@ pub struct StorageStats {
     pub distinct_subtrees: usize,
     /// Stored child edges in the arena's DAG (the columnar footprint).
     pub child_edges: usize,
+    /// Counters of the incremental edit/re-evaluation layer: edits
+    /// applied, spine nodes interned per edit, ±Δ fact volumes, memo
+    /// hits/misses, incremental evals vs stateless fallbacks.
+    pub incr: IncrStats,
+}
+
+/// What one [`Engine::edit_document`] call did: the published
+/// version, and how much work the incremental machinery actually
+/// performed (spine re-interning and ±Δ edge facts — the quantities
+/// that stay small when the edit is small).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditStats {
+    /// The document version this edit published (1 for the first
+    /// edit after a load).
+    pub version: u64,
+    /// Ops in the applied script.
+    pub ops_applied: usize,
+    /// New nodes interned into the symbolic arena by this edit — the
+    /// spine cost; every other subtree of the edited document was
+    /// re-shared.
+    pub spine_nodes_interned: usize,
+    /// Edge facts retired from φ(doc) by this edit.
+    pub facts_retired: u64,
+    /// Edge facts added to φ(doc) by this edit.
+    pub facts_added: u64,
 }
 
 impl Default for Engine {
@@ -140,6 +182,7 @@ impl Default for Engine {
             spec_queue: Mutex::new(VecDeque::new()),
             clock: AtomicU64::new(0),
             arenas: KindArenas::default(),
+            counters: IncrCounters::default(),
         }
     }
 }
@@ -330,7 +373,112 @@ impl Engine {
             logical_nodes,
             distinct_subtrees: arena.len(),
             child_edges: arena.child_edge_count(),
+            incr: self.counters.snapshot(),
         }
+    }
+
+    pub(crate) fn incr_counters(&self) -> &IncrCounters {
+        &self.counters
+    }
+
+    /// Apply an [`EditScript`] to the named document **in place**:
+    /// the edited forest is re-interned through the hash-consing
+    /// arena (only the spine of changed ancestors allocates new
+    /// nodes), the document's incremental state absorbs the ±Δ edge
+    /// facts, and the new version is published atomically. In-flight
+    /// evaluations keep their pre-edit `Arc` snapshot; subsequent
+    /// evaluations on the §7-fragment routes reuse retained fixpoints
+    /// and subtree-fingerprint memos instead of starting from
+    /// scratch.
+    ///
+    /// Errors: [`AxmlError::Edit`] when the script fails to apply
+    /// (bad path, malformed op), [`AxmlError::EditConflict`] when a
+    /// concurrent `load_document`/`remove_document` replaced the
+    /// document mid-edit (the edit is *not* applied — retry against
+    /// the new contents), [`AxmlError::UnknownDocument`] when the
+    /// name is not loaded. Concurrent `edit_document` calls on the
+    /// same document serialize; each sees the other's result.
+    pub fn edit_document(&self, name: &str, script: &EditScript) -> Result<EditStats, AxmlError> {
+        let snapshot = self.stored_or_err(name)?;
+        let incr_arc = Arc::clone(&snapshot.incr);
+        let mut incr = incr_arc.lock().unwrap_or_else(|e| e.into_inner());
+        // Re-check under the incr lock: another edit of the same
+        // lineage also holds this lock, so after this check the only
+        // way the stored entry can change is a replace/remove (which
+        // installs a *different* incr) — caught again at publish.
+        match self.stored(name) {
+            Some(cur) if Arc::ptr_eq(&cur, &snapshot) => {}
+            _ => {
+                return Err(AxmlError::EditConflict {
+                    name: name.to_owned(),
+                })
+            }
+        }
+        let edited =
+            crate::edit::apply_script(&snapshot.poly, script).map_err(|msg| AxmlError::Edit {
+                name: name.to_owned(),
+                msg,
+            })?;
+        let (canonical, spine_nodes_interned) = {
+            let mut arena = self.arenas.poly.lock().unwrap_or_else(|e| e.into_inner());
+            let before = arena.len();
+            let roots = arena.intern_forest(&edited);
+            let canonical = Arc::new(arena.canonical_forest(&roots));
+            (canonical, arena.len() - before)
+        };
+        let (facts_retired, facts_added) = incr.apply_edit(&snapshot.poly, &canonical);
+        let version = incr.version;
+        let new_doc = Arc::new(StoredDoc {
+            poly: canonical,
+            kinds: DocCaches::default(),
+            version,
+            incr: Arc::clone(&incr_arc),
+        });
+        {
+            let mut shard = self.shard(name).write().unwrap_or_else(|e| e.into_inner());
+            match shard.get(name) {
+                Some(cur) if Arc::ptr_eq(cur, &snapshot) => {
+                    shard.insert(name.to_owned(), new_doc);
+                }
+                // Replaced/removed since the re-check: the bumped incr
+                // belongs to an orphaned lineage, which no live
+                // document references — harmless.
+                _ => {
+                    return Err(AxmlError::EditConflict {
+                        name: name.to_owned(),
+                    })
+                }
+            }
+        }
+        self.counters.edits_applied.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .spine_nodes_interned
+            .fetch_add(spine_nodes_interned as u64, Ordering::Relaxed);
+        self.counters
+            .delta_facts_retired
+            .fetch_add(facts_retired, Ordering::Relaxed);
+        self.counters
+            .delta_facts_added
+            .fetch_add(facts_added, Ordering::Relaxed);
+        Ok(EditStats {
+            version,
+            ops_applied: script.ops.len(),
+            spine_nodes_interned,
+            facts_retired,
+            facts_added,
+        })
+    }
+
+    /// Parse the line-based edit-script text format (see
+    /// [`EditScript::parse`]) and apply it via
+    /// [`Engine::edit_document`] — the entry point the HTTP `PATCH`
+    /// endpoint and the CLI `edit` subcommand share.
+    pub fn edit_document_text(&self, name: &str, script: &str) -> Result<EditStats, AxmlError> {
+        let script = EditScript::parse(script).map_err(|msg| AxmlError::Edit {
+            name: name.to_owned(),
+            msg,
+        })?;
+        self.edit_document(name, &script)
     }
 
     /// Remove a document; returns whether it was present.

@@ -154,6 +154,21 @@ pub enum AxmlError {
         /// The interpreter's result, rendered.
         interpreted: String,
     },
+    /// An edit script failed to parse or to apply to the named
+    /// document (bad path, wrong payload arity, malformed op).
+    Edit {
+        /// The document the script targeted.
+        name: String,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A concurrent `load_document`/`remove_document` replaced the
+    /// document between the edit's snapshot and its publish — the
+    /// edit was not applied; retry against the new contents.
+    EditConflict {
+        /// The document that changed underfoot.
+        name: String,
+    },
     /// `Route::Differential` found two routes disagreeing — a bug in
     /// one of the evaluators (or in a user-provided extension).
     RouteDisagreement {
@@ -291,6 +306,13 @@ impl fmt::Display for AxmlError {
                 f,
                 "differential check failed in {semiring}: the {route} compiled plan produced\n  \
                  {compiled}\nbut its interpreter produced\n  {interpreted}"
+            ),
+            AxmlError::Edit { name, msg } => {
+                write!(f, "edit of document {name:?} failed: {msg}")
+            }
+            AxmlError::EditConflict { name } => write!(
+                f,
+                "edit of document {name:?} conflicted with a concurrent replace; retry"
             ),
             AxmlError::RouteDisagreement {
                 semiring,

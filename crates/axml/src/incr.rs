@@ -1,0 +1,494 @@
+//! Per-document incremental state: the machinery behind
+//! [`crate::Engine::edit_document`]'s delta propagation.
+//!
+//! # Incrementality
+//!
+//! Each stored document carries one [`DocIncr`] behind a `Mutex`,
+//! shared by every version of the document produced by edits (a full
+//! replace via `load_document` installs a *fresh* one, so stale state
+//! can never leak across replaces). It holds:
+//!
+//! - a [`ShadowDoc`] — the id-stable mirror of the current version's
+//!   edge relation φ(doc). `sync` against an edited forest matches
+//!   surviving subtrees (keeping their ids), adopts relabeled nodes,
+//!   shreds genuinely-new subtrees with fresh ids, and returns the
+//!   ±Δ as an [`OwnedDelta`];
+//! - a bounded **delta log** (`(version, Δ)` pairs) so per-kind and
+//!   per-query state lagging several versions behind can catch up by
+//!   folding the net delta instead of rebuilding;
+//! - per-[`SemiringKind`] state ([`KindIncr`]): the maintained edge
+//!   K-relation, retained Datalog IDB fixpoints per query, and the
+//!   fingerprint memo tables ([`PathMemo`]) of the direct/NRC routes.
+//!
+//! # Soundness
+//!
+//! *Shredded route (tier A — filter-free path queries).* The ψ
+//! programs for filter-free queries keep every body node variable in
+//! their heads, and the shadow assigns **fresh ids per edit** — a
+//! retired id is never reused. Hence any IDB fact whose derivation
+//! uses a retired EDB fact mentions a retired id (recursively through
+//! Skolem arguments), and conversely every fact free of retired ids
+//! has all its derivations inside the retained EDB. Pruning the
+//! retained IDB by the net retired-id set therefore yields *exactly*
+//! the fixpoint over the retained edges — annotations included — and
+//! [`eval_datalog_idb_resume`] restarts semi-naive iteration from the
+//! added facts alone. Queries **with** filters drop the qualifier's
+//! node variables at projection, so pruning is not exact for them:
+//! they re-solve from scratch over the incrementally-maintained edge
+//! relation (tier B — still skipping the re-shred).
+//!
+//! *Direct/NRC routes.* [`PathMemo`] keys every cache entry on the
+//! subtree **value** (whose hash is the precomputed `(size, hash)`
+//! fingerprint), never on identity or position — so entries persist
+//! across edits with *no invalidation step* and remain sound by
+//! construction: an edited subtree is a different value and simply
+//! misses. Memoized evaluation is pure caching of
+//! `axml_core::eval_path`, which the differential route's sixth leg
+//! re-verifies against the compiled direct plan on demand.
+//!
+//! *Engagement guard.* All incremental paths engage only when the
+//! evaluated snapshot is the incr state's current version
+//! (`doc.version == DocIncr::version`). An in-flight evaluation
+//! holding a pre-edit `Arc` snapshot falls back to the stateless
+//! route over its own snapshot — it can never observe a torn or
+//! future document.
+
+use crate::engine::StoredDoc;
+use crate::error::AxmlError;
+use crate::options::SemiringKind;
+use crate::prepared::EvalKind;
+use axml_core::path::PathQuery;
+use axml_core::{eval_path_memo, PathMemo};
+use axml_pool::ExecCtx;
+use axml_relational::datalog::{
+    eval_datalog_idb_limits_ctx, eval_datalog_idb_resume, DEFAULT_MAX_ITERS,
+};
+use axml_relational::shred::{decode, edge_schema, garbage_collect, path_to_datalog};
+use axml_relational::{
+    added_facts_relation, tuple_mentions, AddedFact, Database, KRelation, OwnedDelta, ResultCache,
+    ShadowDoc,
+};
+use axml_semiring::{FnHom, NatPoly, Semiring};
+use axml_uxml::{Forest, NodeBudget};
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Most recent deltas kept for catch-up; state lagging further behind
+/// rebuilds from the shadow instead.
+const MAX_LOG: usize = 64;
+/// Retained IDB fixpoints per `(document, kind)`.
+const MAX_QUERY_STATES: usize = 8;
+/// Path memo tables per `(document, kind)`.
+const MAX_MEMOS: usize = 8;
+
+/// Monotonic counters for the incremental layer, surfaced through
+/// [`crate::StorageStats`] (and the server's `GET /stats`).
+#[derive(Debug, Default)]
+pub(crate) struct IncrCounters {
+    pub edits_applied: AtomicU64,
+    pub spine_nodes_interned: AtomicU64,
+    pub delta_facts_retired: AtomicU64,
+    pub delta_facts_added: AtomicU64,
+    pub memo_hits: AtomicU64,
+    pub memo_misses: AtomicU64,
+    pub incremental_evals: AtomicU64,
+    pub full_fallbacks: AtomicU64,
+}
+
+impl IncrCounters {
+    /// Count an eval on an edited document that could not engage an
+    /// incremental path (stale snapshot or evicted state).
+    pub fn note_fallback(&self) {
+        self.full_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> IncrStats {
+        IncrStats {
+            edits_applied: self.edits_applied.load(Ordering::Relaxed),
+            spine_nodes_interned: self.spine_nodes_interned.load(Ordering::Relaxed),
+            delta_facts_retired: self.delta_facts_retired.load(Ordering::Relaxed),
+            delta_facts_added: self.delta_facts_added.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
+            incremental_evals: self.incremental_evals.load(Ordering::Relaxed),
+            full_fallbacks: self.full_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of the engine's incremental-evaluation counters
+/// (monotonic over the engine's lifetime; part of
+/// [`crate::StorageStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrStats {
+    /// Successful [`crate::Engine::edit_document`] calls.
+    pub edits_applied: u64,
+    /// New arena nodes interned by edits — the spine cost; the rest of
+    /// each edited document was re-shared from the arena.
+    pub spine_nodes_interned: u64,
+    /// Edge facts retired across all edits (the −Δ side).
+    pub delta_facts_retired: u64,
+    /// Edge facts added across all edits (the +Δ side).
+    pub delta_facts_added: u64,
+    /// Subtree-fingerprint memo hits on the direct/NRC routes.
+    pub memo_hits: u64,
+    /// Subtree-fingerprint memo misses on the direct/NRC routes.
+    pub memo_misses: u64,
+    /// Evaluations served by an incremental path (memoized path eval
+    /// or Datalog delta propagation).
+    pub incremental_evals: u64,
+    /// Evaluations on edited documents that fell back to the
+    /// stateless route (snapshot behind the incr state, or state
+    /// evicted).
+    pub full_fallbacks: u64,
+}
+
+/// Per-document incremental state; see the module docs.
+#[derive(Debug, Default)]
+pub(crate) struct DocIncr {
+    /// Version of the document this state mirrors. 0 = never edited.
+    pub version: u64,
+    shadow: Option<ShadowDoc<NatPoly>>,
+    /// Contiguous recent deltas: entry `(v, Δ)` transforms version
+    /// `v-1` into `v`; the back entry is always `self.version`.
+    log: VecDeque<(u64, OwnedDelta<NatPoly>)>,
+    /// Per-kind state, keyed by runtime tag, stored type-erased (one
+    /// concrete [`KindIncr<S>`] per kind).
+    kinds: HashMap<SemiringKind, Box<dyn Any + Send>>,
+}
+
+/// The per-semiring slice of a document's incremental state.
+struct KindIncr<S: Semiring> {
+    /// `Some(v)` when the maintained `E` relation is φ(doc at version
+    /// v); `None` before first use.
+    e_version: Option<u64>,
+    /// The database the shredded solves run over; its `E` relation is
+    /// maintained in place across edits (holding it here means
+    /// evaluation never clones the edge relation).
+    db: Database<S>,
+    queries: HashMap<String, QueryState<S>>,
+    memos: HashMap<String, PathMemo<S>>,
+}
+
+/// A retained Datalog fixpoint for one query over one document, plus
+/// the decoded result forest maintained alongside it — re-evaluating
+/// the same query at the same version is a cache assemble, and a
+/// resume patches the forest in O(Δ) instead of re-running
+/// `garbage_collect` + `decode` over the whole `E2` fixpoint.
+struct QueryState<S: Semiring> {
+    version: u64,
+    idb: BTreeMap<String, KRelation<S>>,
+    cache: ResultCache<S>,
+}
+
+impl DocIncr {
+    /// Record one applied edit: lazily build the shadow from the
+    /// pre-edit document, sync it against the post-edit one, bump the
+    /// version and log the delta. Returns `(facts_retired,
+    /// facts_added)`.
+    pub fn apply_edit(&mut self, old: &Forest<NatPoly>, new: &Forest<NatPoly>) -> (u64, u64) {
+        if self.shadow.is_none() {
+            self.shadow = Some(ShadowDoc::from_forest(old));
+        }
+        let delta = self.shadow.as_mut().expect("just built").sync(new);
+        let counts = (delta.retired.len() as u64, delta.added.len() as u64);
+        self.version += 1;
+        self.log.push_back((self.version, delta));
+        while self.log.len() > MAX_LOG {
+            self.log.pop_front();
+        }
+        counts
+    }
+}
+
+/// Whether the log holds every delta in `(from, current]` — i.e.
+/// state at version `from` can catch up by folding log entries.
+fn covered(log: &VecDeque<(u64, OwnedDelta<NatPoly>)>, from: u64, current: u64) -> bool {
+    if from == current {
+        return true;
+    }
+    log.front().map(|(v, _)| *v <= from + 1).unwrap_or(false)
+}
+
+/// The net retired-id set and net added facts (mapped into `S`) over
+/// the log span `(from, current]`. Added facts later retired within
+/// the span are dropped — sound because ids are fresh per edit, so an
+/// add's ids can never collide with a retirement from an *earlier*
+/// delta.
+fn net_delta<S: EvalKind>(
+    log: &VecDeque<(u64, OwnedDelta<NatPoly>)>,
+    from: u64,
+) -> (HashSet<u64>, Vec<(AddedFact, S)>) {
+    let hom = FnHom::new(S::from_poly_val);
+    let mut retired = HashSet::new();
+    let mut added: Vec<(AddedFact, S)> = Vec::new();
+    for (v, delta) in log {
+        if *v <= from {
+            continue;
+        }
+        retired.extend(delta.retired.iter().copied());
+        let mapped = delta.map_annotations(&hom);
+        added.extend(mapped.added);
+    }
+    added.retain(|(f, _)| !retired.contains(&f.pid) && !retired.contains(&f.nid));
+    (retired, added)
+}
+
+/// Type-erased accessor for a kind's slice of the state.
+fn kind_mut<S: EvalKind>(
+    kinds: &mut HashMap<SemiringKind, Box<dyn Any + Send>>,
+) -> &mut KindIncr<S> {
+    kinds
+        .entry(S::KIND)
+        .or_insert_with(|| {
+            Box::new(KindIncr::<S> {
+                e_version: None,
+                db: Database::new().with("E", KRelation::new(edge_schema())),
+                queries: HashMap::new(),
+                memos: HashMap::new(),
+            })
+        })
+        .downcast_mut::<KindIncr<S>>()
+        .expect("kind state downcasts to its own kind")
+}
+
+/// Incremental shredded evaluation. `None` = not engaged (never
+/// edited, or this snapshot is behind the incr state) — the caller
+/// runs the stateless route on its snapshot.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_shredded_incr<S: EvalKind>(
+    doc: &Arc<StoredDoc>,
+    p: &PathQuery,
+    key: &str,
+    ctx: Option<&ExecCtx<'_>>,
+    deadline: Option<Instant>,
+    budget: Option<&NodeBudget>,
+    counters: &IncrCounters,
+) -> Option<Result<Forest<S>, AxmlError>> {
+    if doc.version == 0 {
+        return None;
+    }
+    let mut incr = doc.incr.lock().unwrap_or_else(|e| e.into_inner());
+    let DocIncr {
+        version,
+        shadow,
+        log,
+        kinds,
+    } = &mut *incr;
+    if *version != doc.version {
+        return None;
+    }
+    let shadow = shadow.as_ref()?;
+    let kind = kind_mut::<S>(kinds);
+
+    // 0. Pure hit: the query was already solved at exactly this
+    //    version — the cached result forest is the answer.
+    if let Some(state) = kind.queries.get(key) {
+        if state.version == *version {
+            let out = state.cache.assemble();
+            if let Some(b) = budget {
+                if b.charge(out.size()).is_err() {
+                    return Some(Err(AxmlError::Budget {
+                        resource: crate::error::BudgetKind::Memory,
+                        at: "cached shredded result".into(),
+                    }));
+                }
+            }
+            counters.incremental_evals.fetch_add(1, Ordering::Relaxed);
+            return Some(Ok(out));
+        }
+    }
+
+    // 1. Bring the maintained edge relation up to this version, in
+    //    place inside the solve database.
+    let edges = kind.db.get_mut("E").expect("E relation present");
+    match kind.e_version {
+        Some(v) if v == *version => {}
+        Some(v) if covered(log, v, *version) => {
+            let hom = FnHom::new(S::from_poly_val);
+            for (dv, delta) in log.iter() {
+                if *dv > v {
+                    delta.map_annotations(&hom).apply_to_edges_in_place(edges);
+                }
+            }
+            kind.e_version = Some(*version);
+        }
+        _ => {
+            *edges = shadow.edges_mapped(&FnHom::new(S::from_poly_val));
+            kind.e_version = Some(*version);
+        }
+    }
+
+    // 2. Solve. Tier B (filters): full solve over the maintained
+    //    edges, then gc + decode as the stateless pipeline does.
+    let db = &kind.db;
+    let prog = path_to_datalog(p);
+    if p.has_filter() {
+        let solved: Result<BTreeMap<String, KRelation<S>>, _> =
+            eval_datalog_idb_limits_ctx(&prog, db, DEFAULT_MAX_ITERS, ctx, deadline, budget);
+        let mut idb = match solved {
+            Ok(idb) => idb,
+            Err(e) => return Some(Err(e.into())),
+        };
+        let raw = idb
+            .remove("E2")
+            .unwrap_or_else(|| KRelation::new(edge_schema()));
+        let clean = garbage_collect(&raw);
+        counters.incremental_evals.fetch_add(1, Ordering::Relaxed);
+        return Some(decode(&clean).ok_or_else(|| AxmlError::Shredding {
+            msg: "shredded result is not forest-shaped".into(),
+        }));
+    }
+
+    // Tier A (filter-free). Resume from the retained IDB when the log
+    // covers the gap: prune retired tuples *in place*, hand the pruned
+    // fixpoint to the solver by move, and patch the cached result
+    // forest with the edit's id delta. Everything here is O(Δ) except
+    // one filtered scan of `E2` inside `apply_delta`.
+    let resumed = match kind.queries.remove(key) {
+        Some(mut state) if covered(log, state.version, *version) => {
+            let (retired, added) = net_delta::<S>(log, state.version);
+            for r in state.idb.values_mut() {
+                r.retain(|t, _| !tuple_mentions(t, &retired));
+            }
+            let pruned = std::mem::take(&mut state.idb);
+            match eval_datalog_idb_resume(
+                &prog,
+                db,
+                "E",
+                &added_facts_relation(&added),
+                pruned,
+                DEFAULT_MAX_ITERS,
+                ctx,
+                deadline,
+                budget,
+            ) {
+                Ok(idb) => {
+                    state.idb = idb;
+                    let fresh: HashSet<u64> = added.iter().map(|(f, _)| f.nid).collect();
+                    let touched: HashSet<u64> = added.iter().map(|(f, _)| f.pid).collect();
+                    Some((state, retired, fresh, touched))
+                }
+                Err(e) => return Some(Err(e.into())),
+            }
+        }
+        // Never solved here, or the log no longer covers the gap (the
+        // stale state was just dropped): full solve below.
+        _ => None,
+    };
+    let (mut state, delta) = match resumed {
+        Some((state, retired, fresh, touched)) => (state, Some((retired, fresh, touched))),
+        None => {
+            let idb = match eval_datalog_idb_limits_ctx(
+                &prog,
+                db,
+                DEFAULT_MAX_ITERS,
+                ctx,
+                deadline,
+                budget,
+            ) {
+                Ok(idb) => idb,
+                Err(e) => return Some(Err(e.into())),
+            };
+            (
+                QueryState {
+                    version: 0,
+                    idb,
+                    cache: ResultCache::new(),
+                },
+                None,
+            )
+        }
+    };
+    state.version = *version;
+
+    // 3. Produce the result from the maintained cache — patch on
+    //    resume, rebuild (fused gc + decode) otherwise or whenever the
+    //    delta steps outside the tier-A id model.
+    let empty = KRelation::new(edge_schema());
+    let forest = {
+        let raw = state.idb.get("E2").unwrap_or(&empty);
+        match &delta {
+            Some((retired, fresh, touched)) => state
+                .cache
+                .apply_delta(raw, retired, fresh, touched)
+                .or_else(|| state.cache.rebuild(raw)),
+            None => state.cache.rebuild(raw),
+        }
+    };
+
+    if !kind.queries.contains_key(key) && kind.queries.len() >= MAX_QUERY_STATES {
+        // Evict the most-stale retained fixpoint.
+        if let Some(oldest) = kind
+            .queries
+            .iter()
+            .min_by_key(|(_, s)| s.version)
+            .map(|(k, _)| k.clone())
+        {
+            kind.queries.remove(&oldest);
+        }
+    }
+    kind.queries.insert(key.to_owned(), state);
+    counters.incremental_evals.fetch_add(1, Ordering::Relaxed);
+    Some(forest.ok_or_else(|| AxmlError::Shredding {
+        msg: "shredded result is not forest-shaped".into(),
+    }))
+}
+
+/// Fingerprint-memoized path evaluation for the direct/NRC routes.
+/// `None` = not engaged; the caller runs its compiled plan.
+pub(crate) fn eval_path_memoized<S: EvalKind>(
+    doc: &Arc<StoredDoc>,
+    forest: &Forest<S>,
+    key: &str,
+    p: &PathQuery,
+    deadline: Option<Instant>,
+    budget: Option<&NodeBudget>,
+    counters: &IncrCounters,
+) -> Option<Result<Forest<S>, AxmlError>> {
+    if doc.version == 0 {
+        return None;
+    }
+    if let Some(d) = deadline {
+        if Instant::now() >= d {
+            return Some(Err(AxmlError::Budget {
+                resource: crate::error::BudgetKind::WallClock,
+                at: "route start".into(),
+            }));
+        }
+    }
+    let mut incr = doc.incr.lock().unwrap_or_else(|e| e.into_inner());
+    if incr.version != doc.version {
+        return None;
+    }
+    let kind = kind_mut::<S>(&mut incr.kinds);
+    if !kind.memos.contains_key(key) && kind.memos.len() >= MAX_MEMOS {
+        if let Some(evict) = kind.memos.keys().next().cloned() {
+            kind.memos.remove(&evict);
+        }
+    }
+    let memo = kind.memos.entry(key.to_owned()).or_default();
+    let (h0, m0) = (memo.hits, memo.misses);
+    let out = eval_path_memo(forest, p, memo);
+    counters
+        .memo_hits
+        .fetch_add(memo.hits - h0, Ordering::Relaxed);
+    counters
+        .memo_misses
+        .fetch_add(memo.misses - m0, Ordering::Relaxed);
+    counters.incremental_evals.fetch_add(1, Ordering::Relaxed);
+    if let Some(b) = budget {
+        // The memo table holds intermediates beyond the result; charge
+        // the result like any other set-producing op boundary.
+        if b.charge(out.size()).is_err() {
+            return Some(Err(AxmlError::Budget {
+                resource: crate::error::BudgetKind::Memory,
+                at: "memoized path evaluation".into(),
+            }));
+        }
+    }
+    Some(Ok(out))
+}

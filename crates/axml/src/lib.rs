@@ -200,6 +200,51 @@
 //! CLI's `query --stream` prints pieces as they surface,
 //! byte-identical to its one-shot `--format json` output.
 //!
+//! ## Incrementality under document churn
+//!
+//! [`Engine::edit_document`] applies an [`edit::EditScript`] of
+//! subtree ops (splice / relabel / insert / delete / reannotate,
+//! addressed by child-index paths) to a loaded document. The edit is
+//! threaded through the hash-consing arena — only the new spine is
+//! interned; untouched siblings re-share — and records a ±Δ over the
+//! document's shredded edge facts. Evaluations of an edited document
+//! then take per-route incremental paths:
+//!
+//! - **Shredded route (delta propagation).** For a filter-free path
+//!   query, the engine keeps the query's last Datalog fixpoint. On
+//!   re-evaluation it prunes every IDB tuple that mentions a retired
+//!   node id (recursively, through Skolem arguments) and resumes the
+//!   semi-naive iteration from the Δ-added facts alone. This is exact
+//!   because edits allocate **fresh node ids** (an added fact can
+//!   never resurrect a retired id) and the ψ translation of
+//!   filter-free queries retains every body variable in each head, so
+//!   the pruned IDB *is* the fixpoint of the program over the pruned
+//!   EDB. The decoded result forest is maintained alongside the
+//!   fixpoint (`axml_relational::ResultCache`), patched by the same
+//!   ±Δ id sets — so past the fixed per-call costs an edit pays O(Δ),
+//!   not another gc + decode over the whole result encoding.
+//!   Queries **with filters** skip the IDB resume (a filter head
+//!   drops variables, so pruning is not exact) but still reuse the
+//!   incrementally-maintained edge relation, skipping the re-shred.
+//! - **Direct / via-NRC routes (fingerprint memoization).** Path
+//!   evaluation consults a per-`(document × query × semiring)` memo
+//!   keyed on the subtree's `(size, hash)` structural fingerprint —
+//!   the same value identity the arena hash-conses on. A memo entry
+//!   keys on the subtree **value**, never its position, so entries
+//!   stay valid across arbitrary edits with no invalidation protocol:
+//!   after an edit only the fresh spine misses.
+//!
+//! Soundness is continuously cross-checked: `Route::Differential`
+//! runs the memoized evaluator as an extra leg and asserts
+//! byte-identical agreement with the stateless ones, and the `churn`
+//! property suite drives random edit scripts comparing an edited
+//! engine against a from-scratch engine across all 7 semirings × 4
+//! routes × both modes. Replacing a document (`load_document` over an
+//! existing name) atomically drops every piece of derived state and
+//! resets the edit lineage. [`Engine::storage_stats`] reports the
+//! [`IncrStats`] counters (edits applied, spine nodes interned,
+//! Δ facts, memo hits/misses, incremental vs fallback evaluations).
+//!
 //! Under the hood the document store is **sharded**
 //! ([`STORE_SHARDS`] independently-locked maps keyed by name hash), so
 //! concurrent load/remove/eval traffic on different documents never
@@ -220,8 +265,10 @@
 
 mod cursor;
 mod dispatch;
+pub mod edit;
 mod engine;
 mod error;
+mod incr;
 pub mod json;
 mod options;
 mod prepared;
@@ -230,8 +277,10 @@ mod result;
 
 pub use axml_pool::Pool;
 pub use cursor::{EvalCursor, StreamItem, STREAM_BUFFER_PIECES};
-pub use engine::{Engine, StorageStats, STORE_SHARDS};
+pub use edit::{EditOp, EditScript};
+pub use engine::{EditStats, Engine, StorageStats, STORE_SHARDS};
 pub use error::{AxmlError, BudgetKind, SourceSpan};
+pub use incr::IncrStats;
 pub use options::{EvalMode, EvalOptions, Parallelism, Route, SemiringKind};
 pub use prepared::PreparedQuery;
 pub use registry::{query_handle, QueryRegistry, DEFAULT_CAPACITY as REGISTRY_DEFAULT_CAPACITY};

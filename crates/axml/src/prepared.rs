@@ -117,6 +117,10 @@ pub(crate) trait EvalKind: Semiring {
     fn artifacts(inner: &PreparedInner) -> &Artifacts<Self>;
     /// A stored document projected into this kind (cached).
     fn project_doc(engine: &Engine, doc: &Arc<StoredDoc>) -> Arc<Forest<Self>>;
+    /// One ℕ\[X\] annotation pushed through the canonical
+    /// homomorphism into this kind (the value-level map the
+    /// incremental layer uses on ±Δ facts).
+    fn from_poly_val(p: &NatPoly) -> Self;
     /// Push a symbolic (ℕ\[X\]) result through the canonical
     /// homomorphism into this kind.
     fn specialize_value(sym: &Value<NatPoly>) -> Value<Self>;
@@ -133,6 +137,9 @@ impl EvalKind for NatPoly {
     }
     fn project_doc(_engine: &Engine, doc: &Arc<StoredDoc>) -> Arc<Forest<NatPoly>> {
         doc.poly.clone()
+    }
+    fn from_poly_val(p: &NatPoly) -> NatPoly {
+        p.clone()
     }
     fn specialize_value(sym: &Value<NatPoly>) -> Value<NatPoly> {
         sym.clone()
@@ -155,6 +162,9 @@ macro_rules! eval_kind_via_dispatch {
             }
             fn project_doc(engine: &Engine, doc: &Arc<StoredDoc>) -> Arc<Forest<Self>> {
                 engine.specialized::<$k>(doc)
+            }
+            fn from_poly_val(p: &NatPoly) -> Self {
+                <$k as KindDispatch>::from_poly(p)
             }
             fn specialize_value(sym: &Value<NatPoly>) -> Value<Self> {
                 map_value(&FnHom::new(<$k as KindDispatch>::from_poly), sym)
@@ -425,7 +435,16 @@ impl PreparedQuery {
     ) -> Result<Value<S>, AxmlError> {
         let arts = S::artifacts(&self.inner);
         let inputs = self.bind_inputs(engine, aliases, S::project_doc)?;
-        eval_route(arts, &self.inner.path, &inputs, route, S::KIND, ctx, limits)
+        eval_route(
+            arts,
+            &self.inner.path,
+            &inputs,
+            route,
+            ctx,
+            limits,
+            engine,
+            &self.inner.source,
+        )
     }
 
     /// Resolve every free variable to a document, applying aliases.
@@ -445,14 +464,28 @@ impl PreparedQuery {
                     .map(|(_, d)| *d)
                     .unwrap_or(var);
                 let stored = engine.stored_or_err(doc_name)?;
-                Ok((var.clone(), project(engine, &stored)))
+                Ok(BoundInput {
+                    forest: project(engine, &stored),
+                    doc: stored,
+                    name: var.clone(),
+                })
             })
             .collect()
     }
 }
 
-/// `(query variable, document)` bindings resolved for one evaluation.
-type BoundInputs<K> = Vec<(String, Arc<Forest<K>>)>;
+/// One `(query variable, document)` binding resolved for one
+/// evaluation: the kind-projected forest plus the stored-document
+/// snapshot it was projected from (the incremental layer reads the
+/// snapshot's version and per-document state through it).
+pub(crate) struct BoundInput<K: Semiring> {
+    name: String,
+    forest: Arc<Forest<K>>,
+    doc: Arc<StoredDoc>,
+}
+
+/// The bindings resolved for one evaluation.
+type BoundInputs<K> = Vec<BoundInput<K>>;
 
 /// The armed per-call resource limits, threaded together through the
 /// routes: the wall-clock deadline (checked at route starts and
@@ -509,15 +542,17 @@ fn produce<S: EvalKind>(
         Route::Direct => {
             let bound: Vec<(&str, Value<S>)> = inputs
                 .iter()
-                .map(|(n, f)| (n.as_str(), Value::Set((**f).clone())))
+                .map(|b| (b.name.as_str(), Value::Set((*b.forest).clone())))
                 .collect();
             arts.core_plan
                 .eval_stream_ctx(&bound, ctx, budget.as_ref(), &mut sink)
                 .map_err(stream_err)
         }
         Route::ViaNrc => {
-            let bound: Vec<(&str, &Forest<S>)> =
-                inputs.iter().map(|(n, f)| (n.as_str(), &**f)).collect();
+            let bound: Vec<(&str, &Forest<S>)> = inputs
+                .iter()
+                .map(|b| (b.name.as_str(), &*b.forest))
+                .collect();
             arts.nrc_plan
                 .eval_stream_with_forests_ctx(&bound, ctx, budget.as_ref(), &mut sink)
                 .map_err(stream_err)
@@ -557,21 +592,40 @@ fn stream_err<E: Into<AxmlError>>(e: StreamError<E>) -> StreamError<AxmlError> {
 /// reference: `Differential` evaluates compiled *and* interpreted on
 /// both routes (plus the relational route when the query is in the §7
 /// fragment) and asserts agreement.
+///
+/// On **edited** documents (version > 0) the §7-fragment routes
+/// engage the incremental layer: `Direct`/`ViaNrc` serve from the
+/// subtree-fingerprint memo ([`crate::incr::eval_path_memoized`]) and
+/// `Shredded` propagates deltas through the retained Datalog fixpoint
+/// ([`crate::incr::eval_shredded_incr`]); `Differential` additionally
+/// runs the memoized evaluator as a sixth leg and asserts it agrees
+/// with the compiled direct plan. Never-edited documents take exactly
+/// the pre-incrementality code paths.
 #[allow(clippy::too_many_arguments)]
-fn eval_route<K: Semiring>(
-    arts: &Artifacts<K>,
+fn eval_route<S: EvalKind>(
+    arts: &Artifacts<S>,
     path: &Result<(String, PathQuery), Ineligible>,
-    inputs: &[(String, Arc<Forest<K>>)],
+    inputs: &BoundInputs<S>,
     route: Route,
-    kind: SemiringKind,
     ctx: Option<&ExecCtx<'_>>,
     limits: Limits<'_>,
-) -> Result<Value<K>, AxmlError> {
+    engine: &Engine,
+    key: &str,
+) -> Result<Value<S>, AxmlError> {
+    let kind = S::KIND;
     check_deadline(limits.deadline)?;
     match route {
-        Route::Direct => eval_direct(arts, inputs, ctx, limits),
-        Route::ViaNrc => eval_nrc(arts, inputs, ctx, limits),
-        Route::Shredded => eval_shredded(path, inputs, route, ctx, limits),
+        Route::Direct | Route::ViaNrc => {
+            if let Some(out) = try_memoized(path, inputs, engine, limits, key) {
+                return out;
+            }
+            if route == Route::Direct {
+                eval_direct(arts, inputs, ctx, limits)
+            } else {
+                eval_nrc(arts, inputs, ctx, limits)
+            }
+        }
+        Route::Shredded => eval_shredded(path, inputs, route, ctx, limits, engine, key),
         Route::Differential => {
             // Up to five independent evaluation legs. With a
             // non-sequential context they run concurrently on the
@@ -579,11 +633,11 @@ fn eval_route<K: Semiring>(
             // either way the legs and comparisons are checked in the
             // same order, so outcomes — including which disagreement
             // is reported first — are identical.
-            type Leg<K> = Option<Result<Value<K>, AxmlError>>;
-            type Legs<K> = (Leg<K>, Leg<K>, Leg<K>, Leg<K>, Leg<K>);
+            type Leg<S> = Option<Result<Value<S>, AxmlError>>;
+            type Legs<S> = (Leg<S>, Leg<S>, Leg<S>, Leg<S>, Leg<S>);
             let (direct, direct_interp, nrc, nrc_interp, shredded) = match ctx {
                 Some(c) => {
-                    let (mut l1, mut l2, mut l3, mut l4, mut l5): Legs<K> =
+                    let (mut l1, mut l2, mut l3, mut l4, mut l5): Legs<S> =
                         (None, None, None, None, None);
                     let gate = || check_deadline(limits.deadline);
                     c.pool.scope(|s| {
@@ -601,7 +655,9 @@ fn eval_route<K: Semiring>(
                         });
                         if path.is_ok() {
                             s.spawn(|| {
-                                l5 = Some(eval_shredded(path, inputs, route, ctx, limits))
+                                l5 = Some(eval_shredded(
+                                    path, inputs, route, ctx, limits, engine, key,
+                                ))
                             });
                         }
                     });
@@ -622,7 +678,9 @@ fn eval_route<K: Semiring>(
                     check_deadline(limits.deadline)?;
                     let nrc_interp = eval_nrc_interpreted(arts, inputs)?;
                     let shredded = if path.is_ok() {
-                        Some(eval_shredded(path, inputs, route, ctx, limits)?)
+                        Some(eval_shredded(
+                            path, inputs, route, ctx, limits, engine, key,
+                        )?)
                     } else {
                         None
                     };
@@ -665,6 +723,22 @@ fn eval_route<K: Semiring>(
                     ));
                 }
             }
+            // Sixth leg: when an edited document engages the
+            // fingerprint memo, re-derive the result through it and
+            // assert agreement with the compiled direct plan — the
+            // incremental evaluator is differentially checked like
+            // every other one.
+            if let Some(memoized) = try_memoized(path, inputs, engine, limits, key) {
+                let memoized = memoized?;
+                if direct != memoized {
+                    return Err(evaluator_disagreement(
+                        kind,
+                        Route::Direct,
+                        &direct,
+                        &memoized,
+                    ));
+                }
+            }
             Ok(direct)
         }
     }
@@ -700,10 +774,41 @@ fn evaluator_disagreement<K: Semiring>(
     }
 }
 
+/// Fingerprint-memoized evaluation for the direct/NRC routes, engaged
+/// only on §7-fragment queries over an **edited** document whose
+/// snapshot is current. `None` = not engaged; the caller runs its
+/// compiled plan (counted as a fallback when the document was edited).
+fn try_memoized<S: EvalKind>(
+    path: &Result<(String, PathQuery), Ineligible>,
+    inputs: &BoundInputs<S>,
+    engine: &Engine,
+    limits: Limits<'_>,
+    key: &str,
+) -> Option<Result<Value<S>, AxmlError>> {
+    let Ok((var, p)) = path else { return None };
+    let b = inputs.iter().find(|b| &b.name == var)?;
+    if b.doc.version == 0 {
+        return None;
+    }
+    let out = crate::incr::eval_path_memoized::<S>(
+        &b.doc,
+        &b.forest,
+        key,
+        p,
+        limits.deadline,
+        limits.budget,
+        engine.incr_counters(),
+    );
+    if out.is_none() {
+        engine.incr_counters().note_fallback();
+    }
+    out.map(|r| r.map(Value::Set))
+}
+
 /// The direct route: the slot-resolved compiled plan.
 fn eval_direct<K: Semiring>(
     arts: &Artifacts<K>,
-    inputs: &[(String, Arc<Forest<K>>)],
+    inputs: &BoundInputs<K>,
     ctx: Option<&ExecCtx<'_>>,
     limits: Limits<'_>,
 ) -> Result<Value<K>, AxmlError> {
@@ -712,7 +817,7 @@ fn eval_direct<K: Semiring>(
     // one) and their annotations are copied, never the document body.
     let bound: Vec<(&str, Value<K>)> = inputs
         .iter()
-        .map(|(n, f)| (n.as_str(), Value::Set((**f).clone())))
+        .map(|b| (b.name.as_str(), Value::Set((*b.forest).clone())))
         .collect();
     Ok(arts.core_plan.eval_ctx_limits(&bound, ctx, limits.budget)?)
 }
@@ -721,12 +826,12 @@ fn eval_direct<K: Semiring>(
 /// reference for [`eval_direct`].
 fn eval_direct_interpreted<K: Semiring>(
     arts: &Artifacts<K>,
-    inputs: &[(String, Arc<Forest<K>>)],
+    inputs: &BoundInputs<K>,
 ) -> Result<Value<K>, AxmlError> {
     let mut env = QueryEnv::from_bindings(
         inputs
             .iter()
-            .map(|(n, f)| (n.clone(), Value::Set((**f).clone()))),
+            .map(|b| (b.name.clone(), Value::Set((*b.forest).clone()))),
     );
     Ok(eval_core(&arts.core, &mut env)?)
 }
@@ -735,11 +840,14 @@ fn eval_direct_interpreted<K: Semiring>(
 /// tests/descendant sweeps, iterative `srt`).
 fn eval_nrc<K: Semiring>(
     arts: &Artifacts<K>,
-    inputs: &[(String, Arc<Forest<K>>)],
+    inputs: &BoundInputs<K>,
     ctx: Option<&ExecCtx<'_>>,
     limits: Limits<'_>,
 ) -> Result<Value<K>, AxmlError> {
-    let bound: Vec<(&str, &Forest<K>)> = inputs.iter().map(|(n, f)| (n.as_str(), &**f)).collect();
+    let bound: Vec<(&str, &Forest<K>)> = inputs
+        .iter()
+        .map(|b| (b.name.as_str(), &*b.forest))
+        .collect();
     let out = arts
         .nrc_plan
         .eval_with_forests_limits_ctx(&bound, ctx, limits.budget)?;
@@ -753,12 +861,12 @@ fn eval_nrc<K: Semiring>(
 /// [`eval_nrc`].
 fn eval_nrc_interpreted<K: Semiring>(
     arts: &Artifacts<K>,
-    inputs: &[(String, Arc<Forest<K>>)],
+    inputs: &BoundInputs<K>,
 ) -> Result<Value<K>, AxmlError> {
     let mut env = axml_nrc::Env::from_bindings(
         inputs
             .iter()
-            .map(|(n, f)| (n.clone(), axml_nrc::CValue::from_forest(f))),
+            .map(|b| (b.name.clone(), axml_nrc::CValue::from_forest(&b.forest))),
     );
     let out = axml_nrc::eval(&arts.nrc, &mut env)?;
     out.to_uxml().ok_or_else(|| AxmlError::Nrc {
@@ -767,13 +875,16 @@ fn eval_nrc_interpreted<K: Semiring>(
     })
 }
 
-fn eval_shredded<K: Semiring>(
+#[allow(clippy::too_many_arguments)]
+fn eval_shredded<S: EvalKind>(
     path: &Result<(String, PathQuery), Ineligible>,
-    inputs: &[(String, Arc<Forest<K>>)],
+    inputs: &BoundInputs<S>,
     route: Route,
     ctx: Option<&ExecCtx<'_>>,
     limits: Limits<'_>,
-) -> Result<Value<K>, AxmlError> {
+    engine: &Engine,
+    key: &str,
+) -> Result<Value<S>, AxmlError> {
     check_deadline(limits.deadline)?;
     let (var, p) = match path {
         Ok(x) => x,
@@ -784,14 +895,30 @@ fn eval_shredded<K: Semiring>(
             })
         }
     };
-    let Some((_, forest)) = inputs.iter().find(|(n, _)| n == var) else {
+    let Some(b) = inputs.iter().find(|b| &b.name == var) else {
         return Err(AxmlError::UnknownDocument {
             name: var.clone(),
-            available: inputs.iter().map(|(n, _)| n.clone()).collect(),
+            available: inputs.iter().map(|b| b.name.clone()).collect(),
         });
     };
+    // Delta propagation: on an edited, current snapshot, solve from
+    // the retained fixpoint instead of re-shredding the document.
+    if b.doc.version > 0 {
+        match crate::incr::eval_shredded_incr::<S>(
+            &b.doc,
+            p,
+            key,
+            ctx,
+            limits.deadline,
+            limits.budget,
+            engine.incr_counters(),
+        ) {
+            Some(out) => return out.map(Value::Set),
+            None => engine.incr_counters().note_fallback(),
+        }
+    }
     let out = axml_relational::eval_path_via_shredding_limits_ctx(
-        forest,
+        &b.forest,
         p,
         ctx,
         limits.deadline,

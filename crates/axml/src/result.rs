@@ -203,6 +203,10 @@ impl ResultPieceRef<'_> {
     }
 
     /// An owned copy of this piece (for handing across threads).
+    // The macro instantiates over every semiring; the `Copy` ones
+    // trip clone_on_copy even though the clone is required for the
+    // non-`Copy` ones.
+    #[allow(clippy::clone_on_copy)]
     pub fn to_piece(&self) -> ResultPiece {
         for_each_piece!(self, t, k => ((*t).clone(), (*k).clone()).into())
     }

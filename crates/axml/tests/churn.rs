@@ -1,0 +1,344 @@
+//! Incremental re-annotation under churn: property and stress tests.
+//!
+//! - **Parity**: random edit scripts (splice / relabel / insert /
+//!   delete / reannotate, including no-op scripts and
+//!   identical-subtree splices) applied through
+//!   `Engine::edit_document`, then every query evaluated on the
+//!   *edited* engine — whose incremental state (retained Datalog
+//!   fixpoints, subtree-fingerprint memos) is live — and on a
+//!   **from-scratch** engine holding the same final document. Results
+//!   must be byte-identical across all 7 semirings × 4 routes × both
+//!   eval modes, errors included.
+//! - **Stress**: 8 threads hammering one shared engine with
+//!   concurrent `edit_document` (retrying on conflict) and
+//!   `Route::Differential` evaluations — the differential route
+//!   re-checks the incremental evaluators against the stateless ones
+//!   on every call.
+//! - **Replace invalidation**: replacing a document via
+//!   `load_document` must atomically drop all incremental and
+//!   specialization state; in-flight cursors keep their snapshot.
+
+use axml::{EditScript, Engine, EvalMode, EvalOptions, Route, SemiringKind};
+use axml_semiring::NatPoly;
+use axml_uxml::{Forest, Tree};
+use std::sync::Arc;
+use std::thread;
+
+const ROUTES: [Route; 4] = [
+    Route::Direct,
+    Route::ViaNrc,
+    Route::Shredded,
+    Route::Differential,
+];
+const MODES: [EvalMode; 2] = [EvalMode::InSemiring, EvalMode::ProvenanceFirst];
+
+/// Queries covering: plain descendant chain (tier-A shredded +
+/// memoized direct), union, a branching predicate (tier-B: filters
+/// re-solve over maintained edges), and a non-fragment constructor
+/// (incremental layer must stay disengaged and errors must match).
+const QUERIES: [&str; 4] = [
+    "$S//c",
+    "($S//c, $S/child::b)",
+    "for $x in $S//a return for $y in ($x)/c return ($x)",
+    "element r { $S//c }",
+];
+
+const BASE: &str =
+    "<a {z}> <b {x1}> <a> c {y3} d </a> </b> <c {y1}> <d> <a> c {y2} b {x2} </a> </d> </c> </a>";
+
+/// Deterministic xorshift — tests must not depend on ambient entropy.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// All document-order child-index paths of a forest (non-empty ones
+/// address an entry; used to aim random ops).
+fn all_paths(f: &Forest<NatPoly>) -> Vec<Vec<usize>> {
+    fn walk(f: &Forest<NatPoly>, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        for (i, (t, _)) in f.iter_document().into_iter().enumerate() {
+            prefix.push(i);
+            out.push(prefix.clone());
+            walk(t.children(), prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    walk(f, &mut Vec::new(), &mut out);
+    out
+}
+
+fn subtree_at<'a>(f: &'a Forest<NatPoly>, path: &[usize]) -> &'a Tree<NatPoly> {
+    let (t, _) = f.iter_document()[path[0]];
+    if path.len() == 1 {
+        t
+    } else {
+        subtree_at(t.children(), &path[1..])
+    }
+}
+
+fn opts(kind: SemiringKind, route: Route, mode: EvalMode) -> EvalOptions {
+    let mut o = EvalOptions::new().semiring(kind).route(route);
+    o.mode = mode;
+    o
+}
+
+fn fmt_path(p: &[usize]) -> String {
+    let mut s = String::new();
+    for seg in p {
+        s.push('/');
+        s.push_str(&seg.to_string());
+    }
+    if s.is_empty() {
+        s.push('/');
+    }
+    s
+}
+
+const PAYLOADS: [&str; 5] = [
+    "<q {x2}> r </q>",
+    "c {y1}",
+    "<a> c {y2} </a>",
+    "<needle> c {w} </needle>",
+    "b",
+];
+const LABELS: [&str; 4] = ["a", "b", "c", "zz"];
+const ANNS: [&str; 4] = ["1", "2", "x1", "z+1"];
+
+/// One random single-op script (occasionally empty — a pure version
+/// bump), always valid against `doc`.
+fn random_script(rng: &mut Rng, doc: &Forest<NatPoly>) -> EditScript {
+    let paths = all_paths(doc);
+    if paths.is_empty() || rng.pick(10) == 0 {
+        if rng.pick(2) == 0 {
+            return EditScript::new(); // no-op script
+        }
+        return EditScript::parse(&format!("insert / {}", PAYLOADS[rng.pick(PAYLOADS.len())]))
+            .unwrap();
+    }
+    let path = &paths[rng.pick(paths.len())];
+    let line = match rng.pick(6) {
+        0 => format!(
+            "splice {} {}",
+            fmt_path(path),
+            PAYLOADS[rng.pick(PAYLOADS.len())]
+        ),
+        1 => {
+            // Identical-subtree splice: replace a subtree with itself.
+            // The delta must be empty and every memo must keep hitting.
+            let t = subtree_at(doc, path);
+            format!("splice {} {}", fmt_path(path), t)
+        }
+        2 => format!(
+            "relabel {} {}",
+            fmt_path(path),
+            LABELS[rng.pick(LABELS.len())]
+        ),
+        3 => {
+            let parent = &path[..path.len() - 1];
+            format!(
+                "insert {} {}",
+                fmt_path(parent),
+                PAYLOADS[rng.pick(PAYLOADS.len())]
+            )
+        }
+        4 => format!("delete {}", fmt_path(path)),
+        _ => format!(
+            "reannotate {} {}",
+            fmt_path(path),
+            ANNS[rng.pick(ANNS.len())]
+        ),
+    };
+    EditScript::parse(&line).unwrap()
+}
+
+/// Render an evaluation outcome for byte-wise comparison (errors
+/// render too — both engines must fail identically).
+fn outcome(engine: &Engine, q: &axml::PreparedQuery, opts: EvalOptions) -> String {
+    match q.eval(engine, opts) {
+        Ok(v) => format!("ok: {v}"),
+        Err(e) => format!("err: {e}"),
+    }
+}
+
+#[test]
+fn random_edits_match_from_scratch_engine_everywhere() {
+    let mut rng = Rng(0x9e3779b97f4a7c15);
+    let inc = Engine::new();
+    inc.load_document("S", BASE).unwrap();
+    let inc_queries: Vec<_> = QUERIES.iter().map(|q| inc.prepare(q).unwrap()).collect();
+
+    for round in 0..12 {
+        let doc = inc.document("S").unwrap();
+        let script = random_script(&mut rng, &doc);
+        let stats = inc.edit_document("S", &script).unwrap();
+        assert_eq!(stats.version, round + 1);
+        assert_eq!(stats.ops_applied, script.ops.len());
+
+        // A from-scratch engine holding the identical final document.
+        let fresh = Engine::new();
+        fresh.insert_forest("S", (*inc.document("S").unwrap()).clone());
+        let fresh_queries: Vec<_> = QUERIES.iter().map(|q| fresh.prepare(q).unwrap()).collect();
+
+        for (qi, src) in QUERIES.iter().enumerate() {
+            for kind in SemiringKind::ALL {
+                for route in ROUTES {
+                    for mode in MODES {
+                        let o = opts(kind, route, mode);
+                        let a = outcome(&inc, &inc_queries[qi], o);
+                        let b = outcome(&fresh, &fresh_queries[qi], o);
+                        assert_eq!(
+                            a, b,
+                            "round {round} query {src:?} kind {kind} route {route} mode {mode}: \
+                             incremental engine diverged from from-scratch engine\nscript: {script:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let stats = inc.storage_stats();
+    assert_eq!(stats.incr.edits_applied, 12);
+    assert!(
+        stats.incr.incremental_evals > 0,
+        "incremental paths never engaged: {:?}",
+        stats.incr
+    );
+    assert!(
+        stats.incr.memo_hits > 0,
+        "fingerprint memo never hit across 12 rounds: {:?}",
+        stats.incr
+    );
+}
+
+#[test]
+fn concurrent_edits_and_differential_evals() {
+    let engine = Arc::new(Engine::new());
+    engine.load_document("S", BASE).unwrap();
+    engine
+        .load_document("T", "<r> <s {w}> a {2} b </s> <t> a {u} </t> </r>")
+        .unwrap();
+    let qs = Arc::new(vec![
+        engine.prepare("$S//c").unwrap(),
+        engine.prepare("($S//c, $S/child::b)").unwrap(),
+        engine.prepare("$T//a").unwrap(),
+    ]);
+
+    let mut handles = Vec::new();
+    for tid in 0..8u64 {
+        let engine = Arc::clone(&engine);
+        let qs = Arc::clone(&qs);
+        handles.push(thread::spawn(move || {
+            let mut rng = Rng(0xdead_beef ^ (tid + 1));
+            for i in 0..40 {
+                if tid < 2 {
+                    // Editor threads: churn one document each.
+                    let name = if tid == 0 { "S" } else { "T" };
+                    let doc = engine.document(name).unwrap();
+                    let script = random_script(&mut rng, &doc);
+                    match engine.edit_document(name, &script) {
+                        Ok(_) => {}
+                        Err(axml::AxmlError::EditConflict { .. }) => {} // racing replace; fine
+                        Err(e) => panic!("edit failed: {e}"),
+                    }
+                } else {
+                    // Evaluator threads: differential re-checks the
+                    // incremental evaluators against stateless ones.
+                    let q = &qs[rng.pick(qs.len())];
+                    let kind = SemiringKind::ALL[(i + tid as usize) % 7];
+                    let opts = EvalOptions::new().semiring(kind).route(Route::Differential);
+                    q.eval(&engine, opts)
+                        .unwrap_or_else(|e| panic!("differential eval failed: {e}"));
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Quiesced: the edited engine must agree with a from-scratch one.
+    let fresh = Engine::new();
+    for name in ["S", "T"] {
+        fresh.insert_forest(name, (*engine.document(name).unwrap()).clone());
+    }
+    for src in ["$S//c", "($S//c, $S/child::b)", "$T//a"] {
+        let qa = engine.prepare(src).unwrap();
+        let qb = fresh.prepare(src).unwrap();
+        for kind in SemiringKind::ALL {
+            for route in ROUTES {
+                let opts = EvalOptions::new().semiring(kind).route(route);
+                assert_eq!(
+                    outcome(&engine, &qa, opts),
+                    outcome(&fresh, &qb, opts),
+                    "{src} in {kind} via {route} after concurrent churn"
+                );
+            }
+        }
+    }
+}
+
+/// Replacing a document must atomically invalidate everything derived
+/// from the old contents — specializations, incremental state,
+/// retained fixpoints — while in-flight streaming evaluations keep
+/// their pre-replace snapshot.
+#[test]
+fn replace_drops_all_derived_state() {
+    let engine = Engine::with_doc_cache_cap(4);
+    engine.load_document("S", "<a> c {x} </a>").unwrap();
+    let q = engine.prepare("$S//c").unwrap();
+
+    // Warm every cache: specializations, memo, retained fixpoint.
+    engine.edit_document_text("S", "insert /0 c {y}").unwrap();
+    for kind in SemiringKind::ALL {
+        for route in ROUTES {
+            q.eval(&engine, EvalOptions::new().semiring(kind).route(route))
+                .unwrap();
+        }
+    }
+
+    // Open a cursor on the pre-replace document, then replace.
+    let cursor = q
+        .eval_stream(&engine, EvalOptions::new().semiring(SemiringKind::Nat))
+        .unwrap();
+    engine.load_document("S", "<a> c {3} c {4} </a>").unwrap();
+
+    // The in-flight cursor streams the snapshot it was bound to.
+    let streamed = cursor.collect_result().unwrap().to_string();
+    assert_eq!(streamed, "(c {2})", "cursor must keep its snapshot");
+
+    // Every post-replace evaluation sees only the new contents.
+    for kind in SemiringKind::ALL {
+        for route in ROUTES {
+            for mode in MODES {
+                let out = q
+                    .eval(&engine, opts(kind, route, mode))
+                    .unwrap()
+                    .to_string();
+                assert!(
+                    !out.contains('x') && !out.contains('y'),
+                    "stale annotation after replace: {out} ({kind}/{route}/{mode})"
+                );
+            }
+        }
+    }
+    let nat = q
+        .eval(&engine, EvalOptions::new().semiring(SemiringKind::Nat))
+        .unwrap()
+        .to_string();
+    assert_eq!(nat, "(c {7})");
+
+    // Replace resets the edit lineage: the next edit starts at v1.
+    let stats = engine.edit_document_text("S", "reannotate /0/0 5").unwrap();
+    assert_eq!(stats.version, 1);
+}

@@ -120,6 +120,154 @@ fn throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// Document churn: edit-then-eval through `Engine::edit_document` (the
+/// incremental path — spine-only interning, Δ-fact propagation on the
+/// shredded route, fingerprint-memoized re-walks on the direct route)
+/// against reparse-then-eval (`load_document` with the full edited
+/// text — the only option before the edit API existed). Corpus: one
+/// depth-6 branching-3 balanced tree (1093 logical nodes); the
+/// `edit1pct` scenario splices a height-1 subtree (4 nodes, ~0.4% of
+/// the document), `edit10pct` a height-4 subtree (121 nodes, ~11%).
+/// Each sample times one edit (or reload) **plus** one evaluation of
+/// `$S//c`, alternating between two same-size splice payloads so the
+/// document stays in steady state.
+///
+/// Records: `churn/incremental_vs_full/{route}_{scenario}/{edit_eval,
+/// reparse_eval}` (wall-clock, median-normalized like the compute
+/// benches) and `…/cost_ratio_x1000` — the incremental cost as a
+/// per-mille fraction of the full cost (machine-independent, exempt
+/// from normalization; ≤200 means the edit path is ≥5× faster, and a
+/// *rise* past the gate threshold fails CI).
+fn churn(c: &mut Criterion) {
+    let _ = c; // hand-measured: each sample is one edit+eval round trip
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    if let Some(filter) = args.iter().rfind(|a| !a.starts_with("--")) {
+        if !"churn/incremental_vs_full".contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    /// A balanced splice payload with labels disjoint from the
+    /// corpus's (`tag` makes the two alternating variants distinct);
+    /// like the corpus, the first leaf under each parent is a `c` so
+    /// the benched query keeps matching inside the spliced region.
+    fn variant(height: u32, branching: u32, tag: u32) -> axml_uxml::Tree<NatPoly> {
+        fn build(h: u32, b: u32, tag: u32, idx: u32) -> axml_uxml::Tree<NatPoly> {
+            use axml_semiring::Semiring as _;
+            if h == 0 {
+                return if idx == 0 {
+                    axml_uxml::Tree::leaf("c")
+                } else {
+                    axml_uxml::Tree::leaf(axml_uxml::Label::new(&format!("w{tag}_{idx}")))
+                };
+            }
+            let mut kids = Forest::new();
+            for i in 0..b {
+                kids.insert(build(h - 1, b, tag, i), NatPoly::one());
+            }
+            axml_uxml::Tree::new(axml_uxml::Label::new(&format!("v{tag}_{h}_{idx}")), kids)
+        }
+        build(height, branching, tag, 0)
+    }
+
+    let base = balanced_tree::<NatPoly>(6, 3);
+    let base_text = base.to_string();
+    const QUERY: &str = "$S//c";
+
+    for (scenario, path, height) in [
+        ("edit1pct", "/0/0/0/0/0/0", 1u32),
+        ("edit10pct", "/0/0/0", 4),
+    ] {
+        let scripts: Vec<String> = (0..2)
+            .map(|tag| format!("splice {path} {}", variant(height, 3, tag)))
+            .collect();
+        // The reparse side's inputs: the full text of the document one
+        // splice away from base, one per payload variant.
+        let full_texts: Vec<String> = scripts
+            .iter()
+            .map(|s| {
+                let e = Engine::new();
+                e.insert_forest("S", Forest::unit(base.clone()));
+                e.edit_document_text("S", s).expect("splice applies");
+                let doc = e.document("S").expect("document exists");
+                let entries = doc.iter_document();
+                assert_eq!(entries.len(), 1, "corpus is single-rooted");
+                entries[0].0.to_string()
+            })
+            .collect();
+
+        for route in [axml::Route::Direct, axml::Route::Shredded] {
+            let opts = EvalOptions::new().semiring(SemiringKind::Nat).route(route);
+
+            let inc = Engine::new();
+            inc.insert_forest("S", Forest::unit(base.clone()));
+            let q_inc = inc.prepare(QUERY).expect("prepares");
+            let full = Engine::new();
+            full.load_document("S", &base_text).expect("corpus loads");
+            let q_full = full.prepare(QUERY).expect("prepares");
+
+            let (warmup, samples) = if test_mode { (2, 2) } else { (6, 40) };
+            // Warm to steady state: the incremental engine needs one
+            // edited version before its memo/fixpoint state engages.
+            for i in 0..warmup {
+                inc.edit_document_text("S", &scripts[i % 2]).expect("edits");
+                q_inc.eval(&inc, opts).expect("evaluates");
+                full.load_document("S", &full_texts[i % 2])
+                    .expect("reloads");
+                q_full.eval(&full, opts).expect("evaluates");
+            }
+
+            let measure = |label: &str, f: &mut dyn FnMut(usize)| {
+                let mut ns: Vec<f64> = (0..samples)
+                    .map(|i| {
+                        let t = Instant::now();
+                        f(i);
+                        t.elapsed().as_nanos() as f64
+                    })
+                    .collect();
+                ns.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+                let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+                let p50 = ns[(ns.len() - 1) / 2];
+                criterion::record(
+                    &format!(
+                        "churn/incremental_vs_full/{}_{scenario}/{label}",
+                        route.name()
+                    ),
+                    mean,
+                    p50,
+                    ns[0],
+                    ns[ns.len() - 1],
+                    samples,
+                );
+                mean
+            };
+            let inc_mean = measure("edit_eval", &mut |i| {
+                inc.edit_document_text("S", &scripts[i % 2]).expect("edits");
+                q_inc.eval(&inc, opts).expect("evaluates");
+            });
+            let full_mean = measure("reparse_eval", &mut |i| {
+                full.load_document("S", &full_texts[i % 2])
+                    .expect("reloads");
+                q_full.eval(&full, opts).expect("evaluates");
+            });
+
+            let ratio_x1000 = (1000.0 * inc_mean / full_mean).round();
+            criterion::record(
+                &format!(
+                    "churn/incremental_vs_full/{}_{scenario}/cost_ratio_x1000",
+                    route.name()
+                ),
+                ratio_x1000,
+                ratio_x1000,
+                ratio_x1000,
+                ratio_x1000,
+                samples,
+            );
+        }
+    }
+}
+
 /// The streaming cursor against one-shot materialization, on a wide
 /// result (512 distinct top-level pieces, `Nat`, direct route):
 /// `collect` is the full-drain cost of `eval_stream` (its overhead
@@ -153,7 +301,10 @@ fn eval_stream(c: &mut Criterion) {
     g.bench_function("wide512/first_piece", |b| {
         b.iter(|| {
             let mut cursor = q.eval_stream(&engine, opts).expect("streams");
-            cursor.next().expect("a wide result has pieces").expect("ok")
+            cursor
+                .next()
+                .expect("a wide result has pieces")
+                .expect("ok")
         })
     });
     g.finish();
@@ -382,5 +533,12 @@ fn roundtrip(conn: &mut std::net::TcpStream, head: &str, body: &[u8]) -> Vec<u8>
     out
 }
 
-criterion_group!(benches, throughput, eval_stream, server_loopback, server_first_byte);
+criterion_group!(
+    benches,
+    throughput,
+    churn,
+    eval_stream,
+    server_loopback,
+    server_first_byte
+);
 criterion_main!(benches);

@@ -188,9 +188,12 @@ fn die(msg: &str) -> ! {
 /// (`storage/...`, node/dedup statistics — machine-independent by
 /// construction) and the server loopback latencies (`server/...`,
 /// dominated by syscall/scheduling overhead that does not track CPU
-/// speed the way the compute benches setting the median do).
+/// speed the way the compute benches setting the median do), plus the
+/// churn cost ratios (`…/cost_ratio_x1000`, a per-mille
+/// incremental-vs-full quotient — machine speed divides out of the
+/// quotient by construction).
 fn is_count(id: &str) -> bool {
-    id.starts_with("storage/") || id.starts_with("server/")
+    id.starts_with("storage/") || id.starts_with("server/") || id.ends_with("/cost_ratio_x1000")
 }
 
 /// Synthesize count records for the shared-subtree corpus: logical node

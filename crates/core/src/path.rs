@@ -95,6 +95,20 @@ impl PathQuery {
             PathQuery::Filter(p, q) => p.step_count() + q.step_count(),
         }
     }
+
+    /// Does the query contain a branching predicate `p[q]` anywhere?
+    /// Filter queries need special handling on the incremental
+    /// shredded route: ψ's qualifier projection drops a body node
+    /// variable, so retained-IDB pruning by retired node id is inexact
+    /// for them (see `axml-relational`'s `ivm` module).
+    pub fn has_filter(&self) -> bool {
+        match self {
+            PathQuery::Root | PathQuery::Empty => false,
+            PathQuery::Step(p, _) => p.has_filter(),
+            PathQuery::Union(a, b) => a.has_filter() || b.has_filter(),
+            PathQuery::Filter(_, _) => true,
+        }
+    }
 }
 
 impl fmt::Display for PathQuery {
@@ -285,6 +299,216 @@ fn eval_at<K: Semiring>(p: &PathQuery, ctx: &Tree<K>) -> Forest<K> {
     }
 }
 
+/// Fingerprint-memoized path evaluation (document churn, PR 9).
+///
+/// [`eval_path_memo`] computes exactly [`eval_path`], but keys the two
+/// expensive sub-computations on subtree **value** — which, thanks to
+/// the cached `(size, hash)` fingerprints, costs one hash of a
+/// precomputed fingerprint per lookup:
+///
+/// - per descendant-family step, the filtered descendant closure
+///   `D(t) = (test ∋ t ? {t:1} : ∅) + Σ_{(c,kc) ∈ children(t)} kc·D(c)`,
+/// - per branching predicate, the qualifier's total annotation from a
+///   given match.
+///
+/// Both are functions of the subtree *value* alone (Fig 4's semantics
+/// is compositional on values), so entries never need invalidation:
+/// after an edit, unchanged subtrees — shared by the hash-consing
+/// arena — hit the table, and only the edited spine recomputes.
+/// Equality with [`eval_path`] is by distributivity of `·` over the
+/// commutative sums [`Forest`] maintains: the closure recursion is the
+/// per-seed restriction of `eval_step`'s flat sweep, and a step's
+/// result is `Σ_k k·D(t)` over its input. Table size is
+/// O(nodes × depth) per step slot in the worst case (documents are
+/// depth-capped at parse).
+pub struct PathMemo<K: Semiring> {
+    desc: Vec<std::collections::HashMap<Tree<K>, Forest<K>>>,
+    qual: Vec<std::collections::HashMap<Tree<K>, K>>,
+    /// Memo-table hits since construction.
+    pub hits: u64,
+    /// Memo-table misses (entries computed) since construction.
+    pub misses: u64,
+}
+
+impl<K: Semiring> Default for PathMemo<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Semiring> PathMemo<K> {
+    /// An empty memo (tables are sized on first use).
+    pub fn new() -> Self {
+        PathMemo {
+            desc: Vec::new(),
+            qual: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Total number of memoized entries (diagnostics).
+    pub fn entry_count(&self) -> usize {
+        self.desc.iter().map(|m| m.len()).sum::<usize>()
+            + self.qual.iter().map(|m| m.len()).sum::<usize>()
+    }
+
+    fn ensure(&mut self, n_desc: usize, n_qual: usize) {
+        if self.desc.len() != n_desc || self.qual.len() != n_qual {
+            // Slot layout is a pure function of the query, so a
+            // mismatch means this memo belongs to a different query:
+            // start over (defensive — callers key memos by query).
+            self.desc = (0..n_desc).map(|_| Default::default()).collect();
+            self.qual = (0..n_qual).map(|_| Default::default()).collect();
+        }
+    }
+
+    fn desc_at(&mut self, slot: usize, t: &Tree<K>, test: NodeTest) -> Forest<K> {
+        let PathMemo {
+            desc, hits, misses, ..
+        } = self;
+        desc_closure(t, test, &mut desc[slot], hits, misses)
+    }
+}
+
+/// The memoized descendant-or-self closure from a single seed `{t:1}`,
+/// label-filtered by `test`.
+fn desc_closure<K: Semiring>(
+    t: &Tree<K>,
+    test: NodeTest,
+    table: &mut std::collections::HashMap<Tree<K>, Forest<K>>,
+    hits: &mut u64,
+    misses: &mut u64,
+) -> Forest<K> {
+    if let Some(f) = table.get(t) {
+        *hits += 1;
+        return f.clone();
+    }
+    *misses += 1;
+    let mut out = if test.matches(t.label()) {
+        Forest::unit(t.clone())
+    } else {
+        Forest::new()
+    };
+    for (c, kc) in t.children().iter() {
+        let sub = desc_closure(c, test, table, hits, misses);
+        out.extend_scaled(sub, kc);
+    }
+    table.insert(t.clone(), out.clone());
+    out
+}
+
+/// [`PathQuery`] with stable memo-slot indices assigned to every
+/// descendant-family step and every qualifier, in traversal order.
+enum MemoPath {
+    Root,
+    Empty,
+    Step(Box<MemoPath>, Step, Option<usize>),
+    Union(Box<MemoPath>, Box<MemoPath>),
+    Filter(Box<MemoPath>, Box<MemoPath>, usize),
+}
+
+fn build_memo_path(p: &PathQuery, n_desc: &mut usize, n_qual: &mut usize) -> MemoPath {
+    match p {
+        PathQuery::Root => MemoPath::Root,
+        PathQuery::Empty => MemoPath::Empty,
+        PathQuery::Step(inner, s) => {
+            let inner = build_memo_path(inner, n_desc, n_qual);
+            let slot = matches!(s.axis, Axis::Descendant | Axis::StrictDescendant).then(|| {
+                *n_desc += 1;
+                *n_desc - 1
+            });
+            MemoPath::Step(Box::new(inner), *s, slot)
+        }
+        PathQuery::Union(a, b) => MemoPath::Union(
+            Box::new(build_memo_path(a, n_desc, n_qual)),
+            Box::new(build_memo_path(b, n_desc, n_qual)),
+        ),
+        PathQuery::Filter(inner, qual) => {
+            let inner = build_memo_path(inner, n_desc, n_qual);
+            let qual = build_memo_path(qual, n_desc, n_qual);
+            let slot = *n_qual;
+            *n_qual += 1;
+            MemoPath::Filter(Box::new(inner), Box::new(qual), slot)
+        }
+    }
+}
+
+/// [`eval_path`] with subtree-fingerprint memoization (see
+/// [`PathMemo`]). Passing the same memo across evaluations of the same
+/// query over edited versions of a document reuses every
+/// unchanged-subtree result; the result is always identical to
+/// [`eval_path`].
+pub fn eval_path_memo<K: Semiring>(
+    forest: &Forest<K>,
+    p: &PathQuery,
+    memo: &mut PathMemo<K>,
+) -> Forest<K> {
+    let (mut n_desc, mut n_qual) = (0usize, 0usize);
+    let mp = build_memo_path(p, &mut n_desc, &mut n_qual);
+    memo.ensure(n_desc, n_qual);
+    let vroot = Tree::new(Label::new("#vroot"), forest.clone());
+    eval_at_memo(&mp, &vroot, memo)
+}
+
+fn eval_at_memo<K: Semiring>(p: &MemoPath, ctx: &Tree<K>, memo: &mut PathMemo<K>) -> Forest<K> {
+    match p {
+        MemoPath::Root => Forest::unit(ctx.clone()),
+        MemoPath::Empty => Forest::new(),
+        MemoPath::Union(a, b) => {
+            let mut out = eval_at_memo(a, ctx, memo);
+            out.union_with(eval_at_memo(b, ctx, memo));
+            out
+        }
+        MemoPath::Step(inner, s, slot) => {
+            let f = eval_at_memo(inner, ctx, memo);
+            match (s.axis, slot) {
+                (Axis::Descendant, Some(sl)) => {
+                    let mut out = Forest::new();
+                    for (t, k) in f.iter() {
+                        let d = memo.desc_at(*sl, t, s.test);
+                        out.extend_scaled(d, k);
+                    }
+                    out
+                }
+                (Axis::StrictDescendant, Some(sl)) => {
+                    let mut out = Forest::new();
+                    for (t, k) in f.iter() {
+                        for (c, kc) in t.children().iter() {
+                            let d = memo.desc_at(*sl, c, s.test);
+                            out.extend_scaled(d, &k.times(kc));
+                        }
+                    }
+                    out
+                }
+                _ => eval_step(&f, *s),
+            }
+        }
+        MemoPath::Filter(inner, qual, slot) => {
+            let f = eval_at_memo(inner, ctx, memo);
+            let mut out = Forest::new();
+            for (m, k) in f.iter() {
+                let total = match memo.qual[*slot].get(m) {
+                    Some(v) => {
+                        memo.hits += 1;
+                        v.clone()
+                    }
+                    None => {
+                        memo.misses += 1;
+                        let v = eval_at_memo(qual, m, memo).as_kset().total();
+                        memo.qual[*slot].insert(m.clone(), v.clone());
+                        v
+                    }
+                };
+                if !total.is_zero() {
+                    out.insert(m.clone(), k.times(&total));
+                }
+            }
+            out
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,5 +665,56 @@ mod tests {
     fn display_roundtrips_visually() {
         let (_, p) = extract_src("$S//c").unwrap();
         assert_eq!(p.to_string(), "./child::*/descendant::c");
+    }
+
+    /// The memoized evaluator is value-identical to `eval_path` — on
+    /// first use (cold tables), on re-evaluation (pure hits), and
+    /// across document edits with the memo carried over.
+    #[test]
+    fn memo_matches_eval_path_across_edits() {
+        let queries = [
+            "$S//c",
+            "$S/child::a/child::*",
+            "($S//b, $S/child::a)",
+            "for $x in $S//a return for $y in ($x)/child::b return ($x)",
+            "for $t in $S/child::* return $S//c",
+        ];
+        let doc_v1 = "<r> <a {p}> b {q} b2 {s} c </a> <a {w}> z <c/> </a> </r> <c {u}/>";
+        let doc_v2 = "<r> <a {p}> b {q} b2 {s} c </a> <a {w}> z <c2/> </a> </r> <c {u}/>";
+        let f1 = parse_forest::<NatPoly>(doc_v1).unwrap();
+        let f2 = parse_forest::<NatPoly>(doc_v2).unwrap();
+        for q in queries {
+            let (_, path) = extract_src(q).unwrap();
+            let mut memo = PathMemo::new();
+            assert_eq!(
+                eval_path_memo(&f1, &path, &mut memo),
+                eval_path(&f1, &path),
+                "cold memo diverges on {q}"
+            );
+            assert_eq!(
+                eval_path_memo(&f1, &path, &mut memo),
+                eval_path(&f1, &path),
+                "warm memo diverges on {q}"
+            );
+            assert_eq!(
+                eval_path_memo(&f2, &path, &mut memo),
+                eval_path(&f2, &path),
+                "carried-over memo diverges on {q} after edit"
+            );
+        }
+    }
+
+    /// Re-evaluating over an unchanged document is (almost) all hits.
+    #[test]
+    fn memo_hits_on_unchanged_subtrees() {
+        let f = parse_forest::<NatPoly>("<r> <a> <b> <c/> </b> </a> <d> <c/> </d> </r>").unwrap();
+        let (_, path) = extract_src("$S//c").unwrap();
+        let mut memo = PathMemo::new();
+        eval_path_memo(&f, &path, &mut memo);
+        let misses_cold = memo.misses;
+        assert!(misses_cold > 0);
+        eval_path_memo(&f, &path, &mut memo);
+        assert_eq!(memo.misses, misses_cold, "warm re-eval recomputed entries");
+        assert!(memo.hits > 0);
     }
 }

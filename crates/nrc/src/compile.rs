@@ -36,8 +36,7 @@ use crate::expr::{Expr, Name};
 use crate::value::CValue;
 use axml_semiring::{KSet, Semiring};
 use axml_uxml::{
-    weighted_descendant_closure, Forest, Label, NodeBudget, ResultSink, StreamError, Streamed,
-    Tree,
+    weighted_descendant_closure, Forest, Label, NodeBudget, ResultSink, StreamError, Streamed, Tree,
 };
 use std::fmt;
 
@@ -661,7 +660,8 @@ fn cvalue_nodes<K: Semiring>(v: &CValue<K>) -> usize {
 }
 
 fn set_nodes<K: Semiring>(s: &KSet<CValue<K>, K>) -> usize {
-    s.iter().fold(0usize, |n, (v, _)| n.saturating_add(cvalue_nodes(v)))
+    s.iter()
+        .fold(0usize, |n, (v, _)| n.saturating_add(cvalue_nodes(v)))
 }
 
 /// Push one piece, charging its node count against the budget first
@@ -692,8 +692,11 @@ fn emit_cset<K: Semiring>(
         match v {
             CValue::Tree(t) => pairs.push((t, k)),
             other => {
-                return err(op, format!("top-level set element is not a tree: {other:?}"))
-                    .map_err(StreamError::Eval)
+                return err(
+                    op,
+                    format!("top-level set element is not a tree: {other:?}"),
+                )
+                .map_err(StreamError::Eval)
             }
         }
     }

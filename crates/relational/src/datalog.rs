@@ -504,8 +504,18 @@ impl<'a, K: Semiring> Round<'a, K> {
 
     /// Make sure every keyed IDB atom of the variant has its index
     /// built (indexes are shared across variants and rules within a
-    /// round; EDB indexes are prebuilt).
+    /// round; EDB indexes are prebuilt). Variants driven by a tiny
+    /// relation skip the builds — [`Round::join`] scan-probes keyed
+    /// atoms whose index is absent (see [`SCAN_PROBE_MAX`]).
     fn prepare(&mut self, rule: &CRule, srcs: &[Src]) {
+        let tiny_driver = rule
+            .atoms
+            .first()
+            .map(|a0| self.rel(srcs[0], a0.pred).len() <= SCAN_PROBE_MAX)
+            .unwrap_or(true);
+        if tiny_driver {
+            return;
+        }
         for (atom, &src) in rule.atoms.iter().zip(srcs) {
             let Pred::Idb(p) = atom.pred else { continue };
             if atom.key_cols.is_empty() {
@@ -539,7 +549,9 @@ impl<'a, K: Semiring> Round<'a, K> {
         seed0: Option<&[(&'a Tuple, &'a K)]>,
         out: &mut KRelation<K>,
     ) {
-        // Resolve each atom's index once, not per probe.
+        // Resolve each atom's index once, not per probe. A keyed atom
+        // may have no index (tiny-driver variant, see `prepare`) — the
+        // recursion scan-probes it instead.
         let indexes: Vec<Option<&RelIndex<'a, K>>> = rule
             .atoms
             .iter()
@@ -548,10 +560,10 @@ impl<'a, K: Semiring> Round<'a, K> {
                 if atom.key_cols.is_empty() {
                     return None;
                 }
-                Some(match atom.pred {
-                    Pred::Edb(i) => &self.edb_indexes[&(i, atom.key_cols.clone())],
-                    Pred::Idb(i) => &self.idb_indexes[&(src, i, atom.key_cols.clone())],
-                })
+                match atom.pred {
+                    Pred::Edb(i) => self.edb_indexes.get(&(i, atom.key_cols.clone())),
+                    Pred::Idb(i) => self.idb_indexes.get(&(src, i, atom.key_cols.clone())),
+                }
             })
             .collect();
         let mut slots: Vec<Option<RelValue>> = vec![None; rule.n_slots];
@@ -610,21 +622,33 @@ impl<'a, K: Semiring> Round<'a, K> {
                 return;
             }
         }
+        let ground_key = |slots: &Vec<Option<RelValue>>| -> Vec<RelValue> {
+            atom.key_parts
+                .iter()
+                .map(|p| match p {
+                    KeyPart::Const(c) => c.clone(),
+                    KeyPart::Slot(s) => slots[*s].clone().expect("key slot bound"),
+                })
+                .collect()
+        };
         match indexes[i] {
-            None => {
+            None if atom.key_cols.is_empty() => {
                 for (tuple, k) in self.rel(srcs[i], atom.pred).iter() {
                     step(tuple, k, slots);
                 }
             }
+            None => {
+                // Keyed atom without an index (tiny-driver variant):
+                // scan the relation, filtering on the key columns.
+                let key = ground_key(slots);
+                for (tuple, k) in self.rel(srcs[i], atom.pred).iter() {
+                    if atom.key_cols.iter().zip(&key).all(|(&c, v)| tuple[c] == *v) {
+                        step(tuple, k, slots);
+                    }
+                }
+            }
             Some(idx) => {
-                let key: Vec<RelValue> = atom
-                    .key_parts
-                    .iter()
-                    .map(|p| match p {
-                        KeyPart::Const(c) => c.clone(),
-                        KeyPart::Slot(s) => slots[*s].clone().expect("key slot bound"),
-                    })
-                    .collect();
+                let key = ground_key(slots);
                 for &(tuple, k) in idx.probe(&key) {
                     step(tuple, k, slots);
                 }
@@ -720,6 +744,15 @@ pub fn eval_datalog_idb_capped<K: Semiring>(
 /// once the scanned relation reaches this many tuples per chunk.
 const PAR_JOIN_MIN_TUPLES: usize = 64;
 
+/// A variant whose driving (first) atom holds at most this many tuples
+/// skips building hash indexes for its keyed atoms and scan-probes them
+/// instead: a handful of O(n) filtered scans is far cheaper than an
+/// O(n) *allocating* index build that only a handful of probes would
+/// ever consult. This is what makes resumed fixpoints
+/// ([`eval_datalog_idb_resume`]) cost O(Δ·n) comparisons instead of
+/// O(n) allocations per round when the edit delta is tiny.
+const SCAN_PROBE_MAX: usize = 16;
+
 /// [`eval_datalog_idb_ctx`] with an explicit iteration cap.
 pub fn eval_datalog_idb_capped_ctx<K: Semiring>(
     prog: &Program,
@@ -768,22 +801,291 @@ pub fn eval_datalog_idb_limits_ctx<K: Semiring>(
         .iter()
         .map(|&n| anon_schema(n))
         .collect();
-    let empty = |schemas: &[Schema]| -> Vec<KRelation<K>> {
-        schemas.iter().map(|s| KRelation::new(s.clone())).collect()
-    };
-    let mut full = empty(&schemas);
-    let mut prev = empty(&schemas);
-    // Invariant at the top of each round: `prev[p] == Iₙ₋₁[p]` for
-    // every predicate with `needs_prev` — maintained lazily so linear
-    // programs never copy an iterate.
-    let mut prev_fresh = vec![true; n_idb];
-    let mut delta = empty(&schemas);
+    let full = empty_rels::<K>(&schemas);
+    let prev = empty_rels::<K>(&schemas);
+    let prev_fresh = vec![true; n_idb];
     let edb_rels: Vec<&KRelation<K>> = edb.iter().map(|(_, r)| r).collect();
 
     // The EDB never changes: build each (relation, key-columns) probe
     // index exactly once for the whole evaluation.
-    let mut edb_indexes: HashMap<(usize, Vec<usize>), RelIndex<'_, K>> = HashMap::new();
-    for rule in &compiled.rules {
+    let edb_indexes = build_edb_indexes(&compiled.rules, &edb_rels);
+
+    if max_iters == 0 {
+        return no_fixpoint(0);
+    }
+    if let Some(d) = deadline {
+        if std::time::Instant::now() >= d {
+            return Err(DatalogError::deadline());
+        }
+    }
+    // Round 0: depth-1 derivations — all-EDB bodies only.
+    let zero = empty_rels::<K>(&schemas);
+    let mut next_delta;
+    {
+        let mut round = Round {
+            edb_rels: &edb_rels,
+            edb_indexes: &edb_indexes,
+            full: &full,
+            prev: &prev,
+            delta: &zero,
+            idb_indexes: HashMap::new(),
+        };
+        let items: Vec<(usize, Vec<Src>)> = compiled
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(_, rule)| rule.idb_positions.is_empty())
+            .map(|(ri, rule)| (ri, vec![Src::Edb; rule.atoms.len()]))
+            .collect();
+        next_delta = execute_round(&compiled.rules, &schemas, &mut round, &items, ctx);
+    }
+    charge_round(budget, &next_delta)?;
+    let mut full = full;
+    let mut prev = prev;
+    let mut prev_fresh = prev_fresh;
+    if !merge_round(
+        &compiled,
+        &schemas,
+        &mut full,
+        &mut prev,
+        &mut prev_fresh,
+        &mut next_delta,
+    ) {
+        return Ok(named_idb(&compiled, full));
+    }
+    drive_rounds(
+        &compiled,
+        &schemas,
+        &edb_rels,
+        &edb_indexes,
+        full,
+        prev,
+        prev_fresh,
+        next_delta,
+        max_iters - 1,
+        max_iters,
+        ctx,
+        deadline,
+        budget,
+    )
+}
+
+/// Resume a semi-naive fixpoint after an EDB delta: given the retained
+/// IDB fixpoint over `edb[changed] \ added` (the caller has already
+/// removed every tuple invalidated by deletions — see
+/// `crate::ivm`), derive exactly the contributions of derivation trees
+/// that use at least one `added` fact, on top of the retained iterate.
+///
+/// Correctness requires the caller's two invariants:
+/// - `retained` **is** the least fixpoint of `prog` over the EDB with
+///   `added` removed from the `changed` relation (sums over derivation
+///   trees that avoid every added fact), and
+/// - `added` is tuple-disjoint from the old `changed` relation (no
+///   annotation of a retained tuple needs revising in place).
+///
+/// The seeding round fires each rule that mentions `changed` once, with
+/// that atom scanning only the added facts (bodies are re-planned so
+/// the added-facts atom drives the join and everything else is probed),
+/// IDB atoms reading the retained iterate. Later rounds are ordinary
+/// semi-naive IDB-delta rounds over the full new EDB — the same
+/// partition-by-first-maximal-depth argument as the fresh evaluator,
+/// with "depth" counted from the resume point, so every tree using an
+/// added fact is counted exactly once and no tree is counted twice.
+///
+/// Each rule body may mention `changed` at most once (ψ programs
+/// guarantee this); two occurrences would need the pre-delta relation
+/// for exact seeding, which semirings without subtraction cannot
+/// recover, so that case is rejected.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_datalog_idb_resume<K: Semiring>(
+    prog: &Program,
+    edb: &Database<K>,
+    changed: &str,
+    added: &KRelation<K>,
+    retained: BTreeMap<String, KRelation<K>>,
+    max_iters: usize,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+    deadline: Option<std::time::Instant>,
+    budget: Option<&axml_uxml::NodeBudget>,
+) -> Result<BTreeMap<String, KRelation<K>>, DatalogError> {
+    let compiled = compile(prog, edb)?;
+    let Some(changed_idx) = edb.iter().position(|(n, _)| n == changed) else {
+        return err(format!("resume: unknown EDB relation {changed:?}"));
+    };
+    for rule in &prog.rules {
+        if rule.body.iter().filter(|a| a.pred == changed).count() > 1 {
+            return err(format!(
+                "resume: rule {rule} mentions {changed:?} more than once \
+                 (exact delta seeding needs the pre-delta relation)"
+            ));
+        }
+    }
+    // The seeding variants: each body rotated so the changed atom joins
+    // first (the delta drives the join; everything else is probed).
+    // Rules without the changed atom are kept verbatim — and never
+    // fired in the seed round — purely so head order (and therefore
+    // predicate numbering) matches `compiled` exactly.
+    let mut seeded: Vec<bool> = Vec::with_capacity(prog.rules.len());
+    let resume_prog =
+        Program::new(prog.rules.iter().map(
+            |r| match r.body.iter().position(|a| a.pred == changed) {
+                Some(pos) => {
+                    seeded.push(true);
+                    let mut body = r.body.clone();
+                    let a = body.remove(pos);
+                    body.insert(0, a);
+                    Rule::new(r.head.clone(), body)
+                }
+                None => {
+                    seeded.push(false);
+                    r.clone()
+                }
+            },
+        ));
+    let resumed = compile(&resume_prog, edb)?;
+    debug_assert_eq!(resumed.idb_names, compiled.idb_names);
+
+    let n_idb = compiled.idb_names.len();
+    let schemas: Vec<Schema> = compiled
+        .idb_arities
+        .iter()
+        .map(|&n| anon_schema(n))
+        .collect();
+    let mut retained = retained;
+    let full: Vec<KRelation<K>> = compiled
+        .idb_names
+        .iter()
+        .zip(&schemas)
+        .map(|(n, s)| {
+            retained
+                .remove(n)
+                .unwrap_or_else(|| KRelation::new(s.clone()))
+        })
+        .collect();
+    // At the resume point the iterate is stable: Iₙ₋₁ = Iₙ = retained.
+    let prev: Vec<KRelation<K>> = full
+        .iter()
+        .zip(&schemas)
+        .zip(&compiled.needs_prev)
+        .map(|((f, s), &np)| {
+            if np {
+                f.clone()
+            } else {
+                KRelation::new(s.clone())
+            }
+        })
+        .collect();
+    let prev_fresh = vec![true; n_idb];
+
+    if max_iters == 0 {
+        return no_fixpoint(0);
+    }
+    if let Some(d) = deadline {
+        if std::time::Instant::now() >= d {
+            return Err(DatalogError::deadline());
+        }
+    }
+    // Seed round: the changed atom scans only the added facts.
+    let mut seed_rels: Vec<&KRelation<K>> = edb.iter().map(|(_, r)| r).collect();
+    seed_rels[changed_idx] = added;
+    let seed_indexes = build_edb_indexes(&resumed.rules, &seed_rels);
+    let zero = empty_rels::<K>(&schemas);
+    let mut next_delta;
+    {
+        let mut round = Round {
+            edb_rels: &seed_rels,
+            edb_indexes: &seed_indexes,
+            full: &full,
+            prev: &prev,
+            delta: &zero,
+            idb_indexes: HashMap::new(),
+        };
+        let items: Vec<(usize, Vec<Src>)> = resumed
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(ri, _)| seeded[*ri])
+            .map(|(ri, rule)| {
+                let srcs = rule
+                    .atoms
+                    .iter()
+                    .map(|a| match a.pred {
+                        Pred::Edb(_) => Src::Edb,
+                        Pred::Idb(_) => Src::Full,
+                    })
+                    .collect();
+                (ri, srcs)
+            })
+            .collect();
+        next_delta = execute_round(&resumed.rules, &schemas, &mut round, &items, ctx);
+    }
+    charge_round(budget, &next_delta)?;
+    let mut full = full;
+    let mut prev = prev;
+    let mut prev_fresh = prev_fresh;
+    if !merge_round(
+        &compiled,
+        &schemas,
+        &mut full,
+        &mut prev,
+        &mut prev_fresh,
+        &mut next_delta,
+    ) {
+        return Ok(named_idb(&compiled, full));
+    }
+    let edb_rels: Vec<&KRelation<K>> = edb.iter().map(|(_, r)| r).collect();
+    // A tiny seed delta stays tiny through the remaining rounds (each
+    // derives only from the last delta), so a full-EDB hash index
+    // would cost more to build than every probe it would serve —
+    // leave the map empty and let the rounds scan-probe instead.
+    let delta_total: usize = next_delta.iter().map(KRelation::len).sum();
+    let edb_indexes = if delta_total > SCAN_PROBE_MAX {
+        build_edb_indexes(&compiled.rules, &edb_rels)
+    } else {
+        HashMap::new()
+    };
+    drive_rounds(
+        &compiled,
+        &schemas,
+        &edb_rels,
+        &edb_indexes,
+        full,
+        prev,
+        prev_fresh,
+        next_delta,
+        max_iters - 1,
+        max_iters,
+        ctx,
+        deadline,
+        budget,
+    )
+}
+
+fn empty_rels<K: Semiring>(schemas: &[Schema]) -> Vec<KRelation<K>> {
+    schemas.iter().map(|s| KRelation::new(s.clone())).collect()
+}
+
+fn named_idb<K: Semiring>(
+    compiled: &Compiled,
+    full: Vec<KRelation<K>>,
+) -> BTreeMap<String, KRelation<K>> {
+    compiled.idb_names.iter().cloned().zip(full).collect()
+}
+
+fn no_fixpoint<T>(max_iters: usize) -> Result<T, DatalogError> {
+    err(format!(
+        "no fixpoint after {max_iters} iterations (cyclic data with a non-idempotent semiring?)"
+    ))
+}
+
+/// Build each (EDB relation, key-columns) probe index the rules need,
+/// exactly once per evaluation.
+fn build_edb_indexes<'a, K: Semiring>(
+    rules: &[CRule],
+    edb_rels: &[&'a KRelation<K>],
+) -> HashMap<(usize, Vec<usize>), RelIndex<'a, K>> {
+    let mut edb_indexes: HashMap<(usize, Vec<usize>), RelIndex<'a, K>> = HashMap::new();
+    for rule in rules {
         for atom in &rule.atoms {
             if let Pred::Edb(i) = atom.pred {
                 if !atom.key_cols.is_empty() {
@@ -794,8 +1096,154 @@ pub fn eval_datalog_idb_limits_ctx<K: Semiring>(
             }
         }
     }
+    edb_indexes
+}
 
-    for iter in 0..max_iters {
+/// Execute one round's work list against an immutable [`Round`] view,
+/// returning the per-predicate delta it derives. With a non-sequential
+/// context the variants — and probe chunks of full-scan first atoms —
+/// fan out over the pool and merge with the same commutative `+`.
+fn execute_round<'a, K: Semiring>(
+    rules: &[CRule],
+    schemas: &[Schema],
+    round: &mut Round<'a, K>,
+    items: &[(usize, Vec<Src>)],
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+) -> Vec<KRelation<K>> {
+    // Build every index the work list needs up front, so the round is
+    // immutable during the (possibly parallel) joins.
+    for (ri, srcs) in items {
+        round.prepare(&rules[*ri], srcs);
+    }
+    let mut next_delta = empty_rels::<K>(schemas);
+    let round = &*round;
+    match ctx.filter(|c| !c.is_sequential()) {
+        None => {
+            for (ri, srcs) in items {
+                let rule = &rules[*ri];
+                round.join(rule, srcs, None, &mut next_delta[rule.head_pred]);
+            }
+        }
+        Some(c) => {
+            // Fan out: one task per variant, and — when a variant's
+            // first atom is a full scan over a big relation — one task
+            // per probe chunk of that scan.
+            let degree = c.degree();
+            type Seeds<'r, K> = Option<Vec<(&'r Tuple, &'r K)>>;
+            let mut tasks: Vec<(usize, &[Src], Seeds<'_, K>)> = Vec::new();
+            for (ri, srcs) in items {
+                let rule = &rules[*ri];
+                // Only rules whose first atom is a full scan can be
+                // probe-chunked (body-less fact rules and indexed
+                // first atoms run as one task).
+                if let Some(atom0) = rule.atoms.first().filter(|a| a.key_cols.is_empty()) {
+                    let rel = round.rel(srcs[0], atom0.pred);
+                    let want = (rel.len() / PAR_JOIN_MIN_TUPLES).min(degree);
+                    if want >= 2 {
+                        let tuples: Vec<(&Tuple, &K)> = rel.iter().collect();
+                        let per = tuples.len().div_ceil(want);
+                        for chunk in tuples.chunks(per) {
+                            tasks.push((*ri, srcs.as_slice(), Some(chunk.to_vec())));
+                        }
+                        continue;
+                    }
+                }
+                tasks.push((*ri, srcs.as_slice(), None));
+            }
+            let partials: Vec<(usize, KRelation<K>)> =
+                c.pool.map_slice(&tasks, |_, (ri, srcs, seeds)| {
+                    let rule = &rules[*ri];
+                    let mut out = KRelation::new(schemas[rule.head_pred].clone());
+                    round.join(rule, srcs, seeds.as_deref(), &mut out);
+                    (rule.head_pred, out)
+                });
+            for (head, rel) in partials {
+                next_delta[head].union_with(rel);
+            }
+        }
+    }
+    next_delta
+}
+
+/// Charge one round's derived tuples against the memory budget.
+fn charge_round<K: Semiring>(
+    budget: Option<&axml_uxml::NodeBudget>,
+    next_delta: &[KRelation<K>],
+) -> Result<(), DatalogError> {
+    if let Some(b) = budget {
+        let derived: usize = next_delta.iter().map(|d| d.len()).sum();
+        if b.charge(derived).is_err() {
+            return Err(DatalogError::memory());
+        }
+    }
+    Ok(())
+}
+
+/// Fold one round's delta into the iterate, maintaining the lazy
+/// `prev` invariant (`prev[p] == Iₙ₋₁[p]` for every `needs_prev`
+/// predicate at the top of the next round). Output-only predicates'
+/// rows are *moved* into the iterate (their delta is never re-read).
+/// Returns whether anything changed — `false` means fixpoint.
+fn merge_round<K: Semiring>(
+    compiled: &Compiled,
+    schemas: &[Schema],
+    full: &mut [KRelation<K>],
+    prev: &mut [KRelation<K>],
+    prev_fresh: &mut [bool],
+    next_delta: &mut [KRelation<K>],
+) -> bool {
+    let changed = next_delta.iter().any(|d| !d.is_empty());
+    if !changed {
+        return false;
+    }
+    for p in 0..full.len() {
+        if !next_delta[p].is_empty() {
+            if compiled.needs_prev[p] {
+                prev[p] = full[p].clone();
+            }
+            if compiled.idb_in_body[p] {
+                for (t, k) in next_delta[p].iter() {
+                    full[p].insert(t.clone(), k.clone());
+                }
+            } else {
+                // Output-only predicate: no rule re-reads its delta,
+                // so hand the rows over instead of cloning.
+                let moved =
+                    std::mem::replace(&mut next_delta[p], KRelation::new(schemas[p].clone()));
+                full[p].union_with(moved);
+            }
+            prev_fresh[p] = false;
+        } else if compiled.needs_prev[p] && !prev_fresh[p] {
+            // The iterate stabilized this round; catch `prev` up once
+            // so later rounds read Iₙ₋₁ = Iₙ.
+            prev[p] = full[p].clone();
+            prev_fresh[p] = true;
+        }
+    }
+    true
+}
+
+/// The delta-driven rounds shared by the fresh and resumed fixpoints:
+/// each fires one variant per IDB position carrying the last delta
+/// (`Iₙ₋₂` before it, `Iₙ₋₁` after — the exact partition of new-depth
+/// derivation trees), merging until a round derives nothing.
+#[allow(clippy::too_many_arguments)]
+fn drive_rounds<K: Semiring>(
+    compiled: &Compiled,
+    schemas: &[Schema],
+    edb_rels: &[&KRelation<K>],
+    edb_indexes: &HashMap<(usize, Vec<usize>), RelIndex<'_, K>>,
+    mut full: Vec<KRelation<K>>,
+    mut prev: Vec<KRelation<K>>,
+    mut prev_fresh: Vec<bool>,
+    mut delta: Vec<KRelation<K>>,
+    rounds_left: usize,
+    max_iters: usize,
+    ctx: Option<&axml_pool::ExecCtx<'_>>,
+    deadline: Option<std::time::Instant>,
+    budget: Option<&axml_uxml::NodeBudget>,
+) -> Result<BTreeMap<String, KRelation<K>>, DatalogError> {
+    for _ in 0..rounds_left {
         if let Some(d) = deadline {
             if std::time::Instant::now() >= d {
                 return Err(DatalogError::deadline());
@@ -803,147 +1251,55 @@ pub fn eval_datalog_idb_limits_ctx<K: Semiring>(
         }
         // Derivations of the new depth, absorbed ones pruned at the
         // join (see [`Round::join`]): the next delta.
-        let mut next_delta = empty(&schemas);
+        let mut next_delta;
         {
             let mut round = Round {
-                edb_rels: &edb_rels,
-                edb_indexes: &edb_indexes,
+                edb_rels,
+                edb_indexes,
                 full: &full,
                 prev: &prev,
                 delta: &delta,
                 idb_indexes: HashMap::new(),
             };
-            // The round's work list: every (rule, source-vector)
-            // variant that can fire. Round 0 fires only all-EDB bodies
-            // (depth-1 derivations); later rounds fire one variant per
-            // IDB position carrying the delta.
             let mut items: Vec<(usize, Vec<Src>)> = Vec::new();
             for (ri, rule) in compiled.rules.iter().enumerate() {
-                if iter == 0 {
-                    if rule.idb_positions.is_empty() {
-                        items.push((ri, vec![Src::Edb; rule.atoms.len()]));
+                for (vi, &dpos) in rule.idb_positions.iter().enumerate() {
+                    let Pred::Idb(dp) = rule.atoms[dpos].pred else {
+                        unreachable!("idb_positions index IDB atoms")
+                    };
+                    if round.delta[dp].is_empty() {
+                        continue; // this variant cannot derive anything
                     }
-                } else {
-                    for (vi, &dpos) in rule.idb_positions.iter().enumerate() {
-                        let Pred::Idb(dp) = rule.atoms[dpos].pred else {
-                            unreachable!("idb_positions index IDB atoms")
-                        };
-                        if round.delta[dp].is_empty() {
-                            continue; // this variant cannot derive anything
-                        }
-                        let srcs: Vec<Src> = rule
-                            .atoms
-                            .iter()
-                            .enumerate()
-                            .map(|(pos, atom)| match atom.pred {
-                                Pred::Edb(_) => Src::Edb,
-                                Pred::Idb(_) if pos == dpos => Src::Delta,
-                                Pred::Idb(_) if rule.idb_positions[..vi].contains(&pos) => {
-                                    Src::Prev
-                                }
-                                Pred::Idb(_) => Src::Full,
-                            })
-                            .collect();
-                        items.push((ri, srcs));
-                    }
+                    let srcs: Vec<Src> = rule
+                        .atoms
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, atom)| match atom.pred {
+                            Pred::Edb(_) => Src::Edb,
+                            Pred::Idb(_) if pos == dpos => Src::Delta,
+                            Pred::Idb(_) if rule.idb_positions[..vi].contains(&pos) => Src::Prev,
+                            Pred::Idb(_) => Src::Full,
+                        })
+                        .collect();
+                    items.push((ri, srcs));
                 }
             }
-            // Build every index the work list needs up front, so the
-            // round is immutable during the (possibly parallel) joins.
-            for (ri, srcs) in &items {
-                round.prepare(&compiled.rules[*ri], srcs);
-            }
-            let round = &round;
-            match ctx.filter(|c| !c.is_sequential()) {
-                None => {
-                    for (ri, srcs) in &items {
-                        let rule = &compiled.rules[*ri];
-                        round.join(rule, srcs, None, &mut next_delta[rule.head_pred]);
-                    }
-                }
-                Some(c) => {
-                    // Fan out: one task per variant, and — when a
-                    // variant's first atom is a full scan over a big
-                    // relation — one task per probe chunk of that scan.
-                    let degree = c.degree();
-                    type Seeds<'r, K> = Option<Vec<(&'r Tuple, &'r K)>>;
-                    let mut tasks: Vec<(usize, &[Src], Seeds<'_, K>)> = Vec::new();
-                    for (ri, srcs) in &items {
-                        let rule = &compiled.rules[*ri];
-                        // Only rules whose first atom is a full scan
-                        // can be probe-chunked (body-less fact rules
-                        // and indexed first atoms run as one task).
-                        if let Some(atom0) = rule.atoms.first().filter(|a| a.key_cols.is_empty()) {
-                            let rel = round.rel(srcs[0], atom0.pred);
-                            let want = (rel.len() / PAR_JOIN_MIN_TUPLES).min(degree);
-                            if want >= 2 {
-                                let tuples: Vec<(&Tuple, &K)> = rel.iter().collect();
-                                let per = tuples.len().div_ceil(want);
-                                for chunk in tuples.chunks(per) {
-                                    tasks.push((*ri, srcs.as_slice(), Some(chunk.to_vec())));
-                                }
-                                continue;
-                            }
-                        }
-                        tasks.push((*ri, srcs.as_slice(), None));
-                    }
-                    let partials: Vec<(usize, KRelation<K>)> =
-                        c.pool.map_slice(&tasks, |_, (ri, srcs, seeds)| {
-                            let rule = &compiled.rules[*ri];
-                            let mut out = KRelation::new(schemas[rule.head_pred].clone());
-                            round.join(rule, srcs, seeds.as_deref(), &mut out);
-                            (rule.head_pred, out)
-                        });
-                    for (head, rel) in partials {
-                        next_delta[head].union_with(rel);
-                    }
-                }
-            }
+            next_delta = execute_round(&compiled.rules, schemas, &mut round, &items, ctx);
         }
-        if let Some(b) = budget {
-            let derived: usize = next_delta.iter().map(|d| d.len()).sum();
-            if b.charge(derived).is_err() {
-                return Err(DatalogError::memory());
-            }
-        }
-        let changed = next_delta.iter().any(|d| !d.is_empty());
-        if !changed {
-            return Ok(compiled
-                .idb_names
-                .iter()
-                .cloned()
-                .zip(full)
-                .collect::<BTreeMap<_, _>>());
-        }
-        for p in 0..n_idb {
-            if !next_delta[p].is_empty() {
-                if compiled.needs_prev[p] {
-                    prev[p] = full[p].clone();
-                }
-                if compiled.idb_in_body[p] {
-                    for (t, k) in next_delta[p].iter() {
-                        full[p].insert(t.clone(), k.clone());
-                    }
-                } else {
-                    // Output-only predicate: no rule re-reads its
-                    // delta, so hand the rows over instead of cloning.
-                    let moved =
-                        std::mem::replace(&mut next_delta[p], KRelation::new(schemas[p].clone()));
-                    full[p].union_with(moved);
-                }
-                prev_fresh[p] = false;
-            } else if compiled.needs_prev[p] && !prev_fresh[p] {
-                // The iterate stabilized this round; catch `prev` up
-                // once so later rounds read Iₙ₋₁ = Iₙ.
-                prev[p] = full[p].clone();
-                prev_fresh[p] = true;
-            }
+        charge_round(budget, &next_delta)?;
+        if !merge_round(
+            compiled,
+            schemas,
+            &mut full,
+            &mut prev,
+            &mut prev_fresh,
+            &mut next_delta,
+        ) {
+            return Ok(named_idb(compiled, full));
         }
         delta = next_delta;
     }
-    err(format!(
-        "no fixpoint after {max_iters} iterations (cyclic data with a non-idempotent semiring?)"
-    ))
+    no_fixpoint(max_iters)
 }
 
 // ---------------------------------------------------------------------

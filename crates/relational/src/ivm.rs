@@ -1,0 +1,684 @@
+//! Incremental view maintenance for the shredded route (document
+//! churn, PR 9).
+//!
+//! The shredded pipeline is `shred → ψ-Datalog fixpoint → gc → decode`
+//! (Theorem 2). Under document *edits* most of that work is wasted:
+//! the edge relation `E` of the new document differs from the old one
+//! in O(edited subtree + spine) facts. This module maintains the
+//! correspondence between a document and its shredding across edits:
+//!
+//! - [`ShadowDoc`] mirrors the value forest one node per forest entry,
+//!   remembering the shred node id assigned to each entry. Forests are
+//!   keyed on tree *value* (value-identical siblings merge at
+//!   construction), so the mirror is exact: entry ↔ shadow node.
+//! - [`ShadowDoc::sync`] diffs the mirror against the edited forest
+//!   level by level and emits an [`OwnedDelta`]: facts to retire and
+//!   facts to add. Unchanged subtrees keep their ids and produce no
+//!   delta (a no-op edit yields an empty delta); a changed entry whose
+//!   label and annotation survive keeps its id (its own `E` fact is
+//!   unchanged) and recurses; everything else retires its whole old
+//!   subtree and re-shreds the replacement with *fresh* ids.
+//!
+//! Fresh ids never collide with ids ever used before (`next_id` is
+//! monotone), which gives the **deletion exactness** property the
+//! incremental solver relies on: every retired fact mentions a retired
+//! id in a node position, retired ids occur in *no* retained fact, and
+//! — for ψ programs without filters, whose every rule head retains
+//! every body node variable — any IDB tuple derived using a retired
+//! fact mentions a retired id (possibly inside a Skolem term). Pruning
+//! IDB tuples that mention retired ids (see [`prune_retired`])
+//! therefore yields exactly the fixpoint over the retained EDB, and
+//! [`crate::datalog::eval_datalog_idb_resume`] can continue the
+//! semi-naive fixpoint from the added facts alone. Filter queries drop
+//! a body node variable in ψ's qualifier projection, so their cached
+//! IDB state cannot be pruned exactly — callers fall back to a full
+//! re-solve over the (still incrementally maintained) edge relation.
+
+use crate::krel::{KRelation, RelValue, Tuple};
+use crate::shred::edge_schema;
+use axml_semiring::{Semiring, SemiringHom};
+use axml_uxml::{Forest, Label, Tree};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// One forest entry in the mirror: the value tree it corresponds to,
+/// its annotation in the containing forest, the shred node id assigned
+/// to it, and mirrors of its children.
+#[derive(Clone, Debug)]
+pub struct ShadowNode<K: Semiring> {
+    /// The shred node id (`E(parent, id, label)` carries it).
+    pub id: u64,
+    /// The value subtree this entry mirrors.
+    pub tree: Tree<K>,
+    /// The entry's annotation in its containing forest.
+    pub ann: K,
+    /// Mirrors of `tree.children()`, one per entry.
+    pub kids: Vec<ShadowNode<K>>,
+}
+
+/// A document's shredding mirror: node-id assignment for every forest
+/// entry, plus the monotone id allocator.
+#[derive(Clone, Debug)]
+pub struct ShadowDoc<K: Semiring> {
+    next_id: u64,
+    roots: Vec<ShadowNode<K>>,
+}
+
+/// One added edge fact `E(pid, nid, label)`; the annotation is kept
+/// alongside in [`OwnedDelta::added`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AddedFact {
+    /// Parent node id (0 = top level).
+    pub pid: u64,
+    /// The new node's id.
+    pub nid: u64,
+    /// The new node's label.
+    pub label: Label,
+}
+
+/// The edge-relation delta produced by one [`ShadowDoc::sync`]: ids to
+/// retire plus added facts with their annotations. Every old `E` fact
+/// mentioning a retired id (as parent or child) is gone from the new
+/// shredding; no retained or added fact mentions any retired id.
+#[derive(Clone, Debug)]
+pub struct OwnedDelta<K: Semiring> {
+    /// Ids retired by the edit.
+    pub retired: Vec<u64>,
+    /// Added facts with their annotations.
+    pub added: Vec<(AddedFact, K)>,
+}
+
+impl<K: Semiring> OwnedDelta<K> {
+    /// True when the edit changed nothing in the edge relation.
+    pub fn is_empty(&self) -> bool {
+        self.retired.is_empty() && self.added.is_empty()
+    }
+
+    /// Map the added annotations through a homomorphism (retired ids
+    /// are annotation-free).
+    pub fn map_annotations<S: Semiring, H: SemiringHom<K, S>>(&self, h: &H) -> OwnedDelta<S> {
+        OwnedDelta {
+            retired: self.retired.clone(),
+            added: self
+                .added
+                .iter()
+                .map(|(f, k)| (f.clone(), h.apply(k)))
+                .collect(),
+        }
+    }
+
+    /// Apply this delta to an edge relation: drop facts mentioning
+    /// retired ids, insert the added facts. `rel` must be the edge
+    /// relation of the pre-edit document (in the same semiring).
+    pub fn apply_to_edges(&self, rel: &KRelation<K>) -> KRelation<K> {
+        let retired: HashSet<u64> = self.retired.iter().copied().collect();
+        let mut out = KRelation::new(rel.schema().clone());
+        for (t, k) in rel.iter() {
+            if !tuple_mentions(t, &retired) {
+                out.insert(t.clone(), k.clone());
+            }
+        }
+        for (f, k) in &self.added {
+            out.insert(fact_tuple(f), k.clone());
+        }
+        out
+    }
+
+    /// [`OwnedDelta::apply_to_edges`] without the rebuild: retain the
+    /// surviving facts in place and insert the added ones — O(n)
+    /// predicate checks but O(Δ) allocation, which is what the
+    /// maintained edge relation on the churn path wants.
+    pub fn apply_to_edges_in_place(&self, rel: &mut KRelation<K>) {
+        let retired: HashSet<u64> = self.retired.iter().copied().collect();
+        rel.retain(|t, _| !tuple_mentions(t, &retired));
+        for (f, k) in &self.added {
+            rel.insert(fact_tuple(f), k.clone());
+        }
+    }
+}
+
+fn fact_tuple(f: &AddedFact) -> Tuple {
+    vec![
+        RelValue::Node(f.pid),
+        RelValue::Node(f.nid),
+        RelValue::Label(f.label),
+    ]
+}
+
+/// Does `v` mention any of the given node ids (recursively through
+/// Skolem terms)?
+pub fn value_mentions(v: &RelValue, ids: &HashSet<u64>) -> bool {
+    match v {
+        RelValue::Label(_) => false,
+        RelValue::Node(n) => ids.contains(n),
+        RelValue::Skolem(_, args) => args.iter().any(|a| value_mentions(a, ids)),
+    }
+}
+
+/// Does any value of `t` mention any of the given node ids?
+pub fn tuple_mentions(t: &Tuple, ids: &HashSet<u64>) -> bool {
+    t.iter().any(|v| value_mentions(v, ids))
+}
+
+/// Rebuild a relation without the tuples that mention retired ids
+/// (recursively through Skolem arguments). For filter-free ψ programs
+/// this is *exactly* the IDB fixpoint over the retained EDB — see the
+/// module docs for the argument.
+pub fn prune_retired<K: Semiring>(rel: &KRelation<K>, retired: &HashSet<u64>) -> KRelation<K> {
+    let mut out = KRelation::new(rel.schema().clone());
+    for (t, k) in rel.iter() {
+        if !tuple_mentions(t, retired) {
+            out.insert(t.clone(), k.clone());
+        }
+    }
+    out
+}
+
+/// Build the added-facts seed relation for
+/// [`crate::datalog::eval_datalog_idb_resume`] from the net additions
+/// of a delta span. Facts whose parent was itself retired later in the
+/// span must be filtered out by the caller (net additions only).
+pub fn added_facts_relation<K: Semiring>(added: &[(AddedFact, K)]) -> KRelation<K> {
+    let mut rel = KRelation::new(edge_schema());
+    for (f, k) in added {
+        rel.insert(fact_tuple(f), k.clone());
+    }
+    rel
+}
+
+/// The decoded result forest of one tier-A (filter-free) shredded
+/// query, maintained incrementally across edits. Replaces the
+/// per-evaluation `garbage_collect` + `decode` passes — both O(|E2|) —
+/// with an O(Δ) patch.
+///
+/// Soundness rests on the same id discipline as the IDB pruning (see
+/// the module docs): a retained id keeps its label, annotation, and
+/// ancestor chain across an edit, so a cached result root whose
+/// subtree mentions **no** retired id and **no** attach point of an
+/// added fact decodes to the identical tree with the identical
+/// annotation. Every other root — removed, interior-edited, or brand
+/// new — lives entirely inside the retired ∪ fresh id region, so its
+/// replacement decodes from tuples whose parent mentions one of those
+/// ids. Any observation outside this model (a cached root vanishing
+/// while clean, an annotation moving on a clean root, a walk escaping
+/// the delta region) makes [`ResultCache::apply_delta`] return `None`
+/// and the caller falls back to [`ResultCache::rebuild`].
+pub struct ResultCache<K: Semiring> {
+    roots: BTreeMap<Tuple, CachedRoot<K>>,
+}
+
+struct CachedRoot<K: Semiring> {
+    tree: Tree<K>,
+    ann: K,
+    /// Every document node id mentioned in the root's subtree tuples
+    /// (through Skolem arguments) — the dirtiness probe.
+    ids: Vec<u64>,
+}
+
+impl<K: Semiring> Default for ResultCache<K> {
+    fn default() -> Self {
+        ResultCache {
+            roots: BTreeMap::new(),
+        }
+    }
+}
+
+impl<K: Semiring> ResultCache<K> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuild the cache from a raw (pre-gc) `E2` relation and return
+    /// the result forest — `garbage_collect` + `decode` fused into one
+    /// pass (walking only from the pid-0 roots never visits garbage).
+    /// `None` mirrors `decode`'s failure cases (cycle, non-label in
+    /// the label column).
+    pub fn rebuild(&mut self, raw_e2: &KRelation<K>) -> Option<Forest<K>> {
+        self.roots.clear();
+        let zero = RelValue::Node(0);
+        let mut children: HashMap<&RelValue, Vec<(&Tuple, &K)>> = HashMap::new();
+        let mut live: Vec<(&Tuple, &K)> = Vec::new();
+        for (t, k) in raw_e2.iter() {
+            if t[0] == zero {
+                live.push((t, k));
+            } else {
+                children.entry(&t[0]).or_default().push((t, k));
+            }
+        }
+        for (t, k) in live {
+            let mut ids = Vec::new();
+            let mut on_path = HashSet::new();
+            let tree = decode_reachable(t, &children, &mut on_path, &mut ids, None)?;
+            self.roots.insert(
+                t.clone(),
+                CachedRoot {
+                    tree,
+                    ann: k.clone(),
+                    ids,
+                },
+            );
+        }
+        Some(self.assemble())
+    }
+
+    /// Patch the cache after an edit delta and return the new result
+    /// forest. `new_e2` is the raw post-edit `E2` fixpoint; `retired`
+    /// and `fresh` are the edit's net id sets; `touched` holds the
+    /// parent ids of the net added edge facts (the attach points —
+    /// retained ids whose copied subtree gained children). `None`
+    /// means the delta did not behave like a tier-A edit — the caller
+    /// must [`ResultCache::rebuild`].
+    pub fn apply_delta(
+        &mut self,
+        new_e2: &KRelation<K>,
+        retired: &HashSet<u64>,
+        fresh: &HashSet<u64>,
+        touched: &HashSet<u64>,
+    ) -> Option<Forest<K>> {
+        // 1. Dirty roots: any overlap with retired ids or attach
+        //    points. Their replacements decode from the need region.
+        let mut need: HashSet<u64> = fresh.clone();
+        let dirty: Vec<Tuple> = self
+            .roots
+            .iter()
+            .filter(|(_, r)| {
+                r.ids
+                    .iter()
+                    .any(|i| retired.contains(i) || touched.contains(i))
+            })
+            .map(|(t, _)| t.clone())
+            .collect();
+        for t in &dirty {
+            if let Some(r) = self.roots.remove(t) {
+                need.extend(r.ids);
+            }
+        }
+        // 2. One scan: live roots, plus children of the need region.
+        let zero = RelValue::Node(0);
+        let mut children: HashMap<&RelValue, Vec<(&Tuple, &K)>> = HashMap::new();
+        let mut live: Vec<(&Tuple, &K)> = Vec::new();
+        for (t, k) in new_e2.iter() {
+            if t[0] == zero {
+                live.push((t, k));
+            } else if value_mentions(&t[0], &need) {
+                children.entry(&t[0]).or_default().push((t, k));
+            }
+        }
+        // 3. Clean cached roots must all still be live with their
+        //    annotation intact; anything else breaks the model.
+        let mut seen = 0usize;
+        for (t, k) in live {
+            match self.roots.get(t) {
+                Some(r) => {
+                    if r.ann != *k {
+                        return None;
+                    }
+                    seen += 1;
+                }
+                None => {
+                    let mut ids = Vec::new();
+                    let mut on_path = HashSet::new();
+                    let tree = decode_reachable(t, &children, &mut on_path, &mut ids, Some(&need))?;
+                    self.roots.insert(
+                        t.clone(),
+                        CachedRoot {
+                            tree,
+                            ann: k.clone(),
+                            ids,
+                        },
+                    );
+                    seen += 1;
+                }
+            }
+        }
+        if seen != self.roots.len() {
+            return None; // a clean cached root vanished from the fixpoint
+        }
+        Some(self.assemble())
+    }
+
+    /// The cached result forest (value-identical roots merge, exactly
+    /// as `decode` merges them).
+    pub fn assemble(&self) -> Forest<K> {
+        let mut out = Forest::new();
+        for r in self.roots.values() {
+            out.insert(r.tree.clone(), r.ann.clone());
+        }
+        out
+    }
+}
+
+/// Decode the subtree hanging off one `E2` tuple from a children-by-pid
+/// map, collecting every mentioned document id into `ids`. With
+/// `need = Some(set)`, bail (`None`) if the walk mentions an id outside
+/// the set — the caller's children map only covers that region, so an
+/// escape would silently truncate the tree.
+fn decode_reachable<'a, K: Semiring>(
+    t: &'a Tuple,
+    children: &HashMap<&'a RelValue, Vec<(&'a Tuple, &'a K)>>,
+    on_path: &mut HashSet<&'a RelValue>,
+    ids: &mut Vec<u64>,
+    need: Option<&HashSet<u64>>,
+) -> Option<Tree<K>> {
+    let nid = &t[1];
+    let label = t[2].as_label()?;
+    if !on_path.insert(nid) {
+        return None; // cycle through nid
+    }
+    let before = ids.len();
+    collect_ids(nid, ids);
+    if let Some(need) = need {
+        if ids[before..].iter().any(|i| !need.contains(i)) {
+            return None;
+        }
+    }
+    let mut forest = Forest::new();
+    if let Some(kids) = children.get(nid) {
+        for &(ct, ck) in kids {
+            let sub = decode_reachable(ct, children, on_path, ids, need)?;
+            forest.insert(sub, ck.clone());
+        }
+    }
+    on_path.remove(nid);
+    Some(Tree::new(label, forest))
+}
+
+/// Append every `Node` id mentioned by `v` (through Skolem arguments).
+fn collect_ids(v: &RelValue, out: &mut Vec<u64>) {
+    match v {
+        RelValue::Label(_) => {}
+        RelValue::Node(n) => out.push(*n),
+        RelValue::Skolem(_, args) => {
+            for a in args {
+                collect_ids(a, out);
+            }
+        }
+    }
+}
+
+impl<K: Semiring> ShadowDoc<K> {
+    /// Mirror a forest, assigning fresh ids in document order (ids
+    /// start at 1; 0 is the virtual root, as in [`crate::shred::shred`]).
+    pub fn from_forest(forest: &Forest<K>) -> Self {
+        let mut doc = ShadowDoc {
+            next_id: 1,
+            roots: Vec::new(),
+        };
+        doc.roots = forest
+            .iter_document()
+            .into_iter()
+            .map(|(t, k)| mirror_fresh(&mut doc.next_id, t, k))
+            .collect();
+        doc
+    }
+
+    /// The edge relation of the mirrored document, with annotations
+    /// mapped through `h` — byte-equivalent (up to node-id choice) to
+    /// `shred(map(forest))`. Used to (re)build per-semiring edge
+    /// relations from the canonical mirror.
+    pub fn edges_mapped<S: Semiring, H: SemiringHom<K, S>>(&self, h: &H) -> KRelation<S> {
+        let mut rel = KRelation::new(edge_schema());
+        self.for_each_fact(&mut |pid, nid, label, ann| {
+            rel.insert(
+                vec![
+                    RelValue::Node(pid),
+                    RelValue::Node(nid),
+                    RelValue::Label(label),
+                ],
+                h.apply(ann),
+            );
+        });
+        rel
+    }
+
+    /// Visit every edge fact `E(pid, nid, label) @ ann` of the mirror.
+    pub fn for_each_fact(&self, f: &mut impl FnMut(u64, u64, Label, &K)) {
+        fn walk<K: Semiring>(pid: u64, n: &ShadowNode<K>, f: &mut impl FnMut(u64, u64, Label, &K)) {
+            f(pid, n.id, n.tree.label(), &n.ann);
+            for kid in &n.kids {
+                walk(n.id, kid, f);
+            }
+        }
+        for r in &self.roots {
+            walk(0, r, f);
+        }
+    }
+
+    /// Total number of mirrored entries (diagnostics).
+    pub fn node_count(&self) -> usize {
+        fn count<K: Semiring>(n: &ShadowNode<K>) -> usize {
+            1 + n.kids.iter().map(count).sum::<usize>()
+        }
+        self.roots.iter().map(count).sum()
+    }
+
+    /// Diff the mirror against the edited forest and update it in
+    /// place, returning the net edge delta. Matching per level, in
+    /// document order:
+    ///
+    /// 1. a new entry value- and annotation-identical to an old kid
+    ///    keeps that kid's entire mirror subtree (no delta);
+    /// 2. otherwise, a new entry whose label and annotation match an
+    ///    old kid *adopts* its id — the kid's own `E` fact is
+    ///    unchanged — and the diff recurses into the children;
+    /// 3. old kids left unmatched retire their whole subtree; new
+    ///    entries left unmatched shred fresh with brand-new ids.
+    ///
+    /// Ambiguous matches resolve first-to-first in document order: any
+    /// resolution is correct (ids are opaque), only delta size varies.
+    pub fn sync(&mut self, new: &Forest<K>) -> OwnedDelta<K> {
+        let mut delta = OwnedDelta {
+            retired: Vec::new(),
+            added: Vec::new(),
+        };
+        let old_roots = std::mem::take(&mut self.roots);
+        self.roots = sync_level(&mut self.next_id, 0, old_roots, new, &mut delta);
+        delta
+    }
+}
+
+/// Freshly mirror `t @ ann` without recording facts (initial build).
+fn mirror_fresh<K: Semiring>(next_id: &mut u64, t: &Tree<K>, ann: &K) -> ShadowNode<K> {
+    let id = *next_id;
+    *next_id += 1;
+    let kids = t
+        .children_document()
+        .iter()
+        .map(|(c, ck)| mirror_fresh(next_id, c, ck))
+        .collect();
+    ShadowNode {
+        id,
+        tree: t.clone(),
+        ann: ann.clone(),
+        kids,
+    }
+}
+
+/// Freshly mirror `t @ ann` under parent `pid`, recording each new
+/// fact in `added`.
+fn shred_fresh<K: Semiring>(
+    next_id: &mut u64,
+    pid: u64,
+    t: &Tree<K>,
+    ann: &K,
+    added: &mut Vec<(AddedFact, K)>,
+) -> ShadowNode<K> {
+    let id = *next_id;
+    *next_id += 1;
+    added.push((
+        AddedFact {
+            pid,
+            nid: id,
+            label: t.label(),
+        },
+        ann.clone(),
+    ));
+    let kids = t
+        .children_document()
+        .iter()
+        .map(|(c, ck)| shred_fresh(next_id, id, c, ck, added))
+        .collect();
+    ShadowNode {
+        id,
+        tree: t.clone(),
+        ann: ann.clone(),
+        kids,
+    }
+}
+
+fn retire_subtree<K: Semiring>(n: ShadowNode<K>, retired: &mut Vec<u64>) {
+    retired.push(n.id);
+    for kid in n.kids {
+        retire_subtree(kid, retired);
+    }
+}
+
+fn sync_level<K: Semiring>(
+    next_id: &mut u64,
+    pid: u64,
+    old: Vec<ShadowNode<K>>,
+    new: &Forest<K>,
+    delta: &mut OwnedDelta<K>,
+) -> Vec<ShadowNode<K>> {
+    let new_entries = new.iter_document();
+    // Pass 1: exact (tree, ann) matches keep their subtree untouched.
+    // Tree values are unique within a forest (the forest is keyed on
+    // them), so a value-keyed index has one slot per old kid.
+    let mut by_tree: HashMap<&Tree<K>, usize> = HashMap::with_capacity(old.len());
+    for (i, kid) in old.iter().enumerate() {
+        by_tree.insert(&kid.tree, i);
+    }
+    let mut taken: Vec<Option<usize>> = vec![None; new_entries.len()];
+    let mut used = vec![false; old.len()];
+    for (j, (t, a)) in new_entries.iter().enumerate() {
+        if let Some(&i) = by_tree.get(*t) {
+            if !used[i] && old[i].ann == **a {
+                used[i] = true;
+                taken[j] = Some(i);
+            }
+        }
+    }
+    drop(by_tree);
+    // Pass 2: label+annotation matches adopt the old id and recurse.
+    let mut by_label: HashMap<Label, Vec<usize>> = HashMap::new();
+    for (i, kid) in old.iter().enumerate() {
+        if !used[i] {
+            by_label.entry(kid.tree.label()).or_default().push(i);
+        }
+    }
+    for (j, (t, a)) in new_entries.iter().enumerate() {
+        if taken[j].is_some() {
+            continue;
+        }
+        if let Some(cands) = by_label.get_mut(&t.label()) {
+            if let Some(pos) = cands.iter().position(|&i| !used[i] && old[i].ann == **a) {
+                let i = cands.remove(pos);
+                used[i] = true;
+                taken[j] = Some(i);
+            }
+        }
+    }
+    // Move matched old kids out; retire the rest.
+    let mut slots: Vec<Option<ShadowNode<K>>> = old.into_iter().map(Some).collect();
+    let mut result: Vec<ShadowNode<K>> = Vec::with_capacity(new_entries.len());
+    for (j, (t, a)) in new_entries.iter().enumerate() {
+        match taken[j] {
+            Some(i) => {
+                let mut kid = slots[i].take().expect("matched old kid taken twice");
+                if kid.tree != **t {
+                    // Adopted: same id, same fact; children differ.
+                    let old_kids = std::mem::take(&mut kid.kids);
+                    kid.kids = sync_level(next_id, kid.id, old_kids, t.children(), delta);
+                    kid.tree = (*t).clone();
+                }
+                result.push(kid);
+            }
+            None => {
+                result.push(shred_fresh(next_id, pid, t, a, &mut delta.added));
+            }
+        }
+    }
+    for kid in slots.into_iter().flatten() {
+        retire_subtree(kid, &mut delta.retired);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shred::shred;
+    use axml_semiring::{IdentityHom, NatPoly};
+    use std::collections::BTreeMap;
+
+    fn parse(src: &str) -> Forest<NatPoly> {
+        axml_uxml::parse_forest::<NatPoly>(src).expect("parse")
+    }
+
+    /// Canonical multiset of (pid-label-path–independent) edge facts
+    /// can't be compared across different id assignments directly;
+    /// instead compare decoded forests — ids are opaque.
+    fn facts_by_id<K: Semiring>(rel: &KRelation<K>) -> BTreeMap<Tuple, K> {
+        rel.iter().map(|(t, k)| (t.clone(), k.clone())).collect()
+    }
+
+    #[test]
+    fn mirror_matches_shred_shape() {
+        let f = parse("<a> <b/> <c {x}> <d/> </c> </a> <e/>");
+        let doc = ShadowDoc::from_forest(&f);
+        let mirrored = doc.edges_mapped(&IdentityHom);
+        let shredded = shred(&f);
+        // Same number of facts; same multiset of (label, ann) pairs.
+        assert_eq!(mirrored.len(), shredded.len());
+        assert_eq!(doc.node_count(), shredded.len());
+    }
+
+    #[test]
+    fn noop_sync_is_empty() {
+        let f = parse("<a> <b/> <c {x}> <d/> </c> </a>");
+        let mut doc = ShadowDoc::from_forest(&f);
+        let before = facts_by_id(&doc.edges_mapped(&IdentityHom));
+        let delta = doc.sync(&f);
+        assert!(delta.is_empty());
+        assert_eq!(before, facts_by_id(&doc.edges_mapped(&IdentityHom)));
+    }
+
+    #[test]
+    fn sync_delta_reconstructs_edges() {
+        let old = parse("<a> <b/> <c {x}> <d/> </c> </a> <e/>");
+        let new = parse("<a> <b/> <c {x}> <q/> <d2/> </c> </a> <e/>");
+        let mut doc = ShadowDoc::from_forest(&old);
+        let e_old = doc.edges_mapped(&IdentityHom);
+        let delta = doc.sync(&new);
+        assert!(!delta.is_empty());
+        // Applying the delta to the old edges gives the new mirror's
+        // edges exactly.
+        let patched = delta.apply_to_edges(&e_old);
+        let rebuilt = doc.edges_mapped(&IdentityHom);
+        assert_eq!(facts_by_id(&patched), facts_by_id(&rebuilt));
+        // Unchanged subtrees kept their ids: <b/>, <e/> facts intact.
+        let old_facts = facts_by_id(&e_old);
+        let new_facts = facts_by_id(&rebuilt);
+        let kept = old_facts
+            .iter()
+            .filter(|(t, _)| new_facts.contains_key(*t))
+            .count();
+        assert!(kept >= 3, "spine reuse: kept {kept} of {}", old_facts.len());
+    }
+
+    #[test]
+    fn retired_and_added_are_disjoint() {
+        let old = parse("<a> <b> <x/> </b> </a>");
+        let new = parse("<a> <b> <y/> </b> </a>");
+        let mut doc = ShadowDoc::from_forest(&old);
+        let delta = doc.sync(&new);
+        let retired: HashSet<u64> = delta.retired.iter().copied().collect();
+        for (f, _) in &delta.added {
+            assert!(!retired.contains(&f.nid), "fresh id collides with retired");
+        }
+        // <a> and <b> keep their ids (label+ann adoption), only <x/>
+        // retires and <y/> is fresh.
+        assert_eq!(delta.retired.len(), 1);
+        assert_eq!(delta.added.len(), 1);
+    }
+}

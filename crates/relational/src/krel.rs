@@ -162,6 +162,11 @@ impl<K: Semiring> KRelation<K> {
         self.rows.get(tuple)
     }
 
+    /// Keep only the rows satisfying the predicate, in place.
+    pub fn retain<F: FnMut(&Tuple, &K) -> bool>(&mut self, f: F) {
+        self.rows.retain(f);
+    }
+
     /// Pointwise union in place, consuming `other` (annotations add).
     /// Schemas must agree; callers check and report, this asserts.
     pub fn union_with(&mut self, other: KRelation<K>) {

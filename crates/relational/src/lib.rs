@@ -38,6 +38,13 @@
 //!   signature an atom actually uses; EDB indexes are built once per
 //!   evaluation, IDB indexes once per round. `ra.rs`'s natural join
 //!   shares the same index.
+//! - **Scan-probe fallback for tiny drivers**: a rule variant whose
+//!   driving (first) atom holds at most 16 tuples skips the per-round
+//!   index builds entirely and scans its keyed atoms with key-column
+//!   filtering — O(Δ·n) comparisons instead of O(n) allocations per
+//!   round, which is what keeps a resumed fixpoint
+//!   ([`eval_datalog_idb_resume`]) O(Δ) in allocation under small
+//!   edit deltas.
 //! - **Exact delta partition**: round n derives only depth-n
 //!   derivation trees — every rule with m IDB atoms runs in m
 //!   variants (prefix positions read `Iₙ₋₂`, the pivot reads `Δₙ₋₁`,
@@ -67,15 +74,21 @@
 pub mod datalog;
 pub mod datalog_parse;
 pub mod encode;
+pub mod ivm;
 pub mod krel;
 pub mod ra;
 pub mod shred;
 
 pub use datalog::{
-    eval_datalog, eval_datalog_idb, eval_datalog_idb_ctx, eval_datalog_naive, Program, Rule,
+    eval_datalog, eval_datalog_idb, eval_datalog_idb_ctx, eval_datalog_idb_resume,
+    eval_datalog_naive, Program, Rule,
 };
 pub use datalog_parse::parse_program;
 pub use encode::{encode_database, encode_relation, ra_to_uxquery};
+pub use ivm::{
+    added_facts_relation, prune_retired, tuple_mentions, AddedFact, OwnedDelta, ResultCache,
+    ShadowDoc,
+};
 pub use krel::{KRelation, RelIndex, RelValue, Schema, Tuple};
 pub use ra::{eval_ra, Database, RaExpr};
 pub use shred::{

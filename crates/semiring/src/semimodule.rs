@@ -132,6 +132,14 @@ impl<T: Ord + Clone, K: Semiring> KSet<T, K> {
         self.entries.get(item).cloned().unwrap_or_else(K::zero)
     }
 
+    /// Keep only the entries satisfying the predicate — in place, no
+    /// rebuild. The churn path prunes retired tuples out of retained
+    /// Datalog fixpoints this way: an O(Δ) edit must not pay O(n)
+    /// reallocation.
+    pub fn retain<F: FnMut(&T, &K) -> bool>(&mut self, mut f: F) {
+        self.entries.retain(|t, k| f(t, k));
+    }
+
     /// The annotation of `item`, borrowed (`None` if absent) — for
     /// hot paths that must not clone large annotations just to
     /// compare them.

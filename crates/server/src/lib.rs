@@ -30,9 +30,10 @@
 //! | Method & path            | Body            | Response |
 //! |--------------------------|-----------------|----------|
 //! | `GET /health`            | —               | `{"status":"ok"}` |
-//! | `GET /stats`             | —               | documents, prepared queries, in-flight connections, storage stats |
+//! | `GET /stats`             | —               | documents, prepared queries, in-flight connections, storage stats, `incremental` edit/memo counters |
 //! | `GET /documents`         | —               | `{"documents":[…]}` |
 //! | `PUT /documents/{name}`  | document text   | `{"document":…,"loaded":true}` |
+//! | `PATCH /documents/{name}` | edit script    | `{"document":…,"version":…,"ops_applied":…,"spine_nodes_interned":…,"facts_retired":…,"facts_added":…}` |
 //! | `DELETE /documents/{name}` | —             | `{"document":…,"removed":true}` |
 //! | `POST /prepare`          | query text      | `{"handle":"q…","free_vars":[…],"shreddable":…}` |
 //! | `POST /eval`             | query text *or* `?handle=` | the [`axml::json::result_json`] shape, streamed |
@@ -49,6 +50,17 @@
 //! (`{"error":{"kind":…,"message":…}}`) with parse errors carrying
 //! `line`/`column`/`line_text`; a tripped wall-clock deadline is a
 //! `504`, a tripped memory budget a `507`.
+//!
+//! `PATCH /documents/{name}` applies a line-based edit script (see
+//! [`axml::EditScript::parse`]: `splice`, `relabel`, `insert`,
+//! `delete`, `reannotate` ops addressed by child-index paths) through
+//! [`axml::Engine::edit_document`], so subsequent evaluations of the
+//! edited document take the incremental paths — delta-propagated
+//! Datalog fixpoints on the shredded route, subtree-fingerprint memo
+//! hits on the direct/via-NRC routes. A malformed script or a
+//! non-applicable op is a `400` (`"kind":"Edit"`); an edit that races
+//! a concurrent `PUT` replace of the same name is a `409`
+//! (`"kind":"EditConflict"`) and should simply be retried.
 //!
 //! ## Memory under document churn
 //!

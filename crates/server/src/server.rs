@@ -361,6 +361,25 @@ fn respond<W: Write>(
             j.int(stats.distinct_subtrees as u64);
             j.key("child_edges");
             j.int(stats.child_edges as u64);
+            j.key("incremental");
+            j.begin_obj();
+            j.key("edits_applied");
+            j.int(stats.incr.edits_applied);
+            j.key("spine_nodes_interned");
+            j.int(stats.incr.spine_nodes_interned);
+            j.key("delta_facts_retired");
+            j.int(stats.incr.delta_facts_retired);
+            j.key("delta_facts_added");
+            j.int(stats.incr.delta_facts_added);
+            j.key("memo_hits");
+            j.int(stats.incr.memo_hits);
+            j.key("memo_misses");
+            j.int(stats.incr.memo_misses);
+            j.key("incremental_evals");
+            j.int(stats.incr.incremental_evals);
+            j.key("full_fallbacks");
+            j.int(stats.incr.full_fallbacks);
+            j.end_obj();
             j.end_obj();
             ok_json(w, j.finish(), keep_alive)
         }
@@ -392,6 +411,36 @@ fn respond<W: Write>(
                     j.str(&name);
                     j.key("loaded");
                     j.bool(true);
+                    j.end_obj();
+                    ok_json(w, j.finish(), keep_alive)
+                }
+                Err(e) => axml_error(w, &e, keep_alive),
+            }
+        }
+        ("PATCH", _) if path.starts_with("/documents/") => {
+            let name = crate::http::percent_decode(&path["/documents/".len()..]);
+            if name.is_empty() {
+                return bad_request(w, "document name is empty", keep_alive);
+            }
+            let Ok(script) = std::str::from_utf8(&req.body) else {
+                return bad_request(w, "edit script is not UTF-8", keep_alive);
+            };
+            match state.engine.edit_document_text(&name, script) {
+                Ok(stats) => {
+                    let mut j = Json::new();
+                    j.begin_obj();
+                    j.key("document");
+                    j.str(&name);
+                    j.key("version");
+                    j.int(stats.version);
+                    j.key("ops_applied");
+                    j.int(stats.ops_applied as u64);
+                    j.key("spine_nodes_interned");
+                    j.int(stats.spine_nodes_interned as u64);
+                    j.key("facts_retired");
+                    j.int(stats.facts_retired);
+                    j.key("facts_added");
+                    j.int(stats.facts_added);
                     j.end_obj();
                     ok_json(w, j.finish(), keep_alive)
                 }
@@ -460,7 +509,7 @@ fn respond<W: Write>(
         _ if path.starts_with("/documents/") => {
             let body = error_body(
                 "MethodNotAllowed",
-                "use PUT or DELETE on /documents/{name}",
+                "use PUT, PATCH or DELETE on /documents/{name}",
                 &[],
             );
             write_response(
@@ -774,6 +823,8 @@ fn axml_error<W: Write>(w: &mut W, e: &AxmlError, keep_alive: bool) -> io::Resul
         AxmlError::Type { .. } => (400, "Bad Request", "Type"),
         AxmlError::UnsupportedRoute { .. } => (400, "Bad Request", "UnsupportedRoute"),
         AxmlError::UnknownDocument { .. } => (404, "Not Found", "UnknownDocument"),
+        AxmlError::Edit { .. } => (400, "Bad Request", "Edit"),
+        AxmlError::EditConflict { .. } => (409, "Conflict", "EditConflict"),
         AxmlError::Budget {
             resource: BudgetKind::WallClock,
             ..

@@ -39,6 +39,9 @@ usage:
   axml query  [--semiring S] [--route R] [--provenance-first] \\
               [--format text|json] [--stream] [--memory-budget NODES] \\
               (--doc FILE | --text DOC) QUERY
+  axml edit   (--doc FILE | --text DOC) (--script FILE | --ops TEXT) \\
+              [--semiring S] [--route R] [--provenance-first] \\
+              [--format text|json] [QUERY]
   axml parse  [--semiring S] (--doc FILE | --text DOC)
   axml shred  (--doc FILE | --text DOC) PATH     # //c or /a/b style
   axml worlds (--doc FILE | --text DOC)          # possible worlds (ℕ[X] docs)
@@ -53,6 +56,12 @@ formats:         text (default) | json — machine-consumable query results
 streaming:       --stream prints result pieces as they are produced
                  (requires --format json; bytes identical to one-shot);
                  --memory-budget caps evaluation memory in nodes
+edit:            applies a line-based edit script (splice | relabel |
+                 insert | delete | reannotate, child-index paths, one op
+                 per line) through the engine's incremental edit path,
+                 prints the edited document and edit stats; with a QUERY
+                 it then evaluates against the edited engine, so the
+                 delta-propagated / memoized re-evaluation paths engage
 serve:           --addr default 127.0.0.1:8787; --pool 0 = one worker per
                  core; --max-inflight default 64 (further connections get
                  503); --max-prepared default 1024 (LRU-evicted beyond);
@@ -66,6 +75,7 @@ struct Opts {
     stream: bool,
     memory_budget: Option<usize>,
     doc: Option<String>,
+    script: Option<String>,
     addr: String,
     pool: usize,
     max_inflight: usize,
@@ -96,6 +106,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut stream = false;
     let mut memory_budget: Option<usize> = None;
     let mut doc: Option<String> = None;
+    let mut script: Option<String> = None;
     let mut addr = "127.0.0.1:8787".to_owned();
     let mut pool = 0usize;
     let mut max_inflight = 64usize;
@@ -150,6 +161,22 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 doc = Some(args.get(i + 1).ok_or("--text needs a document")?.clone());
                 i += 2;
             }
+            "--script" => {
+                let path = args.get(i + 1).ok_or("--script needs a file path")?;
+                script = Some(
+                    std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?,
+                );
+                i += 2;
+            }
+            "--ops" => {
+                script = Some(
+                    args.get(i + 1)
+                        .ok_or("--ops needs edit-script text")?
+                        .clone(),
+                );
+                i += 2;
+            }
             "--addr" => {
                 addr = args.get(i + 1).ok_or("--addr needs HOST:PORT")?.clone();
                 i += 2;
@@ -192,6 +219,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         stream,
         memory_budget,
         doc,
+        script,
         addr,
         pool,
         max_inflight,
@@ -212,6 +240,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err("query text required".into());
             }
             query_cmd(&opts, &q)
+        }
+        "edit" => {
+            let opts = parse_opts(tail)?;
+            edit_cmd(&opts)
         }
         "parse" => {
             let opts = text_only(parse_opts(tail)?, "parse")?;
@@ -297,6 +329,84 @@ fn query_cmd(opts: &Opts, query: &str) -> Result<(), String> {
     match opts.format {
         OutputFormat::Text => println!("{out}"),
         OutputFormat::Json => println!("{}", result_json(query, &eval_opts, &out)),
+    }
+    Ok(())
+}
+
+/// `axml edit`: load the document, apply the edit script through
+/// [`axml::Engine::edit_document_text`] — the same incremental path
+/// `PATCH /documents/{name}` uses — and print the edited document plus
+/// the edit stats. With a trailing QUERY the command then evaluates it
+/// against the edited engine, so the evaluation takes the
+/// delta-propagated (shredded) or fingerprint-memoized (direct/via-NRC)
+/// re-evaluation paths rather than starting from scratch.
+fn edit_cmd(opts: &Opts) -> Result<(), String> {
+    let script = opts
+        .script
+        .as_deref()
+        .ok_or("an edit script is required (--script FILE or --ops TEXT)")?;
+    let forest = parse_forest::<NatPoly>(opts.doc()?).map_err(|e| e.to_string())?;
+    let engine = Engine::new();
+    engine.insert_forest("S", forest);
+    let stats = engine
+        .edit_document_text("S", script)
+        .map_err(|e| e.to_string())?;
+    let edited = engine.document("S").expect("document was just edited");
+    // The other paper aliases bind the *edited* content, so a query
+    // over $T/$d/$doc sees the same document as $S.
+    for name in ["T", "d", "doc"] {
+        engine.insert_forest(name, (*edited).clone());
+    }
+
+    let query = opts.rest.join(" ");
+    match opts.format {
+        OutputFormat::Text => {
+            print!("{}", pretty(&edited));
+            println!(
+                "edit: version {} | {} op(s) | {} spine node(s) interned | {} fact(s) retired | {} fact(s) added",
+                stats.version,
+                stats.ops_applied,
+                stats.spine_nodes_interned,
+                stats.facts_retired,
+                stats.facts_added
+            );
+        }
+        OutputFormat::Json => {
+            let mut j = Json::new();
+            j.begin_obj();
+            j.key("document");
+            j.str(&edited.to_string());
+            j.key("version");
+            j.int(stats.version);
+            j.key("ops_applied");
+            j.int(stats.ops_applied as u64);
+            j.key("spine_nodes_interned");
+            j.int(stats.spine_nodes_interned as u64);
+            j.key("facts_retired");
+            j.int(stats.facts_retired);
+            j.key("facts_added");
+            j.int(stats.facts_added);
+            j.end_obj();
+            println!("{}", j.finish());
+        }
+    }
+    if query.is_empty() {
+        return Ok(());
+    }
+
+    let semiring: SemiringKind = opts.semiring.parse()?;
+    let route: Route = opts.route.parse()?;
+    let mut eval_opts = EvalOptions::new().semiring(semiring).route(route);
+    if opts.provenance_first {
+        eval_opts = eval_opts.provenance_first();
+    }
+    if let Some(nodes) = opts.memory_budget {
+        eval_opts = eval_opts.memory_budget(nodes);
+    }
+    let out = engine.run(&query, eval_opts).map_err(|e| e.to_string())?;
+    match opts.format {
+        OutputFormat::Text => println!("{out}"),
+        OutputFormat::Json => println!("{}", result_json(&query, &eval_opts, &out)),
     }
     Ok(())
 }

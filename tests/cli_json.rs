@@ -154,3 +154,57 @@ fn unknown_format_is_rejected() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown format"));
 }
+
+#[test]
+fn edit_applies_scripts_and_reports_stats() {
+    // Text mode: edited document + a stats line + the query result.
+    let out = run_axml(&[
+        "edit",
+        "--text",
+        "<a {z}> <b {x1}> d {y1} </b> </a>",
+        "--ops",
+        "insert /0 c {w}\nreannotate /0/0/0 3",
+        "--semiring",
+        "nat",
+        "$S//c",
+    ]);
+    assert!(out.contains("c {w}"), "{out}");
+    assert!(out.contains("edit: version 1 | 2 op(s)"), "{out}");
+    assert!(out.trim_end().ends_with("(c)"), "{out}");
+
+    // JSON mode: one stats object, then the standard result object.
+    let out = run_axml(&[
+        "edit",
+        "--format",
+        "json",
+        "--text",
+        "<a {z}> <b {x1}> d {y1} </b> </a>",
+        "--ops",
+        "delete /0/0",
+        "--semiring",
+        "nat",
+        "--route",
+        "shredded",
+        "$S//d",
+    ]);
+    let mut lines = out.lines();
+    let stats = lines.next().expect("stats line");
+    let result = lines.next().expect("result line");
+    assert_well_formed_json(stats);
+    assert_well_formed_json(result);
+    assert!(stats.contains("\"version\":1"), "{stats}");
+    assert!(stats.contains("\"ops_applied\":1"), "{stats}");
+    assert!(result.contains("\"route\":\"shredded\""), "{result}");
+
+    // A bad script is a clean error, not a panic.
+    let out = Command::new(env!("CARGO_BIN_EXE_axml"))
+        .args(["edit", "--text", "<a> b </a>", "--ops", "delete /7"])
+        .output()
+        .expect("axml binary runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("out of range"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
