@@ -32,6 +32,7 @@ use crate::incr::{DocIncr, IncrCounters, IncrStats};
 use crate::options::{EvalOptions, SemiringKind};
 use crate::prepared::PreparedQuery;
 use crate::result::AxmlResult;
+use axml_pool::PoolStats;
 use axml_semiring::{FnHom, NatPoly};
 use axml_uxml::{arena::intern_forest_mapped, parse_forest, Forest};
 use std::collections::{BTreeMap, VecDeque};
@@ -151,6 +152,13 @@ pub struct StorageStats {
     /// applied, spine nodes interned per edit, ±Δ fact volumes, memo
     /// hits/misses, incremental evals vs stateless fallbacks.
     pub incr: IncrStats,
+    /// Scheduling counters of the **global** worker pool (queue depths
+    /// per lane class, owned/helped/stolen/injected executions, max
+    /// queue residency). All-zero until some evaluation has actually
+    /// used the global pool — reading stats never spawns it. Servers
+    /// running evaluations on their own pool report that pool's
+    /// counters on `GET /stats` instead.
+    pub scheduler: PoolStats,
 }
 
 /// What one [`Engine::edit_document`] call did: the published
@@ -374,6 +382,7 @@ impl Engine {
             distinct_subtrees: arena.len(),
             child_edges: arena.child_edge_count(),
             incr: self.counters.snapshot(),
+            scheduler: axml_pool::global_stats(),
         }
     }
 

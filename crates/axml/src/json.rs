@@ -47,6 +47,37 @@ pub fn string(s: &str) -> String {
     format!("\"{}\"", escape(s))
 }
 
+/// Append the scheduler-counter object for one pool snapshot. The
+/// single source of truth for the `scheduler` stats shape: the
+/// server's `GET /stats` (its own pool) and the CLI's
+/// `query --stats` (the global pool) both emit exactly these keys.
+pub fn scheduler_json(j: &mut Json, s: &axml_pool::PoolStats) {
+    j.begin_obj();
+    j.key("workers");
+    j.int(s.workers as u64);
+    j.key("lanes");
+    j.int(s.lanes as u64);
+    j.key("queued_cheap");
+    j.int(s.queued_cheap as u64);
+    j.key("queued_normal");
+    j.int(s.queued_normal as u64);
+    j.key("queued_expensive");
+    j.int(s.queued_expensive as u64);
+    j.key("queued_deques");
+    j.int(s.queued_deques as u64);
+    j.key("executed_owned");
+    j.int(s.owned);
+    j.key("executed_helped");
+    j.int(s.helped);
+    j.key("executed_stolen");
+    j.int(s.stolen);
+    j.key("executed_injected");
+    j.int(s.injected);
+    j.key("max_queue_residency_ns");
+    j.int(s.max_queue_residency_ns);
+    j.end_obj();
+}
+
 /// An incremental builder for one JSON value — objects, arrays and
 /// scalars, with commas managed automatically. No reflection, no
 /// intermediate DOM: values stream into one `String`.

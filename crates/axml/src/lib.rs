@@ -275,7 +275,7 @@ mod prepared;
 mod registry;
 mod result;
 
-pub use axml_pool::Pool;
+pub use axml_pool::{global_stats as scheduler_stats, Lane, Pool, PoolStats};
 pub use cursor::{EvalCursor, StreamItem, STREAM_BUFFER_PIECES};
 pub use edit::{EditOp, EditScript};
 pub use engine::{EditStats, Engine, StorageStats, STORE_SHARDS};

@@ -10,7 +10,7 @@ use std::fmt;
 use std::str::FromStr;
 use std::time::{Duration, Instant};
 
-pub use axml_pool::Parallelism;
+pub use axml_pool::{Lane, Parallelism};
 
 /// The semirings selectable at runtime.
 ///
@@ -249,6 +249,17 @@ pub struct EvalOptions {
     /// intermediate sets count toward it (the budget tracks what the
     /// evaluation *produces*, which can exceed the final result size).
     pub memory_budget: Option<usize>,
+    /// Scheduling lane hint for this evaluation's pool work (default:
+    /// none — inherit the surrounding scope's lane, or
+    /// [`Lane::Normal`]). With `Some(lane)`, every task the evaluation
+    /// spawns — descendant-sweep chunks, Datalog round partitions,
+    /// differential legs — is queued in that lane class of the pool's
+    /// injector, and threads waiting on this evaluation's scopes only
+    /// ever help with its own work (scope affinity; see the
+    /// `axml-pool` crate docs). Purely a scheduling hint: results are
+    /// byte-identical in every lane, and the sequential path ignores
+    /// it entirely.
+    pub lane: Option<Lane>,
 }
 
 impl EvalOptions {
@@ -308,6 +319,13 @@ impl EvalOptions {
         self.memory_budget = Some(nodes);
         self
     }
+
+    /// Queue this evaluation's pool work in `lane` (see
+    /// [`EvalOptions::lane`]).
+    pub fn lane(mut self, lane: Lane) -> Self {
+        self.lane = Some(lane);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -359,9 +377,12 @@ mod tests {
         let o = EvalOptions::new()
             .semiring(SemiringKind::Why)
             .route(Route::Differential)
-            .provenance_first();
+            .provenance_first()
+            .lane(Lane::Cheap);
         assert_eq!(o.semiring, SemiringKind::Why);
         assert_eq!(o.route, Route::Differential);
         assert_eq!(o.mode, EvalMode::ProvenanceFirst);
+        assert_eq!(o.lane, Some(Lane::Cheap));
+        assert_eq!(EvalOptions::new().lane, None);
     }
 }

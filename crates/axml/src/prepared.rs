@@ -321,7 +321,10 @@ impl PreparedQuery {
             deadline: opts.deadline,
             budget: budget.as_ref(),
         };
-        match opts.mode {
+        // A lane hint classifies every scope this evaluation opens on
+        // the pool (thread-inherited, so nested fan-out stays in the
+        // lane); it never changes what is computed.
+        let run = || match opts.mode {
             EvalMode::ProvenanceFirst => {
                 let sym = self.value_in::<NatPoly>(engine, aliases, opts.route, ctx, limits)?;
                 if opts.semiring == SemiringKind::NatPoly {
@@ -335,6 +338,10 @@ impl PreparedQuery {
                 self.value_in::<S>(engine, aliases, opts.route, ctx, limits)
                     .map(S::wrap_value)
             }),
+        };
+        match opts.lane {
+            Some(lane) => axml_pool::with_lane(lane, run),
+            None => run(),
         }
     }
 
@@ -538,7 +545,9 @@ fn produce<S: EvalKind>(
     }
     let arts = S::artifacts(&me.inner);
     let mut sink = ChannelSink::new(tx, produced, S::piece);
-    let outcome = match opts.route {
+    // The lane hint must be re-armed here: it is thread-local and the
+    // producer is a fresh thread, not the request handler's.
+    let mut run = || match opts.route {
         Route::Direct => {
             let bound: Vec<(&str, Value<S>)> = inputs
                 .iter()
@@ -560,6 +569,10 @@ fn produce<S: EvalKind>(
         Route::Shredded | Route::Differential => {
             unreachable!("non-incremental routes materialize in eval_stream_bound")
         }
+    };
+    let outcome = match opts.lane {
+        Some(lane) => axml_pool::with_lane(lane, run),
+        None => run(),
     };
     match outcome {
         // A finished set: dropping `tx` closes the channel, which the

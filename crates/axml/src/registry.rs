@@ -57,6 +57,10 @@ struct RegEntry {
     source: String,
     slot: OnceLock<Result<PreparedQuery, AxmlError>>,
     last_used: AtomicU64,
+    /// EWMA of observed evaluation cost in nanoseconds (0 = no
+    /// history). Fed by [`QueryRegistry::record_cost`]; the server uses
+    /// it to classify requests into cheap/expensive scheduling lanes.
+    cost_ns: AtomicU64,
 }
 
 /// A concurrent, bounded prepared-query registry (see the module
@@ -145,6 +149,7 @@ impl QueryRegistry {
                             source: src.to_owned(),
                             slot: OnceLock::new(),
                             last_used: AtomicU64::new(0),
+                            cost_ns: AtomicU64::new(0),
                         })
                     })
                     .clone()
@@ -194,6 +199,48 @@ impl QueryRegistry {
         let prepared = entry.slot.get()?.as_ref().ok().cloned()?;
         self.touch(&entry);
         Some(prepared)
+    }
+
+    /// Record an observed evaluation cost for `handle`, folding it
+    /// into the entry's per-query EWMA (weight 1/4 to the new sample:
+    /// `new = old*3/4 + sample/4`; the first sample seeds it). Unknown
+    /// handles are a no-op. A load/store race between two finishing
+    /// evaluations can drop one sample — acceptable for a scheduling
+    /// hint.
+    pub fn record_cost(&self, handle: &str, cost_ns: u64) {
+        let Some(hash) = parse_handle(handle) else {
+            return;
+        };
+        let entry = {
+            let read = self.entries.read().expect("registry lock");
+            match read.get(&hash) {
+                Some(e) => Arc::clone(e),
+                None => return,
+            }
+        };
+        let old = entry.cost_ns.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            cost_ns.max(1)
+        } else {
+            (old - old / 4).saturating_add(cost_ns / 4).max(1)
+        };
+        entry.cost_ns.store(new, Ordering::Relaxed);
+    }
+
+    /// The EWMA evaluation cost of `handle` in nanoseconds, if any
+    /// evaluation of it has been observed via [`Self::record_cost`].
+    pub fn cost_hint(&self, handle: &str) -> Option<u64> {
+        let hash = parse_handle(handle)?;
+        let entry = self
+            .entries
+            .read()
+            .expect("registry lock")
+            .get(&hash)?
+            .clone();
+        match entry.cost_ns.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(ns),
+        }
     }
 
     /// Forget a handle. Returns whether it was registered.
@@ -303,6 +350,28 @@ mod tests {
             assert!(reg.len() <= 8, "len {} at i={i}", reg.len());
         }
         assert_eq!(reg.len(), 8);
+    }
+
+    #[test]
+    fn cost_ewma_seeds_then_converges() {
+        let reg = QueryRegistry::new();
+        let (h, _) = reg.prepare("$S/b").unwrap();
+        assert_eq!(reg.cost_hint(&h), None, "no history yet");
+        reg.record_cost(&h, 1_000_000);
+        assert_eq!(reg.cost_hint(&h), Some(1_000_000), "first sample seeds");
+        // Repeated faster samples pull the average down geometrically.
+        for _ in 0..64 {
+            reg.record_cost(&h, 100_000);
+        }
+        let settled = reg.cost_hint(&h).unwrap();
+        assert!(
+            (90_000..=120_000).contains(&settled),
+            "EWMA converges toward recent samples, got {settled}"
+        );
+        // Unknown/malformed handles are a silent no-op.
+        reg.record_cost("q0000000000000000", 5);
+        reg.record_cost("nonsense", 5);
+        assert_eq!(reg.cost_hint("nonsense"), None);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Tail-latency isolation under mixed cheap/expensive load: the
+//! scope-affine scheduler must keep a swarm of cheap requests from
+//! queueing behind one long evaluation sharing the same small pool.
+//!
+//! - `cheap_requests_finish_before_the_expensive_one`: the ISSUE-10
+//!   regression. Two pool workers, one long NatPoly shredded eval in
+//!   the expensive lane, 32 cheap PosBool direct evals in the cheap
+//!   lane, all concurrent. Every cheap request must complete before
+//!   the expensive one does, and every result must stay byte-identical
+//!   to a sequential reference run.
+//! - `mixed_lane_stress_byte_identical`: 8 threads hammering all three
+//!   lanes at once on one shared pool — lane hints order queues, they
+//!   must never change bytes.
+
+use axml::{Engine, EvalOptions, Lane, Parallelism, Pool, Route, SemiringKind};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+/// A deep × wide ℕ[X] document: `levels` nested rings, each ring
+/// carrying `width` annotated `c` leaves, so `//c` in the shredded
+/// route runs a fixpoint over `levels * width` facts.
+fn big_doc(levels: usize, width: usize) -> String {
+    let mut s = String::new();
+    for l in 0..levels {
+        s.push_str(&format!("<a {{x{l}}}> "));
+        for w in 0..width {
+            s.push_str(&format!("c {{y{l}_{w}}} "));
+        }
+    }
+    for _ in 0..levels {
+        s.push_str("</a> ");
+    }
+    s
+}
+
+/// A flat ℕ[X] document with `width` annotated leaves — cheap to
+/// query on any route, big enough that a parallel eval actually
+/// spawns pool tasks.
+fn flat_doc(width: usize) -> String {
+    let mut s = String::from("<r> ");
+    for w in 0..width {
+        s.push_str(&format!("c {{v{w}}} "));
+    }
+    s.push_str("</r>");
+    s
+}
+
+const EXPENSIVE_QUERY: &str = "$BIG//c";
+const CHEAP_QUERY: &str = "$SMALL//c";
+
+fn expensive_opts() -> EvalOptions {
+    EvalOptions::new()
+        .semiring(SemiringKind::NatPoly)
+        .route(Route::Shredded)
+        .lane(Lane::Expensive)
+        .parallelism(Parallelism::threads(2))
+}
+
+fn cheap_opts() -> EvalOptions {
+    EvalOptions::new()
+        .semiring(SemiringKind::PosBool)
+        .route(Route::Direct)
+        .lane(Lane::Cheap)
+        .parallelism(Parallelism::threads(2))
+}
+
+fn load(engine: &Engine) {
+    engine.load_document("BIG", &big_doc(64, 96)).unwrap();
+    engine.load_document("SMALL", &flat_doc(96)).unwrap();
+}
+
+/// Sequential reference for one (query, opts) pair on a fresh engine.
+fn reference(query: &str, opts: EvalOptions) -> String {
+    let engine = Engine::new();
+    load(&engine);
+    let opts = opts.parallelism(Parallelism::sequential());
+    engine.run(query, opts).unwrap().to_string()
+}
+
+#[test]
+fn cheap_requests_finish_before_the_expensive_one() {
+    const CHEAP: usize = 32;
+    let want_expensive = reference(EXPENSIVE_QUERY, expensive_opts());
+    let want_cheap = reference(CHEAP_QUERY, cheap_opts());
+
+    let engine = Arc::new(Engine::new());
+    load(&engine);
+    let pool = Arc::new(Pool::new(2));
+    let expensive = Arc::new(engine.prepare(EXPENSIVE_QUERY).unwrap());
+    let cheap = Arc::new(engine.prepare(CHEAP_QUERY).unwrap());
+
+    // Completion order: each request takes the next ticket as it
+    // finishes; the expensive request must draw the last one.
+    let finish = Arc::new(AtomicUsize::new(0));
+    let (started_tx, started_rx) = mpsc::channel::<()>();
+
+    let exp_thread = {
+        let engine = Arc::clone(&engine);
+        let pool = Arc::clone(&pool);
+        let expensive = Arc::clone(&expensive);
+        let finish = Arc::clone(&finish);
+        thread::spawn(move || {
+            started_tx.send(()).unwrap();
+            let got = expensive
+                .eval_with(&engine, expensive_opts(), &[], Some(&pool))
+                .unwrap();
+            let order = finish.fetch_add(1, Ordering::SeqCst);
+            (got.to_string(), order)
+        })
+    };
+    // Head start: the expensive eval is running (or about to) before
+    // any cheap request is submitted — the adversarial ordering.
+    started_rx.recv().unwrap();
+    thread::sleep(std::time::Duration::from_millis(1));
+
+    let mut cheap_threads = Vec::new();
+    for i in 0..CHEAP {
+        let engine = Arc::clone(&engine);
+        let pool = Arc::clone(&pool);
+        let cheap = Arc::clone(&cheap);
+        let finish = Arc::clone(&finish);
+        cheap_threads.push(thread::spawn(move || {
+            let got = cheap
+                .eval_with(&engine, cheap_opts(), &[], Some(&pool))
+                .unwrap();
+            let order = finish.fetch_add(1, Ordering::SeqCst);
+            (i, got.to_string(), order)
+        }));
+    }
+
+    let mut worst_cheap = 0;
+    for h in cheap_threads {
+        let (i, got, order) = h.join().expect("cheap thread finished");
+        assert_eq!(got, want_cheap, "cheap request {i} diverged");
+        worst_cheap = worst_cheap.max(order);
+    }
+    let (got, exp_order) = exp_thread.join().expect("expensive thread finished");
+    assert_eq!(got, want_expensive, "expensive request diverged");
+    assert_eq!(
+        exp_order, CHEAP,
+        "the expensive request must finish after all {CHEAP} cheap ones \
+         (finished at position {exp_order}, worst cheap at {worst_cheap})"
+    );
+
+    // The isolation left a trace: waiters executed their own scopes'
+    // tasks rather than parking (helped), and lanes existed.
+    let stats = pool.stats();
+    assert!(
+        stats.owned + stats.helped + stats.stolen + stats.injected > 0,
+        "the pool executed tasks: {stats:?}"
+    );
+}
+
+#[test]
+fn mixed_lane_stress_byte_identical() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 12;
+    let lanes = [Lane::Cheap, Lane::Normal, Lane::Expensive];
+    let cases: Vec<(String, EvalOptions)> = vec![
+        (EXPENSIVE_QUERY.into(), expensive_opts()),
+        (CHEAP_QUERY.into(), cheap_opts()),
+        (
+            "element p { $SMALL/* }".into(),
+            EvalOptions::new()
+                .semiring(SemiringKind::Nat)
+                .route(Route::Differential)
+                .parallelism(Parallelism::threads(2)),
+        ),
+        (
+            "$BIG/a".into(),
+            EvalOptions::new()
+                .semiring(SemiringKind::Why)
+                .route(Route::Direct)
+                .parallelism(Parallelism::threads(2)),
+        ),
+    ];
+    let expected: Vec<String> = cases.iter().map(|(q, o)| reference(q, *o)).collect();
+
+    let engine = Arc::new(Engine::new());
+    load(&engine);
+    let pool = Arc::new(Pool::new(4));
+    let prepared: Arc<Vec<_>> = Arc::new(
+        cases
+            .iter()
+            .map(|(q, _)| engine.prepare(q).unwrap())
+            .collect(),
+    );
+    let cases = Arc::new(cases);
+    let expected = Arc::new(expected);
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let engine = Arc::clone(&engine);
+        let pool = Arc::clone(&pool);
+        let prepared = Arc::clone(&prepared);
+        let cases = Arc::clone(&cases);
+        let expected = Arc::clone(&expected);
+        handles.push(thread::spawn(move || {
+            for round in 0..ROUNDS {
+                let ci = (t + round) % cases.len();
+                // Rotate the lane hint independently of the case, so
+                // every query runs in every lane across the test.
+                let lane = lanes[(t + round) % lanes.len()];
+                let opts = cases[ci].1.lane(lane);
+                let got = prepared[ci]
+                    .eval_with(&engine, opts, &[], Some(&pool))
+                    .unwrap();
+                assert_eq!(
+                    got.to_string(),
+                    expected[ci],
+                    "thread {t} round {round}: case {ci} in {lane:?} diverged"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no stress thread panicked");
+    }
+}

@@ -442,6 +442,179 @@ fn server_first_byte(c: &mut Criterion) {
     }
 }
 
+/// Mixed cheap/expensive load on a 2-worker server pool — the
+/// tail-latency-isolation scenario scope-affine scheduling exists for.
+/// Cheap requests are PosBool direct evals over a small document;
+/// expensive ones run the NatPoly shredded fixpoint over a deep one.
+/// One background client hammers the expensive handle continuously
+/// while the foreground client times cheap requests, first in
+/// isolation and then under the mixed load.
+///
+/// Records `server/mixed_load/{cheap_p50,cheap_p99,expensive_mean}`
+/// (nanoseconds, machine-dependent, hand-measured like
+/// [`server_loopback`]) plus `server/mixed_load/cheap_p99_interference`
+/// — mixed-load cheap p99 divided by isolated cheap p99 from the same
+/// process, a dimensionless ratio that transfers across machines the
+/// way the `churn/` ratios do. Interference ≈ 1 means an expensive
+/// stranger's fixpoint cannot capture a cheap request's critical path;
+/// the pre-affinity scheduler measured multiples of that. `server/*`
+/// records are exempt from median normalization in the regression
+/// gate.
+fn server_mixed_load(c: &mut Criterion) {
+    let _ = c; // measured by hand: per-request latencies under load
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let test_mode = args.iter().any(|a| a == "--test");
+    if let Some(filter) = args.iter().rfind(|a| !a.starts_with("--")) {
+        if !"server/mixed_load".contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    let engine = Arc::new(Engine::new());
+    let (levels, width) = if test_mode { (8, 12) } else { (48, 96) };
+    let big: String = {
+        let mut s = String::new();
+        for l in 0..levels {
+            s.push_str(&format!("<a {{x{l}}}> "));
+            for w in 0..width {
+                s.push_str(&format!("c {{y{l}_{w}}} "));
+            }
+        }
+        for _ in 0..levels {
+            s.push_str("</a> ");
+        }
+        s
+    };
+    let small: String = {
+        let body: String = (0..96).map(|w| format!("c {{v{w}}} ")).collect();
+        format!("<r> {body} </r>")
+    };
+    engine.load_document("BIG", &big).expect("loads BIG");
+    engine.load_document("SMALL", &small).expect("loads SMALL");
+    let config = axml_server::ServerConfig {
+        pool_workers: 2,
+        ..Default::default()
+    };
+    let mut server = axml_server::start(config, engine).expect("loopback server starts");
+    let addr = server.addr();
+
+    let prepare = |conn: &mut std::net::TcpStream, query: &str| -> String {
+        let body = query.as_bytes();
+        let response = roundtrip(
+            conn,
+            &format!(
+                "POST /prepare HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            ),
+            body,
+        );
+        let text = String::from_utf8(response).expect("prepare response is UTF-8");
+        text.split("\"handle\":\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .expect("prepare returns a handle")
+            .to_owned()
+    };
+    let mut conn = std::net::TcpStream::connect(addr).expect("connects");
+    conn.set_nodelay(true).expect("nodelay");
+    let cheap_handle = prepare(&mut conn, "$SMALL//c");
+    let expensive_handle = prepare(&mut conn, "$BIG//c");
+    let cheap_head = format!(
+        "POST /eval?handle={cheap_handle}&semiring=posbool HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+    );
+    let expensive_head = format!(
+        "POST /eval?handle={expensive_handle}&semiring=natpoly&route=shredded&parallelism=2 \
+         HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+    );
+
+    let (warmup, samples) = if test_mode { (1, 2) } else { (20, 200) };
+    let measure_cheap = |conn: &mut std::net::TcpStream| -> Vec<f64> {
+        (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                let body = roundtrip(conn, &cheap_head, b"");
+                let ns = t.elapsed().as_nanos() as f64;
+                assert!(!body.is_empty(), "cheap eval response has a body");
+                ns
+            })
+            .collect()
+    };
+    let pct = |ns: &[f64], p: f64| {
+        let mut sorted = ns.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        sorted[((sorted.len() - 1) as f64 * p) as usize]
+    };
+
+    // Phase 1 — isolation: the cheap request's cost with the pool to
+    // itself, the denominator of the interference ratio.
+    for _ in 0..warmup {
+        roundtrip(&mut conn, &cheap_head, b"");
+        roundtrip(&mut conn, &expensive_head, b"");
+    }
+    let isolated = measure_cheap(&mut conn);
+
+    // Phase 2 — mixed: an expensive client loops back-to-back on its
+    // own connection while the cheap client re-measures.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let expensive_client = {
+        let stop = Arc::clone(&stop);
+        let head = expensive_head.clone();
+        let mut conn = std::net::TcpStream::connect(addr).expect("connects");
+        conn.set_nodelay(true).expect("nodelay");
+        std::thread::spawn(move || {
+            let mut latencies_ns = Vec::new();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let t = Instant::now();
+                let body = roundtrip(&mut conn, &head, b"");
+                latencies_ns.push(t.elapsed().as_nanos() as f64);
+                assert!(!body.is_empty(), "expensive eval response has a body");
+            }
+            latencies_ns
+        })
+    };
+    let mixed = measure_cheap(&mut conn);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let expensive_ns = expensive_client.join().expect("expensive client finished");
+    server.shutdown();
+
+    let cheap_p50 = pct(&mixed, 0.50);
+    let cheap_p99 = pct(&mixed, 0.99);
+    let expensive_mean = expensive_ns.iter().sum::<f64>() / expensive_ns.len().max(1) as f64;
+    let interference = cheap_p99 / pct(&isolated, 0.99);
+    criterion::record(
+        "server/mixed_load/cheap_p50",
+        cheap_p50,
+        cheap_p50,
+        cheap_p50,
+        cheap_p50,
+        samples,
+    );
+    criterion::record(
+        "server/mixed_load/cheap_p99",
+        cheap_p99,
+        cheap_p99,
+        cheap_p99,
+        cheap_p99,
+        samples,
+    );
+    criterion::record(
+        "server/mixed_load/expensive_mean",
+        expensive_mean,
+        expensive_mean,
+        expensive_mean,
+        expensive_mean,
+        expensive_ns.len(),
+    );
+    criterion::record(
+        "server/mixed_load/cheap_p99_interference",
+        interference,
+        interference,
+        interference,
+        interference,
+        samples,
+    );
+}
+
 /// Like [`roundtrip`], but returns `(time to the end of the first data
 /// chunk, time to the last body byte)` in nanoseconds, both measured
 /// from the moment the request is fully written.
@@ -539,6 +712,7 @@ criterion_group!(
     churn,
     eval_stream,
     server_loopback,
-    server_first_byte
+    server_first_byte,
+    server_mixed_load
 );
 criterion_main!(benches);

@@ -18,7 +18,7 @@
 //!   takes. `Parallelism::sequential()` (the default everywhere) means
 //!   the pool is never touched — single-threaded callers pay nothing.
 //!
-//! # Scheduling model
+//! # Scheduling
 //!
 //! Each worker owns a deque behind its own mutex: the owner pushes and
 //! pops at the back (LIFO keeps the working set warm), thieves and the
@@ -28,13 +28,46 @@
 //! uncontended lock per queue operation (µs-scale tasks; fine for the
 //! chunk sizes the evaluators use).
 //!
-//! A thread that waits on a scope **helps**: while its tasks are
-//! outstanding it pops and runs pool work (its own tasks or anyone
-//! else's) instead of blocking. This makes nested scopes
-//! deadlock-free — a worker that opens a scope inside a task keeps
-//! executing queued tasks until its own are done — and means a pool of
-//! `n` workers gives `n + 1` execution streams to the thread driving a
-//! scope.
+//! **Scope affinity.** Every scope gets a process-unique id and
+//! carries its full ancestry path (root scope first); every spawned
+//! task is tagged with the spawning scope's path. Worker threads in
+//! their main loop run *anything* — that is the throughput path. But a
+//! thread *waiting* on a scope (inside [`Pool::scope`] or
+//! [`Pool::join`]) helps only with tasks whose path contains its own
+//! scope id: its own tasks, or tasks of scopes transitively nested
+//! inside it. It never executes a foreign request's work, so a cheap
+//! request's critical path can no longer be captured by a stranger's
+//! multi-millisecond task. Helping stays deadlock-free by induction:
+//! every pending task of the waiter's subtree is either queued — and
+//! therefore claimable by the waiter itself — or already running on
+//! some thread, whose own nested waits only ever involve deeper
+//! subtrees of the same scope.
+//!
+//! **Priority lanes.** The injector is not one global FIFO but a set
+//! of per-root-scope FIFO lanes, each classified [`Lane::Cheap`],
+//! [`Lane::Normal`] or [`Lane::Expensive`]. Unrestricted consumers
+//! (worker main loops) drain cheap-class lanes first, then normal,
+//! then expensive, round-robin *within* a class so concurrent requests
+//! of the same class share fairly. An **aging tick** bounds starvation:
+//! every eighth injector pop (`AGING_TICK`) ignores class priority and
+//! serves the lane whose front task has waited longest, so an
+//! expensive lane always makes progress under sustained cheap load.
+//! Empty lanes are removed eagerly; an idle pool holds no lane state.
+//!
+//! **Steal order.** A waiting thread looks for affine work in this
+//! order: its own deque (newest first), then its root scope's injector
+//! lanes, then other workers' deques (oldest first). Checking the
+//! injector *before* foreign deques is deliberate — a waiter whose own
+//! scope has runnable work queued must take that work rather than
+//! scanning other deques first.
+//!
+//! Lane classification is inherited: a nested scope adopts its parent
+//! scope's lane; a scope opened outside any task adopts the thread's
+//! [`with_lane`] hint, defaulting to [`Lane::Normal`].
+//! [`Pool::scope_in`] overrides explicitly. [`Pool::stats`] snapshots
+//! scheduling counters ([`PoolStats`]): queue depths per lane class,
+//! owned vs helped vs stolen vs injected executions, and the maximum
+//! queue residency ever observed.
 //!
 //! # Panics
 //!
@@ -54,12 +87,13 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A queued unit of work. Lifetime-erased; see the module docs.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -71,14 +105,234 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// wakes each worker only ~10×/sec.
 const IDLE_WAIT: Duration = Duration::from_millis(100);
 
+/// Every `AGING_TICK`-th unrestricted injector pop ignores lane class
+/// priority and serves the lane whose front task has waited longest —
+/// the starvation bound for expensive lanes under sustained cheap
+/// load (an expensive task is delayed by at most `AGING_TICK - 1`
+/// higher-priority pops per consumer).
+const AGING_TICK: u64 = 8;
+
+/// Priority class of a scope's injector lane. Order matters: lower
+/// classes are drained first by unrestricted consumers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lane {
+    /// Latency-sensitive work: drained before everything else.
+    Cheap,
+    /// The default class for work with no hint.
+    #[default]
+    Normal,
+    /// Long-running/throughput work: drained last (but never starved —
+    /// see the aging tick in the module docs).
+    Expensive,
+}
+
+impl Lane {
+    /// Stable lower-case name (`"cheap"` / `"normal"` / `"expensive"`),
+    /// used by stats surfaces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Cheap => "cheap",
+            Lane::Normal => "normal",
+            Lane::Expensive => "expensive",
+        }
+    }
+}
+
+/// Process-wide scope id allocator (never 0; ids are unique across
+/// pools so nested scopes compose even when they span pools).
+static NEXT_SCOPE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One queued task: the erased job plus its scheduling tag.
+struct Task {
+    job: Job,
+    /// Root-first ancestry path of the spawning scope. A waiter with
+    /// scope id `s` may run this task iff `path` contains `s`.
+    path: Arc<[u64]>,
+    /// Lane class inherited from the spawning scope.
+    lane: Lane,
+    /// When the task entered a queue — measures queue residency.
+    enqueued: Instant,
+}
+
+impl Task {
+    fn affine_to(&self, scope: u64) -> bool {
+        self.path.contains(&scope)
+    }
+}
+
+/// One FIFO lane of the injector: all external submissions of one root
+/// scope in one lane class.
+struct LaneQueue {
+    root: u64,
+    class: Lane,
+    queue: VecDeque<Task>,
+}
+
+/// The external submission queue: per-root-scope lanes with class
+/// priority, round-robin within a class, and an aging tick. All state
+/// lives behind one mutex (uncontended in the common case — workers
+/// mostly trade through their deques).
+struct Injector {
+    lanes: Vec<LaneQueue>,
+    /// Round-robin cursor across lanes of the class being drained.
+    rr: usize,
+    /// Unrestricted pop counter driving the aging tick.
+    pops: u64,
+}
+
+impl Injector {
+    fn new() -> Self {
+        Injector {
+            lanes: Vec::new(),
+            rr: 0,
+            pops: 0,
+        }
+    }
+
+    fn push(&mut self, task: Task) {
+        let (root, class) = (task.path[0], task.lane);
+        if let Some(l) = self
+            .lanes
+            .iter_mut()
+            .find(|l| l.root == root && l.class == class)
+        {
+            l.queue.push_back(task);
+        } else {
+            let mut queue = VecDeque::new();
+            queue.push_back(task);
+            self.lanes.push(LaneQueue { root, class, queue });
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    fn has_affine(&self, root: u64, scope: u64) -> bool {
+        self.lanes
+            .iter()
+            .any(|l| l.root == root && l.queue.iter().any(|t| t.affine_to(scope)))
+    }
+
+    fn take_front(&mut self, idx: usize) -> Option<Task> {
+        let t = self.lanes[idx].queue.pop_front();
+        if self.lanes[idx].queue.is_empty() {
+            self.lanes.remove(idx);
+        }
+        t
+    }
+
+    /// Unrestricted pop: aging tick, then class priority with
+    /// round-robin within the class.
+    fn pop_any(&mut self) -> Option<Task> {
+        if self.lanes.is_empty() {
+            return None;
+        }
+        self.pops = self.pops.wrapping_add(1);
+        if self.pops.is_multiple_of(AGING_TICK) {
+            if let Some(idx) = self
+                .lanes
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| !l.queue.is_empty())
+                .min_by_key(|(_, l)| l.queue.front().map(|t| t.enqueued))
+                .map(|(i, _)| i)
+            {
+                return self.take_front(idx);
+            }
+            return None;
+        }
+        for class in [Lane::Cheap, Lane::Normal, Lane::Expensive] {
+            let candidates: Vec<usize> = self
+                .lanes
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.class == class && !l.queue.is_empty())
+                .map(|(i, _)| i)
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let pick = candidates[self.rr % candidates.len()];
+            self.rr = self.rr.wrapping_add(1);
+            return self.take_front(pick);
+        }
+        None
+    }
+
+    /// Restricted pop for a waiter: oldest queued task of the waiter's
+    /// own scope subtree, looking only at its root scope's lanes.
+    fn pop_affine(&mut self, root: u64, scope: u64) -> Option<Task> {
+        for idx in 0..self.lanes.len() {
+            if self.lanes[idx].root != root {
+                continue;
+            }
+            if let Some(pos) = self.lanes[idx]
+                .queue
+                .iter()
+                .position(|t| t.affine_to(scope))
+            {
+                let t = self.lanes[idx].queue.remove(pos);
+                if self.lanes[idx].queue.is_empty() {
+                    self.lanes.remove(idx);
+                }
+                return t;
+            }
+        }
+        None
+    }
+}
+
+/// Execution counters (monotone since pool creation). Relaxed atomics:
+/// these are observability, not synchronization.
+#[derive(Default)]
+struct Counters {
+    owned: AtomicU64,
+    helped: AtomicU64,
+    stolen: AtomicU64,
+    injected: AtomicU64,
+    max_residency_ns: AtomicU64,
+}
+
+/// A point-in-time snapshot of a pool's scheduling state, from
+/// [`Pool::stats`]. Queue depths are instantaneous; execution counters
+/// are monotone since pool creation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Injector lanes currently live (empty lanes are removed eagerly).
+    pub lanes: usize,
+    /// Tasks queued in cheap-class injector lanes.
+    pub queued_cheap: usize,
+    /// Tasks queued in normal-class injector lanes.
+    pub queued_normal: usize,
+    /// Tasks queued in expensive-class injector lanes.
+    pub queued_expensive: usize,
+    /// Tasks queued across the workers' own deques.
+    pub queued_deques: usize,
+    /// Tasks a worker popped from its own deque.
+    pub owned: u64,
+    /// Tasks executed by a thread waiting on a scope (affine help).
+    pub helped: u64,
+    /// Tasks a worker stole from another worker's deque.
+    pub stolen: u64,
+    /// Tasks a worker took from the injector lanes.
+    pub injected: u64,
+    /// The longest any task has sat queued before being popped, in
+    /// nanoseconds.
+    pub max_queue_residency_ns: u64,
+}
+
 /// State shared between the pool handle, its workers, and in-flight
 /// completion callbacks (which may outlive a `Scope` but never the
 /// `Arc`).
 struct Shared {
-    /// FIFO queue for work submitted from non-worker threads.
-    injector: Mutex<VecDeque<Job>>,
+    /// Per-root-scope priority lanes for work submitted from
+    /// non-worker threads.
+    injector: Mutex<Injector>,
     /// One deque per worker: owner end is the back, steal end the front.
-    deques: Vec<Mutex<VecDeque<Job>>>,
+    deques: Vec<Mutex<VecDeque<Task>>>,
     /// Sleep/wake rendezvous. Pushers and completions notify under the
     /// mutex so a sleeper can never miss a wakeup between its re-check
     /// and its wait.
@@ -93,7 +347,12 @@ struct Shared {
     /// already-pushed job.
     sleepers: AtomicUsize,
     shutdown: AtomicBool,
+    counters: Counters,
 }
+
+/// The waiter's identity for restricted (affine) scheduling:
+/// `(root scope id, own scope id)`.
+type Affinity = (u64, u64);
 
 impl Shared {
     fn notify(&self) {
@@ -108,39 +367,77 @@ impl Shared {
         self.idle.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn any_queued(&self) -> bool {
-        if !self
-            .injector
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .is_empty()
-        {
-            return true;
-        }
-        self.deques
-            .iter()
-            .any(|d| !d.lock().unwrap_or_else(|e| e.into_inner()).is_empty())
+    fn note_pop(&self, t: &Task) {
+        let ns = t.enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.counters
+            .max_residency_ns
+            .fetch_max(ns, Ordering::Relaxed);
     }
 
-    /// Pop one job: own deque (LIFO) if `me` is a worker, then the
-    /// injector, then steal FIFO from the other deques.
-    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+    /// Is there anything this consumer could run? Affinity-aware so a
+    /// restricted waiter sleeps instead of spinning on foreign work.
+    fn any_queued(&self, aff: Option<Affinity>) -> bool {
+        match aff {
+            None => {
+                !self
+                    .injector
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .is_empty()
+                    || self
+                        .deques
+                        .iter()
+                        .any(|d| !d.lock().unwrap_or_else(|e| e.into_inner()).is_empty())
+            }
+            Some((root, scope)) => {
+                self.injector
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .has_affine(root, scope)
+                    || self.deques.iter().any(|d| {
+                        d.lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .iter()
+                            .any(|t| t.affine_to(scope))
+                    })
+            }
+        }
+    }
+
+    /// Pop one task. `aff: None` (worker main loop) runs anything:
+    /// own deque LIFO, then injector lanes by class priority, then
+    /// steal FIFO from other deques. `aff: Some` (a waiter inside a
+    /// scope) only ever takes tasks of its own scope subtree — own
+    /// deque first, then its root's injector lanes, then (last) other
+    /// workers' deques.
+    fn find_job(&self, me: Option<usize>, aff: Option<Affinity>) -> Option<Task> {
+        match aff {
+            None => self.find_any(me),
+            Some((root, scope)) => self.find_affine(me, root, scope),
+        }
+    }
+
+    fn find_any(&self, me: Option<usize>) -> Option<Task> {
         if let Some(i) = me {
-            if let Some(j) = self.deques[i]
+            if let Some(t) = self.deques[i]
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .pop_back()
             {
-                return Some(j);
+                self.note_pop(&t);
+                self.counters.owned.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
             }
         }
-        if let Some(j) = self
+        if let Some(t) = self
             .injector
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .pop_front()
+            .pop_any()
         {
-            return Some(j);
+            self.note_pop(&t);
+            self.counters.injected.fetch_add(1, Ordering::Relaxed);
+            return Some(t);
         }
         let n = self.deques.len();
         let start = me.map_or(0, |i| i + 1);
@@ -149,12 +446,59 @@ impl Shared {
             if Some(i) == me {
                 continue;
             }
-            if let Some(j) = self.deques[i]
+            if let Some(t) = self.deques[i]
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .pop_front()
             {
-                return Some(j);
+                self.note_pop(&t);
+                self.counters.stolen.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn find_affine(&self, me: Option<usize>, root: u64, scope: u64) -> Option<Task> {
+        if let Some(i) = me {
+            let mut q = self.deques[i].lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(pos) = q.iter().rposition(|t| t.affine_to(scope)) {
+                if let Some(t) = q.remove(pos) {
+                    drop(q);
+                    self.note_pop(&t);
+                    self.counters.helped.fetch_add(1, Ordering::Relaxed);
+                    return Some(t);
+                }
+            }
+        }
+        // Own-scope injector lanes come BEFORE any foreign-deque scan:
+        // a waiter whose scope has runnable work queued must take it
+        // rather than go hunting in other workers' deques first.
+        if let Some(t) = self
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_affine(root, scope)
+        {
+            self.note_pop(&t);
+            self.counters.helped.fetch_add(1, Ordering::Relaxed);
+            return Some(t);
+        }
+        let n = self.deques.len();
+        let start = me.map_or(0, |i| i + 1);
+        for off in 0..n {
+            let i = (start + off) % n;
+            if Some(i) == me {
+                continue;
+            }
+            let mut q = self.deques[i].lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(pos) = q.iter().position(|t| t.affine_to(scope)) {
+                if let Some(t) = q.remove(pos) {
+                    drop(q);
+                    self.note_pop(&t);
+                    self.counters.helped.fetch_add(1, Ordering::Relaxed);
+                    return Some(t);
+                }
             }
         }
         None
@@ -165,8 +509,45 @@ thread_local! {
     /// `(pool identity, worker index)` of the pool this thread works
     /// for, if any — lets `spawn` from inside a task push to the
     /// worker's own deque instead of the injector.
-    static CURRENT_WORKER: std::cell::Cell<(usize, usize)> =
-        const { std::cell::Cell::new((0, usize::MAX)) };
+    static CURRENT_WORKER: Cell<(usize, usize)> = const { Cell::new((0, usize::MAX)) };
+    /// The scope this thread is currently executing inside (the scope
+    /// body, or a task's spawning scope while the task runs) — makes
+    /// nested scopes children of the right parent and inherits lanes.
+    static CURRENT_SCOPE: RefCell<Option<(Arc<[u64]>, Lane)>> = const { RefCell::new(None) };
+    /// Thread-level lane hint for root scopes, set by [`with_lane`].
+    static LANE_HINT: Cell<Option<Lane>> = const { Cell::new(None) };
+}
+
+/// Run `f` with `lane` as this thread's lane hint: every *root* scope
+/// opened inside (directly or via the free [`scope`]/[`join`]) adopts
+/// it, and nested scopes inherit it from their parents. This is how a
+/// request handler classifies all pool work of one evaluation without
+/// threading a lane through every call site. The previous hint is
+/// restored on exit (also on panic).
+pub fn with_lane<R>(lane: Lane, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Lane>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LANE_HINT.with(|c| c.set(self.0));
+        }
+    }
+    let prev = LANE_HINT.with(|c| c.replace(Some(lane)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Execute a task with `CURRENT_SCOPE` set to its spawning scope, so
+/// scopes the task opens become children (affinity + lane inheritance).
+fn run_task(task: Task) {
+    struct Restore(Option<(Arc<[u64]>, Lane)>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_SCOPE.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = CURRENT_SCOPE.with(|c| c.borrow_mut().replace((Arc::clone(&task.path), task.lane)));
+    let _restore = Restore(prev);
+    (task.job)();
 }
 
 /// A fixed-size worker pool. See the module docs for the scheduling
@@ -192,12 +573,13 @@ impl Pool {
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
-            injector: Mutex::new(VecDeque::new()),
+            injector: Mutex::new(Injector::new()),
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             idle: Mutex::new(()),
             wake: Condvar::new(),
             sleepers: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -217,23 +599,60 @@ impl Pool {
         self.handles.len()
     }
 
+    /// Snapshot the scheduling state: instantaneous queue depths per
+    /// lane class plus monotone execution counters.
+    pub fn stats(&self) -> PoolStats {
+        let (lanes, queued_cheap, queued_normal, queued_expensive) = {
+            let inj = self
+                .shared
+                .injector
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let mut by_class = [0usize; 3];
+            for l in &inj.lanes {
+                by_class[l.class as usize] += l.queue.len();
+            }
+            (inj.lanes.len(), by_class[0], by_class[1], by_class[2])
+        };
+        let queued_deques = self
+            .shared
+            .deques
+            .iter()
+            .map(|d| d.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum();
+        let c = &self.shared.counters;
+        PoolStats {
+            workers: self.handles.len(),
+            lanes,
+            queued_cheap,
+            queued_normal,
+            queued_expensive,
+            queued_deques,
+            owned: c.owned.load(Ordering::Relaxed),
+            helped: c.helped.load(Ordering::Relaxed),
+            stolen: c.stolen.load(Ordering::Relaxed),
+            injected: c.injected.load(Ordering::Relaxed),
+            max_queue_residency_ns: c.max_residency_ns.load(Ordering::Relaxed),
+        }
+    }
+
     fn identity(&self) -> usize {
         Arc::as_ptr(&self.shared) as usize
     }
 
-    fn push(&self, job: Job) {
+    fn push(&self, task: Task) {
         let (pool_id, idx) = CURRENT_WORKER.with(|c| c.get());
         if pool_id == self.identity() && idx < self.shared.deques.len() {
             self.shared.deques[idx]
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
-                .push_back(job);
+                .push_back(task);
         } else {
             self.shared
                 .injector
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
-                .push_back(job);
+                .push(task);
         }
         self.shared.notify();
     }
@@ -241,28 +660,74 @@ impl Pool {
     /// Structured fork-join: run `f` with a [`Scope`] on which tasks
     /// borrowing from the enclosing frame can be spawned; returns only
     /// after every spawned task has finished. The calling thread
-    /// executes pool work while it waits. The first task panic (or a
-    /// panic in `f` itself) is re-raised here once the scope is
-    /// drained.
+    /// executes queued work *of this scope's subtree only* while it
+    /// waits (see the module docs). The first task panic (or a panic
+    /// in `f` itself) is re-raised here once the scope is drained.
+    ///
+    /// The scope's lane is inherited: its parent scope's lane when
+    /// opened inside one, otherwise the thread's [`with_lane`] hint,
+    /// otherwise [`Lane::Normal`]. Use [`Pool::scope_in`] to override.
     pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        self.scope_impl(None, f)
+    }
+
+    /// [`Pool::scope`] with an explicit lane class for this scope (and,
+    /// by inheritance, every scope nested inside it).
+    pub fn scope_in<'env, R>(&self, lane: Lane, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        self.scope_impl(Some(lane), f)
+    }
+
+    fn scope_impl<'env, R>(&self, lane: Option<Lane>, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        let id = NEXT_SCOPE_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT_SCOPE.with(|c| c.borrow().clone());
+        let lane = lane
+            .or(parent.as_ref().map(|(_, l)| *l))
+            .or(LANE_HINT.with(|c| c.get()))
+            .unwrap_or_default();
+        let path: Arc<[u64]> = match &parent {
+            Some((p, _)) => {
+                let mut v = Vec::with_capacity(p.len() + 1);
+                v.extend_from_slice(p);
+                v.push(id);
+                Arc::from(v)
+            }
+            None => Arc::from(vec![id]),
+        };
         let s = Scope {
             pool: self,
             core: Arc::new(ScopeCore {
                 pending: AtomicUsize::new(0),
                 panic: Mutex::new(None),
             }),
+            path: Arc::clone(&path),
+            lane,
             _marker: PhantomData,
         };
         // Even if `f` panics we must drain the scope before unwinding
-        // this frame: spawned jobs hold (erased) borrows into it.
-        let body = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
+        // this frame: spawned jobs hold (erased) borrows into it. The
+        // body runs with CURRENT_SCOPE set so nested scopes become
+        // children of this one.
+        let body = {
+            struct Restore(Option<(Arc<[u64]>, Lane)>);
+            impl Drop for Restore {
+                fn drop(&mut self) {
+                    CURRENT_SCOPE.with(|c| *c.borrow_mut() = self.0.take());
+                }
+            }
+            let prev = CURRENT_SCOPE.with(|c| c.borrow_mut().replace((path, lane)));
+            let _restore = Restore(prev);
+            panic::catch_unwind(AssertUnwindSafe(|| f(&s)))
+        };
         let me = {
             let (pool_id, idx) = CURRENT_WORKER.with(|c| c.get());
             (pool_id == self.identity()).then_some(idx)
         };
+        // Affine help: only tasks whose path contains this scope's id
+        // — our own tasks and those of scopes nested inside us.
+        let aff = Some((s.path[0], id));
         while s.core.pending.load(Ordering::Acquire) != 0 {
-            if let Some(job) = self.shared.find_job(me) {
-                job();
+            if let Some(task) = self.shared.find_job(me, aff) {
+                run_task(task);
                 continue;
             }
             let guard = self.shared.lock_idle();
@@ -272,7 +737,7 @@ impl Pool {
             // raced ahead are visible here; later ones will see the
             // sleeper count and notify. The long timeout is a
             // belt-and-braces bound, not a polling interval.
-            if s.core.pending.load(Ordering::Acquire) != 0 && !self.shared.any_queued() {
+            if s.core.pending.load(Ordering::Acquire) != 0 && !self.shared.any_queued(aff) {
                 drop(self.shared.wake.wait_timeout(guard, IDLE_WAIT));
             }
             self.shared.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -296,8 +761,8 @@ impl Pool {
 
     /// Run `a` and `b`, potentially in parallel: `b` is offered to the
     /// pool, `a` runs inline on the calling thread, and the call
-    /// returns both results (helping with queued work while waiting
-    /// for `b`).
+    /// returns both results (helping with queued work of this scope's
+    /// subtree while waiting for `b`).
     pub fn join<RA, RB, A, B>(&self, a: A, b: B) -> (RA, RB)
     where
         A: FnOnce() -> RA,
@@ -405,8 +870,10 @@ impl Drop for Pool {
 fn worker_loop(shared: Arc<Shared>, index: usize) {
     CURRENT_WORKER.with(|c| c.set((Arc::as_ptr(&shared) as usize, index)));
     loop {
-        if let Some(job) = shared.find_job(Some(index)) {
-            job();
+        // The unrestricted throughput path: a worker outside any scope
+        // runs whatever the lane priorities hand it.
+        if let Some(task) = shared.find_job(Some(index), None) {
+            run_task(task);
             continue;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -418,7 +885,7 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         // then re-check, then sleep; pushes and shutdown notify when
         // sleepers are present (the timeout only bounds unforeseen
         // bugs).
-        if !shared.any_queued() && !shared.shutdown.load(Ordering::SeqCst) {
+        if !shared.any_queued(None) && !shared.shutdown.load(Ordering::SeqCst) {
             drop(shared.wake.wait_timeout(guard, IDLE_WAIT));
         }
         shared.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -439,6 +906,9 @@ struct ScopeCore {
 pub struct Scope<'pool, 'env> {
     pool: &'pool Pool,
     core: Arc<ScopeCore>,
+    /// Root-first ancestry path; the last element is this scope's id.
+    path: Arc<[u64]>,
+    lane: Lane,
     /// Invariant in `'env` (mirrors rayon/std): stops the borrow
     /// checker from shortening the environment lifetime out from under
     /// the spawned closures.
@@ -446,6 +916,11 @@ pub struct Scope<'pool, 'env> {
 }
 
 impl<'env> Scope<'_, 'env> {
+    /// The lane class this scope's tasks are queued in.
+    pub fn lane(&self) -> Lane {
+        self.lane
+    }
+
     /// Queue a task. It may run on any worker (or on the thread
     /// waiting for the scope) and is guaranteed to finish before the
     /// enclosing [`Pool::scope`] call returns. A panic inside the task
@@ -476,14 +951,21 @@ impl<'env> Scope<'_, 'env> {
         let job: Job = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
         };
-        self.pool.push(job);
+        self.pool.push(Task {
+            job,
+            path: Arc::clone(&self.path),
+            lane: self.lane,
+            enqueued: Instant::now(),
+        });
     }
 }
+
+/// The process-wide default pool handle.
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
 
 /// The process-wide default pool, created on first use with one worker
 /// per available core (`AXML_POOL_THREADS` overrides the count).
 pub fn global() -> &'static Pool {
-    static GLOBAL: OnceLock<Pool> = OnceLock::new();
     GLOBAL.get_or_init(|| {
         let workers = std::env::var("AXML_POOL_THREADS")
             .ok()
@@ -495,6 +977,18 @@ pub fn global() -> &'static Pool {
             });
         Pool::new(workers)
     })
+}
+
+/// The global pool if it has already been created — stats surfaces use
+/// this so observing a process never spawns its worker threads.
+pub fn try_global() -> Option<&'static Pool> {
+    GLOBAL.get()
+}
+
+/// [`Pool::stats`] for the [`global`] pool, all-zero when it has never
+/// been used (without spawning it).
+pub fn global_stats() -> PoolStats {
+    try_global().map(Pool::stats).unwrap_or_default()
 }
 
 /// [`Pool::scope`] on the [`global`] pool.
@@ -622,6 +1116,7 @@ impl ExecCtx<'static> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
 
     #[test]
     fn scope_borrows_stack_data() {
@@ -758,5 +1253,214 @@ mod tests {
         let items: Vec<u32> = (0..64).collect();
         let out = global().map_slice(&items, |_, x| x + 1);
         assert_eq!(out.iter().sum::<u32>(), (1..=64).sum::<u32>());
+    }
+
+    // ---- scheduling (PR 10) ----
+
+    fn dummy_task(root: u64, lane: Lane) -> Task {
+        Task {
+            job: Box::new(|| {}),
+            path: Arc::from(vec![root]),
+            lane,
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn injector_class_priority_with_round_robin_within_class() {
+        let mut inj = Injector::new();
+        inj.push(dummy_task(4, Lane::Expensive));
+        inj.push(dummy_task(3, Lane::Normal));
+        inj.push(dummy_task(1, Lane::Cheap));
+        inj.push(dummy_task(1, Lane::Cheap));
+        inj.push(dummy_task(2, Lane::Cheap));
+        let order: Vec<(u64, Lane)> =
+            std::iter::from_fn(|| inj.pop_any().map(|t| (t.path[0], t.lane))).collect();
+        // All cheap before normal before expensive; the two cheap
+        // roots alternate (round-robin), not drain-one-then-the-other.
+        assert_eq!(
+            order,
+            vec![
+                (1, Lane::Cheap),
+                (2, Lane::Cheap),
+                (1, Lane::Cheap),
+                (3, Lane::Normal),
+                (4, Lane::Expensive),
+            ]
+        );
+        assert!(inj.is_empty(), "drained lanes are removed");
+    }
+
+    #[test]
+    fn aging_tick_serves_the_oldest_lane_despite_priority() {
+        let mut inj = Injector::new();
+        inj.push(dummy_task(9, Lane::Expensive)); // enqueued first = oldest
+        for _ in 0..16 {
+            inj.push(dummy_task(1, Lane::Cheap));
+        }
+        let mut expensive_served_at = None;
+        for i in 1..=17 {
+            let t = inj.pop_any().expect("17 tasks queued");
+            if t.lane == Lane::Expensive {
+                expensive_served_at = Some(i);
+                break;
+            }
+        }
+        // Pops 1–7 serve the cheap lane; the 8th pop is the aging tick
+        // and must serve the starving expensive lane.
+        assert_eq!(expensive_served_at, Some(AGING_TICK as usize));
+    }
+
+    #[test]
+    fn affine_pop_only_takes_own_subtree() {
+        let mut inj = Injector::new();
+        inj.push(dummy_task(7, Lane::Normal));
+        // A nested task of root 5 (path [5, 6]) and a root task of 5.
+        inj.push(Task {
+            job: Box::new(|| {}),
+            path: Arc::from(vec![5u64, 6]),
+            lane: Lane::Normal,
+            enqueued: Instant::now(),
+        });
+        inj.push(dummy_task(5, Lane::Normal));
+        // Waiter of scope 6 (root 5): only the nested task matches.
+        let t = inj.pop_affine(5, 6).expect("nested task is affine");
+        assert_eq!(&t.path[..], &[5, 6]);
+        assert!(
+            inj.pop_affine(5, 6).is_none(),
+            "root-only task is not in 6's subtree"
+        );
+        // Waiter of scope 5 (the root): the remaining root task matches.
+        let t = inj
+            .pop_affine(5, 5)
+            .expect("root task is affine to the root waiter");
+        assert_eq!(&t.path[..], &[5]);
+        assert!(inj.pop_affine(7, 7).is_some());
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn scope_lane_inheritance_and_override() {
+        let pool = Pool::new(1);
+        pool.scope(|s| assert_eq!(s.lane(), Lane::Normal));
+        pool.scope_in(Lane::Expensive, |s| {
+            assert_eq!(s.lane(), Lane::Expensive);
+            // A nested scope inherits its parent's lane.
+            pool.scope(|inner| assert_eq!(inner.lane(), Lane::Expensive));
+            // Unless overridden explicitly.
+            pool.scope_in(Lane::Cheap, |inner| assert_eq!(inner.lane(), Lane::Cheap));
+        });
+        with_lane(Lane::Cheap, || {
+            pool.scope(|s| assert_eq!(s.lane(), Lane::Cheap));
+        });
+        pool.scope(|s| assert_eq!(s.lane(), Lane::Normal));
+    }
+
+    /// The PR's fairness pin: a thread waiting on its own scope must
+    /// (1) take its own scope's queued work from the injector before
+    /// looking at foreign deques, and (2) never execute another
+    /// scope's task at all.
+    #[test]
+    fn waiter_runs_own_scope_work_and_never_foreign() {
+        let pool = Arc::new(Pool::new(1));
+        let foreign_ran_early = Arc::new(AtomicBool::new(false));
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (rel_a_tx, rel_a_rx) = mpsc::channel::<()>();
+        let (rel_b_tx, rel_b_rx) = mpsc::channel::<()>();
+        let (body_tx, body_rx) = mpsc::channel::<()>();
+
+        let fpool = Arc::clone(&pool);
+        let fran = Arc::clone(&foreign_ran_early);
+        let foreign = std::thread::spawn(move || {
+            let pool2 = Arc::clone(&fpool);
+            fpool.scope(|s| {
+                let pool2 = &pool2;
+                let fran = &fran;
+                let started_tx = started_tx.clone();
+                s.spawn(move || {
+                    // Runs on the only worker. The nested scope puts
+                    // two tasks in the worker's own deque; the worker
+                    // pops the newer one (LIFO) and blocks in it,
+                    // leaving the older at the steal end of its deque.
+                    pool2.scope(|inner| {
+                        inner.spawn(move || {
+                            fran.store(true, Ordering::SeqCst);
+                            let _ = rel_a_rx.recv();
+                        });
+                        inner.spawn(move || {
+                            started_tx.send(()).unwrap();
+                            let _ = rel_b_rx.recv();
+                        });
+                    });
+                });
+                // Park the foreign scope's own waiter so it cannot
+                // claim its stranded deque task during the probe.
+                body_rx.recv().unwrap();
+            });
+        });
+
+        // Worker is now blocked inside the foreign task, with another
+        // foreign task stranded at the front of its deque.
+        started_rx.recv().unwrap();
+
+        // Our own scope: the task goes to the injector (we are not a
+        // worker). The worker is blocked, so the only thread that can
+        // run it is us — the waiter — and we must pick it over the
+        // foreign deque task.
+        let ran_on = Arc::new(Mutex::new(None::<std::thread::ThreadId>));
+        let ran_on2 = Arc::clone(&ran_on);
+        pool.scope(|s| {
+            s.spawn(move || {
+                *ran_on2.lock().unwrap() = Some(std::thread::current().id());
+            });
+        });
+        assert_eq!(
+            *ran_on.lock().unwrap(),
+            Some(std::thread::current().id()),
+            "the waiter itself must run its own scope's injector task"
+        );
+        assert!(
+            !foreign_ran_early.load(Ordering::SeqCst),
+            "the waiter must never execute a foreign scope's task"
+        );
+
+        // Unblock everything and drain.
+        body_tx.send(()).unwrap();
+        rel_b_tx.send(()).unwrap();
+        rel_a_tx.send(()).unwrap();
+        foreign.join().unwrap();
+        assert!(
+            foreign_ran_early.load(Ordering::SeqCst),
+            "stranded task eventually ran"
+        );
+    }
+
+    #[test]
+    fn stats_count_executions_and_residency() {
+        let pool = Pool::new(2);
+        let n = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                let n = &n;
+                s.spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 64);
+        let st = pool.stats();
+        assert_eq!(st.workers, 2);
+        assert_eq!(
+            st.owned + st.helped + st.stolen + st.injected,
+            64,
+            "every execution is classified exactly once: {st:?}"
+        );
+        assert!(st.max_queue_residency_ns > 0);
+        // Idle pool: no queued work, no lanes.
+        assert_eq!(st.lanes, 0);
+        assert_eq!(
+            st.queued_cheap + st.queued_normal + st.queued_expensive + st.queued_deques,
+            0
+        );
     }
 }

@@ -42,13 +42,16 @@
 
 use crate::http::{read_request, write_response, ChunkedWriter, Limits, ReadOutcome, Request};
 use axml::json::{result_header, result_value_json, Json};
-use axml::{AxmlError, BudgetKind, Engine, EvalOptions, PreparedQuery, QueryRegistry, StreamItem};
+use axml::{
+    AxmlError, BudgetKind, Engine, EvalOptions, Lane, PreparedQuery, QueryRegistry, Route,
+    StreamItem,
+};
 use axml_pool::Pool;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tunables. `Default` gives an ephemeral loopback port, an
 /// auto-sized pool and moderate limits — what the tests and the CLI's
@@ -380,6 +383,10 @@ fn respond<W: Write>(
             j.key("full_fallbacks");
             j.int(stats.incr.full_fallbacks);
             j.end_obj();
+            // The scheduler counters of *this server's* pool (the one
+            // running /eval fan-out), not the process-global pool.
+            j.key("scheduler");
+            axml::json::scheduler_json(&mut j, &state.pool.stats());
             j.end_obj();
             ok_json(w, j.finish(), keep_alive)
         }
@@ -537,6 +544,25 @@ fn respond<W: Write>(
     }
 }
 
+/// History threshold for lane classification: a query whose EWMA
+/// evaluation cost is at or above this is scheduled expensive.
+const EXPENSIVE_COST_NS: u64 = 1_000_000;
+
+/// Drop guard recording one request's wall-clock evaluation cost into
+/// the registry's per-query EWMA, whatever path the handler exits by.
+struct CostRecorder<'a> {
+    registry: &'a QueryRegistry,
+    handle: String,
+    start: Instant,
+}
+
+impl Drop for CostRecorder<'_> {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.registry.record_cost(&self.handle, ns);
+    }
+}
+
 /// `POST /eval`: by handle (`?handle=q…`) or inline query text in the
 /// body — exactly one of the two. Inline text goes through the same
 /// registry, so repeated inline evals of one query compile once.
@@ -548,6 +574,10 @@ fn eval_endpoint<W: Write>(
 ) -> io::Result<()> {
     let handle_param = req.query_param("handle");
     let inline = !req.body.is_empty();
+    // The registry handle this request resolves to (inline texts get
+    // one too) — keys the per-query cost history behind lane
+    // classification.
+    let mut cost_handle: Option<String> = handle_param.clone();
     let prepared: PreparedQuery = match (&handle_param, inline) {
         (Some(_), true) => {
             return bad_request(
@@ -583,7 +613,10 @@ fn eval_endpoint<W: Write>(
                 return bad_request(w, "query body is not UTF-8", keep_alive);
             };
             match state.registry.prepare(src) {
-                Ok((_, p)) => p,
+                Ok((h, p)) => {
+                    cost_handle = Some(h);
+                    p
+                }
                 Err(e) => return axml_error(w, &e, keep_alive),
             }
         }
@@ -646,6 +679,32 @@ fn eval_endpoint<W: Write>(
     // every error that can precede output gets a clean status code. On
     // the incremental routes the first piece arrives while the rest of
     // the evaluation is still running — that is the first-byte win.
+    // Scheduling lane: classify by per-query cost history when this
+    // handle has been evaluated before (EWMA ≥ 1ms ⇒ expensive),
+    // otherwise by route (the fixpoint-running routes start out
+    // expensive, the plan routes cheap). The lane only orders pool
+    // queues — results are byte-identical in every lane.
+    let lane = match cost_handle
+        .as_deref()
+        .and_then(|h| state.registry.cost_hint(h))
+    {
+        Some(ns) if ns >= EXPENSIVE_COST_NS => Lane::Expensive,
+        Some(_) => Lane::Cheap,
+        None => match opts.route {
+            Route::Shredded | Route::Differential => Lane::Expensive,
+            Route::Direct | Route::ViaNrc => Lane::Cheap,
+        },
+    };
+    opts = opts.lane(lane);
+    // Feed the cost history on every exit path from here on (drop
+    // guard): errors count too — a request that burned its deadline
+    // was expensive.
+    let _cost = cost_handle.map(|h| CostRecorder {
+        registry: &state.registry,
+        handle: h,
+        start: Instant::now(),
+    });
+
     let mut cursor = match prepared.eval_stream_with(state.engine, opts, &[], Some(state.pool)) {
         Ok(c) => c,
         Err(e) => return axml_error(w, &e, keep_alive),

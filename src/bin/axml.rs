@@ -37,8 +37,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   axml query  [--semiring S] [--route R] [--provenance-first] \\
-              [--format text|json] [--stream] [--memory-budget NODES] \\
-              (--doc FILE | --text DOC) QUERY
+              [--format text|json] [--stream] [--stats] \\
+              [--memory-budget NODES] (--doc FILE | --text DOC) QUERY
   axml edit   (--doc FILE | --text DOC) (--script FILE | --ops TEXT) \\
               [--semiring S] [--route R] [--provenance-first] \\
               [--format text|json] [QUERY]
@@ -56,6 +56,9 @@ formats:         text (default) | json — machine-consumable query results
 streaming:       --stream prints result pieces as they are produced
                  (requires --format json; bytes identical to one-shot);
                  --memory-budget caps evaluation memory in nodes
+stats:           --stats appends one scheduler-counters line after the
+                 result (the global pool's lane queues and execution
+                 counters; a JSON object with --format json)
 edit:            applies a line-based edit script (splice | relabel |
                  insert | delete | reannotate, child-index paths, one op
                  per line) through the engine's incremental edit path,
@@ -73,6 +76,7 @@ struct Opts {
     provenance_first: bool,
     format: OutputFormat,
     stream: bool,
+    stats: bool,
     memory_budget: Option<usize>,
     doc: Option<String>,
     script: Option<String>,
@@ -104,6 +108,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut provenance_first = false;
     let mut format = OutputFormat::Text;
     let mut stream = false;
+    let mut stats = false;
     let mut memory_budget: Option<usize> = None;
     let mut doc: Option<String> = None;
     let mut script: Option<String> = None;
@@ -129,6 +134,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--stream" => {
                 stream = true;
+                i += 1;
+            }
+            "--stats" => {
+                stats = true;
                 i += 1;
             }
             "--memory-budget" => {
@@ -217,6 +226,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         provenance_first,
         format,
         stream,
+        stats,
         memory_budget,
         doc,
         script,
@@ -296,6 +306,47 @@ trait SemiringDispatch {
 /// not ℕ\[X\]-representable (`bool`, `clearance`, and PosBool documents
 /// written in DNF syntax) keep the pre-facade static path.
 fn query_cmd(opts: &Opts, query: &str) -> Result<(), String> {
+    query_result(opts, query)?;
+    if opts.stats {
+        print_scheduler_stats(opts.format);
+    }
+    Ok(())
+}
+
+/// `query --stats`: one scheduler-counters line after the result — the
+/// global pool's lane queues and execution counters, all zero when the
+/// evaluation never touched the pool (sequential mode, tiny inputs).
+/// A separate line so the result bytes stay identical with and without
+/// the flag.
+fn print_scheduler_stats(format: OutputFormat) {
+    let s = axml::scheduler_stats();
+    match format {
+        OutputFormat::Text => println!(
+            "scheduler: workers={} lanes={} queued(cheap/normal/expensive)={}/{}/{} \
+             executed(owned/helped/stolen/injected)={}/{}/{}/{} max_queue_residency_ns={}",
+            s.workers,
+            s.lanes,
+            s.queued_cheap,
+            s.queued_normal,
+            s.queued_expensive,
+            s.owned,
+            s.helped,
+            s.stolen,
+            s.injected,
+            s.max_queue_residency_ns
+        ),
+        OutputFormat::Json => {
+            let mut j = Json::new();
+            j.begin_obj();
+            j.key("scheduler");
+            axml::json::scheduler_json(&mut j, &s);
+            j.end_obj();
+            println!("{}", j.finish());
+        }
+    }
+}
+
+fn query_result(opts: &Opts, query: &str) -> Result<(), String> {
     match opts.semiring.as_str() {
         "bool" => return static_query::<bool>(opts, query),
         "clearance" => return static_query::<Clearance>(opts, query),

@@ -156,6 +156,66 @@ fn unknown_format_is_rejected() {
 }
 
 #[test]
+fn stats_flag_appends_a_scheduler_line() {
+    // `--stats` appends a separate scheduler-counters line; the result
+    // line itself must stay byte-identical to a run without the flag.
+    let base = run_axml(&[
+        "query",
+        "--format",
+        "json",
+        "--semiring",
+        "nat",
+        "--text",
+        "<a {z}> b {x} c {y} </a>",
+        "$S/*",
+    ]);
+    let out = run_axml(&[
+        "query",
+        "--format",
+        "json",
+        "--stats",
+        "--semiring",
+        "nat",
+        "--text",
+        "<a {z}> b {x} c {y} </a>",
+        "$S/*",
+    ]);
+    let mut lines = out.lines();
+    let result = lines.next().expect("result line");
+    let stats = lines.next().expect("stats line");
+    assert_eq!(result, base.trim_end(), "--stats must not alter the result");
+    assert_well_formed_json(stats);
+    for needle in [
+        "\"scheduler\":",
+        "\"workers\":",
+        "\"lanes\":",
+        "\"queued_cheap\":",
+        "\"queued_normal\":",
+        "\"queued_expensive\":",
+        "\"queued_deques\":",
+        "\"executed_owned\":",
+        "\"executed_helped\":",
+        "\"executed_stolen\":",
+        "\"executed_injected\":",
+        "\"max_queue_residency_ns\":",
+    ] {
+        assert!(stats.contains(needle), "missing {needle} in {stats}");
+    }
+
+    // Text mode gets a human-readable line with the same counters.
+    let out = run_axml(&[
+        "query",
+        "--stats",
+        "--semiring",
+        "nat",
+        "--text",
+        "<a {z}> b {x} </a>",
+        "$S/b",
+    ]);
+    assert!(out.contains("scheduler: workers="), "{out}");
+}
+
+#[test]
 fn edit_applies_scripts_and_reports_stats() {
     // Text mode: edited document + a stats line + the query result.
     let out = run_axml(&[
